@@ -1,0 +1,28 @@
+//! # helios-analysis
+//!
+//! Trace characterization for the Helios SC'21 reproduction: every
+//! statistic behind §3's figures — empirical CDFs (Figs. 1, 5, 6, 8, 9),
+//! daily/monthly cluster patterns (Figs. 2–3), per-VC behaviors (Fig. 4),
+//! final-status breakdowns (Figs. 1b, 7) and the Table 2 summary.
+//!
+//! ```
+//! use helios_trace::{generate, venus_profile, GeneratorConfig};
+//! use helios_analysis::jobs::gpu_duration_cdf;
+//!
+//! let trace = generate(&venus_profile(), &GeneratorConfig { scale: 0.02, seed: 1 });
+//! let cdf = gpu_duration_cdf(&trace);
+//! assert!(cdf.median() > 0.0);
+//! ```
+
+pub mod cdf;
+pub mod clusters;
+pub mod jobs;
+pub mod quantiles;
+pub mod report;
+pub mod timeseries;
+pub mod users;
+pub mod vc;
+
+pub use cdf::{Cdf, WeightedCdf};
+pub use quantiles::BoxStats;
+pub use timeseries::BinnedSeries;

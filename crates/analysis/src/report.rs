@@ -1,0 +1,134 @@
+//! Aligned plain-text table rendering for the `repro` harness output.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with padded columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Left-align the first column, right-align the rest
+                // (numeric convention).
+                let pad = widths[i] - cell.chars().count();
+                if i == 0 {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = render_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds compactly (e.g. "6652s", "1.8h", "3.2d").
+pub fn fmt_secs(s: f64) -> String {
+    if s < 120.0 {
+        format!("{s:.0}s")
+    } else if s < 7_200.0 {
+        format!("{:.1}m", s / 60.0)
+    } else if s < 172_800.0 {
+        format!("{:.1}h", s / 3_600.0)
+    } else {
+        format!("{:.1}d", s / 86_400.0)
+    }
+}
+
+/// Format a count with thousands separators ("1,753,030").
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(vec!["cluster", "jobs"]);
+        t.row(vec!["Venus", "247000"]);
+        t.row(vec!["Saturn", "1753000"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("cluster"));
+        assert!(lines[1].starts_with("---"));
+        // Right-aligned numeric column: both rows end at the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_secs(45.0), "45s");
+        assert_eq!(fmt_secs(600.0), "10.0m");
+        assert_eq!(fmt_secs(7_200.0), "2.0h");
+        assert_eq!(fmt_secs(259_200.0), "3.0d");
+        assert_eq!(fmt_count(1_753_030), "1,753,030");
+        assert_eq!(fmt_count(42), "42");
+        assert_eq!(fmt_count(1_000), "1,000");
+    }
+}

@@ -1,0 +1,27 @@
+//! Node-demand forecasting (Figs 14-15, Table 5 substrate).
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use helios_predict::{Arima, FourierForecaster, FourierParams};
+use helios_trace::Calendar;
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| 100.0 + 20.0 * (t as f64 * std::f64::consts::TAU / 144.0).sin())
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let cal = Calendar::helios_2020();
+    let v = series(10_000);
+    let mut g = c.benchmark_group("forecast");
+    g.sample_size(10);
+    g.bench_function("arima_fit_p12_d1", |b| b.iter(|| Arima::fit(black_box(&v), 12, 1)));
+    let arima = Arima::fit(&v, 12, 1);
+    g.bench_function("arima_forecast_18", |b| b.iter(|| arima.forecast(black_box(&v), 18)));
+    g.bench_function("fourier_fit_10k", |b| {
+        b.iter(|| FourierForecaster::fit(black_box(&v), 0, 600, &cal, FourierParams::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! GBDT training/inference (the QSSF P_M estimator, Table 3 substrate).
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use helios_predict::gbdt::{Gbdt, GbdtParams};
+use helios_predict::text::levenshtein;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = ChaCha12Rng::seed_from_u64(5);
+    let n = 20_000;
+    let cols: Vec<Vec<f64>> = (0..12)
+        .map(|_| (0..n).map(|_| rng.gen::<f64>() * 100.0).collect())
+        .collect();
+    let y: Vec<f64> = (0..n)
+        .map(|r| cols[0][r] * 0.5 + (cols[1][r] * 0.1).sin() * 20.0)
+        .collect();
+    let mut g = c.benchmark_group("gbdt");
+    g.sample_size(10);
+    g.bench_function("train_20k_rows_40_trees", |b| {
+        b.iter(|| {
+            Gbdt::fit(
+                black_box(&cols),
+                black_box(&y),
+                &GbdtParams { num_trees: 40, early_stopping: 0, ..Default::default() },
+                None,
+            )
+        })
+    });
+    let model = Gbdt::fit(&cols, &y, &GbdtParams { num_trees: 40, early_stopping: 0, ..Default::default() }, None);
+    let row: Vec<f64> = (0..12).map(|i| i as f64 * 7.0).collect();
+    g.bench_function("predict_row", |b| b.iter(|| model.predict_row(black_box(&row))));
+    g.bench_function("levenshtein_job_names", |b| {
+        b.iter(|| levenshtein(black_box("train_resnet50_imagenet_lr3"), black_box("train_resnet101_imagenet_lr5")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

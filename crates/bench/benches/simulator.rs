@@ -1,0 +1,35 @@
+//! Discrete-event scheduling throughput (Figs 11-13, Tables 3-4 substrate).
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use helios_sim::{simulate, Policy, SimConfig, SimJob};
+use helios_trace::venus;
+
+fn jobs(n: u64) -> Vec<SimJob> {
+    let mut out: Vec<SimJob> = (0..n)
+        .map(|i| SimJob {
+            id: i,
+            vc: (i % 10) as u16,
+            gpus: [1, 2, 4, 8][(i % 4) as usize],
+            submit: (i as i64 * 97) % 500_000,
+            duration: 60 + (i as i64 * 131) % 20_000,
+            priority: ((i * 7919) % 100_000) as f64,
+        })
+        .collect();
+    out.sort_by_key(|j| j.submit);
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let spec = venus();
+    let js = jobs(30_000);
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    for policy in [Policy::Fifo, Policy::Sjf, Policy::Srtf, Policy::Priority] {
+        g.bench_function(format!("{policy:?}_30k_jobs"), |b| {
+            b.iter(|| simulate(black_box(&spec), black_box(&js), &SimConfig::new(policy)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Occupancy/submission binning (Figs 2-4 substrate).
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use helios_analysis::timeseries::{gpu_utilization_series, submission_rate_series};
+use helios_trace::{JobRecord, JobStatus};
+
+fn jobs(n: u64) -> Vec<JobRecord> {
+    (0..n)
+        .map(|i| JobRecord {
+            id: i,
+            user: (i % 200) as u32,
+            vc: (i % 20) as u16,
+            gpus: [1, 2, 4, 8][(i % 4) as usize],
+            cpus: 6,
+            submit: (i as i64 * 61) % 2_000_000,
+            start: (i as i64 * 61) % 2_000_000 + 30,
+            duration: 100 + (i as i64 * 37) % 10_000,
+            status: JobStatus::Completed,
+            name: 0,
+            run: 0,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let js = jobs(100_000);
+    let mut g = c.benchmark_group("timeseries");
+    g.sample_size(10);
+    g.bench_function("utilization_100k_jobs_hourly", |b| {
+        b.iter(|| gpu_utilization_series(black_box(&js), 1_064, 0, 2_100_000, 3_600))
+    });
+    g.bench_function("submission_rate_100k_jobs", |b| {
+        b.iter(|| submission_rate_series(black_box(&js), 0, 2_100_000, 3_600, |j| j.is_gpu()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Trace-generation throughput (Tables 1-2 substrate).
+use criterion::{criterion_group, criterion_main, Criterion};
+use helios_trace::{generate, venus_profile, GeneratorConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracegen");
+    g.sample_size(10);
+    g.bench_function("venus_scale_0.05", |b| {
+        b.iter(|| generate(&venus_profile(), &GeneratorConfig { scale: 0.05, seed: 1 }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

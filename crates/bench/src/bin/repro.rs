@@ -1,0 +1,44 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment-id>|all
+//! ```
+//!
+//! Environment:
+//! * `HELIOS_SCALE` — trace scale (default 0.25; 1.0 = paper scale)
+//! * `HELIOS_SEED`  — generator seed (default 2020)
+//!
+//! Outputs print to stdout and are mirrored under `reports/<id>.txt`.
+
+use helios_bench::experiments::{run, Context};
+use std::fs;
+use std::io::Write;
+
+fn main() {
+    let id = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: repro <experiment-id>|all   (ids: see DESIGN.md)");
+        std::process::exit(2);
+    });
+    let scale: f64 = std::env::var("HELIOS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let seed: u64 = std::env::var("HELIOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2020);
+    let mut ctx = Context::new(scale, seed);
+    let outputs = run(&id, &mut ctx);
+    let _ = fs::create_dir_all("reports");
+    for out in &outputs {
+        println!("{}", out.text);
+        println!("{}", "=".repeat(78));
+        if let Ok(mut f) = fs::File::create(format!("reports/{}.txt", out.id)) {
+            let _ = writeln!(f, "{}", out.text);
+        }
+        if let Ok(mut f) = fs::File::create(format!("reports/{}.json", out.id)) {
+            let _ = writeln!(f, "{}", serde_json::to_string_pretty(&out.data).unwrap());
+        }
+    }
+    eprintln!("done: {} experiment(s), scale {scale}, seed {seed}", outputs.len());
+}

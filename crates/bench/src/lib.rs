@@ -1,0 +1,11 @@
+//! # helios-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper.
+//! The `repro` binary exposes one subcommand per artifact (see DESIGN.md's
+//! experiment index); this library holds the shared experiment context and
+//! the per-experiment implementations so both the binary and the criterion
+//! benches can drive them.
+
+pub mod experiments;
+
+pub use experiments::{Context, ExperimentOutput};

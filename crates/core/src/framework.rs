@@ -1,0 +1,228 @@
+//! The prediction-based management framework (§4.1, Fig. 10).
+//!
+//! A centralized manager atop one GPU cluster. Plug-and-play `Service`s
+//! share a common workflow: the **Model Update Engine** periodically
+//! refreshes each service's model from the history store; the **Resource
+//! Orchestrator** invokes the services to turn predictions into management
+//! actions. Services are independent; operators register the ones they
+//! need (§4.1: "the cluster operators can select services based on their
+//! demands").
+
+use helios_trace::Trace;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// An action recommended/taken by a service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Set a job's scheduling priority (QSSF).
+    SetJobPriority { job_id: u64, priority: f64 },
+    /// Power off `nodes` nodes (CES / DRS).
+    SleepNodes { nodes: u32 },
+    /// Power on `nodes` nodes (CES wake-up).
+    WakeNodes { nodes: u32 },
+    /// Informational/no-op (service had nothing to do).
+    None,
+}
+
+/// The shared historical data a cluster accumulates: job logs and node
+/// states (§4.1 "Data Collection"). In this reproduction the store wraps
+/// the synthetic trace plus a cursor marking how much history is visible.
+#[derive(Debug, Clone)]
+pub struct HistoryStore {
+    trace: Arc<Trace>,
+    /// Everything strictly before this timestamp is "collected".
+    now: i64,
+}
+
+impl HistoryStore {
+    /// New store over a trace, starting with no visible history.
+    pub fn new(trace: Arc<Trace>) -> Self {
+        HistoryStore { trace, now: 0 }
+    }
+
+    /// Advance the data-collection cursor.
+    pub fn advance_to(&mut self, now: i64) {
+        assert!(now >= self.now, "history cursor cannot move backwards");
+        self.now = now;
+    }
+
+    /// Current cursor.
+    pub fn now(&self) -> i64 {
+        self.now
+    }
+
+    /// The backing trace (services must only read jobs that *ended* before
+    /// [`HistoryStore::now`] when training).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Jobs that terminated before the cursor (the training view).
+    pub fn finished_jobs(&self) -> impl Iterator<Item = &helios_trace::JobRecord> {
+        let now = self.now;
+        self.trace.jobs.iter().filter(move |j| j.end() <= now)
+    }
+}
+
+/// A pluggable prediction-based service (§4.1).
+pub trait Service: Send + Sync {
+    /// Service name for logs/registry.
+    fn name(&self) -> &str;
+
+    /// Refresh the service's model from history (Model Update Engine).
+    fn update_model(&mut self, history: &HistoryStore);
+
+    /// One orchestration step at time `now` (Resource Orchestrator).
+    fn orchestrate(&mut self, history: &HistoryStore, now: i64) -> Vec<Action>;
+}
+
+/// The centralized framework: history store + service registry + update
+/// schedule.
+pub struct Framework {
+    history: HistoryStore,
+    services: Vec<Box<dyn Service>>,
+    /// Model refresh period, seconds (the paper fine-tunes periodically).
+    update_period: i64,
+    last_update: RwLock<i64>,
+}
+
+impl Framework {
+    /// Create a framework over one cluster trace.
+    pub fn new(trace: Arc<Trace>, update_period: i64) -> Self {
+        assert!(update_period > 0);
+        Framework {
+            history: HistoryStore::new(trace),
+            services: Vec::new(),
+            update_period,
+            last_update: RwLock::new(i64::MIN),
+        }
+    }
+
+    /// Register a service (plug-and-play).
+    pub fn register(&mut self, service: Box<dyn Service>) {
+        self.services.push(service);
+    }
+
+    /// Registered service names.
+    pub fn service_names(&self) -> Vec<String> {
+        self.services.iter().map(|s| s.name().to_string()).collect()
+    }
+
+    /// Advance simulated time: collect new data, refresh models when the
+    /// update period elapsed, and run every service's orchestration step.
+    /// Returns actions per service (aligned with [`Framework::service_names`]).
+    pub fn tick(&mut self, now: i64) -> Vec<Vec<Action>> {
+        self.history.advance_to(now);
+        let need_update = {
+            let last = self.last_update.read();
+            now.saturating_sub(*last) >= self.update_period
+        };
+        if need_update {
+            for s in &mut self.services {
+                s.update_model(&self.history);
+            }
+            *self.last_update.write() = now;
+        }
+        self.services
+            .iter_mut()
+            .map(|s| s.orchestrate(&self.history, now))
+            .collect()
+    }
+
+    /// Shared history accessor.
+    pub fn history(&self) -> &HistoryStore {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_trace::{generate, venus_profile, GeneratorConfig};
+
+    struct CountingService {
+        name: String,
+        updates: usize,
+        steps: usize,
+    }
+
+    impl Service for CountingService {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn update_model(&mut self, _history: &HistoryStore) {
+            self.updates += 1;
+        }
+        fn orchestrate(&mut self, _history: &HistoryStore, _now: i64) -> Vec<Action> {
+            self.steps += 1;
+            vec![Action::None]
+        }
+    }
+
+    fn tiny_trace() -> Arc<Trace> {
+        Arc::new(generate(
+            &venus_profile(),
+            &GeneratorConfig {
+                scale: 0.02,
+                seed: 1,
+            },
+        ))
+    }
+
+    #[test]
+    fn update_engine_fires_periodically() {
+        let mut fw = Framework::new(tiny_trace(), 3_600);
+        fw.register(Box::new(CountingService {
+            name: "svc".into(),
+            updates: 0,
+            steps: 0,
+        }));
+        // 4 ticks over 2 hours, update period 1h -> updates at t=0, 3600, 7200.
+        for t in [0, 1_800, 3_600, 7_200] {
+            fw.tick(t);
+        }
+        assert_eq!(fw.service_names(), vec!["svc".to_string()]);
+        // The boxed service is owned by the framework; verify via a fresh
+        // instance driven the same way.
+        let mut svc = CountingService {
+            name: "svc".into(),
+            updates: 0,
+            steps: 0,
+        };
+        let mut history = HistoryStore::new(tiny_trace());
+        let mut last = i64::MIN;
+        for t in [0i64, 1_800, 3_600, 7_200] {
+            history.advance_to(t);
+            if t.saturating_sub(last) >= 3_600 {
+                svc.update_model(&history);
+                last = t;
+            }
+            svc.orchestrate(&history, t);
+        }
+        assert_eq!(svc.updates, 3);
+        assert_eq!(svc.steps, 4);
+    }
+
+    #[test]
+    fn history_visibility_is_causal() {
+        let trace = tiny_trace();
+        let mut h = HistoryStore::new(trace.clone());
+        h.advance_to(30 * 86_400);
+        for j in h.finished_jobs() {
+            assert!(j.end() <= h.now());
+        }
+        let early = h.finished_jobs().count();
+        h.advance_to(60 * 86_400);
+        assert!(h.finished_jobs().count() > early);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn cursor_is_monotone() {
+        let mut h = HistoryStore::new(tiny_trace());
+        h.advance_to(100);
+        h.advance_to(50);
+    }
+}

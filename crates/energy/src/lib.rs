@@ -1,0 +1,18 @@
+//! # helios-energy
+//!
+//! The Cluster Energy Saving (CES) substrate of §4.3: node-occupancy series
+//! extraction (node-granular replay of a trace), Algorithm 2's
+//! prediction-guided Dynamic Resource Sleep control loop, the vanilla-DRS
+//! baseline, and the energy model behind the paper's "1.65 million kWh
+//! annually" estimate (Table 5, Figs. 14–15).
+//!
+//! The forecaster itself lives in `helios-predict` (GBDT over lag/rolling/
+//! calendar features); this crate consumes an aligned forecast series.
+
+pub mod ces;
+pub mod power;
+pub mod series;
+
+pub use ces::{run_control_loop, CesConfig, CesOutcome, DrsPolicy};
+pub use power::{annual_savings_kwh, annualize, energy_saved_kwh, COOLING_FACTOR, IDLE_NODE_WATTS};
+pub use series::{node_series_from_trace, NodeSeries};

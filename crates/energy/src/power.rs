@@ -1,0 +1,60 @@
+//! Energy accounting (§4.3.3): idle DGX-1 draw from the BMC (~800 W), plus
+//! datacenter cooling at twice the server draw [23], annualized.
+
+/// Idle power of one DGX-1-class node, watts (paper: ~800 W from the BMC
+/// PSU readings).
+pub const IDLE_NODE_WATTS: f64 = 800.0;
+
+/// Cooling infrastructure draw as a multiple of server draw (paper cites
+/// [23]: cooling "typically consumes twice the energy as the servers").
+pub const COOLING_FACTOR: f64 = 2.0;
+
+/// Seconds in a (non-leap) year.
+pub const SECS_PER_YEAR: f64 = 365.0 * 86_400.0;
+
+/// Energy saved by keeping nodes powered off for `drs_node_seconds`
+/// node-seconds, in kWh (server + cooling).
+pub fn energy_saved_kwh(drs_node_seconds: f64) -> f64 {
+    drs_node_seconds / 3_600.0 * IDLE_NODE_WATTS * (1.0 + COOLING_FACTOR) / 1_000.0
+}
+
+/// Scale a measurement over `window_secs` to a full year.
+pub fn annualize(value: f64, window_secs: f64) -> f64 {
+    assert!(window_secs > 0.0);
+    value * SECS_PER_YEAR / window_secs
+}
+
+/// Annualized savings for a steady average of `avg_drs_nodes` powered-off
+/// nodes, in kWh/year — the quantity behind the paper's "1.65 million
+/// kilowatt hours annually".
+pub fn annual_savings_kwh(avg_drs_nodes: f64) -> f64 {
+    energy_saved_kwh(avg_drs_nodes * SECS_PER_YEAR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_node_for_one_hour() {
+        // 800 W * 3 (incl. cooling) for 1h = 2.4 kWh.
+        let kwh = energy_saved_kwh(3_600.0);
+        assert!((kwh - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_headline_reproduced() {
+        // Table 5: average DRS nodes 5.0 + 20.5 + 20.0 + 34.0 = 79.5 across
+        // the four clusters -> >1.65M kWh annually (§4.3.3).
+        let total = annual_savings_kwh(79.5);
+        assert!(total > 1.65e6, "annual savings {total}");
+        assert!(total < 2.0e6, "annual savings {total}");
+    }
+
+    #[test]
+    fn annualization() {
+        let three_weeks = 21.0 * 86_400.0;
+        let annual = annualize(100.0, three_weeks);
+        assert!((annual - 100.0 * 365.0 / 21.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Histogram binning for GBDT training (the LightGBM-style discretization
+//! the paper's GBDT [42] uses).
+
+use serde::{Deserialize, Serialize};
+
+/// Maps raw feature values to at most 256 quantile bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinMapper {
+    /// Upper edge of each bin except the last: value `v` lands in the first
+    /// bin `b` with `v <= edges[b]`, or in the last bin.
+    edges: Vec<f64>,
+}
+
+impl BinMapper {
+    /// Fit quantile bins over `values` (at most `max_bins`, deduplicated).
+    pub fn fit(values: &[f64], max_bins: usize) -> Self {
+        assert!(max_bins >= 2 && max_bins <= 256);
+        assert!(!values.is_empty());
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut edges = Vec::with_capacity(max_bins - 1);
+        for b in 1..max_bins {
+            let idx = (b * sorted.len()) / max_bins;
+            let e = sorted[idx.min(sorted.len() - 1)];
+            if edges.last().map_or(true, |&last| e > last) {
+                edges.push(e);
+            }
+        }
+        BinMapper { edges }
+    }
+
+    /// Number of bins (edges + 1 overflow bin).
+    pub fn num_bins(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    /// Bin index for a value.
+    pub fn bin(&self, v: f64) -> u8 {
+        self.edges.partition_point(|&e| e < v) as u8
+    }
+
+    /// The raw-value threshold corresponding to "bin <= b". Returns
+    /// `f64::INFINITY` for the last bin (everything goes left).
+    pub fn threshold(&self, b: u8) -> f64 {
+        self.edges
+            .get(b as usize)
+            .copied()
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// A fully binned training set: `bins[feature][row]`.
+#[derive(Debug, Clone)]
+pub struct BinnedDataset {
+    pub bins: Vec<Vec<u8>>,
+    pub mappers: Vec<BinMapper>,
+    pub num_rows: usize,
+}
+
+impl BinnedDataset {
+    /// Bin a column-major feature matrix (`features[feature][row]`).
+    pub fn from_columns(features: &[Vec<f64>], max_bins: usize) -> Self {
+        assert!(!features.is_empty());
+        let num_rows = features[0].len();
+        assert!(features.iter().all(|c| c.len() == num_rows));
+        let mappers: Vec<BinMapper> = features
+            .iter()
+            .map(|col| BinMapper::fit(col, max_bins))
+            .collect();
+        let bins = features
+            .iter()
+            .zip(&mappers)
+            .map(|(col, m)| col.iter().map(|&v| m.bin(v)).collect())
+            .collect();
+        BinnedDataset {
+            bins,
+            mappers,
+            num_rows,
+        }
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.bins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_are_monotone_in_value() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+        let m = BinMapper::fit(&values, 16);
+        let mut last = 0;
+        for v in [0.0, 1.0, 5.0, 10.0, 20.0, 31.0] {
+            let b = m.bin(v);
+            assert!(b >= last);
+            last = b;
+        }
+        assert!(m.num_bins() <= 16);
+    }
+
+    #[test]
+    fn threshold_respects_bin_assignment() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let m = BinMapper::fit(&values, 8);
+        for v in values {
+            let b = m.bin(v);
+            // v <= threshold(b) must hold (that's the split semantics).
+            assert!(v <= m.threshold(b), "v={v} b={b} thr={}", m.threshold(b));
+            if b > 0 {
+                assert!(v > m.threshold(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_feature_collapses() {
+        let m = BinMapper::fit(&[5.0; 50], 32);
+        // One real bin plus at most one (empty) overflow bin.
+        assert!(m.num_bins() <= 2);
+        assert_eq!(m.bin(5.0), 0);
+    }
+
+    #[test]
+    fn categorical_like_feature_keeps_distinct_bins() {
+        let mut values = Vec::new();
+        for c in 0..5 {
+            values.extend(std::iter::repeat(c as f64).take(20));
+        }
+        let m = BinMapper::fit(&values, 64);
+        let bins: Vec<u8> = (0..5).map(|c| m.bin(c as f64)).collect();
+        let mut dedup = bins.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5, "each category must keep its own bin: {bins:?}");
+    }
+
+    #[test]
+    fn binned_dataset_shape() {
+        let cols = vec![
+            (0..50).map(|i| i as f64).collect::<Vec<f64>>(),
+            (0..50).map(|i| (i % 3) as f64).collect(),
+        ];
+        let d = BinnedDataset::from_columns(&cols, 16);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.num_rows, 50);
+        assert_eq!(d.bins[0].len(), 50);
+        assert!(d.mappers[1].num_bins() <= 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! # helios-predict
+//!
+//! The prediction stack of the paper's framework (§4): a from-scratch
+//! histogram GBDT (the model behind both the QSSF job-GPU-time estimator and
+//! the CES node-demand forecaster), the QSSF feature pipeline (Levenshtein
+//! name bucketization, submission-time parsing, causal rolling statistics),
+//! Algorithm 1's rolling estimator, and the forecasting baselines the paper
+//! compares against (ARIMA, Prophet-style Fourier regression, LSTM).
+//!
+//! ```
+//! use helios_predict::gbdt::{Gbdt, GbdtParams};
+//!
+//! let xs: Vec<Vec<f64>> = vec![(0..100).map(|i| (i % 10) as f64).collect()];
+//! let ys: Vec<f64> = (0..100).map(|i| ((i % 10) * 2) as f64).collect();
+//! let model = Gbdt::fit(&xs, &ys, &GbdtParams::default(), None);
+//! assert!((model.predict_row(&[3.0]) - 6.0).abs() < 0.5);
+//! ```
+
+pub mod arima;
+pub mod binning;
+pub mod features;
+pub mod fourier;
+pub mod gbdt;
+pub mod linalg;
+pub mod lstm;
+pub mod metrics;
+pub mod rolling;
+pub mod text;
+pub mod tree;
+
+pub use arima::{seasonal_naive, Arima};
+pub use fourier::{FourierForecaster, FourierParams};
+pub use gbdt::{Gbdt, GbdtParams};
+pub use lstm::{LstmForecaster, LstmParams};
+pub use rolling::RollingEstimator;

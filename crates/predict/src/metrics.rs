@@ -1,0 +1,115 @@
+//! Forecast/regression accuracy metrics. The paper reports SMAPE (Symmetric
+//! Mean Absolute Percentage Error, [35]) for the CES node forecaster
+//! (~3.6% on Earth, §4.3.2).
+
+/// Symmetric Mean Absolute Percentage Error, in percent (0..200).
+///
+/// `SMAPE = 100/n * Σ |f - a| / ((|a| + |f|) / 2)`; terms with a zero
+/// denominator (both actual and forecast zero) contribute 0.
+pub fn smape(actual: &[f64], forecast: &[f64]) -> f64 {
+    assert_eq!(actual.len(), forecast.len());
+    assert!(!actual.is_empty());
+    let mut acc = 0.0;
+    for (&a, &f) in actual.iter().zip(forecast) {
+        let denom = (a.abs() + f.abs()) / 2.0;
+        if denom > 0.0 {
+            acc += (f - a).abs() / denom;
+        }
+    }
+    100.0 * acc / actual.len() as f64
+}
+
+/// Mean Absolute Error.
+pub fn mae(actual: &[f64], forecast: &[f64]) -> f64 {
+    assert_eq!(actual.len(), forecast.len());
+    assert!(!actual.is_empty());
+    actual
+        .iter()
+        .zip(forecast)
+        .map(|(a, f)| (a - f).abs())
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Root Mean Squared Error.
+pub fn rmse(actual: &[f64], forecast: &[f64]) -> f64 {
+    assert_eq!(actual.len(), forecast.len());
+    assert!(!actual.is_empty());
+    (actual
+        .iter()
+        .zip(forecast)
+        .map(|(a, f)| (a - f).powi(2))
+        .sum::<f64>()
+        / actual.len() as f64)
+        .sqrt()
+}
+
+/// Coefficient of determination R².
+pub fn r2(actual: &[f64], forecast: &[f64]) -> f64 {
+    assert_eq!(actual.len(), forecast.len());
+    assert!(!actual.is_empty());
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean).powi(2)).sum();
+    let ss_res: f64 = actual
+        .iter()
+        .zip(forecast)
+        .map(|(a, f)| (a - f).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_forecast() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(smape(&a, &a), 0.0);
+        assert_eq!(mae(&a, &a), 0.0);
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(r2(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn smape_is_symmetric_and_bounded() {
+        let a = [10.0, 20.0];
+        let f = [20.0, 10.0];
+        assert!((smape(&a, &f) - smape(&f, &a)).abs() < 1e-12);
+        // Max SMAPE is 200% (completely opposite signs / zero overlap).
+        let z = [0.0, 0.0];
+        let o = [1.0, 1.0];
+        assert!((smape(&z, &o) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smape_known_value() {
+        // |f-a| = 10, (|a|+|f|)/2 = 105 -> 100 * 10/105 ≈ 9.5238
+        let v = smape(&[100.0], &[110.0]);
+        assert!((v - 100.0 * 10.0 / 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mae_rmse_relationship() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let f = [1.0, -1.0, 3.0, -3.0];
+        assert_eq!(mae(&a, &f), 2.0);
+        assert!(rmse(&a, &f) > mae(&a, &f)); // RMSE penalizes outliers
+        assert!((rmse(&a, &f) - (5.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let f = [2.0, 2.0, 2.0];
+        assert!(r2(&a, &f).abs() < 1e-12);
+    }
+}

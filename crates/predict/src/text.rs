@@ -1,0 +1,199 @@
+//! Job-name similarity: Levenshtein distance [53] and the bucketization the
+//! QSSF feature pipeline uses to turn "extremely sparse and high-dimensional"
+//! job names into dense numeric categories (§4.2.2).
+
+use std::collections::HashMap;
+
+/// Levenshtein edit distance (two-row DP, O(min(a,b)) memory).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Keep the shorter string in the inner loop.
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein distance normalized by the longer length, in [0, 1].
+pub fn normalized_distance(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Strip trailing run/sweep decorations (`_12`, `_run3`, `_lr5`) so
+/// resubmissions of the same experiment normalize to a common stem.
+pub fn strip_run_suffix(name: &str) -> &str {
+    let mut s = name;
+    loop {
+        let Some(pos) = s.rfind('_') else {
+            return s;
+        };
+        let tail = &s[pos + 1..];
+        let is_decoration = !tail.is_empty()
+            && (tail.chars().all(|c| c.is_ascii_digit())
+                || (tail.starts_with("run") && tail[3..].chars().all(|c| c.is_ascii_digit()))
+                || (tail.starts_with("lr") && tail[2..].chars().all(|c| c.is_ascii_digit())));
+        if is_decoration {
+            s = &s[..pos];
+        } else {
+            return s;
+        }
+    }
+}
+
+/// Incremental name bucketizer: names whose stems are within
+/// `max_distance` (normalized Levenshtein) of a bucket representative share
+/// that bucket id.
+#[derive(Debug, Clone)]
+pub struct NameBuckets {
+    max_distance: f64,
+    representatives: Vec<String>,
+    cache: HashMap<String, u32>,
+}
+
+impl NameBuckets {
+    /// Create a bucketizer with the given normalized-distance threshold
+    /// (the paper clusters "similar" names; 0.25 works well for
+    /// sweep-style suffixes).
+    pub fn new(max_distance: f64) -> Self {
+        assert!((0.0..=1.0).contains(&max_distance));
+        NameBuckets {
+            max_distance,
+            representatives: Vec::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Bucket id for a job name (creates a new bucket when nothing is
+    /// similar enough). Deterministic in insertion order.
+    pub fn bucket(&mut self, name: &str) -> u32 {
+        let stem = strip_run_suffix(name).to_string();
+        if let Some(&id) = self.cache.get(&stem) {
+            return id;
+        }
+        // Linear scan over representatives; short-circuit on length bounds
+        // (|len(a) - len(b)| <= d * max_len is necessary for a match).
+        let stem_len = stem.chars().count();
+        let mut found = None;
+        for (id, rep) in self.representatives.iter().enumerate() {
+            let rep_len = rep.chars().count();
+            let max_len = rep_len.max(stem_len);
+            if (rep_len as i64 - stem_len as i64).unsigned_abs() as f64
+                > self.max_distance * max_len as f64
+            {
+                continue;
+            }
+            if normalized_distance(&stem, rep) <= self.max_distance {
+                found = Some(id as u32);
+                break;
+            }
+        }
+        let id = found.unwrap_or_else(|| {
+            self.representatives.push(stem.clone());
+            (self.representatives.len() - 1) as u32
+        });
+        self.cache.insert(stem, id);
+        id
+    }
+
+    /// Number of buckets created so far.
+    pub fn num_buckets(&self) -> usize {
+        self.representatives.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn distance_properties() {
+        let words = ["train_resnet50", "train_resnet18", "eval_bert", ""];
+        for a in words {
+            for b in words {
+                // Symmetry.
+                assert_eq!(levenshtein(a, b), levenshtein(b, a));
+                // Identity.
+                if a == b {
+                    assert_eq!(levenshtein(a, b), 0);
+                }
+                // Triangle inequality against every third word.
+                for c in words {
+                    assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(normalized_distance("", ""), 0.0);
+        assert_eq!(normalized_distance("abc", "abc"), 0.0);
+        assert_eq!(normalized_distance("abc", "xyz"), 1.0);
+        let d = normalized_distance("train_resnet50_run1", "train_resnet50_run2");
+        assert!(d < 0.1);
+    }
+
+    #[test]
+    fn strips_run_decorations() {
+        assert_eq!(strip_run_suffix("train_resnet50_3"), "train_resnet50");
+        assert_eq!(strip_run_suffix("train_resnet50_run12"), "train_resnet50");
+        assert_eq!(strip_run_suffix("train_resnet50_lr5_7"), "train_resnet50");
+        assert_eq!(strip_run_suffix("train_resnet50"), "train_resnet50");
+        assert_eq!(strip_run_suffix("noxunderscore"), "noxunderscore");
+    }
+
+    #[test]
+    fn buckets_group_resubmissions() {
+        let mut b = NameBuckets::new(0.25);
+        let a1 = b.bucket("train_resnet50_imagenet_1");
+        let a2 = b.bucket("train_resnet50_imagenet_412");
+        let a3 = b.bucket("train_resnet50_imagenet_lr3_9");
+        assert_eq!(a1, a2);
+        assert_eq!(a1, a3);
+        let other = b.bucket("extract_frames_kinetics400_2");
+        assert_ne!(a1, other);
+        assert_eq!(b.num_buckets(), 2);
+    }
+
+    #[test]
+    fn near_names_share_buckets() {
+        let mut b = NameBuckets::new(0.25);
+        let x = b.bucket("train_resnet50_imagenet");
+        let y = b.bucket("train_resnet56_imagenet"); // 1 edit of 22 chars
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn cache_is_consistent() {
+        let mut b = NameBuckets::new(0.2);
+        let first = b.bucket("eval_bert_base_wmt14_5");
+        for _ in 0..10 {
+            assert_eq!(b.bucket("eval_bert_base_wmt14_5"), first);
+        }
+    }
+}

@@ -1,0 +1,679 @@
+//! The discrete-event scheduling engine.
+//!
+//! One simulation runs a whole cluster: every VC has its own FIFO-ordered
+//! (or priority-ordered) queue and its own node pool, exactly like the
+//! production Slurm setup the paper describes (§2.1): gang allocation, no
+//! over-subscription, strict head-of-line blocking unless backfill is
+//! enabled, and optional SRTF preemption for the oracle baseline.
+
+use crate::job::{JobOutcome, SimJob};
+use crate::pool::{Allocation, NodePool, Placement};
+use helios_trace::ClusterSpec;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Arrival order (production default; Table 3 baseline).
+    Fifo,
+    /// Shortest-Job-First on the ground-truth duration (oracle,
+    /// non-preemptive upper bound).
+    Sjf,
+    /// Shortest-Remaining-Time-First with free preemption (oracle,
+    /// preemptive upper bound).
+    Srtf,
+    /// Order by the externally-supplied `SimJob::priority` score
+    /// (QSSF: predicted GPU time; lower runs first).
+    Priority,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    pub policy: Policy,
+    pub placement: Placement,
+    /// EASY backfill: jobs behind a blocked head may run if they fit and
+    /// (by their duration estimate) finish before the head's shadow time.
+    /// The paper leaves backfill to future work (§4.2.3) — this is the
+    /// ablation knob.
+    pub backfill: bool,
+    /// When set, record the cluster-wide busy-node average per bin of this
+    /// width (drives the CES experiments).
+    pub occupancy_bin: Option<i64>,
+}
+
+impl SimConfig {
+    /// Paper-default configuration for a policy.
+    pub fn new(policy: Policy) -> Self {
+        SimConfig {
+            policy,
+            placement: Placement::Consolidate,
+            backfill: false,
+            occupancy_bin: None,
+        }
+    }
+}
+
+/// Simulation output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// One outcome per input job, in input order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Average busy nodes per occupancy bin (if requested).
+    pub occupancy: Vec<f64>,
+    /// Start of the occupancy series.
+    pub occupancy_t0: i64,
+}
+
+/// Totally-ordered f64 key for queue ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key(f64, u64);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+#[derive(Debug)]
+struct JobState {
+    job: SimJob,
+    remaining: i64,
+    started_at: Option<i64>,
+    first_start: Option<i64>,
+    alloc: Option<Allocation>,
+    epoch: u32,
+    preemptions: u32,
+    end: Option<i64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    // Finishes release resources before same-instant arrivals queue.
+    Finish { idx: usize, epoch: u32 },
+    Arrive { idx: usize },
+}
+
+struct VcState {
+    pool: NodePool,
+    queue: BinaryHeap<Reverse<(Key, usize)>>,
+    running: Vec<usize>,
+}
+
+/// Piecewise-exact busy-node accumulator.
+struct OccupancyTracker {
+    bin: i64,
+    t0: i64,
+    last_t: i64,
+    acc: Vec<f64>,
+}
+
+impl OccupancyTracker {
+    fn new(bin: i64, t0: i64) -> Self {
+        OccupancyTracker {
+            bin,
+            t0,
+            last_t: t0,
+            acc: Vec::new(),
+        }
+    }
+
+    /// Add `busy` nodes over `[self.last_t, t)`.
+    fn advance(&mut self, t: i64, busy: f64) {
+        let mut cur = self.last_t;
+        while cur < t {
+            let bin_idx = ((cur - self.t0) / self.bin) as usize;
+            if self.acc.len() <= bin_idx {
+                self.acc.resize(bin_idx + 1, 0.0);
+            }
+            let bin_end = self.t0 + (bin_idx as i64 + 1) * self.bin;
+            let upto = bin_end.min(t);
+            self.acc[bin_idx] += busy * (upto - cur) as f64;
+            cur = upto;
+        }
+        self.last_t = t;
+    }
+
+    fn finish(self) -> Vec<f64> {
+        self.acc.into_iter().map(|a| a / self.bin as f64).collect()
+    }
+}
+
+/// Run one simulation.
+pub fn simulate(spec: &ClusterSpec, jobs: &[SimJob], cfg: &SimConfig) -> SimResult {
+    let mut states: Vec<JobState> = jobs
+        .iter()
+        .map(|&job| JobState {
+            job,
+            remaining: job.duration.max(1),
+            started_at: None,
+            first_start: None,
+            alloc: None,
+            epoch: 0,
+            preemptions: 0,
+            end: None,
+        })
+        .collect();
+
+    let mut vcs: Vec<VcState> = spec
+        .vcs
+        .iter()
+        .map(|vc| VcState {
+            pool: NodePool::new(vc.nodes, spec.gpus_per_node),
+            queue: BinaryHeap::new(),
+            running: Vec::new(),
+        })
+        .collect();
+
+    let mut events: BinaryHeap<Reverse<(i64, EventKind)>> = BinaryHeap::new();
+    for (idx, s) in states.iter().enumerate() {
+        events.push(Reverse((s.job.submit, EventKind::Arrive { idx })));
+    }
+
+    let t_start = jobs.iter().map(|j| j.submit).min().unwrap_or(0);
+    let mut tracker = cfg
+        .occupancy_bin
+        .map(|bin| OccupancyTracker::new(bin, t_start));
+
+    let queue_key = |policy: Policy, s: &JobState| -> Key {
+        match policy {
+            Policy::Fifo => Key(s.job.submit as f64, s.job.id),
+            Policy::Sjf => Key(s.job.duration as f64, s.job.id),
+            Policy::Srtf => Key(s.remaining as f64, s.job.id),
+            Policy::Priority => Key(s.job.priority, s.job.id),
+        }
+    };
+
+    while let Some(Reverse((now, kind))) = events.pop() {
+        if let Some(tr) = tracker.as_mut() {
+            let busy: f64 = vcs.iter().map(|v| v.pool.busy_nodes() as f64).sum();
+            tr.advance(now, busy);
+        }
+        let touched_vc = match kind {
+            EventKind::Finish { idx, epoch } => {
+                if states[idx].epoch != epoch || states[idx].end.is_some() {
+                    continue; // stale (preempted) or already done
+                }
+                let s = &mut states[idx];
+                s.end = Some(now);
+                s.remaining = 0;
+                let vc = s.job.vc as usize;
+                let alloc = s.alloc.take().expect("finishing job without allocation");
+                vcs[vc].pool.release(&alloc);
+                vcs[vc].running.retain(|&r| r != idx);
+                vc
+            }
+            EventKind::Arrive { idx } => {
+                let vc = states[idx].job.vc as usize;
+                let key = queue_key(cfg.policy, &states[idx]);
+                vcs[vc].queue.push(Reverse((key, idx)));
+                vc
+            }
+        };
+        schedule_vc(
+            touched_vc,
+            now,
+            cfg,
+            &mut vcs,
+            &mut states,
+            &mut events,
+            &queue_key,
+        );
+    }
+
+    let occupancy_t0 = t_start;
+    let occupancy = tracker.map(|t| t.finish()).unwrap_or_default();
+    let outcomes = states
+        .iter()
+        .map(|s| JobOutcome {
+            id: s.job.id,
+            vc: s.job.vc,
+            gpus: s.job.gpus,
+            submit: s.job.submit,
+            start: s.first_start.expect("job never started"),
+            end: s.end.expect("job never finished"),
+            duration: s.job.duration.max(1),
+            preemptions: s.preemptions,
+        })
+        .collect();
+    SimResult {
+        outcomes,
+        occupancy,
+        occupancy_t0,
+    }
+}
+
+/// Start `idx` on `alloc` at `now` and schedule its finish event.
+fn start_job(
+    idx: usize,
+    alloc: Allocation,
+    now: i64,
+    states: &mut [JobState],
+    vcs: &mut [VcState],
+    events: &mut BinaryHeap<Reverse<(i64, EventKind)>>,
+) {
+    let s = &mut states[idx];
+    s.alloc = Some(alloc);
+    s.started_at = Some(now);
+    s.first_start.get_or_insert(now);
+    s.epoch += 1;
+    let epoch = s.epoch;
+    let vc = s.job.vc as usize;
+    vcs[vc].running.push(idx);
+    events.push(Reverse((
+        now + s.remaining,
+        EventKind::Finish { idx, epoch },
+    )));
+}
+
+#[allow(clippy::too_many_arguments)]
+fn schedule_vc(
+    vc: usize,
+    now: i64,
+    cfg: &SimConfig,
+    vcs: &mut Vec<VcState>,
+    states: &mut Vec<JobState>,
+    events: &mut BinaryHeap<Reverse<(i64, EventKind)>>,
+    queue_key: &dyn Fn(Policy, &JobState) -> Key,
+) {
+    loop {
+        let Some(&Reverse((_, head))) = vcs[vc].queue.peek() else {
+            return;
+        };
+        let g = states[head].job.gpus;
+        if let Some(alloc) = vcs[vc].pool.try_place(g, cfg.placement) {
+            vcs[vc].queue.pop();
+            start_job(head, alloc, now, states, vcs, events);
+            continue;
+        }
+        // Head blocked.
+        if cfg.policy == Policy::Srtf {
+            if try_preempt_for(head, vc, now, cfg, vcs, states, events, queue_key) {
+                continue;
+            }
+            return;
+        }
+        if cfg.backfill {
+            backfill(vc, now, cfg, vcs, states, events);
+        }
+        return;
+    }
+}
+
+/// SRTF preemption: free GPUs by preempting running jobs with strictly
+/// larger remaining time than the queue head (largest-remaining first).
+/// Returns true if the head could be placed.
+#[allow(clippy::too_many_arguments)]
+fn try_preempt_for(
+    head: usize,
+    vc: usize,
+    now: i64,
+    cfg: &SimConfig,
+    vcs: &mut Vec<VcState>,
+    states: &mut Vec<JobState>,
+    events: &mut BinaryHeap<Reverse<(i64, EventKind)>>,
+    queue_key: &dyn Fn(Policy, &JobState) -> Key,
+) -> bool {
+    let head_remaining = states[head].remaining;
+    // Victims: running jobs with remaining (as of now) > head_remaining,
+    // largest first.
+    let mut victims: Vec<(i64, usize)> = vcs[vc]
+        .running
+        .iter()
+        .map(|&idx| {
+            let s = &states[idx];
+            let elapsed = now - s.started_at.unwrap();
+            (s.remaining - elapsed, idx)
+        })
+        .filter(|&(rem, _)| rem > head_remaining)
+        .collect();
+    victims.sort_by_key(|&(rem, idx)| (Reverse(rem), idx));
+
+    // Dry-run on a pool clone: how many victims must go?
+    let mut trial = vcs[vc].pool.clone();
+    let mut needed = Vec::new();
+    let g = states[head].job.gpus;
+    if trial.try_place(g, cfg.placement).is_none() {
+        let mut placed = false;
+        for &(_, idx) in &victims {
+            trial.release(states[idx].alloc.as_ref().unwrap());
+            needed.push(idx);
+            if trial.try_place(g, cfg.placement).is_some() {
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return false;
+        }
+    }
+    // Apply: preempt the needed victims for real.
+    for idx in needed {
+        let s = &mut states[idx];
+        let elapsed = now - s.started_at.take().unwrap();
+        s.remaining -= elapsed;
+        debug_assert!(s.remaining > 0);
+        s.epoch += 1; // invalidate the in-flight finish event
+        s.preemptions += 1;
+        let alloc = s.alloc.take().unwrap();
+        vcs[vc].pool.release(&alloc);
+        vcs[vc].running.retain(|&r| r != idx);
+        let key = queue_key(cfg.policy, &states[idx]);
+        vcs[vc].queue.push(Reverse((key, idx)));
+    }
+    let alloc = vcs[vc]
+        .pool
+        .try_place(g, cfg.placement)
+        .expect("dry-run guaranteed placement");
+    // Pop the head (it is the top of the queue by construction).
+    let Some(Reverse((_, popped))) = vcs[vc].queue.pop() else {
+        unreachable!()
+    };
+    debug_assert_eq!(popped, head);
+    start_job(head, alloc, now, states, vcs, events);
+    true
+}
+
+/// Maximum queue positions scanned for backfill candidates.
+const BACKFILL_SCAN: usize = 64;
+
+/// EASY backfill: compute the blocked head's shadow start time from the
+/// running jobs' completion times, then start later-queued jobs that fit
+/// now and (by their ground-truth duration) finish before the shadow time.
+fn backfill(
+    vc: usize,
+    now: i64,
+    cfg: &SimConfig,
+    vcs: &mut Vec<VcState>,
+    states: &mut Vec<JobState>,
+    events: &mut BinaryHeap<Reverse<(i64, EventKind)>>,
+) {
+    let Some(&Reverse((_, head))) = vcs[vc].queue.peek() else {
+        return;
+    };
+    // Shadow time: release running jobs in end order on a clone until the
+    // head fits.
+    let mut trial = vcs[vc].pool.clone();
+    let head_g = states[head].job.gpus;
+    let mut ends: Vec<(i64, usize)> = vcs[vc]
+        .running
+        .iter()
+        .map(|&idx| {
+            let s = &states[idx];
+            (s.started_at.unwrap() + s.remaining, idx)
+        })
+        .collect();
+    ends.sort_unstable();
+    let mut shadow = i64::MAX;
+    for &(end, idx) in &ends {
+        trial.release(states[idx].alloc.as_ref().unwrap());
+        if trial.try_place(head_g, cfg.placement).is_some() {
+            shadow = end;
+            break;
+        }
+    }
+    if shadow == i64::MAX {
+        return; // head can never start: nothing safe to backfill
+    }
+    // Scan the queue (in priority order) for safe candidates.
+    let mut rest: Vec<Reverse<(Key, usize)>> = Vec::new();
+    let mut scanned = 0;
+    let mut started_any = false;
+    let mut skipped_head = false;
+    while let Some(entry) = vcs[vc].queue.pop() {
+        let Reverse((key, idx)) = entry;
+        if !skipped_head {
+            // Keep the head aside; it stays first in the queue.
+            skipped_head = true;
+            rest.push(Reverse((key, idx)));
+            continue;
+        }
+        scanned += 1;
+        let fits_time = now + states[idx].remaining <= shadow;
+        if fits_time && scanned <= BACKFILL_SCAN {
+            if let Some(alloc) = vcs[vc].pool.try_place(states[idx].job.gpus, cfg.placement) {
+                start_job(idx, alloc, now, states, vcs, events);
+                started_any = true;
+                continue;
+            }
+        }
+        rest.push(Reverse((key, idx)));
+        if scanned >= BACKFILL_SCAN {
+            break;
+        }
+    }
+    for e in rest {
+        vcs[vc].queue.push(e);
+    }
+    let _ = started_any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_trace::{ClusterSpec, GpuModel, VcSpec};
+
+    fn spec(nodes: u32) -> ClusterSpec {
+        ClusterSpec {
+            id: helios_trace::ClusterId::Venus,
+            nodes,
+            gpus_per_node: 8,
+            cpu_threads_per_node: 48,
+            ram_gb_per_node: 376,
+            network: "IB",
+            gpu_model: GpuModel::Volta,
+            vcs: vec![VcSpec {
+                id: 0,
+                name: "vc000".into(),
+                nodes,
+            }],
+        }
+    }
+
+    fn job(id: u64, gpus: u32, submit: i64, duration: i64) -> SimJob {
+        SimJob {
+            id,
+            vc: 0,
+            gpus,
+            submit,
+            duration,
+            priority: duration as f64 * gpus as f64,
+        }
+    }
+
+    fn run(policy: Policy, jobs: &[SimJob]) -> Vec<JobOutcome> {
+        simulate(&spec(1), jobs, &SimConfig::new(policy)).outcomes
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival() {
+        let jobs = vec![job(0, 8, 0, 1_000), job(1, 8, 10, 10), job(2, 8, 20, 10)];
+        let o = run(Policy::Fifo, &jobs);
+        assert_eq!(o[0].start, 0);
+        assert_eq!(o[1].start, 1_000);
+        assert_eq!(o[2].start, 1_010);
+    }
+
+    #[test]
+    fn sjf_prefers_short_jobs() {
+        // Long job arrives second but before the queue drains.
+        let jobs = vec![
+            job(0, 8, 0, 1_000),
+            job(1, 8, 5, 5_000), // long
+            job(2, 8, 10, 10),   // short, should jump ahead of job 1
+        ];
+        let o = run(Policy::Sjf, &jobs);
+        assert_eq!(o[2].start, 1_000);
+        assert_eq!(o[1].start, 1_010);
+    }
+
+    #[test]
+    fn priority_policy_uses_scores() {
+        let mut jobs = vec![
+            job(0, 8, 0, 1_000),
+            job(1, 8, 5, 10),
+            job(2, 8, 10, 10),
+        ];
+        // Force job 2 ahead of job 1 via priority.
+        jobs[1].priority = 100.0;
+        jobs[2].priority = 1.0;
+        let o = run(Policy::Priority, &jobs);
+        assert!(o[2].start < o[1].start);
+    }
+
+    #[test]
+    fn srtf_preempts_long_running_job() {
+        let jobs = vec![
+            job(0, 8, 0, 10_000), // long, starts immediately
+            job(1, 8, 100, 50),   // short: preempts job 0
+        ];
+        let o = run(Policy::Srtf, &jobs);
+        assert_eq!(o[1].start, 100);
+        assert_eq!(o[1].end, 150);
+        // Job 0: ran 100s, preempted, resumes at 150, finishes at 10 050.
+        assert_eq!(o[0].end, 10_050);
+        assert_eq!(o[0].preemptions, 1);
+        assert_eq!(o[0].queue_delay(), 50);
+    }
+
+    #[test]
+    fn srtf_does_not_preempt_shorter_jobs() {
+        let jobs = vec![
+            job(0, 8, 0, 100),    // short runner
+            job(1, 8, 10, 5_000), // long arrival must wait
+        ];
+        let o = run(Policy::Srtf, &jobs);
+        assert_eq!(o[0].end, 100);
+        assert_eq!(o[0].preemptions, 0);
+        assert_eq!(o[1].start, 100);
+    }
+
+    #[test]
+    fn gang_scheduling_no_partial_start() {
+        // 2-node cluster; a 16-GPU job must wait for both nodes.
+        let jobs = vec![
+            SimJob {
+                id: 0,
+                vc: 0,
+                gpus: 4,
+                submit: 0,
+                duration: 500,
+                priority: 0.0,
+            },
+            SimJob {
+                id: 1,
+                vc: 0,
+                gpus: 16,
+                submit: 10,
+                duration: 100,
+                priority: 1.0,
+            },
+        ];
+        let r = simulate(&spec(2), &jobs, &SimConfig::new(Policy::Fifo));
+        assert_eq!(r.outcomes[1].start, 500, "16-GPU job needs 2 free nodes");
+    }
+
+    #[test]
+    fn head_of_line_blocks_without_backfill() {
+        let jobs = vec![
+            job(0, 6, 0, 1_000),
+            job(1, 4, 10, 10), // blocked head (needs 4, only 2 free)
+            job(2, 2, 20, 10), // would fit, but FIFO blocks
+        ];
+        let o = run(Policy::Fifo, &jobs);
+        assert_eq!(o[2].start, 1_000);
+    }
+
+    #[test]
+    fn backfill_fills_the_hole() {
+        let jobs = vec![
+            job(0, 6, 0, 1_000),
+            job(1, 4, 10, 2_000), // blocked head; shadow = 1000
+            job(2, 2, 20, 100),   // fits now and ends (120) before shadow
+        ];
+        let mut cfg = SimConfig::new(Policy::Fifo);
+        cfg.backfill = true;
+        let o = simulate(&spec(1), &jobs, &cfg).outcomes;
+        assert_eq!(o[2].start, 20, "backfill should start job 2 immediately");
+        // Head must not be delayed by the backfilled job.
+        assert_eq!(o[1].start, 1_000);
+    }
+
+    #[test]
+    fn backfill_never_delays_the_head() {
+        let jobs = vec![
+            job(0, 6, 0, 1_000),
+            job(1, 4, 10, 2_000),  // blocked head; shadow = 1000
+            job(2, 2, 20, 50_000), // fits now but would overrun the shadow
+        ];
+        let mut cfg = SimConfig::new(Policy::Fifo);
+        cfg.backfill = true;
+        let o = simulate(&spec(1), &jobs, &cfg).outcomes;
+        assert_eq!(o[1].start, 1_000);
+        assert!(o[2].start >= 1_000, "long job must not backfill");
+    }
+
+    #[test]
+    fn occupancy_tracking() {
+        let jobs = vec![job(0, 8, 0, 100), job(1, 8, 200, 100)];
+        let mut cfg = SimConfig::new(Policy::Fifo);
+        cfg.occupancy_bin = Some(100);
+        let r = simulate(&spec(1), &jobs, &cfg);
+        // Bin 0: 1 node busy; bin 1: idle; bin 2: busy again (the final
+        // event closes the series at t=300).
+        assert!(r.occupancy[0] > 0.9);
+        assert!(r.occupancy[1] < 0.1);
+    }
+
+    #[test]
+    fn conservation_all_jobs_finish_once() {
+        // Stress: many random-ish jobs; everyone terminates exactly once
+        // and capacity is never exceeded (checked via an event sweep).
+        let jobs: Vec<SimJob> = (0..500)
+            .map(|i| {
+                job(
+                    i,
+                    [1, 2, 4, 8, 16][(i % 5) as usize],
+                    (i as i64 * 97) % 10_000,
+                    1 + (i as i64 * 131) % 2_000,
+                )
+            })
+            .collect();
+        let mut sorted = jobs.clone();
+        sorted.sort_by_key(|j| j.submit);
+        for policy in [Policy::Fifo, Policy::Sjf, Policy::Srtf, Policy::Priority] {
+            let o = simulate(&spec(3), &sorted, &SimConfig::new(policy)).outcomes;
+            assert_eq!(o.len(), sorted.len());
+            let mut events: Vec<(i64, i64)> = Vec::new();
+            for (out, j) in o.iter().zip(&sorted) {
+                assert!(out.start >= j.submit, "{policy:?}");
+                assert!(out.end >= out.start + j.duration, "{policy:?}");
+                if policy != Policy::Srtf {
+                    assert_eq!(out.end - out.start, j.duration, "{policy:?}");
+                    events.push((out.start, j.gpus as i64));
+                    events.push((out.end, -(j.gpus as i64)));
+                }
+            }
+            if policy != Policy::Srtf {
+                events.sort();
+                let mut load = 0;
+                for (_, d) in events {
+                    load += d;
+                    assert!(load <= 24, "{policy:?}: capacity exceeded ({load})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # helios-sim
+//!
+//! Trace-driven discrete-event simulator for a multi-VC GPU cluster — the
+//! evaluation substrate of the paper's QSSF service (§4.2.3): gang
+//! scheduling, exclusive allocation, ConsolidateAllocate placement, strict
+//! per-VC queues, and the four policies of Fig. 11 (FIFO, oracle SJF,
+//! oracle preemptive SRTF, and externally-scored Priority for QSSF), plus
+//! optional EASY backfill (the paper's stated future work).
+//!
+//! ```
+//! use helios_sim::{simulate, SimConfig, Policy, SimJob};
+//! use helios_trace::venus;
+//!
+//! let spec = venus();
+//! let jobs = vec![SimJob { id: 0, vc: 0, gpus: 8, submit: 0, duration: 60, priority: 1.0 }];
+//! let result = simulate(&spec, &jobs, &SimConfig::new(Policy::Fifo));
+//! assert_eq!(result.outcomes[0].start, 0);
+//! ```
+
+pub mod engine;
+pub mod job;
+pub mod metrics;
+pub mod pool;
+
+pub use engine::{simulate, Policy, SimConfig, SimResult};
+pub use job::{jobs_from_trace, JobOutcome, SimJob};
+pub use metrics::{
+    group_delay_ratios, jct_samples, per_vc_queue_delay, queue_delay_by_group, schedule_stats,
+    ScheduleStats, DURATION_GROUPS, QUEUED_THRESHOLD_SECS,
+};
+pub use pool::{Allocation, NodePool, Placement};

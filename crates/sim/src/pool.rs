@@ -1,0 +1,231 @@
+//! Node pools and gang placement.
+//!
+//! Helios allocates exclusively and gang-schedules: a job takes all its
+//! GPUs at once or waits (§1). Placement follows the ConsolidateAllocate
+//! policy (§4.2.2): pack each job into as few nodes as possible; multi-node
+//! jobs take whole nodes ("a 16-GPU job needs to wait for two compute nodes
+//! with 8 idle GPUs"). A `Scatter` variant (spread across emptiest nodes)
+//! models Philly-style relaxed locality for the energy experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Paper default: best-fit, fewest nodes (reduces fragmentation and
+    /// communication overhead).
+    Consolidate,
+    /// Worst-fit: single-node jobs go to the emptiest node (Philly-style
+    /// relaxed locality; raises node occupancy).
+    Scatter,
+}
+
+/// GPUs assigned on one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// (node index, GPUs taken) pairs.
+    pub slices: Vec<(u32, u32)>,
+}
+
+impl Allocation {
+    /// Total GPUs in this allocation.
+    pub fn gpus(&self) -> u32 {
+        self.slices.iter().map(|s| s.1).sum()
+    }
+}
+
+/// One VC's nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodePool {
+    gpus_per_node: u32,
+    free: Vec<u32>,
+}
+
+impl NodePool {
+    /// A pool of `nodes` identical nodes.
+    pub fn new(nodes: u32, gpus_per_node: u32) -> Self {
+        assert!(gpus_per_node > 0);
+        NodePool {
+            gpus_per_node,
+            free: vec![gpus_per_node; nodes as usize],
+        }
+    }
+
+    /// Total free GPUs.
+    pub fn free_gpus(&self) -> u32 {
+        self.free.iter().sum()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u32 {
+        self.gpus_per_node * self.free.len() as u32
+    }
+
+    /// Number of nodes with at least one busy GPU.
+    pub fn busy_nodes(&self) -> u32 {
+        self.free
+            .iter()
+            .filter(|&&f| f < self.gpus_per_node)
+            .count() as u32
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Try to place a `g`-GPU job; returns the allocation or `None` if it
+    /// does not fit under gang semantics.
+    pub fn try_place(&mut self, g: u32, placement: Placement) -> Option<Allocation> {
+        assert!(g >= 1);
+        if g < self.gpus_per_node {
+            // Single-node job.
+            let candidate = match placement {
+                Placement::Consolidate => self
+                    .free
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &f)| f >= g)
+                    .min_by_key(|(_, &f)| f),
+                Placement::Scatter => self
+                    .free
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &f)| f >= g)
+                    .max_by_key(|(_, &f)| f),
+            };
+            let (idx, _) = candidate?;
+            self.free[idx] -= g;
+            return Some(Allocation {
+                slices: vec![(idx as u32, g)],
+            });
+        }
+        // Multi-node (or exactly one full node): whole nodes + remainder.
+        let full_nodes = (g / self.gpus_per_node) as usize;
+        let rem = g % self.gpus_per_node;
+        let empty: Vec<usize> = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f == self.gpus_per_node)
+            .map(|(i, _)| i)
+            .collect();
+        if empty.len() < full_nodes {
+            return None;
+        }
+        let mut slices: Vec<(u32, u32)> = empty[..full_nodes]
+            .iter()
+            .map(|&i| (i as u32, self.gpus_per_node))
+            .collect();
+        if rem > 0 {
+            // Remainder slice on a non-chosen node (best fit).
+            let chosen: Vec<usize> = empty[..full_nodes].to_vec();
+            let candidate = self
+                .free
+                .iter()
+                .enumerate()
+                .filter(|(i, &f)| f >= rem && !chosen.contains(i))
+                .min_by_key(|(_, &f)| f);
+            let Some((idx, _)) = candidate else {
+                return None;
+            };
+            slices.push((idx as u32, rem));
+        }
+        for &(i, g) in &slices {
+            self.free[i as usize] -= g;
+        }
+        Some(Allocation { slices })
+    }
+
+    /// Release a previous allocation.
+    pub fn release(&mut self, alloc: &Allocation) {
+        for &(i, g) in &alloc.slices {
+            self.free[i as usize] += g;
+            assert!(
+                self.free[i as usize] <= self.gpus_per_node,
+                "double release on node {i}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consolidate_prefers_fullest_node() {
+        let mut p = NodePool::new(2, 8);
+        // Occupy 6 GPUs on node 0.
+        let a = p.try_place(6, Placement::Consolidate).unwrap();
+        assert_eq!(a.slices, vec![(0, 6)]);
+        // A 2-GPU job should pack into node 0 (2 free), not node 1.
+        let b = p.try_place(2, Placement::Consolidate).unwrap();
+        assert_eq!(b.slices, vec![(0, 2)]);
+        assert_eq!(p.free_gpus(), 8);
+    }
+
+    #[test]
+    fn scatter_prefers_emptiest_node() {
+        let mut p = NodePool::new(2, 8);
+        let _ = p.try_place(6, Placement::Consolidate).unwrap();
+        let b = p.try_place(2, Placement::Scatter).unwrap();
+        assert_eq!(b.slices, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn multi_node_needs_full_nodes() {
+        let mut p = NodePool::new(3, 8);
+        // Fragment node 0.
+        let _ = p.try_place(1, Placement::Consolidate).unwrap();
+        // 16 GPUs need two fully-free nodes: nodes 1 and 2.
+        let a = p.try_place(16, Placement::Consolidate).unwrap();
+        assert_eq!(a.gpus(), 16);
+        assert!(a.slices.iter().all(|&(n, g)| g == 8 && n != 0));
+        // Another 16-GPU job cannot fit even though 7 GPUs are free.
+        assert!(p.try_place(16, Placement::Consolidate).is_none());
+    }
+
+    #[test]
+    fn multi_node_with_remainder() {
+        let mut p = NodePool::new(3, 8);
+        let a = p.try_place(12, Placement::Consolidate).unwrap();
+        assert_eq!(a.gpus(), 12);
+        // One full node + a 4-GPU slice elsewhere.
+        let full: Vec<_> = a.slices.iter().filter(|s| s.1 == 8).collect();
+        let rem: Vec<_> = a.slices.iter().filter(|s| s.1 == 4).collect();
+        assert_eq!(full.len(), 1);
+        assert_eq!(rem.len(), 1);
+        assert_ne!(full[0].0, rem[0].0);
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut p = NodePool::new(2, 8);
+        let a = p.try_place(16, Placement::Consolidate).unwrap();
+        assert_eq!(p.free_gpus(), 0);
+        assert_eq!(p.busy_nodes(), 2);
+        p.release(&a);
+        assert_eq!(p.free_gpus(), 16);
+        assert_eq!(p.busy_nodes(), 0);
+    }
+
+    #[test]
+    fn exact_full_node_takes_whole_node() {
+        let mut p = NodePool::new(2, 8);
+        let _ = p.try_place(3, Placement::Consolidate).unwrap(); // node 0: 5 free
+        let a = p.try_place(8, Placement::Consolidate).unwrap();
+        assert_eq!(a.slices, vec![(1, 8)]);
+        // No more full nodes.
+        assert!(p.try_place(8, Placement::Consolidate).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_detected() {
+        let mut p = NodePool::new(1, 8);
+        let a = p.try_place(4, Placement::Consolidate).unwrap();
+        p.release(&a);
+        p.release(&a);
+    }
+}

@@ -1,0 +1,257 @@
+//! Minimal distribution toolbox for workload synthesis.
+//!
+//! Implements exactly the samplers the generator needs (normal via
+//! Box–Muller, log-normal, exponential, Zipf-like discrete weights) on top of
+//! the `rand` core traits, so the workspace does not need `rand_distr`.
+
+use rand::Rng;
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal distribution with mean `mu` and standard deviation `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution; `sigma` must be non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be >= 0");
+        Normal { mu, sigma }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution parameterised by the underlying normal.
+///
+/// `median = exp(mu)`, `mean = exp(mu + sigma^2 / 2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// From underlying-normal parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be >= 0");
+        LogNormal { mu, sigma }
+    }
+
+    /// Convenience constructor from the distribution median.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be > 0");
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Analytic mean `exp(mu + sigma^2/2)`; used by the generator to
+    /// calibrate offered load without Monte-Carlo.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    /// Analytic median `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// Return a copy whose mean is scaled by `k` (shifts `mu` by `ln k`).
+    pub fn scaled(&self, k: f64) -> Self {
+        assert!(k > 0.0, "scale must be > 0");
+        LogNormal::new(self.mu + k.ln(), self.sigma)
+    }
+}
+
+/// Exponential distribution with the given mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    pub mean: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution with mean `mean` (> 0).
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0, "mean must be > 0");
+        Exponential { mean }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -self.mean * u.ln()
+    }
+}
+
+/// Discrete distribution over `0..weights.len()` via cumulative weights and
+/// binary search. Used for template/user/GPU-count selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discrete {
+    cumulative: Vec<f64>,
+}
+
+impl Discrete {
+    /// Build from non-negative weights (at least one must be positive).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and >= 0");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "total weight must be positive");
+        Discrete { cumulative }
+    }
+
+    /// Draw one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.gen::<f64>() * total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there are no categories (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability of category `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().unwrap();
+        let lo = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - lo) / total
+    }
+}
+
+/// Zipf weights `w_i = 1 / (i + 1)^alpha` for `n` ranks; the classic model
+/// for skewed user activity ("top 5% of users occupy 90% of CPU time", §3.3).
+pub fn zipf_weights(n: usize, alpha: f64) -> Vec<f64> {
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect()
+}
+
+/// Uniform draw in `[lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let d = Normal::new(5.0, 2.0);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_median_and_mean() {
+        let mut r = rng();
+        let d = LogNormal::from_median(200.0, 1.0);
+        assert!((d.median() - 200.0).abs() < 1e-9);
+        let n = 60_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = samples[n / 2];
+        assert!((med / 200.0 - 1.0).abs() < 0.05, "median={med}");
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean / d.mean() - 1.0).abs() < 0.1, "mean={mean} vs {}", d.mean());
+    }
+
+    #[test]
+    fn lognormal_scaling_scales_mean() {
+        let d = LogNormal::from_median(100.0, 1.5);
+        let s = d.scaled(3.0);
+        assert!((s.mean() / d.mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let d = Exponential::new(30.0);
+        let n = 50_000;
+        let mean = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean / 30.0 - 1.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn discrete_probabilities_respected() {
+        let mut r = rng();
+        let d = Discrete::new(&[1.0, 3.0, 6.0]);
+        let n = 60_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[d.sample(&mut r)] += 1;
+        }
+        let p: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((p[0] - 0.1).abs() < 0.01);
+        assert!((p[1] - 0.3).abs() < 0.015);
+        assert!((p[2] - 0.6).abs() < 0.015);
+        assert!((d.probability(2) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_zero_weight_categories_never_sampled() {
+        let mut r = rng();
+        let d = Discrete::new(&[0.0, 1.0, 0.0]);
+        for _ in 0..1_000 {
+            assert_eq!(d.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn zipf_is_decreasing_and_skewed() {
+        let w = zipf_weights(100, 1.2);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+        let total: f64 = w.iter().sum();
+        let top5: f64 = w.iter().take(5).sum();
+        assert!(top5 / total > 0.4, "zipf top-5 share = {}", top5 / total);
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight must be positive")]
+    fn discrete_rejects_all_zero() {
+        Discrete::new(&[0.0, 0.0]);
+    }
+}

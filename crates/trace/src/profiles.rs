@@ -1,0 +1,213 @@
+//! Temporal intensity profiles for job submissions.
+//!
+//! §3.1.1 (Fig. 2) reports clear daily submission patterns: a trough at
+//! night, dips around 12pm (lunch) and 6pm (dinner); §3.1.2 (Fig. 3) reports
+//! fluctuating single-GPU submissions but stable multi-GPU submissions month
+//! over month. These shapes are encoded here as multiplicative weights over
+//! (hour-of-day × weekday × month), and sampled by inversion.
+
+use crate::dist::Discrete;
+use crate::time::{Calendar, SECS_PER_DAY, SECS_PER_HOUR};
+use rand::Rng;
+
+/// Relative submission intensity per hour of day (0..24). Calibrated to the
+/// Fig. 2(b) shape: minimum ~4–7 am, local dips at 12pm and 6–7pm, peaks in
+/// late morning and afternoon, with a substantial evening shoulder (DL
+/// researchers keep submitting until midnight).
+pub const DIURNAL_SUBMIT: [f64; 24] = [
+    0.55, 0.40, 0.30, 0.24, 0.20, 0.20, 0.24, 0.34, // 0-7: night trough
+    0.55, 0.85, 1.00, 0.98, 0.72, 0.90, 1.00, 1.02, // 8-15: morning peak, lunch dip
+    1.00, 0.95, 0.70, 0.80, 0.92, 0.90, 0.80, 0.68, // 16-23: dinner dip, evening
+];
+
+/// Relative intensity per weekday (Monday = 0). Weekends are quieter but far
+/// from idle (training runs are launched before the weekend too).
+pub const WEEKLY_SUBMIT: [f64; 7] = [1.0, 1.02, 1.0, 0.98, 0.95, 0.72, 0.66];
+
+/// Intensity multiplier on public holidays.
+pub const HOLIDAY_FACTOR: f64 = 0.55;
+
+/// A complete submission-time sampler over one trace calendar.
+///
+/// The profile factorises as
+/// `w(t) = monthly[m(t)] * weekly[wd(t)] * diurnal[h(t)] * holiday(t)`,
+/// and sampling draws day-of-trace from the per-day weights, then
+/// hour-of-day, then a uniform offset inside the hour.
+#[derive(Debug, Clone)]
+pub struct SubmissionProfile {
+    day_picker: Discrete,
+    hour_picker_work: Discrete,
+    hour_picker_off: Discrete,
+    day_is_off: Vec<bool>,
+}
+
+impl SubmissionProfile {
+    /// Build a profile for `calendar` with per-month multipliers
+    /// (`monthly.len() == calendar.num_months()`).
+    pub fn new(calendar: &Calendar, monthly: &[f64]) -> Self {
+        assert_eq!(monthly.len(), calendar.num_months());
+        let total_days = calendar.total_days();
+        let mut day_weights = Vec::with_capacity(total_days as usize);
+        let mut day_is_off = Vec::with_capacity(total_days as usize);
+        for d in 0..total_days {
+            let t = d as i64 * SECS_PER_DAY;
+            let m = calendar.month_index(t);
+            let wd = calendar.weekday(t);
+            let mut w = monthly[m] * WEEKLY_SUBMIT[wd.index()];
+            if calendar.is_holiday(t) {
+                w *= HOLIDAY_FACTOR;
+            }
+            day_is_off.push(calendar.is_offday(t));
+            day_weights.push(w);
+        }
+        // Off-days have a flatter hourly shape (no lunch/dinner commute dips).
+        let off_hours: Vec<f64> = DIURNAL_SUBMIT
+            .iter()
+            .map(|&w| 0.35 + 0.65 * w)
+            .collect();
+        SubmissionProfile {
+            day_picker: Discrete::new(&day_weights),
+            hour_picker_work: Discrete::new(&DIURNAL_SUBMIT),
+            hour_picker_off: Discrete::new(&off_hours),
+            day_is_off,
+        }
+    }
+
+    /// Uniform monthly multipliers (used for the stable multi-GPU stream).
+    pub fn flat_monthly(calendar: &Calendar) -> Vec<f64> {
+        vec![1.0; calendar.num_months()]
+    }
+
+    /// Draw one submission timestamp.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        let day = self.day_picker.sample(rng);
+        let hour = if self.day_is_off[day] {
+            self.hour_picker_off.sample(rng)
+        } else {
+            self.hour_picker_work.sample(rng)
+        };
+        day as i64 * SECS_PER_DAY + hour as i64 * SECS_PER_HOUR + rng.gen_range(0..SECS_PER_HOUR)
+    }
+}
+
+/// Fluctuating per-month multipliers for single-GPU jobs (Fig. 3 top: the
+/// single-GPU counts vary dramatically month over month). Deterministic
+/// pseudo-random fluctuation derived from `seed`, in `[0.55, 1.65]`.
+pub fn fluctuating_monthly(num_months: usize, seed: u64) -> Vec<f64> {
+    (0..num_months)
+        .map(|m| {
+            // Simple splitmix-style hash for deterministic variety.
+            let mut x = seed ^ (m as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+            0.55 + 1.1 * u
+        })
+        .collect()
+}
+
+/// Nearly-stable per-month multipliers for multi-GPU jobs (Fig. 3: "All the
+/// clusters have stable submissions of multi-GPU jobs each month").
+pub fn stable_monthly(num_months: usize, seed: u64) -> Vec<f64> {
+    fluctuating_monthly(num_months, seed)
+        .into_iter()
+        .map(|w| 0.95 + 0.1 * (w - 0.55) / 1.1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Calendar;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn sample_hours(monthly: &[f64], n: usize) -> Vec<u32> {
+        let cal = Calendar::helios_2020();
+        let prof = SubmissionProfile::new(&cal, monthly);
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let mut hours = vec![0u32; 24];
+        for _ in 0..n {
+            let t = prof.sample(&mut rng);
+            hours[cal.hour_of_day(t) as usize] += 1;
+        }
+        hours
+    }
+
+    #[test]
+    fn samples_inside_calendar() {
+        let cal = Calendar::helios_2020();
+        let prof = SubmissionProfile::new(&cal, &SubmissionProfile::flat_monthly(&cal));
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let t = prof.sample(&mut rng);
+            assert!(t >= 0 && t < cal.total_seconds());
+        }
+    }
+
+    #[test]
+    fn night_trough_and_meal_dips() {
+        let cal = Calendar::helios_2020();
+        let hours = sample_hours(&SubmissionProfile::flat_monthly(&cal), 120_000);
+        // Night (3-6am) clearly below late morning (10-11am).
+        let night: u32 = hours[3..=6].iter().sum();
+        let morning: u32 = hours[10..=11].iter().sum();
+        // Night hours average well under 60% of peak-morning hours (the
+        // off-day flattening keeps the overall ratio above the pure
+        // workday 0.44).
+        assert!(
+            (night as f64 / 4.0) < 0.6 * (morning as f64 / 2.0),
+            "night={night} morning={morning}"
+        );
+        // Lunch dip: hour 12 below both 11 and 14.
+        assert!(hours[12] < hours[11]);
+        assert!(hours[12] < hours[14]);
+        // Dinner dip: hour 18 below 17 and 20.
+        assert!(hours[18] < hours[17]);
+        assert!(hours[18] < hours[20]);
+    }
+
+    #[test]
+    fn monthly_multipliers_shift_volume() {
+        let cal = Calendar::helios_2020();
+        let mut monthly = vec![1.0; 6];
+        monthly[2] = 3.0; // June tripled.
+        let prof = SubmissionProfile::new(&cal, &monthly);
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let mut per_month = vec![0u32; 6];
+        for _ in 0..60_000 {
+            per_month[cal.month_index(prof.sample(&mut rng))] += 1;
+        }
+        // June (30 days) should receive roughly 3x May's (31 days) count.
+        let ratio = per_month[2] as f64 / per_month[1] as f64;
+        assert!(ratio > 2.3 && ratio < 3.7, "ratio={ratio}");
+    }
+
+    #[test]
+    fn fluctuating_vs_stable_monthly() {
+        let f = fluctuating_monthly(6, 3);
+        let s = stable_monthly(6, 3);
+        let spread = |v: &[f64]| {
+            let max = v.iter().cloned().fold(f64::MIN, f64::max);
+            let min = v.iter().cloned().fold(f64::MAX, f64::min);
+            max / min
+        };
+        assert!(spread(&f) > 1.5, "single-GPU stream must fluctuate");
+        assert!(spread(&s) < 1.15, "multi-GPU stream must be stable");
+        assert_eq!(f, fluctuating_monthly(6, 3), "deterministic");
+    }
+
+    #[test]
+    fn holidays_are_quieter() {
+        let cal = Calendar::helios_2020();
+        let prof = SubmissionProfile::new(&cal, &SubmissionProfile::flat_monthly(&cal));
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        let mut per_day = vec![0u32; cal.total_days() as usize];
+        for _ in 0..400_000 {
+            per_day[cal.day_of_trace(prof.sample(&mut rng)) as usize] += 1;
+        }
+        // May 1 (day 30, holiday) vs April 29 (day 28, Wednesday).
+        assert!((per_day[30] as f64) < 0.8 * per_day[28] as f64);
+    }
+}

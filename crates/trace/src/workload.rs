@@ -1,0 +1,405 @@
+//! Workload profiles: per-cluster calibration targets and per-template-kind
+//! distribution parameters.
+//!
+//! The numbers here are tuned so that the *synthetic* traces reproduce every
+//! marginal statistic the paper publishes for the real traces: job counts
+//! (Table 1), CPU/GPU split and duration moments (Table 2, Fig. 5), GPU-demand
+//! distribution (Fig. 6), final-status ratios (Figs. 1b/7), diurnal/monthly
+//! submission shapes (Figs. 2–3), and the utilization band 65–90% (§3.1.1).
+
+use crate::types::ClusterId;
+use serde::{Deserialize, Serialize};
+
+/// What kind of work a job template performs. Kind determines the GPU-demand
+/// distribution, the duration scale and the status propensities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemplateKind {
+    /// Short single-GPU debugging runs; fail often (Implication #6).
+    Debug,
+    /// Model evaluation / inference validation runs.
+    Eval,
+    /// Single-node training (1–8 GPUs).
+    Train,
+    /// Distributed multi-node training (8–64 GPUs); canceled often
+    /// (feedback-driven early stopping, Fig. 7b).
+    DistTrain,
+    /// Extreme-scale pretraining requests (up to 2 048 GPUs, Table 2);
+    /// exceed any static VC and end canceled.
+    Mega,
+    /// CPU-only data preprocessing (frame extraction, resizing, §2.2).
+    Preprocess,
+    /// CPU-only 1–2 s state-query scripts (dominant in Earth, §3.2.1).
+    Query,
+}
+
+impl TemplateKind {
+    /// True for GPU-consuming kinds.
+    pub fn is_gpu(self) -> bool {
+        !matches!(self, TemplateKind::Preprocess | TemplateKind::Query)
+    }
+}
+
+/// Per-kind distribution parameters.
+///
+/// Template medians are drawn log-normally around `median_of_medians` with
+/// spread `median_sigma` (heterogeneity *across* experiments); individual
+/// jobs then scatter around their template median with `per_job_sigma`
+/// (predictability *within* an experiment — the signal QSSF exploits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindParams {
+    /// Median of template duration-medians, seconds.
+    pub median_of_medians: f64,
+    /// Log-sigma of template medians across templates.
+    pub median_sigma: f64,
+    /// Log-sigma of job durations within a template.
+    pub per_job_sigma: f64,
+    /// GPU-count choices and weights (empty for CPU kinds).
+    pub gpu_choices: Vec<(u32, f64)>,
+    /// Baseline cancellation probability (grows with GPU count, §3.2.2).
+    pub base_cancel: f64,
+    /// Baseline failure probability.
+    pub base_fail: f64,
+}
+
+impl TemplateKind {
+    /// Distribution parameters for this kind.
+    pub fn params(self) -> KindParams {
+        match self {
+            TemplateKind::Debug => KindParams {
+                median_of_medians: 90.0,
+                median_sigma: 0.8,
+                per_job_sigma: 0.7,
+                gpu_choices: vec![(1, 0.9), (2, 0.1)],
+                base_cancel: 0.16,
+                base_fail: 0.34,
+            },
+            TemplateKind::Eval => KindParams {
+                median_of_medians: 320.0,
+                median_sigma: 0.9,
+                per_job_sigma: 0.55,
+                gpu_choices: vec![(1, 0.62), (2, 0.26), (4, 0.12)],
+                base_cancel: 0.09,
+                base_fail: 0.10,
+            },
+            TemplateKind::Train => KindParams {
+                median_of_medians: 4_800.0,
+                median_sigma: 1.1,
+                per_job_sigma: 0.65,
+                gpu_choices: vec![(1, 0.30), (2, 0.25), (4, 0.25), (8, 0.20)],
+                base_cancel: 0.17,
+                base_fail: 0.08,
+            },
+            TemplateKind::DistTrain => KindParams {
+                median_of_medians: 26_000.0,
+                median_sigma: 0.9,
+                per_job_sigma: 0.55,
+                gpu_choices: vec![
+                    (8, 0.42),
+                    (16, 0.32),
+                    (24, 0.08),
+                    (32, 0.12),
+                    (64, 0.05),
+                    (128, 0.01),
+                ],
+                base_cancel: 0.33,
+                base_fail: 0.07,
+            },
+            TemplateKind::Mega => KindParams {
+                median_of_medians: 600.0,
+                median_sigma: 0.8,
+                per_job_sigma: 0.6,
+                gpu_choices: vec![
+                    (128, 0.35),
+                    (256, 0.30),
+                    (512, 0.20),
+                    (1024, 0.10),
+                    (2048, 0.05),
+                ],
+                base_cancel: 0.75,
+                base_fail: 0.20,
+            },
+            TemplateKind::Preprocess => KindParams {
+                median_of_medians: 700.0,
+                median_sigma: 1.2,
+                per_job_sigma: 0.9,
+                gpu_choices: vec![],
+                base_cancel: 0.04,
+                base_fail: 0.10,
+            },
+            TemplateKind::Query => KindParams {
+                median_of_medians: 1.0,
+                median_sigma: 0.0,
+                per_job_sigma: 0.0,
+                gpu_choices: vec![],
+                base_cancel: 0.004,
+                base_fail: 0.03,
+            },
+        }
+    }
+}
+
+/// Which status model the trace follows.
+///
+/// Helios failures are mostly quick user errors (§3.2.2: "most failed jobs
+/// are terminated within a short time"); Philly failures burn long runtimes
+/// because YARN retried failed jobs (§2.3.2), putting >1/3 of Philly GPU
+/// time into failed jobs (Fig. 1b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatusModel {
+    Helios,
+    Philly,
+}
+
+/// Full calibration profile for one cluster's workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    pub cluster: ClusterId,
+    /// Full-scale GPU-job count target over the trace horizon.
+    pub gpu_jobs: u64,
+    /// Full-scale CPU-job count target.
+    pub cpu_jobs: u64,
+    /// Fraction of CPU jobs that are 1–2 s queries.
+    pub query_share: f64,
+    /// Number of users (each cluster has 200–400, §3.3).
+    pub users: usize,
+    /// User-class mix: [Production, Researcher, Student, Pipeline].
+    pub class_mix: [f64; 4],
+    /// Mean cluster GPU-utilization target (Fig. 2a band 65–90%). For
+    /// Philly this is *GPU* utilization, which sat far below its 69% node
+    /// occupancy (small scattered jobs).
+    pub target_util: f64,
+    /// Std-dev of the per-VC offered-load draw around `target_util`. Helios
+    /// VCs are uniformly busy; Philly mixes saturated and idle VCs.
+    pub util_spread: f64,
+    /// Upper clamp on any single VC's offered load. Values near 1 create
+    /// the sustained FIFO queue build-up Table 3 reports; Uranus (the
+    /// mildest-queuing cluster) stays below saturation.
+    pub rho_max: f64,
+    /// Multiplier on the DistTrain kind weight (Philly ran far fewer large
+    /// distributed jobs: avg 1.75 GPUs/job).
+    pub dist_damp: f64,
+    /// Multiplier on every template's failure probability, capped at 0.5
+    /// (Philly's YARN retry regime burned >1/3 of GPU time in failures).
+    pub fail_boost: f64,
+    /// Multiplier applied to the 1-GPU choice weight of every template
+    /// (Earth: ~90% single-GPU jobs; Philly: avg 1.75 GPUs/job).
+    pub single_gpu_boost: f64,
+    /// Largest GPU request the cluster accepts (Helios 2 048, Philly 128).
+    pub gpu_cap: u32,
+    /// Global duration multiplier (Philly jobs run longer, Table 2).
+    pub duration_scale: f64,
+    /// Number of extreme-scale `Mega` submissions (Saturn only).
+    pub mega_jobs: u32,
+    /// Status-duration model.
+    pub status_model: StatusModel,
+    /// Generator seed (combined with the user-supplied config seed).
+    pub seed: u64,
+}
+
+/// Venus: smallest job count, GPU-heavy mix, high queuing (Table 3 shows the
+/// worst FIFO queue delays here).
+pub fn venus_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        cluster: ClusterId::Venus,
+        gpu_jobs: 153_000,
+        cpu_jobs: 94_000,
+        query_share: 0.45,
+        users: 220,
+        class_mix: [0.14, 0.42, 0.34, 0.10],
+        target_util: 0.82,
+        util_spread: 0.09,
+        rho_max: 0.92,
+        dist_damp: 1.0,
+        fail_boost: 1.0,
+        single_gpu_boost: 1.0,
+        gpu_cap: 2048,
+        duration_scale: 1.0,
+        mega_jobs: 0,
+        status_model: StatusModel::Helios,
+        seed: 0xB01,
+    }
+}
+
+/// Earth: most CPU jobs (~90% of them 1 s queries), ~90% single-GPU jobs,
+/// lowest utilization (§3.1.1, Fig. 6a).
+pub fn earth_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        cluster: ClusterId::Earth,
+        gpu_jobs: 350_000,
+        cpu_jobs: 523_000,
+        query_share: 0.90,
+        users: 280,
+        class_mix: [0.06, 0.30, 0.54, 0.10],
+        target_util: 0.70,
+        util_spread: 0.09,
+        rho_max: 0.90,
+        dist_damp: 1.0,
+        fail_boost: 1.0,
+        single_gpu_boost: 8.0,
+        gpu_cap: 2048,
+        duration_scale: 0.55,
+        mega_jobs: 0,
+        status_model: StatusModel::Helios,
+        seed: 0xB02,
+    }
+}
+
+/// Saturn: biggest cluster, most jobs, highest utilization; hosts the
+/// extreme-scale (up to 2 048-GPU) submissions (Table 2).
+pub fn saturn_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        cluster: ClusterId::Saturn,
+        gpu_jobs: 830_000,
+        cpu_jobs: 923_000,
+        query_share: 0.55,
+        users: 390,
+        class_mix: [0.18, 0.42, 0.30, 0.10],
+        target_util: 0.85,
+        util_spread: 0.07,
+        rho_max: 0.92,
+        dist_damp: 1.0,
+        fail_boost: 1.0,
+        single_gpu_boost: 1.15,
+        gpu_cap: 2048,
+        duration_scale: 1.0,
+        mega_jobs: 30,
+        status_model: StatusModel::Helios,
+        seed: 0xB03,
+    }
+}
+
+/// Uranus: Pascal cluster, moderate load, mildest queuing (Table 3).
+pub fn uranus_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        cluster: ClusterId::Uranus,
+        gpu_jobs: 245_000,
+        cpu_jobs: 245_000,
+        query_share: 0.50,
+        users: 300,
+        class_mix: [0.12, 0.40, 0.38, 0.10],
+        target_util: 0.74,
+        util_spread: 0.08,
+        rho_max: 0.87,
+        dist_damp: 1.0,
+        fail_boost: 1.0,
+        single_gpu_boost: 1.0,
+        gpu_cap: 2048,
+        duration_scale: 1.0,
+        mega_jobs: 0,
+        status_model: StatusModel::Helios,
+        seed: 0xB04,
+    }
+}
+
+/// Philly: 103 467 GPU jobs over Oct 1 – Dec 14 2017, no CPU jobs, smaller
+/// jobs (avg 1.75 GPUs, max 128) but much longer durations (Table 2), 69%
+/// baseline node utilization (Table 5).
+pub fn philly_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        cluster: ClusterId::Philly,
+        gpu_jobs: 103_467,
+        cpu_jobs: 0,
+        query_share: 0.0,
+        users: 260,
+        class_mix: [0.04, 0.40, 0.56, 0.0],
+        target_util: 0.42,
+        util_spread: 0.30,
+        rho_max: 0.95,
+        dist_damp: 0.4,
+        fail_boost: 4.0,
+        single_gpu_boost: 8.0,
+        gpu_cap: 128,
+        duration_scale: 4.2,
+        mega_jobs: 0,
+        status_model: StatusModel::Philly,
+        seed: 0xB05,
+    }
+}
+
+/// The four Helios profiles in Table 1 order.
+pub fn helios_profiles() -> Vec<WorkloadProfile> {
+    vec![
+        venus_profile(),
+        earth_profile(),
+        saturn_profile(),
+        uranus_profile(),
+    ]
+}
+
+/// Profile for a given cluster id.
+pub fn profile_for(id: ClusterId) -> WorkloadProfile {
+    match id {
+        ClusterId::Venus => venus_profile(),
+        ClusterId::Earth => earth_profile(),
+        ClusterId::Saturn => saturn_profile(),
+        ClusterId::Uranus => uranus_profile(),
+        ClusterId::Philly => philly_profile(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helios_totals_match_table2() {
+        let profiles = helios_profiles();
+        let gpu: u64 = profiles.iter().map(|p| p.gpu_jobs).sum();
+        let cpu: u64 = profiles.iter().map(|p| p.cpu_jobs).sum();
+        // Table 2: 1.58M GPU jobs, 1.78M CPU jobs, 3.36M total.
+        assert!((gpu as f64 / 1.58e6 - 1.0).abs() < 0.01, "gpu={gpu}");
+        assert!((cpu as f64 / 1.78e6 - 1.0).abs() < 0.01, "cpu={cpu}");
+        assert!(((gpu + cpu) as f64 / 3.36e6 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn per_cluster_totals_match_table1() {
+        // Table 1 "# of Jobs": Venus 247k, Earth 873k, Saturn 1 753k, Uranus 490k.
+        let t = |p: WorkloadProfile| p.gpu_jobs + p.cpu_jobs;
+        assert_eq!(t(venus_profile()), 247_000);
+        assert_eq!(t(earth_profile()), 873_000);
+        assert_eq!(t(saturn_profile()), 1_753_000);
+        assert_eq!(t(uranus_profile()), 490_000);
+    }
+
+    #[test]
+    fn class_mixes_sum_to_one() {
+        for p in helios_profiles().into_iter().chain([philly_profile()]) {
+            let s: f64 = p.class_mix.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{}: {s}", p.cluster);
+        }
+    }
+
+    #[test]
+    fn kind_params_sane() {
+        for kind in [
+            TemplateKind::Debug,
+            TemplateKind::Eval,
+            TemplateKind::Train,
+            TemplateKind::DistTrain,
+            TemplateKind::Mega,
+            TemplateKind::Preprocess,
+            TemplateKind::Query,
+        ] {
+            let p = kind.params();
+            assert!(p.median_of_medians > 0.0);
+            assert!(p.base_cancel + p.base_fail < 1.0, "{kind:?}");
+            assert_eq!(kind.is_gpu(), !p.gpu_choices.is_empty(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn mega_reaches_2048_gpus() {
+        let p = TemplateKind::Mega.params();
+        assert_eq!(p.gpu_choices.iter().map(|c| c.0).max(), Some(2048));
+    }
+
+    #[test]
+    fn utilization_targets_in_paper_band() {
+        // target_util is a calibration *input*; realised utilization (checked
+        // in tests/calibration.rs) lands in the paper's 65-90% band.
+        for p in helios_profiles() {
+            assert!(p.target_util >= 0.60 && p.target_util <= 0.90, "{}", p.cluster);
+        }
+    }
+}

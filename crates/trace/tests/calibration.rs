@@ -1,0 +1,294 @@
+//! Calibration tests: the synthetic traces must reproduce the paper's
+//! published marginal statistics (within tolerances appropriate for a
+//! statistical substrate). Run at 0.1 scale for speed; `--ignored` tests
+//! check the full-scale Table 1/2 numbers.
+
+use helios_trace::{
+    generate, generate_helios, generate_philly, helios_profiles, replayed_utilization,
+    GeneratorConfig, JobStatus, Trace,
+};
+
+fn cfg() -> GeneratorConfig {
+    GeneratorConfig {
+        scale: 0.1,
+        seed: 2020,
+    }
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+#[test]
+fn gpu_job_duration_moments_match_table2() {
+    // Table 2: average GPU-job duration 6 652 s; §3.2.1: median 206 s.
+    let traces = generate_helios(&cfg());
+    let durations: Vec<f64> = traces
+        .iter()
+        .flat_map(|t| t.gpu_jobs().map(|j| j.duration as f64))
+        .collect();
+    let m = mean(durations.iter().copied());
+    let med = median(durations);
+    assert!(
+        (2_500.0..18_000.0).contains(&m),
+        "mean GPU duration {m} out of band (paper 6 652)"
+    );
+    assert!(
+        (60.0..900.0).contains(&med),
+        "median GPU duration {med} out of band (paper 206)"
+    );
+}
+
+#[test]
+fn cpu_jobs_are_an_order_of_magnitude_shorter() {
+    // §3.2.1: GPU-job mean 10.6x the CPU-job mean; >50% of CPU jobs < 2 s.
+    let traces = generate_helios(&cfg());
+    let gpu_mean = mean(
+        traces
+            .iter()
+            .flat_map(|t| t.gpu_jobs().map(|j| j.duration as f64)),
+    );
+    let cpu: Vec<f64> = traces
+        .iter()
+        .flat_map(|t| t.cpu_jobs().map(|j| j.duration as f64))
+        .collect();
+    let cpu_mean = mean(cpu.iter().copied());
+    assert!(gpu_mean / cpu_mean > 4.0, "ratio {}", gpu_mean / cpu_mean);
+    let short = cpu.iter().filter(|&&d| d <= 2.0).count() as f64 / cpu.len() as f64;
+    assert!(short > 0.5, "share of <=2s CPU jobs {short}");
+}
+
+#[test]
+fn average_gpu_demand_matches_table2() {
+    // Table 2: average 3.72 GPUs per GPU job, maximum 2 048.
+    let traces = generate_helios(&cfg());
+    let avg = mean(
+        traces
+            .iter()
+            .flat_map(|t| t.gpu_jobs().map(|j| j.gpus as f64)),
+    );
+    assert!((2.5..5.2).contains(&avg), "avg GPUs {avg} (paper 3.72)");
+    let max = traces
+        .iter()
+        .flat_map(|t| t.gpu_jobs().map(|j| j.gpus))
+        .max()
+        .unwrap();
+    assert_eq!(max, 2_048, "Saturn mega request must appear");
+}
+
+#[test]
+fn single_gpu_majority_but_large_jobs_own_gpu_time() {
+    // Fig. 6 / Implication #4: >50% of jobs use 1 GPU but hold only 3–12%
+    // of GPU time; jobs with >= 8 GPUs hold ~60%.
+    for t in generate_helios(&cfg()) {
+        let total: f64 = t.gpu_jobs().map(|j| j.gpu_time() as f64).sum();
+        let n = t.gpu_jobs().count() as f64;
+        let singles = t.gpu_jobs().filter(|j| j.gpus == 1).count() as f64;
+        let single_time: f64 = t
+            .gpu_jobs()
+            .filter(|j| j.gpus == 1)
+            .map(|j| j.gpu_time() as f64)
+            .sum();
+        let large_time: f64 = t
+            .gpu_jobs()
+            .filter(|j| j.gpus >= 8)
+            .map(|j| j.gpu_time() as f64)
+            .sum();
+        let id = t.spec.id;
+        assert!(singles / n > 0.5, "{id}: single share {}", singles / n);
+        // Paper: 3-12% (Fig. 6b). At test scale the VC-size cap shrinks
+        // large jobs, inflating the single-GPU share; the full-scale values
+        // (recorded in EXPERIMENTS.md) sit at 4-21%.
+        assert!(
+            single_time / total < 0.35,
+            "{id}: single GPU-time share {}",
+            single_time / total
+        );
+        assert!(
+            large_time / total > 0.40,
+            "{id}: >=8-GPU time share {}",
+            large_time / total
+        );
+    }
+}
+
+#[test]
+fn gpu_time_by_status_matches_fig1b() {
+    // Fig. 1b Helios: completed 51.3%, canceled 39.4%, failed 9.3%.
+    let traces = generate_helios(&cfg());
+    let mut by_status = [0.0f64; 3];
+    for t in &traces {
+        for j in t.gpu_jobs() {
+            let i = match j.status {
+                JobStatus::Completed => 0,
+                JobStatus::Canceled => 1,
+                JobStatus::Failed => 2,
+            };
+            by_status[i] += j.gpu_time() as f64;
+        }
+    }
+    let total: f64 = by_status.iter().sum();
+    let shares: Vec<f64> = by_status.iter().map(|s| s / total).collect();
+    assert!((shares[0] - 0.513).abs() < 0.15, "completed {}", shares[0]);
+    assert!((shares[1] - 0.394).abs() < 0.15, "canceled {}", shares[1]);
+    assert!(shares[2] < 0.25, "failed {}", shares[2]);
+}
+
+#[test]
+fn utilization_in_paper_band() {
+    // Fig. 2a: cluster utilization ranges ~65–90%.
+    for t in generate_helios(&cfg()) {
+        let horizon = t.calendar.total_seconds();
+        // Skip the first two weeks (ramp-up) like any steady-state window.
+        let u = replayed_utilization(
+            &t.jobs,
+            t.total_gpus() as u64,
+            14 * 86_400,
+            horizon,
+        );
+        assert!(
+            (0.55..0.98).contains(&u),
+            "{}: utilization {u}",
+            t.spec.id
+        );
+    }
+}
+
+#[test]
+fn queuing_exists_but_is_not_pathological() {
+    for t in generate_helios(&cfg()) {
+        let delays: Vec<f64> = t.gpu_jobs().map(|j| j.queue_delay() as f64).collect();
+        let m = mean(delays.iter().copied());
+        assert!(m > 30.0, "{}: mean queue delay {m} too small", t.spec.id);
+        // Queue delays in the production (FIFO) regime are severe by design
+        // (Implication #3 / Table 3); "not pathological" = finite and below
+        // a week on average.
+        assert!(
+            m < 600_000.0,
+            "{}: mean queue delay {m} exploded",
+            t.spec.id
+        );
+    }
+}
+
+#[test]
+fn philly_jobs_are_longer_and_smaller() {
+    // Table 2: Philly avg duration 28 329 s (vs 6 652), avg GPUs 1.75, max 128.
+    let helios = generate_helios(&cfg());
+    let philly = generate_philly(&cfg());
+    let h_mean = mean(
+        helios
+            .iter()
+            .flat_map(|t| t.gpu_jobs().map(|j| j.duration as f64)),
+    );
+    let p_mean = mean(philly.gpu_jobs().map(|j| j.duration as f64));
+    assert!(p_mean > 2.0 * h_mean, "philly {p_mean} vs helios {h_mean}");
+    let p_gpus = mean(philly.gpu_jobs().map(|j| j.gpus as f64));
+    assert!((1.1..2.6).contains(&p_gpus), "philly avg GPUs {p_gpus}");
+    assert!(philly.gpu_jobs().map(|j| j.gpus).max().unwrap() <= 128);
+    assert!(philly.cpu_jobs().count() == 0, "Philly trace has no CPU jobs");
+}
+
+#[test]
+fn philly_failed_gpu_time_share_is_high() {
+    // Fig. 1b: >1/3 of Philly GPU time went to failed jobs.
+    let philly = generate_philly(&cfg());
+    let total: f64 = philly.gpu_jobs().map(|j| j.gpu_time() as f64).sum();
+    let failed: f64 = philly
+        .gpu_jobs()
+        .filter(|j| j.status == JobStatus::Failed)
+        .map(|j| j.gpu_time() as f64)
+        .sum();
+    let share = failed / total;
+    assert!((0.2..0.55).contains(&share), "failed share {share}");
+}
+
+#[test]
+fn users_span_paper_range_and_skew() {
+    // §3.3: 200–400 users per cluster; top 5% hold 45–60% of GPU time.
+    for t in generate_helios(&cfg()) {
+        let n_profile = helios_profiles()
+            .into_iter()
+            .find(|p| p.cluster == t.spec.id)
+            .unwrap()
+            .users;
+        assert!((200..=400).contains(&n_profile));
+        let mut per_user = std::collections::HashMap::new();
+        for j in t.gpu_jobs() {
+            *per_user.entry(j.user).or_insert(0.0) += j.gpu_time() as f64;
+        }
+        let mut times: Vec<f64> = per_user.values().copied().collect();
+        times.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let total: f64 = times.iter().sum();
+        let top = (n_profile as f64 * 0.05).ceil() as usize;
+        let head: f64 = times.iter().take(top).sum();
+        let share = head / total;
+        assert!(
+            (0.30..0.85).contains(&share),
+            "{}: top-5% GPU-time share {share}",
+            t.spec.id
+        );
+    }
+}
+
+#[test]
+fn month_scoping_works() {
+    let t = generate(&helios_profiles()[0], &cfg());
+    let total: usize = (0..t.calendar.num_months())
+        .map(|m| t.jobs_in_month(m).count())
+        .sum();
+    assert_eq!(total, t.jobs.len());
+}
+
+/// Full-scale Table 1/2 check (slow; run with `cargo test -- --ignored`).
+#[test]
+#[ignore = "full-scale generation; ~1 min"]
+fn full_scale_table1_counts() {
+    let traces = generate_helios(&GeneratorConfig::default());
+    let counts: Vec<usize> = traces.iter().map(|t| t.jobs.len()).collect();
+    let expect = [247_000.0, 873_000.0, 1_753_000.0, 490_000.0];
+    for (c, e) in counts.iter().zip(expect) {
+        assert!((*c as f64 / e - 1.0).abs() < 0.02, "{c} vs {e}");
+    }
+    let total: usize = counts.iter().sum();
+    assert!((total as f64 / 3.363e6 - 1.0).abs() < 0.02);
+}
+
+#[test]
+fn print_headline_stats() {
+    // Not an assertion test: prints the calibration summary used while
+    // tuning (visible with `--nocapture`).
+    let traces = generate_helios(&cfg());
+    let stat = |t: &Trace| {
+        let durs: Vec<f64> = t.gpu_jobs().map(|j| j.duration as f64).collect();
+        let gpus = mean(t.gpu_jobs().map(|j| j.gpus as f64));
+        let util = replayed_utilization(
+            &t.jobs,
+            t.total_gpus() as u64,
+            14 * 86_400,
+            t.calendar.total_seconds(),
+        );
+        let qd = mean(t.gpu_jobs().map(|j| j.queue_delay() as f64));
+        println!(
+            "{:<8} jobs={:>7} gpu={:>7} mean_dur={:>8.0} med_dur={:>6.0} avg_gpus={:>5.2} util={:>5.3} mean_qd={:>8.0}",
+            t.spec.id.name(),
+            t.jobs.len(),
+            t.gpu_jobs().count(),
+            mean(durs.iter().copied()),
+            median(durs.clone()),
+            gpus,
+            util,
+            qd
+        );
+    };
+    for t in &traces {
+        stat(t);
+    }
+    stat(&generate_philly(&cfg()));
+}

@@ -1,0 +1,50 @@
+//! Full scheduling case study: four policies on one cluster, per-VC
+//! breakdown, and duration-group gains (the Table 3/4 pipeline on Saturn).
+//!
+//! Run with: `cargo run --release --example schedule_qssf`
+
+use helios_core::{QssfConfig, QssfService};
+use helios_sim::{
+    group_delay_ratios, jobs_from_trace, per_vc_queue_delay, schedule_stats, simulate, Policy,
+    SimConfig, DURATION_GROUPS,
+};
+use helios_trace::{generate, saturn_profile, GeneratorConfig};
+
+fn main() {
+    let trace = generate(&saturn_profile(), &GeneratorConfig { scale: 0.08, seed: 11 });
+    let (lo, hi) = trace.calendar.month_range(5);
+    println!("Saturn (scaled): {} nodes, September GPU jobs: {}",
+        trace.spec.nodes, trace.jobs_in_month(5).filter(|j| j.is_gpu()).count());
+
+    let base = jobs_from_trace(&trace, lo, hi);
+    let fifo = simulate(&trace.spec, &base, &SimConfig::new(Policy::Fifo)).outcomes;
+    let sjf = simulate(&trace.spec, &base, &SimConfig::new(Policy::Sjf)).outcomes;
+    let srtf = simulate(&trace.spec, &base, &SimConfig::new(Policy::Srtf)).outcomes;
+
+    let mut qssf = QssfService::new(QssfConfig::default());
+    qssf.train(&trace, 0, lo);
+    let scored = qssf.assign_priorities(&trace, lo, hi);
+    let qssf_out = simulate(&trace.spec, &scored, &SimConfig::new(Policy::Priority)).outcomes;
+
+    println!("\npolicy  avg JCT     avg queue   queued");
+    for (name, out) in [("FIFO", &fifo), ("SJF", &sjf), ("QSSF", &qssf_out), ("SRTF", &srtf)] {
+        let s = schedule_stats(out);
+        println!("{name:<7} {:>8.0}s  {:>8.0}s  {:>7}", s.avg_jct, s.avg_queue_delay, s.queued_jobs);
+    }
+
+    // Table 4: every duration group must gain.
+    let ratios = group_delay_ratios(&fifo, &qssf_out);
+    println!("\nFIFO/QSSF queue-delay ratio by duration group:");
+    for (g, r) in DURATION_GROUPS.iter().zip(ratios) {
+        println!("  {g:<18} {r:>6.2}x");
+    }
+
+    // Fig 12: the three hottest VCs.
+    let mut vcs: Vec<(u16, f64)> = per_vc_queue_delay(&fifo).into_iter().collect();
+    vcs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let qssf_vc = per_vc_queue_delay(&qssf_out);
+    println!("\nhottest VCs (FIFO vs QSSF avg queue):");
+    for (vc, d) in vcs.into_iter().take(3) {
+        println!("  {:<6} {:>8.0}s -> {:>8.0}s", trace.spec.vcs[vc as usize].name, d, qssf_vc[&vc]);
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the Helios SC'21 reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. Library users should depend on the individual crates
+//! (`helios-trace`, `helios-sim`, ...) directly.
+
+pub use helios_analysis as analysis;
+pub use helios_core as core;
+pub use helios_energy as energy;
+pub use helios_predict as predict;
+pub use helios_sim as sim;
+pub use helios_trace as trace;

@@ -1,0 +1,155 @@
+//! Property-based cross-crate tests (proptest): invariants of the core data
+//! structures under arbitrary inputs.
+
+use helios_analysis::cdf::Cdf;
+use helios_analysis::quantiles::BoxStats;
+use helios_predict::text::{levenshtein, normalized_distance};
+use helios_sim::{simulate, Policy, SimConfig, SimJob};
+use helios_trace::{ClusterId, ClusterSpec, GpuModel, VcSpec};
+use proptest::prelude::*;
+
+fn one_vc_spec(nodes: u32) -> ClusterSpec {
+    ClusterSpec {
+        id: ClusterId::Venus,
+        nodes,
+        gpus_per_node: 8,
+        cpu_threads_per_node: 48,
+        ram_gb_per_node: 376,
+        network: "IB",
+        gpu_model: GpuModel::Volta,
+        vcs: vec![VcSpec {
+            id: 0,
+            name: "vc000".into(),
+            nodes,
+        }],
+    }
+}
+
+fn arb_jobs() -> impl Strategy<Value = Vec<SimJob>> {
+    prop::collection::vec(
+        (0u8..5, 0i64..50_000, 1i64..5_000, 0u64..1_000_000),
+        1..80,
+    )
+    .prop_map(|raw| {
+        let mut jobs: Vec<SimJob> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (g, submit, duration, prio))| SimJob {
+                id: i as u64,
+                vc: 0,
+                gpus: [1, 2, 4, 8, 16][g as usize],
+                submit,
+                duration,
+                priority: prio as f64,
+            })
+            .collect();
+        jobs.sort_by_key(|j| j.submit);
+        jobs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulator_conserves_jobs_and_capacity(jobs in arb_jobs(), policy in 0usize..4) {
+        let policy = [Policy::Fifo, Policy::Sjf, Policy::Srtf, Policy::Priority][policy];
+        let spec = one_vc_spec(3); // 24 GPUs
+        let result = simulate(&spec, &jobs, &SimConfig::new(policy));
+        prop_assert_eq!(result.outcomes.len(), jobs.len());
+        let mut events: Vec<(i64, i64)> = Vec::new();
+        for (o, j) in result.outcomes.iter().zip(&jobs) {
+            prop_assert!(o.start >= j.submit);
+            prop_assert!(o.end >= o.start + j.duration);
+            if policy != Policy::Srtf {
+                // Non-preemptive: contiguous execution.
+                prop_assert_eq!(o.end - o.start, j.duration);
+                events.push((o.start, j.gpus as i64));
+                events.push((o.end, -(j.gpus as i64)));
+            }
+        }
+        if policy != Policy::Srtf {
+            events.sort();
+            let mut load = 0i64;
+            for (_, d) in events {
+                load += d;
+                prop_assert!(load <= 24);
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized(mut values in prop::collection::vec(-1.0e6f64..1.0e6, 1..200)) {
+        values.retain(|v| v.is_finite());
+        prop_assume!(!values.is_empty());
+        let cdf = Cdf::new(values.clone());
+        let lo = cdf.min();
+        let hi = cdf.max();
+        prop_assert!((cdf.fraction_at(hi) - 1.0).abs() < 1e-12);
+        prop_assert!(cdf.fraction_at(lo - 1.0) == 0.0);
+        // Monotone on a fixed grid.
+        let mut last = 0.0;
+        for i in 0..=20 {
+            let x = lo + (hi - lo) * i as f64 / 20.0;
+            let f = cdf.fraction_at(x);
+            prop_assert!(f + 1e-12 >= last);
+            last = f;
+        }
+        // Quantiles stay within range.
+        for q in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+            let v = cdf.quantile(q.max(0.01));
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn boxstats_ordering(values in prop::collection::vec(-1.0e4f64..1.0e4, 1..120)) {
+        let b = BoxStats::from_samples(&values);
+        prop_assert!(b.min <= b.q1 + 1e-9);
+        prop_assert!(b.q1 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q3 + 1e-9);
+        prop_assert!(b.q3 <= b.max + 1e-9);
+        prop_assert!(b.whisker_lo >= b.min - 1e-9);
+        prop_assert!(b.whisker_hi <= b.max + 1e-9);
+        prop_assert_eq!(b.n, values.len());
+    }
+
+    #[test]
+    fn levenshtein_metric_properties(a in "[a-z_]{0,12}", b in "[a-z_]{0,12}", c in "[a-z_]{0,12}") {
+        // Symmetry.
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        // Identity.
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        // Triangle inequality.
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        // Bounds.
+        let d = levenshtein(&a, &b);
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        prop_assert!(d >= la.abs_diff(lb));
+        prop_assert!(d <= la.max(lb));
+        // Normalized distance in [0, 1].
+        let nd = normalized_distance(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&nd));
+    }
+
+    #[test]
+    fn gbdt_predictions_bounded_by_targets(seed in 0u64..1_000) {
+        use helios_predict::gbdt::{Gbdt, GbdtParams};
+        // Squared-loss leaf values are gradient means: predictions cannot
+        // escape the convex hull of the targets (with shrinkage <= 1).
+        let xs: Vec<f64> = (0..120).map(|i| ((i * 37 + seed as usize) % 60) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (x * 0.3).sin() * 50.0).collect();
+        let lo = ys.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = ys.iter().cloned().fold(f64::MIN, f64::max);
+        let model = Gbdt::fit(&[xs.clone()], &ys, &GbdtParams {
+            num_trees: 40,
+            seed,
+            early_stopping: 0,
+            ..Default::default()
+        }, None);
+        for x in 0..60 {
+            let p = model.predict_row(&[x as f64]);
+            prop_assert!(p >= lo - 1.0 && p <= hi + 1.0, "pred {p} outside [{lo}, {hi}]");
+        }
+    }
+}
