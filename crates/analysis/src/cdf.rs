@@ -146,7 +146,11 @@ impl WeightedCdf {
                 acc += w;
                 (
                     (i + 1) as f64 / n as f64,
-                    if self.total > 0.0 { acc / self.total } else { 0.0 },
+                    if self.total > 0.0 {
+                        acc / self.total
+                    } else {
+                        0.0
+                    },
                 )
             })
             .collect()

@@ -148,6 +148,7 @@ mod tests {
                 seed: 3,
             },
         )
+        .unwrap()
     }
 
     #[test]
@@ -156,7 +157,10 @@ mod tests {
         assert_eq!(p.hourly_utilization.len(), 24);
         assert_eq!(p.hourly_submissions.len(), 24);
         // Utilization stays within a sane percentage band.
-        assert!(p.hourly_utilization.iter().all(|&u| (0.0..=100.0).contains(&u)));
+        assert!(p
+            .hourly_utilization
+            .iter()
+            .all(|&u| (0.0..=100.0).contains(&u)));
         // Night submissions below afternoon submissions (Implication #1).
         let night: f64 = p.hourly_submissions[3..6].iter().sum();
         let afternoon: f64 = p.hourly_submissions[14..17].iter().sum();
@@ -206,7 +210,10 @@ mod tests {
         // Exclude September (truncated month in the paper too).
         let multi = &m.multi_gpu_jobs[..5];
         let single = &m.single_gpu_jobs[..5];
-        assert!(spread(multi) < spread(single), "multi {multi:?} single {single:?}");
+        assert!(
+            spread(multi) < spread(single),
+            "multi {multi:?} single {single:?}"
+        );
         assert!(m.monthly_avg_gpu_std_dev < 4.0);
     }
 }

@@ -175,7 +175,7 @@ mod tests {
 
     #[test]
     fn summary_counts_consistent() {
-        let t = generate(&venus_profile(), &cfg());
+        let t = generate(&venus_profile(), &cfg()).unwrap();
         let s = summarize(&[&t]);
         assert_eq!(s.jobs, t.jobs.len() as u64);
         assert_eq!(s.gpu_jobs + s.cpu_jobs, s.jobs);
@@ -187,7 +187,7 @@ mod tests {
     #[test]
     fn duration_cdfs_ordered() {
         // GPU jobs are an order of magnitude longer than CPU jobs (§3.2.1).
-        let t = generate(&venus_profile(), &cfg());
+        let t = generate(&venus_profile(), &cfg()).unwrap();
         let g = gpu_duration_cdf(&t);
         let c = cpu_duration_cdf(&t);
         assert!(g.median() > c.median());
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn job_size_cdf_pair() {
-        let t = generate(&venus_profile(), &cfg());
+        let t = generate(&venus_profile(), &cfg()).unwrap();
         let (count, time) = job_size_cdfs(&t);
         // >50% single-GPU by count, far less by GPU time (Implication #4).
         assert!(count.fraction_at(1.0) > 0.5);
@@ -207,7 +207,7 @@ mod tests {
 
     #[test]
     fn status_shares_sum_to_100() {
-        let traces = generate_helios(&cfg());
+        let traces = generate_helios(&cfg()).unwrap();
         let refs: Vec<&Trace> = traces.iter().collect();
         let (cpu, gpu) = status_by_job_class(&refs);
         assert!((cpu.iter().sum::<f64>() - 100.0).abs() < 1e-9);
@@ -218,7 +218,7 @@ mod tests {
 
     #[test]
     fn completion_falls_with_demand() {
-        let traces = generate_helios(&cfg());
+        let traces = generate_helios(&cfg()).unwrap();
         let refs: Vec<&Trace> = traces.iter().collect();
         let by_demand = status_by_gpu_demand(&refs);
         // Fig. 7b: small jobs complete far more often than large jobs. At
@@ -241,7 +241,10 @@ mod tests {
         let large = by_demand[large_idx][0];
         assert!(small > large + 10.0, "small {small} large {large}");
         let large_unsuccessful = by_demand[large_idx][1] + by_demand[large_idx][2];
-        assert!(large_unsuccessful > 35.0, "large unsuccessful {large_unsuccessful}");
+        assert!(
+            large_unsuccessful > 35.0,
+            "large unsuccessful {large_unsuccessful}"
+        );
     }
 
     #[test]
@@ -256,7 +259,7 @@ mod tests {
 
     #[test]
     fn gpu_time_by_status_shares() {
-        let traces = generate_helios(&cfg());
+        let traces = generate_helios(&cfg()).unwrap();
         let refs: Vec<&Trace> = traces.iter().collect();
         let s = gpu_time_by_status(&refs);
         assert!((s.iter().sum::<f64>() - 100.0).abs() < 1e-9);

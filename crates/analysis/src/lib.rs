@@ -9,9 +9,10 @@
 //! use helios_trace::{generate, venus_profile, GeneratorConfig};
 //! use helios_analysis::jobs::gpu_duration_cdf;
 //!
-//! let trace = generate(&venus_profile(), &GeneratorConfig { scale: 0.02, seed: 1 });
+//! let trace = generate(&venus_profile(), &GeneratorConfig { scale: 0.02, seed: 1 })?;
 //! let cdf = gpu_duration_cdf(&trace);
 //! assert!(cdf.median() > 0.0);
+//! # Ok::<(), helios_trace::HeliosError>(())
 //! ```
 
 pub mod cdf;

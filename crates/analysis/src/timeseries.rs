@@ -50,8 +50,7 @@ impl BinnedSeries {
             return 0.0;
         }
         let m = self.mean();
-        (self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64)
-            .sqrt()
+        (self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64).sqrt()
     }
 
     /// Group bins by `key(bin_mid)` and average per group; returns

@@ -55,15 +55,13 @@ pub fn per_user_stats(trace: &Trace) -> Vec<UserStats> {
     v
 }
 
-/// Fig. 8 curves: (fraction of users, fraction of GPU/CPU time), users
-/// sorted by descending consumption.
-pub fn consumption_curves(stats: &[UserStats]) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
-    let gpu = WeightedCdf::new(
-        stats
-            .iter()
-            .map(|s| (s.user as f64, s.gpu_time))
-            .collect(),
-    );
+/// One concentration curve: (fraction of users, fraction of resource time),
+/// users sorted by descending consumption.
+pub type ConcentrationCurve = Vec<(f64, f64)>;
+
+/// Fig. 8 curves: GPU-time and CPU-time concentration across users.
+pub fn consumption_curves(stats: &[UserStats]) -> (ConcentrationCurve, ConcentrationCurve) {
+    let gpu = WeightedCdf::new(stats.iter().map(|s| (s.user as f64, s.gpu_time)).collect());
     let cpu = WeightedCdf::new(
         stats
             .iter()
@@ -121,7 +119,8 @@ mod tests {
                 scale: 0.05,
                 seed: 3,
             },
-        );
+        )
+        .unwrap();
         per_user_stats(&t)
     }
 
@@ -133,7 +132,8 @@ mod tests {
                 scale: 0.05,
                 seed: 3,
             },
-        );
+        )
+        .unwrap();
         let stats = per_user_stats(&t);
         let total: u64 = stats.iter().map(|s| s.gpu_jobs + s.cpu_jobs).sum();
         assert_eq!(total, t.jobs.len() as u64);

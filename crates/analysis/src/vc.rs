@@ -57,10 +57,7 @@ pub fn vc_behaviors(trace: &Trace, month: usize, top_k: usize) -> Vec<VcBehavior
                 utilization: BoxStats::from_samples(&pct),
                 avg_gpu_request: vc_jobs.iter().map(|j| j.gpus as f64).sum::<f64>() / n.max(1.0),
                 avg_duration: vc_jobs.iter().map(|j| j.duration as f64).sum::<f64>() / n.max(1.0),
-                avg_queuing: vc_jobs
-                    .iter()
-                    .map(|j| j.queue_delay() as f64)
-                    .sum::<f64>()
+                avg_queuing: vc_jobs.iter().map(|j| j.queue_delay() as f64).sum::<f64>()
                     / n.max(1.0),
                 jobs: vc_jobs.len() as u64,
             }
@@ -107,7 +104,8 @@ mod tests {
                 scale: 0.12,
                 seed: 3,
             },
-        );
+        )
+        .unwrap();
         // May in Earth, as the paper does (month index 1).
         vc_behaviors(&t, 1, 10)
     }

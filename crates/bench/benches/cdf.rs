@@ -8,10 +8,14 @@ fn bench(c: &mut Criterion) {
     let mut rng = ChaCha12Rng::seed_from_u64(3);
     let values: Vec<f64> = (0..200_000).map(|_| rng.gen::<f64>() * 1e6).collect();
     let pairs: Vec<(f64, f64)> = values.iter().map(|&v| (v, rng.gen::<f64>())).collect();
-    c.bench_function("cdf_build_200k", |b| b.iter(|| Cdf::new(black_box(values.clone()))));
+    c.bench_function("cdf_build_200k", |b| {
+        b.iter(|| Cdf::new(black_box(values.clone())))
+    });
     let cdf = Cdf::new(values.clone());
     let grid = Cdf::log_grid(1.0, 1e6, 64);
-    c.bench_function("cdf_series_64pts", |b| b.iter(|| cdf.series(black_box(&grid))));
+    c.bench_function("cdf_series_64pts", |b| {
+        b.iter(|| cdf.series(black_box(&grid)))
+    });
     c.bench_function("weighted_concentration_200k", |b| {
         b.iter(|| WeightedCdf::new(black_box(pairs.clone())).concentration_curve())
     });

@@ -14,9 +14,13 @@ fn bench(c: &mut Criterion) {
     let v = series(10_000);
     let mut g = c.benchmark_group("forecast");
     g.sample_size(10);
-    g.bench_function("arima_fit_p12_d1", |b| b.iter(|| Arima::fit(black_box(&v), 12, 1)));
+    g.bench_function("arima_fit_p12_d1", |b| {
+        b.iter(|| Arima::fit(black_box(&v), 12, 1))
+    });
     let arima = Arima::fit(&v, 12, 1);
-    g.bench_function("arima_forecast_18", |b| b.iter(|| arima.forecast(black_box(&v), 18)));
+    g.bench_function("arima_forecast_18", |b| {
+        b.iter(|| arima.forecast(black_box(&v), 18))
+    });
     g.bench_function("fourier_fit_10k", |b| {
         b.iter(|| FourierForecaster::fit(black_box(&v), 0, 600, &cal, FourierParams::default()))
     });

@@ -21,16 +21,36 @@ fn bench(c: &mut Criterion) {
             Gbdt::fit(
                 black_box(&cols),
                 black_box(&y),
-                &GbdtParams { num_trees: 40, early_stopping: 0, ..Default::default() },
+                &GbdtParams {
+                    num_trees: 40,
+                    early_stopping: 0,
+                    ..Default::default()
+                },
                 None,
             )
         })
     });
-    let model = Gbdt::fit(&cols, &y, &GbdtParams { num_trees: 40, early_stopping: 0, ..Default::default() }, None);
+    let model = Gbdt::fit(
+        &cols,
+        &y,
+        &GbdtParams {
+            num_trees: 40,
+            early_stopping: 0,
+            ..Default::default()
+        },
+        None,
+    );
     let row: Vec<f64> = (0..12).map(|i| i as f64 * 7.0).collect();
-    g.bench_function("predict_row", |b| b.iter(|| model.predict_row(black_box(&row))));
+    g.bench_function("predict_row", |b| {
+        b.iter(|| model.predict_row(black_box(&row)))
+    });
     g.bench_function("levenshtein_job_names", |b| {
-        b.iter(|| levenshtein(black_box("train_resnet50_imagenet_lr3"), black_box("train_resnet101_imagenet_lr5")))
+        b.iter(|| {
+            levenshtein(
+                black_box("train_resnet50_imagenet_lr3"),
+                black_box("train_resnet101_imagenet_lr5"),
+            )
+        })
     });
     g.finish();
 }

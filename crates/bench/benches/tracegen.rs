@@ -6,7 +6,16 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("tracegen");
     g.sample_size(10);
     g.bench_function("venus_scale_0.05", |b| {
-        b.iter(|| generate(&venus_profile(), &GeneratorConfig { scale: 0.05, seed: 1 }))
+        b.iter(|| {
+            generate(
+                &venus_profile(),
+                &GeneratorConfig {
+                    scale: 0.05,
+                    seed: 1,
+                },
+            )
+            .unwrap()
+        })
     });
     g.finish();
 }

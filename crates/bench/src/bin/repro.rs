@@ -1,44 +1,140 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment-id>|all
+//! repro [OPTIONS] <experiment-id>|all
+//!
+//! Options:
+//!   --scale <F>     trace scale in (0, 1] (default 0.25; 1.0 = paper scale)
+//!   --seed <N>      generator seed (default 2020)
+//!   --out-dir <DIR> report directory (default "reports")
+//!   --list          print the experiment ids and exit
 //! ```
 //!
-//! Environment:
-//! * `HELIOS_SCALE` — trace scale (default 0.25; 1.0 = paper scale)
-//! * `HELIOS_SEED`  — generator seed (default 2020)
-//!
-//! Outputs print to stdout and are mirrored under `reports/<id>.txt`.
+//! Outputs print to stdout and are mirrored under `<out-dir>/<id>.{txt,json}`.
+//! Unknown experiment ids and report-write failures exit non-zero.
 
-use helios_bench::experiments::{run, Context};
-use std::fs;
+use helios_bench::experiments::{
+    run, Context, ExperimentOutput, ALL_EXPERIMENTS, EXTRA_EXPERIMENTS,
+};
+use helios_trace::HeliosError;
 use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 
-fn main() {
-    let id = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: repro <experiment-id>|all   (ids: see DESIGN.md)");
-        std::process::exit(2);
-    });
-    let scale: f64 = std::env::var("HELIOS_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.25);
-    let seed: u64 = std::env::var("HELIOS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2020);
-    let mut ctx = Context::new(scale, seed);
-    let outputs = run(&id, &mut ctx);
-    let _ = fs::create_dir_all("reports");
+struct Args {
+    scale: f64,
+    seed: u64,
+    out_dir: PathBuf,
+    id: String,
+}
+
+const USAGE: &str =
+    "usage: repro [--scale F] [--seed N] [--out-dir DIR] [--list] <experiment-id>|all";
+
+fn parse_args() -> Result<Args, String> {
+    let mut scale = 0.25f64;
+    let mut seed = 2020u64;
+    let mut out_dir = PathBuf::from("reports");
+    let mut id = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = argv.next().ok_or("--scale needs a value")?;
+                scale = v.parse().map_err(|_| format!("invalid --scale {v:?}"))?;
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("invalid --seed {v:?}"))?;
+            }
+            "--out-dir" => {
+                out_dir = PathBuf::from(argv.next().ok_or("--out-dir needs a value")?);
+            }
+            "--list" => {
+                println!("all");
+                for id in ALL_EXPERIMENTS.iter().chain(&EXTRA_EXPERIMENTS) {
+                    println!("{id}");
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?}\n{USAGE}"));
+            }
+            other => {
+                if id.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one experiment id given\n{USAGE}"));
+                }
+            }
+        }
+    }
+    Ok(Args {
+        scale,
+        seed,
+        out_dir,
+        id: id.ok_or(USAGE)?,
+    })
+}
+
+fn write_reports(dir: &Path, out: &ExperimentOutput) -> Result<(), HeliosError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| HeliosError::io(format!("creating {}", dir.display()), &e))?;
+    let txt = dir.join(format!("{}.txt", out.id));
+    let mut f = std::fs::File::create(&txt)
+        .map_err(|e| HeliosError::io(format!("creating {}", txt.display()), &e))?;
+    writeln!(f, "{}", out.text)
+        .map_err(|e| HeliosError::io(format!("writing {}", txt.display()), &e))?;
+    let json = dir.join(format!("{}.json", out.id));
+    let rendered = serde_json::to_string_pretty(&out.data).map_err(|e| HeliosError::Io {
+        context: format!("serializing {}", json.display()),
+        message: e.to_string(),
+    })?;
+    let mut f = std::fs::File::create(&json)
+        .map_err(|e| HeliosError::io(format!("creating {}", json.display()), &e))?;
+    writeln!(f, "{rendered}")
+        .map_err(|e| HeliosError::io(format!("writing {}", json.display()), &e))?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut ctx = match Context::new(args.scale, args.seed) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outputs = match run(&args.id, &mut ctx) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     for out in &outputs {
         println!("{}", out.text);
         println!("{}", "=".repeat(78));
-        if let Ok(mut f) = fs::File::create(format!("reports/{}.txt", out.id)) {
-            let _ = writeln!(f, "{}", out.text);
-        }
-        if let Ok(mut f) = fs::File::create(format!("reports/{}.json", out.id)) {
-            let _ = writeln!(f, "{}", serde_json::to_string_pretty(&out.data).unwrap());
+        if let Err(e) = write_reports(&args.out_dir, out) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
     }
-    eprintln!("done: {} experiment(s), scale {scale}, seed {seed}", outputs.len());
+    eprintln!(
+        "done: {} experiment(s), scale {}, seed {}, reports in {}",
+        outputs.len(),
+        args.scale,
+        args.seed,
+        args.out_dir.display()
+    );
+    ExitCode::SUCCESS
 }

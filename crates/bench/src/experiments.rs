@@ -5,17 +5,21 @@
 use helios_analysis::cdf::Cdf;
 use helios_analysis::report::{fmt_count, fmt_secs, TextTable};
 use helios_analysis::{clusters, jobs, users, vc};
-use helios_core::{noisy_oracle_priorities, CesEvaluation, CesService, CesServiceConfig, QssfConfig, QssfService};
+use helios_core::{
+    noisy_oracle_priorities, CesEvaluation, CesService, CesServiceConfig, QssfConfig, QssfService,
+};
 use helios_energy::{annualize, energy_saved_kwh, node_series_from_trace};
 use helios_predict::features::series::SeriesFeatureConfig;
 use helios_predict::metrics::smape;
-use helios_predict::{seasonal_naive, Arima, FourierForecaster, FourierParams, LstmForecaster, LstmParams};
+use helios_predict::{
+    seasonal_naive, Arima, FourierForecaster, FourierParams, LstmForecaster, LstmParams,
+};
 use helios_sim::{
     group_delay_ratios, jobs_from_trace, per_vc_queue_delay, schedule_stats, simulate, Placement,
     Policy, SimConfig, SimJob,
 };
 use helios_trace::{
-    generate_helios, generate_philly, GeneratorConfig, Trace, SECS_PER_DAY,
+    generate_helios, generate_philly, GeneratorConfig, HeliosError, Trace, SECS_PER_DAY,
 };
 use serde_json::json;
 use std::collections::HashMap;
@@ -48,23 +52,31 @@ pub struct Context {
 
 impl Context {
     /// Create a context; `scale` shrinks clusters and job counts together.
-    pub fn new(scale: f64, seed: u64) -> Self {
-        Context {
-            cfg: GeneratorConfig { scale, seed },
+    /// The configuration is validated here, once, so the lazy generation
+    /// below cannot fail on user input.
+    pub fn new(scale: f64, seed: u64) -> Result<Self, HeliosError> {
+        let cfg = GeneratorConfig { scale, seed };
+        cfg.validate()?;
+        Ok(Context {
+            cfg,
             helios: None,
             philly: None,
             sched: None,
             sched_philly: None,
             ces: None,
             ces_philly: None,
-        }
+        })
     }
 
     /// The four Helios traces (generated once).
     pub fn helios(&mut self) -> &[Trace] {
         if self.helios.is_none() {
-            eprintln!("[ctx] generating Helios traces (scale {})...", self.cfg.scale);
-            self.helios = Some(generate_helios(&self.cfg));
+            eprintln!(
+                "[ctx] generating Helios traces (scale {})...",
+                self.cfg.scale
+            );
+            self.helios =
+                Some(generate_helios(&self.cfg).expect("config validated in Context::new"));
         }
         self.helios.as_ref().unwrap()
     }
@@ -72,8 +84,12 @@ impl Context {
     /// The Philly trace.
     pub fn philly(&mut self) -> &Trace {
         if self.philly.is_none() {
-            eprintln!("[ctx] generating Philly trace (scale {})...", self.cfg.scale);
-            self.philly = Some(generate_philly(&self.cfg));
+            eprintln!(
+                "[ctx] generating Philly trace (scale {})...",
+                self.cfg.scale
+            );
+            self.philly =
+                Some(generate_philly(&self.cfg).expect("config validated in Context::new"));
         }
         self.philly.as_ref().unwrap()
     }
@@ -104,20 +120,31 @@ impl Context {
             let (lo, hi) = (t.calendar.month_start(0), t.calendar.month_end(1));
             let mut outcomes = HashMap::new();
             let base = jobs_from_trace(t, lo, hi);
-            for (label, policy) in [("FIFO", Policy::Fifo), ("SJF", Policy::Sjf), ("SRTF", Policy::Srtf)] {
+            for (label, policy) in [
+                ("FIFO", Policy::Fifo),
+                ("SJF", Policy::Sjf),
+                ("SRTF", Policy::Srtf),
+            ] {
                 let mut js = base.clone();
                 if policy == Policy::Sjf {
                     for j in &mut js {
                         j.priority = j.duration as f64;
                     }
                 }
-                outcomes.insert(label, simulate(&t.spec, &js, &SimConfig::new(policy)).outcomes);
+                outcomes.insert(
+                    label,
+                    simulate(&t.spec, &js, &SimConfig::new(policy))
+                        .expect("sim inputs pre-filtered")
+                        .outcomes,
+                );
             }
             // QSSF with randomized priorities matching Helios-like error.
             let noisy = noisy_oracle_priorities(t, lo, hi, 0.8, seed ^ 0xF1);
             outcomes.insert(
                 "QSSF",
-                simulate(&t.spec, &noisy, &SimConfig::new(Policy::Priority)).outcomes,
+                simulate(&t.spec, &noisy, &SimConfig::new(Policy::Priority))
+                    .expect("sim inputs pre-filtered")
+                    .outcomes,
             );
             self.sched_philly = Some(SchedulerRun {
                 cluster: "Philly".into(),
@@ -135,13 +162,15 @@ impl Context {
             let mut out = Vec::new();
             for t in traces {
                 eprintln!("[ctx] CES evaluation on {}...", t.spec.id);
-                let series = node_series_from_trace(t, 600, Placement::Consolidate);
+                let series = node_series_from_trace(t, 600, Placement::Consolidate)
+                    .expect("series replay on a valid trace");
                 let eval_start = t.calendar.month_start(5);
                 let eval_end = eval_start + 21 * SECS_PER_DAY;
                 let mut svc = CesService::new(scaled_ces_config(t.spec.nodes));
                 out.push((
                     t.spec.id.name().to_string(),
-                    svc.evaluate(t, &series, eval_start, eval_end),
+                    svc.evaluate(t, &series, eval_start, eval_end)
+                        .expect("evaluation window within calendar"),
                 ));
             }
             self.ces = Some(out);
@@ -155,11 +184,14 @@ impl Context {
         if self.ces_philly.is_none() {
             let t = self.philly();
             eprintln!("[ctx] CES evaluation on Philly...");
-            let series = node_series_from_trace(t, 600, Placement::Scatter);
+            let series = node_series_from_trace(t, 600, Placement::Scatter)
+                .expect("series replay on a valid trace");
             let eval_start = t.calendar.month_start(2);
             let eval_end = eval_start + 14 * SECS_PER_DAY;
             let mut svc = CesService::new(scaled_ces_config(t.spec.nodes));
-            let eval = svc.evaluate(t, &series, eval_start, eval_end);
+            let eval = svc
+                .evaluate(t, &series, eval_start, eval_end)
+                .expect("evaluation window within calendar");
             self.ces_philly = Some(("Philly".into(), eval));
         }
         self.ces_philly.as_ref().unwrap()
@@ -187,24 +219,32 @@ pub fn run_schedulers(trace: &Trace, seed: u64) -> SchedulerRun {
     let base = jobs_from_trace(trace, lo, hi);
     outcomes.insert(
         "FIFO",
-        simulate(&trace.spec, &base, &SimConfig::new(Policy::Fifo)).outcomes,
+        simulate(&trace.spec, &base, &SimConfig::new(Policy::Fifo))
+            .expect("sim inputs pre-filtered")
+            .outcomes,
     );
     outcomes.insert(
         "SJF",
-        simulate(&trace.spec, &base, &SimConfig::new(Policy::Sjf)).outcomes,
+        simulate(&trace.spec, &base, &SimConfig::new(Policy::Sjf))
+            .expect("sim inputs pre-filtered")
+            .outcomes,
     );
     outcomes.insert(
         "SRTF",
-        simulate(&trace.spec, &base, &SimConfig::new(Policy::Srtf)).outcomes,
+        simulate(&trace.spec, &base, &SimConfig::new(Policy::Srtf))
+            .expect("sim inputs pre-filtered")
+            .outcomes,
     );
 
     // QSSF: train on April–August, score September causally.
     let mut qssf = QssfService::new(QssfConfig::default());
-    qssf.train(trace, 0, lo);
+    qssf.train(trace, 0, lo).expect("training window non-empty");
     let scored = qssf.assign_priorities(trace, lo, hi);
     outcomes.insert(
         "QSSF",
-        simulate(&trace.spec, &scored, &SimConfig::new(Policy::Priority)).outcomes,
+        simulate(&trace.spec, &scored, &SimConfig::new(Policy::Priority))
+            .expect("sim inputs pre-filtered")
+            .outcomes,
     );
     SchedulerRun {
         cluster: trace.spec.id.name().to_string(),
@@ -220,26 +260,63 @@ const POLICIES: [&str; 4] = ["FIFO", "SJF", "QSSF", "SRTF"];
 
 fn table1(ctx: &mut Context) -> ExperimentOutput {
     let traces = ctx.helios();
-    let mut table = TextTable::new(vec![
-        "", "Venus", "Earth", "Saturn", "Uranus", "Total",
-    ]);
-    let row =
-        |name: &str, f: &dyn Fn(&Trace) -> String, total: String, t: &mut TextTable, traces: &[Trace]| {
-            let mut cells = vec![name.to_string()];
-            cells.extend(traces.iter().map(|tr| f(tr)));
-            cells.push(total);
-            t.row(cells);
-        };
+    let mut table = TextTable::new(vec!["", "Venus", "Earth", "Saturn", "Uranus", "Total"]);
+    let row = |name: &str,
+               f: &dyn Fn(&Trace) -> String,
+               total: String,
+               t: &mut TextTable,
+               traces: &[Trace]| {
+        let mut cells = vec![name.to_string()];
+        cells.extend(traces.iter().map(f));
+        cells.push(total);
+        t.row(cells);
+    };
     let sum_nodes: u32 = traces.iter().map(|t| t.spec.nodes).sum();
     let sum_gpus: u32 = traces.iter().map(|t| t.total_gpus()).sum();
     let sum_vcs: usize = traces.iter().map(|t| t.spec.num_vcs()).sum();
     let sum_jobs: u64 = traces.iter().map(|t| t.jobs.len() as u64).sum();
-    row("GPU model", &|t| t.spec.gpu_model.label().into(), "-".into(), &mut table, traces);
-    row("Network", &|t| t.spec.network.into(), "-".into(), &mut table, traces);
-    row("# of VCs", &|t| t.spec.num_vcs().to_string(), sum_vcs.to_string(), &mut table, traces);
-    row("# of Nodes", &|t| t.spec.nodes.to_string(), sum_nodes.to_string(), &mut table, traces);
-    row("# of GPUs", &|t| fmt_count(t.total_gpus() as u64), fmt_count(sum_gpus as u64), &mut table, traces);
-    row("# of Jobs", &|t| fmt_count(t.jobs.len() as u64), fmt_count(sum_jobs), &mut table, traces);
+    row(
+        "GPU model",
+        &|t| t.spec.gpu_model.label().into(),
+        "-".into(),
+        &mut table,
+        traces,
+    );
+    row(
+        "Network",
+        &|t| t.spec.network.into(),
+        "-".into(),
+        &mut table,
+        traces,
+    );
+    row(
+        "# of VCs",
+        &|t| t.spec.num_vcs().to_string(),
+        sum_vcs.to_string(),
+        &mut table,
+        traces,
+    );
+    row(
+        "# of Nodes",
+        &|t| t.spec.nodes.to_string(),
+        sum_nodes.to_string(),
+        &mut table,
+        traces,
+    );
+    row(
+        "# of GPUs",
+        &|t| fmt_count(t.total_gpus() as u64),
+        fmt_count(sum_gpus as u64),
+        &mut table,
+        traces,
+    );
+    row(
+        "# of Jobs",
+        &|t| fmt_count(t.jobs.len() as u64),
+        fmt_count(sum_jobs),
+        &mut table,
+        traces,
+    );
     let data = json!({
         "nodes": traces.iter().map(|t| t.spec.nodes).collect::<Vec<_>>(),
         "gpus": traces.iter().map(|t| t.total_gpus()).collect::<Vec<_>>(),
@@ -247,7 +324,11 @@ fn table1(ctx: &mut Context) -> ExperimentOutput {
     });
     ExperimentOutput {
         id: "table1".into(),
-        text: format!("Table 1: cluster configurations (scale {})\n{}", ctx.cfg.scale, table.render()),
+        text: format!(
+            "Table 1: cluster configurations (scale {})\n{}",
+            ctx.cfg.scale,
+            table.render()
+        ),
         data,
     }
 }
@@ -257,22 +338,65 @@ fn table2(ctx: &mut Context) -> ExperimentOutput {
     let h = jobs::summarize(&helios_refs);
     let p = jobs::summarize(&[ctx.philly()]);
     let mut table = TextTable::new(vec!["", "Helios", "Philly"]);
-    table.row(vec!["# of clusters".to_string(), h.clusters.to_string(), p.clusters.to_string()]);
-    table.row(vec!["# of VCs".to_string(), h.vcs.to_string(), p.vcs.to_string()]);
-    table.row(vec!["# of Jobs".to_string(), fmt_count(h.jobs), fmt_count(p.jobs)]);
-    table.row(vec!["# of GPU Jobs".to_string(), fmt_count(h.gpu_jobs), fmt_count(p.gpu_jobs)]);
-    table.row(vec!["# of CPU Jobs".to_string(), fmt_count(h.cpu_jobs), fmt_count(p.cpu_jobs)]);
-    table.row(vec!["Duration (days)".to_string(), h.duration_days.to_string(), p.duration_days.to_string()]);
-    table.row(vec!["Average # of GPUs".to_string(), format!("{:.2}", h.avg_gpus), format!("{:.2}", p.avg_gpus)]);
-    table.row(vec!["Maximum # of GPUs".to_string(), h.max_gpus.to_string(), p.max_gpus.to_string()]);
-    table.row(vec!["Average Duration".to_string(), format!("{:.0}s", h.avg_duration_s), format!("{:.0}s", p.avg_duration_s)]);
-    table.row(vec!["Maximum Duration".to_string(), fmt_secs(h.max_duration_s as f64), fmt_secs(p.max_duration_s as f64)]);
+    table.row(vec![
+        "# of clusters".to_string(),
+        h.clusters.to_string(),
+        p.clusters.to_string(),
+    ]);
+    table.row(vec![
+        "# of VCs".to_string(),
+        h.vcs.to_string(),
+        p.vcs.to_string(),
+    ]);
+    table.row(vec![
+        "# of Jobs".to_string(),
+        fmt_count(h.jobs),
+        fmt_count(p.jobs),
+    ]);
+    table.row(vec![
+        "# of GPU Jobs".to_string(),
+        fmt_count(h.gpu_jobs),
+        fmt_count(p.gpu_jobs),
+    ]);
+    table.row(vec![
+        "# of CPU Jobs".to_string(),
+        fmt_count(h.cpu_jobs),
+        fmt_count(p.cpu_jobs),
+    ]);
+    table.row(vec![
+        "Duration (days)".to_string(),
+        h.duration_days.to_string(),
+        p.duration_days.to_string(),
+    ]);
+    table.row(vec![
+        "Average # of GPUs".to_string(),
+        format!("{:.2}", h.avg_gpus),
+        format!("{:.2}", p.avg_gpus),
+    ]);
+    table.row(vec![
+        "Maximum # of GPUs".to_string(),
+        h.max_gpus.to_string(),
+        p.max_gpus.to_string(),
+    ]);
+    table.row(vec![
+        "Average Duration".to_string(),
+        format!("{:.0}s", h.avg_duration_s),
+        format!("{:.0}s", p.avg_duration_s),
+    ]);
+    table.row(vec![
+        "Maximum Duration".to_string(),
+        fmt_secs(h.max_duration_s as f64),
+        fmt_secs(p.max_duration_s as f64),
+    ]);
     ExperimentOutput {
         id: "table2".into(),
-        text: format!("Table 2: Helios vs Philly (paper: 3.72 vs 1.75 GPUs, 6652s vs 28329s)\n{}", table.render()),
+        text: format!(
+            "Table 2: Helios vs Philly (paper: 3.72 vs 1.75 GPUs, 6652s vs 28329s)\n{}",
+            table.render()
+        ),
         data: json!({
-            "helios": {"jobs": h.jobs, "avg_gpus": h.avg_gpus, "avg_duration": h.avg_duration_s},
-            "philly": {"jobs": p.jobs, "avg_gpus": p.avg_gpus, "avg_duration": p.avg_duration_s},
+            "helios": json!({"jobs": h.jobs, "avg_gpus": h.avg_gpus, "avg_duration": h.avg_duration_s}),
+            "philly": json!({"jobs": p.jobs, "avg_gpus": p.avg_gpus, "avg_duration": p.avg_duration_s}),
         }),
     }
 }
@@ -298,8 +422,18 @@ fn fig1(ctx: &mut Context) -> ExperimentOutput {
     let h_status = jobs::gpu_time_by_status(&helios_refs);
     let p_status = jobs::gpu_time_by_status(&[ctx.philly()]);
     let mut t2 = TextTable::new(vec!["GPU time %", "completed", "canceled", "failed"]);
-    t2.row(vec!["Helios".to_string(), format!("{:.1}", h_status[0]), format!("{:.1}", h_status[1]), format!("{:.1}", h_status[2])]);
-    t2.row(vec!["Philly".to_string(), format!("{:.1}", p_status[0]), format!("{:.1}", p_status[1]), format!("{:.1}", p_status[2])]);
+    t2.row(vec![
+        "Helios".to_string(),
+        format!("{:.1}", h_status[0]),
+        format!("{:.1}", h_status[1]),
+        format!("{:.1}", h_status[2]),
+    ]);
+    t2.row(vec![
+        "Philly".to_string(),
+        format!("{:.1}", p_status[0]),
+        format!("{:.1}", p_status[1]),
+        format!("{:.1}", p_status[2]),
+    ]);
     ExperimentOutput {
         id: "fig1".into(),
         text: format!(
@@ -356,7 +490,14 @@ fn fig3(ctx: &mut Context) -> ExperimentOutput {
         ctx.helios().iter().map(clusters::monthly_trend).collect();
     let mut text = String::from("Fig 3: monthly trends (single-GPU fluctuates, multi-GPU stable; multi-GPU dominates utilization)\n");
     for tr in &trends {
-        let mut t = TextTable::new(vec!["month", "1-GPU jobs", "multi jobs", "util%", "1-GPU util%", "multi util%"]);
+        let mut t = TextTable::new(vec![
+            "month",
+            "1-GPU jobs",
+            "multi jobs",
+            "util%",
+            "1-GPU util%",
+            "multi util%",
+        ]);
         for m in 0..tr.months.len() {
             t.row(vec![
                 tr.months[m].clone(),
@@ -369,18 +510,23 @@ fn fig3(ctx: &mut Context) -> ExperimentOutput {
         }
         text.push_str(&format!(
             "\n{} (monthly avg-GPU-request std-dev {:.2}, paper 2.9):\n{}",
-            tr.cluster, tr.monthly_avg_gpu_std_dev, t.render()
+            tr.cluster,
+            tr.monthly_avg_gpu_std_dev,
+            t.render()
         ));
     }
     ExperimentOutput {
         id: "fig3".into(),
         text,
-        data: json!(trends.iter().map(|t| json!({
-            "cluster": t.cluster,
-            "single": t.single_gpu_jobs,
-            "multi": t.multi_gpu_jobs,
-            "util": t.utilization,
-        })).collect::<Vec<_>>()),
+        data: json!(trends
+            .iter()
+            .map(|t| json!({
+                "cluster": t.cluster.clone(),
+                "single": t.single_gpu_jobs.clone(),
+                "multi": t.multi_gpu_jobs.clone(),
+                "util": t.utilization.clone(),
+            }))
+            .collect::<Vec<_>>()),
     }
 }
 
@@ -390,7 +536,14 @@ fn fig4(ctx: &mut Context) -> ExperimentOutput {
     let behaviors = vc::vc_behaviors(earth, 1, 10);
     let (norm_dur, norm_qd) = vc::normalized_delay_series(&behaviors);
     let mut t = TextTable::new(vec![
-        "VC", "GPUs", "util q1%", "med%", "q3%", "avg GPUs/job", "norm dur", "norm queue",
+        "VC",
+        "GPUs",
+        "util q1%",
+        "med%",
+        "q3%",
+        "avg GPUs/job",
+        "norm dur",
+        "norm queue",
     ]);
     for (i, b) in behaviors.iter().enumerate() {
         t.row(vec![
@@ -425,16 +578,30 @@ fn fig5(ctx: &mut Context) -> ExperimentOutput {
     let gpu: Vec<Cdf> = ctx.helios().iter().map(jobs::gpu_duration_cdf).collect();
     let cpu: Vec<Cdf> = ctx.helios().iter().map(jobs::cpu_duration_cdf).collect();
     for &x in &grid {
-        t1.row(vec![fmt_secs(x)]
-            .into_iter()
-            .chain(gpu.iter().map(|c| format!("{:.1}", 100.0 * c.fraction_at(x))))
-            .collect::<Vec<_>>());
-        t2.row(vec![fmt_secs(x)]
-            .into_iter()
-            .chain(cpu.iter().map(|c| format!("{:.1}", 100.0 * c.fraction_at(x))))
-            .collect::<Vec<_>>());
+        t1.row(
+            vec![fmt_secs(x)]
+                .into_iter()
+                .chain(
+                    gpu.iter()
+                        .map(|c| format!("{:.1}", 100.0 * c.fraction_at(x))),
+                )
+                .collect::<Vec<_>>(),
+        );
+        t2.row(
+            vec![fmt_secs(x)]
+                .into_iter()
+                .chain(
+                    cpu.iter()
+                        .map(|c| format!("{:.1}", 100.0 * c.fraction_at(x))),
+                )
+                .collect::<Vec<_>>(),
+        );
     }
-    let medians: Vec<String> = gpu.iter().zip(ctx.helios()).map(|(c, t)| format!("{}={:.0}s", t.spec.id, c.median())).collect();
+    let medians: Vec<String> = gpu
+        .iter()
+        .zip(ctx.helios())
+        .map(|(c, t)| format!("{}={:.0}s", t.spec.id, c.median()))
+        .collect();
     ExperimentOutput {
         id: "fig5".into(),
         text: format!(
@@ -451,12 +618,24 @@ fn fig6(ctx: &mut Context) -> ExperimentOutput {
     let mut t2 = TextTable::new(vec!["<=GPUs", "Venus%", "Earth%", "Saturn%", "Uranus%"]);
     let pairs: Vec<_> = ctx.helios().iter().map(jobs::job_size_cdfs).collect();
     for &s in &sizes {
-        t1.row(std::iter::once(format!("{s}"))
-            .chain(pairs.iter().map(|(c, _)| format!("{:.1}", 100.0 * c.fraction_at(s))))
-            .collect::<Vec<_>>());
-        t2.row(std::iter::once(format!("{s}"))
-            .chain(pairs.iter().map(|(_, w)| format!("{:.1}", 100.0 * w.fraction_at(s))))
-            .collect::<Vec<_>>());
+        t1.row(
+            std::iter::once(format!("{s}"))
+                .chain(
+                    pairs
+                        .iter()
+                        .map(|(c, _)| format!("{:.1}", 100.0 * c.fraction_at(s))),
+                )
+                .collect::<Vec<_>>(),
+        );
+        t2.row(
+            std::iter::once(format!("{s}"))
+                .chain(
+                    pairs
+                        .iter()
+                        .map(|(_, w)| format!("{:.1}", 100.0 * w.fraction_at(s))),
+                )
+                .collect::<Vec<_>>(),
+        );
     }
     ExperimentOutput {
         id: "fig6".into(),
@@ -476,8 +655,18 @@ fn fig7(ctx: &mut Context) -> ExperimentOutput {
     let (cpu, gpu) = jobs::status_by_job_class(&refs);
     let by_demand = jobs::status_by_gpu_demand(&refs);
     let mut t1 = TextTable::new(vec!["job type", "completed%", "canceled%", "failed%"]);
-    t1.row(vec!["CPU".to_string(), format!("{:.1}", cpu[0]), format!("{:.1}", cpu[1]), format!("{:.1}", cpu[2])]);
-    t1.row(vec!["GPU".to_string(), format!("{:.1}", gpu[0]), format!("{:.1}", gpu[1]), format!("{:.1}", gpu[2])]);
+    t1.row(vec![
+        "CPU".to_string(),
+        format!("{:.1}", cpu[0]),
+        format!("{:.1}", cpu[1]),
+        format!("{:.1}", cpu[2]),
+    ]);
+    t1.row(vec![
+        "GPU".to_string(),
+        format!("{:.1}", gpu[0]),
+        format!("{:.1}", gpu[1]),
+        format!("{:.1}", gpu[2]),
+    ]);
     let mut t2 = TextTable::new(vec!["GPU demand", "completed%", "canceled%", "failed%"]);
     for (i, label) in jobs::DEMAND_BUCKETS.iter().enumerate() {
         t2.row(vec![
@@ -499,15 +688,33 @@ fn fig7(ctx: &mut Context) -> ExperimentOutput {
 
 fn fig8(ctx: &mut Context) -> ExperimentOutput {
     let fractions = [0.01, 0.05, 0.10, 0.25, 0.50, 1.0];
-    let mut t = TextTable::new(vec!["top users", "GPU-time% (V/E/S/U)", "CPU-time% (V/E/S/U)"]);
-    let stats: Vec<Vec<users::UserStats>> = ctx.helios().iter().map(|tr| users::per_user_stats(tr)).collect();
+    let mut t = TextTable::new(vec![
+        "top users",
+        "GPU-time% (V/E/S/U)",
+        "CPU-time% (V/E/S/U)",
+    ]);
+    let stats: Vec<Vec<users::UserStats>> =
+        ctx.helios().iter().map(users::per_user_stats).collect();
     let curves: Vec<_> = stats.iter().map(|s| users::consumption_curves(s)).collect();
     for &f in &fractions {
-        let gpu: Vec<String> = curves.iter().map(|(g, _)| format!("{:.0}", 100.0 * users::top_share(g, f))).collect();
-        let cpu: Vec<String> = curves.iter().map(|(_, c)| format!("{:.0}", 100.0 * users::top_share(c, f))).collect();
-        t.row(vec![format!("{:.0}%", f * 100.0), gpu.join("/"), cpu.join("/")]);
+        let gpu: Vec<String> = curves
+            .iter()
+            .map(|(g, _)| format!("{:.0}", 100.0 * users::top_share(g, f)))
+            .collect();
+        let cpu: Vec<String> = curves
+            .iter()
+            .map(|(_, c)| format!("{:.0}", 100.0 * users::top_share(c, f)))
+            .collect();
+        t.row(vec![
+            format!("{:.0}%", f * 100.0),
+            gpu.join("/"),
+            cpu.join("/"),
+        ]);
     }
-    let top5_gpu: Vec<f64> = curves.iter().map(|(g, _)| users::top_share(g, 0.05)).collect();
+    let top5_gpu: Vec<f64> = curves
+        .iter()
+        .map(|(g, _)| users::top_share(g, 0.05))
+        .collect();
     ExperimentOutput {
         id: "fig8".into(),
         text: format!(
@@ -519,17 +726,26 @@ fn fig8(ctx: &mut Context) -> ExperimentOutput {
 }
 
 fn fig9(ctx: &mut Context) -> ExperimentOutput {
-    let stats: Vec<Vec<users::UserStats>> = ctx.helios().iter().map(|tr| users::per_user_stats(tr)).collect();
+    let stats: Vec<Vec<users::UserStats>> =
+        ctx.helios().iter().map(users::per_user_stats).collect();
     let mut t = TextTable::new(vec!["top users", "queue-delay% (V/E/S/U)"]);
     for f in [0.01, 0.05, 0.10, 0.25, 0.50] {
         let qs: Vec<String> = stats
             .iter()
-            .map(|s| format!("{:.0}", 100.0 * users::top_share(&users::queuing_curve(s), f)))
+            .map(|s| {
+                format!(
+                    "{:.0}",
+                    100.0 * users::top_share(&users::queuing_curve(s), f)
+                )
+            })
             .collect();
         t.row(vec![format!("{:.0}%", f * 100.0), qs.join("/")]);
     }
     let mut t2 = TextTable::new(vec!["completion rate", "users (V/E/S/U)"]);
-    let hists: Vec<Vec<u64>> = stats.iter().map(|s| users::completion_rate_histogram(s, 10)).collect();
+    let hists: Vec<Vec<u64>> = stats
+        .iter()
+        .map(|s| users::completion_rate_histogram(s, 10))
+        .collect();
     for b in 0..10 {
         let us: Vec<String> = hists.iter().map(|h| h[b].to_string()).collect();
         t2.row(vec![format!("{}-{}%", b * 10, (b + 1) * 10), us.join("/")]);
@@ -550,7 +766,9 @@ fn fig9(ctx: &mut Context) -> ExperimentOutput {
 
 fn fig11(ctx: &mut Context) -> ExperimentOutput {
     let grid = Cdf::log_grid(1.0, 3.0e6, 12);
-    let mut text = String::from("Fig 11: JCT CDFs per cluster and policy (September; QSSF ~ SJF/SRTF >> FIFO)\n");
+    let mut text = String::from(
+        "Fig 11: JCT CDFs per cluster and policy (September; QSSF ~ SJF/SRTF >> FIFO)\n",
+    );
     let mut data = serde_json::Map::new();
     for run in ctx.scheduler_runs() {
         let mut t = TextTable::new(vec!["JCT", "FIFO%", "SJF%", "QSSF%", "SRTF%"]);
@@ -559,12 +777,20 @@ fn fig11(ctx: &mut Context) -> ExperimentOutput {
             .map(|p| Cdf::new(helios_sim::jct_samples(&run.outcomes[p])))
             .collect();
         for &x in &grid {
-            t.row(std::iter::once(fmt_secs(x))
-                .chain(cdfs.iter().map(|c| format!("{:.1}", 100.0 * c.fraction_at(x))))
-                .collect::<Vec<_>>());
+            t.row(
+                std::iter::once(fmt_secs(x))
+                    .chain(
+                        cdfs.iter()
+                            .map(|c| format!("{:.1}", 100.0 * c.fraction_at(x))),
+                    )
+                    .collect::<Vec<_>>(),
+            );
         }
         text.push_str(&format!("\n{}:\n{}", run.cluster, t.render()));
-        data.insert(run.cluster.clone(), json!(cdfs.iter().map(|c| c.median()).collect::<Vec<_>>()));
+        data.insert(
+            run.cluster.clone(),
+            json!(cdfs.iter().map(|c| c.median()).collect::<Vec<_>>()),
+        );
     }
     ExperimentOutput {
         id: "fig11".into(),
@@ -573,7 +799,11 @@ fn fig11(ctx: &mut Context) -> ExperimentOutput {
     }
 }
 
-fn per_vc_table(run: &SchedulerRun, trace: Option<&Trace>, top_k: usize) -> (String, serde_json::Value) {
+fn per_vc_table(
+    run: &SchedulerRun,
+    trace: Option<&Trace>,
+    top_k: usize,
+) -> (String, serde_json::Value) {
     // Top-k VCs by FIFO average queue delay.
     let fifo = per_vc_queue_delay(&run.outcomes["FIFO"]);
     let mut vcs: Vec<(u16, f64)> = fifo.iter().map(|(&v, &d)| (v, d)).collect();
@@ -588,19 +818,30 @@ fn per_vc_table(run: &SchedulerRun, trace: Option<&Trace>, top_k: usize) -> (Str
         let name = trace
             .map(|tr| tr.spec.vcs[vc as usize].name.clone())
             .unwrap_or_else(|| format!("vc{vc}"));
-        t.row(std::iter::once(name)
-            .chain(POLICIES.iter().map(|&p| {
-                fmt_secs(per_policy[p].get(&vc).copied().unwrap_or(0.0))
-            }))
-            .collect::<Vec<_>>());
+        t.row(
+            std::iter::once(name)
+                .chain(
+                    POLICIES
+                        .iter()
+                        .map(|&p| fmt_secs(per_policy[p].get(&vc).copied().unwrap_or(0.0))),
+                )
+                .collect::<Vec<_>>(),
+        );
     }
     // Whole-cluster row.
-    t.row(std::iter::once("all".to_string())
-        .chain(POLICIES.iter().map(|&p| {
-            fmt_secs(schedule_stats(&run.outcomes[p]).avg_queue_delay)
-        }))
+    t.row(
+        std::iter::once("all".to_string())
+            .chain(
+                POLICIES
+                    .iter()
+                    .map(|&p| fmt_secs(schedule_stats(&run.outcomes[p]).avg_queue_delay)),
+            )
+            .collect::<Vec<_>>(),
+    );
+    let data = json!(vcs
+        .iter()
+        .map(|(v, d)| json!({"vc": v, "fifo_delay": d}))
         .collect::<Vec<_>>());
-    let data = json!(vcs.iter().map(|(v, d)| json!({"vc": v, "fifo_delay": d})).collect::<Vec<_>>());
     (t.render(), data)
 }
 
@@ -611,7 +852,9 @@ fn fig12(ctx: &mut Context) -> ExperimentOutput {
     let (text, data) = per_vc_table(run, Some(&trace_saturn), 10);
     ExperimentOutput {
         id: "fig12".into(),
-        text: format!("Fig 12: average queue delay of the top-10 VCs in Saturn (QSSF ~ SJF)\n{text}"),
+        text: format!(
+            "Fig 12: average queue delay of the top-10 VCs in Saturn (QSSF ~ SJF)\n{text}"
+        ),
         data,
     }
 }
@@ -621,7 +864,9 @@ fn fig13(ctx: &mut Context) -> ExperimentOutput {
     let (text, data) = per_vc_table(run, None, 10);
     ExperimentOutput {
         id: "fig13".into(),
-        text: format!("Fig 13: average queue delay of the top-10 VCs in Philly (noisy-oracle QSSF)\n{text}"),
+        text: format!(
+            "Fig 13: average queue delay of the top-10 VCs in Philly (noisy-oracle QSSF)\n{text}"
+        ),
         data,
     }
 }
@@ -638,8 +883,14 @@ fn table3(ctx: &mut Context) -> ExperimentOutput {
         .collect();
     let mut text = String::from("Table 3: scheduler comparison (paper: QSSF ~ SJF, 1.5-6.5x JCT and 4.8-20.2x queue-delay gains over FIFO)\n");
     let mut data = serde_json::Map::new();
-    for metric in ["Average JCT (s)", "Average Queuing Time (s)", "# of Queuing Jobs"] {
-        let mut t = TextTable::new(vec!["policy", "Venus", "Earth", "Saturn", "Uranus", "Philly"]);
+    for metric in [
+        "Average JCT (s)",
+        "Average Queuing Time (s)",
+        "# of Queuing Jobs",
+    ] {
+        let mut t = TextTable::new(vec![
+            "policy", "Venus", "Earth", "Saturn", "Uranus", "Philly",
+        ]);
         for &p in &POLICIES {
             let cells: Vec<String> = runs
                 .iter()
@@ -652,7 +903,11 @@ fn table3(ctx: &mut Context) -> ExperimentOutput {
                     }
                 })
                 .collect();
-            t.row(std::iter::once(p.to_string()).chain(cells).collect::<Vec<_>>());
+            t.row(
+                std::iter::once(p.to_string())
+                    .chain(cells)
+                    .collect::<Vec<_>>(),
+            );
         }
         text.push_str(&format!("\n{metric}:\n{}", t.render()));
     }
@@ -667,10 +922,13 @@ fn table3(ctx: &mut Context) -> ExperimentOutput {
             fifo.avg_jct / qssf.avg_jct.max(1.0),
             fifo.avg_queue_delay / qssf.avg_queue_delay.max(1.0)
         ));
-        data.insert(r.cluster.clone(), json!({
-            "jct_gain": fifo.avg_jct / qssf.avg_jct.max(1.0),
-            "queue_gain": fifo.avg_queue_delay / qssf.avg_queue_delay.max(1.0),
-        }));
+        data.insert(
+            r.cluster.clone(),
+            json!({
+                "jct_gain": fifo.avg_jct / qssf.avg_jct.max(1.0),
+                "queue_gain": fifo.avg_queue_delay / qssf.avg_queue_delay.max(1.0),
+            }),
+        );
     }
     text.push_str(&format!("\nQSSF vs FIFO: {}\n", improvements.join("; ")));
     ExperimentOutput {
@@ -690,7 +948,9 @@ fn table4(ctx: &mut Context) -> ExperimentOutput {
         .iter()
         .chain(std::iter::once(ctx.sched_philly.as_ref().unwrap()))
         .collect();
-    let mut t = TextTable::new(vec!["group", "Venus", "Earth", "Saturn", "Uranus", "Philly"]);
+    let mut t = TextTable::new(vec![
+        "group", "Venus", "Earth", "Saturn", "Uranus", "Philly",
+    ]);
     let mut ratios_all = Vec::new();
     for g in 0..3 {
         let cells: Vec<String> = runs
@@ -701,9 +961,11 @@ fn table4(ctx: &mut Context) -> ExperimentOutput {
             })
             .collect();
         ratios_all.push(cells.clone());
-        t.row(std::iter::once(helios_sim::DURATION_GROUPS[g].to_string())
-            .chain(cells)
-            .collect::<Vec<_>>());
+        t.row(
+            std::iter::once(helios_sim::DURATION_GROUPS[g].to_string())
+                .chain(cells)
+                .collect::<Vec<_>>(),
+        );
     }
     ExperimentOutput {
         id: "table4".into(),
@@ -733,7 +995,10 @@ fn node_state_figure(name: &str, eval: &CesEvaluation, days: usize) -> String {
         // Forecast[t] targets t+h; align by shifting back h bins.
         let h = 18usize;
         let pred_lo = lo.saturating_sub(h);
-        let pred_hi = hi.saturating_sub(h).max(pred_lo + 1).min(eval.forecast.len());
+        let pred_hi = hi
+            .saturating_sub(h)
+            .max(pred_lo + 1)
+            .min(eval.forecast.len());
         let pred = if pred_lo < pred_hi {
             eval.forecast[pred_lo..pred_hi].iter().sum::<f64>() / (pred_hi - pred_lo) as f64
         } else {
@@ -790,17 +1055,47 @@ fn table5(ctx: &mut Context) -> ExperimentOutput {
         .collect();
     let mut t = TextTable::new(vec!["", "Venus", "Earth", "Saturn", "Uranus", "Philly"]);
     let row = |label: &str, f: &dyn Fn(&CesEvaluation) -> String, t: &mut TextTable| {
-        t.row(std::iter::once(label.to_string())
-            .chain(evals.iter().map(|(_, e)| f(e)))
-            .collect::<Vec<_>>());
+        t.row(
+            std::iter::once(label.to_string())
+                .chain(evals.iter().map(|(_, e)| f(e)))
+                .collect::<Vec<_>>(),
+        );
     };
-    row("Average # of DRS nodes", &|e| format!("{:.1}", e.guided.avg_drs_nodes()), &mut t);
-    row("Daily wake-ups", &|e| format!("{:.1}", e.guided.daily_wakeups()), &mut t);
-    row("Woken nodes per wake-up", &|e| format!("{:.1}", e.guided.avg_woken_per_wakeup()), &mut t);
-    row("Node utilization (orig) %", &|e| format!("{:.1}", 100.0 * e.guided.baseline_utilization()), &mut t);
-    row("Node utilization (CES) %", &|e| format!("{:.1}", 100.0 * e.guided.utilization_with_drs()), &mut t);
-    row("Vanilla daily wake-ups", &|e| format!("{:.1}", e.vanilla.daily_wakeups()), &mut t);
-    row("Affected jobs (approx)", &|e| format!("{:.0}", e.guided.affected_jobs), &mut t);
+    row(
+        "Average # of DRS nodes",
+        &|e| format!("{:.1}", e.guided.avg_drs_nodes()),
+        &mut t,
+    );
+    row(
+        "Daily wake-ups",
+        &|e| format!("{:.1}", e.guided.daily_wakeups()),
+        &mut t,
+    );
+    row(
+        "Woken nodes per wake-up",
+        &|e| format!("{:.1}", e.guided.avg_woken_per_wakeup()),
+        &mut t,
+    );
+    row(
+        "Node utilization (orig) %",
+        &|e| format!("{:.1}", 100.0 * e.guided.baseline_utilization()),
+        &mut t,
+    );
+    row(
+        "Node utilization (CES) %",
+        &|e| format!("{:.1}", 100.0 * e.guided.utilization_with_drs()),
+        &mut t,
+    );
+    row(
+        "Vanilla daily wake-ups",
+        &|e| format!("{:.1}", e.vanilla.daily_wakeups()),
+        &mut t,
+    );
+    row(
+        "Affected jobs (approx)",
+        &|e| format!("{:.0}", e.guided.affected_jobs),
+        &mut t,
+    );
     row("Forecast SMAPE %", &|e| format!("{:.2}", e.smape), &mut t);
 
     // Energy headline across the four Helios clusters.
@@ -831,20 +1126,35 @@ fn pred_qssf(ctx: &mut Context) -> ExperimentOutput {
     use helios_predict::features::job::{build_training_matrix, FEATURE_NAMES, NUM_FEATURES};
     use helios_predict::gbdt::Gbdt;
     let mut text = String::from("QSSF duration-prediction quality (train Apr-Aug, test Sep; log-space RMSE vs constant baseline)\n");
-    let mut t = TextTable::new(vec!["cluster", "jobs", "model RMSE", "rolling-only RMSE", "constant RMSE"]);
+    let mut t = TextTable::new(vec![
+        "cluster",
+        "jobs",
+        "model RMSE",
+        "rolling-only RMSE",
+        "constant RMSE",
+    ]);
     let mut data = serde_json::Map::new();
     let traces: Vec<Trace> = ctx.helios().to_vec();
     for trace in &traces {
         let (lo, hi) = trace.calendar.month_range(5);
         let mut merged = QssfService::new(QssfConfig::default());
-        merged.train(trace, 0, lo);
+        merged
+            .train(trace, 0, lo)
+            .expect("training window non-empty");
         let scored = merged.assign_priorities(trace, lo, hi);
-        let mut rolling_only = QssfService::new(QssfConfig { lambda: 1.0, ..Default::default() });
-        rolling_only.train(trace, 0, lo);
+        let mut rolling_only = QssfService::new(QssfConfig {
+            lambda: 1.0,
+            ..Default::default()
+        });
+        rolling_only
+            .train(trace, 0, lo)
+            .expect("training window non-empty");
         let scored_r = rolling_only.assign_priorities(trace, lo, hi);
         let actual: Vec<f64> = scored.iter().map(|s| (s.duration as f64).ln()).collect();
         let to_log = |sims: &[SimJob]| -> Vec<f64> {
-            sims.iter().map(|s| (s.priority / s.gpus as f64).max(1.0).ln()).collect()
+            sims.iter()
+                .map(|s| (s.priority / s.gpus as f64).max(1.0).ln())
+                .collect()
         };
         let mean = actual.iter().sum::<f64>() / actual.len() as f64;
         let rm = helios_predict::metrics::rmse(&actual, &to_log(&scored));
@@ -857,7 +1167,10 @@ fn pred_qssf(ctx: &mut Context) -> ExperimentOutput {
             format!("{rr:.3}"),
             format!("{rc:.3}"),
         ]);
-        data.insert(trace.spec.id.name().into(), json!({"model": rm, "constant": rc}));
+        data.insert(
+            trace.spec.id.name().into(),
+            json!({"model": rm, "constant": rc}),
+        );
     }
     text.push_str(&t.render());
 
@@ -887,7 +1200,8 @@ fn pred_ces(ctx: &mut Context) -> ExperimentOutput {
     // Earth node series; compare GBDT vs ARIMA vs Fourier(Prophet) vs LSTM
     // vs seasonal naive at a 3h horizon.
     let earth = ctx.helios()[1].clone();
-    let series = node_series_from_trace(&earth, 600, Placement::Consolidate);
+    let series = node_series_from_trace(&earth, 600, Placement::Consolidate)
+        .expect("series replay on a valid trace");
     let cal = &earth.calendar;
     let cfg = SeriesFeatureConfig::default_10min();
     let h = cfg.horizon;
@@ -900,8 +1214,11 @@ fn pred_ces(ctx: &mut Context) -> ExperimentOutput {
 
     // GBDT (the CES service forecaster).
     let mut svc = CesService::new(scaled_ces_config(earth.spec.nodes));
-    svc.train(&series, cal, split);
-    let gbdt_pred = svc.forecast(&series, cal, split, series.len() - h);
+    svc.train(&series, cal, split)
+        .expect("training series long enough");
+    let gbdt_pred = svc
+        .forecast(&series, cal, split, series.len() - h)
+        .expect("model trained above");
 
     // ARIMA(12, 1) refit once on the training prefix; rolling 1-origin
     // forecasts.
@@ -912,7 +1229,13 @@ fn pred_ces(ctx: &mut Context) -> ExperimentOutput {
         .collect();
 
     // Fourier/Prophet-style.
-    let fourier = FourierForecaster::fit(&values[..split], series.t0, series.bin, cal, FourierParams::default());
+    let fourier = FourierForecaster::fit(
+        &values[..split],
+        series.t0,
+        series.bin,
+        cal,
+        FourierParams::default(),
+    );
     let fourier_pred: Vec<f64> = test_idx
         .iter()
         .map(|&i| fourier.predict_at(series.t0 + series.bin * (i + h) as i64, cal))
@@ -968,11 +1291,16 @@ fn ablation_lambda(ctx: &mut Context) -> ExperimentOutput {
     let mut t = TextTable::new(vec!["lambda", "avg JCT (s)", "avg queue (s)"]);
     let mut best = (f64::NAN, f64::INFINITY);
     for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let mut svc = QssfService::new(QssfConfig { lambda, ..Default::default() });
-        svc.train(&venus, 0, lo);
+        let mut svc = QssfService::new(QssfConfig {
+            lambda,
+            ..Default::default()
+        });
+        svc.train(&venus, 0, lo).expect("training window non-empty");
         let scored = svc.assign_priorities(&venus, lo, hi);
         let stats = schedule_stats(
-            &simulate(&venus.spec, &scored, &SimConfig::new(Policy::Priority)).outcomes,
+            &simulate(&venus.spec, &scored, &SimConfig::new(Policy::Priority))
+                .expect("sim inputs pre-filtered")
+                .outcomes,
         );
         if stats.avg_jct < best.1 {
             best = (lambda, stats.avg_jct);
@@ -999,7 +1327,7 @@ fn ablation_backfill(ctx: &mut Context) -> ExperimentOutput {
     let venus = ctx.helios()[0].clone();
     let (lo, hi) = venus.calendar.month_range(5);
     let mut svc = QssfService::new(QssfConfig::default());
-    svc.train(&venus, 0, lo);
+    svc.train(&venus, 0, lo).expect("training window non-empty");
     let scored = svc.assign_priorities(&venus, lo, hi);
     let mut t = TextTable::new(vec!["config", "avg JCT (s)", "avg queue (s)", "# queued"]);
     let mut data = serde_json::Map::new();
@@ -1010,7 +1338,11 @@ fn ablation_backfill(ctx: &mut Context) -> ExperimentOutput {
             backfill,
             occupancy_bin: None,
         };
-        let stats = schedule_stats(&simulate(&venus.spec, &scored, &cfg).outcomes);
+        let stats = schedule_stats(
+            &simulate(&venus.spec, &scored, &cfg)
+                .expect("sim inputs pre-filtered")
+                .outcomes,
+        );
         t.row(vec![
             label.to_string(),
             format!("{:.0}", stats.avg_jct),
@@ -1021,20 +1353,47 @@ fn ablation_backfill(ctx: &mut Context) -> ExperimentOutput {
     }
     ExperimentOutput {
         id: "ablation-backfill".into(),
-        text: format!("Ablation: EASY backfill on top of QSSF (Venus, September)\n{}", t.render()),
+        text: format!(
+            "Ablation: EASY backfill on top of QSSF (Venus, September)\n{}",
+            t.render()
+        ),
         data: serde_json::Value::Object(data),
     }
 }
 
+/// Experiments not covered by a paper artifact id: predictor quality and
+/// ablations. Run by `all` after [`ALL_EXPERIMENTS`], and listed by the
+/// `repro` binary — one source of truth so the lists cannot drift.
+pub const EXTRA_EXPERIMENTS: [&str; 3] = ["pred-ces", "ablation-lambda", "ablation-backfill"];
+
 /// All experiment ids, in DESIGN.md order.
 pub const ALL_EXPERIMENTS: [&str; 20] = [
-    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig11", "fig12", "fig13", "table3", "table4", "fig14", "fig15", "table5", "pred-qssf",
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig11",
+    "fig12",
+    "fig13",
+    "table3",
+    "table4",
+    "fig14",
+    "fig15",
+    "table5",
+    "pred-qssf",
 ];
 
-/// Run one experiment (or `all`).
-pub fn run(id: &str, ctx: &mut Context) -> Vec<ExperimentOutput> {
-    match id {
+/// Run one experiment (or `all`). Unknown ids are an error, not a panic,
+/// so the `repro` binary can exit non-zero cleanly.
+pub fn run(id: &str, ctx: &mut Context) -> Result<Vec<ExperimentOutput>, HeliosError> {
+    Ok(match id {
         "table1" => vec![table1(ctx)],
         "table2" => vec![table2(ctx)],
         "fig1" => vec![fig1(ctx)],
@@ -1060,14 +1419,22 @@ pub fn run(id: &str, ctx: &mut Context) -> Vec<ExperimentOutput> {
         "ablation-backfill" => vec![ablation_backfill(ctx)],
         "all" => {
             let mut out = Vec::new();
-            for id in ALL_EXPERIMENTS {
-                out.extend(run(id, ctx));
+            for id in ALL_EXPERIMENTS.iter().chain(&EXTRA_EXPERIMENTS) {
+                out.extend(run(id, ctx)?);
             }
-            out.extend(run("pred-ces", ctx));
-            out.extend(run("ablation-lambda", ctx));
-            out.extend(run("ablation-backfill", ctx));
             out
         }
-        other => panic!("unknown experiment id {other:?} (see DESIGN.md)"),
-    }
+        other => {
+            return Err(HeliosError::UnknownName {
+                kind: "experiment",
+                name: other.to_string(),
+                expected: {
+                    let mut ids: Vec<&str> = ALL_EXPERIMENTS.to_vec();
+                    ids.extend(EXTRA_EXPERIMENTS);
+                    ids.push("all");
+                    ids.join(", ")
+                },
+            })
+        }
+    })
 }

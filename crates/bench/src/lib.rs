@@ -5,6 +5,15 @@
 //! experiment index); this library holds the shared experiment context and
 //! the per-experiment implementations so both the binary and the criterion
 //! benches can drive them.
+//!
+//! ```no_run
+//! use helios_bench::experiments::{run, Context};
+//!
+//! let mut ctx = Context::new(0.25, 2020)?; // scale is validated here
+//! let outputs = run("table1", &mut ctx)?;  // unknown ids are errors
+//! assert_eq!(outputs[0].id, "table1");
+//! # Ok::<(), helios_trace::HeliosError>(())
+//! ```
 
 pub mod experiments;
 

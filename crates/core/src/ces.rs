@@ -7,7 +7,7 @@ use helios_energy::{run_control_loop, CesConfig, CesOutcome, DrsPolicy, NodeSeri
 use helios_predict::features::series::{build_series_dataset, features_at, SeriesFeatureConfig};
 use helios_predict::gbdt::{Gbdt, GbdtParams};
 use helios_predict::metrics::smape;
-use helios_trace::Trace;
+use helios_trace::{HeliosError, HeliosResult, Trace};
 use serde::{Deserialize, Serialize};
 
 /// CES service configuration.
@@ -75,12 +75,28 @@ impl CesService {
     }
 
     /// Train the forecaster on the node series bins `[0, train_end_bin)`.
-    pub fn train(&mut self, series: &NodeSeries, cal: &helios_trace::Calendar, train_end_bin: usize) {
+    /// A series too short to yield one training row is an error.
+    pub fn train(
+        &mut self,
+        series: &NodeSeries,
+        cal: &helios_trace::Calendar,
+        train_end_bin: usize,
+    ) -> HeliosResult<()> {
         let train = &series.running[..train_end_bin.min(series.len())];
         let (cols, targets, _) =
             build_series_dataset(train, series.t0, series.bin, cal, &self.cfg.features);
-        assert!(!targets.is_empty(), "node series too short to train");
+        if targets.is_empty() {
+            return Err(HeliosError::empty_input(
+                "node-series training rows",
+                format!(
+                    "series of {} bins is too short for the feature window (min {})",
+                    train.len(),
+                    self.cfg.features.min_index() + self.cfg.features.horizon
+                ),
+            ));
+        }
         self.model = Some(Gbdt::fit(&cols, &targets, &self.cfg.gbdt, None));
+        Ok(())
     }
 
     /// Forecast `running[t + horizon]` for every bin `t` in
@@ -92,9 +108,12 @@ impl CesService {
         cal: &helios_trace::Calendar,
         from_bin: usize,
         to_bin: usize,
-    ) -> Vec<f64> {
-        let model = self.model.as_ref().expect("CES model not trained");
-        (from_bin..to_bin)
+    ) -> HeliosResult<Vec<f64>> {
+        let model = self
+            .model
+            .as_ref()
+            .ok_or(HeliosError::NotTrained { service: "ces" })?;
+        Ok((from_bin..to_bin)
             .map(|t| {
                 let row = features_at(
                     &series.running,
@@ -106,7 +125,7 @@ impl CesService {
                 );
                 model.predict_row(&row).max(0.0)
             })
-            .collect()
+            .collect())
     }
 
     /// Full paper evaluation on one cluster trace: train the forecaster on
@@ -119,14 +138,29 @@ impl CesService {
         series: &NodeSeries,
         eval_start: i64,
         eval_end: i64,
-    ) -> CesEvaluation {
+    ) -> HeliosResult<CesEvaluation> {
+        if eval_start >= eval_end {
+            return Err(HeliosError::invalid_config(
+                "evaluation window",
+                format!("eval_start {eval_start} must precede eval_end {eval_end}"),
+            ));
+        }
         let bin = series.bin;
         let start_bin = ((eval_start - series.t0) / bin).max(0) as usize;
         let end_bin = (((eval_end - series.t0) / bin) as usize).min(series.len());
-        assert!(start_bin + self.cfg.features.min_index() < end_bin);
+        if start_bin + self.cfg.features.min_index() >= end_bin {
+            return Err(HeliosError::empty_input(
+                "evaluation bins",
+                format!(
+                    "window [{eval_start}, {eval_end}) leaves no bins after the \
+                     feature warm-up ({} bins)",
+                    self.cfg.features.min_index()
+                ),
+            ));
+        }
 
-        self.train(series, &trace.calendar, start_bin);
-        let forecast = self.forecast(series, &trace.calendar, start_bin, end_bin);
+        self.train(series, &trace.calendar, start_bin)?;
+        let forecast = self.forecast(series, &trace.calendar, start_bin, end_bin)?;
 
         // Forecast quality: forecast[t] vs running[t + horizon].
         let h = self.cfg.features.horizon;
@@ -141,15 +175,20 @@ impl CesService {
         let quality = smape(&actual, &predicted);
 
         let window = series.window(start_bin, end_bin);
-        let guided = run_control_loop(&window, &forecast, DrsPolicy::PredictionGuided, &self.cfg.control);
+        let guided = run_control_loop(
+            &window,
+            &forecast,
+            DrsPolicy::PredictionGuided,
+            &self.cfg.control,
+        );
         let vanilla = run_control_loop(&window, &forecast, DrsPolicy::Vanilla, &self.cfg.control);
-        CesEvaluation {
+        Ok(CesEvaluation {
             smape: quality,
             guided,
             vanilla,
             series: window,
             forecast,
-        }
+        })
     }
 
     /// True once trained.
@@ -163,49 +202,52 @@ impl Service for CesService {
         "ces"
     }
 
-    fn update_model(&mut self, history: &HistoryStore) {
+    fn update_model(&mut self, history: &HistoryStore) -> HeliosResult<()> {
         let now = history.now();
         let bin = 600;
         if now < 30 * bin {
-            return;
+            return Ok(());
         }
         let series = helios_energy::node_series_from_trace(
             history.trace(),
             bin,
             helios_sim::Placement::Consolidate,
-        );
+        )?;
         let train_end = ((now - series.t0) / bin) as usize;
         if train_end > self.cfg.features.min_index() + self.cfg.features.horizon + 10 {
-            self.train(&series, &history.trace().calendar, train_end);
+            self.train(&series, &history.trace().calendar, train_end)?;
         }
+        Ok(())
     }
 
-    fn orchestrate(&mut self, history: &HistoryStore, now: i64) -> Vec<Action> {
+    fn orchestrate(&mut self, history: &HistoryStore, now: i64) -> HeliosResult<Vec<Action>> {
         if !self.is_trained() {
-            return vec![Action::None];
+            return Ok(vec![Action::None]);
         }
         let bin = 600;
         let series = helios_energy::node_series_from_trace(
             history.trace(),
             bin,
             helios_sim::Placement::Consolidate,
-        );
+        )?;
         let t = ((now - series.t0) / bin) as usize;
         if t < self.cfg.features.min_index() || t >= series.len() {
-            return vec![Action::None];
+            return Ok(vec![Action::None]);
         }
-        let f = self.forecast(&series, &history.trace().calendar, t, t + 1)[0];
+        let f = self.forecast(&series, &history.trace().calendar, t, t + 1)?[0];
         let running = series.running[t];
-        if f + self.cfg.control.buffer_nodes < running - self.cfg.control.xi_future {
-            let sleep = (running - f - self.cfg.control.buffer_nodes).max(0.0) as u32;
-            vec![Action::SleepNodes { nodes: sleep }]
-        } else if f > running {
-            vec![Action::WakeNodes {
-                nodes: (f - running).ceil() as u32,
-            }]
-        } else {
-            vec![Action::None]
-        }
+        Ok(
+            if f + self.cfg.control.buffer_nodes < running - self.cfg.control.xi_future {
+                let sleep = (running - f - self.cfg.control.buffer_nodes).max(0.0) as u32;
+                vec![Action::SleepNodes { nodes: sleep }]
+            } else if f > running {
+                vec![Action::WakeNodes {
+                    nodes: (f - running).ceil() as u32,
+                }]
+            } else {
+                vec![Action::None]
+            },
+        )
     }
 }
 
@@ -223,8 +265,9 @@ mod tests {
                 scale: 0.05,
                 seed: 13,
             },
-        );
-        let s = node_series_from_trace(&t, 600, Placement::Consolidate);
+        )
+        .unwrap();
+        let s = node_series_from_trace(&t, 600, Placement::Consolidate).unwrap();
         (t, s)
     }
 
@@ -249,7 +292,7 @@ mod tests {
         let mut svc = CesService::new(test_cfg());
         let eval_start = t.calendar.month_end(3);
         let eval_end = t.calendar.month_end(4);
-        let eval = svc.evaluate(&t, &s, eval_start, eval_end);
+        let eval = svc.evaluate(&t, &s, eval_start, eval_end).unwrap();
         assert!(eval.smape < 12.0, "GBDT SMAPE {}", eval.smape);
         assert_eq!(eval.forecast.len(), eval.series.len());
     }
@@ -260,7 +303,7 @@ mod tests {
         let mut svc = CesService::new(test_cfg());
         let eval_start = t.calendar.month_end(3);
         let eval_end = t.calendar.month_end(4);
-        let eval = svc.evaluate(&t, &s, eval_start, eval_end);
+        let eval = svc.evaluate(&t, &s, eval_start, eval_end).unwrap();
         // Table 5's headline: prediction-guided DRS needs far fewer
         // wake-ups than vanilla DRS while still saving energy.
         assert!(
@@ -278,7 +321,9 @@ mod tests {
     fn demand_always_met_after_wakeups() {
         let (t, s) = setup();
         let mut svc = CesService::new(test_cfg());
-        let eval = svc.evaluate(&t, &s, t.calendar.month_end(3), t.calendar.month_end(4));
+        let eval = svc
+            .evaluate(&t, &s, t.calendar.month_end(3), t.calendar.month_end(4))
+            .unwrap();
         for (a, r) in eval.guided.active.iter().zip(&eval.guided.running) {
             assert!(a + 1e-9 >= *r, "active {a} < running {r}");
         }

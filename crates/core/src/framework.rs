@@ -8,8 +8,7 @@
 //! need (§4.1: "the cluster operators can select services based on their
 //! demands").
 
-use helios_trace::Trace;
-use parking_lot::RwLock;
+use helios_trace::{HeliosError, HeliosResult, Trace};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -42,10 +41,17 @@ impl HistoryStore {
         HistoryStore { trace, now: 0 }
     }
 
-    /// Advance the data-collection cursor.
-    pub fn advance_to(&mut self, now: i64) {
-        assert!(now >= self.now, "history cursor cannot move backwards");
+    /// Advance the data-collection cursor. Moving backwards is a logic
+    /// error in the caller's clock and is reported, not panicked on.
+    pub fn advance_to(&mut self, now: i64) -> HeliosResult<()> {
+        if now < self.now {
+            return Err(HeliosError::HistoryRegression {
+                current: self.now,
+                requested: now,
+            });
+        }
         self.now = now;
+        Ok(())
     }
 
     /// Current cursor.
@@ -66,16 +72,18 @@ impl HistoryStore {
     }
 }
 
-/// A pluggable prediction-based service (§4.1).
+/// A pluggable prediction-based service (§4.1). Both workflow methods are
+/// fallible: a service that cannot (re)train or act reports why instead of
+/// panicking inside the framework loop.
 pub trait Service: Send + Sync {
     /// Service name for logs/registry.
     fn name(&self) -> &str;
 
     /// Refresh the service's model from history (Model Update Engine).
-    fn update_model(&mut self, history: &HistoryStore);
+    fn update_model(&mut self, history: &HistoryStore) -> HeliosResult<()>;
 
     /// One orchestration step at time `now` (Resource Orchestrator).
-    fn orchestrate(&mut self, history: &HistoryStore, now: i64) -> Vec<Action>;
+    fn orchestrate(&mut self, history: &HistoryStore, now: i64) -> HeliosResult<Vec<Action>>;
 }
 
 /// The centralized framework: history store + service registry + update
@@ -85,19 +93,26 @@ pub struct Framework {
     services: Vec<Box<dyn Service>>,
     /// Model refresh period, seconds (the paper fine-tunes periodically).
     update_period: i64,
-    last_update: RwLock<i64>,
+    /// Timestamp of the last model refresh. Only written through `&mut self`
+    /// in [`Framework::tick`], so a plain value suffices — no lock.
+    last_update: i64,
 }
 
 impl Framework {
     /// Create a framework over one cluster trace.
-    pub fn new(trace: Arc<Trace>, update_period: i64) -> Self {
-        assert!(update_period > 0);
-        Framework {
+    pub fn new(trace: Arc<Trace>, update_period: i64) -> HeliosResult<Self> {
+        if update_period <= 0 {
+            return Err(HeliosError::invalid_config(
+                "update_period",
+                format!("must be > 0 seconds, got {update_period}"),
+            ));
+        }
+        Ok(Framework {
             history: HistoryStore::new(trace),
             services: Vec::new(),
             update_period,
-            last_update: RwLock::new(i64::MIN),
-        }
+            last_update: i64::MIN,
+        })
     }
 
     /// Register a service (plug-and-play).
@@ -113,21 +128,22 @@ impl Framework {
     /// Advance simulated time: collect new data, refresh models when the
     /// update period elapsed, and run every service's orchestration step.
     /// Returns actions per service (aligned with [`Framework::service_names`]).
-    pub fn tick(&mut self, now: i64) -> Vec<Vec<Action>> {
-        self.history.advance_to(now);
-        let need_update = {
-            let last = self.last_update.read();
-            now.saturating_sub(*last) >= self.update_period
-        };
-        if need_update {
+    /// A failing service aborts the tick with its error tagged by name.
+    pub fn tick(&mut self, now: i64) -> HeliosResult<Vec<Vec<Action>>> {
+        self.history.advance_to(now)?;
+        if now.saturating_sub(self.last_update) >= self.update_period {
             for s in &mut self.services {
-                s.update_model(&self.history);
+                s.update_model(&self.history)
+                    .map_err(|e| e.for_service(s.name()))?;
             }
-            *self.last_update.write() = now;
+            self.last_update = now;
         }
         self.services
             .iter_mut()
-            .map(|s| s.orchestrate(&self.history, now))
+            .map(|s| {
+                s.orchestrate(&self.history, now)
+                    .map_err(|e| e.for_service(s.name()))
+            })
             .collect()
     }
 
@@ -152,28 +168,32 @@ mod tests {
         fn name(&self) -> &str {
             &self.name
         }
-        fn update_model(&mut self, _history: &HistoryStore) {
+        fn update_model(&mut self, _history: &HistoryStore) -> HeliosResult<()> {
             self.updates += 1;
+            Ok(())
         }
-        fn orchestrate(&mut self, _history: &HistoryStore, _now: i64) -> Vec<Action> {
+        fn orchestrate(&mut self, _history: &HistoryStore, _now: i64) -> HeliosResult<Vec<Action>> {
             self.steps += 1;
-            vec![Action::None]
+            Ok(vec![Action::None])
         }
     }
 
     fn tiny_trace() -> Arc<Trace> {
-        Arc::new(generate(
-            &venus_profile(),
-            &GeneratorConfig {
-                scale: 0.02,
-                seed: 1,
-            },
-        ))
+        Arc::new(
+            generate(
+                &venus_profile(),
+                &GeneratorConfig {
+                    scale: 0.02,
+                    seed: 1,
+                },
+            )
+            .unwrap(),
+        )
     }
 
     #[test]
     fn update_engine_fires_periodically() {
-        let mut fw = Framework::new(tiny_trace(), 3_600);
+        let mut fw = Framework::new(tiny_trace(), 3_600).unwrap();
         fw.register(Box::new(CountingService {
             name: "svc".into(),
             updates: 0,
@@ -181,7 +201,7 @@ mod tests {
         }));
         // 4 ticks over 2 hours, update period 1h -> updates at t=0, 3600, 7200.
         for t in [0, 1_800, 3_600, 7_200] {
-            fw.tick(t);
+            fw.tick(t).unwrap();
         }
         assert_eq!(fw.service_names(), vec!["svc".to_string()]);
         // The boxed service is owned by the framework; verify via a fresh
@@ -194,35 +214,83 @@ mod tests {
         let mut history = HistoryStore::new(tiny_trace());
         let mut last = i64::MIN;
         for t in [0i64, 1_800, 3_600, 7_200] {
-            history.advance_to(t);
+            history.advance_to(t).unwrap();
             if t.saturating_sub(last) >= 3_600 {
-                svc.update_model(&history);
+                svc.update_model(&history).unwrap();
                 last = t;
             }
-            svc.orchestrate(&history, t);
+            svc.orchestrate(&history, t).unwrap();
         }
         assert_eq!(svc.updates, 3);
         assert_eq!(svc.steps, 4);
+    }
+
+    struct FailingService;
+
+    impl Service for FailingService {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn update_model(&mut self, _history: &HistoryStore) -> HeliosResult<()> {
+            Err(HeliosError::empty_input("model data", "always fails"))
+        }
+        fn orchestrate(&mut self, _history: &HistoryStore, _now: i64) -> HeliosResult<Vec<Action>> {
+            Ok(vec![Action::None])
+        }
+    }
+
+    #[test]
+    fn tick_errors_are_tagged_with_the_service() {
+        let mut fw = Framework::new(tiny_trace(), 3_600).unwrap();
+        fw.register(Box::new(FailingService));
+        let err = fw.tick(0).unwrap_err();
+        assert!(
+            matches!(&err, HeliosError::Service { service, .. } if service == "flaky"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("flaky"), "{err}");
+    }
+
+    #[test]
+    fn invalid_update_period_is_an_error() {
+        assert!(matches!(
+            Framework::new(tiny_trace(), 0),
+            Err(HeliosError::InvalidConfig {
+                field: "update_period",
+                ..
+            })
+        ));
+        assert!(Framework::new(tiny_trace(), -5).is_err());
     }
 
     #[test]
     fn history_visibility_is_causal() {
         let trace = tiny_trace();
         let mut h = HistoryStore::new(trace.clone());
-        h.advance_to(30 * 86_400);
+        h.advance_to(30 * 86_400).unwrap();
         for j in h.finished_jobs() {
             assert!(j.end() <= h.now());
         }
         let early = h.finished_jobs().count();
-        h.advance_to(60 * 86_400);
+        h.advance_to(60 * 86_400).unwrap();
         assert!(h.finished_jobs().count() > early);
     }
 
     #[test]
-    #[should_panic(expected = "cannot move backwards")]
     fn cursor_is_monotone() {
+        // A backwards cursor is a typed error, not a panic; the store is
+        // left unchanged.
         let mut h = HistoryStore::new(tiny_trace());
-        h.advance_to(100);
-        h.advance_to(50);
+        h.advance_to(100).unwrap();
+        assert_eq!(
+            h.advance_to(50),
+            Err(HeliosError::HistoryRegression {
+                current: 100,
+                requested: 50
+            })
+        );
+        assert_eq!(h.now(), 100);
+        // Re-advancing to the same instant is fine.
+        h.advance_to(100).unwrap();
     }
 }

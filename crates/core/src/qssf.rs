@@ -12,7 +12,7 @@ use helios_predict::features::job::{build_training_matrix, FeatureExtractor};
 use helios_predict::gbdt::{Gbdt, GbdtParams};
 use helios_predict::rolling::RollingEstimator;
 use helios_sim::SimJob;
-use helios_trace::{JobRecord, Trace};
+use helios_trace::{HeliosError, HeliosResult, JobRecord, Trace};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -48,6 +48,10 @@ impl Default for QssfConfig {
 }
 
 /// The QSSF service: a trained duration model plus online rolling state.
+/// `Clone` snapshots the full state (model + rolling statistics), so a
+/// trained service can be replayed over an evaluation window without
+/// mutating the original.
+#[derive(Clone)]
 pub struct QssfService {
     cfg: QssfConfig,
     extractor: FeatureExtractor,
@@ -68,10 +72,22 @@ impl QssfService {
 
     /// Train from the jobs of `trace` submitted in `[t_lo, t_hi)`:
     /// fits the GBDT on encoded attributes → ln(duration), and warms the
-    /// rolling estimator and feature state with the same history.
-    pub fn train(&mut self, trace: &Trace, t_lo: i64, t_hi: i64) {
+    /// rolling estimator and feature state with the same history. An empty
+    /// training window is an error, not a panic.
+    pub fn train(&mut self, trace: &Trace, t_lo: i64, t_hi: i64) -> HeliosResult<()> {
+        if t_lo >= t_hi {
+            return Err(HeliosError::invalid_config(
+                "train window",
+                format!("t_lo {t_lo} must precede t_hi {t_hi}"),
+            ));
+        }
         let (cols, targets, extractor) = build_training_matrix(trace, t_lo, t_hi);
-        assert!(!targets.is_empty(), "no training jobs in window");
+        if targets.is_empty() {
+            return Err(HeliosError::empty_input(
+                "training jobs",
+                format!("no GPU jobs submitted in [{t_lo}, {t_hi})"),
+            ));
+        }
         self.model = Some(Gbdt::fit(&cols, &targets, &self.cfg.gbdt, None));
         self.extractor = extractor;
         // Warm the rolling estimator with every job that *ended* before the
@@ -87,6 +103,7 @@ impl QssfService {
                 );
             }
         }
+        Ok(())
     }
 
     /// Predicted duration (seconds) for an incoming job — the merged
@@ -170,27 +187,28 @@ impl Service for QssfService {
         "qssf"
     }
 
-    fn update_model(&mut self, history: &HistoryStore) {
+    fn update_model(&mut self, history: &HistoryStore) -> HeliosResult<()> {
         let now = history.now();
         if now > 0 && history.finished_jobs().any(|j| j.is_gpu()) {
-            self.train(history.trace(), 0, now);
+            self.train(history.trace(), 0, now)?;
         }
+        Ok(())
     }
 
-    fn orchestrate(&mut self, history: &HistoryStore, now: i64) -> Vec<Action> {
+    fn orchestrate(&mut self, history: &HistoryStore, now: i64) -> HeliosResult<Vec<Action>> {
         if !self.is_trained() {
-            return vec![Action::None];
+            return Ok(vec![Action::None]);
         }
         // Score jobs submitted in the last orchestration window (1 min).
         let trace = history.trace().clone();
-        trace
+        Ok(trace
             .gpu_jobs()
             .filter(|j| j.submit >= now - 60 && j.submit < now)
             .map(|j| Action::SetJobPriority {
                 job_id: j.id,
                 priority: self.priority(j, &trace),
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -198,7 +216,13 @@ impl Service for QssfService {
 /// paper's Philly evaluation assumes "priority values generated randomly
 /// with a similar error distribution as Helios estimation" (§4.2.3). We
 /// perturb the true GPU time by a log-normal error of the given sigma.
-pub fn noisy_oracle_priorities(trace: &Trace, t_lo: i64, t_hi: i64, sigma: f64, seed: u64) -> Vec<SimJob> {
+pub fn noisy_oracle_priorities(
+    trace: &Trace,
+    t_lo: i64,
+    t_hi: i64,
+    sigma: f64,
+    seed: u64,
+) -> Vec<SimJob> {
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
     let mut jobs = helios_sim::jobs_from_trace(trace, t_lo, t_hi);
@@ -223,6 +247,7 @@ mod tests {
                 seed: 9,
             },
         )
+        .unwrap()
     }
 
     #[test]
@@ -230,7 +255,7 @@ mod tests {
         let t = trace();
         let mut svc = QssfService::new(QssfConfig::default());
         let split = t.calendar.month_end(3);
-        svc.train(&t, 0, split);
+        svc.train(&t, 0, split).unwrap();
         assert!(svc.is_trained());
         let job = t.gpu_jobs().find(|j| j.submit >= split).unwrap();
         let p = svc.priority(job, &t);
@@ -244,13 +269,10 @@ mod tests {
         let t = trace();
         let split = t.calendar.month_end(4); // train Apr-Aug
         let mut svc = QssfService::new(QssfConfig::default());
-        svc.train(&t, 0, split);
+        svc.train(&t, 0, split).unwrap();
         let sims = svc.assign_priorities(&t, split, t.calendar.total_seconds());
         assert!(sims.len() > 500);
-        let actual_log: Vec<f64> = sims
-            .iter()
-            .map(|s| (s.duration as f64).ln())
-            .collect();
+        let actual_log: Vec<f64> = sims.iter().map(|s| (s.duration as f64).ln()).collect();
         let pred_log: Vec<f64> = sims
             .iter()
             .map(|s| (s.priority / s.gpus as f64).max(1.0).ln())
@@ -277,8 +299,8 @@ mod tests {
             lambda: 0.0,
             ..Default::default()
         });
-        pure_rolling.train(&t, 0, split);
-        pure_model.train(&t, 0, split);
+        pure_rolling.train(&t, 0, split).unwrap();
+        pure_model.train(&t, 0, split).unwrap();
         let job = t.gpu_jobs().find(|j| j.submit >= split).unwrap();
         let a = pure_rolling.predict_duration(job, &t);
         let b = pure_model.predict_duration(job, &t);
@@ -311,15 +333,14 @@ mod tests {
         use std::sync::Arc;
         let t = Arc::new(trace());
         let mut h = HistoryStore::new(t.clone());
-        h.advance_to(t.calendar.month_end(2));
+        h.advance_to(t.calendar.month_end(2)).unwrap();
         let mut svc = QssfService::new(QssfConfig::default());
-        svc.update_model(&h);
+        svc.update_model(&h).unwrap();
         assert!(svc.is_trained());
-        let actions = svc.orchestrate(&h, h.now());
+        let actions = svc.orchestrate(&h, h.now()).unwrap();
         // Either scored some jobs or had none in the last minute.
-        assert!(actions.iter().all(|a| matches!(
-            a,
-            Action::SetJobPriority { .. } | Action::None
-        )));
+        assert!(actions
+            .iter()
+            .all(|a| matches!(a, Action::SetJobPriority { .. } | Action::None)));
     }
 }

@@ -32,7 +32,7 @@ impl Default for CesConfig {
     fn default() -> Self {
         CesConfig {
             buffer_nodes: 3.0,
-            hist_window: 6,   // 1 h of 10-min bins
+            hist_window: 6,    // 1 h of 10-min bins
             future_window: 18, // 3 h of 10-min bins
             xi_hist: 1.0,
             xi_future: 1.0,

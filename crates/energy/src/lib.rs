@@ -8,6 +8,17 @@
 //!
 //! The forecaster itself lives in `helios-predict` (GBDT over lag/rolling/
 //! calendar features); this crate consumes an aligned forecast series.
+//!
+//! ```
+//! use helios_energy::node_series_from_trace;
+//! use helios_sim::Placement;
+//! use helios_trace::{generate, venus_profile, GeneratorConfig};
+//!
+//! let trace = generate(&venus_profile(), &GeneratorConfig { scale: 0.02, seed: 1 })?;
+//! let series = node_series_from_trace(&trace, 3_600, Placement::Consolidate)?;
+//! assert!(series.baseline_utilization() > 0.0);
+//! # Ok::<(), helios_trace::HeliosError>(())
+//! ```
 
 pub mod ces;
 pub mod power;

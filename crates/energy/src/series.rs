@@ -60,7 +60,11 @@ impl NodeSeries {
 /// Extract the busy-node series from a trace by replaying jobs at their
 /// recorded start times through node-granular placement. `placement`
 /// selects Helios-style consolidation or Philly-style scatter.
-pub fn node_series_from_trace(trace: &Trace, bin: i64, placement: Placement) -> NodeSeries {
+pub fn node_series_from_trace(
+    trace: &Trace,
+    bin: i64,
+    placement: Placement,
+) -> helios_trace::HeliosResult<NodeSeries> {
     // Jobs "arrive" at their recorded start time, so the replay reproduces
     // the production schedule's occupancy (queueing already happened).
     let jobs: Vec<SimJob> = trace
@@ -81,7 +85,7 @@ pub fn node_series_from_trace(trace: &Trace, bin: i64, placement: Placement) -> 
         backfill: false,
         occupancy_bin: Some(bin),
     };
-    let result = simulate(&trace.spec, &jobs, &cfg);
+    let result = simulate(&trace.spec, &jobs, &cfg)?;
 
     // Arrival counts use the *submission* times (a wake-up delays newly
     // submitted jobs). Both series are clipped to the trace calendar: jobs
@@ -99,13 +103,13 @@ pub fn node_series_from_trace(trace: &Trace, bin: i64, placement: Placement) -> 
     let mut running = result.occupancy;
     running.resize(n_bins, 0.0);
 
-    NodeSeries {
+    Ok(NodeSeries {
         t0: result.occupancy_t0,
         bin,
         running,
         total_nodes: trace.spec.nodes,
         arrivals,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -120,8 +124,9 @@ mod tests {
                 scale: 0.05,
                 seed: 3,
             },
-        );
-        node_series_from_trace(&t, 3_600, Placement::Consolidate)
+        )
+        .unwrap();
+        node_series_from_trace(&t, 3_600, Placement::Consolidate).unwrap()
     }
 
     #[test]
@@ -143,9 +148,10 @@ mod tests {
                 scale: 0.05,
                 seed: 3,
             },
-        );
-        let cons = node_series_from_trace(&t, 3_600, Placement::Consolidate);
-        let scat = node_series_from_trace(&t, 3_600, Placement::Scatter);
+        )
+        .unwrap();
+        let cons = node_series_from_trace(&t, 3_600, Placement::Consolidate).unwrap();
+        let scat = node_series_from_trace(&t, 3_600, Placement::Scatter).unwrap();
         assert!(
             scat.mean_running() >= cons.mean_running() * 0.98,
             "scatter {} vs consolidate {}",

@@ -14,7 +14,7 @@ pub struct BinMapper {
 impl BinMapper {
     /// Fit quantile bins over `values` (at most `max_bins`, deduplicated).
     pub fn fit(values: &[f64], max_bins: usize) -> Self {
-        assert!(max_bins >= 2 && max_bins <= 256);
+        assert!((2..=256).contains(&max_bins));
         assert!(!values.is_empty());
         let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -22,7 +22,7 @@ impl BinMapper {
         for b in 1..max_bins {
             let idx = (b * sorted.len()) / max_bins;
             let e = sorted[idx.min(sorted.len() - 1)];
-            if edges.last().map_or(true, |&last| e > last) {
+            if edges.last().is_none_or(|&last| e > last) {
                 edges.push(e);
             }
         }
@@ -42,10 +42,7 @@ impl BinMapper {
     /// The raw-value threshold corresponding to "bin <= b". Returns
     /// `f64::INFINITY` for the last bin (everything goes left).
     pub fn threshold(&self, b: u8) -> f64 {
-        self.edges
-            .get(b as usize)
-            .copied()
-            .unwrap_or(f64::INFINITY)
+        self.edges.get(b as usize).copied().unwrap_or(f64::INFINITY)
     }
 }
 
@@ -128,13 +125,17 @@ mod tests {
     fn categorical_like_feature_keeps_distinct_bins() {
         let mut values = Vec::new();
         for c in 0..5 {
-            values.extend(std::iter::repeat(c as f64).take(20));
+            values.extend(std::iter::repeat_n(c as f64, 20));
         }
         let m = BinMapper::fit(&values, 64);
         let bins: Vec<u8> = (0..5).map(|c| m.bin(c as f64)).collect();
         let mut dedup = bins.clone();
         dedup.dedup();
-        assert_eq!(dedup.len(), 5, "each category must keep its own bin: {bins:?}");
+        assert_eq!(
+            dedup.len(),
+            5,
+            "each category must keep its own bin: {bins:?}"
+        );
     }
 
     #[test]

@@ -106,9 +106,7 @@ pub mod job {
                 cal.hour_of_day(job.submit) as f64,
                 cal.minute_of_hour(job.submit) as f64,
                 f64::from(cal.is_offday(job.submit)),
-                self.user_logdur
-                    .get(&job.user)
-                    .map_or(g, |a| a.get_or(g)),
+                self.user_logdur.get(&job.user).map_or(g, |a| a.get_or(g)),
                 self.bucket_logdur.get(&bucket).map_or(g, |a| a.get_or(g)),
                 self.bucket_logdur.get(&bucket).map_or(0.0, |a| a.n as f64),
             ]
@@ -292,7 +290,8 @@ mod tests {
                 scale: 0.03,
                 seed: 5,
             },
-        );
+        )
+        .unwrap();
         let hi = t.calendar.month_end(1);
         let (cols, y, _) = build_training_matrix(&t, 0, hi);
         assert_eq!(cols.len(), NUM_FEATURES);
@@ -313,7 +312,8 @@ mod tests {
                 scale: 0.03,
                 seed: 5,
             },
-        );
+        )
+        .unwrap();
         let mut ex = FeatureExtractor::new();
         let job = t.gpu_jobs().next().unwrap();
         let row = ex.extract(job, &t.names, &t.calendar);
@@ -329,9 +329,10 @@ mod tests {
                 scale: 0.03,
                 seed: 5,
             },
-        );
+        )
+        .unwrap();
         let mut ex = FeatureExtractor::new();
-        let job = t.gpu_jobs().next().unwrap().clone();
+        let job = *t.gpu_jobs().next().unwrap();
         let before = ex.extract(&job, &t.names, &t.calendar);
         ex.observe(&job, &t.names);
         let after = ex.extract(&job, &t.names, &t.calendar);
@@ -346,7 +347,9 @@ mod tests {
     fn series_features_shape() {
         let cal = Calendar::helios_2020();
         let cfg = SeriesFeatureConfig::default_10min();
-        let values: Vec<f64> = (0..1_000).map(|i| (i as f64 / 20.0).sin() * 10.0 + 50.0).collect();
+        let values: Vec<f64> = (0..1_000)
+            .map(|i| (i as f64 / 20.0).sin() * 10.0 + 50.0)
+            .collect();
         let row = features_at(&values, 200, 0, 600, &cal, &cfg);
         assert_eq!(row.len(), cfg.num_features());
         // First lag feature equals values[idx-1].

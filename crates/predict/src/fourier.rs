@@ -41,7 +41,8 @@ fn design_row(
     cal: &Calendar,
     params: &FourierParams,
 ) -> Vec<f64> {
-    let mut row = Vec::with_capacity(2 + 2 * (params.daily_harmonics + params.weekly_harmonics) + 2);
+    let mut row =
+        Vec::with_capacity(2 + 2 * (params.daily_harmonics + params.weekly_harmonics) + 2);
     row.push(1.0);
     row.push((t as f64 - t_mid) / t_scale);
     let day_phase = t.rem_euclid(SECS_PER_DAY) as f64 / SECS_PER_DAY as f64;
@@ -153,7 +154,8 @@ mod tests {
     fn constant_series_predicts_constant() {
         let cal = Calendar::helios_2020();
         let values = vec![42.0; 300];
-        let model = FourierForecaster::fit(&values, 0, SECS_PER_HOUR, &cal, FourierParams::default());
+        let model =
+            FourierForecaster::fit(&values, 0, SECS_PER_HOUR, &cal, FourierParams::default());
         let p = model.predict_at(301 * SECS_PER_HOUR, &cal);
         assert!((p - 42.0).abs() < 1.5, "{p}");
     }

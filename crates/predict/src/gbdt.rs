@@ -208,7 +208,10 @@ impl Gbdt {
         if total == 0 {
             return vec![0.0; num_features];
         }
-        counts.into_iter().map(|c| c as f64 / total as f64).collect()
+        counts
+            .into_iter()
+            .map(|c| c as f64 / total as f64)
+            .collect()
     }
 }
 
@@ -242,8 +245,8 @@ mod tests {
         );
         let preds = model.predict(&rows);
         let rmse = crate::metrics::rmse(&y, &preds);
-        let spread = y.iter().cloned().fold(f64::MIN, f64::max)
-            - y.iter().cloned().fold(f64::MAX, f64::min);
+        let spread =
+            y.iter().cloned().fold(f64::MIN, f64::max) - y.iter().cloned().fold(f64::MAX, f64::min);
         assert!(rmse < 0.05 * spread, "rmse {rmse} vs spread {spread}");
     }
 

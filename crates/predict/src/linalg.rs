@@ -1,6 +1,9 @@
 //! Small dense linear algebra: just enough to fit ridge regressions
 //! (Fourier/Prophet-like forecaster, AR models) via Cholesky decomposition.
 
+// Index-based loops mirror the textbook formulations of these kernels.
+#![allow(clippy::needless_range_loop)]
+
 /// Solve `(XᵀX + lambda·I) w = Xᵀy` for `w` (ridge regression with design
 /// matrix `x` given row-major: `x[row][col]`). The intercept column, if any,
 /// is the caller's responsibility.

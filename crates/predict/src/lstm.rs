@@ -5,6 +5,9 @@
 //! the series value `horizon` bins ahead of the input window (direct
 //! forecasting, matching how the GBDT forecaster is evaluated).
 
+// Index-based loops mirror the textbook gate equations.
+#![allow(clippy::needless_range_loop)]
+
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -50,7 +53,9 @@ struct AdamVec {
 impl AdamVec {
     fn new(n: usize, rng: &mut ChaCha12Rng, scale: f64) -> Self {
         AdamVec {
-            w: (0..n).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale).collect(),
+            w: (0..n)
+                .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale)
+                .collect(),
             m: vec![0.0; n],
             v: vec![0.0; n],
         }
@@ -111,7 +116,11 @@ impl LstmForecaster {
     /// Train on `series` (raw scale).
     pub fn fit(series: &[f64], params: LstmParams) -> LstmForecaster {
         let need = params.seq_len + params.horizon + 1;
-        assert!(series.len() >= need, "series too short: {} < {need}", series.len());
+        assert!(
+            series.len() >= need,
+            "series too short: {} < {need}",
+            series.len()
+        );
         let mean = series.iter().sum::<f64>() / series.len() as f64;
         let var = series.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / series.len() as f64;
         let std = var.sqrt().max(1e-9);
@@ -197,12 +206,7 @@ impl LstmForecaster {
                 h_prev,
             });
         }
-        let y: f64 = hs
-            .iter()
-            .zip(&self.wy.w)
-            .map(|(a, b)| a * b)
-            .sum::<f64>()
-            + self.by.w[0];
+        let y: f64 = hs.iter().zip(&self.wy.w).map(|(a, b)| a * b).sum::<f64>() + self.by.w[0];
         (caches, y)
     }
 
@@ -269,10 +273,7 @@ impl LstmForecaster {
                 }
             }
         };
-        let mut g_wy = g_wy;
-        let mut g_wx = g_wx;
-        let mut g_wh = g_wh;
-        let mut g_b = g_b;
+        let (mut g_wy, mut g_wx, mut g_wh, mut g_b) = (g_wy, g_wx, g_wh, g_b);
         clip(&mut g_wx);
         clip(&mut g_wh);
         clip(&mut g_b);
@@ -361,14 +362,17 @@ mod tests {
         let persistence: Vec<f64> = indices.iter().map(|&i| series[i]).collect();
         let lstm_err = crate::metrics::rmse(&actual, &preds);
         let pers_err = crate::metrics::rmse(&actual, &persistence);
-        assert!(lstm_err < pers_err, "lstm {lstm_err} vs persistence {pers_err}");
+        assert!(
+            lstm_err < pers_err,
+            "lstm {lstm_err} vs persistence {pers_err}"
+        );
     }
 
     #[test]
     fn constant_series_predicts_constant() {
         let series = vec![42.0; 200];
         let model = LstmForecaster::fit(&series, small_params());
-        let p = model.predict(&vec![42.0; 24]);
+        let p = model.predict(&[42.0; 24]);
         assert!((p - 42.0).abs() < 2.0, "{p}");
     }
 

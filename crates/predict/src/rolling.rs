@@ -80,7 +80,10 @@ impl RollingEstimator {
     /// Record a finished job's observed duration.
     pub fn observe(&mut self, user: UserId, name: &str, gpus: u32, duration: f64) {
         self.global.push(duration);
-        self.global_by_demand.entry(gpus).or_default().push(duration);
+        self.global_by_demand
+            .entry(gpus)
+            .or_default()
+            .push(duration);
         let uh = self.users.entry(user).or_default();
         uh.all.push(duration);
         uh.by_demand.entry(gpus).or_default().push(duration);
@@ -133,7 +136,7 @@ impl RollingEstimator {
         let mut best: Option<(f64, &Vec<f64>)> = None;
         for (s, h) in &uh.by_stem {
             let d = normalized_distance(stem, s);
-            if d <= self.name_threshold && best.as_ref().map_or(true, |(bd, _)| d < *bd) {
+            if d <= self.name_threshold && best.as_ref().is_none_or(|(bd, _)| d < *bd) {
                 best = Some((d, h));
             }
         }

@@ -195,9 +195,9 @@ fn grow(
                     continue;
                 }
                 let gr = grad_sum - gl;
-                let gain = gl * gl / (nl as f64 + lambda) + gr * gr / (nr as f64 + lambda)
-                    - parent_score;
-                if gain > params.min_gain && best.as_ref().map_or(true, |s| gain > s.gain) {
+                let gain =
+                    gl * gl / (nl as f64 + lambda) + gr * gr / (nr as f64 + lambda) - parent_score;
+                if gain > params.min_gain && best.as_ref().is_none_or(|s| gain > s.gain) {
                     best = Some(BestSplit {
                         feature: f,
                         bin: b as u8,
@@ -252,14 +252,17 @@ mod tests {
     #[test]
     fn splits_a_step_function() {
         let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
-        let y: Vec<f64> = x.iter().map(|&v| if v < 100.0 { -1.0 } else { 1.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v < 100.0 { -1.0 } else { 1.0 })
+            .collect();
         let params = TreeParams {
             max_depth: 2,
             min_leaf: 5,
             lambda: 0.0,
             min_gain: 1e-9,
         };
-        let (tree, _) = fit_targets(&[x.clone()], &y, &params);
+        let (tree, _) = fit_targets(std::slice::from_ref(&x), &y, &params);
         assert!(tree.num_leaves() >= 2);
         assert!(tree.predict_row(&[50.0]) < -0.8);
         assert!(tree.predict_row(&[150.0]) > 0.8);
@@ -283,7 +286,10 @@ mod tests {
     #[test]
     fn min_leaf_respected() {
         let x: Vec<f64> = (0..40).map(|i| i as f64).collect();
-        let y: Vec<f64> = x.iter().map(|&v| if v < 2.0 { 100.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v < 2.0 { 100.0 } else { 0.0 })
+            .collect();
         let params = TreeParams {
             max_depth: 4,
             min_leaf: 10,
@@ -303,11 +309,7 @@ mod tests {
     fn binned_and_raw_predictions_agree() {
         let x1: Vec<f64> = (0..300).map(|i| (i % 17) as f64).collect();
         let x2: Vec<f64> = (0..300).map(|i| ((i * 7) % 23) as f64).collect();
-        let y: Vec<f64> = x1
-            .iter()
-            .zip(&x2)
-            .map(|(a, b)| a * 2.0 - b * 0.5)
-            .collect();
+        let y: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| a * 2.0 - b * 0.5).collect();
         let (tree, data) = fit_targets(&[x1.clone(), x2.clone()], &y, &TreeParams::default());
         for r in (0..300).step_by(13) {
             let raw = tree.predict_row(&[x1[r], x2[r]]);
@@ -327,7 +329,7 @@ mod tests {
                 lambda: 0.0,
                 min_gain: 1e-12,
             };
-            let (tree, _) = fit_targets(&[x.clone()], &y, &params);
+            let (tree, _) = fit_targets(std::slice::from_ref(&x), &y, &params);
             x.iter()
                 .zip(&y)
                 .map(|(&xi, &yi)| (tree.predict_row(&[xi]) - yi).powi(2))

@@ -8,7 +8,7 @@
 
 use crate::job::{JobOutcome, SimJob};
 use crate::pool::{Allocation, NodePool, Placement};
-use helios_trace::ClusterSpec;
+use helios_trace::{ClusterSpec, HeliosError, HeliosResult};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -151,8 +151,65 @@ impl OccupancyTracker {
     }
 }
 
+/// Check that every job can eventually be placed (otherwise the event loop
+/// would end with jobs stuck in a queue forever) and that the config is
+/// coherent. All violations surface as typed errors, never panics.
+fn validate_inputs(spec: &ClusterSpec, jobs: &[SimJob], cfg: &SimConfig) -> HeliosResult<()> {
+    if let Some(bin) = cfg.occupancy_bin {
+        if bin <= 0 {
+            return Err(HeliosError::invalid_config(
+                "occupancy_bin",
+                format!("must be > 0 seconds, got {bin}"),
+            ));
+        }
+    }
+    for job in jobs {
+        let vc = job.vc as usize;
+        if vc >= spec.num_vcs() {
+            return Err(HeliosError::InvalidJob {
+                job_id: job.id,
+                reason: format!(
+                    "VC {} does not exist (cluster has {})",
+                    job.vc,
+                    spec.num_vcs()
+                ),
+            });
+        }
+        if job.gpus == 0 {
+            return Err(HeliosError::InvalidJob {
+                job_id: job.id,
+                reason: "requests 0 GPUs (CPU jobs are not simulated)".into(),
+            });
+        }
+        let capacity = spec.vc_gpus(job.vc);
+        if job.gpus > capacity {
+            return Err(HeliosError::InvalidJob {
+                job_id: job.id,
+                reason: format!(
+                    "requests {} GPUs but VC {} holds only {capacity}",
+                    job.gpus, job.vc
+                ),
+            });
+        }
+        if job.duration < 0 {
+            return Err(HeliosError::InvalidJob {
+                job_id: job.id,
+                reason: format!("negative duration {}", job.duration),
+            });
+        }
+        if !job.priority.is_finite() {
+            return Err(HeliosError::InvalidJob {
+                job_id: job.id,
+                reason: format!("non-finite priority {}", job.priority),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Run one simulation.
-pub fn simulate(spec: &ClusterSpec, jobs: &[SimJob], cfg: &SimConfig) -> SimResult {
+pub fn simulate(spec: &ClusterSpec, jobs: &[SimJob], cfg: &SimConfig) -> HeliosResult<SimResult> {
+    validate_inputs(spec, jobs, cfg)?;
     let mut states: Vec<JobState> = jobs
         .iter()
         .map(|&job| JobState {
@@ -248,11 +305,11 @@ pub fn simulate(spec: &ClusterSpec, jobs: &[SimJob], cfg: &SimConfig) -> SimResu
             preemptions: s.preemptions,
         })
         .collect();
-    SimResult {
+    Ok(SimResult {
         outcomes,
         occupancy,
         occupancy_t0,
-    }
+    })
 }
 
 /// Start `idx` on `alloc` at `now` and schedule its finish event.
@@ -283,8 +340,8 @@ fn schedule_vc(
     vc: usize,
     now: i64,
     cfg: &SimConfig,
-    vcs: &mut Vec<VcState>,
-    states: &mut Vec<JobState>,
+    vcs: &mut [VcState],
+    states: &mut [JobState],
     events: &mut BinaryHeap<Reverse<(i64, EventKind)>>,
     queue_key: &dyn Fn(Policy, &JobState) -> Key,
 ) {
@@ -321,8 +378,8 @@ fn try_preempt_for(
     vc: usize,
     now: i64,
     cfg: &SimConfig,
-    vcs: &mut Vec<VcState>,
-    states: &mut Vec<JobState>,
+    vcs: &mut [VcState],
+    states: &mut [JobState],
     events: &mut BinaryHeap<Reverse<(i64, EventKind)>>,
     queue_key: &dyn Fn(Policy, &JobState) -> Key,
 ) -> bool {
@@ -396,8 +453,8 @@ fn backfill(
     vc: usize,
     now: i64,
     cfg: &SimConfig,
-    vcs: &mut Vec<VcState>,
-    states: &mut Vec<JobState>,
+    vcs: &mut [VcState],
+    states: &mut [JobState],
     events: &mut BinaryHeap<Reverse<(i64, EventKind)>>,
 ) {
     let Some(&Reverse((_, head))) = vcs[vc].queue.peek() else {
@@ -494,7 +551,9 @@ mod tests {
     }
 
     fn run(policy: Policy, jobs: &[SimJob]) -> Vec<JobOutcome> {
-        simulate(&spec(1), jobs, &SimConfig::new(policy)).outcomes
+        simulate(&spec(1), jobs, &SimConfig::new(policy))
+            .unwrap()
+            .outcomes
     }
 
     #[test]
@@ -521,11 +580,7 @@ mod tests {
 
     #[test]
     fn priority_policy_uses_scores() {
-        let mut jobs = vec![
-            job(0, 8, 0, 1_000),
-            job(1, 8, 5, 10),
-            job(2, 8, 10, 10),
-        ];
+        let mut jobs = vec![job(0, 8, 0, 1_000), job(1, 8, 5, 10), job(2, 8, 10, 10)];
         // Force job 2 ahead of job 1 via priority.
         jobs[1].priority = 100.0;
         jobs[2].priority = 1.0;
@@ -581,7 +636,7 @@ mod tests {
                 priority: 1.0,
             },
         ];
-        let r = simulate(&spec(2), &jobs, &SimConfig::new(Policy::Fifo));
+        let r = simulate(&spec(2), &jobs, &SimConfig::new(Policy::Fifo)).unwrap();
         assert_eq!(r.outcomes[1].start, 500, "16-GPU job needs 2 free nodes");
     }
 
@@ -605,7 +660,7 @@ mod tests {
         ];
         let mut cfg = SimConfig::new(Policy::Fifo);
         cfg.backfill = true;
-        let o = simulate(&spec(1), &jobs, &cfg).outcomes;
+        let o = simulate(&spec(1), &jobs, &cfg).unwrap().outcomes;
         assert_eq!(o[2].start, 20, "backfill should start job 2 immediately");
         // Head must not be delayed by the backfilled job.
         assert_eq!(o[1].start, 1_000);
@@ -620,7 +675,7 @@ mod tests {
         ];
         let mut cfg = SimConfig::new(Policy::Fifo);
         cfg.backfill = true;
-        let o = simulate(&spec(1), &jobs, &cfg).outcomes;
+        let o = simulate(&spec(1), &jobs, &cfg).unwrap().outcomes;
         assert_eq!(o[1].start, 1_000);
         assert!(o[2].start >= 1_000, "long job must not backfill");
     }
@@ -630,7 +685,7 @@ mod tests {
         let jobs = vec![job(0, 8, 0, 100), job(1, 8, 200, 100)];
         let mut cfg = SimConfig::new(Policy::Fifo);
         cfg.occupancy_bin = Some(100);
-        let r = simulate(&spec(1), &jobs, &cfg);
+        let r = simulate(&spec(1), &jobs, &cfg).unwrap();
         // Bin 0: 1 node busy; bin 1: idle; bin 2: busy again (the final
         // event closes the series at t=300).
         assert!(r.occupancy[0] > 0.9);
@@ -654,7 +709,9 @@ mod tests {
         let mut sorted = jobs.clone();
         sorted.sort_by_key(|j| j.submit);
         for policy in [Policy::Fifo, Policy::Sjf, Policy::Srtf, Policy::Priority] {
-            let o = simulate(&spec(3), &sorted, &SimConfig::new(policy)).outcomes;
+            let o = simulate(&spec(3), &sorted, &SimConfig::new(policy))
+                .unwrap()
+                .outcomes;
             assert_eq!(o.len(), sorted.len());
             let mut events: Vec<(i64, i64)> = Vec::new();
             for (out, j) in o.iter().zip(&sorted) {

@@ -102,7 +102,8 @@ mod tests {
                 scale: 0.05,
                 seed: 3,
             },
-        );
+        )
+        .unwrap();
         let (lo, hi) = t.calendar.month_range(2);
         let jobs = jobs_from_trace(&t, lo, hi);
         assert!(!jobs.is_empty());

@@ -13,8 +13,13 @@
 //!
 //! let spec = venus();
 //! let jobs = vec![SimJob { id: 0, vc: 0, gpus: 8, submit: 0, duration: 60, priority: 1.0 }];
-//! let result = simulate(&spec, &jobs, &SimConfig::new(Policy::Fifo));
+//! let result = simulate(&spec, &jobs, &SimConfig::new(Policy::Fifo))?;
 //! assert_eq!(result.outcomes[0].start, 0);
+//!
+//! // Unplaceable jobs are rejected up front instead of hanging the queue.
+//! let giant = vec![SimJob { id: 1, vc: 0, gpus: u32::MAX, submit: 0, duration: 60, priority: 1.0 }];
+//! assert!(simulate(&spec, &giant, &SimConfig::new(Policy::Fifo)).is_err());
+//! # Ok::<(), helios_trace::HeliosError>(())
 //! ```
 
 pub mod engine;

@@ -129,8 +129,8 @@ mod tests {
     #[test]
     fn stats_aggregation() {
         let o = vec![
-            outcome(0, 0, 0, 100),    // no wait
-            outcome(0, 0, 300, 100),  // 300 wait
+            outcome(0, 0, 0, 100),   // no wait
+            outcome(0, 0, 300, 100), // 300 wait
         ];
         let s = schedule_stats(&o);
         assert_eq!(s.jobs, 2);

@@ -126,9 +126,7 @@ impl NodePool {
                 .enumerate()
                 .filter(|(i, &f)| f >= rem && !chosen.contains(i))
                 .min_by_key(|(_, &f)| f);
-            let Some((idx, _)) = candidate else {
-                return None;
-            };
+            let (idx, _) = candidate?;
             slices.push((idx as u32, rem));
         }
         for &(i, g) in &slices {

@@ -3,19 +3,37 @@ use helios_trace::*;
 use std::collections::HashMap;
 
 fn main() {
-    let cfg = GeneratorConfig { scale: 0.1, seed: 2020 };
+    let cfg = GeneratorConfig {
+        scale: 0.1,
+        seed: 2020,
+    };
     for p in helios_profiles().into_iter().chain([philly_profile()]) {
-        let t = generate(&p, &cfg);
+        let t = generate(&p, &cfg).expect("valid config");
         let cap = t.total_gpus() as f64 * t.calendar.total_seconds() as f64;
         let total: f64 = t.gpu_jobs().map(|j| j.gpu_time() as f64).sum();
-        let clipped = replayed_utilization(&t.jobs, t.total_gpus() as u64, 0, t.calendar.total_seconds());
-        println!("== {:<8} offered={:.3} clipped={:.3} target={:.2}", p.cluster.name(), total/cap, clipped, p.target_util);
+        let clipped = replayed_utilization(
+            &t.jobs,
+            t.total_gpus() as u64,
+            0,
+            t.calendar.total_seconds(),
+        );
+        println!(
+            "== {:<8} offered={:.3} clipped={:.3} target={:.2}",
+            p.cluster.name(),
+            total / cap,
+            clipped,
+            p.target_util
+        );
         // per-VC
         let mut per_vc: HashMap<u16, (f64, f64, u64, f64)> = HashMap::new(); // (gpu_time, qd_sum, n, over_cap_time)
         for j in t.gpu_jobs() {
             let e = per_vc.entry(j.vc).or_default();
             let vc_cap = t.spec.vc_gpus(j.vc);
-            if j.gpus <= vc_cap { e.0 += j.gpu_time() as f64; } else { e.3 += j.gpu_time() as f64; }
+            if j.gpus <= vc_cap {
+                e.0 += j.gpu_time() as f64;
+            } else {
+                e.3 += j.gpu_time() as f64;
+            }
             e.1 += j.queue_delay() as f64;
             e.2 += 1;
         }
@@ -23,8 +41,13 @@ fn main() {
         vcs.sort_by_key(|x| x.0);
         for (vc, (gt, qd, n, oc)) in vcs {
             let c = t.spec.vc_gpus(vc) as f64 * t.calendar.total_seconds() as f64;
-            println!("  vc{vc:<3} gpus={:<4} rho={:.2} overcap_share={:.2} mean_qd={:>9.0} n={n}",
-                t.spec.vc_gpus(vc), gt/c, oc/(gt+oc+1e-9), qd/n as f64);
+            println!(
+                "  vc{vc:<3} gpus={:<4} rho={:.2} overcap_share={:.2} mean_qd={:>9.0} n={n}",
+                t.spec.vc_gpus(vc),
+                gt / c,
+                oc / (gt + oc + 1e-9),
+                qd / n as f64
+            );
         }
     }
 }

@@ -1,0 +1,27 @@
+use helios_trace::*;
+fn main() {
+    for seed in [2020u64, 1, 7, 42, 99] {
+        let cfg = GeneratorConfig { scale: 0.1, seed };
+        let traces = generate_helios(&cfg).expect("valid config");
+        let (mut s, mut n) = (0.0f64, 0u64);
+        for t in &traces {
+            for j in t.gpu_jobs() {
+                s += j.gpus as f64;
+                n += 1;
+            }
+        }
+        // Per-cluster means too
+        let per: Vec<String> = traces
+            .iter()
+            .map(|t| {
+                let (mut s2, mut n2) = (0.0, 0u64);
+                for j in t.gpu_jobs() {
+                    s2 += j.gpus as f64;
+                    n2 += 1;
+                }
+                format!("{}={:.2}(n={})", t.spec.id.name(), s2 / n2 as f64, n2)
+            })
+            .collect();
+        println!("seed {seed}: avg {:.3}  {}", s / n as f64, per.join(" "));
+    }
+}

@@ -3,22 +3,43 @@ use helios_trace::*;
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "venus".into());
     let p = match arg.as_str() {
-        "venus" => venus_profile(), "earth" => earth_profile(),
-        "saturn" => saturn_profile(), "uranus" => uranus_profile(),
+        "venus" => venus_profile(),
+        "earth" => earth_profile(),
+        "saturn" => saturn_profile(),
+        "uranus" => uranus_profile(),
         _ => philly_profile(),
     };
-    let t = generate(&p, &GeneratorConfig::default());
+    let t = generate(&p, &GeneratorConfig::default()).expect("valid config");
     let durs: Vec<f64> = t.gpu_jobs().map(|j| j.duration as f64).collect();
-    let mut sorted = durs.clone(); sorted.sort_by(|a,b| a.partial_cmp(b).unwrap());
-    let util = replayed_utilization(&t.jobs, t.total_gpus() as u64, 0, t.calendar.total_seconds());
+    let mut sorted = durs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let util = replayed_utilization(
+        &t.jobs,
+        t.total_gpus() as u64,
+        0,
+        t.calendar.total_seconds(),
+    );
     let qd: f64 = t.gpu_jobs().map(|j| j.queue_delay() as f64).sum::<f64>() / durs.len() as f64;
     let avg_g: f64 = t.gpu_jobs().map(|j| j.gpus as f64).sum::<f64>() / durs.len() as f64;
     let singles = t.gpu_jobs().filter(|j| j.gpus == 1).count() as f64 / durs.len() as f64;
     let total_gt: f64 = t.gpu_jobs().map(|j| j.gpu_time() as f64).sum();
-    let single_gt: f64 = t.gpu_jobs().filter(|j| j.gpus == 1).map(|j| j.gpu_time() as f64).sum();
-    let large_gt: f64 = t.gpu_jobs().filter(|j| j.gpus >= 8).map(|j| j.gpu_time() as f64).sum();
+    let single_gt: f64 = t
+        .gpu_jobs()
+        .filter(|j| j.gpus == 1)
+        .map(|j| j.gpu_time() as f64)
+        .sum();
+    let large_gt: f64 = t
+        .gpu_jobs()
+        .filter(|j| j.gpus >= 8)
+        .map(|j| j.gpu_time() as f64)
+        .sum();
     println!("{} full-scale: jobs={} mean_dur={:.0} med_dur={:.0} avg_gpus={:.2} util={:.3} mean_qd={:.0}",
         p.cluster.name(), t.jobs.len(), durs.iter().sum::<f64>()/durs.len() as f64, sorted[durs.len()/2], avg_g, util, qd);
-    println!("  singles={:.2} single_gt={:.3} large_gt={:.3} max_gpus={}", singles, single_gt/total_gt, large_gt/total_gt,
-        t.gpu_jobs().map(|j| j.gpus).max().unwrap());
+    println!(
+        "  singles={:.2} single_gt={:.3} large_gt={:.3} max_gpus={}",
+        singles,
+        single_gt / total_gt,
+        large_gt / total_gt,
+        t.gpu_jobs().map(|j| j.gpus).max().unwrap()
+    );
 }

@@ -1,24 +1,48 @@
 //! Status-share probe (Fig. 1b / Fig. 7a targets).
 use helios_trace::*;
 fn main() {
-    let cfg = GeneratorConfig { scale: 0.1, seed: 2020 };
+    let cfg = GeneratorConfig {
+        scale: 0.1,
+        seed: 2020,
+    };
     let mut gpu_time = [0.0f64; 3];
     let mut gpu_n = [0u64; 3];
     let mut cpu_n = [0u64; 3];
     for p in helios_profiles() {
-        let t = generate(&p, &cfg);
+        let t = generate(&p, &cfg).expect("valid config");
         for j in &t.jobs {
-            let i = match j.status { JobStatus::Completed => 0, JobStatus::Canceled => 1, JobStatus::Failed => 2 };
-            if j.is_gpu() { gpu_time[i] += j.gpu_time() as f64; gpu_n[i] += 1; } else { cpu_n[i] += 1; }
+            let i = match j.status {
+                JobStatus::Completed => 0,
+                JobStatus::Canceled => 1,
+                JobStatus::Failed => 2,
+            };
+            if j.is_gpu() {
+                gpu_time[i] += j.gpu_time() as f64;
+                gpu_n[i] += 1;
+            } else {
+                cpu_n[i] += 1;
+            }
         }
     }
     let tt: f64 = gpu_time.iter().sum();
     let tn: u64 = gpu_n.iter().sum();
     let tc: u64 = cpu_n.iter().sum();
-    println!("GPU-time shares: completed={:.3} canceled={:.3} failed={:.3}  (paper .513/.394/.093)",
-        gpu_time[0]/tt, gpu_time[1]/tt, gpu_time[2]/tt);
-    println!("GPU-count shares: completed={:.3} canceled={:.3} failed={:.3} (paper .624/.221/.155)",
-        gpu_n[0] as f64/tn as f64, gpu_n[1] as f64/tn as f64, gpu_n[2] as f64/tn as f64);
-    println!("CPU-count shares: completed={:.3} canceled={:.3} failed={:.3} (paper .909/.030/.061)",
-        cpu_n[0] as f64/tc as f64, cpu_n[1] as f64/tc as f64, cpu_n[2] as f64/tc as f64);
+    println!(
+        "GPU-time shares: completed={:.3} canceled={:.3} failed={:.3}  (paper .513/.394/.093)",
+        gpu_time[0] / tt,
+        gpu_time[1] / tt,
+        gpu_time[2] / tt
+    );
+    println!(
+        "GPU-count shares: completed={:.3} canceled={:.3} failed={:.3} (paper .624/.221/.155)",
+        gpu_n[0] as f64 / tn as f64,
+        gpu_n[1] as f64 / tn as f64,
+        gpu_n[2] as f64 / tn as f64
+    );
+    println!(
+        "CPU-count shares: completed={:.3} canceled={:.3} failed={:.3} (paper .909/.030/.061)",
+        cpu_n[0] as f64 / tc as f64,
+        cpu_n[1] as f64 / tc as f64,
+        cpu_n[2] as f64 / tc as f64
+    );
 }

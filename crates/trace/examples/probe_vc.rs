@@ -1,16 +1,39 @@
 //! Per-VC duration vs queuing probe.
 use helios_trace::*;
 fn main() {
-    let t = generate(&earth_profile(), &GeneratorConfig { scale: 0.12, seed: 3 });
+    let t = generate(
+        &earth_profile(),
+        &GeneratorConfig {
+            scale: 0.12,
+            seed: 3,
+        },
+    )
+    .expect("valid config");
     let (lo, hi) = t.calendar.month_range(1);
     for vc in 0..t.spec.num_vcs() as u16 {
-        let jobs: Vec<_> = t.gpu_jobs().filter(|j| j.vc == vc && j.submit >= lo && j.submit < hi).collect();
-        if jobs.is_empty() { continue; }
+        let jobs: Vec<_> = t
+            .gpu_jobs()
+            .filter(|j| j.vc == vc && j.submit >= lo && j.submit < hi)
+            .collect();
+        if jobs.is_empty() {
+            continue;
+        }
         let n = jobs.len() as f64;
         let dur: f64 = jobs.iter().map(|j| j.duration as f64).sum::<f64>() / n;
         let qd: f64 = jobs.iter().map(|j| j.queue_delay() as f64).sum::<f64>() / n;
-        let load: f64 = t.gpu_jobs().filter(|j| j.vc == vc).map(|j| j.gpu_time() as f64).sum::<f64>()
+        let load: f64 = t
+            .gpu_jobs()
+            .filter(|j| j.vc == vc)
+            .map(|j| j.gpu_time() as f64)
+            .sum::<f64>()
             / (t.spec.vc_gpus(vc) as f64 * t.calendar.total_seconds() as f64);
-        println!("vc{vc:<3} gpus={:<4} n={:<6} dur={:>9.0} qd={:>9.0} rho={:.2}", t.spec.vc_gpus(vc), jobs.len(), dur, qd, load);
+        println!(
+            "vc{vc:<3} gpus={:<4} n={:<6} dur={:>9.0} qd={:>9.0} rho={:.2}",
+            t.spec.vc_gpus(vc),
+            jobs.len(),
+            dur,
+            qd,
+            load
+        );
     }
 }

@@ -196,7 +196,11 @@ mod tests {
         let med = samples[n / 2];
         assert!((med / 200.0 - 1.0).abs() < 0.05, "median={med}");
         let mean = samples.iter().sum::<f64>() / n as f64;
-        assert!((mean / d.mean() - 1.0).abs() < 0.1, "mean={mean} vs {}", d.mean());
+        assert!(
+            (mean / d.mean() - 1.0).abs() < 0.1,
+            "mean={mean} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! The workspace-wide error type.
+//!
+//! Every public, fallible entry point in the Helios workspace — trace
+//! generation, simulation, service training, the umbrella façade — returns
+//! [`HeliosError`]. It lives in `helios-trace` because that crate sits at
+//! the bottom of the dependency graph (every other member already depends
+//! on it); the umbrella `helios` crate re-exports it as `helios::HeliosError`.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type HeliosResult<T> = std::result::Result<T, HeliosError>;
+
+/// Everything that can go wrong across the trace → predict → schedule →
+/// report pipeline. Variants carry enough context to be actionable without
+/// a backtrace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeliosError {
+    /// A configuration value is out of range or inconsistent
+    /// (e.g. `scale <= 0`, `update_period == 0`).
+    InvalidConfig {
+        /// The offending field or parameter name.
+        field: &'static str,
+        /// Human-readable constraint violation.
+        message: String,
+    },
+    /// A pipeline stage needed input data and found none
+    /// (e.g. an empty training window, a zero-length node series).
+    EmptyInput {
+        /// What was empty.
+        what: &'static str,
+        /// Where / why, e.g. the requested window.
+        detail: String,
+    },
+    /// The history cursor was asked to move backwards in time.
+    HistoryRegression {
+        /// The cursor's current position (seconds).
+        current: i64,
+        /// The requested (earlier) position.
+        requested: i64,
+    },
+    /// A job handed to the simulator can never be placed on the cluster.
+    InvalidJob {
+        /// The job's id.
+        job_id: u64,
+        /// Why it is unschedulable.
+        reason: String,
+    },
+    /// A session stage was invoked before its prerequisite stage.
+    MissingStage {
+        /// The stage that was invoked.
+        stage: &'static str,
+        /// The stage that must run first.
+        requires: &'static str,
+    },
+    /// A model was queried before it was trained.
+    NotTrained {
+        /// The service ("qssf", "ces").
+        service: &'static str,
+    },
+    /// A name-keyed lookup (cluster preset, experiment id) failed.
+    UnknownName {
+        /// The namespace ("cluster", "experiment").
+        kind: &'static str,
+        /// The name that did not resolve.
+        name: String,
+        /// Valid choices, for the error message.
+        expected: String,
+    },
+    /// A failure on one cluster of a multi-cluster fan-out, tagged with the
+    /// cluster so parallel errors stay attributable.
+    Cluster {
+        /// Cluster name ("Venus", ...).
+        cluster: String,
+        /// The underlying failure.
+        source: Box<HeliosError>,
+    },
+    /// A failure inside one registered service of the management framework,
+    /// tagged with the service name so multi-service ticks stay
+    /// attributable.
+    Service {
+        /// Service name ("qssf", "ces", ...).
+        service: String,
+        /// The underlying failure.
+        source: Box<HeliosError>,
+    },
+    /// An I/O failure (report writing, CSV import). `std::io::Error` is not
+    /// `Clone`, so the message is captured eagerly.
+    Io {
+        /// What was being done ("writing reports/table1.txt").
+        context: String,
+        /// The underlying I/O error, stringified.
+        message: String,
+    },
+}
+
+impl HeliosError {
+    /// Shorthand for [`HeliosError::InvalidConfig`].
+    pub fn invalid_config(field: &'static str, message: impl Into<String>) -> Self {
+        HeliosError::InvalidConfig {
+            field,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for [`HeliosError::EmptyInput`].
+    pub fn empty_input(what: &'static str, detail: impl Into<String>) -> Self {
+        HeliosError::EmptyInput {
+            what,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`HeliosError::Io`] from a real `io::Error`.
+    pub fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
+        HeliosError::Io {
+            context: context.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Tag an error with the cluster a fan-out branch was processing.
+    pub fn for_cluster(self, cluster: impl Into<String>) -> Self {
+        HeliosError::Cluster {
+            cluster: cluster.into(),
+            source: Box::new(self),
+        }
+    }
+
+    /// Tag an error with the service a framework tick was driving.
+    pub fn for_service(self, service: impl Into<String>) -> Self {
+        HeliosError::Service {
+            service: service.into(),
+            source: Box::new(self),
+        }
+    }
+}
+
+impl fmt::Display for HeliosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeliosError::InvalidConfig { field, message } => {
+                write!(f, "invalid configuration: {field}: {message}")
+            }
+            HeliosError::EmptyInput { what, detail } => {
+                write!(f, "empty input: no {what} ({detail})")
+            }
+            HeliosError::HistoryRegression { current, requested } => write!(
+                f,
+                "history cursor cannot move backwards (now at {current}s, requested {requested}s)"
+            ),
+            HeliosError::InvalidJob { job_id, reason } => {
+                write!(f, "job {job_id} can never be scheduled: {reason}")
+            }
+            HeliosError::MissingStage { stage, requires } => {
+                write!(f, "stage `{stage}` requires `{requires}` to have run first")
+            }
+            HeliosError::NotTrained { service } => {
+                write!(f, "service `{service}` used before training")
+            }
+            HeliosError::UnknownName {
+                kind,
+                name,
+                expected,
+            } => {
+                write!(f, "unknown {kind} {name:?} (expected one of: {expected})")
+            }
+            HeliosError::Cluster { cluster, source } => {
+                write!(f, "[{cluster}] {source}")
+            }
+            HeliosError::Service { service, source } => {
+                write!(f, "service `{service}`: {source}")
+            }
+            HeliosError::Io { context, message } => {
+                write!(f, "I/O error while {context}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeliosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HeliosError::Cluster { source, .. } | HeliosError::Service { source, .. } => {
+                Some(source.as_ref())
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = HeliosError::invalid_config("scale", "must be in (0, 1], got 0");
+        assert!(e.to_string().contains("scale"));
+        let e = HeliosError::HistoryRegression {
+            current: 100,
+            requested: 50,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn cluster_tagging_nests() {
+        let e = HeliosError::empty_input("jobs", "September window").for_cluster("Venus");
+        let s = e.to_string();
+        assert!(s.starts_with("[Venus]"), "{s}");
+        assert!(s.contains("jobs"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn errors_compare_for_tests() {
+        assert_eq!(
+            HeliosError::NotTrained { service: "qssf" },
+            HeliosError::NotTrained { service: "qssf" },
+        );
+    }
+}

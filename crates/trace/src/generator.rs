@@ -10,6 +10,7 @@
 
 use crate::cluster::{preset, ClusterSpec};
 use crate::dist::{uniform, Discrete, LogNormal};
+use crate::error::{HeliosError, HeliosResult};
 use crate::profiles::{fluctuating_monthly, stable_monthly, SubmissionProfile};
 use crate::replay::assign_start_times;
 use crate::time::Calendar;
@@ -53,6 +54,18 @@ impl GeneratorConfig {
             scale,
             ..Default::default()
         }
+    }
+
+    /// Check the configuration, returning every violated constraint as a
+    /// [`HeliosError::InvalidConfig`].
+    pub fn validate(&self) -> HeliosResult<()> {
+        if !self.scale.is_finite() || self.scale <= 0.0 || self.scale > 1.0 {
+            return Err(HeliosError::invalid_config(
+                "scale",
+                format!("must be in (0, 1], got {}", self.scale),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -111,10 +124,15 @@ const MIN_SCALED_VCS: usize = 10;
 /// [`MIN_SCALED_VCS`] VCs are always kept at ≥ 2 nodes), so the scaled
 /// cluster keeps roughly `scale` × the original capacity instead of being
 /// inflated by per-VC floors.
-pub fn scale_spec(spec: &ClusterSpec, scale: f64) -> ClusterSpec {
-    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+pub fn scale_spec(spec: &ClusterSpec, scale: f64) -> HeliosResult<ClusterSpec> {
+    if !scale.is_finite() || scale <= 0.0 || scale > 1.0 {
+        return Err(HeliosError::invalid_config(
+            "scale",
+            format!("must be in (0, 1], got {scale}"),
+        ));
+    }
     if (scale - 1.0).abs() < f64::EPSILON {
-        return spec.clone();
+        return Ok(spec.clone());
     }
     let mut order: Vec<usize> = (0..spec.num_vcs()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(spec.vcs[i].nodes));
@@ -144,7 +162,7 @@ pub fn scale_spec(spec: &ClusterSpec, scale: f64) -> ClusterSpec {
         vc.id = i as VcId;
     }
     scaled.nodes = scaled.vcs.iter().map(|v| v.nodes).sum();
-    scaled
+    Ok(scaled)
 }
 
 /// Largest-remainder apportionment of `total` across `weights`.
@@ -268,7 +286,7 @@ impl<'a> Emitter<'a> {
             let burst = self.burst_size(remaining.min(max_burst));
             let base = submit_profile.sample(&mut self.rng);
             for k in 0..burst {
-                let submit = (base + k as i64 * self.rng.gen_range(15..180))
+                let submit = (base + k as i64 * self.rng.gen_range(15..180i64))
                     .min(self.calendar.total_seconds() - 1);
                 let gpus = t.sample_gpus(&mut self.rng);
                 let intended = match t.kind {
@@ -310,9 +328,10 @@ impl<'a> Emitter<'a> {
 }
 
 /// Generate the trace for one workload profile.
-pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> Trace {
+pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> HeliosResult<Trace> {
+    cfg.validate()?;
     let full = preset(profile.cluster);
-    let spec = scale_spec(&full, cfg.scale);
+    let spec = scale_spec(&full, cfg.scale)?;
     let calendar = match profile.cluster {
         ClusterId::Philly => Calendar::philly_2017(),
         _ => Calendar::helios_2020(),
@@ -328,8 +347,7 @@ pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> Trace {
     let gpu_target = (profile.gpu_jobs as f64 * count_scale).round() as u64;
     let preprocess_target =
         (profile.cpu_jobs as f64 * (1.0 - profile.query_share) * count_scale).round() as u64;
-    let query_target =
-        (profile.cpu_jobs as f64 * profile.query_share * count_scale).round() as u64;
+    let query_target = (profile.cpu_jobs as f64 * profile.query_share * count_scale).round() as u64;
 
     let gpu_counts = apportion(
         gpu_target,
@@ -388,9 +406,8 @@ pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> Trace {
         .map(|vc| {
             (profile.target_util
                 + profile.util_spread
-                    * (0.5 * crate::dist::standard_normal(&mut rng)
-                        + 0.9 * duration_signal[vc]))
-            .clamp(0.15, profile.rho_max)
+                    * (0.5 * crate::dist::standard_normal(&mut rng) + 0.9 * duration_signal[vc]))
+                .clamp(0.15, profile.rho_max)
         })
         .collect();
 
@@ -433,8 +450,7 @@ pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> Trace {
 
     // --- Submission-time profiles (Fig. 2/3 shapes). ---
     let m = calendar.num_months();
-    let single_profile =
-        SubmissionProfile::new(&calendar, &fluctuating_monthly(m, profile.seed));
+    let single_profile = SubmissionProfile::new(&calendar, &fluctuating_monthly(m, profile.seed));
     let multi_profile = SubmissionProfile::new(&calendar, &stable_monthly(m, profile.seed));
     let cpu_profile = SubmissionProfile::new(&calendar, &stable_monthly(m, profile.seed ^ 0xC0));
 
@@ -470,11 +486,7 @@ pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> Trace {
         emitter.emit(owner_profile, &[template], mega_count, &multi_profile, 2);
         // Guarantee the headline 2 048-GPU request (Table 2) exists at any
         // scale/seed: pin the first mega submission to the cluster maximum.
-        if let Some(first) = emitter
-            .jobs
-            .iter_mut()
-            .find(|j| Some(j.name) == mega_name)
-        {
+        if let Some(first) = emitter.jobs.iter_mut().find(|j| Some(j.name) == mega_name) {
             first.gpus = profile.gpu_cap;
         }
     }
@@ -540,21 +552,21 @@ pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> Trace {
     }
     assign_start_times(&mut jobs, &spec);
 
-    Trace {
+    Ok(Trace {
         spec,
         calendar,
         jobs,
         names,
-    }
+    })
 }
 
 /// Generate all four Helios cluster traces (Table 1 order).
-pub fn generate_helios(cfg: &GeneratorConfig) -> Vec<Trace> {
+pub fn generate_helios(cfg: &GeneratorConfig) -> HeliosResult<Vec<Trace>> {
     helios_profiles().iter().map(|p| generate(p, cfg)).collect()
 }
 
 /// Generate the Philly comparison trace.
-pub fn generate_philly(cfg: &GeneratorConfig) -> Trace {
+pub fn generate_philly(cfg: &GeneratorConfig) -> HeliosResult<Trace> {
     generate(&philly_profile(), cfg)
 }
 
@@ -574,7 +586,7 @@ mod tests {
     fn job_counts_hit_target() {
         let p = venus_profile();
         let cfg = small_cfg();
-        let t = generate(&p, &cfg);
+        let t = generate(&p, &cfg).unwrap();
         // Counts scale with the realised capacity ratio (== cfg.scale up to
         // VC rounding).
         let ratio = t.total_gpus() as f64 / preset(p.cluster).total_gpus() as f64;
@@ -582,16 +594,25 @@ mod tests {
         let cpu = t.cpu_jobs().count() as f64;
         let gpu_target = p.gpu_jobs as f64 * ratio;
         let cpu_target = p.cpu_jobs as f64 * ratio;
-        assert!((gpu / gpu_target - 1.0).abs() < 0.02, "gpu={gpu} target={gpu_target}");
-        assert!((cpu / cpu_target - 1.0).abs() < 0.02, "cpu={cpu} target={cpu_target}");
+        assert!(
+            (gpu / gpu_target - 1.0).abs() < 0.02,
+            "gpu={gpu} target={gpu_target}"
+        );
+        assert!(
+            (cpu / cpu_target - 1.0).abs() < 0.02,
+            "cpu={cpu} target={cpu_target}"
+        );
         // The top-10-VC floor bounds how small a cluster can shrink, so the
         // realised ratio may sit above the requested scale.
-        assert!(ratio >= cfg.scale * 0.9 && ratio <= cfg.scale * 4.0, "ratio={ratio}");
+        assert!(
+            ratio >= cfg.scale * 0.9 && ratio <= cfg.scale * 4.0,
+            "ratio={ratio}"
+        );
     }
 
     #[test]
     fn ids_dense_and_submission_sorted() {
-        let t = generate(&venus_profile(), &small_cfg());
+        let t = generate(&venus_profile(), &small_cfg()).unwrap();
         for (i, w) in t.jobs.windows(2).enumerate() {
             assert!(w[0].submit <= w[1].submit, "unsorted at {i}");
         }
@@ -602,7 +623,7 @@ mod tests {
 
     #[test]
     fn durations_within_bounds() {
-        let t = generate(&venus_profile(), &small_cfg());
+        let t = generate(&venus_profile(), &small_cfg()).unwrap();
         for j in &t.jobs {
             assert!(j.duration >= 1 && j.duration <= MAX_DURATION_SECS);
             assert!(j.submit >= 0 && j.submit < t.calendar.total_seconds());
@@ -612,7 +633,7 @@ mod tests {
 
     #[test]
     fn earth_is_mostly_single_gpu() {
-        let t = generate(&earth_profile(), &small_cfg());
+        let t = generate(&earth_profile(), &small_cfg()).unwrap();
         let gpu: Vec<&JobRecord> = t.gpu_jobs().collect();
         let singles = gpu.iter().filter(|j| j.gpus == 1).count();
         let share = singles as f64 / gpu.len() as f64;
@@ -626,7 +647,7 @@ mod tests {
         let mut gpu_status = [0u64; 3];
         let mut cpu_status = [0u64; 3];
         for p in [venus_profile(), earth_profile()] {
-            let t = generate(&p, &cfg);
+            let t = generate(&p, &cfg).unwrap();
             for j in &t.jobs {
                 let idx = match j.status {
                     JobStatus::Completed => 0,
@@ -645,23 +666,32 @@ mod tests {
         let g_complete = gpu_status[0] as f64 / gt as f64;
         let c_complete = cpu_status[0] as f64 / ct as f64;
         // Fig. 7a: GPU 62.4% completed, CPU 90.9% completed.
-        assert!((g_complete - 0.624).abs() < 0.10, "gpu complete {g_complete}");
-        assert!((c_complete - 0.909).abs() < 0.06, "cpu complete {c_complete}");
+        assert!(
+            (g_complete - 0.624).abs() < 0.10,
+            "gpu complete {g_complete}"
+        );
+        assert!(
+            (c_complete - 0.909).abs() < 0.06,
+            "cpu complete {c_complete}"
+        );
         assert!(c_complete > g_complete);
     }
 
     #[test]
     fn scale_spec_preserves_vc_floor() {
         let spec = preset(ClusterId::Saturn);
-        let s = scale_spec(&spec, 0.03);
+        let s = scale_spec(&spec, 0.03).unwrap();
         assert!(s.vcs.iter().all(|v| v.nodes >= 2));
         assert_eq!(s.nodes, s.vcs.iter().map(|v| v.nodes).sum::<u32>());
+        assert!(scale_spec(&spec, 0.0).is_err());
+        assert!(scale_spec(&spec, 1.5).is_err());
+        assert!(scale_spec(&spec, f64::NAN).is_err());
     }
 
     #[test]
     fn deterministic_generation() {
-        let a = generate(&venus_profile(), &small_cfg());
-        let b = generate(&venus_profile(), &small_cfg());
+        let a = generate(&venus_profile(), &small_cfg()).unwrap();
+        let b = generate(&venus_profile(), &small_cfg()).unwrap();
         assert_eq!(a.jobs.len(), b.jobs.len());
         assert_eq!(a.jobs[100], b.jobs[100]);
         assert_eq!(a.jobs.last(), b.jobs.last());
@@ -681,7 +711,7 @@ mod tests {
             scale: 0.1,
             seed: 7,
         };
-        let t = generate(&venus_profile(), &cfg);
+        let t = generate(&venus_profile(), &cfg).unwrap();
         let rate = |lo: u32, hi: u32| {
             let sel: Vec<&JobRecord> = t
                 .gpu_jobs()

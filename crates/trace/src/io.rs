@@ -45,7 +45,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace csv parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace csv parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -102,7 +106,10 @@ pub fn read_csv<R: Read>(r: R) -> Result<(Vec<JobRecord>, NamePool), ReadError> 
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 11 {
-            return Err(perr(lineno + 1, format!("expected 11 fields, got {}", fields.len())));
+            return Err(perr(
+                lineno + 1,
+                format!("expected 11 fields, got {}", fields.len()),
+            ));
         }
         let parse_u = |i: usize| -> Result<u64, ReadError> {
             fields[i]

@@ -14,12 +14,17 @@
 //! use helios_trace::{generate, GeneratorConfig, venus_profile};
 //!
 //! let cfg = GeneratorConfig { scale: 0.02, seed: 1 };
-//! let trace = generate(&venus_profile(), &cfg);
+//! let trace = generate(&venus_profile(), &cfg)?;
 //! assert!(trace.gpu_jobs().count() > 1_000);
+//!
+//! // Invalid configuration is a typed error, not a panic.
+//! assert!(generate(&venus_profile(), &GeneratorConfig { scale: 0.0, seed: 1 }).is_err());
+//! # Ok::<(), helios_trace::HeliosError>(())
 //! ```
 
 pub mod cluster;
 pub mod dist;
+pub mod error;
 pub mod generator;
 pub mod io;
 pub mod profiles;
@@ -29,7 +34,10 @@ pub mod types;
 pub mod users;
 pub mod workload;
 
-pub use cluster::{earth, helios_clusters, philly, preset, saturn, uranus, venus, ClusterSpec, GpuModel, VcSpec};
+pub use cluster::{
+    earth, helios_clusters, philly, preset, saturn, uranus, venus, ClusterSpec, GpuModel, VcSpec,
+};
+pub use error::{HeliosError, HeliosResult};
 pub use generator::{
     generate, generate_helios, generate_philly, scale_spec, GeneratorConfig, Trace,
     MAX_DURATION_SECS,

@@ -61,10 +61,7 @@ impl SubmissionProfile {
             day_weights.push(w);
         }
         // Off-days have a flatter hourly shape (no lunch/dinner commute dips).
-        let off_hours: Vec<f64> = DIURNAL_SUBMIT
-            .iter()
-            .map(|&w| 0.35 + 0.65 * w)
-            .collect();
+        let off_hours: Vec<f64> = DIURNAL_SUBMIT.iter().map(|&w| 0.35 + 0.65 * w).collect();
         SubmissionProfile {
             day_picker: Discrete::new(&day_weights),
             hour_picker_work: Discrete::new(&DIURNAL_SUBMIT),
@@ -175,7 +172,7 @@ mod tests {
         monthly[2] = 3.0; // June tripled.
         let prof = SubmissionProfile::new(&cal, &monthly);
         let mut rng = ChaCha12Rng::seed_from_u64(9);
-        let mut per_month = vec![0u32; 6];
+        let mut per_month = [0u32; 6];
         for _ in 0..60_000 {
             per_month[cal.month_index(prof.sample(&mut rng))] += 1;
         }

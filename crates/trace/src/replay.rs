@@ -176,11 +176,7 @@ mod tests {
     #[test]
     fn fifo_queueing_when_full() {
         let spec = tiny_spec(1); // 8 GPUs
-        let mut jobs = vec![
-            job(0, 8, 0, 1_000),
-            job(1, 8, 10, 500),
-            job(2, 8, 20, 500),
-        ];
+        let mut jobs = vec![job(0, 8, 0, 1_000), job(1, 8, 10, 500), job(2, 8, 20, 500)];
         assign_start_times(&mut jobs, &spec);
         assert_eq!(jobs[0].start, 0);
         assert_eq!(jobs[1].start, 1_000);
@@ -190,7 +186,7 @@ mod tests {
     #[test]
     fn head_of_line_blocking_is_strict() {
         let spec = tiny_spec(1); // 8 GPUs
-        // Big head job blocks a small job that *would* fit (no backfill).
+                                 // Big head job blocks a small job that *would* fit (no backfill).
         let mut jobs = vec![
             job(0, 6, 0, 1_000),
             job(1, 4, 10, 100), // needs 4, only 2 free -> blocks
@@ -205,7 +201,14 @@ mod tests {
     fn capacity_never_exceeded() {
         let spec = tiny_spec(2); // 16 GPUs
         let mut jobs: Vec<JobRecord> = (0..200)
-            .map(|i| job(i, [1, 2, 4, 8][i as usize % 4], (i as i64) * 37 % 5_000, 200 + (i as i64 * 61) % 900))
+            .map(|i| {
+                job(
+                    i,
+                    [1, 2, 4, 8][i as usize % 4],
+                    (i as i64) * 37 % 5_000,
+                    200 + (i as i64 * 61) % 900,
+                )
+            })
             .collect();
         jobs.sort_by_key(|j| j.submit);
         assign_start_times(&mut jobs, &spec);

@@ -68,10 +68,7 @@ impl UserClass {
                 (TemplateKind::Eval, 0.27),
                 (TemplateKind::Train, 0.27),
             ],
-            UserClass::Pipeline => &[
-                (TemplateKind::Eval, 0.5),
-                (TemplateKind::Debug, 0.5),
-            ],
+            UserClass::Pipeline => &[(TemplateKind::Eval, 0.5), (TemplateKind::Debug, 0.5)],
         }
     }
 }
@@ -220,7 +217,7 @@ pub fn template_name(kind: TemplateKind, user: UserId, rng: &mut ChaCha12Rng) ->
     // Hyperparameter suffixes on ~40% of training names, mirroring real
     // sweep-style naming that the Levenshtein bucketizer must cope with.
     if matches!(kind, TemplateKind::Train | TemplateKind::DistTrain) && rng.gen_bool(0.4) {
-        name.push_str(&format!("_lr{}", [1, 3, 5, 10][rng.gen_range(0..4)]));
+        name.push_str(&format!("_lr{}", [1, 3, 5, 10][rng.gen_range(0..4usize)]));
     }
     if matches!(kind, TemplateKind::Query) {
         // Queries are fired by per-user automation scripts.
@@ -229,6 +226,7 @@ pub fn template_name(kind: TemplateKind, user: UserId, rng: &mut ChaCha12Rng) ->
     name
 }
 
+#[allow(clippy::too_many_arguments)]
 /// Build a template of the given kind for `user` in `vc`.
 ///
 /// `single_gpu_boost` multiplies the weight of the 1-GPU choice (Earth and
@@ -250,12 +248,27 @@ pub fn make_template(
     rng: &mut ChaCha12Rng,
 ) -> JobTemplate {
     let params = kind.params();
-    let choices: Vec<(u32, f64)> = params
+    let mut choices: Vec<(u32, f64)> = params
         .gpu_choices
         .iter()
         .filter(|&&(g, _)| g <= gpu_cap)
         .map(|&(g, w)| (g, if g == 1 { w * single_gpu_boost } else { w }))
         .collect();
+    // Dropped over-cap weight folds onto the largest surviving choice
+    // (instead of proportional renormalization, which would shift mass
+    // toward small jobs): the job-size marginal of a scaled cluster stays
+    // as close as its caps allow to the paper's scale-independent Fig. 6.
+    let dropped: f64 = params
+        .gpu_choices
+        .iter()
+        .filter(|&&(g, _)| g > gpu_cap)
+        .map(|&(_, w)| w)
+        .sum();
+    if dropped > 0.0 {
+        if let Some(largest) = choices.iter_mut().max_by_key(|c| c.0) {
+            largest.1 += dropped;
+        }
+    }
     let (gpu_values, gpu_picker) = if choices.is_empty() {
         (Vec::new(), None)
     } else {
@@ -264,7 +277,10 @@ pub fn make_template(
         (values, Some(Discrete::new(&weights)))
     };
     // Template median drawn around the kind's median-of-medians.
-    let spread = LogNormal::from_median(params.median_of_medians * duration_scale, params.median_sigma);
+    let spread = LogNormal::from_median(
+        params.median_of_medians * duration_scale,
+        params.median_sigma,
+    );
     let median = spread.sample(rng).max(1.0);
     JobTemplate {
         name: names.intern(template_name(kind, user, rng)),
@@ -293,10 +309,7 @@ fn assign_vc(class: UserClass, spec: &ClusterSpec, rng: &mut ChaCha12Rng) -> VcI
         UserClass::Pipeline => &order[..],
     };
     // Weight by VC capacity within the allowed slice.
-    let weights: Vec<f64> = slice
-        .iter()
-        .map(|&i| spec.vcs[i].nodes as f64)
-        .collect();
+    let weights: Vec<f64> = slice.iter().map(|&i| spec.vcs[i].nodes as f64).collect();
     let picker = Discrete::new(&weights);
     slice[picker.sample(rng)] as VcId
 }
@@ -467,8 +480,7 @@ mod tests {
     #[test]
     fn cpu_users_are_a_minority_with_skewed_activity() {
         let (users, _) = population();
-        let cpu_users: Vec<&UserProfile> =
-            users.iter().filter(|u| u.cpu_activity > 0.0).collect();
+        let cpu_users: Vec<&UserProfile> = users.iter().filter(|u| u.cpu_activity > 0.0).collect();
         let share = cpu_users.len() as f64 / users.len() as f64;
         assert!(share > 0.10 && share < 0.45, "cpu-user share {share}");
         // Top-5% CPU users should dominate CPU activity (paper: ~90% of

@@ -399,7 +399,11 @@ mod tests {
         // target_util is a calibration *input*; realised utilization (checked
         // in tests/calibration.rs) lands in the paper's 65-90% band.
         for p in helios_profiles() {
-            assert!(p.target_util >= 0.60 && p.target_util <= 0.90, "{}", p.cluster);
+            assert!(
+                p.target_util >= 0.60 && p.target_util <= 0.90,
+                "{}",
+                p.cluster
+            );
         }
     }
 }

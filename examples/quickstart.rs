@@ -1,49 +1,30 @@
-//! Quickstart: generate a small synthetic Helios cluster trace, train the
-//! QSSF service, and compare FIFO vs QSSF scheduling on one month of jobs.
+//! Quickstart: one builder pipeline from trace generation to a scheduled
+//! report — generate a small synthetic Venus trace, train the QSSF service,
+//! and compare FIFO vs QSSF on the September window.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use helios_core::{QssfConfig, QssfService};
-use helios_sim::{jobs_from_trace, schedule_stats, simulate, Policy, SimConfig};
-use helios_trace::{generate, venus_profile, GeneratorConfig};
+use helios::prelude::*;
 
-fn main() {
+fn main() -> helios::error::Result<()> {
     // A 10%-scale Venus cluster: ~15k GPU jobs over six months.
-    let cfg = GeneratorConfig { scale: 0.1, seed: 42 };
-    let trace = generate(&venus_profile(), &cfg);
+    let mut session = Helios::cluster(Preset::Venus).scale(0.1).seed(42).build()?;
+    let report = session
+        .generate()?
+        .characterize()?
+        .train_qssf()?
+        .schedule(SchedulePolicy::Fifo)?
+        .schedule(SchedulePolicy::Qssf)?
+        .report()?;
+
+    println!("{}", report.render());
+
+    let gain = report
+        .qssf_vs_fifo
+        .expect("both FIFO and QSSF were scheduled");
     println!(
-        "generated {} jobs ({} GPU) on {} nodes / {} GPUs",
-        trace.jobs.len(),
-        trace.gpu_jobs().count(),
-        trace.spec.nodes,
-        trace.total_gpus()
+        "QSSF improves average JCT by {:.1}x and queueing delay by {:.1}x",
+        gain.jct, gain.queue_delay
     );
-
-    // September window.
-    let (lo, hi) = trace.calendar.month_range(5);
-
-    // Baseline: the production FIFO scheduler.
-    let base = jobs_from_trace(&trace, lo, hi);
-    let fifo = schedule_stats(&simulate(&trace.spec, &base, &SimConfig::new(Policy::Fifo)).outcomes);
-
-    // QSSF: train the GPU-time predictor on April-August history, then
-    // schedule September by predicted GPU time.
-    let mut qssf = QssfService::new(QssfConfig::default());
-    qssf.train(&trace, 0, lo);
-    let scored = qssf.assign_priorities(&trace, lo, hi);
-    let qssf_stats =
-        schedule_stats(&simulate(&trace.spec, &scored, &SimConfig::new(Policy::Priority)).outcomes);
-
-    println!("\n               FIFO        QSSF");
-    println!("avg JCT      {:>8.0}s  {:>8.0}s", fifo.avg_jct, qssf_stats.avg_jct);
-    println!(
-        "avg queue    {:>8.0}s  {:>8.0}s",
-        fifo.avg_queue_delay, qssf_stats.avg_queue_delay
-    );
-    println!("queued jobs  {:>9}  {:>9}", fifo.queued_jobs, qssf_stats.queued_jobs);
-    println!(
-        "\nQSSF improves average JCT by {:.1}x and queueing delay by {:.1}x",
-        fifo.avg_jct / qssf_stats.avg_jct,
-        fifo.avg_queue_delay / qssf_stats.avg_queue_delay
-    );
+    Ok(())
 }

@@ -1,50 +1,55 @@
-//! Full scheduling case study: four policies on one cluster, per-VC
-//! breakdown, and duration-group gains (the Table 3/4 pipeline on Saturn).
+//! Full scheduling case study on Saturn: the four Fig. 11 policies, the
+//! Table 4 duration-group gains, and the hottest per-VC queues (Fig. 12) —
+//! all driven through one façade session.
 //!
 //! Run with: `cargo run --release --example schedule_qssf`
 
-use helios_core::{QssfConfig, QssfService};
-use helios_sim::{
-    group_delay_ratios, jobs_from_trace, per_vc_queue_delay, schedule_stats, simulate, Policy,
-    SimConfig, DURATION_GROUPS,
-};
-use helios_trace::{generate, saturn_profile, GeneratorConfig};
+use helios::prelude::*;
+use helios::sim::{group_delay_ratios, per_vc_queue_delay, DURATION_GROUPS};
 
-fn main() {
-    let trace = generate(&saturn_profile(), &GeneratorConfig { scale: 0.08, seed: 11 });
-    let (lo, hi) = trace.calendar.month_range(5);
-    println!("Saturn (scaled): {} nodes, September GPU jobs: {}",
-        trace.spec.nodes, trace.jobs_in_month(5).filter(|j| j.is_gpu()).count());
+fn main() -> helios::error::Result<()> {
+    let mut session = Helios::cluster(Preset::Saturn)
+        .scale(0.08)
+        .seed(11)
+        .build()?;
+    session.generate()?.train_qssf()?.schedule_all()?;
 
-    let base = jobs_from_trace(&trace, lo, hi);
-    let fifo = simulate(&trace.spec, &base, &SimConfig::new(Policy::Fifo)).outcomes;
-    let sjf = simulate(&trace.spec, &base, &SimConfig::new(Policy::Sjf)).outcomes;
-    let srtf = simulate(&trace.spec, &base, &SimConfig::new(Policy::Srtf)).outcomes;
-
-    let mut qssf = QssfService::new(QssfConfig::default());
-    qssf.train(&trace, 0, lo);
-    let scored = qssf.assign_priorities(&trace, lo, hi);
-    let qssf_out = simulate(&trace.spec, &scored, &SimConfig::new(Policy::Priority)).outcomes;
-
-    println!("\npolicy  avg JCT     avg queue   queued");
-    for (name, out) in [("FIFO", &fifo), ("SJF", &sjf), ("QSSF", &qssf_out), ("SRTF", &srtf)] {
-        let s = schedule_stats(out);
-        println!("{name:<7} {:>8.0}s  {:>8.0}s  {:>7}", s.avg_jct, s.avg_queue_delay, s.queued_jobs);
-    }
+    let report = session.report()?;
+    println!(
+        "Saturn (scaled): {} nodes, {} GPU jobs\n",
+        report.nodes, report.gpu_jobs
+    );
+    println!("{}", report.render());
 
     // Table 4: every duration group must gain.
-    let ratios = group_delay_ratios(&fifo, &qssf_out);
-    println!("\nFIFO/QSSF queue-delay ratio by duration group:");
+    let outcome = |p: SchedulePolicy| {
+        session
+            .schedule_outcomes()
+            .iter()
+            .find(|s| s.policy == p)
+            .expect("scheduled above")
+    };
+    let fifo = outcome(SchedulePolicy::Fifo);
+    let qssf = outcome(SchedulePolicy::Qssf);
+    let ratios = group_delay_ratios(&fifo.outcomes, &qssf.outcomes);
+    println!("FIFO/QSSF queue-delay ratio by duration group:");
     for (g, r) in DURATION_GROUPS.iter().zip(ratios) {
         println!("  {g:<18} {r:>6.2}x");
     }
 
-    // Fig 12: the three hottest VCs.
-    let mut vcs: Vec<(u16, f64)> = per_vc_queue_delay(&fifo).into_iter().collect();
+    // Fig 12: the three hottest VCs under FIFO, and what QSSF does to them.
+    let trace = session.trace()?;
+    let mut vcs: Vec<(u16, f64)> = per_vc_queue_delay(&fifo.outcomes).into_iter().collect();
     vcs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    let qssf_vc = per_vc_queue_delay(&qssf_out);
+    let qssf_vc = per_vc_queue_delay(&qssf.outcomes);
     println!("\nhottest VCs (FIFO vs QSSF avg queue):");
     for (vc, d) in vcs.into_iter().take(3) {
-        println!("  {:<6} {:>8.0}s -> {:>8.0}s", trace.spec.vcs[vc as usize].name, d, qssf_vc[&vc]);
+        println!(
+            "  {:<6} {:>8.0}s -> {:>8.0}s",
+            trace.spec.vcs[vc as usize].name,
+            d,
+            qssf_vc.get(&vc).copied().unwrap_or(0.0)
+        );
     }
+    Ok(())
 }

@@ -1,0 +1,10 @@
+//! The workspace-wide error type, re-exported at the façade.
+//!
+//! [`HeliosError`] is defined in `helios-trace` (the crate at the bottom of
+//! the dependency graph, so every workspace member can return it); library
+//! users should name it through this module or the [`crate::prelude`].
+
+pub use helios_trace::error::{HeliosError, HeliosResult};
+
+/// Façade-local result alias: `helios::error::Result<T>`.
+pub type Result<T> = HeliosResult<T>;

@@ -1,8 +1,50 @@
-//! Umbrella crate for the Helios SC'21 reproduction workspace.
+//! # helios — umbrella façade for the Helios SC'21 reproduction
 //!
-//! Re-exports the member crates so examples and integration tests can use a
-//! single dependency. Library users should depend on the individual crates
-//! (`helios-trace`, `helios-sim`, ...) directly.
+//! One typed, fallible pipeline over the paper's whole framework
+//! (*Characterization and Prediction of Deep Learning Workloads in
+//! Large-Scale GPU Datacenters*, Hu et al., SC'21): synthetic trace
+//! generation → §3 characterization → §4 prediction services (QSSF, CES)
+//! → trace-driven scheduling → reports.
+//!
+//! ```no_run
+//! use helios::prelude::*;
+//!
+//! # fn main() -> helios::error::Result<()> {
+//! // One cluster, end to end.
+//! let report = Helios::cluster(Preset::Venus)
+//!     .scale(0.1)
+//!     .seed(42)
+//!     .build()?
+//!     .generate()?
+//!     .characterize()?
+//!     .train_qssf()?
+//!     .schedule(SchedulePolicy::Fifo)?
+//!     .schedule(SchedulePolicy::Qssf)?
+//!     .report()?;
+//! println!("{}", report.render());
+//!
+//! // All five clusters in parallel, one report each.
+//! for report in Helios::all_clusters().scale(0.05).reports()? {
+//!     println!("{}", report.render());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Every fallible entry point returns [`error::HeliosError`]; no façade
+//! path panics on invalid user input.
+//!
+//! The member crates remain available for deep access:
+//! [`trace`] (synthesis), [`analysis`] (§3 statistics), [`predict`]
+//! (GBDT/ARIMA/LSTM), [`sim`] (discrete-event scheduler), [`core`]
+//! (service framework), [`energy`] (CES/DRS).
+
+pub mod error;
+pub mod prelude;
+pub mod session;
+
+pub use error::{HeliosError, HeliosResult};
+pub use session::{Helios, Preset, SchedulePolicy, Session, SessionBuilder, SessionReport};
 
 pub use helios_analysis as analysis;
 pub use helios_core as core;

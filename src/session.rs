@@ -1,0 +1,902 @@
+//! The unified façade: a fallible builder pipeline over the whole paper —
+//! trace generation → characterization → prediction services → scheduling
+//! → reporting (§4, Fig. 10) — with parallel multi-cluster fan-out.
+//!
+//! ```no_run
+//! use helios::prelude::*;
+//!
+//! # fn main() -> helios::error::Result<()> {
+//! let report = Helios::cluster(Preset::Venus)
+//!     .scale(0.1)
+//!     .seed(42)
+//!     .build()?
+//!     .generate()?
+//!     .characterize()?
+//!     .train_qssf()?
+//!     .schedule(SchedulePolicy::Fifo)?
+//!     .schedule(SchedulePolicy::Qssf)?
+//!     .report()?;
+//! println!("{}", report.render());
+//!
+//! // Five clusters in parallel, one call, one report each.
+//! let reports = Helios::all_clusters().scale(0.05).reports()?;
+//! assert_eq!(reports.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{HeliosError, Result};
+use helios_analysis::report::{fmt_count, fmt_secs, TextTable};
+use helios_analysis::{clusters, jobs, users};
+use helios_core::{CesEvaluation, CesService, CesServiceConfig, QssfConfig, QssfService};
+use helios_energy::{annualize, energy_saved_kwh, node_series_from_trace};
+use helios_sim::{
+    jobs_from_trace, schedule_stats, simulate, JobOutcome, Placement, Policy, ScheduleStats,
+    SimConfig,
+};
+use helios_trace::{
+    generate, profile_for, ClusterId, GeneratorConfig, Trace, WorkloadProfile, SECS_PER_DAY,
+};
+use serde_json::json;
+
+/// The clusters of the paper (Table 1 plus the Philly comparison cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preset {
+    Venus,
+    Earth,
+    Saturn,
+    Uranus,
+    Philly,
+}
+
+impl Preset {
+    /// The four Helios clusters plus Philly, Table 1 order.
+    pub const ALL: [Preset; 5] = [
+        Preset::Venus,
+        Preset::Earth,
+        Preset::Saturn,
+        Preset::Uranus,
+        Preset::Philly,
+    ];
+
+    /// The four Helios clusters (no Philly).
+    pub const HELIOS: [Preset; 4] = [Preset::Venus, Preset::Earth, Preset::Saturn, Preset::Uranus];
+
+    /// Display name ("Venus", ...).
+    pub fn name(self) -> &'static str {
+        self.cluster_id().name()
+    }
+
+    /// The trace-substrate cluster id.
+    pub fn cluster_id(self) -> ClusterId {
+        match self {
+            Preset::Venus => ClusterId::Venus,
+            Preset::Earth => ClusterId::Earth,
+            Preset::Saturn => ClusterId::Saturn,
+            Preset::Uranus => ClusterId::Uranus,
+            Preset::Philly => ClusterId::Philly,
+        }
+    }
+
+    /// Calibrated workload profile for this cluster.
+    pub fn profile(self) -> WorkloadProfile {
+        profile_for(self.cluster_id())
+    }
+
+    /// Parse a cluster name (case-insensitive).
+    pub fn parse(name: &str) -> Result<Preset> {
+        Preset::ALL
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| HeliosError::UnknownName {
+                kind: "cluster",
+                name: name.to_string(),
+                expected: Preset::ALL
+                    .iter()
+                    .map(|p| p.name())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            })
+    }
+}
+
+impl std::fmt::Display for Preset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Scheduling policies exposed by the façade. `Qssf` is the paper's
+/// contribution and requires [`Session::train_qssf`] first; the others are
+/// the Fig. 11 baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulePolicy {
+    /// Production FIFO baseline.
+    Fifo,
+    /// Oracle Shortest-Job-First.
+    Sjf,
+    /// Oracle preemptive Shortest-Remaining-Time-First.
+    Srtf,
+    /// Quasi-Shortest-Service-First on predicted GPU time (Algorithm 1).
+    Qssf,
+}
+
+impl SchedulePolicy {
+    /// Display label ("FIFO", "QSSF", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulePolicy::Fifo => "FIFO",
+            SchedulePolicy::Sjf => "SJF",
+            SchedulePolicy::Srtf => "SRTF",
+            SchedulePolicy::Qssf => "QSSF",
+        }
+    }
+
+    fn sim_policy(self) -> Policy {
+        match self {
+            SchedulePolicy::Fifo => Policy::Fifo,
+            SchedulePolicy::Sjf => Policy::Sjf,
+            SchedulePolicy::Srtf => Policy::Srtf,
+            SchedulePolicy::Qssf => Policy::Priority,
+        }
+    }
+}
+
+/// Entry point of the façade. Every pipeline starts here.
+pub struct Helios;
+
+impl Helios {
+    /// Configure a session on one cluster.
+    pub fn cluster(preset: Preset) -> SessionBuilder {
+        SessionBuilder::new(preset)
+    }
+
+    /// Configure a parallel fan-out across all five clusters
+    /// (Venus, Earth, Saturn, Uranus, Philly).
+    pub fn all_clusters() -> FleetBuilder {
+        FleetBuilder::new(Preset::ALL.to_vec())
+    }
+
+    /// Configure a parallel fan-out across the four Helios clusters.
+    pub fn helios_clusters() -> FleetBuilder {
+        FleetBuilder::new(Preset::HELIOS.to_vec())
+    }
+
+    /// Configure a fan-out over an explicit cluster list.
+    pub fn clusters(presets: impl IntoIterator<Item = Preset>) -> FleetBuilder {
+        FleetBuilder::new(presets.into_iter().collect())
+    }
+}
+
+/// Validated knobs shared by single- and multi-cluster builders.
+#[derive(Debug, Clone)]
+struct Knobs {
+    scale: f64,
+    seed: u64,
+    qssf: QssfConfig,
+    ces: CesServiceConfig,
+    placement: Placement,
+    backfill: bool,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            scale: 0.1,
+            seed: 2020,
+            qssf: QssfConfig::default(),
+            ces: CesServiceConfig::default(),
+            placement: Placement::Consolidate,
+            backfill: false,
+        }
+    }
+}
+
+impl Knobs {
+    fn validate(&self) -> Result<()> {
+        GeneratorConfig {
+            scale: self.scale,
+            seed: self.seed,
+        }
+        .validate()?;
+        if !(0.0..=1.0).contains(&self.qssf.lambda) || self.qssf.lambda.is_nan() {
+            return Err(HeliosError::invalid_config(
+                "lambda",
+                format!("must be in [0, 1], got {}", self.qssf.lambda),
+            ));
+        }
+        Ok(())
+    }
+}
+
+macro_rules! builder_knobs {
+    () => {
+        /// Trace scale in (0, 1]; 1.0 reproduces the paper-size cluster.
+        pub fn scale(mut self, scale: f64) -> Self {
+            self.knobs.scale = scale;
+            self
+        }
+
+        /// Master RNG seed.
+        pub fn seed(mut self, seed: u64) -> Self {
+            self.knobs.seed = seed;
+            self
+        }
+
+        /// Algorithm 1's merge coefficient between rolling and GBDT
+        /// estimates (default 0.5).
+        pub fn lambda(mut self, lambda: f64) -> Self {
+            self.knobs.qssf.lambda = lambda;
+            self
+        }
+
+        /// Full QSSF configuration override.
+        pub fn qssf_config(mut self, cfg: QssfConfig) -> Self {
+            self.knobs.qssf = cfg;
+            self
+        }
+
+        /// Full CES configuration override.
+        pub fn ces_config(mut self, cfg: CesServiceConfig) -> Self {
+            self.knobs.ces = cfg;
+            self
+        }
+
+        /// Node placement strategy (default: Helios-style consolidation).
+        pub fn placement(mut self, placement: Placement) -> Self {
+            self.knobs.placement = placement;
+            self
+        }
+
+        /// Enable EASY backfill in scheduling runs (paper future work).
+        pub fn backfill(mut self, on: bool) -> Self {
+            self.knobs.backfill = on;
+            self
+        }
+    };
+}
+
+/// Builder for a single-cluster [`Session`].
+pub struct SessionBuilder {
+    preset: Preset,
+    knobs: Knobs,
+}
+
+impl SessionBuilder {
+    fn new(preset: Preset) -> Self {
+        SessionBuilder {
+            preset,
+            knobs: Knobs::default(),
+        }
+    }
+
+    builder_knobs!();
+
+    /// Validate the configuration and produce a [`Session`]. No work
+    /// happens yet; [`Session::generate`] materializes the trace.
+    pub fn build(self) -> Result<Session> {
+        self.knobs.validate()?;
+        Ok(Session {
+            preset: self.preset,
+            knobs: self.knobs,
+            trace: None,
+            characterization: None,
+            qssf: None,
+            ces_eval: None,
+            schedules: Vec::new(),
+        })
+    }
+}
+
+/// One cluster's end-to-end pipeline state. Stages chain through
+/// `Result<&mut Session>`, so a pipeline reads as
+/// `session.generate()?.characterize()?.train_qssf()?...`.
+pub struct Session {
+    preset: Preset,
+    knobs: Knobs,
+    trace: Option<Trace>,
+    characterization: Option<Characterization>,
+    qssf: Option<QssfService>,
+    ces_eval: Option<CesEvaluation>,
+    schedules: Vec<ScheduleOutcome>,
+}
+
+/// Characterization highlights (§3), computed by [`Session::characterize`].
+#[derive(Debug, Clone)]
+pub struct Characterization {
+    /// Table 2-style summary.
+    pub summary: jobs::TraceSummary,
+    /// Peak hourly GPU-job submissions (Fig. 2b).
+    pub peak_hourly_submissions: f64,
+    /// Trough hourly GPU-job submissions (Fig. 2b).
+    pub trough_hourly_submissions: f64,
+    /// Share of GPU jobs requesting a single GPU (Fig. 6a).
+    pub single_gpu_share: f64,
+    /// Share of GPU *time* held by single-GPU jobs (Fig. 6b).
+    pub single_gpu_time_share: f64,
+    /// GPU-job final-status shares [completed, canceled, failed] as
+    /// fractions in [0, 1] (Fig. 7a).
+    pub gpu_status_shares: [f64; 3],
+    /// GPU-time share of the top 5% of users (Fig. 8).
+    pub top5_user_gpu_share: f64,
+}
+
+/// One scheduling run's outcome, kept with its per-job detail so reports
+/// can compute cross-policy ratios.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    pub policy: SchedulePolicy,
+    pub stats: ScheduleStats,
+    pub outcomes: Vec<JobOutcome>,
+}
+
+impl Session {
+    /// The cluster preset this session runs on.
+    pub fn preset(&self) -> Preset {
+        self.preset
+    }
+
+    /// The generated trace (after [`Session::generate`]).
+    pub fn trace(&self) -> Result<&Trace> {
+        self.trace.as_ref().ok_or(HeliosError::MissingStage {
+            stage: "trace access",
+            requires: "generate",
+        })
+    }
+
+    /// Characterization results (after [`Session::characterize`]).
+    pub fn characterization(&self) -> Option<&Characterization> {
+        self.characterization.as_ref()
+    }
+
+    /// CES evaluation (after [`Session::train_ces`]).
+    pub fn ces_evaluation(&self) -> Option<&CesEvaluation> {
+        self.ces_eval.as_ref()
+    }
+
+    /// Scheduling outcomes recorded so far, in execution order.
+    pub fn schedule_outcomes(&self) -> &[ScheduleOutcome] {
+        &self.schedules
+    }
+
+    /// The evaluation window: the calendar's final month (September for
+    /// Helios clusters, December for Philly). History before it is the
+    /// training window.
+    pub fn eval_window(&self) -> Result<(i64, i64)> {
+        let trace = self.trace()?;
+        Ok(trace.calendar.month_range(trace.calendar.num_months() - 1))
+    }
+
+    /// Stage 1: synthesize the cluster trace.
+    pub fn generate(&mut self) -> Result<&mut Session> {
+        let cfg = GeneratorConfig {
+            scale: self.knobs.scale,
+            seed: self.knobs.seed,
+        };
+        let trace = generate(&self.preset.profile(), &cfg)
+            .map_err(|e| e.for_cluster(self.preset.name()))?;
+        self.trace = Some(trace);
+        Ok(self)
+    }
+
+    /// Stage 2: compute the §3 characterization highlights.
+    pub fn characterize(&mut self) -> Result<&mut Session> {
+        let trace = self.trace.as_ref().ok_or(HeliosError::MissingStage {
+            stage: "characterize",
+            requires: "generate",
+        })?;
+        let summary = jobs::summarize(&[trace]);
+        let pattern = clusters::daily_pattern(trace);
+        let peak = pattern
+            .hourly_submissions
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        let trough = pattern
+            .hourly_submissions
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min);
+        let (count_cdf, time_cdf) = jobs::job_size_cdfs(trace);
+        // `status_by_job_class` reports percentages; normalize to fractions
+        // so every Characterization share field uses the same unit.
+        let (_, gpu_status_pct) = jobs::status_by_job_class(&[trace]);
+        let gpu_status = gpu_status_pct.map(|p| p / 100.0);
+        let stats = users::per_user_stats(trace);
+        let (gpu_curve, _) = users::consumption_curves(&stats);
+        self.characterization = Some(Characterization {
+            summary,
+            peak_hourly_submissions: peak,
+            trough_hourly_submissions: trough,
+            single_gpu_share: count_cdf.fraction_at(1.0),
+            single_gpu_time_share: time_cdf.fraction_at(1.0),
+            gpu_status_shares: gpu_status,
+            top5_user_gpu_share: users::top_share(&gpu_curve, 0.05),
+        });
+        Ok(self)
+    }
+
+    /// Stage 3a: train the QSSF duration predictor on everything before
+    /// the evaluation window (the paper trains on April–August and
+    /// schedules September).
+    pub fn train_qssf(&mut self) -> Result<&mut Session> {
+        let (lo, _) = self.eval_window()?;
+        let trace = self.trace.as_ref().expect("eval_window checked generate");
+        let mut svc = QssfService::new(self.knobs.qssf);
+        svc.train(trace, 0, lo)
+            .map_err(|e| e.for_cluster(self.preset.name()))?;
+        self.qssf = Some(svc);
+        Ok(self)
+    }
+
+    /// Stage 3b: train the CES node-demand forecaster and run the paper's
+    /// DRS evaluation (first three weeks of the evaluation window,
+    /// Fig. 14/15, Table 5).
+    pub fn train_ces(&mut self) -> Result<&mut Session> {
+        let (lo, hi) = self.eval_window()?;
+        let trace = self.trace.as_ref().expect("eval_window checked generate");
+        let series = node_series_from_trace(trace, 600, self.knobs.placement)
+            .map_err(|e| e.for_cluster(self.preset.name()))?;
+        let eval_end = (lo + 21 * SECS_PER_DAY).min(hi);
+        let mut cfg = self.knobs.ces.clone();
+        // Control thresholds scale with cluster size (defaults target the
+        // paper's 130–320-node clusters).
+        let k = (trace.spec.nodes as f64 / 140.0).clamp(0.05, 3.0);
+        cfg.control.buffer_nodes = (cfg.control.buffer_nodes * k).max(1.0);
+        cfg.control.xi_hist = (cfg.control.xi_hist * k).max(0.25);
+        cfg.control.xi_future = (cfg.control.xi_future * k).max(0.25);
+        let mut svc = CesService::new(cfg);
+        let eval = svc
+            .evaluate(trace, &series, lo, eval_end)
+            .map_err(|e| e.for_cluster(self.preset.name()))?;
+        self.ces_eval = Some(eval);
+        Ok(self)
+    }
+
+    /// Stage 4: run one scheduling policy over the evaluation window and
+    /// record its outcome. [`SchedulePolicy::Qssf`] requires
+    /// [`Session::train_qssf`] first.
+    pub fn schedule(&mut self, policy: SchedulePolicy) -> Result<&mut Session> {
+        let (lo, hi) = self.eval_window()?;
+        let trace = self.trace.as_ref().expect("eval_window checked generate");
+        let jobs = match policy {
+            SchedulePolicy::Qssf => {
+                let svc = self.qssf.as_ref().ok_or(HeliosError::MissingStage {
+                    stage: "schedule(Qssf)",
+                    requires: "train_qssf",
+                })?;
+                // Score on a snapshot: `assign_priorities` replays the eval
+                // window causally (observing each job as it finishes), so
+                // working on a clone keeps the trained service pristine and
+                // makes re-running the same policy idempotent.
+                svc.clone().assign_priorities(trace, lo, hi)
+            }
+            _ => jobs_from_trace(trace, lo, hi),
+        };
+        if jobs.is_empty() {
+            return Err(HeliosError::empty_input(
+                "schedulable jobs",
+                format!(
+                    "no GPU jobs submitted in [{lo}, {hi}) on {}",
+                    self.preset.name()
+                ),
+            ));
+        }
+        let cfg = SimConfig {
+            policy: policy.sim_policy(),
+            placement: self.knobs.placement,
+            backfill: self.knobs.backfill,
+            occupancy_bin: None,
+        };
+        let result =
+            simulate(&trace.spec, &jobs, &cfg).map_err(|e| e.for_cluster(self.preset.name()))?;
+        let stats = schedule_stats(&result.outcomes);
+        // Re-running a policy replaces its previous outcome.
+        self.schedules.retain(|s| s.policy != policy);
+        self.schedules.push(ScheduleOutcome {
+            policy,
+            stats,
+            outcomes: result.outcomes,
+        });
+        Ok(self)
+    }
+
+    /// Run the four Fig. 11 policies in one call (QSSF only if trained).
+    pub fn schedule_all(&mut self) -> Result<&mut Session> {
+        self.schedule(SchedulePolicy::Fifo)?;
+        self.schedule(SchedulePolicy::Sjf)?;
+        self.schedule(SchedulePolicy::Srtf)?;
+        if self.qssf.is_some() {
+            self.schedule(SchedulePolicy::Qssf)?;
+        }
+        Ok(self)
+    }
+
+    /// Final stage: assemble everything computed so far into a
+    /// [`SessionReport`]. Requires at least [`Session::generate`].
+    pub fn report(&self) -> Result<SessionReport> {
+        let trace = self.trace.as_ref().ok_or(HeliosError::MissingStage {
+            stage: "report",
+            requires: "generate",
+        })?;
+        let schedules: Vec<ScheduleSummary> = self
+            .schedules
+            .iter()
+            .map(|s| ScheduleSummary {
+                policy: s.policy,
+                avg_jct: s.stats.avg_jct,
+                avg_queue_delay: s.stats.avg_queue_delay,
+                queued_jobs: s.stats.queued_jobs,
+            })
+            .collect();
+        let qssf_vs_fifo = {
+            let find = |p: SchedulePolicy| self.schedules.iter().find(|s| s.policy == p);
+            match (find(SchedulePolicy::Fifo), find(SchedulePolicy::Qssf)) {
+                (Some(f), Some(q)) => Some(PolicyGain {
+                    jct: f.stats.avg_jct / q.stats.avg_jct.max(1.0),
+                    queue_delay: f.stats.avg_queue_delay / q.stats.avg_queue_delay.max(1.0),
+                }),
+                _ => None,
+            }
+        };
+        let ces = self.ces_eval.as_ref().map(|e| {
+            let window = e.series.len() as f64 * e.series.bin as f64;
+            CesSummary {
+                smape: e.smape,
+                avg_drs_nodes: e.guided.avg_drs_nodes(),
+                daily_wakeups: e.guided.daily_wakeups(),
+                vanilla_daily_wakeups: e.vanilla.daily_wakeups(),
+                baseline_utilization: e.guided.baseline_utilization(),
+                utilization_with_ces: e.guided.utilization_with_drs(),
+                annual_kwh_saved: annualize(energy_saved_kwh(e.guided.drs_node_seconds), window),
+            }
+        });
+        Ok(SessionReport {
+            cluster: self.preset.name().to_string(),
+            scale: self.knobs.scale,
+            seed: self.knobs.seed,
+            nodes: trace.spec.nodes,
+            gpus: trace.total_gpus(),
+            jobs: trace.jobs.len() as u64,
+            gpu_jobs: trace.gpu_jobs().count() as u64,
+            users: trace.num_users() as u64,
+            characterization: self.characterization.clone(),
+            schedules,
+            qssf_vs_fifo,
+            ces,
+        })
+    }
+}
+
+/// One policy row of a report.
+#[derive(Debug, Clone)]
+pub struct ScheduleSummary {
+    pub policy: SchedulePolicy,
+    pub avg_jct: f64,
+    pub avg_queue_delay: f64,
+    pub queued_jobs: u64,
+}
+
+/// QSSF improvement over FIFO (Table 3 headline).
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyGain {
+    /// FIFO avg JCT / QSSF avg JCT.
+    pub jct: f64,
+    /// FIFO avg queue delay / QSSF avg queue delay.
+    pub queue_delay: f64,
+}
+
+/// CES results (Table 5 column).
+#[derive(Debug, Clone, Copy)]
+pub struct CesSummary {
+    pub smape: f64,
+    pub avg_drs_nodes: f64,
+    pub daily_wakeups: f64,
+    pub vanilla_daily_wakeups: f64,
+    pub baseline_utilization: f64,
+    pub utilization_with_ces: f64,
+    pub annual_kwh_saved: f64,
+}
+
+/// Everything one session produced, renderable as text or JSON.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    pub cluster: String,
+    pub scale: f64,
+    pub seed: u64,
+    pub nodes: u32,
+    pub gpus: u32,
+    pub jobs: u64,
+    pub gpu_jobs: u64,
+    pub users: u64,
+    pub characterization: Option<Characterization>,
+    pub schedules: Vec<ScheduleSummary>,
+    pub qssf_vs_fifo: Option<PolicyGain>,
+    pub ces: Option<CesSummary>,
+}
+
+impl SessionReport {
+    /// Aligned plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== {} (scale {}, seed {}): {} nodes / {} GPUs, {} jobs ({} GPU), {} users\n",
+            self.cluster,
+            self.scale,
+            self.seed,
+            self.nodes,
+            fmt_count(self.gpus as u64),
+            fmt_count(self.jobs),
+            fmt_count(self.gpu_jobs),
+            self.users,
+        );
+        if let Some(c) = &self.characterization {
+            out.push_str(&format!(
+                "characterization: avg {:.2} GPUs/job, avg duration {}, \
+                 single-GPU {:.0}% of jobs / {:.0}% of GPU time,\n\
+                 \x20 statuses {:.0}/{:.0}/{:.0} (done/cancel/fail), \
+                 top-5% users hold {:.0}% of GPU time, submissions {:.0}-{:.0}/h\n",
+                c.summary.avg_gpus,
+                fmt_secs(c.summary.avg_duration_s),
+                100.0 * c.single_gpu_share,
+                100.0 * c.single_gpu_time_share,
+                100.0 * c.gpu_status_shares[0],
+                100.0 * c.gpu_status_shares[1],
+                100.0 * c.gpu_status_shares[2],
+                100.0 * c.top5_user_gpu_share,
+                c.trough_hourly_submissions,
+                c.peak_hourly_submissions,
+            ));
+        }
+        if !self.schedules.is_empty() {
+            let mut t = TextTable::new(vec!["policy", "avg JCT", "avg queue", "queued jobs"]);
+            for s in &self.schedules {
+                t.row(vec![
+                    s.policy.label().to_string(),
+                    fmt_secs(s.avg_jct),
+                    fmt_secs(s.avg_queue_delay),
+                    fmt_count(s.queued_jobs),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        if let Some(g) = &self.qssf_vs_fifo {
+            out.push_str(&format!(
+                "QSSF vs FIFO: JCT x{:.1}, queue delay x{:.1}\n",
+                g.jct, g.queue_delay
+            ));
+        }
+        if let Some(c) = &self.ces {
+            out.push_str(&format!(
+                "CES: SMAPE {:.2}%, {:.1} DRS nodes, {:.1} wake-ups/day (vanilla {:.1}), \
+                 utilization {:.1}% -> {:.1}%, {:.0} kWh/yr saved\n",
+                c.smape,
+                c.avg_drs_nodes,
+                c.daily_wakeups,
+                c.vanilla_daily_wakeups,
+                100.0 * c.baseline_utilization,
+                100.0 * c.utilization_with_ces,
+                c.annual_kwh_saved,
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable rendering.
+    pub fn to_json(&self) -> serde_json::Value {
+        let schedules: Vec<serde_json::Value> = self
+            .schedules
+            .iter()
+            .map(|s| {
+                json!({
+                    "policy": s.policy.label(),
+                    "avg_jct": s.avg_jct,
+                    "avg_queue_delay": s.avg_queue_delay,
+                    "queued_jobs": s.queued_jobs,
+                })
+            })
+            .collect();
+        let mut root = serde_json::Map::new();
+        root.insert("cluster".into(), json!(self.cluster.clone()));
+        root.insert("scale".into(), json!(self.scale));
+        root.insert("seed".into(), json!(self.seed));
+        root.insert("nodes".into(), json!(self.nodes));
+        root.insert("gpus".into(), json!(self.gpus));
+        root.insert("jobs".into(), json!(self.jobs));
+        root.insert("gpu_jobs".into(), json!(self.gpu_jobs));
+        root.insert("schedules".into(), json!(schedules));
+        if let Some(g) = &self.qssf_vs_fifo {
+            root.insert(
+                "qssf_vs_fifo".into(),
+                json!({"jct_gain": g.jct, "queue_gain": g.queue_delay}),
+            );
+        }
+        if let Some(c) = &self.ces {
+            root.insert(
+                "ces".into(),
+                json!({
+                    "smape": c.smape,
+                    "avg_drs_nodes": c.avg_drs_nodes,
+                    "daily_wakeups": c.daily_wakeups,
+                    "baseline_utilization": c.baseline_utilization,
+                    "utilization_with_ces": c.utilization_with_ces,
+                    "annual_kwh_saved": c.annual_kwh_saved,
+                }),
+            );
+        }
+        serde_json::Value::Object(root)
+    }
+}
+
+/// Builder for a parallel multi-cluster fan-out.
+pub struct FleetBuilder {
+    presets: Vec<Preset>,
+    knobs: Knobs,
+}
+
+impl FleetBuilder {
+    fn new(presets: Vec<Preset>) -> Self {
+        FleetBuilder {
+            presets,
+            knobs: Knobs::default(),
+        }
+    }
+
+    builder_knobs!();
+
+    /// Build one configured (empty) session per cluster.
+    pub fn build(self) -> Result<Vec<Session>> {
+        if self.presets.is_empty() {
+            return Err(HeliosError::empty_input(
+                "clusters",
+                "fan-out over zero presets",
+            ));
+        }
+        self.knobs.validate()?;
+        Ok(self
+            .presets
+            .into_iter()
+            .map(|preset| Session {
+                preset,
+                knobs: self.knobs.clone(),
+                trace: None,
+                characterization: None,
+                qssf: None,
+                ces_eval: None,
+                schedules: Vec::new(),
+            })
+            .collect())
+    }
+
+    /// Run `f` on every cluster's session concurrently (one OS thread per
+    /// cluster), returning results in preset order. The first error wins
+    /// and is tagged with its cluster name.
+    pub fn run<T, F>(self, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut Session) -> Result<T> + Send + Sync,
+    {
+        let mut sessions = self.build()?;
+        let f = &f;
+        let handles: Vec<Result<T>> = std::thread::scope(|scope| {
+            let joins: Vec<_> = sessions
+                .iter_mut()
+                .map(|session| {
+                    scope.spawn(move || {
+                        let name = session.preset().name();
+                        f(session).map_err(|e| match e {
+                            // Already tagged by an inner stage.
+                            tagged @ HeliosError::Cluster { .. } => tagged,
+                            other => other.for_cluster(name),
+                        })
+                    })
+                })
+                .collect();
+            joins
+                .into_iter()
+                .map(|j| {
+                    // A panic is a bug, not a pipeline error: re-raise it on
+                    // the caller's thread instead of disguising it as a
+                    // HeliosError variant.
+                    j.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
+                .collect()
+        });
+        handles.into_iter().collect()
+    }
+
+    /// The standard paper pipeline on every cluster in parallel:
+    /// generate → characterize → train QSSF → schedule FIFO/SJF/SRTF/QSSF
+    /// → report. One call, one report per cluster.
+    pub fn reports(self) -> Result<Vec<SessionReport>> {
+        self.run(|session| {
+            session
+                .generate()?
+                .characterize()?
+                .train_qssf()?
+                .schedule_all()?
+                .report()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_invalid_scale() {
+        for scale in [0.0, -0.5, 2.0, f64::NAN] {
+            let err = Helios::cluster(Preset::Venus).scale(scale).build();
+            assert!(
+                matches!(err, Err(HeliosError::InvalidConfig { field: "scale", .. })),
+                "scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_invalid_lambda() {
+        let err = Helios::cluster(Preset::Venus).lambda(1.5).build();
+        assert!(matches!(
+            err,
+            Err(HeliosError::InvalidConfig {
+                field: "lambda",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn stages_require_generate() {
+        let mut s = Helios::cluster(Preset::Venus).build().unwrap();
+        assert!(matches!(
+            s.characterize(),
+            Err(HeliosError::MissingStage {
+                requires: "generate",
+                ..
+            })
+        ));
+        assert!(s.report().is_err());
+        assert!(s.trace().is_err());
+    }
+
+    #[test]
+    fn qssf_schedule_requires_training() {
+        let mut s = Helios::cluster(Preset::Venus)
+            .scale(0.02)
+            .seed(1)
+            .build()
+            .unwrap();
+        s.generate().unwrap();
+        let err = s.schedule(SchedulePolicy::Qssf);
+        assert!(matches!(
+            err,
+            Err(HeliosError::MissingStage {
+                requires: "train_qssf",
+                ..
+            })
+        ));
+        // Baselines work without training.
+        s.schedule(SchedulePolicy::Fifo).unwrap();
+        assert_eq!(s.schedule_outcomes().len(), 1);
+    }
+
+    #[test]
+    fn preset_parsing() {
+        assert_eq!(Preset::parse("venus").unwrap(), Preset::Venus);
+        assert_eq!(Preset::parse("Philly").unwrap(), Preset::Philly);
+        assert!(matches!(
+            Preset::parse("pluto"),
+            Err(HeliosError::UnknownName {
+                kind: "cluster",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_fleet_is_an_error() {
+        assert!(Helios::clusters([]).build().is_err());
+    }
+}

@@ -26,7 +26,7 @@ fn tiny_spec() -> ClusterSpec {
 
 #[test]
 fn simulator_handles_empty_job_list() {
-    let r = simulate(&tiny_spec(), &[], &SimConfig::new(Policy::Fifo));
+    let r = simulate(&tiny_spec(), &[], &SimConfig::new(Policy::Fifo)).unwrap();
     assert!(r.outcomes.is_empty());
     assert!(r.occupancy.is_empty());
 }
@@ -42,7 +42,7 @@ fn simulator_handles_single_job() {
         priority: 0.0,
     }];
     for policy in [Policy::Fifo, Policy::Sjf, Policy::Srtf, Policy::Priority] {
-        let r = simulate(&tiny_spec(), &jobs, &SimConfig::new(policy));
+        let r = simulate(&tiny_spec(), &jobs, &SimConfig::new(policy)).unwrap();
         assert_eq!(r.outcomes[0].start, 1_000, "{policy:?}");
         assert_eq!(r.outcomes[0].end, 1_042, "{policy:?}");
         assert_eq!(r.outcomes[0].queue_delay(), 0, "{policy:?}");
@@ -62,7 +62,7 @@ fn simulator_mass_simultaneous_arrivals() {
             priority: i as f64,
         })
         .collect();
-    let r = simulate(&tiny_spec(), &jobs, &SimConfig::new(Policy::Priority));
+    let r = simulate(&tiny_spec(), &jobs, &SimConfig::new(Policy::Priority)).unwrap();
     let mut starts: Vec<i64> = r.outcomes.iter().map(|o| o.start).collect();
     starts.sort_unstable();
     for (k, s) in starts.iter().enumerate() {
@@ -84,7 +84,7 @@ fn srtf_preemption_storm_terminates() {
             priority: 0.0,
         })
         .collect();
-    let r = simulate(&tiny_spec(), &jobs, &SimConfig::new(Policy::Srtf));
+    let r = simulate(&tiny_spec(), &jobs, &SimConfig::new(Policy::Srtf)).unwrap();
     assert_eq!(r.outcomes.len(), 50);
     for (o, j) in r.outcomes.iter().zip(&jobs) {
         assert!(o.end >= o.start + j.duration);
@@ -110,7 +110,7 @@ fn backfill_with_empty_queue_is_noop() {
         backfill: true,
         occupancy_bin: None,
     };
-    let r = simulate(&tiny_spec(), &jobs, &cfg);
+    let r = simulate(&tiny_spec(), &jobs, &cfg).unwrap();
     assert_eq!(r.outcomes[0].start, 0);
 }
 
@@ -126,16 +126,17 @@ fn csv_reader_rejects_truncated_rows() {
 
 #[test]
 fn generator_rejects_invalid_scale() {
-    let result = std::panic::catch_unwind(|| {
-        generate(
-            &venus_profile(),
-            &GeneratorConfig {
-                scale: 0.0,
-                seed: 1,
-            },
-        )
-    });
-    assert!(result.is_err(), "scale 0 must be rejected");
+    // Invalid configuration surfaces as a typed error, not a panic.
+    for scale in [0.0, -1.0, 1.5, f64::NAN] {
+        let result = generate(&venus_profile(), &GeneratorConfig { scale, seed: 1 });
+        assert!(
+            matches!(
+                result,
+                Err(helios_trace::HeliosError::InvalidConfig { field: "scale", .. })
+            ),
+            "scale {scale} must be rejected"
+        );
+    }
 }
 
 #[test]
@@ -147,9 +148,9 @@ fn analysis_handles_gpu_only_window() {
             scale: 0.02,
             seed: 5,
         },
-    );
-    let gpu_only: Vec<helios_trace::JobRecord> =
-        t.gpu_jobs().cloned().collect();
+    )
+    .unwrap();
+    let gpu_only: Vec<helios_trace::JobRecord> = t.gpu_jobs().cloned().collect();
     let mut t2 = t.clone();
     t2.jobs = gpu_only;
     let (cpu, gpu) = helios_analysis::jobs::status_by_job_class(&[&t2]);
@@ -176,7 +177,12 @@ fn ces_control_loop_with_flat_zero_demand() {
         total_nodes: 50,
         arrivals: vec![0.0; 100],
     };
-    let out = run_control_loop(&s, &vec![0.0; 100], DrsPolicy::Vanilla, &CesConfig::default());
+    let out = run_control_loop(
+        &s,
+        &vec![0.0; 100],
+        DrsPolicy::Vanilla,
+        &CesConfig::default(),
+    );
     // Everything except the buffer sleeps; no wake-ups ever.
     assert!(out.avg_drs_nodes() > 45.0);
     assert!(out.wakeup_bins.is_empty());

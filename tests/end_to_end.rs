@@ -3,9 +3,7 @@
 
 use helios_core::{CesService, CesServiceConfig, QssfConfig, QssfService};
 use helios_energy::node_series_from_trace;
-use helios_sim::{
-    jobs_from_trace, schedule_stats, simulate, Placement, Policy, SimConfig,
-};
+use helios_sim::{jobs_from_trace, schedule_stats, simulate, Placement, Policy, SimConfig};
 use helios_trace::{generate, venus_profile, GeneratorConfig, Trace, SECS_PER_DAY};
 
 fn trace() -> Trace {
@@ -16,6 +14,7 @@ fn trace() -> Trace {
             seed: 77,
         },
     )
+    .unwrap()
 }
 
 #[test]
@@ -24,15 +23,30 @@ fn qssf_beats_fifo_and_tracks_sjf() {
     let t = trace();
     let (lo, hi) = t.calendar.month_range(5);
     let base = jobs_from_trace(&t, lo, hi);
-    let fifo = schedule_stats(&simulate(&t.spec, &base, &SimConfig::new(Policy::Fifo)).outcomes);
-    let sjf = schedule_stats(&simulate(&t.spec, &base, &SimConfig::new(Policy::Sjf)).outcomes);
-    let srtf = schedule_stats(&simulate(&t.spec, &base, &SimConfig::new(Policy::Srtf)).outcomes);
+    let fifo = schedule_stats(
+        &simulate(&t.spec, &base, &SimConfig::new(Policy::Fifo))
+            .unwrap()
+            .outcomes,
+    );
+    let sjf = schedule_stats(
+        &simulate(&t.spec, &base, &SimConfig::new(Policy::Sjf))
+            .unwrap()
+            .outcomes,
+    );
+    let srtf = schedule_stats(
+        &simulate(&t.spec, &base, &SimConfig::new(Policy::Srtf))
+            .unwrap()
+            .outcomes,
+    );
 
     let mut svc = QssfService::new(QssfConfig::default());
-    svc.train(&t, 0, lo);
+    svc.train(&t, 0, lo).unwrap();
     let scored = svc.assign_priorities(&t, lo, hi);
-    let qssf =
-        schedule_stats(&simulate(&t.spec, &scored, &SimConfig::new(Policy::Priority)).outcomes);
+    let qssf = schedule_stats(
+        &simulate(&t.spec, &scored, &SimConfig::new(Policy::Priority))
+            .unwrap()
+            .outcomes,
+    );
 
     assert!(
         qssf.avg_jct < 0.6 * fifo.avg_jct,
@@ -63,11 +77,15 @@ fn short_jobs_gain_most_but_long_jobs_still_gain() {
     let t = trace();
     let (lo, hi) = t.calendar.month_range(5);
     let base = jobs_from_trace(&t, lo, hi);
-    let fifo = simulate(&t.spec, &base, &SimConfig::new(Policy::Fifo)).outcomes;
+    let fifo = simulate(&t.spec, &base, &SimConfig::new(Policy::Fifo))
+        .unwrap()
+        .outcomes;
     let mut svc = QssfService::new(QssfConfig::default());
-    svc.train(&t, 0, lo);
+    svc.train(&t, 0, lo).unwrap();
     let scored = svc.assign_priorities(&t, lo, hi);
-    let qssf = simulate(&t.spec, &scored, &SimConfig::new(Policy::Priority)).outcomes;
+    let qssf = simulate(&t.spec, &scored, &SimConfig::new(Policy::Priority))
+        .unwrap()
+        .outcomes;
     let ratios = helios_sim::group_delay_ratios(&fifo, &qssf);
     assert!(
         ratios[0] > ratios[2],
@@ -76,21 +94,27 @@ fn short_jobs_gain_most_but_long_jobs_still_gain() {
         ratios[2]
     );
     assert!(ratios[0] > 2.0, "short-term ratio {}", ratios[0]);
-    assert!(ratios[2] > 0.8, "long jobs must not be sacrificed: {}", ratios[2]);
+    assert!(
+        ratios[2] > 0.8,
+        "long jobs must not be sacrificed: {}",
+        ratios[2]
+    );
 }
 
 #[test]
 fn ces_pipeline_improves_utilization_with_few_wakeups() {
     // Table 5's shape on one cluster.
     let t = trace();
-    let series = node_series_from_trace(&t, 600, Placement::Consolidate);
+    let series = node_series_from_trace(&t, 600, Placement::Consolidate).unwrap();
     let mut cfg = CesServiceConfig::default();
     cfg.control.buffer_nodes = 1.0;
     cfg.control.xi_hist = 0.25;
     cfg.control.xi_future = 0.25;
     let mut svc = CesService::new(cfg);
     let start = t.calendar.month_start(5);
-    let eval = svc.evaluate(&t, &series, start, start + 21 * SECS_PER_DAY);
+    let eval = svc
+        .evaluate(&t, &series, start, start + 21 * SECS_PER_DAY)
+        .unwrap();
 
     assert!(eval.smape < 15.0, "forecast SMAPE {}", eval.smape);
     let baseline = eval.guided.baseline_utilization();
@@ -131,15 +155,18 @@ fn framework_runs_both_services() {
     use helios_core::{Framework, Service};
     use std::sync::Arc;
     let t = Arc::new(trace());
-    let mut fw = Framework::new(t.clone(), 7 * SECS_PER_DAY);
+    let mut fw = Framework::new(t.clone(), 7 * SECS_PER_DAY).unwrap();
     fw.register(Box::new(QssfService::new(QssfConfig::default())));
     fw.register(Box::new(CesService::new(CesServiceConfig::default())));
-    assert_eq!(fw.service_names(), vec!["qssf".to_string(), "ces".to_string()]);
+    assert_eq!(
+        fw.service_names(),
+        vec!["qssf".to_string(), "ces".to_string()]
+    );
     // Tick through two months weekly; both services must produce actions
     // without panicking.
     let mut total_actions = 0;
     for week in 4..9 {
-        let actions = fw.tick(week * 7 * SECS_PER_DAY);
+        let actions = fw.tick(week * 7 * SECS_PER_DAY).unwrap();
         total_actions += actions.iter().map(|a| a.len()).sum::<usize>();
     }
     assert!(total_actions > 0);

@@ -1,0 +1,266 @@
+//! Integration tests for the `Helios` builder/session façade: the
+//! acceptance surface of the unified API — end-to-end pipelines on
+//! multiple cluster presets, parallel fan-out, and the guarantee that
+//! invalid user input surfaces as typed [`HeliosError`]s, never panics.
+
+use helios::prelude::*;
+
+/// End-to-end small-scale session on two presets: generate →
+/// characterize → train QSSF → schedule → report, asserting the paper's
+/// headline (QSSF beats FIFO on average JCT) on each cluster.
+#[test]
+fn end_to_end_session_qssf_beats_fifo_on_two_presets() {
+    for preset in [Preset::Venus, Preset::Saturn] {
+        let mut session = Helios::cluster(preset)
+            .scale(0.05)
+            .seed(77)
+            .build()
+            .unwrap();
+        let report = session
+            .generate()
+            .unwrap()
+            .characterize()
+            .unwrap()
+            .train_qssf()
+            .unwrap()
+            .schedule(SchedulePolicy::Fifo)
+            .unwrap()
+            .schedule(SchedulePolicy::Qssf)
+            .unwrap()
+            .report()
+            .unwrap();
+
+        assert_eq!(report.cluster, preset.name());
+        assert!(
+            report.gpu_jobs > 1_000,
+            "{preset}: {} GPU jobs",
+            report.gpu_jobs
+        );
+
+        let stats = |p: SchedulePolicy| {
+            report
+                .schedules
+                .iter()
+                .find(|s| s.policy == p)
+                .unwrap_or_else(|| panic!("{preset}: missing {p:?}"))
+        };
+        let fifo = stats(SchedulePolicy::Fifo);
+        let qssf = stats(SchedulePolicy::Qssf);
+        assert!(
+            qssf.avg_jct < fifo.avg_jct,
+            "{preset}: QSSF avg JCT {} must beat FIFO {}",
+            qssf.avg_jct,
+            fifo.avg_jct
+        );
+        let gain = report.qssf_vs_fifo.expect("both policies scheduled");
+        assert!(gain.jct > 1.0, "{preset}: JCT gain {}", gain.jct);
+
+        // Characterization rode along.
+        let c = report.characterization.as_ref().expect("characterized");
+        assert!(c.summary.gpu_jobs > 0);
+        assert!((0.0..=1.0).contains(&c.single_gpu_share));
+
+        // The rendered report mentions both policies.
+        let text = report.render();
+        assert!(text.contains("FIFO") && text.contains("QSSF"), "{text}");
+    }
+}
+
+/// `Helios::all_clusters()` runs Venus/Earth/Saturn/Uranus/Philly across
+/// threads and returns one report per cluster, in Table 1 order, from a
+/// single call.
+#[test]
+fn all_clusters_parallel_session_returns_five_reports() {
+    let reports = Helios::all_clusters()
+        .scale(0.02)
+        .seed(5)
+        .run(|session| session.generate()?.schedule(SchedulePolicy::Fifo)?.report())
+        .unwrap();
+    let names: Vec<&str> = reports.iter().map(|r| r.cluster.as_str()).collect();
+    assert_eq!(names, ["Venus", "Earth", "Saturn", "Uranus", "Philly"]);
+    for r in &reports {
+        assert!(r.jobs > 0, "{}: empty trace", r.cluster);
+        assert_eq!(r.schedules.len(), 1);
+    }
+}
+
+/// The CES stage produces a Table 5-shaped summary through the façade.
+#[test]
+fn ces_stage_reports_energy_summary() {
+    let mut session = Helios::cluster(Preset::Venus)
+        .scale(0.05)
+        .seed(13)
+        .build()
+        .unwrap();
+    session.generate().unwrap().train_ces().unwrap();
+    let report = session.report().unwrap();
+    let ces = report.ces.expect("train_ces ran");
+    assert!(ces.smape < 25.0, "forecast SMAPE {}", ces.smape);
+    assert!(ces.utilization_with_ces >= ces.baseline_utilization);
+    assert!(ces.annual_kwh_saved >= 0.0);
+    assert!(ces.daily_wakeups <= ces.vanilla_daily_wakeups + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Invalid input surfaces as typed errors, never panics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn invalid_scale_is_a_config_error() {
+    for scale in [0.0, -3.0, 1.0001, f64::NAN, f64::INFINITY] {
+        let result = Helios::cluster(Preset::Earth).scale(scale).build();
+        assert!(
+            matches!(
+                result,
+                Err(HeliosError::InvalidConfig { field: "scale", .. })
+            ),
+            "scale {scale} must be rejected",
+        );
+    }
+}
+
+#[test]
+fn empty_job_set_is_an_empty_input_error() {
+    // Train QSSF on an empty window: errors, does not panic.
+    use helios::core::{QssfConfig, QssfService};
+    let trace = helios::trace::generate(
+        &helios::trace::venus_profile(),
+        &GeneratorConfig {
+            scale: 0.02,
+            seed: 3,
+        },
+    )
+    .unwrap();
+    let mut svc = QssfService::new(QssfConfig::default());
+    // A window before any submission has no jobs.
+    let err = svc.train(&trace, -1_000, -1).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            HeliosError::EmptyInput {
+                what: "training jobs",
+                ..
+            }
+        ),
+        "{err}"
+    );
+    // Inverted window is a config error.
+    assert!(matches!(
+        svc.train(&trace, 100, 50),
+        Err(HeliosError::InvalidConfig { .. })
+    ));
+}
+
+#[test]
+fn backwards_history_cursor_is_a_regression_error() {
+    use helios::core::{Framework, HistoryStore};
+    use std::sync::Arc;
+    let trace = Arc::new(
+        helios::trace::generate(
+            &helios::trace::venus_profile(),
+            &GeneratorConfig {
+                scale: 0.02,
+                seed: 3,
+            },
+        )
+        .unwrap(),
+    );
+    let mut store = HistoryStore::new(trace.clone());
+    store.advance_to(500).unwrap();
+    assert_eq!(
+        store.advance_to(400),
+        Err(HeliosError::HistoryRegression {
+            current: 500,
+            requested: 400
+        })
+    );
+
+    // The same guarantee holds through the Framework clock.
+    let mut fw = Framework::new(trace, 3_600).unwrap();
+    fw.tick(1_000).unwrap();
+    assert!(matches!(
+        fw.tick(999),
+        Err(HeliosError::HistoryRegression { .. })
+    ));
+}
+
+#[test]
+fn unschedulable_job_is_an_invalid_job_error() {
+    use helios::sim::{simulate, SimConfig, SimJob};
+    let spec = helios::trace::venus();
+    let giant = SimJob {
+        id: 7,
+        vc: 0,
+        gpus: u32::MAX,
+        submit: 0,
+        duration: 10,
+        priority: 1.0,
+    };
+    let err = simulate(&spec, &[giant], &SimConfig::new(Policy::Fifo)).unwrap_err();
+    assert!(
+        matches!(err, HeliosError::InvalidJob { job_id: 7, .. }),
+        "{err}"
+    );
+
+    let bad_vc = SimJob {
+        id: 8,
+        vc: u16::MAX,
+        gpus: 1,
+        submit: 0,
+        duration: 10,
+        priority: 1.0,
+    };
+    assert!(simulate(&spec, &[bad_vc], &SimConfig::new(Policy::Fifo)).is_err());
+}
+
+#[test]
+fn fleet_errors_are_tagged_with_the_cluster() {
+    // Force a failure inside the fan-out; the error names the cluster.
+    let err = Helios::clusters([Preset::Venus])
+        .scale(0.02)
+        .run(|session| {
+            session.generate()?;
+            // Asking for QSSF without training fails inside the worker.
+            session.schedule(SchedulePolicy::Qssf)?;
+            session.report()
+        })
+        .unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("Venus"), "{text}");
+    assert!(text.contains("train_qssf"), "{text}");
+}
+
+/// Re-running a policy replaces its outcome with an identical one: QSSF
+/// scoring works on a snapshot of the trained service, so the causal
+/// eval-window replay does not leak observations between runs.
+#[test]
+fn rescheduling_qssf_is_idempotent() {
+    let mut session = Helios::cluster(Preset::Venus)
+        .scale(0.02)
+        .seed(7)
+        .build()
+        .unwrap();
+    session.generate().unwrap().train_qssf().unwrap();
+    session.schedule(SchedulePolicy::Qssf).unwrap();
+    let first = session.schedule_outcomes()[0].stats.avg_jct;
+    session.schedule(SchedulePolicy::Qssf).unwrap();
+    assert_eq!(
+        session.schedule_outcomes().len(),
+        1,
+        "replaced, not appended"
+    );
+    let second = session.schedule_outcomes()[0].stats.avg_jct;
+    assert_eq!(first, second, "re-running QSSF must reproduce the outcome");
+}
+
+#[test]
+fn report_before_generate_is_a_missing_stage_error() {
+    let session = Helios::cluster(Preset::Uranus).build().unwrap();
+    assert!(matches!(
+        session.report(),
+        Err(HeliosError::MissingStage {
+            stage: "report",
+            requires: "generate"
+        })
+    ));
+}

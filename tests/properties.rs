@@ -1,12 +1,15 @@
-//! Property-based cross-crate tests (proptest): invariants of the core data
-//! structures under arbitrary inputs.
+//! Randomized cross-crate invariant tests: the same properties the original
+//! proptest suite checked, driven by seeded ChaCha12 generation (the
+//! offline environment has no proptest; see vendor/README.md). Each test
+//! sweeps many deterministic seeds, so failures reproduce exactly.
 
 use helios_analysis::cdf::Cdf;
 use helios_analysis::quantiles::BoxStats;
 use helios_predict::text::{levenshtein, normalized_distance};
 use helios_sim::{simulate, Policy, SimConfig, SimJob};
 use helios_trace::{ClusterId, ClusterSpec, GpuModel, VcSpec};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
 
 fn one_vc_spec(nodes: u32) -> ClusterSpec {
     ClusterSpec {
@@ -25,45 +28,39 @@ fn one_vc_spec(nodes: u32) -> ClusterSpec {
     }
 }
 
-fn arb_jobs() -> impl Strategy<Value = Vec<SimJob>> {
-    prop::collection::vec(
-        (0u8..5, 0i64..50_000, 1i64..5_000, 0u64..1_000_000),
-        1..80,
-    )
-    .prop_map(|raw| {
-        let mut jobs: Vec<SimJob> = raw
-            .into_iter()
-            .enumerate()
-            .map(|(i, (g, submit, duration, prio))| SimJob {
-                id: i as u64,
-                vc: 0,
-                gpus: [1, 2, 4, 8, 16][g as usize],
-                submit,
-                duration,
-                priority: prio as f64,
-            })
-            .collect();
-        jobs.sort_by_key(|j| j.submit);
-        jobs
-    })
+fn arb_jobs(rng: &mut ChaCha12Rng) -> Vec<SimJob> {
+    let n = rng.gen_range(1..80usize);
+    let mut jobs: Vec<SimJob> = (0..n)
+        .map(|i| SimJob {
+            id: i as u64,
+            vc: 0,
+            gpus: [1, 2, 4, 8, 16][rng.gen_range(0..5usize)],
+            submit: rng.gen_range(0..50_000i64),
+            duration: rng.gen_range(1..5_000i64),
+            priority: rng.gen_range(0..1_000_000i64) as f64,
+        })
+        .collect();
+    jobs.sort_by_key(|j| j.submit);
+    jobs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn simulator_conserves_jobs_and_capacity(jobs in arb_jobs(), policy in 0usize..4) {
-        let policy = [Policy::Fifo, Policy::Sjf, Policy::Srtf, Policy::Priority][policy];
+#[test]
+fn simulator_conserves_jobs_and_capacity() {
+    for seed in 0..64u64 {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let jobs = arb_jobs(&mut rng);
+        let policy =
+            [Policy::Fifo, Policy::Sjf, Policy::Srtf, Policy::Priority][(seed % 4) as usize];
         let spec = one_vc_spec(3); // 24 GPUs
-        let result = simulate(&spec, &jobs, &SimConfig::new(policy));
-        prop_assert_eq!(result.outcomes.len(), jobs.len());
+        let result = simulate(&spec, &jobs, &SimConfig::new(policy)).unwrap();
+        assert_eq!(result.outcomes.len(), jobs.len(), "seed {seed}");
         let mut events: Vec<(i64, i64)> = Vec::new();
         for (o, j) in result.outcomes.iter().zip(&jobs) {
-            prop_assert!(o.start >= j.submit);
-            prop_assert!(o.end >= o.start + j.duration);
+            assert!(o.start >= j.submit, "seed {seed}");
+            assert!(o.end >= o.start + j.duration, "seed {seed}");
             if policy != Policy::Srtf {
                 // Non-preemptive: contiguous execution.
-                prop_assert_eq!(o.end - o.start, j.duration);
+                assert_eq!(o.end - o.start, j.duration, "seed {seed}");
                 events.push((o.start, j.gpus as i64));
                 events.push((o.end, -(j.gpus as i64)));
             }
@@ -73,83 +70,117 @@ proptest! {
             let mut load = 0i64;
             for (_, d) in events {
                 load += d;
-                prop_assert!(load <= 24);
+                assert!(load <= 24, "seed {seed}: capacity exceeded ({load})");
             }
         }
     }
+}
 
-    #[test]
-    fn cdf_is_monotone_and_normalized(mut values in prop::collection::vec(-1.0e6f64..1.0e6, 1..200)) {
-        values.retain(|v| v.is_finite());
-        prop_assume!(!values.is_empty());
+#[test]
+fn cdf_is_monotone_and_normalized() {
+    for seed in 0..64u64 {
+        let mut rng = ChaCha12Rng::seed_from_u64(1000 + seed);
+        let n = rng.gen_range(1..200usize);
+        let values: Vec<f64> = (0..n).map(|_| (rng.gen::<f64>() - 0.5) * 2.0e6).collect();
         let cdf = Cdf::new(values.clone());
         let lo = cdf.min();
         let hi = cdf.max();
-        prop_assert!((cdf.fraction_at(hi) - 1.0).abs() < 1e-12);
-        prop_assert!(cdf.fraction_at(lo - 1.0) == 0.0);
+        assert!((cdf.fraction_at(hi) - 1.0).abs() < 1e-12, "seed {seed}");
+        assert!(cdf.fraction_at(lo - 1.0) == 0.0, "seed {seed}");
         // Monotone on a fixed grid.
         let mut last = 0.0;
         for i in 0..=20 {
             let x = lo + (hi - lo) * i as f64 / 20.0;
             let f = cdf.fraction_at(x);
-            prop_assert!(f + 1e-12 >= last);
+            assert!(f + 1e-12 >= last, "seed {seed}");
             last = f;
         }
         // Quantiles stay within range.
         for q in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
             let v = cdf.quantile(q.max(0.01));
-            prop_assert!(v >= lo && v <= hi);
+            assert!(v >= lo && v <= hi, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn boxstats_ordering(values in prop::collection::vec(-1.0e4f64..1.0e4, 1..120)) {
+#[test]
+fn boxstats_ordering() {
+    for seed in 0..64u64 {
+        let mut rng = ChaCha12Rng::seed_from_u64(2000 + seed);
+        let n = rng.gen_range(1..120usize);
+        let values: Vec<f64> = (0..n).map(|_| (rng.gen::<f64>() - 0.5) * 2.0e4).collect();
         let b = BoxStats::from_samples(&values);
-        prop_assert!(b.min <= b.q1 + 1e-9);
-        prop_assert!(b.q1 <= b.median + 1e-9);
-        prop_assert!(b.median <= b.q3 + 1e-9);
-        prop_assert!(b.q3 <= b.max + 1e-9);
-        prop_assert!(b.whisker_lo >= b.min - 1e-9);
-        prop_assert!(b.whisker_hi <= b.max + 1e-9);
-        prop_assert_eq!(b.n, values.len());
+        assert!(b.min <= b.q1 + 1e-9, "seed {seed}");
+        assert!(b.q1 <= b.median + 1e-9, "seed {seed}");
+        assert!(b.median <= b.q3 + 1e-9, "seed {seed}");
+        assert!(b.q3 <= b.max + 1e-9, "seed {seed}");
+        assert!(b.whisker_lo >= b.min - 1e-9, "seed {seed}");
+        assert!(b.whisker_hi <= b.max + 1e-9, "seed {seed}");
+        assert_eq!(b.n, values.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn levenshtein_metric_properties(a in "[a-z_]{0,12}", b in "[a-z_]{0,12}", c in "[a-z_]{0,12}") {
+fn arb_name(rng: &mut ChaCha12Rng) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz_";
+    let len = rng.gen_range(0..=12usize);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+#[test]
+fn levenshtein_metric_properties() {
+    for seed in 0..200u64 {
+        let mut rng = ChaCha12Rng::seed_from_u64(3000 + seed);
+        let a = arb_name(&mut rng);
+        let b = arb_name(&mut rng);
+        let c = arb_name(&mut rng);
         // Symmetry.
-        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
         // Identity.
-        prop_assert_eq!(levenshtein(&a, &a), 0);
+        assert_eq!(levenshtein(&a, &a), 0);
         // Triangle inequality.
-        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
         // Bounds.
         let d = levenshtein(&a, &b);
         let (la, lb) = (a.chars().count(), b.chars().count());
-        prop_assert!(d >= la.abs_diff(lb));
-        prop_assert!(d <= la.max(lb));
+        assert!(d >= la.abs_diff(lb));
+        assert!(d <= la.max(lb));
         // Normalized distance in [0, 1].
         let nd = normalized_distance(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&nd));
+        assert!((0.0..=1.0).contains(&nd));
     }
+}
 
-    #[test]
-    fn gbdt_predictions_bounded_by_targets(seed in 0u64..1_000) {
-        use helios_predict::gbdt::{Gbdt, GbdtParams};
-        // Squared-loss leaf values are gradient means: predictions cannot
-        // escape the convex hull of the targets (with shrinkage <= 1).
-        let xs: Vec<f64> = (0..120).map(|i| ((i * 37 + seed as usize) % 60) as f64).collect();
+#[test]
+fn gbdt_predictions_bounded_by_targets() {
+    use helios_predict::gbdt::{Gbdt, GbdtParams};
+    // Squared-loss leaf values are gradient means: predictions cannot
+    // escape the convex hull of the targets (with shrinkage <= 1).
+    for seed in (0..1000u64).step_by(37) {
+        let xs: Vec<f64> = (0..120)
+            .map(|i| ((i * 37 + seed as usize) % 60) as f64)
+            .collect();
         let ys: Vec<f64> = xs.iter().map(|&x| (x * 0.3).sin() * 50.0).collect();
         let lo = ys.iter().cloned().fold(f64::MAX, f64::min);
         let hi = ys.iter().cloned().fold(f64::MIN, f64::max);
-        let model = Gbdt::fit(&[xs.clone()], &ys, &GbdtParams {
-            num_trees: 40,
-            seed,
-            early_stopping: 0,
-            ..Default::default()
-        }, None);
+        let model = Gbdt::fit(
+            std::slice::from_ref(&xs),
+            &ys,
+            &GbdtParams {
+                num_trees: 40,
+                seed,
+                early_stopping: 0,
+                ..Default::default()
+            },
+            None,
+        );
         for x in 0..60 {
             let p = model.predict_row(&[x as f64]);
-            prop_assert!(p >= lo - 1.0 && p <= hi + 1.0, "pred {p} outside [{lo}, {hi}]");
+            assert!(
+                p >= lo - 1.0 && p <= hi + 1.0,
+                "seed {seed}: pred {p} outside [{lo}, {hi}]"
+            );
         }
     }
 }

@@ -1,0 +1,129 @@
+//! Offline stand-in for `criterion`: runs each benchmark closure for a
+//! fixed warm-up + measurement budget and prints mean wall-clock time per
+//! iteration. No statistics beyond the mean — it exists so `cargo bench`
+//! compiles and produces usable numbers offline. See `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark.
+const MEASURE_TIME: Duration = Duration::from_millis(800);
+const WARMUP_TIME: Duration = Duration::from_millis(200);
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up: also estimates per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_TIME {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_TIME {
+            black_box(f());
+            iters += 1;
+        }
+        let _ = warm_iters;
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let (value, unit) = if per_iter >= 1e9 {
+        (per_iter / 1e9, "s")
+    } else if per_iter >= 1e6 {
+        (per_iter / 1e6, "ms")
+    } else if per_iter >= 1e3 {
+        (per_iter / 1e3, "µs")
+    } else {
+        (per_iter, "ns")
+    };
+    println!("{name:<40} {value:>10.3} {unit}/iter  ({} iters)", b.iters);
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(name.as_ref(), &b);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in is time-budgeted, not
+    /// sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name.as_ref()), &b);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

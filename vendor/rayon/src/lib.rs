@@ -1,0 +1,173 @@
+//! Offline stand-in for `rayon`: `par_iter()` returns a sequential bridge
+//! whose combinators have rayon's *signatures* (notably the
+//! `fold(identity_factory, op)` / `reduce(identity_factory, op)` pair), so
+//! call sites written against real rayon compile and produce identical
+//! results, just on one thread. See `vendor/README.md`.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelBridge};
+}
+
+/// Sequential stand-in for a rayon parallel iterator.
+pub struct ParallelBridge<I>(I);
+
+impl<I: Iterator> ParallelBridge<I> {
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParallelBridge<std::iter::Map<I, F>> {
+        ParallelBridge(self.0.map(f))
+    }
+
+    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+        self,
+        f: F,
+    ) -> ParallelBridge<std::iter::FilterMap<I, F>> {
+        ParallelBridge(self.0.filter_map(f))
+    }
+
+    /// rayon-style fold: per-"thread" accumulators seeded by `identity`.
+    /// Sequentially there is exactly one accumulator.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParallelBridge<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParallelBridge(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// rayon-style reduce over the (single) accumulator stream.
+    pub fn reduce<ID, F>(self, identity: ID, reduce_op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), reduce_op)
+    }
+
+    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        compare: F,
+    ) -> Option<I::Item> {
+        self.0.max_by(compare)
+    }
+
+    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        compare: F,
+    ) -> Option<I::Item> {
+        self.0.min_by(compare)
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+/// `collection.par_iter()` for slice-backed collections.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> ParallelBridge<Self::Iter>;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> ParallelBridge<Self::Iter> {
+        ParallelBridge(self.iter())
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> ParallelBridge<Self::Iter> {
+        ParallelBridge(self.iter())
+    }
+}
+
+/// `collection.into_par_iter()`.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParallelBridge<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParallelBridge<Self::Iter> {
+        ParallelBridge(self.into_iter())
+    }
+}
+
+impl<A: Clone + Step> IntoParallelIterator for std::ops::Range<A> {
+    type Item = A;
+    type Iter = RangeIter<A>;
+    fn into_par_iter(self) -> ParallelBridge<Self::Iter> {
+        ParallelBridge(RangeIter {
+            cur: self.start,
+            end: self.end,
+        })
+    }
+}
+
+/// Minimal stepping for range `into_par_iter` (usize indices).
+pub trait Step: PartialOrd + Sized {
+    fn next_value(&self) -> Self;
+}
+
+impl Step for usize {
+    fn next_value(&self) -> Self {
+        self + 1
+    }
+}
+
+pub struct RangeIter<A> {
+    cur: A,
+    end: A,
+}
+
+impl<A: Clone + Step> Iterator for RangeIter<A> {
+    type Item = A;
+    fn next(&mut self) -> Option<A> {
+        if self.cur < self.end {
+            let v = self.cur.clone();
+            self.cur = v.next_value();
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let xs: Vec<i64> = (0..100).collect();
+        let total = xs
+            .par_iter()
+            .fold(|| 0i64, |acc, &x| acc + x)
+            .reduce(|| 0i64, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn filter_map_max_by() {
+        let xs = vec![3.0f64, -1.0, 7.5, 2.0];
+        let best = xs
+            .par_iter()
+            .filter_map(|&x| if x > 0.0 { Some(x) } else { None })
+            .max_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(best, Some(7.5));
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`: the `Serialize`/`Deserialize` names in
+//! both the macro namespace (no-op derives) and the trait namespace, so
+//! `use serde::{Deserialize, Serialize}` + `#[derive(...)]` compile
+//! unchanged. See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; the real serde serialization machinery is not modelled.
+pub trait Serialize {}
+
+/// Marker trait; the real serde deserialization machinery is not modelled.
+pub trait Deserialize<'de>: Sized {}

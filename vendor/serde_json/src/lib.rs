@@ -1,0 +1,366 @@
+//! Offline stand-in for `serde_json`: an order-preserving JSON `Value`
+//! tree, the `json!` constructor macro, and a pretty printer. The subset
+//! differs from crates.io serde_json in one deliberate way: `json!` object
+//! *values* must be expressions (use a nested `json!({...})` for inline
+//! object literals). See `vendor/README.md`.
+
+use std::fmt;
+
+/// An order-preserving string-keyed map (`serde_json::Map<String, Value>`
+/// with `preserve_order` semantics).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert, replacing (in place) any existing entry with the same key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A JSON number: integer representations are kept exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::I64(v) => write!(f, "{v}"),
+            Number::U64(v) => write!(f, "{v}"),
+            Number::F64(v) if v.is_finite() => {
+                if v == v.trunc() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            // JSON has no NaN/inf; degrade to null like a lossy writer.
+            Number::F64(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                    item.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialization error (the stand-in printer is infallible, but the
+/// signature matches crates.io serde_json).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Render compactly (no added whitespace beyond `", "` / `": "`).
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    // Pretty output is valid JSON too; compactness is not load-bearing
+    // anywhere in this workspace.
+    to_string_pretty(value)
+}
+
+// --- Into<Value> conversions --------------------------------------------
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Number(Number::I64(v as i64)) }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Number(Number::U64(v as u64)) }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::F64(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::F64(v as f64))
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+macro_rules! from_ref_copy {
+    ($($t:ty),*) => {$(
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Self { Value::from(*v) }
+        }
+    )*};
+}
+from_ref_copy!(bool, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Self {
+        Value::String((*v).to_string())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Self {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Build a [`Value`]. Object values must be expressions; nest `json!` for
+/// inline sub-objects.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($item) ),* ])
+    };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(($key).to_string(), $crate::Value::from($value)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_prints() {
+        let v = json!({
+            "name": "venus",
+            "nodes": 133u32,
+            "ratio": 0.5,
+            "tags": vec!["a", "b"],
+            "inner": json!({"x": 1}),
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"name\": \"venus\""));
+        assert!(s.contains("\"nodes\": 133"));
+        assert!(s.contains("\"ratio\": 0.5"));
+        assert!(s.contains("\"x\": 1"));
+        // Key order is insertion order.
+        assert!(s.find("name").unwrap() < s.find("nodes").unwrap());
+    }
+
+    #[test]
+    fn array_and_scalar_forms() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3i64), Value::Number(Number::I64(3)));
+        let arr = json!([1i64, 2, 3]);
+        assert_eq!(
+            arr,
+            Value::Array(vec![json!(1i64), json!(2i64), json!(3i64)])
+        );
+        let nested: Value = json!(vec![vec![1u64, 2], vec![3, 4]]);
+        let s = to_string_pretty(&nested).unwrap();
+        assert!(s.contains('['));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = json!({"k": "a\"b\nc"});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("a\\\"b\\nc"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(Number::F64(3.0).to_string(), "3.0");
+        assert_eq!(Number::F64(0.25).to_string(), "0.25");
+        assert_eq!(Number::U64(7).to_string(), "7");
+    }
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m = Map::new();
+        m.insert("a".into(), json!(1i64));
+        let old = m.insert("a".into(), json!(2i64));
+        assert_eq!(old, Some(json!(1i64)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("a"), Some(&json!(2i64)));
+    }
+}
