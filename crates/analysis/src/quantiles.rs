@@ -60,7 +60,7 @@ impl BoxStats {
     }
 }
 
-/// Min–max normalize a series into [0, 1] (Fig. 4 bottom normalizes average
+/// Min–max normalize a series into \[0, 1\] (Fig. 4 bottom normalizes average
 /// job duration and queuing delay per VC). Constant series map to 0.
 pub fn min_max_normalize(values: &[f64]) -> Vec<f64> {
     if values.is_empty() {

@@ -72,7 +72,7 @@ impl BinnedSeries {
 }
 
 /// GPU-seconds busy per bin, divided by `capacity * bin` → utilization in
-/// [0, 1]. Jobs wider than `capacity` (over-capacity artifacts) are ignored,
+/// \[0, 1\]. Jobs wider than `capacity` (over-capacity artifacts) are ignored,
 /// matching the replay semantics.
 pub fn gpu_utilization_series(
     jobs: &[JobRecord],

@@ -20,7 +20,7 @@ pub struct UserStats {
 }
 
 impl UserStats {
-    /// GPU-job completion rate in [0, 1].
+    /// GPU-job completion rate in \[0, 1\].
     pub fn completion_rate(&self) -> f64 {
         if self.gpu_jobs == 0 {
             0.0
@@ -94,7 +94,7 @@ pub fn queuing_curve(stats: &[UserStats]) -> Vec<(f64, f64)> {
 }
 
 /// Fig. 9(b): histogram of per-user GPU-job completion rates. Returns the
-/// number of users in each of `bins` equal-width buckets over [0, 1].
+/// number of users in each of `bins` equal-width buckets over \[0, 1\].
 pub fn completion_rate_histogram(stats: &[UserStats], bins: usize) -> Vec<u64> {
     let mut hist = vec![0u64; bins];
     for s in stats {

@@ -1,7 +1,11 @@
-//! Discrete-event scheduling throughput (Figs 11-13, Tables 3-4 substrate).
+//! Discrete-event scheduling throughput (Figs 11-13, Tables 3-4 substrate),
+//! plus a comparison of the incremental `Simulator` kernel against the
+//! legacy one-shot path on a 0.1-scale Saturn September trace.
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use helios_sim::{simulate, Policy, SimConfig, SimJob};
-use helios_trace::venus;
+use helios_sim::{
+    jobs_from_trace, simulate, FifoPolicy, OccupancyObserver, Policy, SimConfig, SimJob, Simulator,
+};
+use helios_trace::{generate, saturn_profile, venus, GeneratorConfig};
 
 fn jobs(n: u64) -> Vec<SimJob> {
     let mut out: Vec<SimJob> = (0..n)
@@ -31,5 +35,77 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+/// Incremental kernel vs the legacy one-shot wrapper on a realistic
+/// workload: Saturn at 0.1 scale, September (the QSSF evaluation window).
+fn bench_kernel(c: &mut Criterion) {
+    let trace = generate(
+        &saturn_profile(),
+        &GeneratorConfig {
+            scale: 0.1,
+            seed: 2020,
+        },
+    )
+    .expect("valid generator config");
+    let (lo, hi) = trace.calendar.month_range(5);
+    let js = jobs_from_trace(&trace, lo, hi);
+    let spec = trace.spec.clone();
+    eprintln!("kernel comparison: {} Saturn September jobs", js.len());
+
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(10);
+    g.bench_function("oneshot_saturn_0.1", |b| {
+        b.iter(|| {
+            simulate(
+                black_box(&spec),
+                black_box(&js),
+                &SimConfig::new(Policy::Fifo),
+            )
+        })
+    });
+    g.bench_function("incremental_saturn_0.1", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(black_box(&spec), Box::new(FifoPolicy));
+            sim.push_jobs(black_box(&js)).expect("valid workload");
+            sim.run_to_completion();
+            black_box(sim.drain_outcomes())
+        })
+    });
+    // Online feeding: daily batches with interleaved drains — the
+    // streaming shape callers use when the trace never sits in memory.
+    let day = 86_400i64;
+    g.bench_function("incremental_daily_batches_saturn_0.1", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(black_box(&spec), Box::new(FifoPolicy));
+            let mut done = 0usize;
+            let mut cursor = 0usize;
+            let mut t = lo;
+            while cursor < js.len() {
+                let end = js[cursor..].partition_point(|j| j.submit < t + day) + cursor;
+                sim.run_until(t - 1);
+                sim.push_jobs(&js[cursor..end]).expect("valid workload");
+                done += sim.drain_outcomes().len();
+                cursor = end;
+                t += day;
+            }
+            sim.run_to_completion();
+            done += sim.drain_outcomes().len();
+            black_box(done)
+        })
+    });
+    // Streaming observer cost on top of the one-shot path.
+    g.bench_function("incremental_with_occupancy_observer", |b| {
+        b.iter(|| {
+            let mut occ = OccupancyObserver::new(600).expect("positive bin");
+            let mut sim = Simulator::new(black_box(&spec), Box::new(FifoPolicy));
+            sim.observe(Box::new(&mut occ));
+            sim.push_jobs(black_box(&js)).expect("valid workload");
+            sim.run_to_completion();
+            drop(sim);
+            black_box(occ.series().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench, bench_kernel);
 criterion_main!(benches);

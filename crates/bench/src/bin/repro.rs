@@ -7,6 +7,9 @@
 //!   --scale <F>     trace scale in (0, 1] (default 0.25; 1.0 = paper scale)
 //!   --seed <N>      generator seed (default 2020)
 //!   --out-dir <DIR> report directory (default "reports")
+//!   --policy <P>    restrict schedule experiments to one policy:
+//!                   fifo|sjf|srtf|qssf|tiresias|all
+//!                   (default: the paper's FIFO/SJF/QSSF/SRTF set)
 //!   --list          print the experiment ids and exit
 //! ```
 //!
@@ -25,16 +28,18 @@ struct Args {
     scale: f64,
     seed: u64,
     out_dir: PathBuf,
+    policy: Option<String>,
     id: String,
 }
 
-const USAGE: &str =
-    "usage: repro [--scale F] [--seed N] [--out-dir DIR] [--list] <experiment-id>|all";
+const USAGE: &str = "usage: repro [--scale F] [--seed N] [--out-dir DIR] \
+                     [--policy fifo|sjf|srtf|qssf|tiresias|all] [--list] <experiment-id>|all";
 
 fn parse_args() -> Result<Args, String> {
     let mut scale = 0.25f64;
     let mut seed = 2020u64;
     let mut out_dir = PathBuf::from("reports");
+    let mut policy = None;
     let mut id = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -49,6 +54,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out-dir" => {
                 out_dir = PathBuf::from(argv.next().ok_or("--out-dir needs a value")?);
+            }
+            "--policy" => {
+                policy = Some(argv.next().ok_or("--policy needs a value")?);
             }
             "--list" => {
                 println!("all");
@@ -75,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         scale,
         seed,
         out_dir,
+        policy,
         id: id.ok_or(USAGE)?,
     })
 }
@@ -114,6 +123,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(choice) = &args.policy {
+        if let Err(e) = ctx.set_policy_choice(choice) {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
     let outputs = match run(&args.id, &mut ctx) {
         Ok(o) => o,
         Err(e) => {

@@ -15,8 +15,9 @@ use helios_predict::{
     seasonal_naive, Arima, FourierForecaster, FourierParams, LstmForecaster, LstmParams,
 };
 use helios_sim::{
-    group_delay_ratios, jobs_from_trace, per_vc_queue_delay, schedule_stats, simulate, Placement,
-    Policy, SimConfig, SimJob,
+    group_delay_ratios, jobs_from_trace, per_vc_queue_delay, schedule_stats, simulate,
+    simulate_with, FifoPolicy, KernelConfig, Placement, Policy, PriorityPolicy, SchedulingPolicy,
+    SimConfig, SimJob, SjfPolicy, SrtfPolicy, TiresiasPolicy,
 };
 use helios_trace::{
     generate_helios, generate_philly, GeneratorConfig, HeliosError, Trace, SECS_PER_DAY,
@@ -42,6 +43,8 @@ pub struct SchedulerRun {
 /// Shared, lazily-computed experiment state.
 pub struct Context {
     pub cfg: GeneratorConfig,
+    /// Policy labels the scheduler experiments run, in [`POLICIES`] order.
+    policies: Vec<&'static str>,
     helios: Option<Vec<Trace>>,
     philly: Option<Trace>,
     sched: Option<Vec<SchedulerRun>>,
@@ -53,12 +56,14 @@ pub struct Context {
 impl Context {
     /// Create a context; `scale` shrinks clusters and job counts together.
     /// The configuration is validated here, once, so the lazy generation
-    /// below cannot fail on user input.
+    /// below cannot fail on user input. Scheduler experiments default to
+    /// the paper's four policies; see [`Context::set_policy_choice`].
     pub fn new(scale: f64, seed: u64) -> Result<Self, HeliosError> {
         let cfg = GeneratorConfig { scale, seed };
         cfg.validate()?;
         Ok(Context {
             cfg,
+            policies: PAPER_POLICIES.to_vec(),
             helios: None,
             philly: None,
             sched: None,
@@ -66,6 +71,41 @@ impl Context {
             ces: None,
             ces_philly: None,
         })
+    }
+
+    /// Restrict (or extend) the scheduler experiments to one policy — or
+    /// `"all"` for every shipped policy including Tiresias. Accepts the
+    /// `repro --policy` values: `fifo|sjf|srtf|qssf|tiresias|all`
+    /// (case-insensitive; the valid set is `POLICY_TABLE`).
+    pub fn set_policy_choice(&mut self, choice: &str) -> Result<(), HeliosError> {
+        self.policies = if choice.eq_ignore_ascii_case("all") {
+            POLICIES.to_vec()
+        } else if let Some((label, _)) = POLICY_TABLE
+            .iter()
+            .find(|(l, _)| l.eq_ignore_ascii_case(choice))
+        {
+            vec![*label]
+        } else {
+            return Err(HeliosError::UnknownName {
+                kind: "policy",
+                name: choice.to_string(),
+                expected: {
+                    let mut names: Vec<String> =
+                        POLICIES.iter().map(|l| l.to_ascii_lowercase()).collect();
+                    names.push("all".into());
+                    names.join(", ")
+                },
+            });
+        };
+        // Scheduler caches are policy-dependent.
+        self.sched = None;
+        self.sched_philly = None;
+        Ok(())
+    }
+
+    /// The policy labels scheduler experiments currently run.
+    pub fn policy_labels(&self) -> &[&'static str] {
+        &self.policies
     }
 
     /// The four Helios traces (generated once).
@@ -94,16 +134,17 @@ impl Context {
         self.philly.as_ref().unwrap()
     }
 
-    /// September scheduler comparisons on all four Helios clusters
-    /// (FIFO / SJF / SRTF / QSSF; QSSF trained on April–August).
+    /// September scheduler comparisons on all four Helios clusters over
+    /// the selected policies (QSSF trained on April–August).
     pub fn scheduler_runs(&mut self) -> &[SchedulerRun] {
         if self.sched.is_none() {
             self.helios();
+            let policies = self.policies.clone();
             let traces = self.helios.as_ref().unwrap();
             let mut runs = Vec::new();
             for t in traces {
                 eprintln!("[ctx] scheduling experiments on {}...", t.spec.id);
-                runs.push(run_schedulers(t, self.cfg.seed));
+                runs.push(run_schedulers(t, self.cfg.seed, &policies));
             }
             self.sched = Some(runs);
         }
@@ -115,37 +156,29 @@ impl Context {
     pub fn scheduler_run_philly(&mut self) -> &SchedulerRun {
         if self.sched_philly.is_none() {
             let seed = self.cfg.seed;
+            let policies = self.policies.clone();
             let t = self.philly();
             eprintln!("[ctx] scheduling experiments on Philly...");
             let (lo, hi) = (t.calendar.month_start(0), t.calendar.month_end(1));
             let mut outcomes = HashMap::new();
             let base = jobs_from_trace(t, lo, hi);
-            for (label, policy) in [
-                ("FIFO", Policy::Fifo),
-                ("SJF", Policy::Sjf),
-                ("SRTF", Policy::Srtf),
-            ] {
-                let mut js = base.clone();
-                if policy == Policy::Sjf {
-                    for j in &mut js {
-                        j.priority = j.duration as f64;
-                    }
-                }
-                outcomes.insert(
-                    label,
-                    simulate(&t.spec, &js, &SimConfig::new(policy))
-                        .expect("sim inputs pre-filtered")
-                        .outcomes,
-                );
+            let kcfg = KernelConfig::default();
+            for &label in &policies {
+                let run = if label == "QSSF" {
+                    // QSSF with randomized priorities matching Helios-like
+                    // estimation error.
+                    let noisy = noisy_oracle_priorities(t, lo, hi, 0.8, seed ^ 0xF1);
+                    simulate_with(
+                        &t.spec,
+                        &noisy,
+                        Box::new(PriorityPolicy::named("QSSF")),
+                        &kcfg,
+                    )
+                } else {
+                    simulate_with(&t.spec, &base, baseline_policy(label), &kcfg)
+                };
+                outcomes.insert(label, run.expect("sim inputs pre-filtered").outcomes);
             }
-            // QSSF with randomized priorities matching Helios-like error.
-            let noisy = noisy_oracle_priorities(t, lo, hi, 0.8, seed ^ 0xF1);
-            outcomes.insert(
-                "QSSF",
-                simulate(&t.spec, &noisy, &SimConfig::new(Policy::Priority))
-                    .expect("sim inputs pre-filtered")
-                    .outcomes,
-            );
             self.sched_philly = Some(SchedulerRun {
                 cluster: "Philly".into(),
                 outcomes,
@@ -209,50 +242,70 @@ fn scaled_ces_config(nodes: u32) -> CesServiceConfig {
     cfg
 }
 
-/// Run the four scheduling policies on one cluster's September jobs.
-pub fn run_schedulers(trace: &Trace, seed: u64) -> SchedulerRun {
+type PolicyCtor = fn() -> Box<dyn SchedulingPolicy>;
+
+/// Single source of truth for the scheduler-experiment policies: label →
+/// constructor, canonical column order. `None` marks QSSF, whose policy
+/// object comes from its trained service ([`QssfService::scheduling_policy`]).
+const POLICY_TABLE: [(&str, Option<PolicyCtor>); 5] = [
+    ("FIFO", Some(|| Box::new(FifoPolicy))),
+    ("SJF", Some(|| Box::new(SjfPolicy))),
+    ("QSSF", None),
+    ("SRTF", Some(|| Box::new(SrtfPolicy))),
+    ("TIRESIAS", Some(|| Box::new(TiresiasPolicy::default()))),
+];
+
+/// Policy object for one QSSF-agnostic policy label (validated against
+/// `POLICY_TABLE` by [`Context::set_policy_choice`]).
+fn baseline_policy(label: &str) -> Box<dyn SchedulingPolicy> {
+    let ctor = POLICY_TABLE
+        .iter()
+        .find(|(l, _)| *l == label)
+        .and_then(|(_, c)| *c)
+        .expect("label validated against POLICY_TABLE by set_policy_choice");
+    ctor()
+}
+
+/// Run the selected scheduling policies on one cluster's September jobs
+/// through the pluggable kernel.
+pub fn run_schedulers(trace: &Trace, seed: u64, policies: &[&'static str]) -> SchedulerRun {
     let _ = seed;
     let cal = &trace.calendar;
     let (lo, hi) = cal.month_range(5); // September
     let mut outcomes = HashMap::new();
-
     let base = jobs_from_trace(trace, lo, hi);
-    outcomes.insert(
-        "FIFO",
-        simulate(&trace.spec, &base, &SimConfig::new(Policy::Fifo))
-            .expect("sim inputs pre-filtered")
-            .outcomes,
-    );
-    outcomes.insert(
-        "SJF",
-        simulate(&trace.spec, &base, &SimConfig::new(Policy::Sjf))
-            .expect("sim inputs pre-filtered")
-            .outcomes,
-    );
-    outcomes.insert(
-        "SRTF",
-        simulate(&trace.spec, &base, &SimConfig::new(Policy::Srtf))
-            .expect("sim inputs pre-filtered")
-            .outcomes,
-    );
-
-    // QSSF: train on April–August, score September causally.
-    let mut qssf = QssfService::new(QssfConfig::default());
-    qssf.train(trace, 0, lo).expect("training window non-empty");
-    let scored = qssf.assign_priorities(trace, lo, hi);
-    outcomes.insert(
-        "QSSF",
-        simulate(&trace.spec, &scored, &SimConfig::new(Policy::Priority))
-            .expect("sim inputs pre-filtered")
-            .outcomes,
-    );
+    let kcfg = KernelConfig::default();
+    for &label in policies {
+        let run = if label == "QSSF" {
+            // QSSF: train on April–August, score September causally.
+            let mut qssf = QssfService::new(QssfConfig::default());
+            qssf.train(trace, 0, lo).expect("training window non-empty");
+            let scored = qssf.assign_priorities(trace, lo, hi);
+            simulate_with(&trace.spec, &scored, qssf.scheduling_policy(), &kcfg)
+        } else {
+            simulate_with(&trace.spec, &base, baseline_policy(label), &kcfg)
+        };
+        outcomes.insert(label, run.expect("sim inputs pre-filtered").outcomes);
+    }
     SchedulerRun {
         cluster: trace.spec.id.name().to_string(),
         outcomes,
     }
 }
 
-const POLICIES: [&str; 4] = ["FIFO", "SJF", "QSSF", "SRTF"];
+/// Every shipped scheduler-experiment policy, canonical column order
+/// (derived from `POLICY_TABLE`).
+pub const POLICIES: [&str; 5] = [
+    POLICY_TABLE[0].0,
+    POLICY_TABLE[1].0,
+    POLICY_TABLE[2].0,
+    POLICY_TABLE[3].0,
+    POLICY_TABLE[4].0,
+];
+
+/// The paper's Fig. 11 / Table 3 policy set (the default): everything in
+/// `POLICY_TABLE` except the follow-up Tiresias discipline.
+pub const PAPER_POLICIES: [&str; 4] = ["FIFO", "SJF", "QSSF", "SRTF"];
 
 // ---------------------------------------------------------------------------
 // Characterization experiments (§3)
@@ -766,13 +819,16 @@ fn fig9(ctx: &mut Context) -> ExperimentOutput {
 
 fn fig11(ctx: &mut Context) -> ExperimentOutput {
     let grid = Cdf::log_grid(1.0, 3.0e6, 12);
+    let policies = ctx.policies.clone();
     let mut text = String::from(
         "Fig 11: JCT CDFs per cluster and policy (September; QSSF ~ SJF/SRTF >> FIFO)\n",
     );
     let mut data = serde_json::Map::new();
     for run in ctx.scheduler_runs() {
-        let mut t = TextTable::new(vec!["JCT", "FIFO%", "SJF%", "QSSF%", "SRTF%"]);
-        let cdfs: Vec<Cdf> = POLICIES
+        let mut header = vec!["JCT".to_string()];
+        header.extend(policies.iter().map(|p| format!("{p}%")));
+        let mut t = TextTable::new(header);
+        let cdfs: Vec<Cdf> = policies
             .iter()
             .map(|p| Cdf::new(helios_sim::jct_samples(&run.outcomes[p])))
             .collect();
@@ -803,17 +859,26 @@ fn per_vc_table(
     run: &SchedulerRun,
     trace: Option<&Trace>,
     top_k: usize,
+    policies: &[&'static str],
 ) -> (String, serde_json::Value) {
-    // Top-k VCs by FIFO average queue delay.
-    let fifo = per_vc_queue_delay(&run.outcomes["FIFO"]);
-    let mut vcs: Vec<(u16, f64)> = fifo.iter().map(|(&v, &d)| (v, d)).collect();
+    // Top-k VCs by the reference policy's (FIFO when present) average
+    // queue delay.
+    let reference = policies
+        .iter()
+        .find(|&&p| p == "FIFO")
+        .or_else(|| policies.first())
+        .expect("at least one policy selected");
+    let ref_delay = per_vc_queue_delay(&run.outcomes[reference]);
+    let mut vcs: Vec<(u16, f64)> = ref_delay.iter().map(|(&v, &d)| (v, d)).collect();
     vcs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     vcs.truncate(top_k);
-    let per_policy: HashMap<&str, HashMap<u16, f64>> = POLICIES
+    let per_policy: HashMap<&str, HashMap<u16, f64>> = policies
         .iter()
         .map(|&p| (p, per_vc_queue_delay(&run.outcomes[p])))
         .collect();
-    let mut t = TextTable::new(vec!["VC", "FIFO", "SJF", "QSSF", "SRTF"]);
+    let mut header = vec!["VC"];
+    header.extend(policies);
+    let mut t = TextTable::new(header);
     for &(vc, _) in &vcs {
         let name = trace
             .map(|tr| tr.spec.vcs[vc as usize].name.clone())
@@ -821,7 +886,7 @@ fn per_vc_table(
         t.row(
             std::iter::once(name)
                 .chain(
-                    POLICIES
+                    policies
                         .iter()
                         .map(|&p| fmt_secs(per_policy[p].get(&vc).copied().unwrap_or(0.0))),
                 )
@@ -832,7 +897,7 @@ fn per_vc_table(
     t.row(
         std::iter::once("all".to_string())
             .chain(
-                POLICIES
+                policies
                     .iter()
                     .map(|&p| fmt_secs(schedule_stats(&run.outcomes[p]).avg_queue_delay)),
             )
@@ -840,16 +905,17 @@ fn per_vc_table(
     );
     let data = json!(vcs
         .iter()
-        .map(|(v, d)| json!({"vc": v, "fifo_delay": d}))
+        .map(|(v, d)| json!({"vc": v, "reference_delay": d}))
         .collect::<Vec<_>>());
     (t.render(), data)
 }
 
 fn fig12(ctx: &mut Context) -> ExperimentOutput {
     ctx.scheduler_runs();
+    let policies = ctx.policies.clone();
     let trace_saturn = ctx.helios.as_ref().unwrap()[2].clone();
     let run = &ctx.sched.as_ref().unwrap()[2]; // Saturn
-    let (text, data) = per_vc_table(run, Some(&trace_saturn), 10);
+    let (text, data) = per_vc_table(run, Some(&trace_saturn), 10, &policies);
     ExperimentOutput {
         id: "fig12".into(),
         text: format!(
@@ -860,8 +926,9 @@ fn fig12(ctx: &mut Context) -> ExperimentOutput {
 }
 
 fn fig13(ctx: &mut Context) -> ExperimentOutput {
+    let policies = ctx.policies.clone();
     let run = ctx.scheduler_run_philly();
-    let (text, data) = per_vc_table(run, None, 10);
+    let (text, data) = per_vc_table(run, None, 10, &policies);
     ExperimentOutput {
         id: "fig13".into(),
         text: format!(
@@ -874,6 +941,7 @@ fn fig13(ctx: &mut Context) -> ExperimentOutput {
 fn table3(ctx: &mut Context) -> ExperimentOutput {
     ctx.scheduler_runs();
     ctx.scheduler_run_philly();
+    let policies = ctx.policies.clone();
     let runs: Vec<&SchedulerRun> = ctx
         .sched
         .as_ref()
@@ -891,7 +959,7 @@ fn table3(ctx: &mut Context) -> ExperimentOutput {
         let mut t = TextTable::new(vec![
             "policy", "Venus", "Earth", "Saturn", "Uranus", "Philly",
         ]);
-        for &p in &POLICIES {
+        for &p in &policies {
             let cells: Vec<String> = runs
                 .iter()
                 .map(|r| {
@@ -911,26 +979,28 @@ fn table3(ctx: &mut Context) -> ExperimentOutput {
         }
         text.push_str(&format!("\n{metric}:\n{}", t.render()));
     }
-    // Headline improvements.
-    let mut improvements = Vec::new();
-    for r in &runs {
-        let fifo = schedule_stats(&r.outcomes["FIFO"]);
-        let qssf = schedule_stats(&r.outcomes["QSSF"]);
-        improvements.push(format!(
-            "{}: JCT x{:.1}, queue x{:.1}",
-            r.cluster,
-            fifo.avg_jct / qssf.avg_jct.max(1.0),
-            fifo.avg_queue_delay / qssf.avg_queue_delay.max(1.0)
-        ));
-        data.insert(
-            r.cluster.clone(),
-            json!({
-                "jct_gain": fifo.avg_jct / qssf.avg_jct.max(1.0),
-                "queue_gain": fifo.avg_queue_delay / qssf.avg_queue_delay.max(1.0),
-            }),
-        );
+    // Headline improvements (needs both FIFO and QSSF in the selection).
+    if policies.contains(&"FIFO") && policies.contains(&"QSSF") {
+        let mut improvements = Vec::new();
+        for r in &runs {
+            let fifo = schedule_stats(&r.outcomes["FIFO"]);
+            let qssf = schedule_stats(&r.outcomes["QSSF"]);
+            improvements.push(format!(
+                "{}: JCT x{:.1}, queue x{:.1}",
+                r.cluster,
+                fifo.avg_jct / qssf.avg_jct.max(1.0),
+                fifo.avg_queue_delay / qssf.avg_queue_delay.max(1.0)
+            ));
+            data.insert(
+                r.cluster.clone(),
+                json!({
+                    "jct_gain": fifo.avg_jct / qssf.avg_jct.max(1.0),
+                    "queue_gain": fifo.avg_queue_delay / qssf.avg_queue_delay.max(1.0),
+                }),
+            );
+        }
+        text.push_str(&format!("\nQSSF vs FIFO: {}\n", improvements.join("; ")));
     }
-    text.push_str(&format!("\nQSSF vs FIFO: {}\n", improvements.join("; ")));
     ExperimentOutput {
         id: "table3".into(),
         text,
@@ -941,6 +1011,14 @@ fn table3(ctx: &mut Context) -> ExperimentOutput {
 fn table4(ctx: &mut Context) -> ExperimentOutput {
     ctx.scheduler_runs();
     ctx.scheduler_run_philly();
+    if !ctx.policies.contains(&"FIFO") || !ctx.policies.contains(&"QSSF") {
+        return ExperimentOutput {
+            id: "table4".into(),
+            text: "Table 4 needs both FIFO and QSSF; rerun with --policy all (or no --policy)\n"
+                .into(),
+            data: json!(null),
+        };
+    }
     let runs: Vec<&SchedulerRun> = ctx
         .sched
         .as_ref()
@@ -1336,7 +1414,6 @@ fn ablation_backfill(ctx: &mut Context) -> ExperimentOutput {
             policy: Policy::Priority,
             placement: Placement::Consolidate,
             backfill,
-            occupancy_bin: None,
         };
         let stats = schedule_stats(
             &simulate(&venus.spec, &scored, &cfg)
@@ -1437,4 +1514,41 @@ pub fn run(id: &str, ctx: &mut Context) -> Result<Vec<ExperimentOutput>, HeliosE
             })
         }
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_lists_are_consistent_with_the_table() {
+        // Every selectable label must resolve to a kernel policy (or QSSF).
+        for label in POLICIES {
+            assert!(
+                POLICY_TABLE.iter().any(|(l, _)| *l == label),
+                "{label} missing from POLICY_TABLE"
+            );
+            if label != "QSSF" {
+                assert_eq!(baseline_policy(label).name(), label);
+            }
+        }
+        for label in PAPER_POLICIES {
+            assert!(POLICIES.contains(&label), "{label} not a shipped policy");
+        }
+    }
+
+    #[test]
+    fn policy_choice_selection_and_rejection() {
+        let mut ctx = Context::new(0.05, 1).unwrap();
+        assert_eq!(ctx.policy_labels(), PAPER_POLICIES);
+        ctx.set_policy_choice("tiresias").unwrap();
+        assert_eq!(ctx.policy_labels(), ["TIRESIAS"]);
+        ctx.set_policy_choice("ALL").unwrap();
+        assert_eq!(ctx.policy_labels(), POLICIES);
+        let err = ctx.set_policy_choice("bogus").unwrap_err();
+        assert!(matches!(
+            err,
+            HeliosError::UnknownName { kind: "policy", .. }
+        ));
+    }
 }

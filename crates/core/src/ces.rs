@@ -58,7 +58,7 @@ pub struct CesEvaluation {
     pub vanilla: CesOutcome,
     /// The evaluation sub-series.
     pub series: NodeSeries,
-    /// Aligned forecast (forecast[t] predicts running[t + horizon]).
+    /// Aligned forecast (`forecast[t]` predicts `running[t + horizon]`).
     pub forecast: Vec<f64>,
 }
 

@@ -11,7 +11,7 @@ use crate::framework::{Action, HistoryStore, Service};
 use helios_predict::features::job::{build_training_matrix, FeatureExtractor};
 use helios_predict::gbdt::{Gbdt, GbdtParams};
 use helios_predict::rolling::RollingEstimator;
-use helios_sim::SimJob;
+use helios_sim::{PriorityPolicy, SchedulingPolicy, SimJob};
 use helios_trace::{HeliosError, HeliosResult, JobRecord, Trace};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -180,6 +180,15 @@ impl QssfService {
     pub fn is_trained(&self) -> bool {
         self.model.is_some()
     }
+
+    /// The queue discipline QSSF drives on the pluggable kernel: the
+    /// priorities this service writes into [`SimJob::priority`] (via
+    /// [`QssfService::assign_priorities`]), ordered lowest-first by the
+    /// kernel's [`PriorityPolicy`]. Hand the boxed policy to
+    /// `Simulator::new` or `Session::schedule_with`.
+    pub fn scheduling_policy(&self) -> Box<dyn SchedulingPolicy> {
+        Box::new(PriorityPolicy::named("QSSF"))
+    }
 }
 
 impl Service for QssfService {
@@ -325,6 +334,27 @@ mod tests {
             }
         }
         assert!(same < exact.len() / 10, "noise must perturb priorities");
+    }
+
+    #[test]
+    fn scheduling_policy_object_matches_priority_enum() {
+        // QSSF routed through the pluggable kernel must reproduce the
+        // legacy Priority-enum path outcome for outcome.
+        use helios_sim::{simulate, simulate_with, KernelConfig, Policy, SimConfig};
+        let t = trace();
+        let (lo, hi) = t.calendar.month_range(5);
+        let mut svc = QssfService::new(QssfConfig::default());
+        svc.train(&t, 0, lo).unwrap();
+        let scored = svc.assign_priorities(&t, lo, hi);
+        let legacy = simulate(&t.spec, &scored, &SimConfig::new(Policy::Priority)).unwrap();
+        let pluggable = simulate_with(
+            &t.spec,
+            &scored,
+            svc.scheduling_policy(),
+            &KernelConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(legacy.outcomes, pluggable.outcomes);
     }
 
     #[test]

@@ -21,9 +21,11 @@
 //! ```
 
 pub mod ces;
+pub mod policy;
 pub mod power;
 pub mod series;
 
 pub use ces::{run_control_loop, CesConfig, CesOutcome, DrsPolicy};
+pub use policy::{EnergyAwarePolicy, EnergyPolicyConfig};
 pub use power::{annual_savings_kwh, annualize, energy_saved_kwh, COOLING_FACTOR, IDLE_NODE_WATTS};
 pub use series::{node_series_from_trace, NodeSeries};

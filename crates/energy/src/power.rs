@@ -1,12 +1,12 @@
 //! Energy accounting (§4.3.3): idle DGX-1 draw from the BMC (~800 W), plus
-//! datacenter cooling at twice the server draw [23], annualized.
+//! datacenter cooling at twice the server draw \[23\], annualized.
 
 /// Idle power of one DGX-1-class node, watts (paper: ~800 W from the BMC
 /// PSU readings).
 pub const IDLE_NODE_WATTS: f64 = 800.0;
 
 /// Cooling infrastructure draw as a multiple of server draw (paper cites
-/// [23]: cooling "typically consumes twice the energy as the servers").
+/// \[23\]: cooling "typically consumes twice the energy as the servers").
 pub const COOLING_FACTOR: f64 = 2.0;
 
 /// Seconds in a (non-leap) year.

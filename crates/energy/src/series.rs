@@ -2,7 +2,7 @@
 //! least one job over time (the signal the CES service forecasts and acts
 //! on, Figs. 14–15).
 
-use helios_sim::{simulate, Placement, Policy, SimConfig, SimJob};
+use helios_sim::{FifoPolicy, KernelConfig, OccupancyObserver, Placement, SimJob, Simulator};
 use helios_trace::Trace;
 use serde::{Deserialize, Serialize};
 
@@ -79,32 +79,36 @@ pub fn node_series_from_trace(
             priority: j.start as f64,
         })
         .collect();
-    let cfg = SimConfig {
-        policy: Policy::Fifo,
+    let mut occ = OccupancyObserver::new(bin)?;
+    let kcfg = KernelConfig {
         placement,
         backfill: false,
-        occupancy_bin: Some(bin),
     };
-    let result = simulate(&trace.spec, &jobs, &cfg)?;
+    let mut sim = Simulator::with_config(&trace.spec, Box::new(FifoPolicy), &kcfg);
+    sim.observe(Box::new(&mut occ));
+    sim.push_jobs(&jobs)?;
+    sim.run_to_completion();
+    drop(sim);
 
     // Arrival counts use the *submission* times (a wake-up delays newly
     // submitted jobs). Both series are clipped to the trace calendar: jobs
     // running past the horizon would otherwise append a months-long decay
     // tail that no paper figure covers.
+    let t0 = occ.t0();
     let horizon = trace.calendar.total_seconds();
-    let n_bins = ((horizon - result.occupancy_t0) / bin).max(1) as usize;
+    let n_bins = ((horizon - t0) / bin).max(1) as usize;
     let mut arrivals = vec![0.0; n_bins];
     for j in trace.gpu_jobs() {
-        let idx = (j.submit - result.occupancy_t0) / bin;
+        let idx = (j.submit - t0) / bin;
         if idx >= 0 && (idx as usize) < arrivals.len() {
             arrivals[idx as usize] += 1.0;
         }
     }
-    let mut running = result.occupancy;
+    let mut running = occ.series();
     running.resize(n_bins, 0.0);
 
     Ok(NodeSeries {
-        t0: result.occupancy_t0,
+        t0,
         bin,
         running,
         total_nodes: trace.spec.nodes,

@@ -1,5 +1,5 @@
 //! AR / ARIMA-style forecasting baseline (§4.3.2 compares GBDT against
-//! ARIMA [32]). We implement an AR(p) model on a d-times differenced series
+//! ARIMA \[32\]). We implement an AR(p) model on a d-times differenced series
 //! fitted by conditional least squares, plus a seasonal-naive baseline.
 
 use crate::linalg::ridge_solve;

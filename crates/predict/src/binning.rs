@@ -1,5 +1,5 @@
 //! Histogram binning for GBDT training (the LightGBM-style discretization
-//! the paper's GBDT [42] uses).
+//! the paper's GBDT \[42\] uses).
 
 use serde::{Deserialize, Serialize};
 

@@ -1,5 +1,5 @@
 //! Prophet-style forecasting baseline (§4.3.2 compares GBDT against
-//! Prophet [67]): additive model with a linear trend, daily + weekly
+//! Prophet \[67\]): additive model with a linear trend, daily + weekly
 //! Fourier seasonality and a holiday indicator, fitted by ridge regression.
 
 use crate::linalg::{dot, ridge_solve};

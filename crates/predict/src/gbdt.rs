@@ -1,5 +1,5 @@
 //! Gradient-Boosted Decision Trees for regression (squared loss), built
-//! from scratch in the style of LightGBM [42]: quantile-binned histograms,
+//! from scratch in the style of LightGBM \[42\]: quantile-binned histograms,
 //! shrinkage, row/feature subsampling and validation-based early stopping.
 //!
 //! This is the model behind both paper services: QSSF's job-GPU-time

@@ -1,4 +1,4 @@
-//! LSTM forecasting baseline (§4.3.2 compares GBDT against an LSTM [11]).
+//! LSTM forecasting baseline (§4.3.2 compares GBDT against an LSTM \[11\]).
 //!
 //! A deliberately small but real implementation: single-layer univariate
 //! LSTM with a linear head, trained by truncated BPTT with Adam, predicting

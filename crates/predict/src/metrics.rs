@@ -1,5 +1,5 @@
 //! Forecast/regression accuracy metrics. The paper reports SMAPE (Symmetric
-//! Mean Absolute Percentage Error, [35]) for the CES node forecaster
+//! Mean Absolute Percentage Error, \[35\]) for the CES node forecaster
 //! (~3.6% on Earth, §4.3.2).
 
 /// Symmetric Mean Absolute Percentage Error, in percent (0..200).

@@ -1,4 +1,4 @@
-//! Job-name similarity: Levenshtein distance [53] and the bucketization the
+//! Job-name similarity: Levenshtein distance \[53\] and the bucketization the
 //! QSSF feature pipeline uses to turn "extremely sparse and high-dimensional"
 //! job names into dense numeric categories (§4.2.2).
 
@@ -30,7 +30,7 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     prev[short.len()]
 }
 
-/// Levenshtein distance normalized by the longer length, in [0, 1].
+/// Levenshtein distance normalized by the longer length, in \[0, 1\].
 pub fn normalized_distance(a: &str, b: &str) -> f64 {
     let max_len = a.chars().count().max(b.chars().count());
     if max_len == 0 {

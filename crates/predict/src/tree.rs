@@ -1,5 +1,5 @@
 //! Histogram-based regression trees — the weak learners of the GBDT
-//! (§4.2.2 / §4.3.2 use a LightGBM-style GBDT [42]).
+//! (§4.2.2 / §4.3.2 use a LightGBM-style GBDT \[42\]).
 
 use crate::binning::BinnedDataset;
 use rayon::prelude::*;

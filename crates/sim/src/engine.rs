@@ -1,19 +1,31 @@
-//! The discrete-event scheduling engine.
+//! The discrete-event scheduling kernel.
 //!
-//! One simulation runs a whole cluster: every VC has its own FIFO-ordered
-//! (or priority-ordered) queue and its own node pool, exactly like the
-//! production Slurm setup the paper describes (§2.1): gang allocation, no
-//! over-subscription, strict head-of-line blocking unless backfill is
-//! enabled, and optional SRTF preemption for the oracle baseline.
+//! One simulation runs a whole cluster: every VC has its own policy-ordered
+//! queue and its own node pool, exactly like the production Slurm setup the
+//! paper describes (§2.1): gang allocation, no over-subscription, strict
+//! head-of-line blocking unless backfill is enabled, and preemption when
+//! the active [`SchedulingPolicy`] asks for it.
+//!
+//! The kernel is **incremental**: a [`Simulator`] accepts jobs online
+//! ([`Simulator::push_jobs`]), advances event by event ([`Simulator::step`])
+//! or up to a horizon ([`Simulator::run_until`]), and surrenders finished
+//! jobs through [`Simulator::drain_outcomes`] — callers never need the
+//! whole trace or the whole outcome vector resident. The one-shot
+//! [`simulate`] / [`simulate_with`] entry points are thin convenience
+//! wrappers over it.
 
 use crate::job::{JobOutcome, SimJob};
+use crate::observer::{ClusterView, SimEvent, SimObserver};
+use crate::policy::{FifoPolicy, JobView, PriorityPolicy, SchedulingPolicy, SjfPolicy, SrtfPolicy};
 use crate::pool::{Allocation, NodePool, Placement};
 use helios_trace::{ClusterSpec, HeliosError, HeliosResult};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Scheduling policy.
+/// The built-in scheduling policies of the paper's Fig. 11, kept as a
+/// serializable constructor table over the [`SchedulingPolicy`] objects in
+/// [`crate::policy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Policy {
     /// Arrival order (production default; Table 3 baseline).
@@ -29,19 +41,48 @@ pub enum Policy {
     Priority,
 }
 
-/// Simulation configuration.
+impl Policy {
+    /// Construct the policy object implementing this discipline.
+    pub fn build(self) -> Box<dyn SchedulingPolicy> {
+        match self {
+            Policy::Fifo => Box::new(FifoPolicy),
+            Policy::Sjf => Box::new(SjfPolicy),
+            Policy::Srtf => Box::new(SrtfPolicy),
+            Policy::Priority => Box::new(PriorityPolicy::default()),
+        }
+    }
+}
+
+/// Kernel knobs shared by every policy: placement strategy and EASY
+/// backfill (the paper leaves backfill to future work, §4.2.3 — this is
+/// the ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    pub placement: Placement,
+    /// EASY backfill: jobs behind a blocked head may run if they fit and
+    /// (by their duration estimate) finish before the head's shadow time.
+    /// Ignored by preemptive policies.
+    pub backfill: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            placement: Placement::Consolidate,
+            backfill: false,
+        }
+    }
+}
+
+/// One-shot simulation configuration over the built-in [`Policy`] table.
+/// Streaming metrics that used to hang off this struct (`occupancy_bin`)
+/// now live in observers — see [`crate::OccupancyObserver`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     pub policy: Policy,
     pub placement: Placement,
-    /// EASY backfill: jobs behind a blocked head may run if they fit and
-    /// (by their duration estimate) finish before the head's shadow time.
-    /// The paper leaves backfill to future work (§4.2.3) — this is the
-    /// ablation knob.
+    /// See [`KernelConfig::backfill`].
     pub backfill: bool,
-    /// When set, record the cluster-wide busy-node average per bin of this
-    /// width (drives the CES experiments).
-    pub occupancy_bin: Option<i64>,
 }
 
 impl SimConfig {
@@ -51,25 +92,27 @@ impl SimConfig {
             policy,
             placement: Placement::Consolidate,
             backfill: false,
-            occupancy_bin: None,
+        }
+    }
+
+    fn kernel(&self) -> KernelConfig {
+        KernelConfig {
+            placement: self.placement,
+            backfill: self.backfill,
         }
     }
 }
 
-/// Simulation output.
+/// Simulation output of the one-shot wrappers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
     /// One outcome per input job, in input order.
     pub outcomes: Vec<JobOutcome>,
-    /// Average busy nodes per occupancy bin (if requested).
-    pub occupancy: Vec<f64>,
-    /// Start of the occupancy series.
-    pub occupancy_t0: i64,
 }
 
 /// Totally-ordered f64 key for queue ordering.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Key(f64, u64);
+pub(crate) struct Key(f64, u64);
 
 impl Eq for Key {}
 
@@ -99,120 +142,9 @@ struct JobState {
     end: Option<i64>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum EventKind {
-    // Finishes release resources before same-instant arrivals queue.
-    Finish { idx: usize, epoch: u32 },
-    Arrive { idx: usize },
-}
-
-struct VcState {
-    pool: NodePool,
-    queue: BinaryHeap<Reverse<(Key, usize)>>,
-    running: Vec<usize>,
-}
-
-/// Piecewise-exact busy-node accumulator.
-struct OccupancyTracker {
-    bin: i64,
-    t0: i64,
-    last_t: i64,
-    acc: Vec<f64>,
-}
-
-impl OccupancyTracker {
-    fn new(bin: i64, t0: i64) -> Self {
-        OccupancyTracker {
-            bin,
-            t0,
-            last_t: t0,
-            acc: Vec::new(),
-        }
-    }
-
-    /// Add `busy` nodes over `[self.last_t, t)`.
-    fn advance(&mut self, t: i64, busy: f64) {
-        let mut cur = self.last_t;
-        while cur < t {
-            let bin_idx = ((cur - self.t0) / self.bin) as usize;
-            if self.acc.len() <= bin_idx {
-                self.acc.resize(bin_idx + 1, 0.0);
-            }
-            let bin_end = self.t0 + (bin_idx as i64 + 1) * self.bin;
-            let upto = bin_end.min(t);
-            self.acc[bin_idx] += busy * (upto - cur) as f64;
-            cur = upto;
-        }
-        self.last_t = t;
-    }
-
-    fn finish(self) -> Vec<f64> {
-        self.acc.into_iter().map(|a| a / self.bin as f64).collect()
-    }
-}
-
-/// Check that every job can eventually be placed (otherwise the event loop
-/// would end with jobs stuck in a queue forever) and that the config is
-/// coherent. All violations surface as typed errors, never panics.
-fn validate_inputs(spec: &ClusterSpec, jobs: &[SimJob], cfg: &SimConfig) -> HeliosResult<()> {
-    if let Some(bin) = cfg.occupancy_bin {
-        if bin <= 0 {
-            return Err(HeliosError::invalid_config(
-                "occupancy_bin",
-                format!("must be > 0 seconds, got {bin}"),
-            ));
-        }
-    }
-    for job in jobs {
-        let vc = job.vc as usize;
-        if vc >= spec.num_vcs() {
-            return Err(HeliosError::InvalidJob {
-                job_id: job.id,
-                reason: format!(
-                    "VC {} does not exist (cluster has {})",
-                    job.vc,
-                    spec.num_vcs()
-                ),
-            });
-        }
-        if job.gpus == 0 {
-            return Err(HeliosError::InvalidJob {
-                job_id: job.id,
-                reason: "requests 0 GPUs (CPU jobs are not simulated)".into(),
-            });
-        }
-        let capacity = spec.vc_gpus(job.vc);
-        if job.gpus > capacity {
-            return Err(HeliosError::InvalidJob {
-                job_id: job.id,
-                reason: format!(
-                    "requests {} GPUs but VC {} holds only {capacity}",
-                    job.gpus, job.vc
-                ),
-            });
-        }
-        if job.duration < 0 {
-            return Err(HeliosError::InvalidJob {
-                job_id: job.id,
-                reason: format!("negative duration {}", job.duration),
-            });
-        }
-        if !job.priority.is_finite() {
-            return Err(HeliosError::InvalidJob {
-                job_id: job.id,
-                reason: format!("non-finite priority {}", job.priority),
-            });
-        }
-    }
-    Ok(())
-}
-
-/// Run one simulation.
-pub fn simulate(spec: &ClusterSpec, jobs: &[SimJob], cfg: &SimConfig) -> HeliosResult<SimResult> {
-    validate_inputs(spec, jobs, cfg)?;
-    let mut states: Vec<JobState> = jobs
-        .iter()
-        .map(|&job| JobState {
+impl JobState {
+    fn new(job: SimJob) -> Self {
+        JobState {
             job,
             remaining: job.duration.max(1),
             started_at: None,
@@ -221,305 +153,567 @@ pub fn simulate(spec: &ClusterSpec, jobs: &[SimJob], cfg: &SimConfig) -> HeliosR
             epoch: 0,
             preemptions: 0,
             end: None,
-        })
-        .collect();
-
-    let mut vcs: Vec<VcState> = spec
-        .vcs
-        .iter()
-        .map(|vc| VcState {
-            pool: NodePool::new(vc.nodes, spec.gpus_per_node),
-            queue: BinaryHeap::new(),
-            running: Vec::new(),
-        })
-        .collect();
-
-    let mut events: BinaryHeap<Reverse<(i64, EventKind)>> = BinaryHeap::new();
-    for (idx, s) in states.iter().enumerate() {
-        events.push(Reverse((s.job.submit, EventKind::Arrive { idx })));
+        }
     }
 
-    let t_start = jobs.iter().map(|j| j.submit).min().unwrap_or(0);
-    let mut tracker = cfg
-        .occupancy_bin
-        .map(|bin| OccupancyTracker::new(bin, t_start));
-
-    let queue_key = |policy: Policy, s: &JobState| -> Key {
-        match policy {
-            Policy::Fifo => Key(s.job.submit as f64, s.job.id),
-            Policy::Sjf => Key(s.job.duration as f64, s.job.id),
-            Policy::Srtf => Key(s.remaining as f64, s.job.id),
-            Policy::Priority => Key(s.job.priority, s.job.id),
+    fn view(&self) -> JobView<'_> {
+        JobView {
+            job: &self.job,
+            remaining: self.remaining,
+            preemptions: self.preemptions,
         }
-    };
+    }
+}
 
-    while let Some(Reverse((now, kind))) = events.pop() {
-        if let Some(tr) = tracker.as_mut() {
-            let busy: f64 = vcs.iter().map(|v| v.pool.busy_nodes() as f64).sum();
-            tr.advance(now, busy);
-        }
-        let touched_vc = match kind {
-            EventKind::Finish { idx, epoch } => {
-                if states[idx].epoch != epoch || states[idx].end.is_some() {
-                    continue; // stale (preempted) or already done
-                }
-                let s = &mut states[idx];
-                s.end = Some(now);
-                s.remaining = 0;
-                let vc = s.job.vc as usize;
-                let alloc = s.alloc.take().expect("finishing job without allocation");
-                vcs[vc].pool.release(&alloc);
-                vcs[vc].running.retain(|&r| r != idx);
-                vc
-            }
-            EventKind::Arrive { idx } => {
-                let vc = states[idx].job.vc as usize;
-                let key = queue_key(cfg.policy, &states[idx]);
-                vcs[vc].queue.push(Reverse((key, idx)));
-                vc
-            }
-        };
-        schedule_vc(
-            touched_vc,
-            now,
-            cfg,
-            &mut vcs,
-            &mut states,
-            &mut events,
-            &queue_key,
-        );
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    // Finishes release resources before same-instant arrivals queue.
+    Finish { idx: usize, epoch: u32 },
+    Arrive { idx: usize },
+}
+
+pub(crate) struct VcState {
+    pub(crate) pool: NodePool,
+    pub(crate) queue: BinaryHeap<Reverse<(Key, usize)>>,
+    pub(crate) running: Vec<usize>,
+}
+
+/// Check one job against the cluster (otherwise the event loop would end
+/// with it stuck in a queue forever). All violations surface as typed
+/// errors, never panics.
+fn validate_job(spec: &ClusterSpec, job: &SimJob) -> HeliosResult<()> {
+    let vc = job.vc as usize;
+    if vc >= spec.num_vcs() {
+        return Err(HeliosError::InvalidJob {
+            job_id: job.id,
+            reason: format!(
+                "VC {} does not exist (cluster has {})",
+                job.vc,
+                spec.num_vcs()
+            ),
+        });
+    }
+    if job.gpus == 0 {
+        return Err(HeliosError::InvalidJob {
+            job_id: job.id,
+            reason: "requests 0 GPUs (CPU jobs are not simulated)".into(),
+        });
+    }
+    let capacity = spec.vc_gpus(job.vc);
+    if job.gpus > capacity {
+        return Err(HeliosError::InvalidJob {
+            job_id: job.id,
+            reason: format!(
+                "requests {} GPUs but VC {} holds only {capacity}",
+                job.gpus, job.vc
+            ),
+        });
+    }
+    if job.duration < 0 {
+        return Err(HeliosError::InvalidJob {
+            job_id: job.id,
+            reason: format!("negative duration {}", job.duration),
+        });
+    }
+    if !job.priority.is_finite() {
+        return Err(HeliosError::InvalidJob {
+            job_id: job.id,
+            reason: format!("non-finite priority {}", job.priority),
+        });
+    }
+    Ok(())
+}
+
+/// The incremental discrete-event scheduling kernel.
+///
+/// Jobs arrive online through [`push_jobs`](Simulator::push_jobs), the
+/// clock advances through [`step`](Simulator::step) /
+/// [`run_until`](Simulator::run_until) /
+/// [`run_to_completion`](Simulator::run_to_completion), and finished jobs
+/// leave through [`drain_outcomes`](Simulator::drain_outcomes). Every
+/// queue decision is delegated to the attached [`SchedulingPolicy`]; every
+/// lifecycle event streams through the registered [`SimObserver`]s.
+///
+/// The lifetime parameter lets callers lend borrowed policies/observers
+/// (`Box::new(&mut observer)`) and read their state back after the run.
+pub struct Simulator<'a> {
+    spec: ClusterSpec,
+    placement: Placement,
+    backfill: bool,
+    policy: Box<dyn SchedulingPolicy + 'a>,
+    observers: Vec<Box<dyn SimObserver + 'a>>,
+    states: Vec<JobState>,
+    vcs: Vec<VcState>,
+    events: BinaryHeap<Reverse<(i64, EventKind)>>,
+    /// Simulated horizon: max of the last processed event time and every
+    /// `run_until` target. Jobs must not arrive before it.
+    horizon: i64,
+    /// Finished but not yet drained (state indices).
+    completed: Vec<usize>,
+    finished: usize,
+}
+
+impl<'a> Simulator<'a> {
+    /// A kernel over `spec` driven by `policy`, with default placement
+    /// (consolidate) and no backfill.
+    pub fn new(spec: &ClusterSpec, policy: Box<dyn SchedulingPolicy + 'a>) -> Simulator<'a> {
+        Self::with_config(spec, policy, &KernelConfig::default())
     }
 
-    let occupancy_t0 = t_start;
-    let occupancy = tracker.map(|t| t.finish()).unwrap_or_default();
-    let outcomes = states
-        .iter()
-        .map(|s| JobOutcome {
+    /// A kernel with explicit placement/backfill knobs.
+    pub fn with_config(
+        spec: &ClusterSpec,
+        policy: Box<dyn SchedulingPolicy + 'a>,
+        cfg: &KernelConfig,
+    ) -> Simulator<'a> {
+        let vcs = spec
+            .vcs
+            .iter()
+            .map(|vc| VcState {
+                pool: NodePool::new(vc.nodes, spec.gpus_per_node),
+                queue: BinaryHeap::new(),
+                running: Vec::new(),
+            })
+            .collect();
+        Simulator {
+            spec: spec.clone(),
+            placement: cfg.placement,
+            backfill: cfg.backfill,
+            policy,
+            observers: Vec::new(),
+            states: Vec::new(),
+            vcs,
+            events: BinaryHeap::new(),
+            horizon: i64::MIN,
+            completed: Vec::new(),
+            finished: 0,
+        }
+    }
+
+    /// Register a streaming observer. Lend a borrowed one
+    /// (`Box::new(&mut obs)`) to read its series after the run.
+    pub fn observe(&mut self, observer: Box<dyn SimObserver + 'a>) {
+        self.observers.push(observer);
+    }
+
+    /// The attached policy's display name.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Simulated horizon reached so far (`i64::MIN` before any activity).
+    pub fn now(&self) -> i64 {
+        self.horizon
+    }
+
+    /// Jobs accepted so far.
+    pub fn total_jobs(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Jobs accepted but not yet finished (queued, running, or not yet
+    /// arrived).
+    pub fn unfinished_jobs(&self) -> usize {
+        self.states.len() - self.finished
+    }
+
+    /// Pending kernel events (arrivals + scheduled finishes, including
+    /// stale ones).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Accept a batch of jobs. Validation is all-or-nothing: on error no
+    /// job of the batch is admitted. Jobs may arrive in any order but not
+    /// before the already-simulated horizon.
+    pub fn push_jobs(&mut self, jobs: &[SimJob]) -> HeliosResult<()> {
+        for job in jobs {
+            validate_job(&self.spec, job)?;
+            if job.submit < self.horizon {
+                return Err(HeliosError::InvalidJob {
+                    job_id: job.id,
+                    reason: format!(
+                        "arrives at {} but the simulation already advanced to {}",
+                        job.submit, self.horizon
+                    ),
+                });
+            }
+        }
+        for &job in jobs {
+            let idx = self.states.len();
+            self.states.push(JobState::new(job));
+            self.events
+                .push(Reverse((job.submit, EventKind::Arrive { idx })));
+        }
+        Ok(())
+    }
+
+    /// Process the next event; returns its time, or `None` when no events
+    /// remain.
+    pub fn step(&mut self) -> Option<i64> {
+        self.process_one()
+    }
+
+    /// Process every event up to and including `horizon`, then pin the
+    /// simulated horizon there (later arrivals must come after it).
+    pub fn run_until(&mut self, horizon: i64) {
+        while let Some(&Reverse((t, _))) = self.events.peek() {
+            if t > horizon {
+                break;
+            }
+            self.process_one();
+        }
+        self.horizon = self.horizon.max(horizon);
+    }
+
+    /// Drain the event queue completely.
+    pub fn run_to_completion(&mut self) {
+        while self.process_one().is_some() {}
+    }
+
+    /// Take the outcomes of every job finished since the last drain, in
+    /// job-admission order.
+    pub fn drain_outcomes(&mut self) -> Vec<JobOutcome> {
+        let mut idxs = std::mem::take(&mut self.completed);
+        idxs.sort_unstable();
+        idxs.into_iter().map(|idx| self.outcome_of(idx)).collect()
+    }
+
+    fn outcome_of(&self, idx: usize) -> JobOutcome {
+        let s = &self.states[idx];
+        JobOutcome {
             id: s.job.id,
             vc: s.job.vc,
             gpus: s.job.gpus,
             submit: s.job.submit,
-            start: s.first_start.expect("job never started"),
-            end: s.end.expect("job never finished"),
+            start: s
+                .first_start
+                .expect("kernel invariant: a finished job must have started"),
+            end: s
+                .end
+                .expect("kernel invariant: a drained job must have finished"),
             duration: s.job.duration.max(1),
             preemptions: s.preemptions,
-        })
-        .collect();
-    Ok(SimResult {
-        outcomes,
-        occupancy,
-        occupancy_t0,
-    })
-}
-
-/// Start `idx` on `alloc` at `now` and schedule its finish event.
-fn start_job(
-    idx: usize,
-    alloc: Allocation,
-    now: i64,
-    states: &mut [JobState],
-    vcs: &mut [VcState],
-    events: &mut BinaryHeap<Reverse<(i64, EventKind)>>,
-) {
-    let s = &mut states[idx];
-    s.alloc = Some(alloc);
-    s.started_at = Some(now);
-    s.first_start.get_or_insert(now);
-    s.epoch += 1;
-    let epoch = s.epoch;
-    let vc = s.job.vc as usize;
-    vcs[vc].running.push(idx);
-    events.push(Reverse((
-        now + s.remaining,
-        EventKind::Finish { idx, epoch },
-    )));
-}
-
-#[allow(clippy::too_many_arguments)]
-fn schedule_vc(
-    vc: usize,
-    now: i64,
-    cfg: &SimConfig,
-    vcs: &mut [VcState],
-    states: &mut [JobState],
-    events: &mut BinaryHeap<Reverse<(i64, EventKind)>>,
-    queue_key: &dyn Fn(Policy, &JobState) -> Key,
-) {
-    loop {
-        let Some(&Reverse((_, head))) = vcs[vc].queue.peek() else {
-            return;
-        };
-        let g = states[head].job.gpus;
-        if let Some(alloc) = vcs[vc].pool.try_place(g, cfg.placement) {
-            vcs[vc].queue.pop();
-            start_job(head, alloc, now, states, vcs, events);
-            continue;
         }
-        // Head blocked.
-        if cfg.policy == Policy::Srtf {
-            if try_preempt_for(head, vc, now, cfg, vcs, states, events, queue_key) {
+    }
+
+    fn process_one(&mut self) -> Option<i64> {
+        let Reverse((now, kind)) = self.events.pop()?;
+        self.horizon = self.horizon.max(now);
+        // Observers see the pre-event state: time-integrated metrics
+        // (occupancy) integrate the configuration that held until `now`.
+        {
+            let view = ClusterView::new(&self.vcs);
+            for obs in &mut self.observers {
+                obs.on_clock(now, &view);
+            }
+        }
+        match kind {
+            EventKind::Finish { idx, epoch } => {
+                if self.states[idx].epoch != epoch || self.states[idx].end.is_some() {
+                    return Some(now); // stale (preempted) or already done
+                }
+                let s = &mut self.states[idx];
+                s.end = Some(now);
+                s.remaining = 0;
+                let vc = s.job.vc as usize;
+                let alloc = s
+                    .alloc
+                    .take()
+                    .expect("kernel invariant: a finishing job must hold an allocation");
+                self.vcs[vc].pool.release(&alloc);
+                self.vcs[vc].running.retain(|&r| r != idx);
+                self.finished += 1;
+                self.completed.push(idx);
+                let job = self.states[idx].job;
+                let outcome = self.outcome_of(idx);
+                let view = ClusterView::new(&self.vcs);
+                self.policy.on_finish(&job, now, &view);
+                for obs in &mut self.observers {
+                    obs.on_event(&SimEvent::Finish { job, outcome }, &view);
+                }
+                self.schedule_vc(vc, now);
+            }
+            EventKind::Arrive { idx } => {
+                let vc = self.states[idx].job.vc as usize;
+                let key = Key(
+                    self.policy.queue_key(&self.states[idx].view()),
+                    self.states[idx].job.id,
+                );
+                self.vcs[vc].queue.push(Reverse((key, idx)));
+                let job = self.states[idx].job;
+                let view = ClusterView::new(&self.vcs);
+                self.policy.on_submit(&job, now, &view);
+                for obs in &mut self.observers {
+                    obs.on_event(&SimEvent::Submit { job, now }, &view);
+                }
+                self.schedule_vc(vc, now);
+            }
+        }
+        Some(now)
+    }
+
+    /// Start `idx` on `alloc` at `now` and schedule its finish event.
+    fn start_job(&mut self, idx: usize, alloc: Allocation, now: i64) {
+        let s = &mut self.states[idx];
+        s.alloc = Some(alloc);
+        s.started_at = Some(now);
+        s.first_start.get_or_insert(now);
+        s.epoch += 1;
+        let epoch = s.epoch;
+        let vc = s.job.vc as usize;
+        let finish_at = now + s.remaining;
+        let job = s.job;
+        self.vcs[vc].running.push(idx);
+        self.events
+            .push(Reverse((finish_at, EventKind::Finish { idx, epoch })));
+        let view = ClusterView::new(&self.vcs);
+        self.policy.on_start(&job, now, &view);
+        for obs in &mut self.observers {
+            obs.on_event(&SimEvent::Start { job, now }, &view);
+        }
+    }
+
+    /// Keep starting queue heads on `vc` until the head no longer fits
+    /// (then preempt or backfill, per policy).
+    fn schedule_vc(&mut self, vc: usize, now: i64) {
+        loop {
+            let Some(&Reverse((_, head))) = self.vcs[vc].queue.peek() else {
+                return;
+            };
+            let g = self.states[head].job.gpus;
+            if let Some(alloc) = self.vcs[vc].pool.try_place(g, self.placement) {
+                self.vcs[vc].queue.pop();
+                self.start_job(head, alloc, now);
                 continue;
+            }
+            // Head blocked.
+            if self.policy.preemptive() {
+                if self.try_preempt_for(head, vc, now) {
+                    continue;
+                }
+                return;
+            }
+            if self.backfill {
+                self.backfill_vc(vc, now);
             }
             return;
         }
-        if cfg.backfill {
-            backfill(vc, now, cfg, vcs, states, events);
-        }
-        return;
     }
-}
 
-/// SRTF preemption: free GPUs by preempting running jobs with strictly
-/// larger remaining time than the queue head (largest-remaining first).
-/// Returns true if the head could be placed.
-#[allow(clippy::too_many_arguments)]
-fn try_preempt_for(
-    head: usize,
-    vc: usize,
-    now: i64,
-    cfg: &SimConfig,
-    vcs: &mut [VcState],
-    states: &mut [JobState],
-    events: &mut BinaryHeap<Reverse<(i64, EventKind)>>,
-    queue_key: &dyn Fn(Policy, &JobState) -> Key,
-) -> bool {
-    let head_remaining = states[head].remaining;
-    // Victims: running jobs with remaining (as of now) > head_remaining,
-    // largest first.
-    let mut victims: Vec<(i64, usize)> = vcs[vc]
-        .running
-        .iter()
-        .map(|&idx| {
-            let s = &states[idx];
-            let elapsed = now - s.started_at.unwrap();
-            (s.remaining - elapsed, idx)
-        })
-        .filter(|&(rem, _)| rem > head_remaining)
-        .collect();
-    victims.sort_by_key(|&(rem, idx)| (Reverse(rem), idx));
+    /// Preemption: free GPUs by evicting running jobs whose current
+    /// [`SchedulingPolicy::preempt_rank`] is strictly greater than the
+    /// blocked head's (largest rank first). Returns true if the head could
+    /// be placed.
+    fn try_preempt_for(&mut self, head: usize, vc: usize, now: i64) -> bool {
+        let head_rank = self.policy.preempt_rank(&self.states[head].view());
+        // Victims: running jobs ranked strictly above the head, largest
+        // rank first (ties broken by state index for determinism).
+        let mut victims: Vec<(f64, usize)> = Vec::new();
+        for i in 0..self.vcs[vc].running.len() {
+            let idx = self.vcs[vc].running[i];
+            let s = &self.states[idx];
+            let elapsed = now
+                - s.started_at
+                    .expect("kernel invariant: a running job must have a start time");
+            let remaining = s.remaining - elapsed;
+            if remaining <= 0 {
+                // The job is finishing at this very instant — its finish
+                // event is still pending in the heap. Evicting it would
+                // restart a done job with zero remaining time.
+                continue;
+            }
+            let view = JobView {
+                job: &s.job,
+                remaining,
+                preemptions: s.preemptions,
+            };
+            let rank = self.policy.preempt_rank(&view);
+            if rank.total_cmp(&head_rank) == std::cmp::Ordering::Greater {
+                victims.push((rank, idx));
+            }
+        }
+        victims.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
 
-    // Dry-run on a pool clone: how many victims must go?
-    let mut trial = vcs[vc].pool.clone();
-    let mut needed = Vec::new();
-    let g = states[head].job.gpus;
-    if trial.try_place(g, cfg.placement).is_none() {
-        let mut placed = false;
-        for &(_, idx) in &victims {
-            trial.release(states[idx].alloc.as_ref().unwrap());
-            needed.push(idx);
-            if trial.try_place(g, cfg.placement).is_some() {
-                placed = true;
+        // Dry-run on a pool clone: how many victims must go?
+        let mut trial = self.vcs[vc].pool.clone();
+        let mut needed = Vec::new();
+        let g = self.states[head].job.gpus;
+        if trial.try_place(g, self.placement).is_none() {
+            let mut placed = false;
+            for &(_, idx) in &victims {
+                trial.release(
+                    self.states[idx]
+                        .alloc
+                        .as_ref()
+                        .expect("kernel invariant: a running job must hold an allocation"),
+                );
+                needed.push(idx);
+                if trial.try_place(g, self.placement).is_some() {
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return false;
+            }
+        }
+        // Apply: preempt the needed victims for real.
+        for idx in needed {
+            let s = &mut self.states[idx];
+            let elapsed = now
+                - s.started_at
+                    .take()
+                    .expect("kernel invariant: a preemption victim must be running");
+            s.remaining -= elapsed;
+            debug_assert!(s.remaining > 0);
+            s.epoch += 1; // invalidate the in-flight finish event
+            s.preemptions += 1;
+            let alloc = s
+                .alloc
+                .take()
+                .expect("kernel invariant: a preemption victim must hold an allocation");
+            let job = s.job;
+            self.vcs[vc].pool.release(&alloc);
+            self.vcs[vc].running.retain(|&r| r != idx);
+            let key = Key(
+                self.policy.queue_key(&self.states[idx].view()),
+                self.states[idx].job.id,
+            );
+            self.vcs[vc].queue.push(Reverse((key, idx)));
+            let view = ClusterView::new(&self.vcs);
+            self.policy.on_preempt(&job, now, &view);
+            for obs in &mut self.observers {
+                obs.on_event(&SimEvent::Preempt { job, now }, &view);
+            }
+        }
+        let alloc = self.vcs[vc]
+            .pool
+            .try_place(g, self.placement)
+            .expect("kernel invariant: the preemption dry-run guaranteed placement");
+        // Remove the head from the queue (for the built-in policies it is
+        // the top entry; a custom policy with inconsistent key/rank
+        // orderings may have re-queued a victim above it).
+        let mut stash = Vec::new();
+        loop {
+            let Some(Reverse((key, idx))) = self.vcs[vc].queue.pop() else {
+                unreachable!("kernel invariant: the blocked head must still be queued")
+            };
+            if idx == head {
+                break;
+            }
+            stash.push(Reverse((key, idx)));
+        }
+        for e in stash {
+            self.vcs[vc].queue.push(e);
+        }
+        self.start_job(head, alloc, now);
+        true
+    }
+
+    /// EASY backfill: compute the blocked head's shadow start time from the
+    /// running jobs' completion times, then start later-queued jobs that
+    /// fit now and (by their ground-truth duration) finish before the
+    /// shadow time.
+    fn backfill_vc(&mut self, vc: usize, now: i64) {
+        let Some(&Reverse((_, head))) = self.vcs[vc].queue.peek() else {
+            return;
+        };
+        // Shadow time: release running jobs in end order on a clone until
+        // the head fits.
+        let mut trial = self.vcs[vc].pool.clone();
+        let head_g = self.states[head].job.gpus;
+        let mut ends: Vec<(i64, usize)> = self.vcs[vc]
+            .running
+            .iter()
+            .map(|&idx| {
+                let s = &self.states[idx];
+                let started = s
+                    .started_at
+                    .expect("kernel invariant: a running job must have a start time");
+                (started + s.remaining, idx)
+            })
+            .collect();
+        ends.sort_unstable();
+        let mut shadow = i64::MAX;
+        for &(end, idx) in &ends {
+            trial.release(
+                self.states[idx]
+                    .alloc
+                    .as_ref()
+                    .expect("kernel invariant: a running job must hold an allocation"),
+            );
+            if trial.try_place(head_g, self.placement).is_some() {
+                shadow = end;
                 break;
             }
         }
-        if !placed {
-            return false;
+        if shadow == i64::MAX {
+            return; // head can never start: nothing safe to backfill
+        }
+        // Scan the queue (in priority order) for safe candidates.
+        let mut rest: Vec<Reverse<(Key, usize)>> = Vec::new();
+        let mut scanned = 0;
+        let mut skipped_head = false;
+        while let Some(entry) = self.vcs[vc].queue.pop() {
+            let Reverse((key, idx)) = entry;
+            if !skipped_head {
+                // Keep the head aside; it stays first in the queue.
+                skipped_head = true;
+                rest.push(Reverse((key, idx)));
+                continue;
+            }
+            scanned += 1;
+            let fits_time = now + self.states[idx].remaining <= shadow;
+            if fits_time && scanned <= BACKFILL_SCAN {
+                if let Some(alloc) = self.vcs[vc]
+                    .pool
+                    .try_place(self.states[idx].job.gpus, self.placement)
+                {
+                    self.start_job(idx, alloc, now);
+                    continue;
+                }
+            }
+            rest.push(Reverse((key, idx)));
+            if scanned >= BACKFILL_SCAN {
+                break;
+            }
+        }
+        for e in rest {
+            self.vcs[vc].queue.push(e);
         }
     }
-    // Apply: preempt the needed victims for real.
-    for idx in needed {
-        let s = &mut states[idx];
-        let elapsed = now - s.started_at.take().unwrap();
-        s.remaining -= elapsed;
-        debug_assert!(s.remaining > 0);
-        s.epoch += 1; // invalidate the in-flight finish event
-        s.preemptions += 1;
-        let alloc = s.alloc.take().unwrap();
-        vcs[vc].pool.release(&alloc);
-        vcs[vc].running.retain(|&r| r != idx);
-        let key = queue_key(cfg.policy, &states[idx]);
-        vcs[vc].queue.push(Reverse((key, idx)));
-    }
-    let alloc = vcs[vc]
-        .pool
-        .try_place(g, cfg.placement)
-        .expect("dry-run guaranteed placement");
-    // Pop the head (it is the top of the queue by construction).
-    let Some(Reverse((_, popped))) = vcs[vc].queue.pop() else {
-        unreachable!()
-    };
-    debug_assert_eq!(popped, head);
-    start_job(head, alloc, now, states, vcs, events);
-    true
 }
 
 /// Maximum queue positions scanned for backfill candidates.
 const BACKFILL_SCAN: usize = 64;
 
-/// EASY backfill: compute the blocked head's shadow start time from the
-/// running jobs' completion times, then start later-queued jobs that fit
-/// now and (by their ground-truth duration) finish before the shadow time.
-fn backfill(
-    vc: usize,
-    now: i64,
-    cfg: &SimConfig,
-    vcs: &mut [VcState],
-    states: &mut [JobState],
-    events: &mut BinaryHeap<Reverse<(i64, EventKind)>>,
-) {
-    let Some(&Reverse((_, head))) = vcs[vc].queue.peek() else {
-        return;
-    };
-    // Shadow time: release running jobs in end order on a clone until the
-    // head fits.
-    let mut trial = vcs[vc].pool.clone();
-    let head_g = states[head].job.gpus;
-    let mut ends: Vec<(i64, usize)> = vcs[vc]
-        .running
-        .iter()
-        .map(|&idx| {
-            let s = &states[idx];
-            (s.started_at.unwrap() + s.remaining, idx)
-        })
-        .collect();
-    ends.sort_unstable();
-    let mut shadow = i64::MAX;
-    for &(end, idx) in &ends {
-        trial.release(states[idx].alloc.as_ref().unwrap());
-        if trial.try_place(head_g, cfg.placement).is_some() {
-            shadow = end;
-            break;
-        }
-    }
-    if shadow == i64::MAX {
-        return; // head can never start: nothing safe to backfill
-    }
-    // Scan the queue (in priority order) for safe candidates.
-    let mut rest: Vec<Reverse<(Key, usize)>> = Vec::new();
-    let mut scanned = 0;
-    let mut started_any = false;
-    let mut skipped_head = false;
-    while let Some(entry) = vcs[vc].queue.pop() {
-        let Reverse((key, idx)) = entry;
-        if !skipped_head {
-            // Keep the head aside; it stays first in the queue.
-            skipped_head = true;
-            rest.push(Reverse((key, idx)));
-            continue;
-        }
-        scanned += 1;
-        let fits_time = now + states[idx].remaining <= shadow;
-        if fits_time && scanned <= BACKFILL_SCAN {
-            if let Some(alloc) = vcs[vc].pool.try_place(states[idx].job.gpus, cfg.placement) {
-                start_job(idx, alloc, now, states, vcs, events);
-                started_any = true;
-                continue;
-            }
-        }
-        rest.push(Reverse((key, idx)));
-        if scanned >= BACKFILL_SCAN {
-            break;
-        }
-    }
-    for e in rest {
-        vcs[vc].queue.push(e);
-    }
-    let _ = started_any;
+/// Run one simulation to completion with an arbitrary policy object.
+pub fn simulate_with(
+    spec: &ClusterSpec,
+    jobs: &[SimJob],
+    policy: Box<dyn SchedulingPolicy + '_>,
+    cfg: &KernelConfig,
+) -> HeliosResult<SimResult> {
+    let mut sim = Simulator::with_config(spec, policy, cfg);
+    sim.push_jobs(jobs)?;
+    sim.run_to_completion();
+    let outcomes = sim.drain_outcomes();
+    debug_assert_eq!(outcomes.len(), jobs.len());
+    Ok(SimResult { outcomes })
+}
+
+/// Run one simulation with a built-in [`Policy`] — the legacy one-shot
+/// entry point, now a thin wrapper over [`Simulator`].
+pub fn simulate(spec: &ClusterSpec, jobs: &[SimJob], cfg: &SimConfig) -> HeliosResult<SimResult> {
+    simulate_with(spec, jobs, cfg.policy.build(), &cfg.kernel())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observer::OccupancyObserver;
+    use crate::policy::TiresiasPolicy;
     use helios_trace::{ClusterSpec, GpuModel, VcSpec};
 
     fn spec(nodes: u32) -> ClusterSpec {
@@ -681,15 +875,129 @@ mod tests {
     }
 
     #[test]
-    fn occupancy_tracking() {
+    fn occupancy_observer_tracks_busy_nodes() {
         let jobs = vec![job(0, 8, 0, 100), job(1, 8, 200, 100)];
-        let mut cfg = SimConfig::new(Policy::Fifo);
-        cfg.occupancy_bin = Some(100);
-        let r = simulate(&spec(1), &jobs, &cfg).unwrap();
+        let mut occ = OccupancyObserver::new(100).unwrap();
+        let mut sim = Simulator::new(&spec(1), Box::new(FifoPolicy));
+        sim.observe(Box::new(&mut occ));
+        sim.push_jobs(&jobs).unwrap();
+        sim.run_to_completion();
+        drop(sim);
         // Bin 0: 1 node busy; bin 1: idle; bin 2: busy again (the final
         // event closes the series at t=300).
-        assert!(r.occupancy[0] > 0.9);
-        assert!(r.occupancy[1] < 0.1);
+        let series = occ.series();
+        assert_eq!(occ.t0(), 0);
+        assert!(series[0] > 0.9);
+        assert!(series[1] < 0.1);
+    }
+
+    #[test]
+    fn incremental_batches_match_one_shot() {
+        let jobs = vec![
+            job(0, 8, 0, 1_000),
+            job(1, 8, 10, 10),
+            job(2, 8, 1_500, 200),
+            job(3, 4, 2_000, 50),
+        ];
+        let one_shot = run(Policy::Sjf, &jobs);
+
+        let mut sim = Simulator::new(&spec(1), Box::new(SjfPolicy));
+        sim.push_jobs(&jobs[..2]).unwrap();
+        sim.run_until(1_200);
+        let mut drained = sim.drain_outcomes();
+        assert_eq!(drained.len(), 2, "first batch finished by t=1200");
+        sim.push_jobs(&jobs[2..]).unwrap();
+        sim.run_to_completion();
+        drained.extend(sim.drain_outcomes());
+        assert_eq!(drained, one_shot);
+    }
+
+    #[test]
+    fn push_into_the_past_is_rejected() {
+        let mut sim = Simulator::new(&spec(1), Box::new(FifoPolicy));
+        sim.push_jobs(&[job(0, 8, 100, 10)]).unwrap();
+        sim.run_until(500);
+        let err = sim.push_jobs(&[job(1, 8, 400, 10)]).unwrap_err();
+        assert!(matches!(err, HeliosError::InvalidJob { job_id: 1, .. }));
+        // At the horizon is fine.
+        sim.push_jobs(&[job(2, 8, 500, 10)]).unwrap();
+        sim.run_to_completion();
+        assert_eq!(sim.unfinished_jobs(), 0);
+    }
+
+    #[test]
+    fn step_advances_one_event_at_a_time() {
+        let jobs = vec![job(0, 8, 5, 100), job(1, 8, 50, 10)];
+        let mut sim = Simulator::new(&spec(1), Box::new(FifoPolicy));
+        sim.push_jobs(&jobs).unwrap();
+        assert_eq!(sim.step(), Some(5)); // arrival 0 (starts immediately)
+        assert_eq!(sim.step(), Some(50)); // arrival 1 (queues)
+        assert_eq!(sim.now(), 50);
+        assert_eq!(sim.unfinished_jobs(), 2);
+        assert_eq!(sim.step(), Some(105)); // finish 0, start 1
+        assert_eq!(sim.step(), Some(115)); // finish 1
+        assert_eq!(sim.step(), None);
+        assert_eq!(sim.drain_outcomes().len(), 2);
+    }
+
+    #[test]
+    fn tiresias_fresh_jobs_preempt_old_ones() {
+        // Job 0 accumulates far more than one quantum of GPU service, so a
+        // fresh arrival (level 0) evicts it.
+        let jobs = vec![
+            job(0, 8, 0, 20_000), // by t=10_000: 80_000 GPU·s attained, level >= 1
+            job(1, 8, 10_000, 100),
+        ];
+        let r = simulate_with(
+            &spec(1),
+            &jobs,
+            Box::new(TiresiasPolicy::default()),
+            &KernelConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcomes[1].start, 10_000, "fresh job preempts");
+        assert_eq!(r.outcomes[0].preemptions, 1);
+        assert_eq!(r.outcomes[0].end, 20_100);
+    }
+
+    #[test]
+    fn preemption_skips_victims_finishing_this_instant() {
+        // J0 and J1 share the node; H (whole node) blocks at t=500. At
+        // t=1000 J0's finish processes first and retries H: J1 — remaining
+        // 0 as of now, its finish event pending at the same instant — must
+        // not be picked as a preemption victim (it would restart with zero
+        // remaining time).
+        let jobs = vec![
+            job(0, 4, 0, 1_000),
+            job(1, 4, 0, 1_000),
+            job(2, 8, 500, 100),
+        ];
+        let r = simulate_with(
+            &spec(1),
+            &jobs,
+            Box::new(TiresiasPolicy::default()),
+            &KernelConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcomes[1].preemptions, 0, "no zero-remaining victim");
+        assert_eq!(r.outcomes[1].end, 1_000);
+        assert_eq!(r.outcomes[2].start, 1_000, "head starts once both end");
+    }
+
+    #[test]
+    fn tiresias_same_level_is_fifo_without_preemption() {
+        // Two short jobs in level 0: the runner is never evicted by a
+        // same-level sibling.
+        let jobs = vec![job(0, 8, 0, 300), job(1, 8, 10, 300)];
+        let r = simulate_with(
+            &spec(1),
+            &jobs,
+            Box::new(TiresiasPolicy::default()),
+            &KernelConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcomes[0].preemptions, 0);
+        assert_eq!(r.outcomes[1].start, 300);
     }
 
     #[test]

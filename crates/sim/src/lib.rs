@@ -3,9 +3,17 @@
 //! Trace-driven discrete-event simulator for a multi-VC GPU cluster — the
 //! evaluation substrate of the paper's QSSF service (§4.2.3): gang
 //! scheduling, exclusive allocation, ConsolidateAllocate placement, strict
-//! per-VC queues, and the four policies of Fig. 11 (FIFO, oracle SJF,
-//! oracle preemptive SRTF, and externally-scored Priority for QSSF), plus
-//! optional EASY backfill (the paper's stated future work).
+//! per-VC queues, and optional EASY backfill (the paper's stated future
+//! work).
+//!
+//! The scheduling layer is **pluggable**: every queue decision goes
+//! through a [`SchedulingPolicy`] trait object (the four Fig. 11 policies
+//! — FIFO, oracle SJF, oracle preemptive SRTF, externally-scored Priority
+//! for QSSF — ship as policy objects, plus a Tiresias-style discretized
+//! least-attained-service policy), metrics stream through [`SimObserver`]s
+//! (occupancy, queue length, per-VC utilization), and the [`Simulator`]
+//! kernel is incremental: push jobs online, advance to a horizon, drain
+//! outcomes.
 //!
 //! ```
 //! use helios_sim::{simulate, SimConfig, Policy, SimJob};
@@ -21,16 +29,41 @@
 //! assert!(simulate(&spec, &giant, &SimConfig::new(Policy::Fifo)).is_err());
 //! # Ok::<(), helios_trace::HeliosError>(())
 //! ```
+//!
+//! Incremental use — jobs arrive in batches, outcomes leave in batches:
+//!
+//! ```
+//! use helios_sim::{Simulator, SimJob, FifoPolicy};
+//! use helios_trace::venus;
+//!
+//! let mut sim = Simulator::new(&venus(), Box::new(FifoPolicy));
+//! sim.push_jobs(&[SimJob { id: 0, vc: 0, gpus: 8, submit: 0, duration: 60, priority: 0.0 }])?;
+//! sim.run_until(30);                     // job still running
+//! assert!(sim.drain_outcomes().is_empty());
+//! sim.push_jobs(&[SimJob { id: 1, vc: 0, gpus: 8, submit: 40, duration: 5, priority: 0.0 }])?;
+//! sim.run_to_completion();
+//! assert_eq!(sim.drain_outcomes().len(), 2);
+//! # Ok::<(), helios_trace::HeliosError>(())
+//! ```
 
 pub mod engine;
 pub mod job;
 pub mod metrics;
+pub mod observer;
+pub mod policy;
 pub mod pool;
 
-pub use engine::{simulate, Policy, SimConfig, SimResult};
+pub use engine::{simulate, simulate_with, KernelConfig, Policy, SimConfig, SimResult, Simulator};
 pub use job::{jobs_from_trace, JobOutcome, SimJob};
 pub use metrics::{
     group_delay_ratios, jct_samples, per_vc_queue_delay, queue_delay_by_group, schedule_stats,
     ScheduleStats, DURATION_GROUPS, QUEUED_THRESHOLD_SECS,
+};
+pub use observer::{
+    ClusterView, OccupancyObserver, QueueLengthObserver, SimEvent, SimObserver,
+    VcUtilizationObserver,
+};
+pub use policy::{
+    FifoPolicy, JobView, PriorityPolicy, SchedulingPolicy, SjfPolicy, SrtfPolicy, TiresiasPolicy,
 };
 pub use pool::{Allocation, NodePool, Placement};

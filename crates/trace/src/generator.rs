@@ -121,7 +121,7 @@ const MIN_SCALED_VCS: usize = 10;
 
 /// Scale a cluster spec. Node counts shrink proportionally; VCs that would
 /// fall below 2 nodes are dropped (except that the largest
-/// [`MIN_SCALED_VCS`] VCs are always kept at ≥ 2 nodes), so the scaled
+/// `MIN_SCALED_VCS` (10) VCs are always kept at ≥ 2 nodes), so the scaled
 /// cluster keeps roughly `scale` × the original capacity instead of being
 /// inflated by per-VC floors.
 pub fn scale_spec(spec: &ClusterSpec, scale: f64) -> HeliosResult<ClusterSpec> {

@@ -66,7 +66,7 @@ impl Weekday {
 }
 
 /// A trace-local calendar: a contiguous run of whole months starting at the
-/// epoch (`t = 0` is midnight on the first day of `month_names[0]`).
+/// epoch (`t = 0` is midnight on the first day of `month_names\[0\]`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Calendar {
     /// Human-readable month names, one per covered month.

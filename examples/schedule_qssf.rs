@@ -26,7 +26,7 @@ fn main() -> helios::error::Result<()> {
         session
             .schedule_outcomes()
             .iter()
-            .find(|s| s.policy == p)
+            .find(|s| s.policy == Some(p))
             .expect("scheduled above")
     };
     let fifo = outcome(SchedulePolicy::Fifo);

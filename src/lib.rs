@@ -34,10 +34,18 @@
 //! Every fallible entry point returns [`error::HeliosError`]; no façade
 //! path panics on invalid user input.
 //!
+//! Scheduling is open: built-in policies go through
+//! [`SchedulePolicy`] constructors, and any user-defined
+//! `helios_sim::SchedulingPolicy` trait object runs through the same
+//! pipeline via [`session::Session::schedule_with`] (with streaming
+//! `SimObserver` metrics via [`session::Session::schedule_observed`]).
+//! See `examples/custom_policy.rs`.
+//!
 //! The member crates remain available for deep access:
 //! [`trace`] (synthesis), [`analysis`] (§3 statistics), [`predict`]
-//! (GBDT/ARIMA/LSTM), [`sim`] (discrete-event scheduler), [`core`]
-//! (service framework), [`energy`] (CES/DRS).
+//! (GBDT/ARIMA/LSTM), [`sim`] (pluggable discrete-event scheduler kernel),
+//! [`core`] (service framework), [`energy`] (CES/DRS + energy-aware
+//! policy).
 
 pub mod error;
 pub mod prelude;

@@ -11,5 +11,7 @@ pub use crate::session::{
 
 // Substrate types that appear in façade signatures or configs.
 pub use helios_core::{CesEvaluation, CesServiceConfig, QssfConfig};
-pub use helios_sim::{JobOutcome, Placement, Policy, ScheduleStats, SimJob};
+pub use helios_sim::{
+    JobOutcome, JobView, Placement, Policy, ScheduleStats, SchedulingPolicy, SimJob, SimObserver,
+};
 pub use helios_trace::{ClusterId, GeneratorConfig, JobRecord, JobStatus, Trace};

@@ -29,10 +29,12 @@ use crate::error::{HeliosError, Result};
 use helios_analysis::report::{fmt_count, fmt_secs, TextTable};
 use helios_analysis::{clusters, jobs, users};
 use helios_core::{CesEvaluation, CesService, CesServiceConfig, QssfConfig, QssfService};
+use helios_energy::EnergyAwarePolicy;
 use helios_energy::{annualize, energy_saved_kwh, node_series_from_trace};
 use helios_sim::{
-    jobs_from_trace, schedule_stats, simulate, JobOutcome, Placement, Policy, ScheduleStats,
-    SimConfig,
+    jobs_from_trace, schedule_stats, FifoPolicy, JobOutcome, KernelConfig, Placement,
+    PriorityPolicy, ScheduleStats, SchedulingPolicy, SimObserver, Simulator, SjfPolicy, SrtfPolicy,
+    TiresiasPolicy,
 };
 use helios_trace::{
     generate, profile_for, ClusterId, GeneratorConfig, Trace, WorkloadProfile, SECS_PER_DAY,
@@ -106,9 +108,12 @@ impl std::fmt::Display for Preset {
     }
 }
 
-/// Scheduling policies exposed by the façade. `Qssf` is the paper's
-/// contribution and requires [`Session::train_qssf`] first; the others are
-/// the Fig. 11 baselines.
+/// Built-in scheduling policies exposed by the façade — constructors over
+/// the pluggable `SchedulingPolicy` objects the kernel runs on (user
+/// policies go through [`Session::schedule_with`]). `Qssf` is the paper's
+/// contribution and requires [`Session::train_qssf`] first; Fifo/Sjf/Srtf
+/// are the Fig. 11 baselines; `Tiresias` and `EnergyAware` are the
+/// follow-up-survey disciplines shipped on top of the open kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedulePolicy {
     /// Production FIFO baseline.
@@ -119,6 +124,12 @@ pub enum SchedulePolicy {
     Srtf,
     /// Quasi-Shortest-Service-First on predicted GPU time (Algorithm 1).
     Qssf,
+    /// Tiresias-style discretized least-attained-service (preemptive,
+    /// duration-agnostic).
+    Tiresias,
+    /// CES-gated energy-aware ordering (FIFO when quiet, cheapest-energy
+    /// first when busy).
+    EnergyAware,
 }
 
 impl SchedulePolicy {
@@ -129,15 +140,20 @@ impl SchedulePolicy {
             SchedulePolicy::Sjf => "SJF",
             SchedulePolicy::Srtf => "SRTF",
             SchedulePolicy::Qssf => "QSSF",
+            SchedulePolicy::Tiresias => "TIRESIAS",
+            SchedulePolicy::EnergyAware => "ENERGY",
         }
     }
 
-    fn sim_policy(self) -> Policy {
+    /// Construct the policy object implementing this discipline.
+    pub fn build(self) -> Box<dyn SchedulingPolicy> {
         match self {
-            SchedulePolicy::Fifo => Policy::Fifo,
-            SchedulePolicy::Sjf => Policy::Sjf,
-            SchedulePolicy::Srtf => Policy::Srtf,
-            SchedulePolicy::Qssf => Policy::Priority,
+            SchedulePolicy::Fifo => Box::new(FifoPolicy),
+            SchedulePolicy::Sjf => Box::new(SjfPolicy),
+            SchedulePolicy::Srtf => Box::new(SrtfPolicy),
+            SchedulePolicy::Qssf => Box::new(PriorityPolicy::named("QSSF")),
+            SchedulePolicy::Tiresias => Box::new(TiresiasPolicy::default()),
+            SchedulePolicy::EnergyAware => Box::new(EnergyAwarePolicy::default()),
         }
     }
 }
@@ -315,17 +331,23 @@ pub struct Characterization {
     /// Share of GPU *time* held by single-GPU jobs (Fig. 6b).
     pub single_gpu_time_share: f64,
     /// GPU-job final-status shares [completed, canceled, failed] as
-    /// fractions in [0, 1] (Fig. 7a).
+    /// fractions in \[0, 1\] (Fig. 7a).
     pub gpu_status_shares: [f64; 3],
     /// GPU-time share of the top 5% of users (Fig. 8).
     pub top5_user_gpu_share: f64,
 }
 
 /// One scheduling run's outcome, kept with its per-job detail so reports
-/// can compute cross-policy ratios.
+/// can compute cross-policy ratios. Runs are identified by `label` (the
+/// policy object's name); `policy` is additionally set for the built-in
+/// constructors so callers can match on the enum.
 #[derive(Debug, Clone)]
 pub struct ScheduleOutcome {
-    pub policy: SchedulePolicy,
+    /// The policy object's display name ("FIFO", "QSSF", a custom name...).
+    pub label: String,
+    /// The built-in constructor, when the run came from
+    /// [`Session::schedule`]; `None` for [`Session::schedule_with`] runs.
+    pub policy: Option<SchedulePolicy>,
     pub stats: ScheduleStats,
     pub outcomes: Vec<JobOutcome>,
 }
@@ -453,14 +475,48 @@ impl Session {
         Ok(self)
     }
 
-    /// Stage 4: run one scheduling policy over the evaluation window and
-    /// record its outcome. [`SchedulePolicy::Qssf`] requires
+    /// Stage 4: run one built-in scheduling policy over the evaluation
+    /// window and record its outcome. [`SchedulePolicy::Qssf`] requires
     /// [`Session::train_qssf`] first.
     pub fn schedule(&mut self, policy: SchedulePolicy) -> Result<&mut Session> {
+        self.run_schedule(Some(policy), policy.build(), Vec::new())
+    }
+
+    /// Stage 4, open-kernel form: run a user-defined [`SchedulingPolicy`]
+    /// trait object over the evaluation window. The run is recorded under
+    /// the policy's [`name`](SchedulingPolicy::name); re-running the same
+    /// name replaces the previous outcome. Jobs carry their QSSF-agnostic
+    /// defaults (`priority` = submission time) — priority-driven custom
+    /// policies should key off job attributes or their own state.
+    pub fn schedule_with(
+        &mut self,
+        policy: Box<dyn SchedulingPolicy + '_>,
+    ) -> Result<&mut Session> {
+        self.run_schedule(None, policy, Vec::new())
+    }
+
+    /// [`Session::schedule_with`] plus streaming observer registration:
+    /// every kernel lifecycle event of the run flows through `observers`.
+    /// Lend borrowed observers (`Box::new(&mut occ)`) to read their series
+    /// after the call returns.
+    pub fn schedule_observed<'o>(
+        &mut self,
+        policy: Box<dyn SchedulingPolicy + 'o>,
+        observers: Vec<Box<dyn SimObserver + 'o>>,
+    ) -> Result<&mut Session> {
+        self.run_schedule(None, policy, observers)
+    }
+
+    fn run_schedule<'o>(
+        &mut self,
+        builtin: Option<SchedulePolicy>,
+        policy: Box<dyn SchedulingPolicy + 'o>,
+        observers: Vec<Box<dyn SimObserver + 'o>>,
+    ) -> Result<&mut Session> {
         let (lo, hi) = self.eval_window()?;
         let trace = self.trace.as_ref().expect("eval_window checked generate");
-        let jobs = match policy {
-            SchedulePolicy::Qssf => {
+        let jobs = match builtin {
+            Some(SchedulePolicy::Qssf) => {
                 let svc = self.qssf.as_ref().ok_or(HeliosError::MissingStage {
                     stage: "schedule(Qssf)",
                     requires: "train_qssf",
@@ -482,21 +538,28 @@ impl Session {
                 ),
             ));
         }
-        let cfg = SimConfig {
-            policy: policy.sim_policy(),
+        let label = policy.name().to_string();
+        let cfg = KernelConfig {
             placement: self.knobs.placement,
             backfill: self.knobs.backfill,
-            occupancy_bin: None,
         };
-        let result =
-            simulate(&trace.spec, &jobs, &cfg).map_err(|e| e.for_cluster(self.preset.name()))?;
-        let stats = schedule_stats(&result.outcomes);
+        let mut sim = Simulator::with_config(&trace.spec, policy, &cfg);
+        for obs in observers {
+            sim.observe(obs);
+        }
+        sim.push_jobs(&jobs)
+            .map_err(|e| e.for_cluster(self.preset.name()))?;
+        sim.run_to_completion();
+        let outcomes = sim.drain_outcomes();
+        drop(sim);
+        let stats = schedule_stats(&outcomes);
         // Re-running a policy replaces its previous outcome.
-        self.schedules.retain(|s| s.policy != policy);
+        self.schedules.retain(|s| s.label != label);
         self.schedules.push(ScheduleOutcome {
-            policy,
+            label,
+            policy: builtin,
             stats,
-            outcomes: result.outcomes,
+            outcomes,
         });
         Ok(self)
     }
@@ -523,14 +586,14 @@ impl Session {
             .schedules
             .iter()
             .map(|s| ScheduleSummary {
-                policy: s.policy,
+                label: s.label.clone(),
                 avg_jct: s.stats.avg_jct,
                 avg_queue_delay: s.stats.avg_queue_delay,
                 queued_jobs: s.stats.queued_jobs,
             })
             .collect();
         let qssf_vs_fifo = {
-            let find = |p: SchedulePolicy| self.schedules.iter().find(|s| s.policy == p);
+            let find = |p: SchedulePolicy| self.schedules.iter().find(|s| s.policy == Some(p));
             match (find(SchedulePolicy::Fifo), find(SchedulePolicy::Qssf)) {
                 (Some(f), Some(q)) => Some(PolicyGain {
                     jct: f.stats.avg_jct / q.stats.avg_jct.max(1.0),
@@ -568,10 +631,10 @@ impl Session {
     }
 }
 
-/// One policy row of a report.
+/// One policy row of a report, identified by the policy object's name.
 #[derive(Debug, Clone)]
 pub struct ScheduleSummary {
-    pub policy: SchedulePolicy,
+    pub label: String,
     pub avg_jct: f64,
     pub avg_queue_delay: f64,
     pub queued_jobs: u64,
@@ -651,7 +714,7 @@ impl SessionReport {
             let mut t = TextTable::new(vec!["policy", "avg JCT", "avg queue", "queued jobs"]);
             for s in &self.schedules {
                 t.row(vec![
-                    s.policy.label().to_string(),
+                    s.label.clone(),
                     fmt_secs(s.avg_jct),
                     fmt_secs(s.avg_queue_delay),
                     fmt_count(s.queued_jobs),
@@ -688,7 +751,7 @@ impl SessionReport {
             .iter()
             .map(|s| {
                 json!({
-                    "policy": s.policy.label(),
+                    "policy": s.label.clone(),
                     "avg_jct": s.avg_jct,
                     "avg_queue_delay": s.avg_queue_delay,
                     "queued_jobs": s.queued_jobs,

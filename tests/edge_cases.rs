@@ -28,7 +28,13 @@ fn tiny_spec() -> ClusterSpec {
 fn simulator_handles_empty_job_list() {
     let r = simulate(&tiny_spec(), &[], &SimConfig::new(Policy::Fifo)).unwrap();
     assert!(r.outcomes.is_empty());
-    assert!(r.occupancy.is_empty());
+    // Observers on an empty run stay empty too.
+    let mut occ = helios_sim::OccupancyObserver::new(60).unwrap();
+    let mut sim = helios_sim::Simulator::new(&tiny_spec(), Box::new(helios_sim::FifoPolicy));
+    sim.observe(Box::new(&mut occ));
+    sim.run_to_completion();
+    drop(sim);
+    assert!(occ.series().is_empty());
 }
 
 #[test]
@@ -108,7 +114,6 @@ fn backfill_with_empty_queue_is_noop() {
         policy: Policy::Fifo,
         placement: Placement::Consolidate,
         backfill: true,
-        occupancy_bin: None,
     };
     let r = simulate(&tiny_spec(), &jobs, &cfg).unwrap();
     assert_eq!(r.outcomes[0].start, 0);
