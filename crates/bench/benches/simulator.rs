@@ -1,9 +1,12 @@
 //! Discrete-event scheduling throughput (Figs 11-13, Tables 3-4 substrate),
-//! plus a comparison of the incremental `Simulator` kernel against the
-//! legacy one-shot path on a 0.1-scale Saturn September trace.
+//! a comparison of the incremental `Simulator` kernel against the
+//! legacy one-shot path on a 0.1-scale Saturn September trace, and the
+//! **scale-1.0 kernel group** pinning the full-production-scale speedup
+//! (802-node deployment class; see README "Performance").
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use helios_sim::{
-    jobs_from_trace, simulate, FifoPolicy, OccupancyObserver, Policy, SimConfig, SimJob, Simulator,
+    jobs_from_trace, simulate, simulate_with, FifoPolicy, KernelConfig, OccupancyObserver, Policy,
+    SimConfig, SimJob, Simulator, TiresiasPolicy,
 };
 use helios_trace::{generate, saturn_profile, venus, GeneratorConfig};
 
@@ -107,5 +110,48 @@ fn bench_kernel(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench, bench_kernel);
+/// Full production scale: Saturn at scale 1.0 (262 nodes / 2 096 GPUs),
+/// September window (~130k jobs), FIFO and Tiresias — the acceptance
+/// benchmark for the O(1)-indexed placement kernel. Regenerate the
+/// README "Performance" table from this group; machine-readable records
+/// come from `repro --bench-json`.
+fn bench_kernel_full_scale(c: &mut Criterion) {
+    let trace = generate(
+        &saturn_profile(),
+        &GeneratorConfig {
+            scale: 1.0,
+            seed: 2020,
+        },
+    )
+    .expect("valid generator config");
+    let (lo, hi) = trace.calendar.month_range(5);
+    let js = jobs_from_trace(&trace, lo, hi);
+    let spec = trace.spec.clone();
+    eprintln!("kernel scale-1.0: {} Saturn September jobs", js.len());
+
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(10);
+    g.bench_function("fifo_saturn_1.0", |b| {
+        b.iter(|| {
+            simulate(
+                black_box(&spec),
+                black_box(&js),
+                &SimConfig::new(Policy::Fifo),
+            )
+        })
+    });
+    g.bench_function("tiresias_saturn_1.0", |b| {
+        b.iter(|| {
+            simulate_with(
+                black_box(&spec),
+                black_box(&js),
+                Box::new(TiresiasPolicy::default()),
+                &KernelConfig::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench, bench_kernel, bench_kernel_full_scale);
 criterion_main!(benches);

@@ -10,6 +10,10 @@
 //!   --policy <P>    restrict schedule experiments to one policy:
 //!                   fifo|sjf|srtf|qssf|tiresias|all
 //!                   (default: the paper's FIFO/SJF/QSSF/SRTF set)
+//!   --bench-json <PATH>  write machine-readable perf records (wall time,
+//!                   jobs/sec, outcome digest) for every policy simulation
+//!                   the selected experiments ran — the BENCH_*.json
+//!                   perf-trajectory format
 //!   --list          print the experiment ids and exit
 //! ```
 //!
@@ -29,17 +33,20 @@ struct Args {
     seed: u64,
     out_dir: PathBuf,
     policy: Option<String>,
+    bench_json: Option<PathBuf>,
     id: String,
 }
 
 const USAGE: &str = "usage: repro [--scale F] [--seed N] [--out-dir DIR] \
-                     [--policy fifo|sjf|srtf|qssf|tiresias|all] [--list] <experiment-id>|all";
+                     [--policy fifo|sjf|srtf|qssf|tiresias|all] \
+                     [--bench-json PATH] [--list] <experiment-id>|all";
 
 fn parse_args() -> Result<Args, String> {
     let mut scale = 0.25f64;
     let mut seed = 2020u64;
     let mut out_dir = PathBuf::from("reports");
     let mut policy = None;
+    let mut bench_json = None;
     let mut id = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -57,6 +64,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--policy" => {
                 policy = Some(argv.next().ok_or("--policy needs a value")?);
+            }
+            "--bench-json" => {
+                bench_json = Some(PathBuf::from(
+                    argv.next().ok_or("--bench-json needs a value")?,
+                ));
             }
             "--list" => {
                 println!("all");
@@ -84,8 +96,39 @@ fn parse_args() -> Result<Args, String> {
         seed,
         out_dir,
         policy,
+        bench_json,
         id: id.ok_or(USAGE)?,
     })
+}
+
+/// Write the perf trajectory file for `--bench-json`: run metadata plus
+/// one record per policy simulation the experiments executed.
+fn write_bench_json(path: &Path, args: &Args, ctx: &Context) -> Result<(), HeliosError> {
+    let records: Vec<serde_json::Value> = ctx.bench_records().iter().map(|r| r.to_json()).collect();
+    // Scheduler experiments fan clusters x policies out over rayon, so
+    // wall times include sibling-simulation contention: record the host
+    // parallelism so trajectories are only compared like-for-like.
+    let parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let doc = serde_json::json!({
+        "schema": "helios-bench/1",
+        "scale": args.scale,
+        "seed": args.seed,
+        "experiment": args.id.clone(),
+        "parallelism": parallelism,
+        "note": "wall_secs measured under the parallel clusters x policies fan-out; compare only across runs with the same fan-out shape and parallelism",
+        "runs": records,
+    });
+    let rendered = serde_json::to_string_pretty(&doc).map_err(|e| HeliosError::Io {
+        context: format!("serializing {}", path.display()),
+        message: e.to_string(),
+    })?;
+    let mut f = std::fs::File::create(path)
+        .map_err(|e| HeliosError::io(format!("creating {}", path.display()), &e))?;
+    writeln!(f, "{rendered}")
+        .map_err(|e| HeliosError::io(format!("writing {}", path.display()), &e))?;
+    Ok(())
 }
 
 fn write_reports(dir: &Path, out: &ExperimentOutput) -> Result<(), HeliosError> {
@@ -143,6 +186,14 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(path) = &args.bench_json {
+        let n = ctx.bench_records().len();
+        if let Err(e) = write_bench_json(path, &args, &ctx) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench: {} policy-run records in {}", n, path.display());
     }
     eprintln!(
         "done: {} experiment(s), scale {}, seed {}, reports in {}",

@@ -22,8 +22,10 @@ use helios_sim::{
 use helios_trace::{
     generate_helios, generate_philly, GeneratorConfig, HeliosError, Trace, SECS_PER_DAY,
 };
+use rayon::prelude::*;
 use serde_json::json;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// One experiment's rendered output.
 #[derive(Debug, Clone)]
@@ -33,11 +35,59 @@ pub struct ExperimentOutput {
     pub data: serde_json::Value,
 }
 
+/// Wall-time, throughput, and outcome digest of one policy simulation —
+/// the machine-readable perf record behind `repro --bench-json`.
+#[derive(Debug, Clone)]
+pub struct PolicyRunPerf {
+    pub cluster: String,
+    pub policy: String,
+    /// Jobs simulated (September evaluation window).
+    pub jobs: usize,
+    /// Wall-clock seconds for the simulate call (excludes trace
+    /// generation and QSSF training).
+    pub wall_secs: f64,
+    pub jobs_per_sec: f64,
+    /// FNV-1a over every outcome's (id, start, end, preemptions) — a
+    /// stable fingerprint that pins scheduling results across perf work.
+    pub outcome_digest: String,
+}
+
+impl PolicyRunPerf {
+    pub fn to_json(&self) -> serde_json::Value {
+        json!({
+            "cluster": self.cluster.clone(),
+            "policy": self.policy.clone(),
+            "jobs": self.jobs,
+            "wall_secs": self.wall_secs,
+            "jobs_per_sec": self.jobs_per_sec,
+            "outcome_digest": self.outcome_digest.clone(),
+        })
+    }
+}
+
+/// Stable FNV-1a fingerprint of a scheduling result.
+pub fn outcome_digest(outcomes: &[helios_sim::JobOutcome]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for o in outcomes {
+        mix(o.id);
+        mix(o.start as u64);
+        mix(o.end as u64);
+        mix(o.preemptions as u64);
+    }
+    format!("{h:016x}")
+}
+
 /// Cached scheduler comparison for one cluster.
 pub struct SchedulerRun {
     pub cluster: String,
     /// Policy label -> outcomes.
     pub outcomes: HashMap<&'static str, Vec<helios_sim::JobOutcome>>,
+    /// Per-policy wall-time records, in the order the policies ran.
+    pub perf: Vec<PolicyRunPerf>,
 }
 
 /// Shared, lazily-computed experiment state.
@@ -135,77 +185,117 @@ impl Context {
     }
 
     /// September scheduler comparisons on all four Helios clusters over
-    /// the selected policies (QSSF trained on April–August).
+    /// the selected policies (QSSF trained on April–August). Clusters ×
+    /// policies fan out over rayon — one simulation per thread.
     pub fn scheduler_runs(&mut self) -> &[SchedulerRun] {
         if self.sched.is_none() {
             self.helios();
             let policies = self.policies.clone();
             let traces = self.helios.as_ref().unwrap();
-            let mut runs = Vec::new();
-            for t in traces {
-                eprintln!("[ctx] scheduling experiments on {}...", t.spec.id);
-                runs.push(run_schedulers(t, self.cfg.seed, &policies));
-            }
+            eprintln!(
+                "[ctx] scheduling experiments on {} clusters x {} policies (parallel)...",
+                traces.len(),
+                policies.len()
+            );
+            let seed = self.cfg.seed;
+            let runs: Vec<SchedulerRun> = traces
+                .par_iter()
+                .with_min_len(1)
+                .map(|t| run_schedulers(t, seed, &policies))
+                .collect();
             self.sched = Some(runs);
         }
         self.sched.as_ref().unwrap()
     }
 
     /// Philly scheduler comparison (October–November; noisy-oracle
-    /// priorities, the paper's §4.2.3 assumption).
+    /// priorities, the paper's §4.2.3 assumption). Policies fan out over
+    /// rayon.
     pub fn scheduler_run_philly(&mut self) -> &SchedulerRun {
         if self.sched_philly.is_none() {
             let seed = self.cfg.seed;
             let policies = self.policies.clone();
             let t = self.philly();
-            eprintln!("[ctx] scheduling experiments on Philly...");
+            eprintln!("[ctx] scheduling experiments on Philly (parallel)...");
             let (lo, hi) = (t.calendar.month_start(0), t.calendar.month_end(1));
-            let mut outcomes = HashMap::new();
             let base = jobs_from_trace(t, lo, hi);
             let kcfg = KernelConfig::default();
-            for &label in &policies {
-                let run = if label == "QSSF" {
-                    // QSSF with randomized priorities matching Helios-like
-                    // estimation error.
-                    let noisy = noisy_oracle_priorities(t, lo, hi, 0.8, seed ^ 0xF1);
-                    simulate_with(
-                        &t.spec,
-                        &noisy,
-                        Box::new(PriorityPolicy::named("QSSF")),
-                        &kcfg,
-                    )
-                } else {
-                    simulate_with(&t.spec, &base, baseline_policy(label), &kcfg)
-                };
-                outcomes.insert(label, run.expect("sim inputs pre-filtered").outcomes);
+            let results: Vec<(&'static str, PolicyRunPerf, Vec<helios_sim::JobOutcome>)> = policies
+                .par_iter()
+                .with_min_len(1)
+                .map(|&label| {
+                    let jobs: Vec<SimJob>;
+                    let jobs_ref: &[SimJob] = if label == "QSSF" {
+                        // QSSF with randomized priorities matching
+                        // Helios-like estimation error.
+                        jobs = noisy_oracle_priorities(t, lo, hi, 0.8, seed ^ 0xF1);
+                        &jobs
+                    } else {
+                        &base
+                    };
+                    let policy = if label == "QSSF" {
+                        Box::new(PriorityPolicy::named("QSSF")) as Box<dyn SchedulingPolicy>
+                    } else {
+                        baseline_policy(label)
+                    };
+                    timed_run("Philly", label, &t.spec, jobs_ref, policy, &kcfg)
+                })
+                .collect();
+            let mut outcomes = HashMap::new();
+            let mut perf = Vec::new();
+            for (label, p, o) in results {
+                perf.push(p);
+                outcomes.insert(label, o);
             }
             self.sched_philly = Some(SchedulerRun {
                 cluster: "Philly".into(),
                 outcomes,
+                perf,
             });
         }
         self.sched_philly.as_ref().unwrap()
     }
 
-    /// CES evaluations: September 1–21 on each Helios cluster.
+    /// Every per-policy wall-time record the scheduler experiments have
+    /// produced so far (Helios clusters first, then Philly if run) — the
+    /// payload behind `repro --bench-json`.
+    pub fn bench_records(&self) -> Vec<&PolicyRunPerf> {
+        let mut out = Vec::new();
+        if let Some(runs) = &self.sched {
+            out.extend(runs.iter().flat_map(|r| r.perf.iter()));
+        }
+        if let Some(run) = &self.sched_philly {
+            out.extend(run.perf.iter());
+        }
+        out
+    }
+
+    /// CES evaluations: September 1–21 on each Helios cluster, one
+    /// cluster per rayon thread.
     pub fn ces_runs(&mut self) -> &[(String, CesEvaluation)] {
         if self.ces.is_none() {
             self.helios();
             let traces = self.helios.as_ref().unwrap();
-            let mut out = Vec::new();
-            for t in traces {
-                eprintln!("[ctx] CES evaluation on {}...", t.spec.id);
-                let series = node_series_from_trace(t, 600, Placement::Consolidate)
-                    .expect("series replay on a valid trace");
-                let eval_start = t.calendar.month_start(5);
-                let eval_end = eval_start + 21 * SECS_PER_DAY;
-                let mut svc = CesService::new(scaled_ces_config(t.spec.nodes));
-                out.push((
-                    t.spec.id.name().to_string(),
-                    svc.evaluate(t, &series, eval_start, eval_end)
-                        .expect("evaluation window within calendar"),
-                ));
-            }
+            eprintln!(
+                "[ctx] CES evaluation on {} clusters (parallel)...",
+                traces.len()
+            );
+            let out: Vec<(String, CesEvaluation)> = traces
+                .par_iter()
+                .with_min_len(1)
+                .map(|t| {
+                    let series = node_series_from_trace(t, 600, Placement::Consolidate)
+                        .expect("series replay on a valid trace");
+                    let eval_start = t.calendar.month_start(5);
+                    let eval_end = eval_start + 21 * SECS_PER_DAY;
+                    let mut svc = CesService::new(scaled_ces_config(t.spec.nodes));
+                    (
+                        t.spec.id.name().to_string(),
+                        svc.evaluate(t, &series, eval_start, eval_end)
+                            .expect("evaluation window within calendar"),
+                    )
+                })
+                .collect();
             self.ces = Some(out);
         }
         self.ces.as_ref().unwrap()
@@ -266,30 +356,86 @@ fn baseline_policy(label: &str) -> Box<dyn SchedulingPolicy> {
     ctor()
 }
 
+/// Simulate one policy over one job set, timing the kernel run and
+/// fingerprinting its outcomes. Note: scheduler experiments fan out over
+/// rayon, so `wall_secs` includes whatever core contention the sibling
+/// simulations cause — compare records only across runs with the same
+/// fan-out shape (the `--bench-json` metadata records the parallelism).
+fn timed_run(
+    cluster: &str,
+    label: &'static str,
+    spec: &helios_trace::ClusterSpec,
+    jobs: &[SimJob],
+    policy: Box<dyn SchedulingPolicy>,
+    kcfg: &KernelConfig,
+) -> (&'static str, PolicyRunPerf, Vec<helios_sim::JobOutcome>) {
+    let started = Instant::now();
+    let run = simulate_with(spec, jobs, policy, kcfg);
+    let wall_secs = started.elapsed().as_secs_f64();
+    let outcomes = run.expect("sim inputs pre-filtered").outcomes;
+    let perf = PolicyRunPerf {
+        cluster: cluster.to_string(),
+        policy: label.to_string(),
+        jobs: jobs.len(),
+        wall_secs,
+        jobs_per_sec: if wall_secs > 0.0 {
+            jobs.len() as f64 / wall_secs
+        } else {
+            f64::INFINITY
+        },
+        outcome_digest: outcome_digest(&outcomes),
+    };
+    (label, perf, outcomes)
+}
+
 /// Run the selected scheduling policies on one cluster's September jobs
-/// through the pluggable kernel.
+/// through the pluggable kernel, one policy per rayon thread.
 pub fn run_schedulers(trace: &Trace, seed: u64, policies: &[&'static str]) -> SchedulerRun {
     let _ = seed;
     let cal = &trace.calendar;
     let (lo, hi) = cal.month_range(5); // September
-    let mut outcomes = HashMap::new();
     let base = jobs_from_trace(trace, lo, hi);
     let kcfg = KernelConfig::default();
-    for &label in policies {
-        let run = if label == "QSSF" {
-            // QSSF: train on April–August, score September causally.
-            let mut qssf = QssfService::new(QssfConfig::default());
-            qssf.train(trace, 0, lo).expect("training window non-empty");
-            let scored = qssf.assign_priorities(trace, lo, hi);
-            simulate_with(&trace.spec, &scored, qssf.scheduling_policy(), &kcfg)
-        } else {
-            simulate_with(&trace.spec, &base, baseline_policy(label), &kcfg)
-        };
-        outcomes.insert(label, run.expect("sim inputs pre-filtered").outcomes);
+    let cluster = trace.spec.id.name().to_string();
+    let results: Vec<(&'static str, PolicyRunPerf, Vec<helios_sim::JobOutcome>)> = policies
+        .par_iter()
+        .with_min_len(1)
+        .map(|&label| {
+            if label == "QSSF" {
+                // QSSF: train on April–August, score September causally.
+                let mut qssf = QssfService::new(QssfConfig::default());
+                qssf.train(trace, 0, lo).expect("training window non-empty");
+                let scored = qssf.assign_priorities(trace, lo, hi);
+                timed_run(
+                    &cluster,
+                    label,
+                    &trace.spec,
+                    &scored,
+                    qssf.scheduling_policy(),
+                    &kcfg,
+                )
+            } else {
+                timed_run(
+                    &cluster,
+                    label,
+                    &trace.spec,
+                    &base,
+                    baseline_policy(label),
+                    &kcfg,
+                )
+            }
+        })
+        .collect();
+    let mut outcomes = HashMap::new();
+    let mut perf = Vec::new();
+    for (label, p, o) in results {
+        perf.push(p);
+        outcomes.insert(label, o);
     }
     SchedulerRun {
-        cluster: trace.spec.id.name().to_string(),
+        cluster,
         outcomes,
+        perf,
     }
 }
 

@@ -88,9 +88,11 @@ impl EnergyAwarePolicy {
     }
 
     fn refresh(&mut self, cluster: &ClusterView<'_>) {
-        let cap = cluster.capacity_gpus();
-        if cap > 0 {
-            self.utilization = cluster.busy_gpus() as f64 / cap as f64;
+        // `ClusterView::utilization` reads the kernel's incrementally
+        // maintained busy/capacity aggregates — O(1) per event, no node
+        // re-summation.
+        if cluster.capacity_gpus() > 0 {
+            self.utilization = cluster.utilization();
         }
     }
 }

@@ -14,14 +14,13 @@
 //! [`simulate`] / [`simulate_with`] entry points are thin convenience
 //! wrappers over it.
 
+use crate::heap::MinHeap;
 use crate::job::{JobOutcome, SimJob};
 use crate::observer::{ClusterView, SimEvent, SimObserver};
 use crate::policy::{FifoPolicy, JobView, PriorityPolicy, SchedulingPolicy, SjfPolicy, SrtfPolicy};
 use crate::pool::{Allocation, NodePool, Placement};
 use helios_trace::{ClusterSpec, HeliosError, HeliosResult};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// The built-in scheduling policies of the paper's Fig. 11, kept as a
 /// serializable constructor table over the [`SchedulingPolicy`] objects in
@@ -130,16 +129,24 @@ impl Ord for Key {
     }
 }
 
+/// Sentinel for the `i64` timestamp fields of [`JobState`]: "not set".
+/// (Plain sentinels instead of `Option<i64>` keep the per-job record at
+/// ~88 bytes — the kernel is memory-bound on this array at full scale.)
+const UNSET: i64 = i64::MIN;
+
 #[derive(Debug)]
 struct JobState {
     job: SimJob,
     remaining: i64,
-    started_at: Option<i64>,
-    first_start: Option<i64>,
-    alloc: Option<Allocation>,
+    started_at: i64,
+    first_start: i64,
+    end: i64,
     epoch: u32,
     preemptions: u32,
-    end: Option<i64>,
+    /// Index of this job inside its VC's `running` / `running_allocs`
+    /// vectors while running (enables O(1) swap-removal); meaningless
+    /// otherwise.
+    run_slot: u32,
 }
 
 impl JobState {
@@ -147,12 +154,12 @@ impl JobState {
         JobState {
             job,
             remaining: job.duration.max(1),
-            started_at: None,
-            first_start: None,
-            alloc: None,
+            started_at: UNSET,
+            first_start: UNSET,
+            end: UNSET,
             epoch: 0,
             preemptions: 0,
-            end: None,
+            run_slot: u32::MAX,
         }
     }
 
@@ -165,17 +172,77 @@ impl JobState {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+/// One dequeued kernel event. Finishes release resources before
+/// same-instant arrivals queue (the historical heap tie order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
-    // Finishes release resources before same-instant arrivals queue.
     Finish { idx: usize, epoch: u32 },
     Arrive { idx: usize },
 }
 
 pub(crate) struct VcState {
     pub(crate) pool: NodePool,
-    pub(crate) queue: BinaryHeap<Reverse<(Key, usize)>>,
+    pub(crate) queue: MinHeap<(Key, usize)>,
     pub(crate) running: Vec<usize>,
+    /// `running_allocs[i]` is the live allocation of job `running[i]` —
+    /// slot-parallel so the cold `Allocation` payload stays out of the
+    /// hot per-job state array.
+    pub(crate) running_allocs: Vec<Allocation>,
+    /// True while the blocked head has been extracted from the queue for
+    /// the duration of a preemption apply: the job is still logically
+    /// queued, so queue-length views count it (preserving the pre-rewrite
+    /// observable, where the head stayed in the heap until it started).
+    pub(crate) held_head: bool,
+    /// Memoized blocked-head decision; see [`BlockedMemo`].
+    memo: Option<BlockedMemo>,
+}
+
+/// A memoized "the queue head cannot start" decision for one VC.
+///
+/// Once a head fails to place (and, for preemptive policies, preemption
+/// fails too), that failure is provably stable against two event classes:
+/// arrivals that queue behind the head (nothing the decision reads
+/// changed), and finishes of jobs in the cached victim list (the GPUs the
+/// head can reach — free plus evictable — are exactly the set that
+/// already failed, and placement feasibility is monotone in per-node free
+/// counts). The memo lets `schedule_vc` skip the per-event O(running)
+/// victim re-scan for those cases, and reuse the cached victim ranking
+/// (valid while every rank's policy-declared stability horizon holds)
+/// when a non-victim finish forces a placement retry.
+struct BlockedMemo {
+    /// State index of the blocked head.
+    head: usize,
+    /// The memo is valid strictly before this simulated time (the min of
+    /// the policy's rank-stability horizons over the head and every
+    /// runner; `i64::MAX` for non-preemptive policies, whose placement
+    /// decisions never involve ranks).
+    valid_until: i64,
+    /// The failed scan's complete victim list, rank-descending (state
+    /// index ascending on ties); empty for non-preemptive policies.
+    victims: Vec<(f64, usize)>,
+}
+
+/// Why `schedule_vc` is being invoked — drives the blocked-head memo.
+#[derive(Clone, Copy)]
+enum ScheduleCause {
+    /// A job entered this VC's queue (pool and runners untouched).
+    Arrive,
+    /// The given state index finished and released its allocation.
+    Finish { finished: usize },
+}
+
+/// Cluster-wide aggregates the kernel maintains incrementally on every
+/// placement, release, enqueue, and dequeue — [`ClusterView`] answers
+/// every cluster-wide query from these in O(1) instead of re-summing the
+/// VC pools on each event.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ClusterStats {
+    pub(crate) busy_gpus: u32,
+    pub(crate) busy_nodes: u32,
+    pub(crate) total_nodes: u32,
+    pub(crate) capacity_gpus: u32,
+    pub(crate) queued_jobs: usize,
+    pub(crate) running_jobs: usize,
 }
 
 /// Check one job against the cluster (otherwise the event loop would end
@@ -244,13 +311,31 @@ pub struct Simulator<'a> {
     observers: Vec<Box<dyn SimObserver + 'a>>,
     states: Vec<JobState>,
     vcs: Vec<VcState>,
-    events: BinaryHeap<Reverse<(i64, EventKind)>>,
+    stats: ClusterStats,
+    /// Pending arrivals as state indices, sorted by (submit, index) and
+    /// consumed from `next_arrival` on — a sorted cursor instead of a
+    /// 100k-entry heap, so the per-event cost is O(1) and cache-local.
+    arrivals: Vec<usize>,
+    next_arrival: usize,
+    /// Scheduled finishes `(time, state idx, epoch)`; stale entries
+    /// (preempted epochs) are skipped on pop. Bounded by the number of
+    /// concurrently running jobs, not the trace length.
+    finishes: MinHeap<(i64, usize, u32)>,
     /// Simulated horizon: max of the last processed event time and every
     /// `run_until` target. Jobs must not arrive before it.
     horizon: i64,
     /// Finished but not yet drained (state indices).
     completed: Vec<usize>,
     finished: usize,
+    /// Reusable scratch buffers for the preemption/backfill decision
+    /// paths — no per-event allocations on the hot path.
+    trial_log: Vec<(u32, i64)>,
+    scratch_victims: Vec<(f64, usize)>,
+    scratch_ends: Vec<(i64, usize)>,
+    scratch_rest: Vec<(Key, usize)>,
+    /// Blocked-head memoization toggle (on by default; the equivalence
+    /// tests flip it off to pin memoized == exhaustive rescanning).
+    memo_enabled: bool,
 }
 
 impl<'a> Simulator<'a> {
@@ -266,15 +351,23 @@ impl<'a> Simulator<'a> {
         policy: Box<dyn SchedulingPolicy + 'a>,
         cfg: &KernelConfig,
     ) -> Simulator<'a> {
-        let vcs = spec
+        let vcs: Vec<VcState> = spec
             .vcs
             .iter()
             .map(|vc| VcState {
                 pool: NodePool::new(vc.nodes, spec.gpus_per_node),
-                queue: BinaryHeap::new(),
+                queue: MinHeap::new(),
                 running: Vec::new(),
+                running_allocs: Vec::new(),
+                held_head: false,
+                memo: None,
             })
             .collect();
+        let stats = ClusterStats {
+            total_nodes: vcs.iter().map(|v| v.pool.nodes()).sum(),
+            capacity_gpus: vcs.iter().map(|v| v.pool.capacity()).sum(),
+            ..ClusterStats::default()
+        };
         Simulator {
             spec: spec.clone(),
             placement: cfg.placement,
@@ -283,10 +376,32 @@ impl<'a> Simulator<'a> {
             observers: Vec::new(),
             states: Vec::new(),
             vcs,
-            events: BinaryHeap::new(),
+            stats,
+            arrivals: Vec::new(),
+            next_arrival: 0,
+            finishes: MinHeap::new(),
             horizon: i64::MIN,
             completed: Vec::new(),
             finished: 0,
+            trial_log: Vec::new(),
+            scratch_victims: Vec::new(),
+            scratch_ends: Vec::new(),
+            scratch_rest: Vec::new(),
+            memo_enabled: true,
+        }
+    }
+
+    /// Disable (or re-enable) the blocked-head memoization fast path.
+    /// Outcomes are identical either way — the equivalence test suite
+    /// runs both and pins that; this knob exists for those tests and for
+    /// performance triage, not for normal use.
+    #[doc(hidden)]
+    pub fn set_blocked_memo(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+        if !enabled {
+            for vc in &mut self.vcs {
+                vc.memo = None;
+            }
         }
     }
 
@@ -320,7 +435,7 @@ impl<'a> Simulator<'a> {
     /// Pending kernel events (arrivals + scheduled finishes, including
     /// stale ones).
     pub fn pending_events(&self) -> usize {
-        self.events.len()
+        self.arrivals.len() - self.next_arrival + self.finishes.len()
     }
 
     /// Accept a batch of jobs. Validation is all-or-nothing: on error no
@@ -339,11 +454,20 @@ impl<'a> Simulator<'a> {
                 });
             }
         }
+        // Drop the consumed arrival prefix before appending, then keep the
+        // pending tail sorted by (submit, state index) — the historical
+        // event-heap order for same-instant arrivals.
+        self.arrivals.drain(..self.next_arrival);
+        self.next_arrival = 0;
         for &job in jobs {
             let idx = self.states.len();
             self.states.push(JobState::new(job));
-            self.events
-                .push(Reverse((job.submit, EventKind::Arrive { idx })));
+            self.arrivals.push(idx);
+        }
+        let states = &self.states;
+        let key = |idx: usize| (states[idx].job.submit, idx);
+        if self.arrivals.windows(2).any(|w| key(w[0]) > key(w[1])) {
+            self.arrivals.sort_unstable_by_key(|&idx| key(idx));
         }
         Ok(())
     }
@@ -354,10 +478,48 @@ impl<'a> Simulator<'a> {
         self.process_one()
     }
 
+    /// Time of the next pending event, if any.
+    fn next_event_time(&self) -> Option<i64> {
+        let fin = self.finishes.peek().map(|&(t, _, _)| t);
+        let arr = self
+            .arrivals
+            .get(self.next_arrival)
+            .map(|&idx| self.states[idx].job.submit);
+        match (fin, arr) {
+            (Some(f), Some(a)) => Some(f.min(a)),
+            (f, a) => f.or(a),
+        }
+    }
+
+    /// Pop the earliest event; finishes beat same-instant arrivals, ties
+    /// among finishes resolve by (state idx, epoch), among arrivals by
+    /// state idx — exactly the historical single-heap order.
+    fn pop_event(&mut self) -> Option<(i64, EventKind)> {
+        let fin = self.finishes.peek().map(|&(t, _, _)| t);
+        let arr = self
+            .arrivals
+            .get(self.next_arrival)
+            .map(|&idx| self.states[idx].job.submit);
+        let take_finish = match (fin, arr) {
+            (None, None) => return None,
+            (Some(tf), Some(ta)) => tf <= ta,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+        };
+        if take_finish {
+            let (t, idx, epoch) = self.finishes.pop().expect("peeked above");
+            Some((t, EventKind::Finish { idx, epoch }))
+        } else {
+            let idx = self.arrivals[self.next_arrival];
+            self.next_arrival += 1;
+            Some((self.states[idx].job.submit, EventKind::Arrive { idx }))
+        }
+    }
+
     /// Process every event up to and including `horizon`, then pin the
     /// simulated horizon there (later arrivals must come after it).
     pub fn run_until(&mut self, horizon: i64) {
-        while let Some(&Reverse((t, _))) = self.events.peek() {
+        while let Some(t) = self.next_event_time() {
             if t > horizon {
                 break;
             }
@@ -381,58 +543,104 @@ impl<'a> Simulator<'a> {
 
     fn outcome_of(&self, idx: usize) -> JobOutcome {
         let s = &self.states[idx];
+        assert!(
+            s.first_start != UNSET,
+            "kernel invariant: a finished job must have started"
+        );
+        assert!(
+            s.end != UNSET,
+            "kernel invariant: a drained job must have finished"
+        );
         JobOutcome {
             id: s.job.id,
             vc: s.job.vc,
             gpus: s.job.gpus,
             submit: s.job.submit,
-            start: s
-                .first_start
-                .expect("kernel invariant: a finished job must have started"),
-            end: s
-                .end
-                .expect("kernel invariant: a drained job must have finished"),
+            start: s.first_start,
+            end: s.end,
             duration: s.job.duration.max(1),
             preemptions: s.preemptions,
         }
     }
 
+    /// Place `g` GPUs on `vc`'s pool, maintaining the cluster aggregates.
+    fn place_on(&mut self, vc: usize, g: u32) -> Option<Allocation> {
+        let pool = &mut self.vcs[vc].pool;
+        let busy_before = pool.busy_nodes();
+        let alloc = pool.try_place(g, self.placement)?;
+        self.stats.busy_nodes += pool.busy_nodes() - busy_before;
+        self.stats.busy_gpus += g;
+        Some(alloc)
+    }
+
+    /// Release an allocation on `vc`'s pool, maintaining the aggregates.
+    fn release_on(&mut self, vc: usize, alloc: &Allocation) {
+        let pool = &mut self.vcs[vc].pool;
+        let busy_before = pool.busy_nodes();
+        pool.release(alloc);
+        self.stats.busy_nodes -= busy_before - pool.busy_nodes();
+        self.stats.busy_gpus -= alloc.gpus();
+    }
+
+    /// Remove `idx` from its VC's running set in O(1) via its stored slot
+    /// (swap-remove; the displaced tail job's slot is patched) and hand
+    /// back the allocation it was running on.
+    fn remove_running(&mut self, vc: usize, idx: usize) -> Allocation {
+        let slot = self.states[idx].run_slot as usize;
+        let vcs = &mut self.vcs[vc];
+        debug_assert_eq!(vcs.running[slot], idx, "kernel invariant: run_slot in sync");
+        let last = vcs
+            .running
+            .pop()
+            .expect("kernel invariant: a running job's VC has running entries");
+        let alloc = if last != idx {
+            vcs.running[slot] = last;
+            self.states[last].run_slot = slot as u32;
+            vcs.running_allocs.swap_remove(slot)
+        } else {
+            vcs.running_allocs
+                .pop()
+                .expect("kernel invariant: running_allocs is slot-parallel")
+        };
+        self.stats.running_jobs -= 1;
+        alloc
+    }
+
     fn process_one(&mut self) -> Option<i64> {
-        let Reverse((now, kind)) = self.events.pop()?;
+        let (now, kind) = self.pop_event()?;
         self.horizon = self.horizon.max(now);
         // Observers see the pre-event state: time-integrated metrics
         // (occupancy) integrate the configuration that held until `now`.
-        {
-            let view = ClusterView::new(&self.vcs);
+        // Skipped entirely when nothing is listening.
+        if !self.observers.is_empty() {
+            let view = ClusterView::new(&self.vcs, &self.stats);
             for obs in &mut self.observers {
                 obs.on_clock(now, &view);
             }
         }
         match kind {
             EventKind::Finish { idx, epoch } => {
-                if self.states[idx].epoch != epoch || self.states[idx].end.is_some() {
+                if self.states[idx].epoch != epoch || self.states[idx].end != UNSET {
                     return Some(now); // stale (preempted) or already done
                 }
                 let s = &mut self.states[idx];
-                s.end = Some(now);
+                s.end = now;
                 s.remaining = 0;
                 let vc = s.job.vc as usize;
-                let alloc = s
-                    .alloc
-                    .take()
-                    .expect("kernel invariant: a finishing job must hold an allocation");
-                self.vcs[vc].pool.release(&alloc);
-                self.vcs[vc].running.retain(|&r| r != idx);
+                let alloc = self.remove_running(vc, idx);
+                self.release_on(vc, &alloc);
                 self.finished += 1;
                 self.completed.push(idx);
                 let job = self.states[idx].job;
-                let outcome = self.outcome_of(idx);
-                let view = ClusterView::new(&self.vcs);
+                let view = ClusterView::new(&self.vcs, &self.stats);
                 self.policy.on_finish(&job, now, &view);
-                for obs in &mut self.observers {
-                    obs.on_event(&SimEvent::Finish { job, outcome }, &view);
+                if !self.observers.is_empty() {
+                    let outcome = self.outcome_of(idx);
+                    for obs in &mut self.observers {
+                        obs.on_event(&SimEvent::Finish { job, outcome }, &view);
+                    }
                 }
-                self.schedule_vc(vc, now);
+                self.schedule_vc(vc, now, ScheduleCause::Finish { finished: idx });
             }
             EventKind::Arrive { idx } => {
                 let vc = self.states[idx].job.vc as usize;
@@ -440,14 +648,15 @@ impl<'a> Simulator<'a> {
                     self.policy.queue_key(&self.states[idx].view()),
                     self.states[idx].job.id,
                 );
-                self.vcs[vc].queue.push(Reverse((key, idx)));
+                self.vcs[vc].queue.push((key, idx));
+                self.stats.queued_jobs += 1;
                 let job = self.states[idx].job;
-                let view = ClusterView::new(&self.vcs);
+                let view = ClusterView::new(&self.vcs, &self.stats);
                 self.policy.on_submit(&job, now, &view);
                 for obs in &mut self.observers {
                     obs.on_event(&SimEvent::Submit { job, now }, &view);
                 }
-                self.schedule_vc(vc, now);
+                self.schedule_vc(vc, now, ScheduleCause::Arrive);
             }
         }
         Some(now)
@@ -456,18 +665,21 @@ impl<'a> Simulator<'a> {
     /// Start `idx` on `alloc` at `now` and schedule its finish event.
     fn start_job(&mut self, idx: usize, alloc: Allocation, now: i64) {
         let s = &mut self.states[idx];
-        s.alloc = Some(alloc);
-        s.started_at = Some(now);
-        s.first_start.get_or_insert(now);
+        s.started_at = now;
+        if s.first_start == UNSET {
+            s.first_start = now;
+        }
         s.epoch += 1;
         let epoch = s.epoch;
         let vc = s.job.vc as usize;
         let finish_at = now + s.remaining;
         let job = s.job;
+        s.run_slot = self.vcs[vc].running.len() as u32;
         self.vcs[vc].running.push(idx);
-        self.events
-            .push(Reverse((finish_at, EventKind::Finish { idx, epoch })));
-        let view = ClusterView::new(&self.vcs);
+        self.vcs[vc].running_allocs.push(alloc);
+        self.stats.running_jobs += 1;
+        self.finishes.push((finish_at, idx, epoch));
+        let view = ClusterView::new(&self.vcs, &self.stats);
         self.policy.on_start(&job, now, &view);
         for obs in &mut self.observers {
             obs.on_event(&SimEvent::Start { job, now }, &view);
@@ -475,27 +687,76 @@ impl<'a> Simulator<'a> {
     }
 
     /// Keep starting queue heads on `vc` until the head no longer fits
-    /// (then preempt or backfill, per policy).
-    fn schedule_vc(&mut self, vc: usize, now: i64) {
+    /// (then preempt or backfill, per policy). The blocked-head memo
+    /// short-circuits events that provably cannot change the previous
+    /// "blocked" verdict — see [`BlockedMemo`].
+    fn schedule_vc(&mut self, vc: usize, now: i64, cause: ScheduleCause) {
+        // Cached (victims, valid_until) carried into the placement retry
+        // after a non-victim finish — ranks are still valid, only the
+        // pool changed.
+        let mut cached: Option<(Vec<(f64, usize)>, i64)> = None;
+        if let Some(mut memo) = self.vcs[vc].memo.take() {
+            let head_now = self.vcs[vc].queue.peek().map(|&(_, h)| h);
+            if head_now == Some(memo.head) && now < memo.valid_until {
+                match cause {
+                    ScheduleCause::Arrive => {
+                        // The queue grew behind the blocked head: the pool,
+                        // the head, and every rank are unchanged.
+                        self.vcs[vc].memo = Some(memo);
+                        return;
+                    }
+                    ScheduleCause::Finish { finished } => {
+                        if let Some(pos) = memo.victims.iter().position(|&(_, i)| i == finished) {
+                            // A victim finished: the GPUs the head can
+                            // reach (free + evictable) are exactly the set
+                            // that already failed, so it is still blocked.
+                            memo.victims.remove(pos);
+                            self.vcs[vc].memo = Some(memo);
+                            return;
+                        }
+                        // A non-victim finished: placement must be
+                        // retried, but the cached victim ranking holds.
+                        cached = Some((memo.victims, memo.valid_until));
+                    }
+                }
+            } else {
+                // Stale memo (head changed or the rank-stability horizon
+                // passed): recycle its buffer as the scan scratch so
+                // short-lived memos never cost an allocation cycle.
+                if memo.victims.capacity() > self.scratch_victims.capacity() {
+                    self.scratch_victims = memo.victims;
+                }
+            }
+        }
         loop {
-            let Some(&Reverse((_, head))) = self.vcs[vc].queue.peek() else {
+            let Some(&(_, head)) = self.vcs[vc].queue.peek() else {
                 return;
             };
             let g = self.states[head].job.gpus;
-            if let Some(alloc) = self.vcs[vc].pool.try_place(g, self.placement) {
+            if let Some(alloc) = self.place_on(vc, g) {
                 self.vcs[vc].queue.pop();
+                self.stats.queued_jobs -= 1;
                 self.start_job(head, alloc, now);
+                cached = None; // a start invalidates any cached scan
                 continue;
             }
             // Head blocked.
             if self.policy.preemptive() {
-                if self.try_preempt_for(head, vc, now) {
+                if self.try_preempt_for(head, vc, now, cached.take()) {
                     continue;
                 }
                 return;
             }
             if self.backfill {
                 self.backfill_vc(vc, now);
+            } else if self.memo_enabled {
+                // Non-preemptive, no backfill: nothing can start in this
+                // VC before a finish changes the pool or the head changes.
+                self.vcs[vc].memo = Some(BlockedMemo {
+                    head,
+                    valid_until: i64::MAX,
+                    victims: Vec::new(),
+                });
             }
             return;
         }
@@ -504,18 +765,54 @@ impl<'a> Simulator<'a> {
     /// Preemption: free GPUs by evicting running jobs whose current
     /// [`SchedulingPolicy::preempt_rank`] is strictly greater than the
     /// blocked head's (largest rank first). Returns true if the head could
-    /// be placed.
-    fn try_preempt_for(&mut self, head: usize, vc: usize, now: i64) -> bool {
-        let head_rank = self.policy.preempt_rank(&self.states[head].view());
+    /// be placed. `cached` carries a still-valid victim ranking from the
+    /// blocked-head memo; without one the running set is scanned fresh.
+    fn try_preempt_for(
+        &mut self,
+        head: usize,
+        vc: usize,
+        now: i64,
+        cached: Option<(Vec<(f64, usize)>, i64)>,
+    ) -> bool {
+        if let Some((mut victims, valid_until)) = cached {
+            // Jobs finishing at this very instant are not evictable; a
+            // fresh scan would have skipped them (`remaining <= 0`), so
+            // the cached list must shed them the same way. (The fresh
+            // path below filters during its scan.)
+            victims.retain(|&(_, idx)| {
+                let s = &self.states[idx];
+                s.remaining - (now - s.started_at) > 0
+            });
+            return self.preempt_with_victims(head, vc, now, victims, valid_until);
+        }
+        // Validity bookkeeping costs a multiple of the plain rank call,
+        // and on very wide running sets the min horizon collapses almost
+        // immediately (some runner is always about to cross a level), so
+        // the memo cannot pay for itself — skip it there. Purely a
+        // performance choice: outcomes are identical either way (pinned
+        // by the memo-equivalence property test).
+        let want_validity = self.memo_enabled && self.vcs[vc].running.len() <= MEMO_SCAN_LIMIT;
+        let (head_rank, head_stable) = if want_validity {
+            self.policy
+                .preempt_rank_with_validity(&self.states[head].view(), now)
+        } else {
+            (self.policy.preempt_rank(&self.states[head].view()), None)
+        };
         // Victims: running jobs ranked strictly above the head, largest
-        // rank first (ties broken by state index for determinism).
-        let mut victims: Vec<(f64, usize)> = Vec::new();
+        // rank first (ties broken by state index for determinism). The
+        // memo horizon is the min of every stability horizon the policy
+        // grants — `now` (no memo) as soon as any rank is unstable.
+        let mut valid_until = head_stable.unwrap_or(now);
+        let mut victims = std::mem::take(&mut self.scratch_victims);
+        victims.clear();
         for i in 0..self.vcs[vc].running.len() {
             let idx = self.vcs[vc].running[i];
             let s = &self.states[idx];
-            let elapsed = now
-                - s.started_at
-                    .expect("kernel invariant: a running job must have a start time");
+            debug_assert!(
+                s.started_at != UNSET,
+                "kernel invariant: a running job must have a start time"
+            );
+            let elapsed = now - s.started_at;
             let remaining = s.remaining - elapsed;
             if remaining <= 0 {
                 // The job is finishing at this very instant — its finish
@@ -528,85 +825,125 @@ impl<'a> Simulator<'a> {
                 remaining,
                 preemptions: s.preemptions,
             };
-            let rank = self.policy.preempt_rank(&view);
+            // Once the memo horizon has already collapsed to `now`,
+            // further validity bookkeeping buys nothing — take the
+            // cheaper rank-only path.
+            let rank = if valid_until > now {
+                let (rank, stable) = self.policy.preempt_rank_with_validity(&view, now);
+                valid_until = valid_until.min(stable.unwrap_or(now));
+                rank
+            } else {
+                self.policy.preempt_rank(&view)
+            };
             if rank.total_cmp(&head_rank) == std::cmp::Ordering::Greater {
                 victims.push((rank, idx));
             }
         }
-        victims.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        victims.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        self.preempt_with_victims(head, vc, now, victims, valid_until)
+    }
 
-        // Dry-run on a pool clone: how many victims must go?
-        let mut trial = self.vcs[vc].pool.clone();
-        let mut needed = Vec::new();
+    /// Shared tail of the preemption decision: dry-run the (rank-sorted)
+    /// victim list on an undo-logged pool trial; on success evict the
+    /// needed prefix and start the head, on failure memoize the blocked
+    /// verdict under `valid_until`.
+    fn preempt_with_victims(
+        &mut self,
+        head: usize,
+        vc: usize,
+        now: i64,
+        victims: Vec<(f64, usize)>,
+        valid_until: i64,
+    ) -> bool {
         let g = self.states[head].job.gpus;
-        if trial.try_place(g, self.placement).is_none() {
+        // The caller's placement attempt just failed, so the head cannot
+        // start without evictions: no victims means no preemption, with
+        // no pool work at all.
+        let mut needed_len = 0usize;
+        let placed = if victims.is_empty() {
+            false
+        } else {
+            let mut log = std::mem::take(&mut self.trial_log);
+            let VcState {
+                pool,
+                running_allocs,
+                ..
+            } = &mut self.vcs[vc];
+            let mut trial = pool.trial_in(&mut log);
             let mut placed = false;
-            for &(_, idx) in &victims {
-                trial.release(
-                    self.states[idx]
-                        .alloc
-                        .as_ref()
-                        .expect("kernel invariant: a running job must hold an allocation"),
-                );
-                needed.push(idx);
-                if trial.try_place(g, self.placement).is_some() {
+            for &(_, idx) in victims.iter() {
+                trial.release(&running_allocs[self.states[idx].run_slot as usize]);
+                needed_len += 1;
+                if trial.fits(g) {
                     placed = true;
                     break;
                 }
             }
-            if !placed {
-                return false;
+            drop(trial);
+            self.trial_log = log;
+            placed
+        };
+        if !placed {
+            if self.memo_enabled && now < valid_until {
+                self.vcs[vc].memo = Some(BlockedMemo {
+                    head,
+                    valid_until,
+                    victims,
+                });
+            } else {
+                self.scratch_victims = victims;
             }
+            return false;
         }
+        // The head is the queue top: `schedule_vc` peeked it and nothing
+        // has touched the queue since. Extract it *before* the victims
+        // re-queue (whose fresh keys could sort above it), replacing the
+        // old full drain-and-reinsert hunt. It stays logically queued
+        // (`held_head`) until it starts, so the queue-length views the
+        // preempt hooks observe match the pre-rewrite kernel exactly.
+        let head_entry = self.vcs[vc]
+            .queue
+            .pop()
+            .expect("kernel invariant: the blocked head must still be queued");
+        debug_assert_eq!(
+            head_entry.1, head,
+            "kernel invariant: head is the queue top"
+        );
+        self.vcs[vc].held_head = true;
         // Apply: preempt the needed victims for real.
-        for idx in needed {
+        for &(_, idx) in victims.iter().take(needed_len) {
             let s = &mut self.states[idx];
-            let elapsed = now
-                - s.started_at
-                    .take()
-                    .expect("kernel invariant: a preemption victim must be running");
+            debug_assert!(
+                s.started_at != UNSET,
+                "kernel invariant: a preemption victim must be running"
+            );
+            let elapsed = now - s.started_at;
+            s.started_at = UNSET;
             s.remaining -= elapsed;
             debug_assert!(s.remaining > 0);
             s.epoch += 1; // invalidate the in-flight finish event
             s.preemptions += 1;
-            let alloc = s
-                .alloc
-                .take()
-                .expect("kernel invariant: a preemption victim must hold an allocation");
             let job = s.job;
-            self.vcs[vc].pool.release(&alloc);
-            self.vcs[vc].running.retain(|&r| r != idx);
+            let alloc = self.remove_running(vc, idx);
+            self.release_on(vc, &alloc);
             let key = Key(
                 self.policy.queue_key(&self.states[idx].view()),
                 self.states[idx].job.id,
             );
-            self.vcs[vc].queue.push(Reverse((key, idx)));
-            let view = ClusterView::new(&self.vcs);
+            self.vcs[vc].queue.push((key, idx));
+            self.stats.queued_jobs += 1;
+            let view = ClusterView::new(&self.vcs, &self.stats);
             self.policy.on_preempt(&job, now, &view);
             for obs in &mut self.observers {
                 obs.on_event(&SimEvent::Preempt { job, now }, &view);
             }
         }
-        let alloc = self.vcs[vc]
-            .pool
-            .try_place(g, self.placement)
+        self.scratch_victims = victims;
+        self.vcs[vc].held_head = false;
+        self.stats.queued_jobs -= 1;
+        let alloc = self
+            .place_on(vc, g)
             .expect("kernel invariant: the preemption dry-run guaranteed placement");
-        // Remove the head from the queue (for the built-in policies it is
-        // the top entry; a custom policy with inconsistent key/rank
-        // orderings may have re-queued a victim above it).
-        let mut stash = Vec::new();
-        loop {
-            let Some(Reverse((key, idx))) = self.vcs[vc].queue.pop() else {
-                unreachable!("kernel invariant: the blocked head must still be queued")
-            };
-            if idx == head {
-                break;
-            }
-            stash.push(Reverse((key, idx)));
-        }
-        for e in stash {
-            self.vcs[vc].queue.push(e);
-        }
         self.start_job(head, alloc, now);
         true
     }
@@ -616,77 +953,92 @@ impl<'a> Simulator<'a> {
     /// fit now and (by their ground-truth duration) finish before the
     /// shadow time.
     fn backfill_vc(&mut self, vc: usize, now: i64) {
-        let Some(&Reverse((_, head))) = self.vcs[vc].queue.peek() else {
+        let Some(&(_, head)) = self.vcs[vc].queue.peek() else {
             return;
         };
-        // Shadow time: release running jobs in end order on a clone until
-        // the head fits.
-        let mut trial = self.vcs[vc].pool.clone();
+        if self.vcs[vc].pool.free_gpus() == 0 {
+            return; // nothing can backfill into a fully-busy VC
+        }
+        // Shadow time: release running jobs in end order on an undo-logged
+        // trial until the head fits.
         let head_g = self.states[head].job.gpus;
-        let mut ends: Vec<(i64, usize)> = self.vcs[vc]
-            .running
-            .iter()
-            .map(|&idx| {
-                let s = &self.states[idx];
-                let started = s
-                    .started_at
-                    .expect("kernel invariant: a running job must have a start time");
-                (started + s.remaining, idx)
-            })
-            .collect();
+        let mut ends = std::mem::take(&mut self.scratch_ends);
+        ends.clear();
+        ends.extend(self.vcs[vc].running.iter().map(|&idx| {
+            let s = &self.states[idx];
+            debug_assert!(
+                s.started_at != UNSET,
+                "kernel invariant: a running job must have a start time"
+            );
+            (s.started_at + s.remaining, idx)
+        }));
         ends.sort_unstable();
         let mut shadow = i64::MAX;
-        for &(end, idx) in &ends {
-            trial.release(
-                self.states[idx]
-                    .alloc
-                    .as_ref()
-                    .expect("kernel invariant: a running job must hold an allocation"),
-            );
-            if trial.try_place(head_g, self.placement).is_some() {
-                shadow = end;
-                break;
+        {
+            let mut log = std::mem::take(&mut self.trial_log);
+            let VcState {
+                pool,
+                running_allocs,
+                ..
+            } = &mut self.vcs[vc];
+            let mut trial = pool.trial_in(&mut log);
+            for &(end, idx) in ends.iter() {
+                trial.release(&running_allocs[self.states[idx].run_slot as usize]);
+                if trial.fits(head_g) {
+                    shadow = end;
+                    break;
+                }
             }
+            drop(trial);
+            self.trial_log = log;
         }
+        self.scratch_ends = ends;
         if shadow == i64::MAX {
             return; // head can never start: nothing safe to backfill
         }
-        // Scan the queue (in priority order) for safe candidates.
-        let mut rest: Vec<Reverse<(Key, usize)>> = Vec::new();
+        // Scan up to BACKFILL_SCAN queue positions behind the head (in
+        // priority order) for safe candidates. The head is held aside —
+        // its entry re-enters unchanged — and the scan stops early once
+        // the pool has no free GPUs left to hand out.
+        let head_entry = self.vcs[vc]
+            .queue
+            .pop()
+            .expect("kernel invariant: the peeked head is still queued");
+        let mut rest = std::mem::take(&mut self.scratch_rest);
+        rest.clear();
         let mut scanned = 0;
-        let mut skipped_head = false;
-        while let Some(entry) = self.vcs[vc].queue.pop() {
-            let Reverse((key, idx)) = entry;
-            if !skipped_head {
-                // Keep the head aside; it stays first in the queue.
-                skipped_head = true;
-                rest.push(Reverse((key, idx)));
-                continue;
-            }
+        while scanned < BACKFILL_SCAN {
+            let Some((key, idx)) = self.vcs[vc].queue.pop() else {
+                break;
+            };
             scanned += 1;
             let fits_time = now + self.states[idx].remaining <= shadow;
-            if fits_time && scanned <= BACKFILL_SCAN {
-                if let Some(alloc) = self.vcs[vc]
-                    .pool
-                    .try_place(self.states[idx].job.gpus, self.placement)
-                {
+            if fits_time {
+                if let Some(alloc) = self.place_on(vc, self.states[idx].job.gpus) {
+                    self.stats.queued_jobs -= 1;
                     self.start_job(idx, alloc, now);
+                    if self.vcs[vc].pool.free_gpus() == 0 {
+                        break;
+                    }
                     continue;
                 }
             }
-            rest.push(Reverse((key, idx)));
-            if scanned >= BACKFILL_SCAN {
-                break;
-            }
+            rest.push((key, idx));
         }
-        for e in rest {
+        self.vcs[vc].queue.push(head_entry);
+        for e in rest.drain(..) {
             self.vcs[vc].queue.push(e);
         }
+        self.scratch_rest = rest;
     }
 }
 
 /// Maximum queue positions scanned for backfill candidates.
 const BACKFILL_SCAN: usize = 64;
+
+/// Running-set size above which blocked-head memoization stops computing
+/// rank-stability horizons (see `try_preempt_for`).
+const MEMO_SCAN_LIMIT: usize = 512;
 
 /// Run one simulation to completion with an arbitrary policy object.
 pub fn simulate_with(
@@ -958,6 +1310,32 @@ mod tests {
         assert_eq!(r.outcomes[1].start, 10_000, "fresh job preempts");
         assert_eq!(r.outcomes[0].preemptions, 1);
         assert_eq!(r.outcomes[0].end, 20_100);
+    }
+
+    #[test]
+    fn preempt_hooks_count_the_held_head_as_queued() {
+        // During a preemption apply, the blocked head is extracted from
+        // the queue heap but has not started — observers at the Preempt
+        // event must still count it as queued (the historical kernel kept
+        // it in the heap until it started). At t=10_000 the fresh job 1
+        // evicts runner 0: the Preempt sample sees queue_len == 2 (held
+        // head 1 + requeued victim 0).
+        struct PreemptQueueLen(Vec<(usize, usize)>);
+        impl SimObserver for PreemptQueueLen {
+            fn on_event(&mut self, event: &SimEvent, cluster: &ClusterView<'_>) {
+                if matches!(event, SimEvent::Preempt { .. }) {
+                    self.0.push((cluster.queue_len(), cluster.vc_queue_len(0)));
+                }
+            }
+        }
+        let jobs = vec![job(0, 8, 0, 20_000), job(1, 8, 10_000, 100)];
+        let mut obs = PreemptQueueLen(Vec::new());
+        let mut sim = Simulator::new(&spec(1), Box::new(TiresiasPolicy::default()));
+        sim.observe(Box::new(&mut obs));
+        sim.push_jobs(&jobs).unwrap();
+        sim.run_to_completion();
+        drop(sim);
+        assert_eq!(obs.0, vec![(2, 2)], "held head + requeued victim");
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod engine;
+mod heap;
 pub mod job;
 pub mod metrics;
 pub mod observer;

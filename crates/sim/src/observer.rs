@@ -22,19 +22,24 @@
 //! # Ok::<(), helios_trace::HeliosError>(())
 //! ```
 
-use crate::engine::VcState;
+use crate::engine::{ClusterStats, VcState};
 use crate::job::{JobOutcome, SimJob};
 use helios_trace::{HeliosError, HeliosResult};
 
 /// Read-only window onto the live cluster state, handed to policies and
 /// observers at every event.
+///
+/// Every query is O(1): the cluster-wide counts come from incrementally
+/// maintained kernel aggregates (no per-event re-summation over VCs or
+/// nodes), the per-VC counts from the pools' maintained aggregates.
 pub struct ClusterView<'a> {
     vcs: &'a [VcState],
+    stats: &'a ClusterStats,
 }
 
 impl<'a> ClusterView<'a> {
-    pub(crate) fn new(vcs: &'a [VcState]) -> Self {
-        ClusterView { vcs }
+    pub(crate) fn new(vcs: &'a [VcState], stats: &'a ClusterStats) -> Self {
+        ClusterView { vcs, stats }
     }
 
     /// Number of virtual clusters.
@@ -44,25 +49,31 @@ impl<'a> ClusterView<'a> {
 
     /// Cluster-wide count of nodes with at least one busy GPU.
     pub fn busy_nodes(&self) -> u32 {
-        self.vcs.iter().map(|v| v.pool.busy_nodes()).sum()
+        self.stats.busy_nodes
     }
 
     /// Cluster-wide node count.
     pub fn total_nodes(&self) -> u32 {
-        self.vcs.iter().map(|v| v.pool.nodes()).sum()
+        self.stats.total_nodes
     }
 
     /// Cluster-wide busy GPUs.
     pub fn busy_gpus(&self) -> u32 {
-        self.vcs
-            .iter()
-            .map(|v| v.pool.capacity() - v.pool.free_gpus())
-            .sum()
+        self.stats.busy_gpus
     }
 
     /// Cluster-wide GPU capacity.
     pub fn capacity_gpus(&self) -> u32 {
-        self.vcs.iter().map(|v| v.pool.capacity()).sum()
+        self.stats.capacity_gpus
+    }
+
+    /// Cluster-wide GPU utilization in `\[0, 1\]` (0 on an empty cluster).
+    pub fn utilization(&self) -> f64 {
+        if self.stats.capacity_gpus == 0 {
+            0.0
+        } else {
+            self.stats.busy_gpus as f64 / self.stats.capacity_gpus as f64
+        }
     }
 
     /// Busy GPUs in one VC.
@@ -76,19 +87,20 @@ impl<'a> ClusterView<'a> {
         self.vcs[vc].pool.capacity()
     }
 
-    /// Queued (not running) jobs in one VC.
+    /// Queued (not running) jobs in one VC. A blocked head briefly held
+    /// aside during a preemption apply still counts as queued.
     pub fn vc_queue_len(&self, vc: usize) -> usize {
-        self.vcs[vc].queue.len()
+        self.vcs[vc].queue.len() + usize::from(self.vcs[vc].held_head)
     }
 
     /// Queued jobs across all VCs.
     pub fn queue_len(&self) -> usize {
-        self.vcs.iter().map(|v| v.queue.len()).sum()
+        self.stats.queued_jobs
     }
 
     /// Running jobs across all VCs.
     pub fn running_jobs(&self) -> usize {
-        self.vcs.iter().map(|v| v.running.len()).sum()
+        self.stats.running_jobs
     }
 }
 

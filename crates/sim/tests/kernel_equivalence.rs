@@ -104,6 +104,51 @@ fn policy_object_path_is_identical_to_enum_path() {
     }
 }
 
+#[test]
+fn blocked_head_memo_is_outcome_invisible() {
+    // The kernel memoizes failed blocked-head decisions (skipping victim
+    // re-scans) whenever the policy grants rank-stability horizons. The
+    // memo must be a pure optimization: outcomes with it enabled are
+    // byte-identical to exhaustive per-event re-scanning, for preemptive
+    // policies with stable ranks (Tiresias), drifting ranks (SRTF), and
+    // non-preemptive policies (FIFO/SJF) alike.
+    use helios_sim::{FifoPolicy, SjfPolicy, SrtfPolicy, TiresiasPolicy};
+    type Ctor = fn() -> Box<dyn helios_sim::SchedulingPolicy>;
+    let ctors: [Ctor; 5] = [
+        || Box::new(TiresiasPolicy::default()),
+        || {
+            Box::new(TiresiasPolicy {
+                quantum: 500.0, // frequent level crossings: short horizons
+                levels: 6,
+            })
+        },
+        || Box::new(SrtfPolicy),
+        || Box::new(FifoPolicy),
+        || Box::new(SjfPolicy),
+    ];
+    for preset in [venus(), saturn()] {
+        for seed in [11u64, 23, 47] {
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let jobs = random_jobs(&preset, 400, &mut rng);
+            for ctor in &ctors {
+                let run = |memo: bool| {
+                    let mut sim = Simulator::new(&preset, ctor());
+                    sim.set_blocked_memo(memo);
+                    sim.push_jobs(&jobs).expect("valid workload");
+                    sim.run_to_completion();
+                    sim.drain_outcomes()
+                };
+                let with_memo = run(true);
+                let without = run(false);
+                assert_eq!(
+                    with_memo, without,
+                    "seed {seed}: memoized and exhaustive scans must agree"
+                );
+            }
+        }
+    }
+}
+
 /// Records the raw event stream for ordering assertions.
 #[derive(Default)]
 struct EventLog {

@@ -1,0 +1,217 @@
+//! Property tests: the bucketed, index-maintained `NodePool` must be
+//! observably identical to the naive O(nodes) scan pool it replaced —
+//! same allocations (including tie-breaks), same aggregates, same
+//! feasibility verdicts — across seeded random place/release sequences,
+//! for both placement policies, 3 seeds × 2 cluster presets. Plus: the
+//! undo-log trial must restore the pool byte-for-byte.
+
+use helios_sim::{Allocation, NodePool, Placement};
+use helios_trace::{saturn, venus};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Verbatim reimplementation of the pre-bucketing scan pool: linear
+/// best-/worst-fit scans over a per-node free vector. This is the
+/// reference semantics the indexed pool must reproduce exactly.
+struct NaivePool {
+    gpus_per_node: u32,
+    free: Vec<u32>,
+}
+
+impl NaivePool {
+    fn new(nodes: u32, gpus_per_node: u32) -> Self {
+        NaivePool {
+            gpus_per_node,
+            free: vec![gpus_per_node; nodes as usize],
+        }
+    }
+
+    fn free_gpus(&self) -> u32 {
+        self.free.iter().sum()
+    }
+
+    fn busy_nodes(&self) -> u32 {
+        self.free
+            .iter()
+            .filter(|&&f| f < self.gpus_per_node)
+            .count() as u32
+    }
+
+    fn try_place(&mut self, g: u32, placement: Placement) -> Option<Vec<(u32, u32)>> {
+        assert!(g >= 1);
+        if g < self.gpus_per_node {
+            let candidate = match placement {
+                Placement::Consolidate => self
+                    .free
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &f)| f >= g)
+                    .min_by_key(|(_, &f)| f),
+                Placement::Scatter => self
+                    .free
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &f)| f >= g)
+                    .max_by_key(|(_, &f)| f),
+            };
+            let (idx, _) = candidate?;
+            self.free[idx] -= g;
+            return Some(vec![(idx as u32, g)]);
+        }
+        let full_nodes = (g / self.gpus_per_node) as usize;
+        let rem = g % self.gpus_per_node;
+        let empty: Vec<usize> = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f == self.gpus_per_node)
+            .map(|(i, _)| i)
+            .collect();
+        if empty.len() < full_nodes {
+            return None;
+        }
+        let mut slices: Vec<(u32, u32)> = empty[..full_nodes]
+            .iter()
+            .map(|&i| (i as u32, self.gpus_per_node))
+            .collect();
+        if rem > 0 {
+            let chosen: Vec<usize> = empty[..full_nodes].to_vec();
+            let candidate = self
+                .free
+                .iter()
+                .enumerate()
+                .filter(|(i, &f)| f >= rem && !chosen.contains(i))
+                .min_by_key(|(_, &f)| f);
+            let (idx, _) = candidate?;
+            slices.push((idx as u32, rem));
+        }
+        for &(i, g) in &slices {
+            self.free[i as usize] -= g;
+        }
+        Some(slices)
+    }
+
+    fn release(&mut self, slices: &[(u32, u32)]) {
+        for &(i, g) in slices {
+            self.free[i as usize] += g;
+            assert!(self.free[i as usize] <= self.gpus_per_node);
+        }
+    }
+}
+
+/// Drive both pools through an identical random op sequence and compare
+/// every observable after every op.
+fn drive(nodes: u32, gpus_per_node: u32, placement: Placement, seed: u64, ops: usize) {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut indexed = NodePool::new(nodes, gpus_per_node);
+    let mut naive = NaivePool::new(nodes, gpus_per_node);
+    let mut live: Vec<Allocation> = Vec::new();
+    let max_g = 4 * gpus_per_node;
+    for step in 0..ops {
+        let place = live.is_empty() || rng.gen_range(0..100) < 55;
+        if place {
+            let g = match rng.gen_range(0..6) {
+                0 => 1,
+                1 => rng.gen_range(1..=gpus_per_node.max(2) - 1).max(1),
+                2 => gpus_per_node,
+                _ => rng.gen_range(1..=max_g),
+            };
+            let fits_before = indexed.fits(g);
+            let a = indexed.try_place(g, placement);
+            let b = naive.try_place(g, placement);
+            assert_eq!(
+                a.as_ref().map(|x| x.slices().to_vec()),
+                b,
+                "seed {seed} step {step}: placement of {g} GPUs diverged"
+            );
+            assert_eq!(
+                fits_before,
+                a.is_some(),
+                "seed {seed} step {step}: fits({g}) must predict try_place"
+            );
+            if let Some(a) = a {
+                live.push(a);
+            }
+        } else {
+            let i = rng.gen_range(0..live.len());
+            let a = live.swap_remove(i);
+            naive.release(a.slices());
+            indexed.release(&a);
+        }
+        assert_eq!(
+            indexed.free_gpus(),
+            naive.free_gpus(),
+            "seed {seed} step {step}"
+        );
+        assert_eq!(
+            indexed.busy_nodes(),
+            naive.busy_nodes(),
+            "seed {seed} step {step}"
+        );
+    }
+}
+
+#[test]
+fn bucketed_pool_matches_naive_scan_pool() {
+    // "Presets": the Venus and Saturn node counts with the DGX-1 8-GPU
+    // layout the paper's clusters share (Table 1).
+    let presets = [(venus().nodes, 8u32), (saturn().nodes, 8u32)];
+    for (nodes, gpn) in presets {
+        for seed in [1u64, 7, 42] {
+            for placement in [Placement::Consolidate, Placement::Scatter] {
+                drive(nodes, gpn, placement, seed, 2_000);
+            }
+        }
+    }
+}
+
+#[test]
+fn odd_gpu_layouts_match_too() {
+    // Non-power-of-two and tiny layouts exercise the bucket edge cases.
+    for (nodes, gpn) in [(7u32, 3u32), (64, 5), (129, 8), (2, 1)] {
+        for placement in [Placement::Consolidate, Placement::Scatter] {
+            drive(nodes, gpn, placement, 1234, 1_000);
+        }
+    }
+}
+
+#[test]
+fn trial_restores_the_pool_exactly_under_random_ops() {
+    let mut rng = ChaCha12Rng::seed_from_u64(99);
+    let mut pool = NodePool::new(saturn().nodes, 8);
+    let mut live: Vec<Allocation> = Vec::new();
+    // Fill to a fragmented mid-load state.
+    for _ in 0..300 {
+        let g = rng.gen_range(1..=16);
+        if let Some(a) = pool.try_place(g, Placement::Consolidate) {
+            live.push(a);
+        }
+    }
+    for round in 0..200 {
+        let snapshot = pool.clone();
+        {
+            let mut trial = pool.trial();
+            // Random interleaving of trial releases (each live allocation
+            // at most once) and trial placements.
+            let mut released: Vec<usize> = Vec::new();
+            for _ in 0..rng.gen_range(1..8) {
+                if rng.gen_bool(0.5) && released.len() < live.len() {
+                    let i = loop {
+                        let i = rng.gen_range(0..live.len());
+                        if !released.contains(&i) {
+                            break i;
+                        }
+                    };
+                    released.push(i);
+                    trial.release(&live[i]);
+                } else {
+                    let g = rng.gen_range(1..=24);
+                    let _ = trial.try_place(g, Placement::Scatter);
+                }
+            }
+        }
+        assert_eq!(pool, snapshot, "round {round}: trial must roll back");
+        assert_eq!(pool.free_gpus(), snapshot.free_gpus());
+        assert_eq!(pool.busy_nodes(), snapshot.busy_nodes());
+    }
+}

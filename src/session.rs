@@ -1,6 +1,7 @@
 //! The unified façade: a fallible builder pipeline over the whole paper —
 //! trace generation → characterization → prediction services → scheduling
-//! → reporting (§4, Fig. 10) — with parallel multi-cluster fan-out.
+//! → reporting (§4, Fig. 10) — with parallel multi-cluster × multi-seed
+//! fan-out over rayon.
 //!
 //! ```no_run
 //! use helios::prelude::*;
@@ -21,6 +22,13 @@
 //! // Five clusters in parallel, one call, one report each.
 //! let reports = Helios::all_clusters().scale(0.05).reports()?;
 //! assert_eq!(reports.len(), 5);
+//!
+//! // Clusters x seeds: one session per pair, fanned out over rayon.
+//! let sweep = Helios::helios_clusters()
+//!     .scale(0.05)
+//!     .seeds([1, 2, 3])
+//!     .run(|session| session.generate()?.schedule(SchedulePolicy::Fifo)?.report())?;
+//! assert_eq!(sweep.len(), 12);
 //! # Ok(())
 //! # }
 //! ```
@@ -790,9 +798,10 @@ impl SessionReport {
     }
 }
 
-/// Builder for a parallel multi-cluster fan-out.
+/// Builder for a parallel multi-cluster (× multi-seed) fan-out.
 pub struct FleetBuilder {
     presets: Vec<Preset>,
+    seeds: Vec<u64>,
     knobs: Knobs,
 }
 
@@ -800,13 +809,22 @@ impl FleetBuilder {
     fn new(presets: Vec<Preset>) -> Self {
         FleetBuilder {
             presets,
+            seeds: Vec::new(),
             knobs: Knobs::default(),
         }
     }
 
     builder_knobs!();
 
-    /// Build one configured (empty) session per cluster.
+    /// Sweep several generator seeds: the fan-out produces one session
+    /// per (cluster, seed) pair, preset-major (`Venus@s1, Venus@s2, …,
+    /// Earth@s1, …`). Without this, the single [`Self::seed`] is used.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Build one configured (empty) session per (cluster, seed) pair.
     pub fn build(self) -> Result<Vec<Session>> {
         if self.presets.is_empty() {
             return Err(HeliosError::empty_input(
@@ -815,57 +833,54 @@ impl FleetBuilder {
             ));
         }
         self.knobs.validate()?;
-        Ok(self
-            .presets
-            .into_iter()
-            .map(|preset| Session {
-                preset,
-                knobs: self.knobs.clone(),
-                trace: None,
-                characterization: None,
-                qssf: None,
-                ces_eval: None,
-                schedules: Vec::new(),
-            })
-            .collect())
+        let seeds = if self.seeds.is_empty() {
+            vec![self.knobs.seed]
+        } else {
+            self.seeds
+        };
+        let mut sessions = Vec::with_capacity(self.presets.len() * seeds.len());
+        for preset in self.presets {
+            for &seed in &seeds {
+                let mut knobs = self.knobs.clone();
+                knobs.seed = seed;
+                sessions.push(Session {
+                    preset,
+                    knobs,
+                    trace: None,
+                    characterization: None,
+                    qssf: None,
+                    ces_eval: None,
+                    schedules: Vec::new(),
+                });
+            }
+        }
+        Ok(sessions)
     }
 
-    /// Run `f` on every cluster's session concurrently (one OS thread per
-    /// cluster), returning results in preset order. The first error wins
-    /// and is tagged with its cluster name.
+    /// Run `f` on every (cluster, seed) session concurrently — the
+    /// fan-out goes through rayon (`par_iter_mut`, one session per
+    /// thread) — returning results in preset-major, seed-minor order.
+    /// The first error wins and is tagged with its cluster name.
     pub fn run<T, F>(self, f: F) -> Result<Vec<T>>
     where
         T: Send,
         F: Fn(&mut Session) -> Result<T> + Send + Sync,
     {
+        use rayon::prelude::*;
         let mut sessions = self.build()?;
-        let f = &f;
-        let handles: Vec<Result<T>> = std::thread::scope(|scope| {
-            let joins: Vec<_> = sessions
-                .iter_mut()
-                .map(|session| {
-                    scope.spawn(move || {
-                        let name = session.preset().name();
-                        f(session).map_err(|e| match e {
-                            // Already tagged by an inner stage.
-                            tagged @ HeliosError::Cluster { .. } => tagged,
-                            other => other.for_cluster(name),
-                        })
-                    })
+        let results: Vec<Result<T>> = sessions
+            .par_iter_mut()
+            .with_min_len(1)
+            .map(|session| {
+                let name = session.preset().name();
+                f(session).map_err(|e| match e {
+                    // Already tagged by an inner stage.
+                    tagged @ HeliosError::Cluster { .. } => tagged,
+                    other => other.for_cluster(name),
                 })
-                .collect();
-            joins
-                .into_iter()
-                .map(|j| {
-                    // A panic is a bug, not a pipeline error: re-raise it on
-                    // the caller's thread instead of disguising it as a
-                    // HeliosError variant.
-                    j.join()
-                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-                })
-                .collect()
-        });
-        handles.into_iter().collect()
+            })
+            .collect();
+        results.into_iter().collect()
     }
 
     /// The standard paper pipeline on every cluster in parallel:

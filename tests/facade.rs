@@ -84,6 +84,37 @@ fn all_clusters_parallel_session_returns_five_reports() {
     }
 }
 
+/// `FleetBuilder::seeds` sweeps clusters × seeds in one rayon fan-out:
+/// one session per (preset, seed) pair, preset-major, each report
+/// stamped with its seed.
+#[test]
+fn fleet_seed_sweep_fans_out_preset_major() {
+    let reports = Helios::clusters([Preset::Venus, Preset::Earth])
+        .scale(0.02)
+        .seeds([3, 4, 5])
+        .run(|session| session.generate()?.report())
+        .unwrap();
+    assert_eq!(reports.len(), 6);
+    let order: Vec<(&str, u64)> = reports
+        .iter()
+        .map(|r| (r.cluster.as_str(), r.seed))
+        .collect();
+    assert_eq!(
+        order,
+        [
+            ("Venus", 3),
+            ("Venus", 4),
+            ("Venus", 5),
+            ("Earth", 3),
+            ("Earth", 4),
+            ("Earth", 5),
+        ]
+    );
+    for r in &reports {
+        assert!(r.jobs > 0, "{}@{}: empty trace", r.cluster, r.seed);
+    }
+}
+
 /// The CES stage produces a Table 5-shaped summary through the façade.
 #[test]
 fn ces_stage_reports_energy_summary() {

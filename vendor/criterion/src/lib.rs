@@ -1,7 +1,10 @@
 //! Offline stand-in for `criterion`: runs each benchmark closure for a
 //! fixed warm-up + measurement budget and prints mean wall-clock time per
 //! iteration. No statistics beyond the mean — it exists so `cargo bench`
-//! compiles and produces usable numbers offline. See `vendor/README.md`.
+//! compiles and produces usable numbers offline. Like real criterion,
+//! `cargo bench -- --test` runs every benchmark exactly once (smoke
+//! mode, no measurement) so CI can exercise bench code cheaply. See
+//! `vendor/README.md`.
 
 use std::time::{Duration, Instant};
 
@@ -11,14 +14,28 @@ pub use std::hint::black_box;
 const MEASURE_TIME: Duration = Duration::from_millis(800);
 const WARMUP_TIME: Duration = Duration::from_millis(200);
 
+/// True when the bench binary was invoked with `--test` (criterion's
+/// smoke mode: run each closure once, skip measurement).
+pub fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Drives one benchmark's iterations.
 pub struct Bencher {
     iters: u64,
     elapsed: Duration,
+    quick: bool,
 }
 
 impl Bencher {
     pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        if self.quick {
+            let start = Instant::now();
+            black_box(f());
+            self.iters = 1;
+            self.elapsed = start.elapsed();
+            return;
+        }
         // Warm-up: also estimates per-iteration cost.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
@@ -62,12 +79,18 @@ impl Criterion {
         name: S,
         mut f: F,
     ) -> &mut Self {
+        let quick = test_mode();
         let mut b = Bencher {
             iters: 0,
             elapsed: Duration::ZERO,
+            quick,
         };
         f(&mut b);
-        report(name.as_ref(), &b);
+        if quick {
+            println!("{:<40} ... ok (smoke)", name.as_ref());
+        } else {
+            report(name.as_ref(), &b);
+        }
         self
     }
 
@@ -97,12 +120,19 @@ impl BenchmarkGroup<'_> {
         name: S,
         mut f: F,
     ) -> &mut Self {
+        let quick = test_mode();
         let mut b = Bencher {
             iters: 0,
             elapsed: Duration::ZERO,
+            quick,
         };
         f(&mut b);
-        report(&format!("{}/{}", self.name, name.as_ref()), &b);
+        let full = format!("{}/{}", self.name, name.as_ref());
+        if quick {
+            println!("{full:<40} ... ok (smoke)");
+        } else {
+            report(&full, &b);
+        }
         self
     }
 

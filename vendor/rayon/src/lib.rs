@@ -1,149 +1,272 @@
-//! Offline stand-in for `rayon`: `par_iter()` returns a sequential bridge
-//! whose combinators have rayon's *signatures* (notably the
-//! `fold(identity_factory, op)` / `reduce(identity_factory, op)` pair), so
-//! call sites written against real rayon compile and produce identical
-//! results, just on one thread. See `vendor/README.md`.
+//! Offline stand-in for `rayon` — now **genuinely parallel**.
+//!
+//! `par_iter()` / `into_par_iter()` / `par_iter_mut()` return an eager
+//! bridge whose combinators have rayon's *signatures* (notably the
+//! `fold(identity_factory, op)` / `reduce(identity_factory, op)` pair and
+//! `with_min_len`), so call sites written against real rayon compile
+//! unchanged. Unlike the old sequential stand-in, `map` / `filter_map` /
+//! `fold` / `for_each` fan their work out over `std::thread::scope`
+//! threads (one contiguous chunk per thread, results re-assembled in
+//! input order) whenever the item count reaches the split threshold.
+//!
+//! Determinism: chunking preserves input order for `map`/`filter_map`,
+//! and `fold` produces one accumulator per chunk (exactly rayon's
+//! per-split accumulator semantics) which `reduce` combines in chunk
+//! order — so integer-exact reductions are bit-identical to sequential
+//! execution, and the chunk policy depends only on the item count,
+//! `with_min_len`, and `available_parallelism`.
+//!
+//! Coarse-grained fan-outs (clusters × policies × seeds in the
+//! experiment harness) call `.with_min_len(1)` to force one item per
+//! chunk; fine-grained numeric loops keep the default threshold so tiny
+//! workloads never pay thread-spawn overhead. See `vendor/README.md`.
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelBridge};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
-/// Sequential stand-in for a rayon parallel iterator.
-pub struct ParallelBridge<I>(I);
+/// Below this many items the bridge runs sequentially unless
+/// `with_min_len` lowers the bar: thread spawns cost ~10µs, so only
+/// fan-outs that are coarse (few, fat items via `with_min_len(1)`) or
+/// wide (many thousands of items) benefit.
+const DEFAULT_MIN_LEN: usize = 4096;
 
-impl<I: Iterator> ParallelBridge<I> {
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParallelBridge<std::iter::Map<I, F>> {
-        ParallelBridge(self.0.map(f))
+fn threads_available() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Split `items` into at most `threads` balanced contiguous runs of at
+/// least `min_len` items; returns `None` (caller runs sequentially) when
+/// fewer than two chunks result.
+fn split_runs<T>(items: Vec<T>, min_len: usize) -> Result<Vec<Vec<T>>, Vec<T>> {
+    let n = items.len();
+    let chunks = threads_available().min(n / min_len.max(1)).max(1);
+    if chunks < 2 {
+        return Err(items);
+    }
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut runs: Vec<Vec<T>> = Vec::with_capacity(chunks);
+    let mut it = items.into_iter();
+    for c in 0..chunks {
+        let take = base + usize::from(c < extra);
+        runs.push(it.by_ref().take(take).collect());
+    }
+    Ok(runs)
+}
+
+/// Run `f` over `items` on scoped threads, preserving input order.
+fn par_map_vec<T, B, F>(items: Vec<T>, min_len: usize, f: F) -> Vec<B>
+where
+    T: Send,
+    B: Send,
+    F: Fn(T) -> B + Sync,
+{
+    let runs = match split_runs(items, min_len) {
+        Err(items) => return items.into_iter().map(f).collect(),
+        Ok(runs) => runs,
+    };
+    let f = &f;
+    let results: Vec<Vec<B>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = runs
+            .into_iter()
+            .map(|run| scope.spawn(move || run.into_iter().map(f).collect::<Vec<B>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Like [`par_map_vec`] but folds each chunk into one accumulator —
+/// rayon's per-split `fold` shape.
+fn par_fold_vec<T, A, ID, F>(items: Vec<T>, min_len: usize, identity: ID, fold_op: F) -> Vec<A>
+where
+    T: Send,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, T) -> A + Sync,
+{
+    let runs = match split_runs(items, min_len) {
+        Err(items) => return vec![items.into_iter().fold(identity(), fold_op)],
+        Ok(runs) => runs,
+    };
+    let identity = &identity;
+    let fold_op = &fold_op;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = runs
+            .into_iter()
+            .map(|run| scope.spawn(move || run.into_iter().fold(identity(), fold_op)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    })
+}
+
+/// Eager parallel bridge over a materialized item list.
+pub struct ParallelBridge<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+impl<T: Send> ParallelBridge<T> {
+    fn new(items: Vec<T>) -> Self {
+        ParallelBridge {
+            items,
+            min_len: DEFAULT_MIN_LEN,
+        }
     }
 
-    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
-        self,
-        f: F,
-    ) -> ParallelBridge<std::iter::FilterMap<I, F>> {
-        ParallelBridge(self.0.filter_map(f))
+    /// rayon's split-granularity knob: chunks hold at least `n` items.
+    /// `with_min_len(1)` forces maximal fan-out — use it for coarse
+    /// fan-outs of few, expensive items.
+    pub fn with_min_len(mut self, n: usize) -> Self {
+        self.min_len = n.max(1);
+        self
     }
 
-    /// rayon-style fold: per-"thread" accumulators seeded by `identity`.
-    /// Sequentially there is exactly one accumulator.
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParallelBridge<std::iter::Once<T>>
+    pub fn map<B, F>(self, f: F) -> ParallelBridge<B>
+    where
+        B: Send,
+        F: Fn(T) -> B + Sync,
+    {
+        ParallelBridge {
+            items: par_map_vec(self.items, self.min_len, f),
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn filter_map<B, F>(self, f: F) -> ParallelBridge<B>
+    where
+        B: Send,
+        F: Fn(T) -> Option<B> + Sync,
+    {
+        let min_len = self.min_len;
+        let mapped = par_map_vec(self.items, min_len, f);
+        ParallelBridge {
+            items: mapped.into_iter().flatten().collect(),
+            min_len,
+        }
+    }
+
+    /// rayon-style fold: one accumulator per parallel chunk, seeded by
+    /// `identity`. Combine the per-chunk accumulators with
+    /// [`reduce`](ParallelBridge::reduce).
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParallelBridge<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
+    {
+        let min_len = self.min_len;
+        ParallelBridge {
+            items: par_fold_vec(self.items, min_len, identity, fold_op),
+            min_len,
+        }
+    }
+
+    /// rayon-style reduce over the materialized items, in order.
+    pub fn reduce<ID, F>(self, identity: ID, reduce_op: F) -> T
     where
         ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
+        F: FnMut(T, T) -> T,
     {
-        ParallelBridge(std::iter::once(self.0.fold(identity(), fold_op)))
+        self.items.into_iter().fold(identity(), reduce_op)
     }
 
-    /// rayon-style reduce over the (single) accumulator stream.
-    pub fn reduce<ID, F>(self, identity: ID, reduce_op: F) -> I::Item
+    pub fn for_each<F>(self, f: F)
     where
-        ID: Fn() -> I::Item,
-        F: FnMut(I::Item, I::Item) -> I::Item,
+        F: Fn(T) + Sync,
     {
-        self.0.fold(identity(), reduce_op)
+        let _ = par_map_vec(self.items, self.min_len, f);
     }
 
-    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-        self,
-        compare: F,
-    ) -> Option<I::Item> {
-        self.0.max_by(compare)
+    pub fn max_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(self, compare: F) -> Option<T> {
+        self.items.into_iter().max_by(compare)
     }
 
-    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-        self,
-        compare: F,
-    ) -> Option<I::Item> {
-        self.0.min_by(compare)
+    pub fn min_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(self, compare: F) -> Option<T> {
+        self.items.into_iter().min_by(compare)
     }
 
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
     }
 
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
     }
 }
 
 /// `collection.par_iter()` for slice-backed collections.
 pub trait IntoParallelRefIterator<'data> {
     type Item: 'data;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter(&'data self) -> ParallelBridge<Self::Iter>;
+    fn par_iter(&'data self) -> ParallelBridge<Self::Item>;
 }
 
-impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
     type Item = &'data T;
-    type Iter = std::slice::Iter<'data, T>;
-    fn par_iter(&'data self) -> ParallelBridge<Self::Iter> {
-        ParallelBridge(self.iter())
+    fn par_iter(&'data self) -> ParallelBridge<&'data T> {
+        ParallelBridge::new(self.iter().collect())
     }
 }
 
-impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     type Item = &'data T;
-    type Iter = std::slice::Iter<'data, T>;
-    fn par_iter(&'data self) -> ParallelBridge<Self::Iter> {
-        ParallelBridge(self.iter())
+    fn par_iter(&'data self) -> ParallelBridge<&'data T> {
+        ParallelBridge::new(self.iter().collect())
+    }
+}
+
+/// `collection.par_iter_mut()` for slice-backed collections.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: 'data;
+    fn par_iter_mut(&'data mut self) -> ParallelBridge<Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> ParallelBridge<&'data mut T> {
+        ParallelBridge::new(self.iter_mut().collect())
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> ParallelBridge<&'data mut T> {
+        ParallelBridge::new(self.iter_mut().collect())
     }
 }
 
 /// `collection.into_par_iter()`.
 pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> ParallelBridge<Self::Iter>;
+    type Item: Send;
+    fn into_par_iter(self) -> ParallelBridge<Self::Item>;
 }
 
-impl<T> IntoParallelIterator for Vec<T> {
+impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> ParallelBridge<Self::Iter> {
-        ParallelBridge(self.into_iter())
+    fn into_par_iter(self) -> ParallelBridge<T> {
+        ParallelBridge::new(self)
     }
 }
 
-impl<A: Clone + Step> IntoParallelIterator for std::ops::Range<A> {
-    type Item = A;
-    type Iter = RangeIter<A>;
-    fn into_par_iter(self) -> ParallelBridge<Self::Iter> {
-        ParallelBridge(RangeIter {
-            cur: self.start,
-            end: self.end,
-        })
-    }
-}
-
-/// Minimal stepping for range `into_par_iter` (usize indices).
-pub trait Step: PartialOrd + Sized {
-    fn next_value(&self) -> Self;
-}
-
-impl Step for usize {
-    fn next_value(&self) -> Self {
-        self + 1
-    }
-}
-
-pub struct RangeIter<A> {
-    cur: A,
-    end: A,
-}
-
-impl<A: Clone + Step> Iterator for RangeIter<A> {
-    type Item = A;
-    fn next(&mut self) -> Option<A> {
-        if self.cur < self.end {
-            let v = self.cur.clone();
-            self.cur = v.next_value();
-            Some(v)
-        } else {
-            None
-        }
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParallelBridge<usize> {
+        ParallelBridge::new(self.collect())
     }
 }
 
@@ -153,12 +276,12 @@ mod tests {
 
     #[test]
     fn fold_reduce_matches_sequential() {
-        let xs: Vec<i64> = (0..100).collect();
+        let xs: Vec<i64> = (0..100_000).collect();
         let total = xs
             .par_iter()
             .fold(|| 0i64, |acc, &x| acc + x)
             .reduce(|| 0i64, |a, b| a + b);
-        assert_eq!(total, 4950);
+        assert_eq!(total, (0..100_000i64).sum());
     }
 
     #[test]
@@ -169,5 +292,43 @@ mod tests {
             .filter_map(|&x| if x > 0.0 { Some(x) } else { None })
             .max_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(best, Some(7.5));
+    }
+
+    #[test]
+    fn map_preserves_order_across_chunks() {
+        let xs: Vec<usize> = (0..50_000).collect();
+        let doubled: Vec<usize> = xs.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled.len(), 50_000);
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn with_min_len_forces_fanout_for_few_items() {
+        // Four coarse items: with_min_len(1) must run them on separate
+        // threads when cores allow (observable via distinct thread ids).
+        let ids: Vec<std::thread::ThreadId> = vec![(), (), (), ()]
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|()| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                std::thread::current().id()
+            })
+            .collect();
+        assert_eq!(ids.len(), 4);
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            >= 4
+        {
+            let unique: std::collections::HashSet<_> = ids.iter().collect();
+            assert!(unique.len() > 1, "expected parallel execution");
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_allows_in_place_updates() {
+        let mut xs: Vec<u64> = (0..10_000).collect();
+        xs.par_iter_mut().with_min_len(1).for_each(|x| *x += 1);
+        assert!(xs.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
     }
 }
