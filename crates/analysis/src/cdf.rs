@@ -3,22 +3,21 @@
 
 use serde::{Deserialize, Serialize};
 
-/// An empirical CDF over `f64` samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Cdf {
-    /// Sorted samples.
-    sorted: Vec<f64>,
+/// A borrowed empirical CDF over an externally-owned **sorted** sample
+/// slice. The fused characterization engine sorts one shared sample
+/// buffer and hands out `CdfView`s, so a dozen figures evaluate against
+/// the same memory instead of each re-collecting and re-sorting its own
+/// `Vec` (use [`Cdf`] when the CDF should own its samples).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfView<'a> {
+    sorted: &'a [f64],
 }
 
-impl Cdf {
-    /// Build from unsorted samples (NaNs are rejected).
-    pub fn new(mut samples: Vec<f64>) -> Self {
-        assert!(
-            samples.iter().all(|x| !x.is_nan()),
-            "CDF samples must not contain NaN"
-        );
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        Cdf { sorted: samples }
+impl<'a> CdfView<'a> {
+    /// Wrap a sorted, NaN-free slice.
+    pub fn from_sorted(sorted: &'a [f64]) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "slice not sorted");
+        CdfView { sorted }
     }
 
     /// Number of samples.
@@ -77,6 +76,81 @@ impl Cdf {
     pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
         points.iter().map(|&x| (x, self.fraction_at(x))).collect()
     }
+}
+
+/// An empirical CDF over `f64` samples (owning; see [`CdfView`] for the
+/// borrowed form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Sorted samples.
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from unsorted samples (NaNs are rejected). The sort uses
+    /// `f64::total_cmp` — robust to any future NaN leak and faster than
+    /// branching on `partial_cmp`'s `Option`.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "CDF samples must not contain NaN"
+        );
+        samples.sort_unstable_by(f64::total_cmp);
+        Cdf { sorted: samples }
+    }
+
+    /// Borrowed view over the sorted samples.
+    pub fn view(&self) -> CdfView<'_> {
+        CdfView {
+            sorted: &self.sorted,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x` (0 for an empty CDF).
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        self.view().fraction_at(x)
+    }
+
+    /// The `q`-quantile (0 <= q <= 1), by the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.view().quantile(q)
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.view().median()
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.view().mean()
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.view().min()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.view().max()
+    }
+
+    /// Evaluate the CDF at `points`, returning `(x, F(x))` pairs — the
+    /// series a figure plots.
+    pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        self.view().series(points)
+    }
 
     /// Log-spaced evaluation grid from `lo` to `hi` (inclusive), `n` points —
     /// the paper's duration CDFs use log-scale x-axes.
@@ -105,7 +179,7 @@ impl WeightedCdf {
         assert!(entries
             .iter()
             .all(|(v, w)| !v.is_nan() && *w >= 0.0 && w.is_finite()));
-        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
         let total = entries.iter().map(|e| e.1).sum();
         WeightedCdf { entries, total }
     }
@@ -136,7 +210,7 @@ impl WeightedCdf {
     /// "CDF of users that consume the cluster resources" of Fig. 8.
     pub fn concentration_curve(&self) -> Vec<(f64, f64)> {
         let mut weights: Vec<f64> = self.entries.iter().map(|e| e.1).collect();
-        weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        weights.sort_by(|a, b| b.total_cmp(a));
         let n = weights.len();
         let mut acc = 0.0;
         weights

@@ -1,0 +1,258 @@
+//! Fused single-pass characterization.
+//!
+//! The figure-by-figure API (`jobs::*`, `users::*`, `clusters::*`) is
+//! faithful to the paper but re-scans the multi-million-job trace once per
+//! statistic — a dozen full traversals, each `Cdf::new` re-collecting and
+//! re-sorting a fresh sample `Vec`. [`characterize`] computes the same
+//! outputs in **one traversal**: every status/class/demand counter, the
+//! per-user and per-VC accumulators, the time-binned utilization and
+//! submission series, and shared duration/size sample buffers that are
+//! sorted once (fanned out over rayon) and served to every figure as a
+//! borrowed [`CdfView`].
+//!
+//! Equivalence with the legacy multi-pass functions is exact — the fused
+//! pass accumulates every sum in the same trace order the per-figure scans
+//! use — and pinned by `tests/fused_equivalence.rs` across seeds and
+//! presets.
+
+use crate::cdf::{CdfView, WeightedCdf};
+use crate::clusters::DailyPattern;
+use crate::jobs::{
+    demand_bucket, shares, status_index, StatusShares, TraceSummary, DEMAND_BUCKETS,
+};
+use crate::timeseries::{hourly_profile, BinnedSeries};
+use crate::users::UserStats;
+use helios_trace::{Trace, SECS_PER_HOUR};
+use rayon::prelude::*;
+
+/// Everything §3 needs from one trace, computed by [`characterize`] in a
+/// single pass.
+#[derive(Debug, Clone)]
+pub struct FusedCharacterization {
+    /// Table 2 row (equals `jobs::summarize(&[trace])`).
+    pub summary: TraceSummary,
+    /// Fig. 2 daily pattern (equals `clusters::daily_pattern`).
+    pub daily: DailyPattern,
+    /// Per-user aggregates, sorted by user id (equals
+    /// `users::per_user_stats`).
+    pub users: Vec<UserStats>,
+    /// Fig. 7(a) CPU-job status shares, percent.
+    pub cpu_status: StatusShares,
+    /// Fig. 7(a) GPU-job status shares, percent.
+    pub gpu_status: StatusShares,
+    /// Fig. 1(b) GPU-*time* status shares, percent.
+    pub gpu_time_status: StatusShares,
+    /// Fig. 7(b) status shares per GPU-demand bucket.
+    pub status_by_demand: Vec<StatusShares>,
+    /// Shared sorted sample buffers behind the [`CdfView`] accessors.
+    gpu_durations: Vec<f64>,
+    cpu_durations: Vec<f64>,
+    gpu_sizes: Vec<f64>,
+    size_by_time: WeightedCdf,
+}
+
+impl FusedCharacterization {
+    /// Fig. 1(a) / 5(a): GPU-job duration CDF.
+    pub fn gpu_duration_cdf(&self) -> CdfView<'_> {
+        CdfView::from_sorted(&self.gpu_durations)
+    }
+
+    /// Fig. 5(b): CPU-job duration CDF.
+    pub fn cpu_duration_cdf(&self) -> CdfView<'_> {
+        CdfView::from_sorted(&self.cpu_durations)
+    }
+
+    /// Fig. 6(a): job-size CDF by job count.
+    pub fn job_size_cdf(&self) -> CdfView<'_> {
+        CdfView::from_sorted(&self.gpu_sizes)
+    }
+
+    /// Fig. 6(b): job-size CDF weighted by GPU time.
+    pub fn job_size_time_cdf(&self) -> &WeightedCdf {
+        &self.size_by_time
+    }
+}
+
+/// One traversal of `trace.jobs` computing every §3 statistic; the
+/// independent finalization groups (sample-buffer sorts, weighted CDF,
+/// hourly folds) fan out over rayon.
+pub fn characterize(trace: &Trace) -> FusedCharacterization {
+    let horizon = trace.calendar.total_seconds();
+    let capacity = trace.total_gpus() as u64;
+    let bin = SECS_PER_HOUR;
+    let num_bins = ((horizon + bin - 1) / bin) as usize;
+
+    // Single-pass accumulators.
+    let mut gpu_jobs = 0u64;
+    let mut cpu_jobs = 0u64;
+    let mut gpus_sum = 0.0f64;
+    let mut max_gpus = 0u32;
+    let mut dur_sum = 0.0f64;
+    let mut max_dur = 0i64;
+    let mut cpu_counts = [0.0f64; 3];
+    let mut gpu_counts = [0.0f64; 3];
+    let mut gpu_time_acc = [0.0f64; 3];
+    let mut demand_acc = vec![[0.0f64; 3]; DEMAND_BUCKETS.len()];
+    let mut user_stats: Vec<UserStats> = Vec::new();
+    let mut user_seen: Vec<bool> = Vec::new();
+    let mut busy = vec![0.0f64; num_bins];
+    let mut submissions = vec![0.0f64; num_bins];
+    let mut gpu_durations = Vec::with_capacity(trace.jobs.len() / 2);
+    let mut cpu_durations = Vec::with_capacity(trace.jobs.len() / 2);
+    let mut gpu_sizes = Vec::with_capacity(trace.jobs.len() / 2);
+    let mut size_time = Vec::with_capacity(trace.jobs.len() / 2);
+
+    for j in &trace.jobs {
+        let uid = j.user as usize;
+        if uid >= user_stats.len() {
+            user_stats.resize_with(uid + 1, UserStats::default);
+            user_seen.resize(uid + 1, false);
+        }
+        if !user_seen[uid] {
+            user_seen[uid] = true;
+            user_stats[uid].user = j.user;
+        }
+        let s = &mut user_stats[uid];
+        let si = status_index(j.status);
+        if j.is_gpu() {
+            let gpu_time = j.gpu_time() as f64;
+            gpu_jobs += 1;
+            gpus_sum += j.gpus as f64;
+            max_gpus = max_gpus.max(j.gpus);
+            dur_sum += j.duration as f64;
+            max_dur = max_dur.max(j.duration);
+            gpu_counts[si] += 1.0;
+            gpu_time_acc[si] += gpu_time;
+            if let Some(b) = demand_bucket(j.gpus) {
+                demand_acc[b][si] += 1.0;
+            }
+            s.gpu_jobs += 1;
+            s.gpu_time += gpu_time;
+            s.queue_delay += j.queue_delay() as f64;
+            if si == 0 {
+                s.completed_gpu_jobs += 1;
+            }
+            gpu_durations.push(j.duration as f64);
+            gpu_sizes.push(j.gpus as f64);
+            size_time.push((j.gpus as f64, gpu_time));
+            // Utilization: same filter and overlap arithmetic as
+            // `timeseries::gpu_utilization_series`.
+            if j.gpus as u64 <= capacity {
+                let (lo, hi) = (j.start.max(0), j.end().min(horizon));
+                if hi > lo {
+                    let first = (lo / bin) as usize;
+                    let last = ((hi - 1) / bin) as usize;
+                    #[allow(clippy::needless_range_loop)] // sparse span of `busy`
+                    for b in first..=last {
+                        let bin_lo = b as i64 * bin;
+                        let bin_hi = bin_lo + bin;
+                        let overlap = (hi.min(bin_hi) - lo.max(bin_lo)) as f64;
+                        busy[b] += overlap * j.gpus as f64;
+                    }
+                }
+            }
+            if j.submit >= 0 && j.submit < horizon {
+                submissions[(j.submit / bin) as usize] += 1.0;
+            }
+        } else {
+            cpu_jobs += 1;
+            cpu_counts[si] += 1.0;
+            s.cpu_jobs += 1;
+            s.cpu_time += j.cpu_time() as f64;
+            cpu_durations.push(j.duration as f64);
+        }
+    }
+
+    // Independent finalization groups, fanned out over rayon: the three
+    // shared sample buffers sort concurrently (each exactly the buffer a
+    // legacy `Cdf::new` would sort).
+    {
+        let mut buffers = [&mut gpu_durations, &mut cpu_durations, &mut gpu_sizes];
+        buffers
+            .par_iter_mut()
+            .with_min_len(1)
+            .for_each(|buf| buf.sort_unstable_by(f64::total_cmp));
+    }
+    let size_by_time = WeightedCdf::new(size_time);
+
+    let denom = (capacity * bin as u64) as f64;
+    let util = BinnedSeries {
+        t0: 0,
+        bin,
+        values: busy.into_iter().map(|b| b / denom).collect(),
+    };
+    let subs = BinnedSeries {
+        t0: 0,
+        bin,
+        values: submissions,
+    };
+    let daily = DailyPattern {
+        cluster: trace.spec.id.name().to_string(),
+        hourly_utilization: hourly_profile(&util)
+            .into_iter()
+            .map(|u| u * 100.0)
+            .collect(),
+        hourly_submissions: hourly_profile(&subs),
+        utilization_std_dev: util.std_dev() * 100.0,
+    };
+
+    let users: Vec<UserStats> = user_seen
+        .iter()
+        .zip(user_stats)
+        .filter_map(|(&seen, s)| seen.then_some(s))
+        .collect();
+
+    FusedCharacterization {
+        summary: TraceSummary {
+            clusters: 1,
+            vcs: trace.spec.num_vcs(),
+            jobs: gpu_jobs + cpu_jobs,
+            gpu_jobs,
+            cpu_jobs,
+            duration_days: trace.calendar.total_days(),
+            avg_gpus: gpus_sum / gpu_jobs.max(1) as f64,
+            max_gpus,
+            avg_duration_s: dur_sum / gpu_jobs.max(1) as f64,
+            max_duration_s: max_dur,
+        },
+        daily,
+        users,
+        cpu_status: shares(cpu_counts),
+        gpu_status: shares(gpu_counts),
+        gpu_time_status: shares(gpu_time_acc),
+        status_by_demand: demand_acc.into_iter().map(shares).collect(),
+        gpu_durations,
+        cpu_durations,
+        gpu_sizes,
+        size_by_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_trace::{generate, venus_profile, GeneratorConfig};
+
+    #[test]
+    fn shapes_and_invariants() {
+        let t = generate(
+            &venus_profile(),
+            &GeneratorConfig {
+                scale: 0.03,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        let f = characterize(&t);
+        assert_eq!(f.summary.jobs, t.jobs.len() as u64);
+        assert_eq!(f.daily.hourly_utilization.len(), 24);
+        assert_eq!(f.status_by_demand.len(), DEMAND_BUCKETS.len());
+        assert_eq!(
+            f.gpu_duration_cdf().len() as u64 + f.cpu_duration_cdf().len() as u64,
+            f.summary.jobs
+        );
+        assert!((f.gpu_status.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        // Users sorted and unique.
+        assert!(f.users.windows(2).all(|w| w[0].user < w[1].user));
+    }
+}

@@ -86,7 +86,7 @@ pub fn job_size_cdfs(trace: &Trace) -> (Cdf, WeightedCdf) {
 /// Status shares in percent, ordered [completed, canceled, failed].
 pub type StatusShares = [f64; 3];
 
-fn shares(counts: [f64; 3]) -> StatusShares {
+pub(crate) fn shares(counts: [f64; 3]) -> StatusShares {
     let total: f64 = counts.iter().sum();
     if total == 0.0 {
         return [0.0; 3];
@@ -98,7 +98,7 @@ fn shares(counts: [f64; 3]) -> StatusShares {
     ]
 }
 
-fn status_index(s: JobStatus) -> usize {
+pub(crate) fn status_index(s: JobStatus) -> usize {
     match s {
         JobStatus::Completed => 0,
         JobStatus::Canceled => 1,

@@ -17,6 +17,7 @@
 
 pub mod cdf;
 pub mod clusters;
+pub mod fused;
 pub mod jobs;
 pub mod quantiles;
 pub mod report;
@@ -24,6 +25,7 @@ pub mod timeseries;
 pub mod users;
 pub mod vc;
 
-pub use cdf::{Cdf, WeightedCdf};
+pub use cdf::{Cdf, CdfView, WeightedCdf};
+pub use fused::{characterize, FusedCharacterization};
 pub use quantiles::BoxStats;
 pub use timeseries::BinnedSeries;

@@ -81,6 +81,18 @@ pub fn gpu_utilization_series(
     t1: i64,
     bin: i64,
 ) -> BinnedSeries {
+    gpu_utilization_series_from(jobs, capacity_gpus, t0, t1, bin)
+}
+
+/// [`gpu_utilization_series`] over any job iterator — callers that already
+/// hold per-VC job references avoid cloning records into a fresh `Vec`.
+pub fn gpu_utilization_series_from<'a>(
+    jobs: impl IntoIterator<Item = &'a JobRecord>,
+    capacity_gpus: u64,
+    t0: i64,
+    t1: i64,
+    bin: i64,
+) -> BinnedSeries {
     assert!(bin > 0 && t1 > t0);
     let n = ((t1 - t0) + bin - 1) / bin;
     let mut busy = vec![0.0f64; n as usize];

@@ -3,8 +3,9 @@
 //! the top-k largest VCs over a stable month.
 
 use crate::quantiles::{min_max_normalize, BoxStats};
-use crate::timeseries::gpu_utilization_series;
+use crate::timeseries::gpu_utilization_series_from;
 use helios_trace::{Trace, VcId, SECS_PER_MINUTE};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Fig. 4 data for one VC.
@@ -26,29 +27,45 @@ pub struct VcBehavior {
 
 /// Fig. 4: behaviors of the `top_k` largest VCs over month `month`.
 /// Utilization is averaged per minute as in the paper.
+///
+/// One pass over the trace gathers per-VC job references (no record
+/// clones, no per-VC re-scan), then the per-VC series fan out over rayon.
 pub fn vc_behaviors(trace: &Trace, month: usize, top_k: usize) -> Vec<VcBehavior> {
     let (lo, hi) = trace.calendar.month_range(month);
     let mut order: Vec<usize> = (0..trace.spec.num_vcs()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(trace.spec.vcs[i].nodes));
     order.truncate(top_k);
 
+    // slot_of[vc] = output position of a selected VC.
+    let mut slot_of = vec![usize::MAX; trace.spec.num_vcs()];
+    for (slot, &vc_idx) in order.iter().enumerate() {
+        slot_of[vc_idx] = slot;
+    }
+    // Single traversal: GPU-job references per selected VC, trace order.
+    let mut occupying: Vec<Vec<&helios_trace::JobRecord>> = vec![Vec::new(); order.len()];
+    for j in trace.gpu_jobs() {
+        let slot = slot_of[j.vc as usize];
+        if slot != usize::MAX {
+            occupying[slot].push(j);
+        }
+    }
+
     order
-        .into_iter()
-        .map(|vc_idx| {
+        .iter()
+        .zip(occupying)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .with_min_len(1)
+        .map(|(&vc_idx, occ)| {
             let vc = vc_idx as VcId;
             let capacity = trace.spec.vc_gpus(vc) as u64;
-            let vc_jobs: Vec<_> = trace
-                .gpu_jobs()
-                .filter(|j| j.vc == vc && j.submit >= lo && j.submit < hi)
-                .collect();
-            let occupying: Vec<_> = trace
-                .jobs
-                .iter()
-                .filter(|j| j.vc == vc && j.is_gpu())
-                .cloned()
-                .collect();
-            let util = gpu_utilization_series(&occupying, capacity, lo, hi, SECS_PER_MINUTE);
+            let util =
+                gpu_utilization_series_from(occ.iter().copied(), capacity, lo, hi, SECS_PER_MINUTE);
             let pct: Vec<f64> = util.values.iter().map(|u| u * 100.0).collect();
+            let vc_jobs: Vec<_> = occ
+                .iter()
+                .filter(|j| j.submit >= lo && j.submit < hi)
+                .collect();
             let n = vc_jobs.len() as f64;
             VcBehavior {
                 vc,

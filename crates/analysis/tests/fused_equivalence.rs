@@ -1,0 +1,97 @@
+//! Equivalence pin: the fused single-pass characterization engine must
+//! reproduce every legacy multi-pass output **exactly** (same floats, not
+//! just close) — summary struct, daily pattern, status shares, demand
+//! buckets, per-user stats, and every shared-buffer CDF — across seeds and
+//! presets. This is the contract that lets the façade switch to the fused
+//! engine without changing a single reported number.
+
+use helios_analysis::{characterize, clusters, jobs, users, Cdf};
+use helios_trace::{earth_profile, generate, venus_profile, GeneratorConfig, Trace};
+
+fn traces() -> Vec<Trace> {
+    let mut out = Vec::new();
+    for profile in [venus_profile(), earth_profile()] {
+        for seed in [3, 17, 2020] {
+            out.push(generate(&profile, &GeneratorConfig { scale: 0.05, seed }).unwrap());
+        }
+    }
+    out
+}
+
+fn assert_cdf_eq(view: helios_analysis::CdfView<'_>, legacy: &Cdf, what: &str) {
+    assert_eq!(view.len(), legacy.len(), "{what}: sample count");
+    if view.is_empty() {
+        return;
+    }
+    assert_eq!(view.min(), legacy.min(), "{what}: min");
+    assert_eq!(view.max(), legacy.max(), "{what}: max");
+    assert_eq!(view.mean(), legacy.mean(), "{what}: mean");
+    for q in [0.01, 0.25, 0.5, 0.9, 0.99] {
+        assert_eq!(view.quantile(q), legacy.quantile(q), "{what}: q{q}");
+    }
+    for x in Cdf::log_grid(1.0, 1.0e7, 25) {
+        assert_eq!(view.fraction_at(x), legacy.fraction_at(x), "{what}: F({x})");
+    }
+}
+
+#[test]
+fn fused_matches_legacy_everywhere() {
+    for trace in traces() {
+        let f = characterize(&trace);
+        let tag = format!("{} (seed path)", trace.spec.id.name());
+
+        // Table 2 summary.
+        assert_eq!(f.summary, jobs::summarize(&[&trace]), "{tag}: summary");
+
+        // Fig. 2 daily pattern.
+        assert_eq!(f.daily, clusters::daily_pattern(&trace), "{tag}: daily");
+
+        // Fig. 7(a) / Fig. 1(b) status shares.
+        let (cpu, gpu) = jobs::status_by_job_class(&[&trace]);
+        assert_eq!(f.cpu_status, cpu, "{tag}: cpu status");
+        assert_eq!(f.gpu_status, gpu, "{tag}: gpu status");
+        assert_eq!(
+            f.gpu_time_status,
+            jobs::gpu_time_by_status(&[&trace]),
+            "{tag}: gpu-time status"
+        );
+
+        // Fig. 7(b) demand buckets.
+        assert_eq!(
+            f.status_by_demand,
+            jobs::status_by_gpu_demand(&[&trace]),
+            "{tag}: demand buckets"
+        );
+
+        // Per-user stats (Figs. 8/9 substrate).
+        assert_eq!(f.users, users::per_user_stats(&trace), "{tag}: user stats");
+
+        // Shared-buffer CDFs vs each legacy re-collect-and-sort.
+        assert_cdf_eq(
+            f.gpu_duration_cdf(),
+            &jobs::gpu_duration_cdf(&trace),
+            "gpu durations",
+        );
+        assert_cdf_eq(
+            f.cpu_duration_cdf(),
+            &jobs::cpu_duration_cdf(&trace),
+            "cpu durations",
+        );
+        let (count_cdf, time_cdf) = jobs::job_size_cdfs(&trace);
+        assert_cdf_eq(f.job_size_cdf(), &count_cdf, "job sizes");
+        assert_eq!(
+            f.job_size_time_cdf(),
+            &time_cdf,
+            "{tag}: size-by-time weighted CDF"
+        );
+
+        // Derived figures the façade reports.
+        let (gpu_curve, _) = users::consumption_curves(&f.users);
+        let (legacy_curve, _) = users::consumption_curves(&users::per_user_stats(&trace));
+        assert_eq!(
+            users::top_share(&gpu_curve, 0.05),
+            users::top_share(&legacy_curve, 0.05),
+            "{tag}: top-5% share"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end façade pipeline throughput: one criterion entry per stage
+//! (generate / characterize / train_qssf / train_ces / schedule / report)
+//! plus the overlapped `Session::pipeline` fast path and the full chain —
+//! the per-stage counterpart of the scale-1.0 numbers in the README
+//! "Performance" table (regenerate those with
+//! `repro --scale 1.0 --bench-json BENCH_pipeline.json pipeline`).
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use helios::prelude::*;
+
+const SCALE: f64 = 0.05;
+const SEED: u64 = 2020;
+
+fn session() -> Session {
+    Helios::cluster(Preset::Saturn)
+        .scale(SCALE)
+        .seed(SEED)
+        .build()
+        .expect("valid config")
+}
+
+fn generated() -> Session {
+    let mut s = session();
+    s.generate().expect("valid config");
+    s
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("generate_saturn", |b| {
+        b.iter(|| {
+            let mut s = session();
+            s.generate().expect("valid config");
+            black_box(s.trace().unwrap().jobs.len())
+        })
+    });
+
+    let base = generated();
+    g.bench_function("characterize", |b| {
+        b.iter(|| {
+            let mut s = base.clone();
+            s.characterize().expect("generated");
+            black_box(s.characterization().is_some())
+        })
+    });
+    g.bench_function("train_qssf", |b| {
+        b.iter(|| {
+            let mut s = base.clone();
+            s.train_qssf().expect("generated");
+            black_box(())
+        })
+    });
+    g.bench_function("train_ces", |b| {
+        b.iter(|| {
+            let mut s = base.clone();
+            s.train_ces().expect("generated");
+            black_box(s.ces_evaluation().map(|e| e.smape))
+        })
+    });
+    g.bench_function("schedule_fifo", |b| {
+        b.iter(|| {
+            let mut s = base.clone();
+            s.schedule(SchedulePolicy::Fifo).expect("generated");
+            black_box(s.schedule_outcomes().len())
+        })
+    });
+    g.bench_function("overlapped_pipeline", |b| {
+        b.iter(|| {
+            let mut s = base.clone();
+            s.pipeline().expect("generated");
+            black_box(s.ces_evaluation().map(|e| e.smape))
+        })
+    });
+    g.bench_function("end_to_end", |b| {
+        b.iter(|| {
+            let report = {
+                let mut s = session();
+                s.pipeline()
+                    .and_then(|s| s.schedule(SchedulePolicy::Fifo))
+                    .and_then(|s| s.schedule(SchedulePolicy::Qssf))
+                    .expect("valid config");
+                s.report().expect("generated")
+            };
+            black_box(report.stage_perf.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -105,6 +105,9 @@ fn parse_args() -> Result<Args, String> {
 /// one record per policy simulation the experiments executed.
 fn write_bench_json(path: &Path, args: &Args, ctx: &Context) -> Result<(), HeliosError> {
     let records: Vec<serde_json::Value> = ctx.bench_records().iter().map(|r| r.to_json()).collect();
+    // Per-stage pipeline records (the `pipeline` experiment): one entry
+    // per (cluster, stage) with the stage's wall seconds.
+    let stages: Vec<serde_json::Value> = ctx.stage_records().iter().map(|r| r.to_json()).collect();
     // Scheduler experiments fan clusters x policies out over rayon, so
     // wall times include sibling-simulation contention: record the host
     // parallelism so trajectories are only compared like-for-like.
@@ -119,6 +122,7 @@ fn write_bench_json(path: &Path, args: &Args, ctx: &Context) -> Result<(), Helio
         "parallelism": parallelism,
         "note": "wall_secs measured under the parallel clusters x policies fan-out; compare only across runs with the same fan-out shape and parallelism",
         "runs": records,
+        "stages": stages,
     });
     let rendered = serde_json::to_string_pretty(&doc).map_err(|e| HeliosError::Io {
         context: format!("serializing {}", path.display()),
@@ -189,11 +193,17 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &args.bench_json {
         let n = ctx.bench_records().len();
+        let s = ctx.stage_records().len();
         if let Err(e) = write_bench_json(path, &args, &ctx) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!("bench: {} policy-run records in {}", n, path.display());
+        eprintln!(
+            "bench: {} policy-run and {} stage records in {}",
+            n,
+            s,
+            path.display()
+        );
     }
     eprintln!(
         "done: {} experiment(s), scale {}, seed {}, reports in {}",

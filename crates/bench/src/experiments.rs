@@ -65,6 +65,28 @@ impl PolicyRunPerf {
     }
 }
 
+/// Wall time of one façade pipeline stage on one cluster — the per-stage
+/// records the `pipeline` experiment feeds into `repro --bench-json`
+/// (the BENCH_pipeline.json trajectory).
+#[derive(Debug, Clone)]
+pub struct StagePerfRecord {
+    pub cluster: String,
+    /// Stage label (`generate`, `characterize`, `train_qssf`, `train_ces`,
+    /// `schedule:<policy>`, `report`, `pipeline`, or `total`).
+    pub stage: String,
+    pub wall_secs: f64,
+}
+
+impl StagePerfRecord {
+    pub fn to_json(&self) -> serde_json::Value {
+        json!({
+            "cluster": self.cluster.clone(),
+            "stage": self.stage.clone(),
+            "wall_secs": self.wall_secs,
+        })
+    }
+}
+
 /// Stable FNV-1a fingerprint of a scheduling result.
 pub fn outcome_digest(outcomes: &[helios_sim::JobOutcome]) -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -101,6 +123,7 @@ pub struct Context {
     sched_philly: Option<SchedulerRun>,
     ces: Option<Vec<(String, CesEvaluation)>>,
     ces_philly: Option<(String, CesEvaluation)>,
+    stages: Vec<StagePerfRecord>,
 }
 
 impl Context {
@@ -120,6 +143,7 @@ impl Context {
             sched_philly: None,
             ces: None,
             ces_philly: None,
+            stages: Vec::new(),
         })
     }
 
@@ -268,6 +292,12 @@ impl Context {
             out.extend(run.perf.iter());
         }
         out
+    }
+
+    /// Per-stage wall-time records produced by the `pipeline` experiment
+    /// (empty unless it ran) — serialized into `repro --bench-json`.
+    pub fn stage_records(&self) -> &[StagePerfRecord] {
+        &self.stages
     }
 
     /// CES evaluations: September 1–21 on each Helios cluster, one
@@ -1584,10 +1614,90 @@ fn ablation_backfill(ctx: &mut Context) -> ExperimentOutput {
     }
 }
 
-/// Experiments not covered by a paper artifact id: predictor quality and
-/// ablations. Run by `all` after [`ALL_EXPERIMENTS`], and listed by the
-/// `repro` binary — one source of truth so the lists cannot drift.
-pub const EXTRA_EXPERIMENTS: [&str; 3] = ["pred-ces", "ablation-lambda", "ablation-backfill"];
+// ---------------------------------------------------------------------------
+// End-to-end pipeline throughput
+// ---------------------------------------------------------------------------
+
+/// Full façade pipeline per Helios cluster with per-stage wall times:
+/// `generate → (characterize ∥ train_qssf ∥ train_ces) → schedule(FIFO,
+/// QSSF) → report`, one `Session::pipeline` run per cluster. Regenerates
+/// the README "Performance" per-stage table; `repro --bench-json` persists
+/// the records (the `BENCH_pipeline.json` trajectory).
+fn pipeline_exp(ctx: &mut Context) -> ExperimentOutput {
+    use helios::prelude::*;
+    let mut rows: Vec<StagePerfRecord> = Vec::new();
+    let mut table = TextTable::new(vec!["stage", "Venus", "Earth", "Saturn", "Uranus"]);
+    let mut per_cluster: Vec<(String, Vec<(String, f64)>)> = Vec::new();
+    for preset in Preset::HELIOS {
+        let total = Instant::now();
+        let mut session = Helios::cluster(preset)
+            .scale(ctx.cfg.scale)
+            .seed(ctx.cfg.seed)
+            .build()
+            .expect("config validated in Context::new");
+        session
+            .pipeline()
+            .and_then(|s| s.schedule(SchedulePolicy::Fifo))
+            .and_then(|s| s.schedule(SchedulePolicy::Qssf))
+            .expect("pipeline stages on a valid config");
+        let report = session.report().expect("trace generated");
+        let mut stages: Vec<(String, f64)> = report
+            .stage_perf
+            .iter()
+            .map(|s| (s.stage.clone(), s.wall_secs))
+            .collect();
+        stages.push(("total".into(), total.elapsed().as_secs_f64()));
+        for (stage, wall_secs) in &stages {
+            rows.push(StagePerfRecord {
+                cluster: preset.name().to_string(),
+                stage: stage.clone(),
+                wall_secs: *wall_secs,
+            });
+        }
+        per_cluster.push((preset.name().to_string(), stages));
+    }
+    let stage_order: Vec<String> = per_cluster[0].1.iter().map(|(s, _)| s.clone()).collect();
+    for stage in &stage_order {
+        let cells: Vec<String> = per_cluster
+            .iter()
+            .map(|(_, stages)| {
+                stages
+                    .iter()
+                    .find(|(s, _)| s == stage)
+                    .map(|(_, w)| format!("{w:.3}s"))
+                    .unwrap_or_else(|| "-".into())
+            })
+            .collect();
+        table.row(
+            std::iter::once(stage.clone())
+                .chain(cells)
+                .collect::<Vec<_>>(),
+        );
+    }
+    let data = json!(rows.iter().map(|r| r.to_json()).collect::<Vec<_>>());
+    ctx.stages = rows;
+    ExperimentOutput {
+        id: "pipeline".into(),
+        text: format!(
+            "Pipeline throughput: per-stage wall time of the full session \
+             (scale {}, characterize/train stages overlapped via Session::pipeline)\n{}",
+            ctx.cfg.scale,
+            table.render()
+        ),
+        data,
+    }
+}
+
+/// Experiments not covered by a paper artifact id: predictor quality,
+/// ablations, and the end-to-end pipeline throughput probe. Run by `all`
+/// after [`ALL_EXPERIMENTS`], and listed by the `repro` binary — one
+/// source of truth so the lists cannot drift.
+pub const EXTRA_EXPERIMENTS: [&str; 4] = [
+    "pred-ces",
+    "ablation-lambda",
+    "ablation-backfill",
+    "pipeline",
+];
 
 /// All experiment ids, in DESIGN.md order.
 pub const ALL_EXPERIMENTS: [&str; 20] = [
@@ -1640,6 +1750,7 @@ pub fn run(id: &str, ctx: &mut Context) -> Result<Vec<ExperimentOutput>, HeliosE
         "pred-ces" => vec![pred_ces(ctx)],
         "ablation-lambda" => vec![ablation_lambda(ctx)],
         "ablation-backfill" => vec![ablation_backfill(ctx)],
+        "pipeline" => vec![pipeline_exp(ctx)],
         "all" => {
             let mut out = Vec::new();
             for id in ALL_EXPERIMENTS.iter().chain(&EXTRA_EXPERIMENTS) {

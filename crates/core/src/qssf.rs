@@ -11,11 +11,12 @@ use crate::framework::{Action, HistoryStore, Service};
 use helios_predict::features::job::{build_training_matrix, FeatureExtractor};
 use helios_predict::gbdt::{Gbdt, GbdtParams};
 use helios_predict::rolling::RollingEstimator;
+use helios_predict::text::strip_run_suffix;
 use helios_sim::{PriorityPolicy, SchedulingPolicy, SimJob};
-use helios_trace::{HeliosError, HeliosResult, JobRecord, Trace};
+use helios_trace::{HeliosError, HeliosResult, JobRecord, NameId, Trace};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// QSSF configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,6 +58,11 @@ pub struct QssfService {
     extractor: FeatureExtractor,
     rolling: RollingEstimator,
     model: Option<Gbdt>,
+    /// Stripped name stem per interned template name — the rolling
+    /// estimator's key depends only on the template (the display name's
+    /// run suffix is stripped), so it is computed once per template
+    /// instead of allocating a display string per job.
+    stems: HashMap<NameId, String>,
 }
 
 impl QssfService {
@@ -67,7 +73,18 @@ impl QssfService {
             extractor: FeatureExtractor::new(),
             rolling: RollingEstimator::default(),
             model: None,
+            stems: HashMap::new(),
         }
+    }
+
+    /// The job's rolling-estimator stem (`strip_run_suffix` of its display
+    /// name, which equals the stripped base name), cached per template.
+    fn stem<'a>(stems: &'a mut HashMap<NameId, String>, job: &JobRecord, trace: &Trace) -> &'a str {
+        stems.entry(job.name).or_insert_with(|| {
+            // display_name = "{base}_{run}" with a numeric run suffix, so
+            // stripping the display equals stripping the base.
+            strip_run_suffix(trace.names.base(job.name)).to_string()
+        })
     }
 
     /// Train from the jobs of `trace` submitted in `[t_lo, t_hi)`:
@@ -95,12 +112,9 @@ impl QssfService {
         self.rolling = RollingEstimator::default();
         for j in trace.gpu_jobs() {
             if j.end() <= t_hi {
-                self.rolling.observe(
-                    j.user,
-                    &trace.names.display_name(j),
-                    j.gpus,
-                    j.duration as f64,
-                );
+                let stem = Self::stem(&mut self.stems, j, trace);
+                self.rolling
+                    .observe_stem(j.user, stem, j.gpus, j.duration as f64);
             }
         }
         Ok(())
@@ -109,8 +123,8 @@ impl QssfService {
     /// Predicted duration (seconds) for an incoming job — the merged
     /// estimate `lambda * P_R + (1 - lambda) * P_M`.
     pub fn predict_duration(&mut self, job: &JobRecord, trace: &Trace) -> f64 {
-        let name = trace.names.display_name(job);
-        let p_r = self.rolling.estimate(job.user, &name, job.gpus);
+        let stem = Self::stem(&mut self.stems, job, trace);
+        let p_r = self.rolling.estimate_stem(job.user, stem, job.gpus);
         let p_m = match &self.model {
             Some(m) => {
                 let row = self.extractor.extract(job, &trace.names, &trace.calendar);
@@ -129,12 +143,9 @@ impl QssfService {
     /// Record a finished job (updates rolling state and feature statistics —
     /// the Model Update Engine's per-termination data collection).
     pub fn observe(&mut self, job: &JobRecord, trace: &Trace) {
-        self.rolling.observe(
-            job.user,
-            &trace.names.display_name(job),
-            job.gpus,
-            job.duration as f64,
-        );
+        let stem = Self::stem(&mut self.stems, job, trace);
+        self.rolling
+            .observe_stem(job.user, stem, job.gpus, job.duration as f64);
         self.extractor.observe(job, &trace.names);
     }
 

@@ -36,19 +36,17 @@ impl Arima {
         );
         let w = difference(series, d);
         let n = w.len();
-        // Rows: [1, w[t-1], ..., w[t-p]] -> w[t].
-        let mut x = Vec::with_capacity(n - p);
+        // Flat row-major rows: [1, w[t-1], ..., w[t-p]] -> w[t].
+        let mut x = Vec::with_capacity((n - p) * (p + 1));
         let mut y = Vec::with_capacity(n - p);
         for t in p..n {
-            let mut row = Vec::with_capacity(p + 1);
-            row.push(1.0);
+            x.push(1.0);
             for k in 1..=p {
-                row.push(w[t - k]);
+                x.push(w[t - k]);
             }
-            x.push(row);
             y.push(w[t]);
         }
-        let wts = ridge_solve(&x, &y, 1e-6);
+        let wts = ridge_solve(&x, p + 1, &y, 1e-6);
         Arima {
             p,
             d,

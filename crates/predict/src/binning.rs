@@ -17,7 +17,7 @@ impl BinMapper {
         assert!((2..=256).contains(&max_bins));
         assert!(!values.is_empty());
         let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_unstable_by(f64::total_cmp);
         let mut edges = Vec::with_capacity(max_bins - 1);
         for b in 1..max_bins {
             let idx = (b * sorted.len()) / max_bins;
@@ -46,12 +46,17 @@ impl BinMapper {
     }
 }
 
-/// A fully binned training set: `bins[feature][row]`.
+/// A fully binned training set, stored **row-major**: all feature bins of
+/// one row sit in `num_features` consecutive bytes. The tree grower's
+/// histogram pass walks a node's rows once and reads every feature of a
+/// row from a single cache line, instead of one strided pass per feature.
 #[derive(Debug, Clone)]
 pub struct BinnedDataset {
-    pub bins: Vec<Vec<u8>>,
+    /// `data[row * num_features + feature]`.
+    data: Vec<u8>,
     pub mappers: Vec<BinMapper>,
     pub num_rows: usize,
+    num_features: usize,
 }
 
 impl BinnedDataset {
@@ -60,25 +65,47 @@ impl BinnedDataset {
         assert!(!features.is_empty());
         let num_rows = features[0].len();
         assert!(features.iter().all(|c| c.len() == num_rows));
+        let num_features = features.len();
         let mappers: Vec<BinMapper> = features
             .iter()
             .map(|col| BinMapper::fit(col, max_bins))
             .collect();
-        let bins = features
-            .iter()
-            .zip(&mappers)
-            .map(|(col, m)| col.iter().map(|&v| m.bin(v)).collect())
-            .collect();
+        let mut data = vec![0u8; num_rows * num_features];
+        for (f, (col, m)) in features.iter().zip(&mappers).enumerate() {
+            for (r, &v) in col.iter().enumerate() {
+                data[r * num_features + f] = m.bin(v);
+            }
+        }
         BinnedDataset {
-            bins,
+            data,
             mappers,
             num_rows,
+            num_features,
         }
     }
 
     /// Number of features.
     pub fn num_features(&self) -> usize {
-        self.bins.len()
+        self.num_features
+    }
+
+    /// Bin of one (feature, row) cell.
+    #[inline]
+    pub fn bin(&self, feature: usize, row: usize) -> u8 {
+        self.data[row * self.num_features + feature]
+    }
+
+    /// All feature bins of one row (length `num_features`).
+    #[inline]
+    pub fn row(&self, row: usize) -> &[u8] {
+        &self.data[row * self.num_features..(row + 1) * self.num_features]
+    }
+
+    /// The full row-major bin matrix (`num_rows * num_features` bytes) —
+    /// the tree grower's histogram sweep indexes it directly.
+    #[inline]
+    pub(crate) fn raw(&self) -> &[u8] {
+        &self.data
     }
 }
 
@@ -147,7 +174,23 @@ mod tests {
         let d = BinnedDataset::from_columns(&cols, 16);
         assert_eq!(d.num_features(), 2);
         assert_eq!(d.num_rows, 50);
-        assert_eq!(d.bins[0].len(), 50);
+        assert_eq!(d.row(0).len(), 2);
         assert!(d.mappers[1].num_bins() <= 4);
+    }
+
+    #[test]
+    fn row_major_cells_match_mappers() {
+        let cols = vec![
+            (0..200).map(|i| (i as f64).sin()).collect::<Vec<f64>>(),
+            (0..200).map(|i| (i % 7) as f64).collect(),
+            (0..200).map(|i| (i * i) as f64).collect(),
+        ];
+        let d = BinnedDataset::from_columns(&cols, 32);
+        for r in (0..200).step_by(11) {
+            for (f, col) in cols.iter().enumerate() {
+                assert_eq!(d.bin(f, r), d.mappers[f].bin(col[r]));
+                assert_eq!(d.row(r)[f], d.bin(f, r));
+            }
+        }
     }
 }

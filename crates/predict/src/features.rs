@@ -11,7 +11,7 @@
 
 pub mod job {
     use crate::text::NameBuckets;
-    use helios_trace::{Calendar, JobRecord, NamePool, Trace, UserId};
+    use helios_trace::{Calendar, JobRecord, NameId, NamePool, Trace, UserId};
     use std::cmp::Reverse;
     use std::collections::{BinaryHeap, HashMap};
 
@@ -64,6 +64,12 @@ pub mod job {
     #[derive(Debug, Clone)]
     pub struct FeatureExtractor {
         buckets: NameBuckets,
+        /// Bucket per interned name id. The bucket depends only on the
+        /// name's stem (the run suffix is stripped), so it is resolved once
+        /// per template instead of once per job — the Levenshtein scan and
+        /// the per-job display-string allocation both disappear from the
+        /// hot path.
+        bucket_by_name: HashMap<NameId, u32>,
         user_logdur: HashMap<UserId, Avg>,
         bucket_logdur: HashMap<u32, Avg>,
         /// Global mean log-duration (cold-start default).
@@ -81,18 +87,36 @@ pub mod job {
         pub fn new() -> Self {
             FeatureExtractor {
                 buckets: NameBuckets::new(0.25),
+                bucket_by_name: HashMap::new(),
                 user_logdur: HashMap::new(),
                 bucket_logdur: HashMap::new(),
                 global: Avg::default(),
             }
         }
 
-        /// Feature vector for a job at submission time.
-        pub fn extract(&mut self, job: &JobRecord, names: &NamePool, cal: &Calendar) -> Vec<f64> {
+        /// Name bucket for a job, cached per interned name id (a display
+        /// name is `base_run`, whose run suffix the bucketizer strips, so
+        /// every job of a template shares one bucket).
+        fn bucket_of(&mut self, job: &JobRecord, names: &NamePool) -> u32 {
+            if let Some(&b) = self.bucket_by_name.get(&job.name) {
+                return b;
+            }
             let display = names.display_name(job);
-            let bucket = self.buckets.bucket(&display);
+            let b = self.buckets.bucket(&display);
+            self.bucket_by_name.insert(job.name, b);
+            b
+        }
+
+        /// The full feature row as a stack array (no allocation).
+        fn features(
+            &mut self,
+            job: &JobRecord,
+            names: &NamePool,
+            cal: &Calendar,
+        ) -> [f64; NUM_FEATURES] {
+            let bucket = self.bucket_of(job, names);
             let g = self.global.get_or(6.0); // ~exp(6) = 400 s prior
-            vec![
+            [
                 job.user as f64,
                 job.vc as f64,
                 job.gpus as f64,
@@ -112,10 +136,30 @@ pub mod job {
             ]
         }
 
+        /// Feature vector for a job at submission time.
+        pub fn extract(&mut self, job: &JobRecord, names: &NamePool, cal: &Calendar) -> Vec<f64> {
+            self.features(job, names, cal).to_vec()
+        }
+
+        /// Append a job's features directly onto a columnar matrix
+        /// (`cols[feature]`), skipping the per-job row allocation.
+        pub fn extract_into(
+            &mut self,
+            job: &JobRecord,
+            names: &NamePool,
+            cal: &Calendar,
+            cols: &mut [Vec<f64>],
+        ) {
+            debug_assert_eq!(cols.len(), NUM_FEATURES);
+            let row = self.features(job, names, cal);
+            for (c, v) in cols.iter_mut().zip(row) {
+                c.push(v);
+            }
+        }
+
         /// Record a finished job's duration (log-space).
         pub fn observe(&mut self, job: &JobRecord, names: &NamePool) {
-            let display = names.display_name(job);
-            let bucket = self.buckets.bucket(&display);
+            let bucket = self.bucket_of(job, names);
             let logdur = (job.duration.max(1) as f64).ln();
             self.global.push(logdur);
             self.user_logdur.entry(job.user).or_default().push(logdur);
@@ -162,10 +206,7 @@ pub mod job {
                 extractor.observe(&trace.jobs[j], &trace.names);
             }
             if job.submit >= t_lo {
-                let row = extractor.extract(job, &trace.names, &trace.calendar);
-                for (c, v) in cols.iter_mut().zip(row) {
-                    c.push(v);
-                }
+                extractor.extract_into(job, &trace.names, &trace.calendar, &mut cols);
                 targets.push((job.duration.max(1) as f64).ln());
             }
             pending.push(Reverse((job.end(), idx)));

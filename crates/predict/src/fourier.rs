@@ -34,32 +34,35 @@ pub struct FourierForecaster {
     t_scale: f64,
 }
 
-fn design_row(
+fn num_cols(params: &FourierParams) -> usize {
+    2 + 2 * (params.daily_harmonics + params.weekly_harmonics) + 2
+}
+
+/// Append one design row onto a flat row-major matrix buffer.
+fn design_into(
+    out: &mut Vec<f64>,
     t: i64,
     t_mid: f64,
     t_scale: f64,
     cal: &Calendar,
     params: &FourierParams,
-) -> Vec<f64> {
-    let mut row =
-        Vec::with_capacity(2 + 2 * (params.daily_harmonics + params.weekly_harmonics) + 2);
-    row.push(1.0);
-    row.push((t as f64 - t_mid) / t_scale);
+) {
+    out.push(1.0);
+    out.push((t as f64 - t_mid) / t_scale);
     let day_phase = t.rem_euclid(SECS_PER_DAY) as f64 / SECS_PER_DAY as f64;
     for k in 1..=params.daily_harmonics {
         let a = std::f64::consts::TAU * k as f64 * day_phase;
-        row.push(a.sin());
-        row.push(a.cos());
+        out.push(a.sin());
+        out.push(a.cos());
     }
     let week_phase = t.rem_euclid(SECS_PER_WEEK) as f64 / SECS_PER_WEEK as f64;
     for k in 1..=params.weekly_harmonics {
         let a = std::f64::consts::TAU * k as f64 * week_phase;
-        row.push(a.sin());
-        row.push(a.cos());
+        out.push(a.sin());
+        out.push(a.cos());
     }
-    row.push(f64::from(cal.is_holiday(t)));
-    row.push(f64::from(cal.weekday(t).is_weekend()));
-    row
+    out.push(f64::from(cal.is_holiday(t)));
+    out.push(f64::from(cal.weekday(t).is_weekend()));
 }
 
 impl FourierForecaster {
@@ -72,14 +75,17 @@ impl FourierForecaster {
         params: FourierParams,
     ) -> FourierForecaster {
         assert!(values.len() >= 8, "series too short");
-        let times: Vec<i64> = (0..values.len()).map(|i| t0 + bin * i as i64).collect();
-        let t_mid = (times[0] + times[times.len() - 1]) as f64 / 2.0;
-        let t_scale = ((times[times.len() - 1] - times[0]) as f64 / 2.0).max(1.0);
-        let x: Vec<Vec<f64>> = times
-            .iter()
-            .map(|&t| design_row(t, t_mid, t_scale, cal, &params))
-            .collect();
-        let weights = ridge_solve(&x, values, params.ridge_lambda);
+        let n = values.len();
+        let t_lo = t0;
+        let t_hi = t0 + bin * (n - 1) as i64;
+        let t_mid = (t_lo + t_hi) as f64 / 2.0;
+        let t_scale = ((t_hi - t_lo) as f64 / 2.0).max(1.0);
+        let p = num_cols(&params);
+        let mut x = Vec::with_capacity(n * p);
+        for i in 0..n {
+            design_into(&mut x, t0 + bin * i as i64, t_mid, t_scale, cal, &params);
+        }
+        let weights = ridge_solve(&x, p, values, params.ridge_lambda);
         FourierForecaster {
             params,
             weights,
@@ -90,14 +96,27 @@ impl FourierForecaster {
 
     /// Predict the series value at timestamp `t`.
     pub fn predict_at(&self, t: i64, cal: &Calendar) -> f64 {
-        let row = design_row(t, self.t_mid, self.t_scale, cal, &self.params);
+        let mut row = Vec::with_capacity(num_cols(&self.params));
+        design_into(&mut row, t, self.t_mid, self.t_scale, cal, &self.params);
         dot(&row, &self.weights)
     }
 
-    /// Predict a range of future bins.
+    /// Predict a range of future bins (one reused row buffer).
     pub fn forecast(&self, t_start: i64, bin: i64, horizon: usize, cal: &Calendar) -> Vec<f64> {
+        let mut row = Vec::with_capacity(num_cols(&self.params));
         (0..horizon)
-            .map(|h| self.predict_at(t_start + bin * h as i64, cal))
+            .map(|h| {
+                row.clear();
+                design_into(
+                    &mut row,
+                    t_start + bin * h as i64,
+                    self.t_mid,
+                    self.t_scale,
+                    cal,
+                    &self.params,
+                );
+                dot(&row, &self.weights)
+            })
             .collect()
     }
 }

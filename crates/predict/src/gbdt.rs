@@ -6,7 +6,7 @@
 //! estimator P_M (§4.2.2) and CES's node-demand forecaster (§4.3.2).
 
 use crate::binning::BinnedDataset;
-use crate::tree::{build_tree, Tree, TreeParams};
+use crate::tree::{build_tree_in, Tree, TreeParams, TreeWorkspace};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -102,12 +102,10 @@ impl Gbdt {
         let mut best_rmse = f64::INFINITY;
         let mut best_len = 0;
         let mut stale_checks = 0;
+        let mut ws = TreeWorkspace::default();
 
         let num_features = features.len() as u16;
         for round in 0..params.num_trees {
-            // Gradients of 1/2 (pred - y)^2.
-            let grads: Vec<f64> = preds.iter().zip(targets).map(|(p, y)| p - y).collect();
-
             // Row subsample.
             let rows: Vec<u32> = if params.subsample < 1.0 {
                 (0..n as u32)
@@ -119,6 +117,29 @@ impl Gbdt {
             if rows.len() < 2 * params.min_leaf {
                 break;
             }
+            // Out-of-sample complement (`rows` is ascending): these rows
+            // miss the grower's leaf partitions and are routed through a
+            // tree traversal below instead.
+            let out_rows: Vec<u32> = if rows.len() < n {
+                let mut out = Vec::with_capacity(n - rows.len());
+                let mut it = rows.iter().copied().peekable();
+                for r in 0..n as u32 {
+                    if it.peek() == Some(&r) {
+                        it.next();
+                    } else {
+                        out.push(r);
+                    }
+                }
+                out
+            } else {
+                Vec::new()
+            };
+            // Gradients of 1/2 (pred - y)^2, gathered straight into node
+            // order — the full-length gradient vector is never built.
+            let grads: Vec<f64> = rows
+                .iter()
+                .map(|&r| preds[r as usize] - targets[r as usize])
+                .collect();
             // Feature subsample.
             let cols: Vec<u16> = if params.colsample < 1.0 {
                 let mut chosen: Vec<u16> = (0..num_features)
@@ -132,10 +153,24 @@ impl Gbdt {
                 (0..num_features).collect()
             };
 
-            let tree = build_tree(&data, &grads, rows, &cols, &tree_params);
-            // Update predictions on all rows.
-            for (r, p) in preds.iter_mut().enumerate() {
-                *p += params.learning_rate * tree.predict_binned(&data, r);
+            // In-sample predictions update for free as leaves form.
+            let lr = params.learning_rate;
+            let tree = build_tree_in(
+                &mut ws,
+                &data,
+                rows,
+                grads,
+                &cols,
+                &tree_params,
+                |value, leaf_rows| {
+                    for &r in leaf_rows {
+                        preds[r as usize] += lr * value;
+                    }
+                },
+            );
+            // Out-of-sample rows take the traversal path.
+            for &r in &out_rows {
+                preds[r as usize] += lr * tree.predict_binned(&data, r as usize);
             }
             model.trees.push(tree);
 

@@ -1,83 +1,88 @@
 //! Small dense linear algebra: just enough to fit ridge regressions
 //! (Fourier/Prophet-like forecaster, AR models) via Cholesky decomposition.
+//!
+//! All matrices are **flat row-major** `&[f64]` slices — no nested
+//! `Vec<Vec<f64>>`, so normal-equation accumulation and the Cholesky
+//! sweeps run over contiguous memory.
 
 // Index-based loops mirror the textbook formulations of these kernels.
 #![allow(clippy::needless_range_loop)]
 
 /// Solve `(XᵀX + lambda·I) w = Xᵀy` for `w` (ridge regression with design
-/// matrix `x` given row-major: `x[row][col]`). The intercept column, if any,
-/// is the caller's responsibility.
-pub fn ridge_solve(x: &[Vec<f64>], y: &[f64], lambda: f64) -> Vec<f64> {
-    assert_eq!(x.len(), y.len());
-    assert!(!x.is_empty(), "empty design matrix");
-    let p = x[0].len();
+/// matrix `x` given flat row-major: `x[row * n_cols + col]`). The intercept
+/// column, if any, is the caller's responsibility.
+pub fn ridge_solve(x: &[f64], n_cols: usize, y: &[f64], lambda: f64) -> Vec<f64> {
+    assert!(n_cols > 0, "empty design matrix");
+    assert_eq!(x.len(), y.len() * n_cols, "design matrix shape mismatch");
+    assert!(!y.is_empty(), "empty design matrix");
+    let p = n_cols;
     // Normal equations.
-    let mut ata = vec![vec![0.0f64; p]; p];
+    let mut ata = vec![0.0f64; p * p];
     let mut aty = vec![0.0f64; p];
-    for (row, &yi) in x.iter().zip(y) {
-        assert_eq!(row.len(), p, "ragged design matrix");
+    for (row, &yi) in x.chunks_exact(p).zip(y) {
         for i in 0..p {
             aty[i] += row[i] * yi;
             for j in i..p {
-                ata[i][j] += row[i] * row[j];
+                ata[i * p + j] += row[i] * row[j];
             }
         }
     }
     for i in 0..p {
-        ata[i][i] += lambda;
+        ata[i * p + i] += lambda;
         for j in 0..i {
-            ata[i][j] = ata[j][i];
+            ata[i * p + j] = ata[j * p + i];
         }
     }
-    let chol = cholesky(&ata).expect("ridge system not positive definite");
+    let chol = cholesky(&ata, p).expect("ridge system not positive definite");
     cholesky_solve(&chol, &aty)
 }
 
-/// Cholesky factorization `A = L Lᵀ`; returns the lower-triangular `L`
-/// (row-major), or `None` if `A` is not positive definite.
-pub fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
-    let n = a.len();
-    let mut l = vec![vec![0.0f64; n]; n];
+/// Cholesky factorization `A = L Lᵀ` of a flat row-major `n x n` matrix;
+/// returns the lower-triangular `L` (flat row-major), or `None` if `A` is
+/// not positive definite.
+pub fn cholesky(a: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix must be n x n");
+    let mut l = vec![0.0f64; n * n];
     for i in 0..n {
         for j in 0..=i {
-            let mut sum = a[i][j];
+            let mut sum = a[i * n + j];
             for k in 0..j {
-                sum -= l[i][k] * l[j][k];
+                sum -= l[i * n + k] * l[j * n + k];
             }
             if i == j {
                 if sum <= 0.0 {
                     return None;
                 }
-                l[i][j] = sum.sqrt();
+                l[i * n + j] = sum.sqrt();
             } else {
-                l[i][j] = sum / l[j][j];
+                l[i * n + j] = sum / l[j * n + j];
             }
         }
     }
     Some(l)
 }
 
-/// Solve `L Lᵀ x = b` given the Cholesky factor `L`.
-pub fn cholesky_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
-    let n = l.len();
-    assert_eq!(b.len(), n);
+/// Solve `L Lᵀ x = b` given the flat row-major Cholesky factor `L`.
+pub fn cholesky_solve(l: &[f64], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    assert_eq!(l.len(), n * n, "factor must be n x n");
     // Forward substitution: L z = b.
     let mut z = vec![0.0f64; n];
     for i in 0..n {
         let mut sum = b[i];
         for k in 0..i {
-            sum -= l[i][k] * z[k];
+            sum -= l[i * n + k] * z[k];
         }
-        z[i] = sum / l[i][i];
+        z[i] = sum / l[i * n + i];
     }
     // Back substitution: Lᵀ x = z.
     let mut x = vec![0.0f64; n];
     for i in (0..n).rev() {
         let mut sum = z[i];
         for k in i + 1..n {
-            sum -= l[k][i] * x[k];
+            sum -= l[k * n + i] * x[k];
         }
-        x[i] = sum / l[i][i];
+        x[i] = sum / l[i * n + i];
     }
     x
 }
@@ -94,16 +99,16 @@ mod tests {
 
     #[test]
     fn cholesky_of_identity() {
-        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
-        let l = cholesky(&a).unwrap();
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let l = cholesky(&a, 2).unwrap();
         assert_eq!(l, a);
     }
 
     #[test]
     fn cholesky_solve_known_system() {
         // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
-        let a = vec![vec![4.0, 2.0], vec![2.0, 3.0]];
-        let l = cholesky(&a).unwrap();
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let l = cholesky(&a, 2).unwrap();
         let x = cholesky_solve(&l, &[10.0, 8.0]);
         assert!((x[0] - 1.75).abs() < 1e-12);
         assert!((x[1] - 1.5).abs() < 1e-12);
@@ -111,26 +116,35 @@ mod tests {
 
     #[test]
     fn non_positive_definite_rejected() {
-        let a = vec![vec![0.0, 0.0], vec![0.0, 1.0]];
-        assert!(cholesky(&a).is_none());
+        let a = vec![0.0, 0.0, 0.0, 1.0];
+        assert!(cholesky(&a, 2).is_none());
     }
 
     #[test]
     fn ridge_recovers_linear_function() {
         // y = 3 + 2x, exactly.
-        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![1.0, i as f64]).collect();
+        let mut x = Vec::new();
+        for i in 0..20 {
+            x.extend_from_slice(&[1.0, i as f64]);
+        }
         let y: Vec<f64> = (0..20).map(|i| 3.0 + 2.0 * i as f64).collect();
-        let w = ridge_solve(&x, &y, 1e-9);
+        let w = ridge_solve(&x, 2, &y, 1e-9);
         assert!((w[0] - 3.0).abs() < 1e-6, "{w:?}");
         assert!((w[1] - 2.0).abs() < 1e-6, "{w:?}");
     }
 
     #[test]
     fn ridge_shrinks_with_large_lambda() {
-        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
         let y: Vec<f64> = (0..20).map(|i| 2.0 * i as f64).collect();
-        let w0 = ridge_solve(&x, &y, 1e-9);
-        let w1 = ridge_solve(&x, &y, 1e6);
+        let w0 = ridge_solve(&x, 1, &y, 1e-9);
+        let w1 = ridge_solve(&x, 1, &y, 1e6);
         assert!(w1[0].abs() < w0[0].abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn ragged_input_rejected() {
+        ridge_solve(&[1.0, 2.0, 3.0], 2, &[1.0, 2.0], 0.0);
     }
 }

@@ -100,16 +100,69 @@ pub struct LstmForecaster {
     steps: usize,
 }
 
-struct StepCache {
-    x: f64,
-    i: Vec<f64>,
-    f: Vec<f64>,
-    g: Vec<f64>,
-    o: Vec<f64>,
-    c: Vec<f64>,
-    h: Vec<f64>,
-    c_prev: Vec<f64>,
-    h_prev: Vec<f64>,
+/// Preallocated forward/backward buffers, reused across every training
+/// window: per-step gate activations and states live in flat
+/// `[seq_len x hidden]` matrices (step `t`'s values in row `t`, the
+/// previous step's state read from row `t - 1`), so the loops allocate
+/// nothing — no per-timestep `clone()`s, no per-gate fresh `Vec`s.
+#[derive(Debug, Default)]
+struct Workspace {
+    /// Gate activations, `[seq_len x h]` each.
+    ig: Vec<f64>,
+    fg: Vec<f64>,
+    gg: Vec<f64>,
+    og: Vec<f64>,
+    /// Cell / hidden states per step, `[seq_len x h]`.
+    cs: Vec<f64>,
+    hs: Vec<f64>,
+    /// Inputs per step.
+    xs: Vec<f64>,
+    /// Gradient accumulators.
+    g_wx: Vec<f64>,
+    g_wh: Vec<f64>,
+    g_b: Vec<f64>,
+    g_wy: Vec<f64>,
+    /// BPTT carries.
+    dh: Vec<f64>,
+    dh_prev: Vec<f64>,
+    dc: Vec<f64>,
+}
+
+impl Workspace {
+    /// Buffers the forward pass touches (all inference needs).
+    fn ensure_forward(&mut self, seq_len: usize, h: usize) {
+        self.ig.resize(seq_len * h, 0.0);
+        self.fg.resize(seq_len * h, 0.0);
+        self.gg.resize(seq_len * h, 0.0);
+        self.og.resize(seq_len * h, 0.0);
+        self.cs.resize(seq_len * h, 0.0);
+        self.hs.resize(seq_len * h, 0.0);
+        self.xs.resize(seq_len, 0.0);
+    }
+
+    /// Additionally the backward/gradient buffers (training only — the
+    /// `4h²` recurrent-gradient buffer in particular is dead weight for
+    /// inference).
+    fn ensure_backward(&mut self, h: usize) {
+        self.g_wx.resize(4 * h, 0.0);
+        self.g_wh.resize(4 * h * h, 0.0);
+        self.g_b.resize(4 * h, 0.0);
+        self.g_wy.resize(h, 0.0);
+        self.dh.resize(h, 0.0);
+        self.dh_prev.resize(h, 0.0);
+        self.dc.resize(h, 0.0);
+    }
+}
+
+/// In-place L2 gradient clipping (no per-call closures).
+fn clip(g: &mut [f64]) {
+    let norm: f64 = g.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 5.0 {
+        let s = 5.0 / norm;
+        for x in g.iter_mut() {
+            *x *= s;
+        }
+    }
 }
 
 impl LstmForecaster {
@@ -147,6 +200,7 @@ impl LstmForecaster {
 
         let num_windows = norm.len() - model.params.seq_len - model.params.horizon;
         let mut order: Vec<usize> = (0..num_windows).collect();
+        let mut ws = Workspace::default();
         for _ in 0..model.params.epochs {
             // Shuffle and subsample windows.
             for i in (1..order.len()).rev() {
@@ -157,155 +211,179 @@ impl LstmForecaster {
             for &start in order.iter().take(take) {
                 let window = &norm[start..start + model.params.seq_len];
                 let target = norm[start + model.params.seq_len - 1 + model.params.horizon];
-                model.train_window(window, target);
+                model.train_window(window, target, &mut ws);
             }
         }
         model
     }
 
-    fn forward(&self, window: &[f64]) -> (Vec<StepCache>, f64) {
+    /// Forward pass over one window, filling the workspace's step caches.
+    /// Step `t` reads the previous state from cache row `t - 1` (zeros at
+    /// `t = 0`) — no per-step state clones.
+    fn forward(&self, window: &[f64], ws: &mut Workspace) -> f64 {
         let h = self.params.hidden;
-        let mut hs = vec![0.0; h];
-        let mut cs = vec![0.0; h];
-        let mut caches = Vec::with_capacity(window.len());
-        for &x in window {
-            let mut i_g = vec![0.0; h];
-            let mut f_g = vec![0.0; h];
-            let mut g_g = vec![0.0; h];
-            let mut o_g = vec![0.0; h];
-            let c_prev = cs.clone();
-            let h_prev = hs.clone();
+        ws.ensure_forward(window.len(), h);
+        for (t, &x) in window.iter().enumerate() {
+            ws.xs[t] = x;
+            let row = t * h;
+            let prev = row.wrapping_sub(h);
             for u in 0..h {
                 let mut zi = self.wx.w[u] * x + self.b.w[u];
                 let mut zf = self.wx.w[h + u] * x + self.b.w[h + u];
                 let mut zg = self.wx.w[2 * h + u] * x + self.b.w[2 * h + u];
                 let mut zo = self.wx.w[3 * h + u] * x + self.b.w[3 * h + u];
-                for k in 0..h {
-                    let hk = h_prev[k];
-                    zi += self.wh.w[u * h + k] * hk;
-                    zf += self.wh.w[(h + u) * h + k] * hk;
-                    zg += self.wh.w[(2 * h + u) * h + k] * hk;
-                    zo += self.wh.w[(3 * h + u) * h + k] * hk;
+                if t > 0 {
+                    let h_prev = &ws.hs[prev..prev + h];
+                    for (k, &hk) in h_prev.iter().enumerate() {
+                        zi += self.wh.w[u * h + k] * hk;
+                        zf += self.wh.w[(h + u) * h + k] * hk;
+                        zg += self.wh.w[(2 * h + u) * h + k] * hk;
+                        zo += self.wh.w[(3 * h + u) * h + k] * hk;
+                    }
                 }
-                i_g[u] = sigmoid(zi);
-                f_g[u] = sigmoid(zf);
-                g_g[u] = zg.tanh();
-                o_g[u] = sigmoid(zo);
-                cs[u] = f_g[u] * c_prev[u] + i_g[u] * g_g[u];
-                hs[u] = o_g[u] * cs[u].tanh();
+                let ig = sigmoid(zi);
+                let fg = sigmoid(zf);
+                let gg = zg.tanh();
+                let og = sigmoid(zo);
+                let c_prev = if t > 0 { ws.cs[prev + u] } else { 0.0 };
+                let c = fg * c_prev + ig * gg;
+                ws.ig[row + u] = ig;
+                ws.fg[row + u] = fg;
+                ws.gg[row + u] = gg;
+                ws.og[row + u] = og;
+                ws.cs[row + u] = c;
+                ws.hs[row + u] = og * c.tanh();
             }
-            caches.push(StepCache {
-                x,
-                i: i_g,
-                f: f_g,
-                g: g_g,
-                o: o_g,
-                c: cs.clone(),
-                h: hs.clone(),
-                c_prev,
-                h_prev,
-            });
         }
-        let y: f64 = hs.iter().zip(&self.wy.w).map(|(a, b)| a * b).sum::<f64>() + self.by.w[0];
-        (caches, y)
+        let last = (window.len() - 1) * h;
+        ws.hs[last..last + h]
+            .iter()
+            .zip(&self.wy.w)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            + self.by.w[0]
     }
 
-    fn train_window(&mut self, window: &[f64], target: f64) {
+    fn train_window(&mut self, window: &[f64], target: f64, ws: &mut Workspace) {
         let h = self.params.hidden;
-        let (caches, y) = self.forward(window);
+        ws.ensure_backward(h);
+        let y = self.forward(window, ws);
         let dy = y - target; // d(0.5 (y - t)^2)/dy
 
-        let mut g_wx = vec![0.0; 4 * h];
-        let mut g_wh = vec![0.0; 4 * h * h];
-        let mut g_b = vec![0.0; 4 * h];
-        let last_h = &caches.last().unwrap().h;
-        let g_wy: Vec<f64> = last_h.iter().map(|&hh| dy * hh).collect();
-        let g_by = vec![dy];
+        ws.g_wx.fill(0.0);
+        ws.g_wh.fill(0.0);
+        ws.g_b.fill(0.0);
+        let last = (window.len() - 1) * h;
+        for (gw, &hh) in ws.g_wy.iter_mut().zip(&ws.hs[last..last + h]) {
+            *gw = dy * hh;
+        }
+        let g_by = [dy];
 
-        let mut dh: Vec<f64> = self.wy.w.iter().map(|w| dy * w).collect();
-        let mut dc = vec![0.0; h];
-        for cache in caches.iter().rev() {
-            let mut dh_prev = vec![0.0; h];
+        for (d, w) in ws.dh.iter_mut().zip(&self.wy.w) {
+            *d = dy * w;
+        }
+        ws.dc.fill(0.0);
+        for t in (0..window.len()).rev() {
+            let row = t * h;
+            let prev = row.wrapping_sub(h);
+            let x = ws.xs[t];
+            ws.dh_prev.fill(0.0);
             for u in 0..h {
-                let tanh_c = cache.c[u].tanh();
-                let do_u = dh[u] * tanh_c;
-                let dcu = dc[u] + dh[u] * cache.o[u] * (1.0 - tanh_c * tanh_c);
-                let di = dcu * cache.g[u];
-                let dg = dcu * cache.i[u];
-                let df = dcu * cache.c_prev[u];
-                dc[u] = dcu * cache.f[u];
+                let ig = ws.ig[row + u];
+                let fg = ws.fg[row + u];
+                let gg = ws.gg[row + u];
+                let og = ws.og[row + u];
+                let tanh_c = ws.cs[row + u].tanh();
+                let do_u = ws.dh[u] * tanh_c;
+                let dcu = ws.dc[u] + ws.dh[u] * og * (1.0 - tanh_c * tanh_c);
+                let di = dcu * gg;
+                let dg = dcu * ig;
+                let c_prev = if t > 0 { ws.cs[prev + u] } else { 0.0 };
+                let df = dcu * c_prev;
+                ws.dc[u] = dcu * fg;
 
-                let dzi = di * cache.i[u] * (1.0 - cache.i[u]);
-                let dzf = df * cache.f[u] * (1.0 - cache.f[u]);
-                let dzg = dg * (1.0 - cache.g[u] * cache.g[u]);
-                let dzo = do_u * cache.o[u] * (1.0 - cache.o[u]);
+                let dzi = di * ig * (1.0 - ig);
+                let dzf = df * fg * (1.0 - fg);
+                let dzg = dg * (1.0 - gg * gg);
+                let dzo = do_u * og * (1.0 - og);
 
-                g_wx[u] += dzi * cache.x;
-                g_wx[h + u] += dzf * cache.x;
-                g_wx[2 * h + u] += dzg * cache.x;
-                g_wx[3 * h + u] += dzo * cache.x;
-                g_b[u] += dzi;
-                g_b[h + u] += dzf;
-                g_b[2 * h + u] += dzg;
-                g_b[3 * h + u] += dzo;
-                for k in 0..h {
-                    let hp = cache.h_prev[k];
-                    g_wh[u * h + k] += dzi * hp;
-                    g_wh[(h + u) * h + k] += dzf * hp;
-                    g_wh[(2 * h + u) * h + k] += dzg * hp;
-                    g_wh[(3 * h + u) * h + k] += dzo * hp;
-                    dh_prev[k] += dzi * self.wh.w[u * h + k]
-                        + dzf * self.wh.w[(h + u) * h + k]
-                        + dzg * self.wh.w[(2 * h + u) * h + k]
-                        + dzo * self.wh.w[(3 * h + u) * h + k];
+                ws.g_wx[u] += dzi * x;
+                ws.g_wx[h + u] += dzf * x;
+                ws.g_wx[2 * h + u] += dzg * x;
+                ws.g_wx[3 * h + u] += dzo * x;
+                ws.g_b[u] += dzi;
+                ws.g_b[h + u] += dzf;
+                ws.g_b[2 * h + u] += dzg;
+                ws.g_b[3 * h + u] += dzo;
+                if t > 0 {
+                    for k in 0..h {
+                        let hp = ws.hs[prev + k];
+                        ws.g_wh[u * h + k] += dzi * hp;
+                        ws.g_wh[(h + u) * h + k] += dzf * hp;
+                        ws.g_wh[(2 * h + u) * h + k] += dzg * hp;
+                        ws.g_wh[(3 * h + u) * h + k] += dzo * hp;
+                        ws.dh_prev[k] += dzi * self.wh.w[u * h + k]
+                            + dzf * self.wh.w[(h + u) * h + k]
+                            + dzg * self.wh.w[(2 * h + u) * h + k]
+                            + dzo * self.wh.w[(3 * h + u) * h + k];
+                    }
+                } else {
+                    for k in 0..h {
+                        ws.dh_prev[k] += dzi * self.wh.w[u * h + k]
+                            + dzf * self.wh.w[(h + u) * h + k]
+                            + dzg * self.wh.w[(2 * h + u) * h + k]
+                            + dzo * self.wh.w[(3 * h + u) * h + k];
+                    }
                 }
             }
-            dh = dh_prev;
+            std::mem::swap(&mut ws.dh, &mut ws.dh_prev);
         }
 
         // Gradient clipping for stability.
-        let clip = |g: &mut Vec<f64>| {
-            let norm: f64 = g.iter().map(|x| x * x).sum::<f64>().sqrt();
-            if norm > 5.0 {
-                let s = 5.0 / norm;
-                for x in g.iter_mut() {
-                    *x *= s;
-                }
-            }
-        };
-        let (mut g_wy, mut g_wx, mut g_wh, mut g_b) = (g_wy, g_wx, g_wh, g_b);
-        clip(&mut g_wx);
-        clip(&mut g_wh);
-        clip(&mut g_b);
-        clip(&mut g_wy);
+        clip(&mut ws.g_wx);
+        clip(&mut ws.g_wh);
+        clip(&mut ws.g_b);
+        clip(&mut ws.g_wy);
 
         self.steps += 1;
         let lr = self.params.learning_rate;
         let t = self.steps;
-        self.wx.step(&g_wx, lr, t);
-        self.wh.step(&g_wh, lr, t);
-        self.b.step(&g_b, lr, t);
-        self.wy.step(&g_wy, lr, t);
+        self.wx.step(&ws.g_wx, lr, t);
+        self.wh.step(&ws.g_wh, lr, t);
+        self.b.step(&ws.g_b, lr, t);
+        self.wy.step(&ws.g_wy, lr, t);
         self.by.step(&g_by, lr, t);
     }
 
     /// Predict the value `horizon` bins ahead of the window's last element.
     /// `window` must have length `seq_len` (raw scale).
     pub fn predict(&self, window: &[f64]) -> f64 {
+        self.predict_in(window, &mut Workspace::default(), &mut Vec::new())
+    }
+
+    fn predict_in(&self, window: &[f64], ws: &mut Workspace, norm: &mut Vec<f64>) -> f64 {
         assert_eq!(window.len(), self.params.seq_len, "window length mismatch");
-        let norm: Vec<f64> = window.iter().map(|v| (v - self.mean) / self.std).collect();
-        let (_, y) = self.forward(&norm);
+        norm.clear();
+        norm.extend(window.iter().map(|v| (v - self.mean) / self.std));
+        let y = self.forward(norm, ws);
         y * self.std + self.mean
     }
 
     /// Direct h-ahead forecasts for each index in `indices` of `series`
     /// (each index is the window *end*; requires `idx + 1 >= seq_len`).
+    /// One reused workspace serves every window.
     pub fn forecast_at(&self, series: &[f64], indices: &[usize]) -> Vec<f64> {
+        let mut ws = Workspace::default();
+        let mut norm = Vec::new();
         indices
             .iter()
             .map(|&idx| {
                 assert!(idx + 1 >= self.params.seq_len);
-                self.predict(&series[idx + 1 - self.params.seq_len..=idx])
+                self.predict_in(
+                    &series[idx + 1 - self.params.seq_len..=idx],
+                    &mut ws,
+                    &mut norm,
+                )
             })
             .collect()
     }

@@ -79,6 +79,13 @@ impl RollingEstimator {
 
     /// Record a finished job's observed duration.
     pub fn observe(&mut self, user: UserId, name: &str, gpus: u32, duration: f64) {
+        self.observe_stem(user, strip_run_suffix(name), gpus, duration);
+    }
+
+    /// [`RollingEstimator::observe`] with a pre-stripped name stem — the
+    /// hot path for callers that cache stems per interned template name
+    /// (allocation-free once the stem is known).
+    pub fn observe_stem(&mut self, user: UserId, stem: &str, gpus: u32, duration: f64) {
         self.global.push(duration);
         self.global_by_demand
             .entry(gpus)
@@ -87,8 +94,10 @@ impl RollingEstimator {
         let uh = self.users.entry(user).or_default();
         uh.all.push(duration);
         uh.by_demand.entry(gpus).or_default().push(duration);
-        let stem = strip_run_suffix(name).to_string();
-        let hist = uh.by_stem.entry(stem).or_default();
+        if !uh.by_stem.contains_key(stem) {
+            uh.by_stem.insert(stem.to_string(), Vec::new());
+        }
+        let hist = uh.by_stem.get_mut(stem).expect("inserted above");
         hist.push(duration);
         if hist.len() > STEM_HISTORY {
             hist.remove(0);
@@ -97,6 +106,11 @@ impl RollingEstimator {
 
     /// Estimate the duration of an incoming job (Algorithm 1 lines 12–18).
     pub fn estimate(&self, user: UserId, name: &str, gpus: u32) -> f64 {
+        self.estimate_stem(user, strip_run_suffix(name), gpus)
+    }
+
+    /// [`RollingEstimator::estimate`] with a pre-stripped name stem.
+    pub fn estimate_stem(&self, user: UserId, stem: &str, gpus: u32) -> f64 {
         let Some(uh) = self.users.get(&user) else {
             // Case 1: new user -> global average for this GPU demand.
             return self
@@ -107,7 +121,7 @@ impl RollingEstimator {
                 .unwrap_or(self.prior);
         };
         // Case 3: matched names -> exponentially weighted recency average.
-        if let Some(hist) = self.matched_history(uh, name) {
+        if let Some(hist) = self.matched_history(uh, stem) {
             let mut num = 0.0;
             let mut den = 0.0;
             let n = hist.len();
@@ -126,10 +140,9 @@ impl RollingEstimator {
             .unwrap_or(self.prior)
     }
 
-    /// Find the user's stem history matching `name` (exact stem first, then
+    /// Find the user's stem history matching `stem` (exact stem first, then
     /// nearest within the similarity threshold).
-    fn matched_history<'a>(&self, uh: &'a UserHistory, name: &str) -> Option<&'a Vec<f64>> {
-        let stem = strip_run_suffix(name);
+    fn matched_history<'a>(&self, uh: &'a UserHistory, stem: &str) -> Option<&'a Vec<f64>> {
         if let Some(h) = uh.by_stem.get(stem) {
             return Some(h);
         }

@@ -84,12 +84,14 @@ impl NameBuckets {
     }
 
     /// Bucket id for a job name (creates a new bucket when nothing is
-    /// similar enough). Deterministic in insertion order.
+    /// similar enough). Deterministic in insertion order. Cache hits are
+    /// allocation-free.
     pub fn bucket(&mut self, name: &str) -> u32 {
-        let stem = strip_run_suffix(name).to_string();
-        if let Some(&id) = self.cache.get(&stem) {
+        let stem = strip_run_suffix(name);
+        if let Some(&id) = self.cache.get(stem) {
             return id;
         }
+        let stem = stem.to_string();
         // Linear scan over representatives; short-circuit on length bounds
         // (|len(a) - len(b)| <= d * max_len is necessary for a match).
         let stem_len = stem.chars().count();

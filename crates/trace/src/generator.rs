@@ -11,6 +11,7 @@
 use crate::cluster::{preset, ClusterSpec};
 use crate::dist::{uniform, Discrete, LogNormal};
 use crate::error::{HeliosError, HeliosResult};
+use crate::heap::MinHeap;
 use crate::profiles::{fluctuating_monthly, stable_monthly, SubmissionProfile};
 use crate::replay::assign_start_times;
 use crate::time::Calendar;
@@ -22,6 +23,8 @@ use crate::workload::{
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
+use rayon::prelude::*;
+use std::borrow::Cow;
 
 /// Hard cap on any job duration: 50 days (Table 2 "Maximum Duration").
 pub const MAX_DURATION_SECS: i64 = 50 * 86_400;
@@ -124,7 +127,11 @@ const MIN_SCALED_VCS: usize = 10;
 /// `MIN_SCALED_VCS` (10) VCs are always kept at ≥ 2 nodes), so the scaled
 /// cluster keeps roughly `scale` × the original capacity instead of being
 /// inflated by per-VC floors.
-pub fn scale_spec(spec: &ClusterSpec, scale: f64) -> HeliosResult<ClusterSpec> {
+///
+/// The no-op path (`scale == 1.0`) borrows the input instead of cloning
+/// it; only an actually-scaled spec allocates (and then builds its VC list
+/// directly instead of cloning the input's VCs twice).
+pub fn scale_spec(spec: &ClusterSpec, scale: f64) -> HeliosResult<Cow<'_, ClusterSpec>> {
     if !scale.is_finite() || scale <= 0.0 || scale > 1.0 {
         return Err(HeliosError::invalid_config(
             "scale",
@@ -132,7 +139,7 @@ pub fn scale_spec(spec: &ClusterSpec, scale: f64) -> HeliosResult<ClusterSpec> {
         ));
     }
     if (scale - 1.0).abs() < f64::EPSILON {
-        return Ok(spec.clone());
+        return Ok(Cow::Borrowed(spec));
     }
     let mut order: Vec<usize> = (0..spec.num_vcs()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(spec.vcs[i].nodes));
@@ -143,8 +150,7 @@ pub fn scale_spec(spec: &ClusterSpec, scale: f64) -> HeliosResult<ClusterSpec> {
         }
         k
     };
-    let mut scaled = spec.clone();
-    scaled.vcs = spec
+    let mut vcs: Vec<_> = spec
         .vcs
         .iter()
         .enumerate()
@@ -158,11 +164,15 @@ pub fn scale_spec(spec: &ClusterSpec, scale: f64) -> HeliosResult<ClusterSpec> {
             })
         })
         .collect();
-    for (i, vc) in scaled.vcs.iter_mut().enumerate() {
+    for (i, vc) in vcs.iter_mut().enumerate() {
         vc.id = i as VcId;
     }
-    scaled.nodes = scaled.vcs.iter().map(|v| v.nodes).sum();
-    Ok(scaled)
+    let nodes = vcs.iter().map(|v| v.nodes).sum();
+    Ok(Cow::Owned(ClusterSpec {
+        vcs,
+        nodes,
+        ..*spec
+    }))
 }
 
 /// Largest-remainder apportionment of `total` across `weights`.
@@ -196,12 +206,16 @@ fn cancel_probability(base: f64, gpus: u32) -> f64 {
     (base * (1.0 + 0.38 * g.log2())).min(0.85)
 }
 
-/// Per-user bookkeeping while emitting jobs.
+/// Per-user bookkeeping while emitting jobs. Jobs are emitted into
+/// per-stream buffers (one stream per user, plus one for the mega
+/// submissions) that the finalization step sorts independently and k-way
+/// merges — the multi-million-entry global sort is gone, and the
+/// per-stream sorts fan out over rayon on multi-core hosts.
 struct Emitter<'a> {
     rng: ChaCha12Rng,
     profile: &'a WorkloadProfile,
     calendar: &'a Calendar,
-    jobs: Vec<JobRecord>,
+    streams: Vec<Vec<JobRecord>>,
     /// Per-template run counters (indexed by NameId).
     runs: Vec<u32>,
 }
@@ -217,9 +231,25 @@ impl<'a> Emitter<'a> {
             rng,
             profile,
             calendar,
-            jobs: Vec::new(),
+            streams: Vec::new(),
             runs: vec![0; names_len],
         }
+    }
+
+    /// Open a fresh emission stream; subsequent [`Emitter::emit`] calls
+    /// append to it.
+    fn begin_stream(&mut self) {
+        self.streams.push(Vec::new());
+    }
+
+    /// Iterate every emitted job (emission order within a stream).
+    fn jobs(&self) -> impl Iterator<Item = &JobRecord> {
+        self.streams.iter().flatten()
+    }
+
+    /// Iterate every emitted job mutably.
+    fn jobs_mut(&mut self) -> impl Iterator<Item = &mut JobRecord> {
+        self.streams.iter_mut().flatten()
     }
 
     /// Geometric-ish burst size: users submit several variations of the same
@@ -307,19 +337,22 @@ impl<'a> Emitter<'a> {
                     _ => 6 * gpus,
                 };
                 let run = &mut self.runs[t.name as usize];
-                self.jobs.push(JobRecord {
-                    id: 0, // assigned after the global sort
-                    user: user.id,
-                    vc: t.vc,
-                    gpus,
-                    cpus,
-                    submit,
-                    start: submit, // refined by replay
-                    duration,
-                    status,
-                    name: t.name,
-                    run: *run,
-                });
+                self.streams
+                    .last_mut()
+                    .expect("begin_stream called before emit")
+                    .push(JobRecord {
+                        id: 0, // assigned after the global sort
+                        user: user.id,
+                        vc: t.vc,
+                        gpus,
+                        cpus,
+                        submit,
+                        start: submit, // refined by replay
+                        duration,
+                        status,
+                        name: t.name,
+                        run: *run,
+                    });
                 *run += 1;
             }
             remaining -= burst;
@@ -331,7 +364,12 @@ impl<'a> Emitter<'a> {
 pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> HeliosResult<Trace> {
     cfg.validate()?;
     let full = preset(profile.cluster);
-    let spec = scale_spec(&full, cfg.scale)?;
+    let full_gpus = full.total_gpus();
+    let spec = match scale_spec(&full, cfg.scale)? {
+        // No-op scale: reuse the owned preset outright (no clone at all).
+        Cow::Borrowed(_) => full,
+        Cow::Owned(scaled) => scaled,
+    };
     let calendar = match profile.cluster {
         ClusterId::Philly => Calendar::philly_2017(),
         _ => Calendar::helios_2020(),
@@ -343,7 +381,7 @@ pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> HeliosResul
     // --- Target counts. Counts scale with the *realised* capacity ratio
     // (which equals `cfg.scale` up to VC rounding), so per-VC load — and
     // hence queueing behaviour — is preserved at any scale. ---
-    let count_scale = spec.total_gpus() as f64 / full.total_gpus() as f64;
+    let count_scale = spec.total_gpus() as f64 / full_gpus as f64;
     let gpu_target = (profile.gpu_jobs as f64 * count_scale).round() as u64;
     let preprocess_target =
         (profile.cpu_jobs as f64 * (1.0 - profile.query_share) * count_scale).round() as u64;
@@ -454,7 +492,8 @@ pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> HeliosResul
     let multi_profile = SubmissionProfile::new(&calendar, &stable_monthly(m, profile.seed));
     let cpu_profile = SubmissionProfile::new(&calendar, &stable_monthly(m, profile.seed ^ 0xC0));
 
-    // --- Emit jobs. ---
+    // --- Emit jobs: one stream per user (plus one for the mega
+    // submissions), merged below. ---
     let emitter_rng = ChaCha12Rng::seed_from_u64(rng.gen());
     let mut emitter = Emitter::new(profile, &calendar, names.len(), emitter_rng);
     for ((u, &gc), (&pc, &qc)) in users
@@ -462,6 +501,7 @@ pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> HeliosResul
         .zip(&gpu_counts)
         .zip(prep_counts.iter().zip(&query_counts))
     {
+        emitter.begin_stream();
         let gpu_prof = if u.multi_gpu_user {
             &multi_profile
         } else {
@@ -483,15 +523,21 @@ pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> HeliosResul
     if let Some((owner, template)) = mega_template {
         let owner_profile = users.iter().find(|u| u.id == owner).unwrap();
         mega_name = Some(template.name);
+        emitter.begin_stream();
         emitter.emit(owner_profile, &[template], mega_count, &multi_profile, 2);
         // Guarantee the headline 2 048-GPU request (Table 2) exists at any
         // scale/seed: pin the first mega submission to the cluster maximum.
-        if let Some(first) = emitter.jobs.iter_mut().find(|j| Some(j.name) == mega_name) {
+        // The mega stream was just opened, so its first entry is the first
+        // emitted mega job.
+        if let Some(first) = emitter
+            .streams
+            .last_mut()
+            .and_then(|stream| stream.first_mut())
+        {
+            debug_assert_eq!(Some(first.name), mega_name);
             first.gpus = profile.gpu_cap;
         }
     }
-
-    let mut jobs = emitter.jobs;
 
     // --- Exact load calibration: rescale the sampled durations of the
     // load-bearing kinds (Eval/Train/DistTrain) so each VC's realised
@@ -517,7 +563,7 @@ pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> HeliosResul
     };
     let mut fixed_load = vec![0.0f64; num_vcs];
     let mut scalable_load = vec![0.0f64; num_vcs];
-    for j in &jobs {
+    for j in emitter.jobs() {
         if !j.is_gpu() {
             continue;
         }
@@ -538,7 +584,7 @@ pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> HeliosResul
             }
         })
         .collect();
-    for j in &mut jobs {
+    for j in emitter.jobs_mut() {
         if j.is_gpu() && scalable(kind_by_name[j.name as usize]) {
             let d = j.duration as f64 * kappa[j.vc as usize];
             j.duration = (d.round() as i64).clamp(1, MAX_DURATION_SECS);
@@ -546,7 +592,12 @@ pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> HeliosResul
     }
 
     // Submission-ordered ids; ties broken deterministically by (user, name).
-    jobs.sort_by_key(|j| (j.submit, j.user, j.name, j.run));
+    // Every job key (submit, user, name, run) is unique — the run counter
+    // separates same-template resubmissions — so sorting each stream and
+    // k-way merging reproduces the historical global sort byte for byte
+    // (see `merge_streams`), at a fraction of its comparisons and with the
+    // per-stream sorts fanned out over rayon.
+    let mut jobs = merge_streams(emitter.streams);
     for (i, j) in jobs.iter_mut().enumerate() {
         j.id = i as u64;
     }
@@ -558,6 +609,122 @@ pub fn generate(profile: &WorkloadProfile, cfg: &GeneratorConfig) -> HeliosResul
         jobs,
         names,
     })
+}
+
+/// Submission-order sort key `(submit, user, name, run)`, packed into one
+/// `u128` so heap sift-downs and sort comparisons are single integer
+/// compares instead of 4-field lexicographic ones. Unique per job (the run
+/// counter separates same-template resubmissions), so it defines one total
+/// order. Layout: submit 40 bits (non-negative, < ~34 years), user 24,
+/// name 32, run 32.
+type SortKey = u128;
+
+fn sort_key(j: &JobRecord) -> SortKey {
+    debug_assert!((0..1 << 40).contains(&j.submit));
+    debug_assert!(j.user < 1 << 24);
+    ((j.submit as u128) << 88) | ((j.user as u128) << 64) | ((j.name as u128) << 32) | j.run as u128
+}
+
+/// Streams remaining after pairwise consolidation go through the final
+/// heap-driven k-way merge. Small enough that a sift touches ≤ 2 levels.
+const HEAP_FANIN: usize = 8;
+
+/// Sort each emission stream independently (rayon fan-out; keys are unique
+/// so `sort_unstable` is deterministic), consolidate them with rounds of
+/// linear two-way merges (pairs fan out over rayon), and finish with a
+/// k-way merge through the simulator's 4-ary [`MinHeap`]. Because the key
+/// order is total, the output is byte-identical to globally sorting the
+/// concatenated streams.
+fn merge_streams(streams: Vec<Vec<JobRecord>>) -> Vec<JobRecord> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    merge_streams_with(streams, threads)
+}
+
+/// [`merge_streams`] with an explicit thread budget (tested directly so
+/// both strategies are exercised regardless of the host's core count).
+fn merge_streams_with(mut streams: Vec<Vec<JobRecord>>, threads: usize) -> Vec<JobRecord> {
+    streams.retain(|s| !s.is_empty());
+    // Sequential hosts: one flat pdqsort over the packed keys beats any
+    // merge tree (no parallelism to exploit, fewer memory round-trips).
+    // The key order is total, so both strategies emit the identical
+    // sequence.
+    if threads < 2 {
+        let mut all: Vec<JobRecord> = streams.into_iter().flatten().collect();
+        all.sort_unstable_by_key(sort_key);
+        return all;
+    }
+    streams
+        .par_iter_mut()
+        .with_min_len(1)
+        .for_each(|s| s.sort_unstable_by_key(sort_key));
+    // Pairwise consolidation: cheap streaming merges (one compare, one
+    // copy per element), pairs fanned out over rayon, until the stream
+    // count fits the heap fan-in.
+    while streams.len() > HEAP_FANIN {
+        let mut it = streams.into_iter();
+        let mut pairs: Vec<(Vec<JobRecord>, Option<Vec<JobRecord>>)> = Vec::new();
+        while let Some(a) = it.next() {
+            pairs.push((a, it.next()));
+        }
+        streams = pairs
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|(a, b)| match b {
+                Some(b) => merge_two(a, b),
+                None => a,
+            })
+            .collect();
+    }
+    let total: usize = streams.iter().map(Vec::len).sum();
+    match streams.len() {
+        0 => return Vec::new(),
+        1 => return streams.pop().expect("one stream"),
+        _ => {}
+    }
+    let mut cursor: Vec<usize> = vec![0; streams.len()];
+    let mut heap: MinHeap<(SortKey, usize)> = MinHeap::new();
+    for (si, stream) in streams.iter().enumerate() {
+        heap.push((sort_key(&stream[0]), si));
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some((_, si)) = heap.pop() {
+        let stream = &streams[si];
+        out.push(stream[cursor[si]]);
+        cursor[si] += 1;
+        if let Some(next) = stream.get(cursor[si]) {
+            heap.push((sort_key(next), si));
+        }
+    }
+    debug_assert_eq!(out.len(), total);
+    out
+}
+
+/// Linear merge of two key-sorted runs.
+fn merge_two(a: Vec<JobRecord>, b: Vec<JobRecord>) -> Vec<JobRecord> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if sort_key(x) <= sort_key(y) {
+                    out.push(ia.next().expect("peeked"));
+                } else {
+                    out.push(ib.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                out.extend(ia);
+                break;
+            }
+            (None, _) => {
+                out.extend(ib);
+                break;
+            }
+        }
+    }
+    out
 }
 
 /// Generate all four Helios cluster traces (Table 1 order).
@@ -695,6 +862,45 @@ mod tests {
         assert_eq!(a.jobs.len(), b.jobs.len());
         assert_eq!(a.jobs[100], b.jobs[100]);
         assert_eq!(a.jobs.last(), b.jobs.last());
+    }
+
+    #[test]
+    fn merge_strategies_agree_byte_for_byte() {
+        // Synthetic streams with colliding submits (unique (name, run)
+        // keys) exercise both the flat-sort and the pairwise+heap merge
+        // paths, which must emit the identical sequence.
+        let mk = |user: u32, name: u32, run: u32, submit: i64| JobRecord {
+            id: 0,
+            user,
+            vc: 0,
+            gpus: 1,
+            cpus: 0,
+            submit,
+            start: submit,
+            duration: 10,
+            status: JobStatus::Completed,
+            name,
+            run,
+        };
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut streams = Vec::new();
+        for user in 0..23u32 {
+            let mut s = Vec::new();
+            for run in 0..257u32 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                s.push(mk(user, user * 31, run, (x % 1000) as i64));
+            }
+            streams.push(s);
+        }
+        let flat = merge_streams_with(streams.clone(), 1);
+        let merged = merge_streams_with(streams, 4);
+        assert_eq!(flat.len(), 23 * 257);
+        assert_eq!(flat, merged);
+        for w in flat.windows(2) {
+            assert!(sort_key(&w[0]) < sort_key(&w[1]));
+        }
     }
 
     #[test]

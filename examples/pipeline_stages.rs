@@ -1,0 +1,50 @@
+//! Per-stage wall times of the full session pipeline.
+//!
+//! `Session::pipeline` runs characterization and the two predictor
+//! trainings concurrently (they only read the generated trace), and every
+//! stage records its wall time into `Session::stage_perf` /
+//! `SessionReport::stage_perf`.
+//!
+//! ```text
+//! cargo run --release --example pipeline_stages -- [scale]
+//! ```
+
+use helios::prelude::*;
+
+fn main() -> helios::error::Result<()> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let mut session = Helios::cluster(Preset::Saturn)
+        .scale(scale)
+        .seed(2020)
+        .build()?;
+    session
+        .pipeline()? // generate + characterize ∥ train_qssf ∥ train_ces
+        .schedule(SchedulePolicy::Fifo)?
+        .schedule(SchedulePolicy::Qssf)?;
+    let report = session.report()?;
+
+    println!("{}", report.render());
+    println!("stage            wall");
+    println!("---------------------");
+    for s in &report.stage_perf {
+        println!("{:<16} {:>7.3}s", s.stage, s.wall_secs);
+    }
+    let total: f64 = report
+        .stage_perf
+        .iter()
+        // The `pipeline` record spans the three overlapped stages; summing
+        // it *and* its members would double-count.
+        .filter(|s| {
+            !matches!(
+                s.stage.as_str(),
+                "characterize" | "train_qssf" | "train_ces"
+            )
+        })
+        .map(|s| s.wall_secs)
+        .sum();
+    println!("{:<16} {total:>7.3}s", "total");
+    Ok(())
+}

@@ -52,7 +52,9 @@ pub mod prelude;
 pub mod session;
 
 pub use error::{HeliosError, HeliosResult};
-pub use session::{Helios, Preset, SchedulePolicy, Session, SessionBuilder, SessionReport};
+pub use session::{
+    Helios, Preset, SchedulePolicy, Session, SessionBuilder, SessionReport, StagePerf,
+};
 
 pub use helios_analysis as analysis;
 pub use helios_core as core;

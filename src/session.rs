@@ -35,7 +35,7 @@
 
 use crate::error::{HeliosError, Result};
 use helios_analysis::report::{fmt_count, fmt_secs, TextTable};
-use helios_analysis::{clusters, jobs, users};
+use helios_analysis::{jobs, users};
 use helios_core::{CesEvaluation, CesService, CesServiceConfig, QssfConfig, QssfService};
 use helios_energy::EnergyAwarePolicy;
 use helios_energy::{annualize, energy_saved_kwh, node_series_from_trace};
@@ -48,6 +48,7 @@ use helios_trace::{
     generate, profile_for, ClusterId, GeneratorConfig, Trace, WorkloadProfile, SECS_PER_DAY,
 };
 use serde_json::json;
+use std::time::Instant;
 
 /// The clusters of the paper (Table 1 plus the Philly comparison cluster).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -300,21 +301,29 @@ impl SessionBuilder {
     /// happens yet; [`Session::generate`] materializes the trace.
     pub fn build(self) -> Result<Session> {
         self.knobs.validate()?;
-        Ok(Session {
-            preset: self.preset,
-            knobs: self.knobs,
-            trace: None,
-            characterization: None,
-            qssf: None,
-            ces_eval: None,
-            schedules: Vec::new(),
-        })
+        Ok(Session::with_knobs(self.preset, self.knobs))
     }
+}
+
+/// Wall time of one executed pipeline stage, recorded by every stage
+/// method (and by [`Session::pipeline`] for its overlapped run). The
+/// `repro --bench-json` trajectory serializes these records.
+#[derive(Debug, Clone)]
+pub struct StagePerf {
+    /// Stage label: `generate`, `characterize`, `train_qssf`, `train_ces`,
+    /// `schedule:<policy>`, `report`, or `pipeline` (the overlapped
+    /// characterize/train span).
+    pub stage: String,
+    /// Wall-clock seconds of this stage execution.
+    pub wall_secs: f64,
 }
 
 /// One cluster's end-to-end pipeline state. Stages chain through
 /// `Result<&mut Session>`, so a pipeline reads as
-/// `session.generate()?.characterize()?.train_qssf()?...`.
+/// `session.generate()?.characterize()?.train_qssf()?...`. `Clone` forks
+/// the full state (trace, trained services, recorded outcomes), so
+/// divergent what-if chains can share one generated trace.
+#[derive(Clone)]
 pub struct Session {
     preset: Preset,
     knobs: Knobs,
@@ -323,6 +332,7 @@ pub struct Session {
     qssf: Option<QssfService>,
     ces_eval: Option<CesEvaluation>,
     schedules: Vec<ScheduleOutcome>,
+    stage_perf: Vec<StagePerf>,
 }
 
 /// Characterization highlights (§3), computed by [`Session::characterize`].
@@ -361,9 +371,35 @@ pub struct ScheduleOutcome {
 }
 
 impl Session {
+    fn with_knobs(preset: Preset, knobs: Knobs) -> Session {
+        Session {
+            preset,
+            knobs,
+            trace: None,
+            characterization: None,
+            qssf: None,
+            ces_eval: None,
+            schedules: Vec::new(),
+            stage_perf: Vec::new(),
+        }
+    }
+
     /// The cluster preset this session runs on.
     pub fn preset(&self) -> Preset {
         self.preset
+    }
+
+    /// Wall-time records of every stage executed so far, in execution
+    /// order (see [`StagePerf`]).
+    pub fn stage_perf(&self) -> &[StagePerf] {
+        &self.stage_perf
+    }
+
+    fn record_stage(&mut self, stage: impl Into<String>, started: Instant) {
+        self.stage_perf.push(StagePerf {
+            stage: stage.into(),
+            wall_secs: started.elapsed().as_secs_f64(),
+        });
     }
 
     /// The generated trace (after [`Session::generate`]).
@@ -399,6 +435,7 @@ impl Session {
 
     /// Stage 1: synthesize the cluster trace.
     pub fn generate(&mut self) -> Result<&mut Session> {
+        let started = Instant::now();
         let cfg = GeneratorConfig {
             scale: self.knobs.scale,
             seed: self.knobs.seed,
@@ -406,43 +443,20 @@ impl Session {
         let trace = generate(&self.preset.profile(), &cfg)
             .map_err(|e| e.for_cluster(self.preset.name()))?;
         self.trace = Some(trace);
+        self.record_stage("generate", started);
         Ok(self)
     }
 
-    /// Stage 2: compute the §3 characterization highlights.
+    /// Stage 2: compute the §3 characterization highlights (fused
+    /// single-pass engine; equals the legacy per-figure scans exactly).
     pub fn characterize(&mut self) -> Result<&mut Session> {
+        let started = Instant::now();
         let trace = self.trace.as_ref().ok_or(HeliosError::MissingStage {
             stage: "characterize",
             requires: "generate",
         })?;
-        let summary = jobs::summarize(&[trace]);
-        let pattern = clusters::daily_pattern(trace);
-        let peak = pattern
-            .hourly_submissions
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max);
-        let trough = pattern
-            .hourly_submissions
-            .iter()
-            .cloned()
-            .fold(f64::MAX, f64::min);
-        let (count_cdf, time_cdf) = jobs::job_size_cdfs(trace);
-        // `status_by_job_class` reports percentages; normalize to fractions
-        // so every Characterization share field uses the same unit.
-        let (_, gpu_status_pct) = jobs::status_by_job_class(&[trace]);
-        let gpu_status = gpu_status_pct.map(|p| p / 100.0);
-        let stats = users::per_user_stats(trace);
-        let (gpu_curve, _) = users::consumption_curves(&stats);
-        self.characterization = Some(Characterization {
-            summary,
-            peak_hourly_submissions: peak,
-            trough_hourly_submissions: trough,
-            single_gpu_share: count_cdf.fraction_at(1.0),
-            single_gpu_time_share: time_cdf.fraction_at(1.0),
-            gpu_status_shares: gpu_status,
-            top5_user_gpu_share: users::top_share(&gpu_curve, 0.05),
-        });
+        self.characterization = Some(compute_characterization(trace));
+        self.record_stage("characterize", started);
         Ok(self)
     }
 
@@ -450,12 +464,13 @@ impl Session {
     /// the evaluation window (the paper trains on April–August and
     /// schedules September).
     pub fn train_qssf(&mut self) -> Result<&mut Session> {
+        let started = Instant::now();
         let (lo, _) = self.eval_window()?;
         let trace = self.trace.as_ref().expect("eval_window checked generate");
-        let mut svc = QssfService::new(self.knobs.qssf);
-        svc.train(trace, 0, lo)
+        let svc = compute_qssf(trace, self.knobs.qssf, lo)
             .map_err(|e| e.for_cluster(self.preset.name()))?;
         self.qssf = Some(svc);
+        self.record_stage("train_qssf", started);
         Ok(self)
     }
 
@@ -463,23 +478,109 @@ impl Session {
     /// DRS evaluation (first three weeks of the evaluation window,
     /// Fig. 14/15, Table 5).
     pub fn train_ces(&mut self) -> Result<&mut Session> {
+        let started = Instant::now();
         let (lo, hi) = self.eval_window()?;
         let trace = self.trace.as_ref().expect("eval_window checked generate");
-        let series = node_series_from_trace(trace, 600, self.knobs.placement)
-            .map_err(|e| e.for_cluster(self.preset.name()))?;
-        let eval_end = (lo + 21 * SECS_PER_DAY).min(hi);
-        let mut cfg = self.knobs.ces.clone();
-        // Control thresholds scale with cluster size (defaults target the
-        // paper's 130–320-node clusters).
-        let k = (trace.spec.nodes as f64 / 140.0).clamp(0.05, 3.0);
-        cfg.control.buffer_nodes = (cfg.control.buffer_nodes * k).max(1.0);
-        cfg.control.xi_hist = (cfg.control.xi_hist * k).max(0.25);
-        cfg.control.xi_future = (cfg.control.xi_future * k).max(0.25);
-        let mut svc = CesService::new(cfg);
-        let eval = svc
-            .evaluate(trace, &series, lo, eval_end)
+        let eval = compute_ces(trace, &self.knobs, lo, hi)
             .map_err(|e| e.for_cluster(self.preset.name()))?;
         self.ces_eval = Some(eval);
+        self.record_stage("train_ces", started);
+        Ok(self)
+    }
+
+    /// Fast path through the analysis stages: run [`Session::characterize`],
+    /// [`Session::train_qssf`] and [`Session::train_ces`] **concurrently**
+    /// over rayon — all three depend only on the generated trace, so on a
+    /// multi-core host the wall time of this span collapses to the slowest
+    /// stage instead of their sum. Generates the trace first if needed.
+    ///
+    /// Results are identical to running the stages sequentially (each
+    /// stage is a pure function of the trace); per-stage wall times are
+    /// recorded under their usual labels plus a `pipeline` record for the
+    /// overlapped span.
+    ///
+    /// ```no_run
+    /// use helios::prelude::*;
+    ///
+    /// # fn main() -> helios::error::Result<()> {
+    /// let report = Helios::cluster(Preset::Saturn)
+    ///     .scale(0.1)
+    ///     .build()?
+    ///     .pipeline()? // generate + characterize ∥ train_qssf ∥ train_ces
+    ///     .schedule(SchedulePolicy::Fifo)?
+    ///     .schedule(SchedulePolicy::Qssf)?
+    ///     .report()?;
+    /// for s in &report.stage_perf {
+    ///     println!("{:<16} {:.3}s", s.stage, s.wall_secs);
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn pipeline(&mut self) -> Result<&mut Session> {
+        if self.trace.is_none() {
+            self.generate()?;
+        }
+        let started = Instant::now();
+        let (lo, hi) = self.eval_window()?;
+        let trace = self.trace.as_ref().expect("generated above");
+        let name = self.preset.name();
+        #[allow(clippy::large_enum_variant)] // three short-lived carriers
+        enum StageOut {
+            Char(Characterization),
+            Qssf(QssfService),
+            Ces(CesEvaluation),
+        }
+        type Task<'a> = Box<dyn Fn() -> Result<(StageOut, f64)> + Send + Sync + 'a>;
+        let timed = |f: &dyn Fn() -> Result<StageOut>| -> Result<(StageOut, f64)> {
+            let t = Instant::now();
+            Ok((f()?, t.elapsed().as_secs_f64()))
+        };
+        let knobs = &self.knobs;
+        let tasks: Vec<Task> = vec![
+            Box::new(move || timed(&|| Ok(StageOut::Char(compute_characterization(trace))))),
+            Box::new(move || {
+                timed(&|| {
+                    compute_qssf(trace, knobs.qssf, lo)
+                        .map(StageOut::Qssf)
+                        .map_err(|e| e.for_cluster(name))
+                })
+            }),
+            Box::new(move || {
+                timed(&|| {
+                    compute_ces(trace, knobs, lo, hi)
+                        .map(StageOut::Ces)
+                        .map_err(|e| e.for_cluster(name))
+                })
+            }),
+        ];
+        use rayon::prelude::*;
+        let results: Vec<Result<(StageOut, f64)>> = tasks
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|task| task())
+            .collect();
+        for result in results {
+            let (out, secs) = result?;
+            let stage = match out {
+                StageOut::Char(c) => {
+                    self.characterization = Some(c);
+                    "characterize"
+                }
+                StageOut::Qssf(q) => {
+                    self.qssf = Some(q);
+                    "train_qssf"
+                }
+                StageOut::Ces(e) => {
+                    self.ces_eval = Some(e);
+                    "train_ces"
+                }
+            };
+            self.stage_perf.push(StagePerf {
+                stage: stage.into(),
+                wall_secs: secs,
+            });
+        }
+        self.record_stage("pipeline", started);
         Ok(self)
     }
 
@@ -521,6 +622,7 @@ impl Session {
         policy: Box<dyn SchedulingPolicy + 'o>,
         observers: Vec<Box<dyn SimObserver + 'o>>,
     ) -> Result<&mut Session> {
+        let started = Instant::now();
         let (lo, hi) = self.eval_window()?;
         let trace = self.trace.as_ref().expect("eval_window checked generate");
         let jobs = match builtin {
@@ -563,6 +665,7 @@ impl Session {
         let stats = schedule_stats(&outcomes);
         // Re-running a policy replaces its previous outcome.
         self.schedules.retain(|s| s.label != label);
+        self.record_stage(format!("schedule:{label}"), started);
         self.schedules.push(ScheduleOutcome {
             label,
             policy: builtin,
@@ -586,6 +689,7 @@ impl Session {
     /// Final stage: assemble everything computed so far into a
     /// [`SessionReport`]. Requires at least [`Session::generate`].
     pub fn report(&self) -> Result<SessionReport> {
+        let started = Instant::now();
         let trace = self.trace.as_ref().ok_or(HeliosError::MissingStage {
             stage: "report",
             requires: "generate",
@@ -622,6 +726,11 @@ impl Session {
                 annual_kwh_saved: annualize(energy_saved_kwh(e.guided.drs_node_seconds), window),
             }
         });
+        let mut stage_perf = self.stage_perf.clone();
+        stage_perf.push(StagePerf {
+            stage: "report".into(),
+            wall_secs: started.elapsed().as_secs_f64(),
+        });
         Ok(SessionReport {
             cluster: self.preset.name().to_string(),
             scale: self.knobs.scale,
@@ -635,8 +744,61 @@ impl Session {
             schedules,
             qssf_vs_fifo,
             ces,
+            stage_perf,
         })
     }
+}
+
+/// The §3 characterization highlights as a pure function of the trace —
+/// one fused single-pass traversal (see `helios_analysis::fused`).
+fn compute_characterization(trace: &Trace) -> Characterization {
+    let f = helios_analysis::characterize(trace);
+    let peak = f
+        .daily
+        .hourly_submissions
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max);
+    let trough = f
+        .daily
+        .hourly_submissions
+        .iter()
+        .cloned()
+        .fold(f64::MAX, f64::min);
+    let (gpu_curve, _) = users::consumption_curves(&f.users);
+    Characterization {
+        peak_hourly_submissions: peak,
+        trough_hourly_submissions: trough,
+        single_gpu_share: f.job_size_cdf().fraction_at(1.0),
+        single_gpu_time_share: f.job_size_time_cdf().fraction_at(1.0),
+        // `gpu_status` is in percent; normalize to fractions so every
+        // Characterization share field uses the same unit.
+        gpu_status_shares: f.gpu_status.map(|p| p / 100.0),
+        top5_user_gpu_share: users::top_share(&gpu_curve, 0.05),
+        summary: f.summary,
+    }
+}
+
+/// Trained QSSF service as a pure function of the trace.
+fn compute_qssf(trace: &Trace, cfg: QssfConfig, train_hi: i64) -> Result<QssfService> {
+    let mut svc = QssfService::new(cfg);
+    svc.train(trace, 0, train_hi)?;
+    Ok(svc)
+}
+
+/// CES evaluation as a pure function of the trace.
+fn compute_ces(trace: &Trace, knobs: &Knobs, lo: i64, hi: i64) -> Result<CesEvaluation> {
+    let series = node_series_from_trace(trace, 600, knobs.placement)?;
+    let eval_end = (lo + 21 * SECS_PER_DAY).min(hi);
+    let mut cfg = knobs.ces.clone();
+    // Control thresholds scale with cluster size (defaults target the
+    // paper's 130–320-node clusters).
+    let k = (trace.spec.nodes as f64 / 140.0).clamp(0.05, 3.0);
+    cfg.control.buffer_nodes = (cfg.control.buffer_nodes * k).max(1.0);
+    cfg.control.xi_hist = (cfg.control.xi_hist * k).max(0.25);
+    cfg.control.xi_future = (cfg.control.xi_future * k).max(0.25);
+    let mut svc = CesService::new(cfg);
+    svc.evaluate(trace, &series, lo, eval_end)
 }
 
 /// One policy row of a report, identified by the policy object's name.
@@ -684,6 +846,8 @@ pub struct SessionReport {
     pub schedules: Vec<ScheduleSummary>,
     pub qssf_vs_fifo: Option<PolicyGain>,
     pub ces: Option<CesSummary>,
+    /// Wall-time records of every executed stage, in execution order.
+    pub stage_perf: Vec<StagePerf>,
 }
 
 impl SessionReport {
@@ -775,6 +939,14 @@ impl SessionReport {
         root.insert("jobs".into(), json!(self.jobs));
         root.insert("gpu_jobs".into(), json!(self.gpu_jobs));
         root.insert("schedules".into(), json!(schedules));
+        root.insert(
+            "stages".into(),
+            json!(self
+                .stage_perf
+                .iter()
+                .map(|s| json!({"stage": s.stage.clone(), "wall_secs": s.wall_secs}))
+                .collect::<Vec<_>>()),
+        );
         if let Some(g) = &self.qssf_vs_fifo {
             root.insert(
                 "qssf_vs_fifo".into(),
@@ -843,15 +1015,7 @@ impl FleetBuilder {
             for &seed in &seeds {
                 let mut knobs = self.knobs.clone();
                 knobs.seed = seed;
-                sessions.push(Session {
-                    preset,
-                    knobs,
-                    trace: None,
-                    characterization: None,
-                    qssf: None,
-                    ces_eval: None,
-                    schedules: Vec::new(),
-                });
+                sessions.push(Session::with_knobs(preset, knobs));
             }
         }
         Ok(sessions)

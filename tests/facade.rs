@@ -368,3 +368,85 @@ fn tiresias_and_energy_builtins_schedule() {
         assert!(o.stats.avg_jct > 0.0);
     }
 }
+
+/// `Session::pipeline` (characterize ∥ train_qssf ∥ train_ces over rayon)
+/// must produce exactly what the sequential stage chain produces, and
+/// record per-stage wall times.
+#[test]
+fn pipeline_fast_path_matches_sequential_stages() {
+    let build = || {
+        Helios::cluster(Preset::Venus)
+            .scale(0.04)
+            .seed(11)
+            .build()
+            .unwrap()
+    };
+    let mut seq = build();
+    seq.generate()
+        .unwrap()
+        .characterize()
+        .unwrap()
+        .train_qssf()
+        .unwrap()
+        .train_ces()
+        .unwrap()
+        .schedule(SchedulePolicy::Fifo)
+        .unwrap()
+        .schedule(SchedulePolicy::Qssf)
+        .unwrap();
+    let mut par = build();
+    par.pipeline()
+        .unwrap()
+        .schedule(SchedulePolicy::Fifo)
+        .unwrap()
+        .schedule(SchedulePolicy::Qssf)
+        .unwrap();
+
+    // Characterization equal field for field.
+    let (a, b) = (
+        seq.characterization().unwrap(),
+        par.characterization().unwrap(),
+    );
+    assert_eq!(a.summary, b.summary);
+    assert_eq!(a.gpu_status_shares, b.gpu_status_shares);
+    assert_eq!(a.single_gpu_share, b.single_gpu_share);
+    assert_eq!(a.single_gpu_time_share, b.single_gpu_time_share);
+    assert_eq!(a.top5_user_gpu_share, b.top5_user_gpu_share);
+    assert_eq!(a.peak_hourly_submissions, b.peak_hourly_submissions);
+
+    // CES evaluation equal.
+    let (ca, cb) = (seq.ces_evaluation().unwrap(), par.ces_evaluation().unwrap());
+    assert_eq!(ca.smape, cb.smape);
+    assert_eq!(ca.forecast, cb.forecast);
+    assert_eq!(ca.guided.drs_node_seconds, cb.guided.drs_node_seconds);
+
+    // QSSF-trained scheduling outcomes identical job for job.
+    for (sa, sb) in seq
+        .schedule_outcomes()
+        .iter()
+        .zip(par.schedule_outcomes().iter())
+    {
+        assert_eq!(sa.label, sb.label);
+        assert_eq!(sa.outcomes, sb.outcomes);
+    }
+
+    // Stage perf: every stage recorded, pipeline span present.
+    let stages: Vec<&str> = par.stage_perf().iter().map(|s| s.stage.as_str()).collect();
+    for expect in [
+        "generate",
+        "characterize",
+        "train_qssf",
+        "train_ces",
+        "pipeline",
+        "schedule:FIFO",
+        "schedule:QSSF",
+    ] {
+        assert!(stages.contains(&expect), "missing stage record {expect}");
+    }
+    assert!(par.stage_perf().iter().all(|s| s.wall_secs >= 0.0));
+    let report = par.report().unwrap();
+    assert_eq!(
+        report.stage_perf.last().map(|s| s.stage.as_str()),
+        Some("report")
+    );
+}
