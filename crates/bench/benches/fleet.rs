@@ -1,0 +1,89 @@
+//! Fleet service-layer cost: sharded ingestion throughput and the
+//! latency of live status queries while workers hold queued and running
+//! state. Complements `BENCH_fleet.json` (the `fleet-soak` experiment),
+//! which measures the same two paths at 100k-job soak scale.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use helios_fleet::{ClusterConfig, Fleet, FleetConfig};
+use helios_sim::{Policy, SimJob};
+use helios_trace::ClusterId;
+
+/// Synthetic streaming workload: small mixed-size jobs fanned across
+/// `vcs` virtual clusters, submit times already in admission order.
+fn jobs(n: u64, vcs: u16) -> Vec<SimJob> {
+    (0..n)
+        .map(|i| SimJob {
+            id: i,
+            vc: (i % vcs as u64) as u16,
+            gpus: 1 + (i % 2) as u32,
+            submit: (i as i64) / 50,
+            duration: 60 + (i as i64 % 11) * 30,
+            priority: 0.0,
+        })
+        .collect()
+}
+
+/// Submit every job to a fleet; the shard capacities below are sized so
+/// the per-VC queues never overflow mid-batch.
+fn feed(fleet: &Fleet, cluster: ClusterId, js: &[SimJob]) {
+    for &job in js {
+        fleet.submit(cluster, job).expect("shard sized for batch");
+    }
+}
+
+/// End-to-end ingestion throughput: launch a single-cluster fleet, push
+/// a 10k-job batch through the sharded queues, run it to completion.
+fn bench_ingest(c: &mut Criterion) {
+    let cfg = FleetConfig::new()
+        .with_cluster(ClusterConfig::new(ClusterId::Venus, Policy::Fifo))
+        .with_shard_capacity(16_384);
+    let probe = Fleet::launch(&cfg).expect("fleet launches");
+    let vcs = probe.status(ClusterId::Venus).expect("hosted").vcs.len() as u16;
+    drop(probe);
+    let js = jobs(10_000, vcs);
+
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(10);
+    g.bench_function("ingest_complete_venus_10k", |b| {
+        b.iter(|| {
+            let fleet = Fleet::launch(black_box(&cfg)).expect("fleet launches");
+            feed(&fleet, ClusterId::Venus, black_box(&js));
+            let done = fleet.shutdown().expect("clean shutdown");
+            black_box(done)
+        })
+    });
+    g.finish();
+}
+
+/// Live-read latency: all five presets hosted concurrently, each holding
+/// in-flight work, while the caller polls status (queue depth, per-VC
+/// utilization, queued-work ETA) without pausing simulation.
+fn bench_query(c: &mut Criterion) {
+    let fleet = Fleet::launch(&FleetConfig::all_presets(Policy::Fifo)).expect("fleet launches");
+    for cluster in fleet.clusters() {
+        let vcs = fleet.status(cluster).expect("hosted").vcs.len() as u16;
+        feed(&fleet, cluster, &jobs(2_000, vcs));
+    }
+    // Partial advance: leave queues and running jobs populated so the
+    // query walks realistic per-VC state.
+    fleet.advance(600).expect("live workers");
+
+    let mut g = c.benchmark_group("fleet");
+    g.bench_function("status_query_5_clusters_under_load", |b| {
+        b.iter(|| {
+            let mut depth = 0usize;
+            for cluster in fleet.clusters() {
+                let s = fleet.status(black_box(cluster)).expect("hosted");
+                depth += s.queue_depth + s.pending_ingest;
+                for vc in &s.vcs {
+                    black_box(vc.eta_secs());
+                    black_box(vc.utilization());
+                }
+            }
+            black_box(depth)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_query);
+criterion_main!(benches);

@@ -110,10 +110,9 @@ fn write_bench_json(path: &Path, args: &Args, ctx: &Context) -> Result<(), Helio
     let stages: Vec<serde_json::Value> = ctx.stage_records().iter().map(|r| r.to_json()).collect();
     // Scheduler experiments fan clusters x policies out over rayon, so
     // wall times include sibling-simulation contention: record the host
-    // parallelism so trajectories are only compared like-for-like.
-    let parallelism = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    // parallelism (also stamped into every individual record) so
+    // trajectories are only compared like-for-like.
+    let parallelism = helios_bench::experiments::run_parallelism();
     let doc = serde_json::json!({
         "schema": "helios-bench/1",
         "scale": args.scale,

@@ -50,6 +50,10 @@ pub struct PolicyRunPerf {
     /// FNV-1a over every outcome's (id, start, end, preemptions) — a
     /// stable fingerprint that pins scheduling results across perf work.
     pub outcome_digest: String,
+    /// Worker threads available when this record was measured
+    /// ([`run_parallelism`]) — wall times are only comparable
+    /// like-for-like.
+    pub parallelism: usize,
 }
 
 impl PolicyRunPerf {
@@ -61,6 +65,7 @@ impl PolicyRunPerf {
             "wall_secs": self.wall_secs,
             "jobs_per_sec": self.jobs_per_sec,
             "outcome_digest": self.outcome_digest.clone(),
+            "parallelism": self.parallelism,
         })
     }
 }
@@ -75,6 +80,9 @@ pub struct StagePerfRecord {
     /// `schedule:<policy>`, `report`, `pipeline`, or `total`).
     pub stage: String,
     pub wall_secs: f64,
+    /// Worker threads available when this record was measured
+    /// ([`run_parallelism`]).
+    pub parallelism: usize,
 }
 
 impl StagePerfRecord {
@@ -83,8 +91,17 @@ impl StagePerfRecord {
             "cluster": self.cluster.clone(),
             "stage": self.stage.clone(),
             "wall_secs": self.wall_secs,
+            "parallelism": self.parallelism,
         })
     }
+}
+
+/// Worker/thread count of this run — stamped into every perf record so
+/// trajectories are only ever compared like-for-like.
+pub fn run_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Stable FNV-1a fingerprint of a scheduling result.
@@ -124,6 +141,9 @@ pub struct Context {
     ces: Option<Vec<(String, CesEvaluation)>>,
     ces_philly: Option<(String, CesEvaluation)>,
     stages: Vec<StagePerfRecord>,
+    /// Perf records produced by the `fleet-soak` experiment (empty unless
+    /// it ran) — merged into [`Context::bench_records`].
+    fleet_perf: Vec<PolicyRunPerf>,
 }
 
 impl Context {
@@ -144,6 +164,7 @@ impl Context {
             ces: None,
             ces_philly: None,
             stages: Vec::new(),
+            fleet_perf: Vec::new(),
         })
     }
 
@@ -291,6 +312,7 @@ impl Context {
         if let Some(run) = &self.sched_philly {
             out.extend(run.perf.iter());
         }
+        out.extend(self.fleet_perf.iter());
         out
     }
 
@@ -414,6 +436,7 @@ fn timed_run(
             f64::INFINITY
         },
         outcome_digest: outcome_digest(&outcomes),
+        parallelism: run_parallelism(),
     };
     (label, perf, outcomes)
 }
@@ -1652,6 +1675,7 @@ fn pipeline_exp(ctx: &mut Context) -> ExperimentOutput {
                 cluster: preset.name().to_string(),
                 stage: stage.clone(),
                 wall_secs: *wall_secs,
+                parallelism: run_parallelism(),
             });
         }
         per_cluster.push((preset.name().to_string(), stages));
@@ -1688,15 +1712,191 @@ fn pipeline_exp(ctx: &mut Context) -> ExperimentOutput {
     }
 }
 
+/// `fleet-soak`: the scheduler-as-a-service soak. All five presets are
+/// hosted concurrently by one [`helios_fleet::Fleet`]; 100k jobs stream
+/// through the sharded per-VC ingestion queues in waves while live
+/// status/ETA queries are answered mid-run. Produces the
+/// `BENCH_fleet.json` records: per-cluster outcome digests (the
+/// determinism pin), aggregate ingestion throughput (jobs/sec into the
+/// shards), and mean status-query latency.
+fn fleet_soak(ctx: &mut Context) -> Result<ExperimentOutput, HeliosError> {
+    use helios_fleet::{Fleet, FleetConfig};
+
+    const WAVES: usize = 40;
+    const JOBS_PER_CLUSTER_PER_WAVE: usize = 500; // 5 clusters x 40 x 500 = 100k
+    const WAVE_SECS: i64 = 360;
+
+    eprintln!(
+        "[ctx] fleet soak: 5 concurrent clusters, {} streamed jobs each...",
+        WAVES * JOBS_PER_CLUSTER_PER_WAVE
+    );
+    let fleet = Fleet::launch(&FleetConfig::all_presets(Policy::Fifo))?;
+    let clusters = fleet.clusters();
+    let mut nvcs = Vec::with_capacity(clusters.len());
+    for &c in &clusters {
+        nvcs.push(fleet.status(c)?.vcs.len());
+    }
+
+    let started = Instant::now();
+    let mut submit_nanos = 0u128;
+    let mut query_nanos = 0u128;
+    let mut queries = 0u64;
+    let mut next_id = 0u64;
+    for wave in 0..WAVES {
+        let floor = wave as i64 * WAVE_SECS;
+        for (ci, &cluster) in clusters.iter().enumerate() {
+            let t0 = Instant::now();
+            for k in 0..JOBS_PER_CLUSTER_PER_WAVE {
+                let job = SimJob {
+                    id: next_id,
+                    vc: ((k + wave) % nvcs[ci]) as u16,
+                    gpus: 1 + (k as u32 % 2),
+                    submit: floor,
+                    duration: 60 + (k as i64 % 11) * 30,
+                    priority: 0.0,
+                };
+                match fleet.submit(cluster, job) {
+                    Ok(()) => {}
+                    Err(HeliosError::FleetOverflow { .. }) => {
+                        // Backpressure: run one admission cycle, retry.
+                        fleet.advance_cluster(cluster, floor)?;
+                        fleet.submit(cluster, job)?;
+                    }
+                    Err(e) => return Err(e),
+                }
+                next_id += 1;
+            }
+            submit_nanos += t0.elapsed().as_nanos();
+        }
+        fleet.advance((wave as i64 + 1) * WAVE_SECS)?;
+        // Live reads between admission cycles — the query-path half of
+        // the soak.
+        for &cluster in &clusters {
+            let q0 = Instant::now();
+            let status = fleet.status(cluster)?;
+            query_nanos += q0.elapsed().as_nanos();
+            queries += 1;
+            if status.pending_ingest != 0 {
+                return Err(HeliosError::invalid_config(
+                    "fleet_soak",
+                    "an admission cycle left jobs in the ingestion shards",
+                ));
+            }
+        }
+    }
+    let per_cluster = fleet.shutdown()?;
+    let wall_secs = started.elapsed().as_secs_f64();
+    let submitted = next_id;
+
+    let submit_secs = submit_nanos as f64 / 1e9;
+    let ingest_jps = if submit_secs > 0.0 {
+        submitted as f64 / submit_secs
+    } else {
+        f64::INFINITY
+    };
+    let query_secs = query_nanos as f64 / 1e9;
+    let query_lat_us = if queries > 0 {
+        query_nanos as f64 / queries as f64 / 1e3
+    } else {
+        0.0
+    };
+    let parallelism = run_parallelism();
+
+    let mut table = TextTable::new(vec!["cluster", "jobs", "outcome digest"]);
+    let mut rows_json = Vec::new();
+    for (cluster, outcomes) in &per_cluster {
+        let mut sorted = outcomes.clone();
+        sorted.sort_by_key(|o| o.id);
+        let digest = outcome_digest(&sorted);
+        if sorted.len() != submitted as usize / clusters.len() {
+            return Err(HeliosError::invalid_config(
+                "fleet_soak",
+                format!(
+                    "{}: {} outcomes for {} submissions",
+                    cluster.name(),
+                    sorted.len(),
+                    submitted as usize / clusters.len()
+                ),
+            ));
+        }
+        table.row(vec![
+            cluster.name().to_string(),
+            fmt_count(sorted.len() as u64),
+            digest.clone(),
+        ]);
+        rows_json.push(json!({
+            "cluster": cluster.name(),
+            "jobs": sorted.len(),
+            "outcome_digest": digest.clone(),
+        }));
+        ctx.fleet_perf.push(PolicyRunPerf {
+            cluster: cluster.name().to_string(),
+            policy: "FLEET-SOAK".into(),
+            jobs: sorted.len(),
+            wall_secs,
+            jobs_per_sec: sorted.len() as f64 / wall_secs.max(f64::MIN_POSITIVE),
+            outcome_digest: digest,
+            parallelism,
+        });
+    }
+    ctx.fleet_perf.push(PolicyRunPerf {
+        cluster: "ALL".into(),
+        policy: "FLEET-INGEST".into(),
+        jobs: submitted as usize,
+        wall_secs: submit_secs,
+        jobs_per_sec: ingest_jps,
+        outcome_digest: outcome_digest(&[]),
+        parallelism,
+    });
+    ctx.fleet_perf.push(PolicyRunPerf {
+        cluster: "ALL".into(),
+        policy: "FLEET-QUERY".into(),
+        jobs: queries as usize,
+        wall_secs: query_secs,
+        jobs_per_sec: queries as f64 / query_secs.max(f64::MIN_POSITIVE),
+        outcome_digest: outcome_digest(&[]),
+        parallelism,
+    });
+
+    let text = format!(
+        "Fleet soak: {} jobs streamed across {} concurrent clusters in {:.2}s \
+         (ingestion {:.0} jobs/sec into the shards; {} live status queries, \
+         mean {:.1}us each)\n{}",
+        submitted,
+        clusters.len(),
+        wall_secs,
+        ingest_jps,
+        queries,
+        query_lat_us,
+        table.render()
+    );
+    let data = json!({
+        "submitted": submitted,
+        "clusters": clusters.len(),
+        "wall_secs": wall_secs,
+        "ingest_jobs_per_sec": ingest_jps,
+        "queries": queries,
+        "query_latency_us_mean": query_lat_us,
+        "parallelism": parallelism,
+        "per_cluster": rows_json,
+    });
+    Ok(ExperimentOutput {
+        id: "fleet-soak".into(),
+        text,
+        data,
+    })
+}
+
 /// Experiments not covered by a paper artifact id: predictor quality,
 /// ablations, and the end-to-end pipeline throughput probe. Run by `all`
 /// after [`ALL_EXPERIMENTS`], and listed by the `repro` binary — one
 /// source of truth so the lists cannot drift.
-pub const EXTRA_EXPERIMENTS: [&str; 4] = [
+pub const EXTRA_EXPERIMENTS: [&str; 5] = [
     "pred-ces",
     "ablation-lambda",
     "ablation-backfill",
     "pipeline",
+    "fleet-soak",
 ];
 
 /// All experiment ids, in DESIGN.md order.
@@ -1751,6 +1951,7 @@ pub fn run(id: &str, ctx: &mut Context) -> Result<Vec<ExperimentOutput>, HeliosE
         "ablation-lambda" => vec![ablation_lambda(ctx)],
         "ablation-backfill" => vec![ablation_backfill(ctx)],
         "pipeline" => vec![pipeline_exp(ctx)],
+        "fleet-soak" => vec![fleet_soak(ctx)?],
         "all" => {
             let mut out = Vec::new();
             for id in ALL_EXPERIMENTS.iter().chain(&EXTRA_EXPERIMENTS) {

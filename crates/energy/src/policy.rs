@@ -131,6 +131,24 @@ impl SchedulingPolicy for EnergyAwarePolicy {
     fn on_finish(&mut self, _job: &SimJob, _now: i64, cluster: &ClusterView<'_>) {
         self.refresh(cluster);
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        // The config is construction-time; the hook-fed utilization is the
+        // only dynamic state, and it decides the FIFO/energy gate, so a
+        // restored twin must resume with the exact same bits.
+        out.extend_from_slice(&self.utilization.to_le_bytes());
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), helios_trace::HeliosError> {
+        let raw: [u8; 8] = bytes.try_into().map_err(|_| {
+            helios_trace::HeliosError::snapshot(
+                "restoring policy state",
+                format!("ENERGY expects 8 state bytes, got {}", bytes.len()),
+            )
+        })?;
+        self.utilization = f64::from_le_bytes(raw);
+        Ok(())
+    }
 }
 
 /// The constant kW one powered node costs (server + cooling) — exposed so
@@ -244,6 +262,24 @@ mod tests {
         assert!(
             quiet_key < busy_key,
             "quiet {quiet_key} must order below busy {busy_key}"
+        );
+    }
+
+    #[test]
+    fn policy_state_round_trips() {
+        let p = EnergyAwarePolicy {
+            utilization: 0.625,
+            ..Default::default()
+        };
+        let mut bytes = Vec::new();
+        p.save_state(&mut bytes);
+        let mut twin = EnergyAwarePolicy::default();
+        twin.load_state(&bytes).unwrap();
+        assert_eq!(twin.observed_utilization(), 0.625);
+        assert!(twin.gated_open());
+        assert!(
+            twin.load_state(&[1, 2, 3]).is_err(),
+            "wrong length rejected"
         );
     }
 

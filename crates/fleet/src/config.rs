@@ -1,0 +1,107 @@
+//! Fleet topology: which clusters to host, under which discipline.
+
+use helios_sim::{KernelConfig, Placement, Policy};
+use helios_trace::ClusterId;
+
+/// The five cluster presets a default fleet hosts — the four Helios
+/// datacenters of Table 1 plus the Philly comparison cluster.
+pub const FLEET_PRESETS: [ClusterId; 5] = [
+    ClusterId::Venus,
+    ClusterId::Earth,
+    ClusterId::Saturn,
+    ClusterId::Uranus,
+    ClusterId::Philly,
+];
+
+/// Default bound of each per-VC ingestion shard (jobs). Deep enough that
+/// a steady producer never blocks, shallow enough that a stalled worker
+/// surfaces as backpressure within one admission cycle.
+pub const DEFAULT_SHARD_CAPACITY: usize = 4_096;
+
+/// One hosted cluster: the preset and its scheduling discipline. The
+/// fleet restricts policies to the serializable [`Policy`] table so a
+/// snapshot can name (and rebuild) the discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Which preset to host (specs come from `helios_trace::preset`).
+    pub cluster: ClusterId,
+    /// Queue discipline for this cluster's kernel.
+    pub policy: Policy,
+    /// Placement strategy (default consolidate, the paper's production
+    /// setting).
+    pub placement: Placement,
+    /// EASY backfill knob (default off, matching the paper).
+    pub backfill: bool,
+}
+
+impl ClusterConfig {
+    /// Paper-default kernel knobs for `cluster` under `policy`.
+    pub fn new(cluster: ClusterId, policy: Policy) -> Self {
+        ClusterConfig {
+            cluster,
+            policy,
+            placement: Placement::Consolidate,
+            backfill: false,
+        }
+    }
+
+    pub(crate) fn kernel(&self) -> KernelConfig {
+        KernelConfig {
+            placement: self.placement,
+            backfill: self.backfill,
+        }
+    }
+}
+
+/// Topology of a [`Fleet`](crate::Fleet): the hosted clusters and the
+/// ingestion shard bound shared by all of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Hosted clusters, one worker thread each. Cluster ids must be
+    /// unique — shard routing is keyed by [`ClusterId`].
+    pub clusters: Vec<ClusterConfig>,
+    /// Bound of every per-VC ingestion shard (jobs); see
+    /// [`DEFAULT_SHARD_CAPACITY`].
+    pub shard_capacity: usize,
+}
+
+impl FleetConfig {
+    /// An empty topology with the default shard bound; add clusters with
+    /// [`FleetConfig::with_cluster`].
+    pub fn new() -> Self {
+        FleetConfig {
+            clusters: Vec::new(),
+            shard_capacity: DEFAULT_SHARD_CAPACITY,
+        }
+    }
+
+    /// All five presets ([`FLEET_PRESETS`]) under one shared discipline —
+    /// the "serve the whole paper testbed" topology.
+    pub fn all_presets(policy: Policy) -> Self {
+        FleetConfig {
+            clusters: FLEET_PRESETS
+                .iter()
+                .map(|&c| ClusterConfig::new(c, policy))
+                .collect(),
+            shard_capacity: DEFAULT_SHARD_CAPACITY,
+        }
+    }
+
+    /// Add one hosted cluster.
+    pub fn with_cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.clusters.push(cluster);
+        self
+    }
+
+    /// Override the per-VC ingestion shard bound.
+    pub fn with_shard_capacity(mut self, capacity: usize) -> Self {
+        self.shard_capacity = capacity;
+        self
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig::new()
+    }
+}

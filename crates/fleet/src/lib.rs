@@ -1,0 +1,70 @@
+//! # helios-fleet
+//!
+//! A sharded, snapshottable **scheduler-as-a-service** layer over the
+//! incremental `helios-sim` kernel: one [`Fleet`] hosts several cluster
+//! presets concurrently (by default all five Helios datacenters plus
+//! Philly), each driven by its own [`Simulator`](helios_sim::Simulator)
+//! on a dedicated worker thread.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  producers (any thread)         Fleet                worker threads
+//!  ───────────────────────  ─────────────────   ──────────────────────────
+//!  submit(cluster, job) ──► per-VC bounded      ┌─ Venus  ── Simulator ─┐
+//!                           ingestion shards ──►│  admit → run_until    │
+//!  status(cluster) ◄─────── Arc<ClusterStatus>◄─┤  publish status       │
+//!  advance(t) ──────────────── control chan ───►└───────────────────────┘
+//!                                               (× Earth, Saturn, …)
+//! ```
+//!
+//! * **Ingestion** is sharded per virtual cluster: every VC of every
+//!   hosted cluster gets its own bounded channel. [`Fleet::submit`]
+//!   validates the job against the cluster spec (unknown VCs and
+//!   never-placeable jobs are typed errors at the door) and then
+//!   `try_send`s — a full shard surfaces as
+//!   [`HeliosError::FleetOverflow`](helios_trace::HeliosError::FleetOverflow),
+//!   the backpressure signal to retry after the next admission cycle.
+//! * **Admission is batched**: a worker drains its shards in VC order
+//!   (FIFO within each shard) and pushes one batch into the kernel per
+//!   [`Fleet::advance`] cycle. Submissions racing the virtual clock are
+//!   clamped to the cluster's current horizon, so streamed jobs can never
+//!   trip the kernel's time-regression guard.
+//! * **Queries never pause simulation**: [`Fleet::status`] reads the
+//!   last published [`ClusterStatus`] from shared memory — queue depths,
+//!   per-VC utilization, and QSSF-style ETA estimates maintained by a
+//!   `SimObserver` over the kernel's incremental `ClusterStats` — plus
+//!   live ingestion counters from atomics. No worker round-trip.
+//! * **Snapshot/restore**: [`Fleet::snapshot`] checkpoints every hosted
+//!   scheduler (engine cursors, finish heap, pool occupancy, policy
+//!   state, pending queues) into one versioned binary frame;
+//!   [`Fleet::restore`] rebuilds the fleet so the resumed run produces
+//!   **byte-identical** downstream outcomes.
+//!
+//! ```no_run
+//! use helios_fleet::{Fleet, FleetConfig};
+//! use helios_sim::{Policy, SimJob};
+//! use helios_trace::ClusterId;
+//!
+//! let fleet = Fleet::launch(&FleetConfig::all_presets(Policy::Fifo))?;
+//! fleet.submit(
+//!     ClusterId::Venus,
+//!     SimJob { id: 0, vc: 0, gpus: 8, submit: 0, duration: 3_600, priority: 0.0 },
+//! )?;
+//! fleet.advance(7_200)?; // admit + simulate two hours on every cluster
+//! let status = fleet.status(ClusterId::Venus)?;
+//! assert_eq!(status.admitted, 1);
+//! let checkpoint = fleet.snapshot()?;
+//! let resumed = Fleet::restore(&checkpoint)?;
+//! # let _ = resumed;
+//! # Ok::<(), helios_trace::HeliosError>(())
+//! ```
+
+pub mod config;
+pub mod service;
+pub mod status;
+mod worker;
+
+pub use config::{ClusterConfig, FleetConfig, DEFAULT_SHARD_CAPACITY, FLEET_PRESETS};
+pub use service::{Fleet, FLEET_SNAPSHOT_MAGIC, FLEET_SNAPSHOT_VERSION};
+pub use status::{ClusterStatus, VcStatus};

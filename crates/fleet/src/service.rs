@@ -1,0 +1,370 @@
+//! The [`Fleet`] service: concurrent hosted clusters, sharded ingestion,
+//! live queries, and versioned whole-fleet snapshot/restore.
+
+use crate::config::{ClusterConfig, FleetConfig};
+use crate::status::ClusterStatus;
+use crate::worker::{lock, spawn_worker, worker_died, Ctrl, Worker};
+use helios_sim::{validate_job, ByteReader, ByteWriter, JobOutcome, Policy, SimJob, SimSnapshot};
+use helios_trace::{preset, ClusterId, HeliosError, HeliosResult};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, TrySendError};
+
+/// Magic prefix of a serialized fleet snapshot frame.
+pub const FLEET_SNAPSHOT_MAGIC: [u8; 8] = *b"HELFLEET";
+/// Current fleet snapshot frame version. The frame wraps per-cluster
+/// kernel snapshots, which carry their own version
+/// ([`helios_sim::SNAPSHOT_VERSION`]); both are checked on restore.
+pub const FLEET_SNAPSHOT_VERSION: u32 = 1;
+
+/// A running scheduler fleet: one worker thread (and one incremental
+/// [`Simulator`](helios_sim::Simulator)) per hosted cluster. See the
+/// [crate docs](crate) for the architecture and an end-to-end example.
+///
+/// All methods take `&self`, and the handle is `Sync`: producer threads
+/// can share one `&Fleet` and submit concurrently while another thread
+/// pumps the clocks and answers queries.
+pub struct Fleet {
+    workers: Vec<Worker>,
+    shard_capacity: usize,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("clusters", &self.clusters())
+            .field("shard_capacity", &self.shard_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fleet {
+    /// Launch a fleet: spawn one worker per configured cluster, each
+    /// with a fresh kernel. Fails on an empty topology, a zero shard
+    /// bound, or a duplicated cluster id.
+    pub fn launch(config: &FleetConfig) -> HeliosResult<Fleet> {
+        if config.clusters.is_empty() {
+            return Err(HeliosError::empty_input(
+                "fleet clusters",
+                "FleetConfig lists no clusters to host",
+            ));
+        }
+        if config.shard_capacity == 0 {
+            return Err(HeliosError::invalid_config(
+                "shard_capacity",
+                "ingestion shards need capacity >= 1",
+            ));
+        }
+        for (i, c) in config.clusters.iter().enumerate() {
+            if config.clusters[..i].iter().any(|p| p.cluster == c.cluster) {
+                return Err(HeliosError::invalid_config(
+                    "clusters",
+                    format!("cluster {} is listed twice", c.cluster.name()),
+                ));
+            }
+        }
+        let workers = config
+            .clusters
+            .iter()
+            .map(|&cfg| spawn_worker(cfg, preset(cfg.cluster), config.shard_capacity, None))
+            .collect::<HeliosResult<Vec<_>>>()?;
+        Ok(Fleet {
+            workers,
+            shard_capacity: config.shard_capacity,
+        })
+    }
+
+    /// The hosted clusters, in configuration order.
+    pub fn clusters(&self) -> Vec<ClusterId> {
+        self.workers.iter().map(|w| w.cfg.cluster).collect()
+    }
+
+    /// Number of hosted clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The bound of every per-VC ingestion shard (jobs).
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    fn worker_for(&self, cluster: ClusterId) -> HeliosResult<&Worker> {
+        self.workers
+            .iter()
+            .find(|w| w.cfg.cluster == cluster)
+            .ok_or_else(|| HeliosError::UnknownName {
+                kind: "cluster",
+                name: cluster.name().to_string(),
+                expected: self
+                    .workers
+                    .iter()
+                    .map(|w| w.cfg.cluster.name())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            })
+    }
+
+    fn send_ctrl(&self, w: &Worker, cmd: Ctrl) -> HeliosResult<()> {
+        w.ctrl
+            .as_ref()
+            .expect("control channel lives until shutdown")
+            .send(cmd)
+            .map_err(|_| worker_died(w.cfg.cluster.name()))
+    }
+
+    fn recv_reply<T>(&self, w: &Worker, rx: &Receiver<T>) -> HeliosResult<T> {
+        rx.recv().map_err(|_| worker_died(w.cfg.cluster.name()))
+    }
+
+    /// Submit one job to a hosted cluster's ingestion shard (non-blocking).
+    ///
+    /// The job is validated against the cluster spec up front — an
+    /// unknown VC or a never-placeable request is a typed error at the
+    /// door, tagged with the cluster. A full shard surfaces as
+    /// [`HeliosError::FleetOverflow`]: the backpressure signal to retry
+    /// after the next [`Fleet::advance`] drains the shard.
+    pub fn submit(&self, cluster: ClusterId, job: SimJob) -> HeliosResult<()> {
+        let w = self.worker_for(cluster)?;
+        validate_job(&w.spec, &job).map_err(|e| e.for_cluster(cluster.name()))?;
+        let vc = job.vc as usize;
+        match w.shards[vc].try_send(job) {
+            Ok(()) => {
+                w.depths[vc].fetch_add(1, Ordering::AcqRel);
+                w.submitted.fetch_add(1, Ordering::AcqRel);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => Err(HeliosError::FleetOverflow {
+                cluster: cluster.name().to_string(),
+                vc: job.vc,
+                capacity: self.shard_capacity,
+            }),
+            Err(TrySendError::Disconnected(_)) => Err(worker_died(cluster.name())),
+        }
+    }
+
+    /// One admission-and-simulation cycle on every hosted cluster:
+    /// each worker drains its ingestion shards (batched admission) and
+    /// advances its virtual clock to `until`, concurrently. Returns the
+    /// total number of jobs admitted this cycle.
+    pub fn advance(&self, until: i64) -> HeliosResult<u64> {
+        let mut waits = Vec::with_capacity(self.workers.len());
+        for w in &self.workers {
+            let (tx, rx) = mpsc::sync_channel(1);
+            self.send_ctrl(w, Ctrl::Pump { until, done: tx })?;
+            waits.push((w, rx));
+        }
+        let mut admitted = 0;
+        for (w, rx) in &waits {
+            admitted += self.recv_reply(w, rx)??;
+        }
+        Ok(admitted)
+    }
+
+    /// [`Fleet::advance`] for a single hosted cluster.
+    pub fn advance_cluster(&self, cluster: ClusterId, until: i64) -> HeliosResult<u64> {
+        let w = self.worker_for(cluster)?;
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.send_ctrl(w, Ctrl::Pump { until, done: tx })?;
+        self.recv_reply(w, &rx)?
+    }
+
+    /// Live status of one hosted cluster, answered from shared memory:
+    /// the worker's last published kernel aggregates overlaid with the
+    /// current ingestion counters. Never waits on the worker.
+    pub fn status(&self, cluster: ClusterId) -> HeliosResult<ClusterStatus> {
+        let w = self.worker_for(cluster)?;
+        let mut s = lock(&w.status).clone();
+        s.submitted = w.submitted.load(Ordering::Acquire);
+        s.pending_ingest = w.depths.iter().map(|d| d.load(Ordering::Acquire)).sum();
+        Ok(s)
+    }
+
+    /// [`Fleet::status`] for every hosted cluster, in configuration order.
+    pub fn statuses(&self) -> Vec<ClusterStatus> {
+        self.workers
+            .iter()
+            .map(|w| {
+                let mut s = lock(&w.status).clone();
+                s.submitted = w.submitted.load(Ordering::Acquire);
+                s.pending_ingest = w.depths.iter().map(|d| d.load(Ordering::Acquire)).sum();
+                s
+            })
+            .collect()
+    }
+
+    /// Surrender the finished-job outcomes one cluster has accumulated.
+    pub fn drain(&self, cluster: ClusterId) -> HeliosResult<Vec<JobOutcome>> {
+        let w = self.worker_for(cluster)?;
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.send_ctrl(w, Ctrl::Drain { done: tx })?;
+        self.recv_reply(w, &rx)
+    }
+
+    /// Checkpoint the whole fleet into one versioned binary frame.
+    ///
+    /// Each worker first admits its pending ingest (so every accepted
+    /// submission is inside its kernel snapshot — shards are empty in the
+    /// frame), then serializes full scheduler state. Virtual clocks are
+    /// per-cluster and are not advanced. The frame restores via
+    /// [`Fleet::restore`] with byte-identical downstream outcomes.
+    pub fn snapshot(&self) -> HeliosResult<Vec<u8>> {
+        let mut waits = Vec::with_capacity(self.workers.len());
+        for w in &self.workers {
+            let (tx, rx) = mpsc::sync_channel(1);
+            self.send_ctrl(w, Ctrl::Snapshot { done: tx })?;
+            waits.push((w, rx));
+        }
+        let mut writer = ByteWriter::new();
+        writer.raw(&FLEET_SNAPSHOT_MAGIC);
+        writer.u32(FLEET_SNAPSHOT_VERSION);
+        writer.u64(self.shard_capacity as u64);
+        writer.u32(self.workers.len() as u32);
+        for (w, rx) in &waits {
+            let blob = self.recv_reply(w, rx)??;
+            writer.u8(cluster_code(w.cfg.cluster));
+            writer.u8(policy_code(w.cfg.policy));
+            writer.bytes(&blob);
+        }
+        Ok(writer.into_bytes())
+    }
+
+    /// Rebuild a fleet from a [`Fleet::snapshot`] frame. Every hosted
+    /// cluster resumes at its checkpointed virtual clock with empty
+    /// ingestion shards; the resumed fleet produces byte-identical
+    /// outcomes to one that was never interrupted.
+    pub fn restore(bytes: &[u8]) -> HeliosResult<Fleet> {
+        let mut r = ByteReader::new(bytes, "decoding fleet snapshot");
+        let magic = r.raw(FLEET_SNAPSHOT_MAGIC.len())?;
+        if magic != FLEET_SNAPSHOT_MAGIC {
+            return Err(r.err("bad magic: not a fleet snapshot frame"));
+        }
+        let version = r.u32()?;
+        if version != FLEET_SNAPSHOT_VERSION {
+            return Err(r.err(format!(
+                "unsupported fleet frame version {version} (this build reads {FLEET_SNAPSHOT_VERSION})"
+            )));
+        }
+        let shard_capacity = r.u64()? as usize;
+        if shard_capacity == 0 {
+            return Err(r.err("frame carries shard_capacity 0"));
+        }
+        let count = r.u32()?;
+        if count == 0 {
+            return Err(r.err("frame hosts no clusters"));
+        }
+        let mut workers = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let cluster = cluster_from(r.u8()?, &r)?;
+            let policy = policy_from(r.u8()?, &r)?;
+            let blob = r.bytes()?;
+            if workers.iter().any(|w: &Worker| w.cfg.cluster == cluster) {
+                return Err(r.err(format!(
+                    "cluster {} appears twice in the frame",
+                    cluster.name()
+                )));
+            }
+            let snap = SimSnapshot::from_bytes(&blob)?;
+            let cfg = ClusterConfig {
+                cluster,
+                policy,
+                placement: snap.placement,
+                backfill: snap.backfill,
+            };
+            workers.push(spawn_worker(
+                cfg,
+                preset(cluster),
+                shard_capacity,
+                Some(snap),
+            )?);
+        }
+        if r.remaining() != 0 {
+            return Err(r.err(format!(
+                "{} trailing bytes after the fleet frame",
+                r.remaining()
+            )));
+        }
+        Ok(Fleet {
+            workers,
+            shard_capacity,
+        })
+    }
+
+    /// Stop the fleet: every cluster admits its pending ingest, runs to
+    /// completion, and surrenders its remaining outcomes; worker threads
+    /// are joined. Returns per-cluster outcomes in configuration order.
+    pub fn shutdown(mut self) -> HeliosResult<Vec<(ClusterId, Vec<JobOutcome>)>> {
+        let mut workers = std::mem::take(&mut self.workers);
+        let mut waits = Vec::with_capacity(workers.len());
+        for w in &workers {
+            let (tx, rx) = mpsc::sync_channel(1);
+            self.send_ctrl(w, Ctrl::Complete { done: tx })?;
+            waits.push(rx);
+        }
+        let mut out = Vec::with_capacity(workers.len());
+        for (w, rx) in workers.iter().zip(&waits) {
+            let outcomes = self.recv_reply(w, rx)??;
+            out.push((w.cfg.cluster, outcomes));
+        }
+        for w in &mut workers {
+            w.ctrl = None;
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for Fleet {
+    /// Dropping the handle (without [`Fleet::shutdown`]) stops the
+    /// workers where they are: closing the control channels ends their
+    /// loops, and the threads are joined so nothing outlives the fleet.
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            w.ctrl = None;
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn cluster_code(c: ClusterId) -> u8 {
+    match c {
+        ClusterId::Venus => 0,
+        ClusterId::Earth => 1,
+        ClusterId::Saturn => 2,
+        ClusterId::Uranus => 3,
+        ClusterId::Philly => 4,
+    }
+}
+
+fn cluster_from(code: u8, r: &ByteReader<'_>) -> HeliosResult<ClusterId> {
+    Ok(match code {
+        0 => ClusterId::Venus,
+        1 => ClusterId::Earth,
+        2 => ClusterId::Saturn,
+        3 => ClusterId::Uranus,
+        4 => ClusterId::Philly,
+        other => return Err(r.err(format!("unknown cluster code {other}"))),
+    })
+}
+
+fn policy_code(p: Policy) -> u8 {
+    match p {
+        Policy::Fifo => 0,
+        Policy::Sjf => 1,
+        Policy::Srtf => 2,
+        Policy::Priority => 3,
+    }
+}
+
+fn policy_from(code: u8, r: &ByteReader<'_>) -> HeliosResult<Policy> {
+    Ok(match code {
+        0 => Policy::Fifo,
+        1 => Policy::Sjf,
+        2 => Policy::Srtf,
+        3 => Policy::Priority,
+        other => return Err(r.err(format!("unknown policy code {other}"))),
+    })
+}

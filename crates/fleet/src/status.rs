@@ -1,0 +1,124 @@
+//! Live fleet telemetry: the snapshot of one hosted cluster a query
+//! returns without touching its worker thread.
+
+use helios_trace::{ClusterId, ClusterSpec};
+
+/// One virtual cluster's live state inside a [`ClusterStatus`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcStatus {
+    /// VC id (index into the cluster spec's VC list).
+    pub vc: u16,
+    /// Jobs waiting in this VC's scheduler queue.
+    pub queued: usize,
+    /// GPUs currently allocated in this VC.
+    pub busy_gpus: u32,
+    /// Total GPUs this VC owns.
+    pub capacity_gpus: u32,
+    /// Outstanding queued work in GPU·seconds: the sum over queued jobs
+    /// of the QSSF priority score (predicted GPU time) when one was
+    /// supplied, else the `gpus × duration` oracle proxy.
+    pub queued_work: f64,
+}
+
+impl VcStatus {
+    /// GPU utilization of this VC in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_gpus == 0 {
+            0.0
+        } else {
+            self.busy_gpus as f64 / self.capacity_gpus as f64
+        }
+    }
+
+    /// QSSF-style queue-drain ETA in seconds: outstanding queued
+    /// GPU·seconds divided by the VC's GPU capacity — the time a newly
+    /// submitted job should expect the backlog ahead of it to take if
+    /// the VC runs flat out. A lower bound (placement fragmentation and
+    /// gang scheduling only stretch it), which is exactly the bound the
+    /// paper's QSSF service quotes to users.
+    pub fn eta_secs(&self) -> f64 {
+        if self.capacity_gpus == 0 {
+            0.0
+        } else {
+            self.queued_work / self.capacity_gpus as f64
+        }
+    }
+}
+
+/// Live state of one hosted cluster. Workers publish a fresh value after
+/// every command they process; [`Fleet::status`](crate::Fleet::status)
+/// overlays the ingestion-side counters (`submitted`, `pending_ingest`)
+/// from atomics at query time, so reads never wait on a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStatus {
+    /// Which hosted cluster this is.
+    pub cluster: ClusterId,
+    /// The cluster's simulated clock (`i64::MIN` before any activity).
+    pub now: i64,
+    /// Jobs accepted by [`Fleet::submit`](crate::Fleet::submit) since
+    /// launch (read from the live ingestion counter at query time, so it
+    /// can run ahead of `admitted` by at most the in-flight shard
+    /// contents).
+    pub submitted: u64,
+    /// Jobs sitting in ingestion shards, not yet admitted to the kernel
+    /// (live at query time).
+    pub pending_ingest: usize,
+    /// Jobs the kernel has admitted (as of the last admission cycle).
+    pub admitted: u64,
+    /// Jobs that finished executing (as of the last admission cycle).
+    pub finished: u64,
+    /// Jobs waiting across all VC queues.
+    pub queue_depth: usize,
+    /// Jobs currently running across all VCs.
+    pub running: usize,
+    /// GPUs currently allocated across all VCs.
+    pub busy_gpus: u32,
+    /// Total GPUs in the cluster.
+    pub capacity_gpus: u32,
+    /// Per-VC breakdown, in VC order.
+    pub vcs: Vec<VcStatus>,
+}
+
+impl ClusterStatus {
+    /// The all-idle status published before a worker's first command.
+    pub(crate) fn empty(spec: &ClusterSpec, cluster: ClusterId) -> Self {
+        ClusterStatus {
+            cluster,
+            now: i64::MIN,
+            submitted: 0,
+            pending_ingest: 0,
+            admitted: 0,
+            finished: 0,
+            queue_depth: 0,
+            running: 0,
+            busy_gpus: 0,
+            capacity_gpus: spec.total_gpus(),
+            vcs: spec
+                .vcs
+                .iter()
+                .map(|vc| VcStatus {
+                    vc: vc.id,
+                    queued: 0,
+                    busy_gpus: 0,
+                    capacity_gpus: vc.nodes * spec.gpus_per_node,
+                    queued_work: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Cluster-wide GPU utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_gpus == 0 {
+            0.0
+        } else {
+            self.busy_gpus as f64 / self.capacity_gpus as f64
+        }
+    }
+
+    /// Queue-drain ETA for one VC ([`VcStatus::eta_secs`]); `None` for an
+    /// unknown VC id.
+    pub fn eta_secs(&self, vc: u16) -> Option<f64> {
+        self.vcs.get(vc as usize).map(VcStatus::eta_secs)
+    }
+}

@@ -1,0 +1,310 @@
+//! Per-cluster worker threads: each one owns a `Simulator` and serves
+//! control commands — batched admission, horizon pumping, outcome
+//! draining, snapshotting — while publishing live status to shared
+//! memory after every command.
+
+use crate::config::ClusterConfig;
+use crate::status::{ClusterStatus, VcStatus};
+use helios_sim::{ClusterView, JobOutcome, SimEvent, SimJob, SimObserver, SimSnapshot, Simulator};
+use helios_trace::{ClusterId, ClusterSpec, HeliosError, HeliosResult};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+
+/// Commands the fleet sends to a worker. Every command carries a
+/// single-use reply channel; the worker answers after acting and then
+/// publishes fresh status.
+pub(crate) enum Ctrl {
+    /// Drain the ingestion shards into the kernel, then simulate up to
+    /// `until`. Replies with the number of jobs admitted this cycle.
+    Pump {
+        until: i64,
+        done: SyncSender<HeliosResult<u64>>,
+    },
+    /// Surrender finished-job outcomes accumulated so far.
+    Drain { done: SyncSender<Vec<JobOutcome>> },
+    /// Admit pending ingest (so the blob captures every accepted
+    /// submission), then serialize full kernel state.
+    Snapshot {
+        done: SyncSender<HeliosResult<Vec<u8>>>,
+    },
+    /// Admit, run to completion, reply with all remaining outcomes, and
+    /// exit the worker loop.
+    Complete {
+        done: SyncSender<HeliosResult<Vec<JobOutcome>>>,
+    },
+}
+
+/// The fleet-side handle of one hosted cluster.
+pub(crate) struct Worker {
+    pub cfg: ClusterConfig,
+    pub spec: ClusterSpec,
+    /// Per-VC bounded ingestion shards (producer ends).
+    pub shards: Vec<SyncSender<SimJob>>,
+    /// Live depth of each shard, maintained by producers/worker.
+    pub depths: Vec<Arc<AtomicUsize>>,
+    /// Jobs accepted by `Fleet::submit` since launch.
+    pub submitted: Arc<AtomicU64>,
+    /// Control channel; dropped (taken) to let the thread exit.
+    pub ctrl: Option<Sender<Ctrl>>,
+    /// Last status the worker published.
+    pub status: Arc<Mutex<ClusterStatus>>,
+    pub handle: Option<JoinHandle<()>>,
+}
+
+/// Lock that shrugs off poisoning: a panicking worker must not turn
+/// every subsequent status query into a panic cascade.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The error every fleet call maps a broken worker channel to.
+pub(crate) fn worker_died(cluster: &str) -> HeliosError {
+    HeliosError::invalid_config(
+        "fleet_worker",
+        "worker thread terminated unexpectedly; the fleet can no longer serve this cluster",
+    )
+    .for_cluster(cluster)
+}
+
+/// Outstanding work one queued job represents, in GPU·seconds: the QSSF
+/// priority score (predicted GPU time) when the producer supplied one,
+/// else the oracle `gpus × duration` proxy.
+pub(crate) fn predicted_work(job: &SimJob) -> f64 {
+    if job.priority > 0.0 {
+        job.priority
+    } else {
+        job.gpus as f64 * job.duration.max(1) as f64
+    }
+}
+
+/// Observer maintaining per-VC outstanding queued work (GPU·seconds)
+/// incrementally from kernel events: submissions and preemptions add a
+/// job's predicted work, starts remove it. Backs the ETA estimates in
+/// [`VcStatus::eta_secs`](crate::VcStatus::eta_secs).
+struct QueuedWorkTracker(Arc<Mutex<Vec<f64>>>);
+
+impl SimObserver for QueuedWorkTracker {
+    fn on_event(&mut self, event: &SimEvent, _cluster: &ClusterView<'_>) {
+        let (vc, delta) = match event {
+            SimEvent::Submit { job, .. } | SimEvent::Preempt { job, .. } => {
+                (job.vc, predicted_work(job))
+            }
+            SimEvent::Start { job, .. } => (job.vc, -predicted_work(job)),
+            SimEvent::Finish { .. } => return,
+        };
+        let mut work = lock(&self.0);
+        let cell = &mut work[vc as usize];
+        // Clamp drift: the subtraction is exact in practice, but queued
+        // work must never go negative in a status report.
+        *cell = (*cell + delta).max(0.0);
+    }
+}
+
+/// Launch one worker thread. `snap` switches the kernel between a fresh
+/// launch and a snapshot restore; either way the thread reports
+/// construction success/failure through a one-shot channel before this
+/// function returns, so a bad snapshot fails `Fleet::restore` eagerly.
+pub(crate) fn spawn_worker(
+    cfg: ClusterConfig,
+    spec: ClusterSpec,
+    shard_capacity: usize,
+    snap: Option<SimSnapshot>,
+) -> HeliosResult<Worker> {
+    let nvcs = spec.vcs.len();
+    let mut shard_txs = Vec::with_capacity(nvcs);
+    let mut shard_rxs = Vec::with_capacity(nvcs);
+    for _ in 0..nvcs {
+        let (tx, rx) = mpsc::sync_channel(shard_capacity);
+        shard_txs.push(tx);
+        shard_rxs.push(rx);
+    }
+    let depths: Vec<Arc<AtomicUsize>> = (0..nvcs).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+    let submitted = Arc::new(AtomicU64::new(
+        snap.as_ref().map_or(0, |s| s.jobs.len() as u64),
+    ));
+    let (ctrl_tx, ctrl_rx) = mpsc::channel();
+    let status = Arc::new(Mutex::new(ClusterStatus::empty(&spec, cfg.cluster)));
+    let (ready_tx, ready_rx) = mpsc::sync_channel::<HeliosResult<()>>(1);
+
+    let thread_spec = spec.clone();
+    let thread_status = Arc::clone(&status);
+    let thread_depths = depths.clone();
+    let handle = thread::Builder::new()
+        .name(format!("helios-fleet-{}", spec.id.name()))
+        .spawn(move || {
+            // The Simulator is built (or restored) here, on its worker
+            // thread, and never crosses a thread boundary afterwards.
+            let built = match &snap {
+                Some(s) => Simulator::restore(&thread_spec, cfg.policy.build(), s),
+                None => Ok(Simulator::with_config(
+                    &thread_spec,
+                    cfg.policy.build(),
+                    &cfg.kernel(),
+                )),
+            };
+            let mut sim = match built {
+                Ok(sim) => sim,
+                Err(e) => {
+                    let _ = ready_tx.send(Err(e));
+                    return;
+                }
+            };
+            let work = Arc::new(Mutex::new(vec![0.0; thread_spec.vcs.len()]));
+            if let Some(s) = &snap {
+                // Snapshots don't carry observer state; re-seed the
+                // queued-work tracker from the restored queues, which is
+                // its canonical value.
+                let mut seeded = lock(&work);
+                for (vc, vs) in s.vcs.iter().enumerate() {
+                    seeded[vc] = vs
+                        .queue
+                        .iter()
+                        .map(|&(_, _, idx)| predicted_work(&s.jobs[idx as usize].job))
+                        .sum();
+                }
+            }
+            sim.observe(Box::new(QueuedWorkTracker(Arc::clone(&work))));
+            publish(&thread_status, cfg.cluster, &sim, &lock(&work));
+            // Ready only after the first status publish, so a query
+            // issued the moment launch/restore returns already sees the
+            // kernel's real state.
+            let _ = ready_tx.send(Ok(()));
+            worker_loop(
+                sim,
+                shard_rxs,
+                thread_depths,
+                ctrl_rx,
+                thread_status,
+                cfg.cluster,
+                work,
+            );
+        })
+        .map_err(|e| HeliosError::io("spawning fleet worker thread", &e))?;
+
+    match ready_rx.recv() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            let _ = handle.join();
+            return Err(e);
+        }
+        Err(_) => {
+            let _ = handle.join();
+            return Err(worker_died(cfg.cluster.name()));
+        }
+    }
+    Ok(Worker {
+        cfg,
+        spec,
+        shards: shard_txs,
+        depths,
+        submitted,
+        ctrl: Some(ctrl_tx),
+        status,
+        handle: Some(handle),
+    })
+}
+
+fn worker_loop(
+    mut sim: Simulator<'_>,
+    shards: Vec<Receiver<SimJob>>,
+    depths: Vec<Arc<AtomicUsize>>,
+    ctrl: Receiver<Ctrl>,
+    status: Arc<Mutex<ClusterStatus>>,
+    cluster: ClusterId,
+    work: Arc<Mutex<Vec<f64>>>,
+) {
+    let mut batch: Vec<SimJob> = Vec::new();
+    // Exit when every control sender is gone (fleet dropped) or after a
+    // Complete command.
+    while let Ok(cmd) = ctrl.recv() {
+        match cmd {
+            Ctrl::Pump { until, done } => {
+                let admitted = admit(&mut sim, &shards, &depths, &mut batch);
+                if admitted.is_ok() {
+                    sim.run_until(until);
+                }
+                publish(&status, cluster, &sim, &lock(&work));
+                let _ = done.send(admitted);
+            }
+            Ctrl::Drain { done } => {
+                let _ = done.send(sim.drain_outcomes());
+            }
+            Ctrl::Snapshot { done } => {
+                let reply = admit(&mut sim, &shards, &depths, &mut batch)
+                    .map(|_| sim.snapshot().to_bytes());
+                publish(&status, cluster, &sim, &lock(&work));
+                let _ = done.send(reply);
+            }
+            Ctrl::Complete { done } => {
+                let reply = admit(&mut sim, &shards, &depths, &mut batch).map(|_| {
+                    sim.run_to_completion();
+                    sim.drain_outcomes()
+                });
+                publish(&status, cluster, &sim, &lock(&work));
+                let _ = done.send(reply);
+                return;
+            }
+        }
+    }
+}
+
+/// One admission cycle: drain every shard in VC order (FIFO within each
+/// shard), clamp racing submit times to the cluster's virtual clock, and
+/// push the whole batch into the kernel at once.
+fn admit(
+    sim: &mut Simulator<'_>,
+    shards: &[Receiver<SimJob>],
+    depths: &[Arc<AtomicUsize>],
+    batch: &mut Vec<SimJob>,
+) -> HeliosResult<u64> {
+    batch.clear();
+    let floor = sim.now();
+    for (vc, rx) in shards.iter().enumerate() {
+        while let Ok(mut job) = rx.try_recv() {
+            depths[vc].fetch_sub(1, Ordering::AcqRel);
+            // A producer stamped this submit time before it knew how far
+            // the virtual clock had advanced; admission time is the
+            // earliest the job can exist, so clamp rather than reject.
+            if job.submit < floor {
+                job.submit = floor;
+            }
+            batch.push(job);
+        }
+    }
+    if !batch.is_empty() {
+        sim.push_jobs(batch)?;
+    }
+    Ok(batch.len() as u64)
+}
+
+/// Publish a fresh [`ClusterStatus`] from the kernel's incrementally
+/// maintained aggregates. The ingestion-side counters are zeroed here;
+/// `Fleet::status` overlays them from atomics at query time.
+fn publish(status: &Mutex<ClusterStatus>, cluster: ClusterId, sim: &Simulator<'_>, work: &[f64]) {
+    let view = sim.cluster_view();
+    let vcs = (0..view.num_vcs())
+        .map(|vc| VcStatus {
+            vc: vc as u16,
+            queued: view.vc_queue_len(vc),
+            busy_gpus: view.vc_busy_gpus(vc),
+            capacity_gpus: view.vc_capacity_gpus(vc),
+            queued_work: work[vc],
+        })
+        .collect();
+    let fresh = ClusterStatus {
+        cluster,
+        now: sim.now(),
+        submitted: 0,
+        pending_ingest: 0,
+        admitted: sim.total_jobs() as u64,
+        finished: (sim.total_jobs() - sim.unfinished_jobs()) as u64,
+        queue_depth: view.queue_len(),
+        running: view.running_jobs(),
+        busy_gpus: view.busy_gpus(),
+        capacity_gpus: view.capacity_gpus(),
+        vcs,
+    };
+    *lock(status) = fresh;
+}

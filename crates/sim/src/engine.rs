@@ -19,6 +19,7 @@ use crate::job::{JobOutcome, SimJob};
 use crate::observer::{ClusterView, SimEvent, SimObserver};
 use crate::policy::{FifoPolicy, JobView, PriorityPolicy, SchedulingPolicy, SjfPolicy, SrtfPolicy};
 use crate::pool::{Allocation, NodePool, Placement};
+use crate::snapshot::{spec_fingerprint, JobStateSnap, SimSnapshot, VcSnap};
 use helios_trace::{ClusterSpec, HeliosError, HeliosResult};
 use serde::{Deserialize, Serialize};
 
@@ -247,8 +248,9 @@ pub(crate) struct ClusterStats {
 
 /// Check one job against the cluster (otherwise the event loop would end
 /// with it stuck in a queue forever). All violations surface as typed
-/// errors, never panics.
-fn validate_job(spec: &ClusterSpec, job: &SimJob) -> HeliosResult<()> {
+/// errors, never panics. Public so admission layers (the fleet service)
+/// can reject at submission time, before a job ever crosses a channel.
+pub fn validate_job(spec: &ClusterSpec, job: &SimJob) -> HeliosResult<()> {
     let vc = job.vc as usize;
     if vc >= spec.num_vcs() {
         return Err(HeliosError::InvalidJob {
@@ -436,6 +438,276 @@ impl<'a> Simulator<'a> {
     /// stale ones).
     pub fn pending_events(&self) -> usize {
         self.arrivals.len() - self.next_arrival + self.finishes.len()
+    }
+
+    /// The cluster spec this kernel runs.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Live read-only view over the incrementally maintained cluster
+    /// aggregates — the same O(1) queries observers get per event
+    /// (utilization, queue depths, per-VC busy/capacity), available
+    /// between events for service layers polling kernel state.
+    pub fn cluster_view(&self) -> ClusterView<'_> {
+        ClusterView::new(&self.vcs, &self.stats)
+    }
+
+    /// Capture the complete resumable kernel state; see
+    /// [`SimSnapshot`] for what is (and is
+    /// not) included. Restoring via [`Simulator::restore`] and continuing
+    /// reproduces the uninterrupted run's outcomes byte-identically.
+    pub fn snapshot(&self) -> SimSnapshot {
+        debug_assert!(
+            self.vcs.iter().all(|vc| !vc.held_head),
+            "kernel invariant: held_head is transient within one event"
+        );
+        let mut policy_state = Vec::new();
+        self.policy.save_state(&mut policy_state);
+        SimSnapshot {
+            placement: self.placement,
+            backfill: self.backfill,
+            memo_enabled: self.memo_enabled,
+            policy_name: self.policy.name().to_string(),
+            spec_fingerprint: spec_fingerprint(&self.spec),
+            horizon: self.horizon,
+            finished: self.finished as u64,
+            jobs: self
+                .states
+                .iter()
+                .map(|s| JobStateSnap {
+                    job: s.job,
+                    remaining: s.remaining,
+                    started_at: s.started_at,
+                    first_start: s.first_start,
+                    end: s.end,
+                    epoch: s.epoch,
+                    preemptions: s.preemptions,
+                    run_slot: s.run_slot,
+                })
+                .collect(),
+            vcs: self
+                .vcs
+                .iter()
+                .map(|vc| VcSnap {
+                    free: vc.pool.free_counts().to_vec(),
+                    queue: vc
+                        .queue
+                        .as_slice()
+                        .iter()
+                        .map(|&(Key(key, id), idx)| (key, id, idx as u64))
+                        .collect(),
+                    running: vc.running.iter().map(|&idx| idx as u64).collect(),
+                    running_allocs: vc
+                        .running_allocs
+                        .iter()
+                        .map(|a| a.slices().to_vec())
+                        .collect(),
+                })
+                .collect(),
+            pending_arrivals: self.arrivals[self.next_arrival..]
+                .iter()
+                .map(|&idx| idx as u64)
+                .collect(),
+            finishes: self
+                .finishes
+                .as_slice()
+                .iter()
+                .map(|&(t, idx, epoch)| (t, idx as u64, epoch))
+                .collect(),
+            completed: self.completed.iter().map(|&idx| idx as u64).collect(),
+            policy_state,
+        }
+    }
+
+    /// Rebuild a kernel from a [`SimSnapshot`] taken against `spec`.
+    /// `policy` must be a fresh instance of the same discipline the
+    /// snapshot was taken under (checked by name); its dynamic state is
+    /// rehydrated through
+    /// [`SchedulingPolicy::load_state`].
+    /// Derived state (cluster aggregates, pool buckets) is recomputed,
+    /// outcome-neutral caches (blocked-head memo, scratch buffers) start
+    /// cold, and no observers are attached. Every inconsistency — wrong
+    /// cluster, wrong policy, out-of-range indices, slot mismatches —
+    /// surfaces as a typed [`HeliosError::Snapshot`], never a panic.
+    pub fn restore(
+        spec: &ClusterSpec,
+        mut policy: Box<dyn SchedulingPolicy + 'a>,
+        snap: &SimSnapshot,
+    ) -> HeliosResult<Simulator<'a>> {
+        let ctx = "restoring kernel snapshot";
+        if snap.spec_fingerprint != spec_fingerprint(spec) {
+            return Err(HeliosError::snapshot(
+                ctx,
+                format!(
+                    "snapshot was taken against a different cluster than {}",
+                    spec.id.name()
+                ),
+            ));
+        }
+        if policy.name() != snap.policy_name {
+            return Err(HeliosError::snapshot(
+                ctx,
+                format!(
+                    "snapshot was taken under policy `{}` but `{}` was supplied",
+                    snap.policy_name,
+                    policy.name()
+                ),
+            ));
+        }
+        if snap.vcs.len() != spec.num_vcs() {
+            return Err(HeliosError::snapshot(
+                ctx,
+                format!(
+                    "snapshot has {} VCs but the spec has {}",
+                    snap.vcs.len(),
+                    spec.num_vcs()
+                ),
+            ));
+        }
+        policy.load_state(&snap.policy_state)?;
+        let n_jobs = snap.jobs.len();
+        let check_idx = |idx: u64, what: &str| -> HeliosResult<usize> {
+            if (idx as usize) < n_jobs {
+                Ok(idx as usize)
+            } else {
+                Err(HeliosError::snapshot(
+                    ctx,
+                    format!("{what} references state index {idx} but only {n_jobs} jobs exist"),
+                ))
+            }
+        };
+        let states: Vec<JobState> = snap
+            .jobs
+            .iter()
+            .map(|j| JobState {
+                job: j.job,
+                remaining: j.remaining,
+                started_at: j.started_at,
+                first_start: j.first_start,
+                end: j.end,
+                epoch: j.epoch,
+                preemptions: j.preemptions,
+                run_slot: j.run_slot,
+            })
+            .collect();
+        let mut stats = ClusterStats::default();
+        let mut vcs = Vec::with_capacity(snap.vcs.len());
+        for (v, (vc_snap, vc_spec)) in snap.vcs.iter().zip(&spec.vcs).enumerate() {
+            if vc_snap.free.len() != vc_spec.nodes as usize {
+                return Err(HeliosError::snapshot(
+                    ctx,
+                    format!(
+                        "VC {v} snapshot has {} nodes but the spec has {}",
+                        vc_snap.free.len(),
+                        vc_spec.nodes
+                    ),
+                ));
+            }
+            let pool = NodePool::from_free_counts(spec.gpus_per_node, &vc_snap.free)?;
+            let mut queue_data = Vec::with_capacity(vc_snap.queue.len());
+            for &(key, id, idx) in &vc_snap.queue {
+                queue_data.push((Key(key, id), check_idx(idx, "a queue entry")?));
+            }
+            if !is_heap(&queue_data) {
+                return Err(HeliosError::snapshot(
+                    ctx,
+                    format!("VC {v} queue array violates the heap property"),
+                ));
+            }
+            if vc_snap.running.len() != vc_snap.running_allocs.len() {
+                return Err(HeliosError::snapshot(
+                    ctx,
+                    format!(
+                        "VC {v} has {} running jobs but {} allocations",
+                        vc_snap.running.len(),
+                        vc_snap.running_allocs.len()
+                    ),
+                ));
+            }
+            let mut running = Vec::with_capacity(vc_snap.running.len());
+            for (slot, &idx) in vc_snap.running.iter().enumerate() {
+                let idx = check_idx(idx, "a running entry")?;
+                if states[idx].run_slot as usize != slot {
+                    return Err(HeliosError::snapshot(
+                        ctx,
+                        format!(
+                            "VC {v} running slot {slot} holds job index {idx} whose \
+                             recorded slot is {}",
+                            states[idx].run_slot
+                        ),
+                    ));
+                }
+                running.push(idx);
+            }
+            let running_allocs: Vec<Allocation> = vc_snap
+                .running_allocs
+                .iter()
+                .map(|slices| slices.iter().copied().collect())
+                .collect();
+            stats.busy_gpus += pool.capacity() - pool.free_gpus();
+            stats.busy_nodes += pool.busy_nodes();
+            stats.total_nodes += pool.nodes();
+            stats.capacity_gpus += pool.capacity();
+            stats.queued_jobs += queue_data.len();
+            stats.running_jobs += running.len();
+            vcs.push(VcState {
+                pool,
+                queue: MinHeap::from_heap_vec(queue_data),
+                running,
+                running_allocs,
+                held_head: false,
+                memo: None,
+            });
+        }
+        let mut arrivals = Vec::with_capacity(snap.pending_arrivals.len());
+        for &idx in &snap.pending_arrivals {
+            arrivals.push(check_idx(idx, "a pending arrival")?);
+        }
+        let mut finishes_data = Vec::with_capacity(snap.finishes.len());
+        for &(t, idx, epoch) in &snap.finishes {
+            finishes_data.push((t, check_idx(idx, "a finish event")?, epoch));
+        }
+        if !is_heap(&finishes_data) {
+            return Err(HeliosError::snapshot(
+                ctx,
+                "finish heap array violates the heap property",
+            ));
+        }
+        let mut completed = Vec::with_capacity(snap.completed.len());
+        for &idx in &snap.completed {
+            completed.push(check_idx(idx, "an undrained completion")?);
+        }
+        if snap.finished as usize > n_jobs {
+            return Err(HeliosError::snapshot(
+                ctx,
+                format!(
+                    "finished count {} exceeds the {n_jobs} admitted jobs",
+                    snap.finished
+                ),
+            ));
+        }
+        Ok(Simulator {
+            spec: spec.clone(),
+            placement: snap.placement,
+            backfill: snap.backfill,
+            policy,
+            observers: Vec::new(),
+            states,
+            vcs,
+            stats,
+            arrivals,
+            next_arrival: 0,
+            finishes: MinHeap::from_heap_vec(finishes_data),
+            horizon: snap.horizon,
+            completed,
+            finished: snap.finished as usize,
+            trial_log: Vec::new(),
+            scratch_victims: Vec::new(),
+            scratch_ends: Vec::new(),
+            scratch_rest: Vec::new(),
+            memo_enabled: snap.memo_enabled,
+        })
     }
 
     /// Accept a batch of jobs. Validation is all-or-nothing: on error no
@@ -1035,6 +1307,13 @@ impl<'a> Simulator<'a> {
 
 /// Maximum queue positions scanned for backfill candidates.
 const BACKFILL_SCAN: usize = 64;
+
+/// 4-ary heap property check (matching `MinHeap`'s arity) for the heap
+/// arrays a snapshot restores verbatim — untrusted input, so the check
+/// runs in release builds too, not just as a debug assertion.
+fn is_heap<T: Ord>(data: &[T]) -> bool {
+    (1..data.len()).all(|i| data[(i - 1) / 4] <= data[i])
+}
 
 /// Running-set size above which blocked-head memoization stops computing
 /// rank-stability horizons (see `try_preempt_for`).

@@ -53,8 +53,11 @@ pub mod metrics;
 pub mod observer;
 pub mod policy;
 pub mod pool;
+pub mod snapshot;
 
-pub use engine::{simulate, simulate_with, KernelConfig, Policy, SimConfig, SimResult, Simulator};
+pub use engine::{
+    simulate, simulate_with, validate_job, KernelConfig, Policy, SimConfig, SimResult, Simulator,
+};
 pub use job::{jobs_from_trace, JobOutcome, SimJob};
 pub use metrics::{
     group_delay_ratios, jct_samples, per_vc_queue_delay, queue_delay_by_group, schedule_stats,
@@ -68,3 +71,7 @@ pub use policy::{
     FifoPolicy, JobView, PriorityPolicy, SchedulingPolicy, SjfPolicy, SrtfPolicy, TiresiasPolicy,
 };
 pub use pool::{Allocation, NodePool, Placement};
+pub use snapshot::{
+    spec_fingerprint, ByteReader, ByteWriter, JobStateSnap, SimSnapshot, VcSnap, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};

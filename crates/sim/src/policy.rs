@@ -112,6 +112,34 @@ pub trait SchedulingPolicy: Send {
 
     /// A running job was preempted and re-queued.
     fn on_preempt(&mut self, _job: &SimJob, _now: i64, _cluster: &ClusterView<'_>) {}
+
+    /// Serialize internal policy state for a kernel snapshot. Stateless
+    /// policies (all four built-ins, Tiresias) keep the default and write
+    /// nothing; stateful ones append their dynamic fields so
+    /// [`load_state`](SchedulingPolicy::load_state) on a freshly
+    /// constructed twin reproduces decisions byte-identically.
+    fn save_state(&self, out: &mut Vec<u8>) {
+        let _ = out;
+    }
+
+    /// Restore state previously written by
+    /// [`save_state`](SchedulingPolicy::save_state). The default accepts
+    /// only an empty payload, so a stateful policy restored through a
+    /// stateless impl fails loudly instead of silently diverging.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), helios_trace::HeliosError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(helios_trace::HeliosError::snapshot(
+                "restoring policy state",
+                format!(
+                    "policy `{}` is stateless but the snapshot carries {} state bytes",
+                    self.name(),
+                    bytes.len()
+                ),
+            ))
+        }
+    }
 }
 
 /// Forwarding impl so a caller can lend a policy to the kernel
@@ -143,6 +171,12 @@ impl<T: SchedulingPolicy + ?Sized> SchedulingPolicy for &mut T {
     }
     fn on_preempt(&mut self, job: &SimJob, now: i64, cluster: &ClusterView<'_>) {
         (**self).on_preempt(job, now, cluster)
+    }
+    fn save_state(&self, out: &mut Vec<u8>) {
+        (**self).save_state(out)
+    }
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), helios_trace::HeliosError> {
+        (**self).load_state(bytes)
     }
 }
 

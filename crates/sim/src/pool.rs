@@ -273,6 +273,46 @@ impl NodePool {
         self.free.len() as u32
     }
 
+    /// Per-node free-GPU counts — the pool's complete logical state
+    /// (equality is defined over exactly this plus `gpus_per_node`).
+    /// Snapshot hook: persist these and rebuild with
+    /// [`NodePool::from_free_counts`].
+    pub fn free_counts(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// GPUs per node.
+    pub fn gpus_per_node(&self) -> u32 {
+        self.gpus_per_node
+    }
+
+    /// Rebuild a pool from per-node free counts previously obtained via
+    /// [`NodePool::free_counts`]. The buckets, non-empty mask, and free
+    /// aggregate are derived indices, so reconstructing them from the
+    /// counts restores the pool exactly.
+    pub fn from_free_counts(
+        gpus_per_node: u32,
+        free: &[u32],
+    ) -> Result<Self, helios_trace::HeliosError> {
+        if gpus_per_node == 0 {
+            return Err(helios_trace::HeliosError::snapshot(
+                "restoring node pool",
+                "gpus_per_node must be positive",
+            ));
+        }
+        if let Some(&bad) = free.iter().find(|&&f| f > gpus_per_node) {
+            return Err(helios_trace::HeliosError::snapshot(
+                "restoring node pool",
+                format!("free count {bad} exceeds gpus_per_node {gpus_per_node}"),
+            ));
+        }
+        let mut pool = NodePool::new(free.len() as u32, gpus_per_node);
+        for (i, &f) in free.iter().enumerate() {
+            pool.set_free(i as u32, f);
+        }
+        Ok(pool)
+    }
+
     /// Move node `i` to free count `new`, maintaining buckets + aggregates.
     fn set_free(&mut self, i: u32, new: u32) {
         let old = self.free[i as usize];

@@ -1,0 +1,578 @@
+//! Versioned binary snapshot/restore of full kernel state.
+//!
+//! [`SimSnapshot`] captures everything a [`Simulator`](crate::Simulator)
+//! needs to resume with **byte-identical downstream outcomes**: job
+//! execution state, per-VC pool occupancy, the policy-ordered queues and
+//! finish heap verbatim (backing arrays, so pop order is reproduced bit
+//! for bit), the arrival cursor, the simulated horizon, undrained
+//! completions, and opaque policy state
+//! ([`SchedulingPolicy::save_state`](crate::SchedulingPolicy::save_state)).
+//!
+//! Deliberately *not* captured — state the equivalence test suite pins as
+//! outcome-neutral: the blocked-head memo (a pure performance cache),
+//! the scratch buffers, and registered observers (restore starts with
+//! none; re-attach as needed).
+//!
+//! The wire format is a little-endian byte stream behind an 8-byte magic
+//! and a `u32` version ([`SNAPSHOT_VERSION`]). The no-op vendored serde
+//! cannot serialize, so the codec is hand-written via [`ByteWriter`] /
+//! [`ByteReader`] — both public so higher layers (the fleet service)
+//! frame their own envelopes around per-cluster payloads. Decoding never
+//! panics: every malformed input surfaces as
+//! [`HeliosError::Snapshot`].
+
+use crate::job::SimJob;
+use crate::pool::Placement;
+use helios_trace::{ClusterSpec, HeliosError, HeliosResult};
+
+/// Magic prefix of a serialized [`SimSnapshot`].
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"HSIMSNAP";
+/// Current kernel snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Complete resumable state of one [`Simulator`](crate::Simulator); see
+/// the module docs for what is (and is not) captured. Produce with
+/// [`Simulator::snapshot`](crate::Simulator::snapshot), serialize with
+/// [`SimSnapshot::to_bytes`], and rehydrate through
+/// [`Simulator::restore`](crate::Simulator::restore).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    /// Kernel placement knob at snapshot time.
+    pub placement: Placement,
+    /// Kernel backfill knob at snapshot time.
+    pub backfill: bool,
+    /// Blocked-head memoization toggle (outcome-neutral, preserved so a
+    /// resumed run keeps the same performance profile).
+    pub memo_enabled: bool,
+    /// `policy.name()` at snapshot time; restore refuses a different
+    /// discipline rather than silently diverging.
+    pub policy_name: String,
+    /// Fingerprint of the cluster spec the snapshot was taken against.
+    pub spec_fingerprint: u64,
+    /// Simulated horizon (`i64::MIN` before any activity).
+    pub horizon: i64,
+    /// Jobs finished so far.
+    pub finished: u64,
+    /// Every admitted job's execution state, in admission order (state
+    /// indices elsewhere in the snapshot point into this array).
+    pub jobs: Vec<JobStateSnap>,
+    /// Per-VC pool/queue/running state, in VC order.
+    pub vcs: Vec<VcSnap>,
+    /// Unconsumed arrival cursor tail (state indices, submit-sorted).
+    pub pending_arrivals: Vec<u64>,
+    /// The finish heap's backing array verbatim: `(time, state index,
+    /// epoch)`.
+    pub finishes: Vec<(i64, u64, u32)>,
+    /// Finished but not yet drained (state indices).
+    pub completed: Vec<u64>,
+    /// Opaque policy payload from `SchedulingPolicy::save_state`.
+    pub policy_state: Vec<u8>,
+}
+
+/// One job's execution state inside a [`SimSnapshot`]. Field semantics
+/// mirror the kernel's internal per-job record; `i64::MIN` is the "not
+/// set" sentinel for the timestamp fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobStateSnap {
+    /// The job as submitted.
+    pub job: SimJob,
+    /// Remaining execution time.
+    pub remaining: i64,
+    /// Current-run start time (sentinel when not running).
+    pub started_at: i64,
+    /// First-ever start time (sentinel before first start).
+    pub first_start: i64,
+    /// Finish time (sentinel while unfinished).
+    pub end: i64,
+    /// Scheduling epoch (bumped on every start; stale-finish filter).
+    pub epoch: u32,
+    /// Times preempted so far.
+    pub preemptions: u32,
+    /// Slot in the VC's running vectors while running.
+    pub run_slot: u32,
+}
+
+/// One VC's state inside a [`SimSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcSnap {
+    /// Per-node free-GPU counts — the pool's complete logical state.
+    pub free: Vec<u32>,
+    /// The policy queue's backing heap array verbatim: `(key, job id,
+    /// state index)`. The `(key, job id)` pair is the kernel's total
+    /// queue order.
+    pub queue: Vec<(f64, u64, u64)>,
+    /// Running jobs (state indices), slot order.
+    pub running: Vec<u64>,
+    /// `running_allocs[i]` is the `(node, gpus)` slice list of
+    /// `running[i]`'s live allocation.
+    pub running_allocs: Vec<Vec<(u32, u32)>>,
+}
+
+/// Order-sensitive FNV-1a fingerprint of the spec facts the kernel state
+/// depends on: cluster name, node counts, and the VC layout. Restore
+/// validates it so a snapshot cannot be applied to a different cluster.
+pub fn spec_fingerprint(spec: &ClusterSpec) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &b in spec.id.name().as_bytes() {
+        mix(b as u64);
+    }
+    mix(spec.nodes as u64);
+    mix(spec.gpus_per_node as u64);
+    mix(spec.vcs.len() as u64);
+    for vc in &spec.vcs {
+        mix(vc.id as u64);
+        mix(vc.nodes as u64);
+    }
+    h
+}
+
+/// Little-endian byte-stream writer for snapshot payloads.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Exact bit pattern (`to_bits`), so keys survive byte-identically.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Raw bytes with no length prefix — for fixed-size framing such as
+    /// magic numbers.
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Little-endian byte-stream reader; every method returns a typed
+/// [`HeliosError::Snapshot`] on truncation instead of panicking.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    context: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`; `context` names the payload being decoded in
+    /// error messages ("decoding kernel snapshot", ...).
+    pub fn new(buf: &'a [u8], context: &'static str) -> Self {
+        ByteReader {
+            buf,
+            pos: 0,
+            context,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error constructor carrying this reader's context.
+    pub fn err(&self, detail: impl Into<String>) -> HeliosError {
+        HeliosError::snapshot(self.context, detail)
+    }
+
+    /// Exactly `n` raw bytes with no length prefix — the reading twin of
+    /// [`ByteWriter::raw`].
+    pub fn raw(&mut self, n: usize) -> HeliosResult<&'a [u8]> {
+        self.take(n)
+    }
+
+    fn take(&mut self, n: usize) -> HeliosResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.err(format!(
+                "truncated payload: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> HeliosResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> HeliosResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> HeliosResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> HeliosResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> HeliosResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length prefix that must also be plausible for the bytes left —
+    /// rejects corrupt lengths before any multi-gigabyte allocation.
+    pub fn len(&mut self, elem_size: usize) -> HeliosResult<usize> {
+        let n = self.u64()?;
+        let max = (self.remaining() / elem_size.max(1)) as u64;
+        if n > max {
+            return Err(self.err(format!(
+                "corrupt length {n} at offset {}: only {} bytes remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> HeliosResult<Vec<u8>> {
+        let n = self.len(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> HeliosResult<String> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw).map_err(|e| self.err(format!("invalid UTF-8 string: {e}")))
+    }
+}
+
+fn placement_code(p: Placement) -> u8 {
+    match p {
+        Placement::Consolidate => 0,
+        Placement::Scatter => 1,
+    }
+}
+
+fn placement_from(code: u8, r: &ByteReader<'_>) -> HeliosResult<Placement> {
+    match code {
+        0 => Ok(Placement::Consolidate),
+        1 => Ok(Placement::Scatter),
+        other => Err(r.err(format!("unknown placement code {other}"))),
+    }
+}
+
+impl SimSnapshot {
+    /// Serialize to the versioned binary wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.u8(placement_code(self.placement));
+        w.u8(self.backfill as u8);
+        w.u8(self.memo_enabled as u8);
+        w.str(&self.policy_name);
+        w.u64(self.spec_fingerprint);
+        w.i64(self.horizon);
+        w.u64(self.finished);
+        w.u64(self.jobs.len() as u64);
+        for j in &self.jobs {
+            w.u64(j.job.id);
+            w.u32(j.job.vc as u32);
+            w.u32(j.job.gpus);
+            w.i64(j.job.submit);
+            w.i64(j.job.duration);
+            w.f64(j.job.priority);
+            w.i64(j.remaining);
+            w.i64(j.started_at);
+            w.i64(j.first_start);
+            w.i64(j.end);
+            w.u32(j.epoch);
+            w.u32(j.preemptions);
+            w.u32(j.run_slot);
+        }
+        w.u64(self.vcs.len() as u64);
+        for vc in &self.vcs {
+            w.u64(vc.free.len() as u64);
+            for &f in &vc.free {
+                w.u32(f);
+            }
+            w.u64(vc.queue.len() as u64);
+            for &(key, id, idx) in &vc.queue {
+                w.f64(key);
+                w.u64(id);
+                w.u64(idx);
+            }
+            w.u64(vc.running.len() as u64);
+            for &idx in &vc.running {
+                w.u64(idx);
+            }
+            w.u64(vc.running_allocs.len() as u64);
+            for alloc in &vc.running_allocs {
+                w.u64(alloc.len() as u64);
+                for &(node, gpus) in alloc {
+                    w.u32(node);
+                    w.u32(gpus);
+                }
+            }
+        }
+        w.u64(self.pending_arrivals.len() as u64);
+        for &idx in &self.pending_arrivals {
+            w.u64(idx);
+        }
+        w.u64(self.finishes.len() as u64);
+        for &(t, idx, epoch) in &self.finishes {
+            w.i64(t);
+            w.u64(idx);
+            w.u32(epoch);
+        }
+        w.u64(self.completed.len() as u64);
+        for &idx in &self.completed {
+            w.u64(idx);
+        }
+        w.bytes(&self.policy_state);
+        w.into_bytes()
+    }
+
+    /// Decode from the versioned binary wire format. Trailing garbage,
+    /// truncation, or a magic/version mismatch all surface as typed
+    /// errors.
+    pub fn from_bytes(bytes: &[u8]) -> HeliosResult<SimSnapshot> {
+        let mut r = ByteReader::new(bytes, "decoding kernel snapshot");
+        let magic = r.take(SNAPSHOT_MAGIC.len())?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(r.err("bad magic: not a kernel snapshot"));
+        }
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(r.err(format!(
+                "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+            )));
+        }
+        let placement = placement_from(r.u8()?, &r)?;
+        let backfill = r.u8()? != 0;
+        let memo_enabled = r.u8()? != 0;
+        let policy_name = r.str()?;
+        let spec_fingerprint = r.u64()?;
+        let horizon = r.i64()?;
+        let finished = r.u64()?;
+        let n_jobs = r.len(84)?;
+        let mut jobs = Vec::with_capacity(n_jobs);
+        for _ in 0..n_jobs {
+            let id = r.u64()?;
+            let vc_raw = r.u32()?;
+            let vc = u16::try_from(vc_raw)
+                .map_err(|_| r.err(format!("job {id}: VC id {vc_raw} out of range")))?;
+            jobs.push(JobStateSnap {
+                job: SimJob {
+                    id,
+                    vc,
+                    gpus: r.u32()?,
+                    submit: r.i64()?,
+                    duration: r.i64()?,
+                    priority: r.f64()?,
+                },
+                remaining: r.i64()?,
+                started_at: r.i64()?,
+                first_start: r.i64()?,
+                end: r.i64()?,
+                epoch: r.u32()?,
+                preemptions: r.u32()?,
+                run_slot: r.u32()?,
+            });
+        }
+        let n_vcs = r.len(32)?;
+        let mut vcs = Vec::with_capacity(n_vcs);
+        for _ in 0..n_vcs {
+            let n_free = r.len(4)?;
+            let mut free = Vec::with_capacity(n_free);
+            for _ in 0..n_free {
+                free.push(r.u32()?);
+            }
+            let n_queue = r.len(24)?;
+            let mut queue = Vec::with_capacity(n_queue);
+            for _ in 0..n_queue {
+                queue.push((r.f64()?, r.u64()?, r.u64()?));
+            }
+            let n_running = r.len(8)?;
+            let mut running = Vec::with_capacity(n_running);
+            for _ in 0..n_running {
+                running.push(r.u64()?);
+            }
+            let n_allocs = r.len(8)?;
+            let mut running_allocs = Vec::with_capacity(n_allocs);
+            for _ in 0..n_allocs {
+                let n_slices = r.len(8)?;
+                let mut slices = Vec::with_capacity(n_slices);
+                for _ in 0..n_slices {
+                    slices.push((r.u32()?, r.u32()?));
+                }
+                running_allocs.push(slices);
+            }
+            vcs.push(VcSnap {
+                free,
+                queue,
+                running,
+                running_allocs,
+            });
+        }
+        let n_arr = r.len(8)?;
+        let mut pending_arrivals = Vec::with_capacity(n_arr);
+        for _ in 0..n_arr {
+            pending_arrivals.push(r.u64()?);
+        }
+        let n_fin = r.len(20)?;
+        let mut finishes = Vec::with_capacity(n_fin);
+        for _ in 0..n_fin {
+            finishes.push((r.i64()?, r.u64()?, r.u32()?));
+        }
+        let n_done = r.len(8)?;
+        let mut completed = Vec::with_capacity(n_done);
+        for _ in 0..n_done {
+            completed.push(r.u64()?);
+        }
+        let policy_state = r.bytes()?;
+        if r.remaining() != 0 {
+            return Err(r.err(format!(
+                "{} trailing bytes after the snapshot payload",
+                r.remaining()
+            )));
+        }
+        Ok(SimSnapshot {
+            placement,
+            backfill,
+            memo_enabled,
+            policy_name,
+            spec_fingerprint,
+            horizon,
+            finished,
+            jobs,
+            vcs,
+            pending_arrivals,
+            finishes,
+            completed,
+            policy_state,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_trace::{philly, venus};
+
+    fn sample() -> SimSnapshot {
+        SimSnapshot {
+            placement: Placement::Scatter,
+            backfill: true,
+            memo_enabled: false,
+            policy_name: "FIFO".into(),
+            spec_fingerprint: spec_fingerprint(&venus()),
+            horizon: 12_345,
+            finished: 1,
+            jobs: vec![JobStateSnap {
+                job: SimJob {
+                    id: 7,
+                    vc: 3,
+                    gpus: 8,
+                    submit: 100,
+                    duration: 600,
+                    priority: 2.5,
+                },
+                remaining: 400,
+                started_at: 300,
+                first_start: 200,
+                end: i64::MIN,
+                epoch: 2,
+                preemptions: 1,
+                run_slot: 0,
+            }],
+            vcs: vec![VcSnap {
+                free: vec![0, 8, 3],
+                queue: vec![(100.0, 7, 0), (101.5, 9, 0)],
+                running: vec![0],
+                running_allocs: vec![vec![(0, 8)]],
+            }],
+            pending_arrivals: vec![0],
+            finishes: vec![(700, 0, 2)],
+            completed: vec![0],
+            policy_state: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_is_exact() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = SimSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        // Re-encoding is byte-stable.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_errors() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 4, 11, bytes.len() / 2, bytes.len() - 1] {
+            let err = SimSnapshot::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, HeliosError::Snapshot { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0xFF);
+        assert!(SimSnapshot::from_bytes(&trailing).is_err());
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(SimSnapshot::from_bytes(&wrong_magic).is_err());
+        let mut wrong_version = bytes;
+        wrong_version[8] = 0xEE;
+        assert!(SimSnapshot::from_bytes(&wrong_version).is_err());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_clusters() {
+        assert_ne!(spec_fingerprint(&venus()), spec_fingerprint(&philly()));
+        let mut shrunk = venus();
+        shrunk.vcs.pop();
+        assert_ne!(spec_fingerprint(&venus()), spec_fingerprint(&shrunk));
+    }
+}

@@ -92,6 +92,26 @@ pub enum HeliosError {
         /// The underlying I/O error, stringified.
         message: String,
     },
+    /// A fleet ingestion shard refused a submission because its bounded
+    /// queue is full. This is the backpressure signal: the producer should
+    /// retry after the worker's next admission cycle drains the shard.
+    FleetOverflow {
+        /// Cluster name ("Venus", ...).
+        cluster: String,
+        /// The virtual-cluster shard that overflowed.
+        vc: u16,
+        /// The shard's bounded capacity (jobs).
+        capacity: usize,
+    },
+    /// A scheduler snapshot could not be encoded, decoded, or applied
+    /// (magic/version mismatch, truncated payload, or a snapshot taken
+    /// against a different cluster spec or policy).
+    Snapshot {
+        /// What was being done ("decoding fleet header", ...).
+        context: String,
+        /// Why it failed.
+        detail: String,
+    },
 }
 
 impl HeliosError {
@@ -116,6 +136,14 @@ impl HeliosError {
         HeliosError::Io {
             context: context.into(),
             message: err.to_string(),
+        }
+    }
+
+    /// Shorthand for [`HeliosError::Snapshot`].
+    pub fn snapshot(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        HeliosError::Snapshot {
+            context: context.into(),
+            detail: detail.into(),
         }
     }
 
@@ -173,6 +201,18 @@ impl fmt::Display for HeliosError {
             }
             HeliosError::Io { context, message } => {
                 write!(f, "I/O error while {context}: {message}")
+            }
+            HeliosError::FleetOverflow {
+                cluster,
+                vc,
+                capacity,
+            } => write!(
+                f,
+                "[{cluster}] ingestion shard for VC {vc} is full \
+                 (capacity {capacity} jobs); retry after the next admission cycle"
+            ),
+            HeliosError::Snapshot { context, detail } => {
+                write!(f, "snapshot error while {context}: {detail}")
             }
         }
     }

@@ -41,6 +41,25 @@ impl<T: Ord> MinHeap<T> {
         self.data.first()
     }
 
+    /// The backing array, in heap order. Snapshot hook: persisting this
+    /// verbatim and rebuilding with [`MinHeap::from_heap_vec`] reproduces
+    /// the exact pop sequence, byte for byte.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Rebuild a heap from a backing array previously obtained via
+    /// [`MinHeap::as_slice`]. The array must already satisfy the 4-ary
+    /// heap property (debug-asserted); arbitrary unordered input belongs
+    /// in a `push` loop instead.
+    pub fn from_heap_vec(data: Vec<T>) -> Self {
+        debug_assert!(
+            (1..data.len()).all(|i| data[(i - 1) / ARITY] <= data[i]),
+            "from_heap_vec input violates the heap property"
+        );
+        MinHeap { data }
+    }
+
     pub fn push(&mut self, value: T) {
         self.data.push(value);
         self.sift_up(self.data.len() - 1);

@@ -3,6 +3,12 @@
 //! [`HeliosError`] is defined in `helios-trace` (the crate at the bottom of
 //! the dependency graph, so every workspace member can return it); library
 //! users should name it through this module or the [`crate::prelude`].
+//!
+//! The fleet service layer adds two variants worth knowing by name:
+//! [`HeliosError::FleetOverflow`] — the backpressure signal a bounded
+//! ingestion shard returns when full (retry after the next admission
+//! cycle) — and [`HeliosError::Snapshot`] — any encode/decode/apply
+//! failure of the versioned scheduler checkpoints.
 
 pub use helios_trace::error::{HeliosError, HeliosResult};
 

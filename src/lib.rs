@@ -45,7 +45,8 @@
 //! [`trace`] (synthesis), [`analysis`] (§3 statistics), [`predict`]
 //! (GBDT/ARIMA/LSTM), [`sim`] (pluggable discrete-event scheduler kernel),
 //! [`core`] (service framework), [`energy`] (CES/DRS + energy-aware
-//! policy).
+//! policy), [`fleet`] (sharded, snapshottable scheduler-as-a-service —
+//! launch via [`Helios::fleet_service`]).
 
 pub mod error;
 pub mod prelude;
@@ -59,6 +60,7 @@ pub use session::{
 pub use helios_analysis as analysis;
 pub use helios_core as core;
 pub use helios_energy as energy;
+pub use helios_fleet as fleet;
 pub use helios_predict as predict;
 pub use helios_sim as sim;
 pub use helios_trace as trace;

@@ -11,6 +11,7 @@ pub use crate::session::{
 
 // Substrate types that appear in façade signatures or configs.
 pub use helios_core::{CesEvaluation, CesServiceConfig, QssfConfig};
+pub use helios_fleet::{ClusterConfig, ClusterStatus, Fleet, FleetConfig, VcStatus};
 pub use helios_sim::{
     JobOutcome, JobView, Placement, Policy, ScheduleStats, SchedulingPolicy, SimJob, SimObserver,
 };

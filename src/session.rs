@@ -191,6 +191,16 @@ impl Helios {
     pub fn clusters(presets: impl IntoIterator<Item = Preset>) -> FleetBuilder {
         FleetBuilder::new(presets.into_iter().collect())
     }
+
+    /// Launch the scheduler-as-a-service layer: all five presets hosted
+    /// concurrently, each on its own worker thread, fed through sharded
+    /// per-VC ingestion queues with live status/ETA queries and
+    /// whole-fleet snapshot/restore. This is the streaming counterpart
+    /// of the batch pipelines above — see [`crate::fleet`] for the
+    /// architecture and `examples/fleet_service.rs` for a tour.
+    pub fn fleet_service(policy: helios_sim::Policy) -> Result<helios_fleet::Fleet> {
+        helios_fleet::Fleet::launch(&helios_fleet::FleetConfig::all_presets(policy))
+    }
 }
 
 /// Validated knobs shared by single- and multi-cluster builders.

@@ -1,0 +1,141 @@
+//! Snapshot/restore equivalence: checkpointing a kernel mid-run, dropping
+//! it, and resuming from the serialized bytes must reproduce the
+//! uninterrupted run's outcomes **byte-identically** — same digest over
+//! `(id, start, end, preemptions)` as the bench trajectory records.
+
+use helios_energy::EnergyAwarePolicy;
+use helios_sim::{
+    jobs_from_trace, JobOutcome, Policy, SchedulingPolicy, SimSnapshot, Simulator, SrtfPolicy,
+    TiresiasPolicy,
+};
+use helios_trace::{generate, preset, profile_for, ClusterId, GeneratorConfig, HeliosError};
+
+/// FNV-1a over the schedule-relevant outcome fields — the same
+/// fingerprint the bench trajectory records use, so "digests match" here
+/// means exactly what `BENCH_*.json` equality means.
+fn outcome_digest(outcomes: &[JobOutcome]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for o in outcomes {
+        mix(o.id);
+        mix(o.start as u64);
+        mix(o.end as u64);
+        mix(o.preemptions as u64);
+    }
+    format!("{h:016x}")
+}
+
+/// Uninterrupted baseline vs. checkpoint-at-`cut`, serialize, drop,
+/// restore-from-bytes, resume. Returns (baseline digest, resumed digest).
+fn run_both(
+    cluster: ClusterId,
+    seed: u64,
+    scale: f64,
+    make_policy: impl Fn() -> Box<dyn SchedulingPolicy>,
+) -> (String, String) {
+    let trace = generate(&profile_for(cluster), &GeneratorConfig { scale, seed }).unwrap();
+    let (lo, hi) = trace.calendar.month_range(5);
+    let jobs = jobs_from_trace(&trace, lo, hi);
+    assert!(!jobs.is_empty(), "empty September window at scale {scale}");
+
+    let mut baseline = Simulator::new(&trace.spec, make_policy());
+    baseline.push_jobs(&jobs).unwrap();
+    baseline.run_to_completion();
+    let base_outcomes = baseline.drain_outcomes();
+
+    let mut first = Simulator::new(&trace.spec, make_policy());
+    first.push_jobs(&jobs).unwrap();
+    let cut = lo + (hi - lo) / 2;
+    first.run_until(cut);
+    // Drain what finished before the cut: outcomes already surrendered
+    // must not reappear after restore, and vice versa.
+    let mut resumed_outcomes = first.drain_outcomes();
+    let bytes = first.snapshot().to_bytes();
+    drop(first);
+
+    let snap = SimSnapshot::from_bytes(&bytes).unwrap();
+    let mut second = Simulator::restore(&trace.spec, make_policy(), &snap).unwrap();
+    assert_eq!(second.now(), cut);
+    second.run_to_completion();
+    resumed_outcomes.extend(second.drain_outcomes());
+    resumed_outcomes.sort_by_key(|o| o.id);
+
+    let mut base_sorted = base_outcomes;
+    base_sorted.sort_by_key(|o| o.id);
+    assert_eq!(base_sorted.len(), resumed_outcomes.len());
+    (
+        outcome_digest(&base_sorted),
+        outcome_digest(&resumed_outcomes),
+    )
+}
+
+#[test]
+fn scale_01_digests_survive_checkpoint_three_seeds_two_presets() {
+    // The acceptance matrix: 3 seeds x 2 presets at scale 0.1.
+    for cluster in [ClusterId::Venus, ClusterId::Saturn] {
+        for seed in [2020u64, 2021, 2022] {
+            let (base, resumed) = run_both(cluster, seed, 0.1, || Policy::Fifo.build());
+            assert_eq!(
+                base, resumed,
+                "digest diverged after restore ({cluster:?}, seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn preemptive_state_survives_checkpoint() {
+    // SRTF carries remaining-time ordering and mid-flight preemption
+    // state (epochs, stale finish events) across the checkpoint;
+    // Tiresias adds discretized-LAS level state.
+    let (base, resumed) = run_both(ClusterId::Venus, 7, 0.05, || Box::new(SrtfPolicy));
+    assert_eq!(base, resumed, "SRTF diverged after restore");
+    let (base, resumed) = run_both(ClusterId::Venus, 8, 0.05, || {
+        Box::new(TiresiasPolicy::default())
+    });
+    assert_eq!(base, resumed, "Tiresias diverged after restore");
+}
+
+#[test]
+fn stateful_policy_state_round_trips_through_snapshot() {
+    // The energy-aware policy's hook-fed utilization gate is dynamic
+    // policy state: it must travel through save_state/load_state for the
+    // resumed run to take identical FIFO-vs-energy ordering decisions.
+    let (base, resumed) = run_both(ClusterId::Venus, 9, 0.05, || {
+        Box::new(EnergyAwarePolicy::default())
+    });
+    assert_eq!(base, resumed, "energy-aware policy diverged after restore");
+}
+
+#[test]
+fn restore_rejects_mismatched_cluster_and_policy() {
+    let trace = generate(
+        &profile_for(ClusterId::Venus),
+        &GeneratorConfig {
+            scale: 0.05,
+            seed: 1,
+        },
+    )
+    .unwrap();
+    let (lo, hi) = trace.calendar.month_range(5);
+    let jobs = jobs_from_trace(&trace, lo, hi);
+    let mut sim = Simulator::new(&trace.spec, Policy::Fifo.build());
+    sim.push_jobs(&jobs).unwrap();
+    sim.run_until(lo + (hi - lo) / 2);
+    let snap = sim.snapshot();
+
+    // Wrong cluster: the spec fingerprint catches it.
+    let err = Simulator::restore(&preset(ClusterId::Earth), Policy::Fifo.build(), &snap)
+        .err()
+        .expect("cross-cluster restore must fail");
+    assert!(matches!(err, HeliosError::Snapshot { .. }), "{err}");
+
+    // Wrong policy: the recorded discipline name catches it.
+    let err = Simulator::restore(&trace.spec, Policy::Sjf.build(), &snap)
+        .err()
+        .expect("cross-policy restore must fail");
+    assert!(matches!(err, HeliosError::Snapshot { .. }), "{err}");
+}
