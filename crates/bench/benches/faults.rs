@@ -1,0 +1,79 @@
+//! Failure-injection overhead: the same Venus September workload through
+//! the kernel failure-free, under seeded Weibull injection
+//! (checkpoint-restart), and with the proactive-drain wrapper stacked on
+//! top — pins the cost of the fault event class and the drain scan path.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use helios_faults::{DrainConfig, DrainPolicy};
+use helios_sim::{
+    jobs_from_trace, FaultConfig, KernelConfig, Policy, SchedulingPolicy, SimJob, Simulator,
+};
+use helios_trace::{generate, venus_profile, ClusterSpec, GeneratorConfig};
+
+fn run(
+    spec: &ClusterSpec,
+    jobs: &[SimJob],
+    policy: Box<dyn SchedulingPolicy>,
+    faults: Option<&FaultConfig>,
+) -> usize {
+    let mut sim = Simulator::with_config(spec, policy, &KernelConfig::default());
+    if let Some(f) = faults {
+        sim.enable_faults(f).expect("valid fault config");
+    }
+    sim.push_jobs(jobs).expect("valid jobs");
+    sim.run_to_completion();
+    sim.drain_outcomes().len()
+}
+
+fn bench(c: &mut Criterion) {
+    let trace = generate(
+        &venus_profile(),
+        &GeneratorConfig {
+            scale: 0.1,
+            seed: 2020,
+        },
+    )
+    .expect("valid generator config");
+    let (lo, hi) = trace.calendar.month_range(5);
+    let jobs = jobs_from_trace(&trace, lo, hi);
+    let spec = trace.spec.clone();
+    // Checkpoint semantics: at 48 h MTBF a kill-requeue run never finishes
+    // its 50-day jobs, so the bench would spin instead of measuring.
+    let faults = FaultConfig::with_mtbf_hours(48.0).checkpoint_hours(2.0);
+    eprintln!("fault overhead: {} Venus September jobs", jobs.len());
+
+    let mut g = c.benchmark_group("faults");
+    g.sample_size(10);
+    g.bench_function("venus_0.1_failure_free", |b| {
+        b.iter(|| {
+            run(
+                black_box(&spec),
+                black_box(&jobs),
+                Policy::Fifo.build(),
+                None,
+            )
+        })
+    });
+    g.bench_function("venus_0.1_injected_mtbf48h", |b| {
+        b.iter(|| {
+            run(
+                black_box(&spec),
+                black_box(&jobs),
+                Policy::Fifo.build(),
+                Some(&faults),
+            )
+        })
+    });
+    g.bench_function("venus_0.1_injected_drain_wrapper", |b| {
+        b.iter(|| {
+            let policy = Box::new(
+                DrainPolicy::uptime(Policy::Fifo.build(), 48.0, DrainConfig::default())
+                    .expect("valid drain config"),
+            );
+            run(black_box(&spec), black_box(&jobs), policy, Some(&faults))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,12 +8,17 @@
 //!   --seed <N>      generator seed (default 2020)
 //!   --out-dir <DIR> report directory (default "reports")
 //!   --policy <P>    restrict schedule experiments to one policy:
-//!                   fifo|sjf|srtf|qssf|tiresias|all
+//!                   fifo|sjf|srtf|qssf|tiresias|all — or drain:<P> to wrap
+//!                   the selection in the proactive-drain layer
 //!                   (default: the paper's FIFO/SJF/QSSF/SRTF set)
+//!   --failures <H>  run every scheduler simulation under failure
+//!                   injection with the given per-node MTBF in hours
+//!                   (default: failure-free)
 //!   --bench-json <PATH>  write machine-readable perf records (wall time,
 //!                   jobs/sec, outcome digest) for every policy simulation
 //!                   the selected experiments ran — the BENCH_*.json
-//!                   perf-trajectory format
+//!                   perf-trajectory format; failure-injected runs land in
+//!                   its `faults` section (BENCH_faults.json)
 //!   --list          print the experiment ids and exit
 //! ```
 //!
@@ -33,12 +38,14 @@ struct Args {
     seed: u64,
     out_dir: PathBuf,
     policy: Option<String>,
+    failures: Option<f64>,
     bench_json: Option<PathBuf>,
     id: String,
 }
 
 const USAGE: &str = "usage: repro [--scale F] [--seed N] [--out-dir DIR] \
-                     [--policy fifo|sjf|srtf|qssf|tiresias|all] \
+                     [--policy [drain:]fifo|sjf|srtf|qssf|tiresias|all] \
+                     [--failures MTBF-HOURS] \
                      [--bench-json PATH] [--list] <experiment-id>|all";
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 2020u64;
     let mut out_dir = PathBuf::from("reports");
     let mut policy = None;
+    let mut failures = None;
     let mut bench_json = None;
     let mut id = None;
     let mut argv = std::env::args().skip(1);
@@ -64,6 +72,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--policy" => {
                 policy = Some(argv.next().ok_or("--policy needs a value")?);
+            }
+            "--failures" => {
+                let v = argv.next().ok_or("--failures needs a value (MTBF hours)")?;
+                failures = Some(v.parse().map_err(|_| format!("invalid --failures {v:?}"))?);
             }
             "--bench-json" => {
                 bench_json = Some(PathBuf::from(
@@ -96,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         out_dir,
         policy,
+        failures,
         bench_json,
         id: id.ok_or(USAGE)?,
     })
@@ -108,6 +121,9 @@ fn write_bench_json(path: &Path, args: &Args, ctx: &Context) -> Result<(), Helio
     // Per-stage pipeline records (the `pipeline` experiment): one entry
     // per (cluster, stage) with the stage's wall seconds.
     let stages: Vec<serde_json::Value> = ctx.stage_records().iter().map(|r| r.to_json()).collect();
+    // Failure-injected run records (the `failure-soak` experiment):
+    // goodput, predictor precision/recall, and outcome digests.
+    let faults: Vec<serde_json::Value> = ctx.fault_records().iter().map(|r| r.to_json()).collect();
     // Scheduler experiments fan clusters x policies out over rayon, so
     // wall times include sibling-simulation contention: record the host
     // parallelism (also stamped into every individual record) so
@@ -122,6 +138,7 @@ fn write_bench_json(path: &Path, args: &Args, ctx: &Context) -> Result<(), Helio
         "note": "wall_secs measured under the parallel clusters x policies fan-out; compare only across runs with the same fan-out shape and parallelism",
         "runs": records,
         "stages": stages,
+        "faults": faults,
     });
     let rendered = serde_json::to_string_pretty(&doc).map_err(|e| HeliosError::Io {
         context: format!("serializing {}", path.display()),
@@ -175,6 +192,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(mtbf_hours) = args.failures {
+        if let Err(e) = ctx.set_failures(mtbf_hours) {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
     let outputs = match run(&args.id, &mut ctx) {
         Ok(o) => o,
         Err(e) => {
@@ -193,14 +216,16 @@ fn main() -> ExitCode {
     if let Some(path) = &args.bench_json {
         let n = ctx.bench_records().len();
         let s = ctx.stage_records().len();
+        let f = ctx.fault_records().len();
         if let Err(e) = write_bench_json(path, &args, &ctx) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "bench: {} policy-run and {} stage records in {}",
+            "bench: {} policy-run, {} stage, and {} fault records in {}",
             n,
             s,
+            f,
             path.display()
         );
     }

@@ -9,6 +9,7 @@ use helios_core::{
     noisy_oracle_priorities, CesEvaluation, CesService, CesServiceConfig, QssfConfig, QssfService,
 };
 use helios_energy::{annualize, energy_saved_kwh, node_series_from_trace};
+use helios_faults::{goodput, train_failure_predictor, DrainConfig, DrainPolicy, PredictorConfig};
 use helios_predict::features::series::SeriesFeatureConfig;
 use helios_predict::metrics::smape;
 use helios_predict::{
@@ -16,8 +17,8 @@ use helios_predict::{
 };
 use helios_sim::{
     group_delay_ratios, jobs_from_trace, per_vc_queue_delay, schedule_stats, simulate,
-    simulate_with, FifoPolicy, KernelConfig, Placement, Policy, PriorityPolicy, SchedulingPolicy,
-    SimConfig, SimJob, SjfPolicy, SrtfPolicy, TiresiasPolicy,
+    simulate_with, FaultConfig, FifoPolicy, KernelConfig, Placement, Policy, PriorityPolicy,
+    SchedulingPolicy, SimConfig, SimJob, Simulator, SjfPolicy, SrtfPolicy, TiresiasPolicy,
 };
 use helios_trace::{
     generate_helios, generate_philly, GeneratorConfig, HeliosError, Trace, SECS_PER_DAY,
@@ -96,6 +97,58 @@ impl StagePerfRecord {
     }
 }
 
+/// One failure-injected policy run: goodput, predictor quality, and the
+/// outcome digest — the machine-readable record behind the `faults`
+/// section of `repro --bench-json` (the BENCH_faults.json format).
+#[derive(Debug, Clone)]
+pub struct FaultRunRecord {
+    pub cluster: String,
+    /// Policy label; proactive-drain runs carry the wrapper's
+    /// `DRAIN+<inner>` name.
+    pub policy: String,
+    /// Jobs simulated (September evaluation window).
+    pub jobs: usize,
+    /// Node failures injected during the run.
+    pub failures: u64,
+    /// Gang kills those failures caused.
+    pub killed_jobs: u64,
+    /// Goodput ratio: useful / (useful + lost) GPU·hours.
+    pub goodput: f64,
+    /// GPU·hours of work lost to failure-induced kills.
+    pub lost_gpu_hours: f64,
+    /// Failure-predictor precision on its held-out split (the same
+    /// trained model scores both rows of a cluster's pair).
+    pub precision: f64,
+    /// Failure-predictor recall on its held-out split.
+    pub recall: f64,
+    pub wall_secs: f64,
+    /// FNV-1a over every outcome's (id, start, end, preemptions) — pins
+    /// the injected run including the failure sequence.
+    pub outcome_digest: String,
+    /// Worker threads available when this record was measured
+    /// ([`run_parallelism`]).
+    pub parallelism: usize,
+}
+
+impl FaultRunRecord {
+    pub fn to_json(&self) -> serde_json::Value {
+        json!({
+            "cluster": self.cluster.clone(),
+            "policy": self.policy.clone(),
+            "jobs": self.jobs,
+            "failures": self.failures,
+            "killed_jobs": self.killed_jobs,
+            "goodput": self.goodput,
+            "lost_gpu_hours": self.lost_gpu_hours,
+            "precision": self.precision,
+            "recall": self.recall,
+            "wall_secs": self.wall_secs,
+            "outcome_digest": self.outcome_digest.clone(),
+            "parallelism": self.parallelism,
+        })
+    }
+}
+
 /// Worker/thread count of this run — stamped into every perf record so
 /// trajectories are only ever compared like-for-like.
 pub fn run_parallelism() -> usize {
@@ -144,6 +197,15 @@ pub struct Context {
     /// Perf records produced by the `fleet-soak` experiment (empty unless
     /// it ran) — merged into [`Context::bench_records`].
     fleet_perf: Vec<PolicyRunPerf>,
+    /// Fault model every scheduler simulation runs under (`repro
+    /// --failures <mtbf-hours>`); `None` = failure-free, the default.
+    faults: Option<FaultConfig>,
+    /// Wrap every selected policy in the proactive-drain layer (`repro
+    /// --policy drain:<inner>`).
+    drain: bool,
+    /// Records produced by the `failure-soak` experiment (empty unless it
+    /// ran) — serialized as the `faults` section of `--bench-json`.
+    faults_perf: Vec<FaultRunRecord>,
 }
 
 impl Context {
@@ -165,14 +227,51 @@ impl Context {
             ces_philly: None,
             stages: Vec::new(),
             fleet_perf: Vec::new(),
+            faults: None,
+            drain: false,
+            faults_perf: Vec::new(),
         })
+    }
+
+    /// Enable failure injection for every scheduler simulation this
+    /// context runs (`repro --failures <mtbf-hours>`): seeded per-node
+    /// Weibull MTBF renewal with the production-flavored defaults of
+    /// [`FaultConfig::with_mtbf_hours`], under checkpoint-restart
+    /// semantics (2 h intervals). Checkpointing is what makes any MTBF
+    /// safe here: Helios traces carry 50-day jobs, and kill-and-requeue
+    /// against an MTBF shorter than the longest job would recompute
+    /// forever (see [`helios_sim::FaultSemantics`]). The `failure-soak`
+    /// experiment also adopts this model. Non-physical MTBFs are a typed
+    /// [`HeliosError::InvalidConfig`] error, never a panic.
+    pub fn set_failures(&mut self, mtbf_hours: f64) -> Result<(), HeliosError> {
+        let cfg = FaultConfig::with_mtbf_hours(mtbf_hours).checkpoint_hours(2.0);
+        cfg.validate()?;
+        self.faults = Some(cfg);
+        // Scheduler caches are fault-model-dependent.
+        self.sched = None;
+        self.sched_philly = None;
+        Ok(())
+    }
+
+    /// The fault model scheduler simulations run under (`None` =
+    /// failure-free).
+    pub fn failures(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref()
     }
 
     /// Restrict (or extend) the scheduler experiments to one policy — or
     /// `"all"` for every shipped policy including Tiresias. Accepts the
     /// `repro --policy` values: `fifo|sjf|srtf|qssf|tiresias|all`
-    /// (case-insensitive; the valid set is `POLICY_TABLE`).
+    /// (case-insensitive; the valid set is `POLICY_TABLE`). A `drain:`
+    /// prefix (e.g. `drain:fifo`) wraps every selected policy in the
+    /// proactive-drain layer ([`DrainPolicy`]), which marks
+    /// high-failure-risk nodes draining before they fail.
     pub fn set_policy_choice(&mut self, choice: &str) -> Result<(), HeliosError> {
+        let (choice, drain) = match choice.split_once(':') {
+            Some((prefix, inner)) if prefix.eq_ignore_ascii_case("drain") => (inner, true),
+            _ => (choice, false),
+        };
+        self.drain = drain;
         self.policies = if choice.eq_ignore_ascii_case("all") {
             POLICIES.to_vec()
         } else if let Some((label, _)) = POLICY_TABLE
@@ -188,6 +287,7 @@ impl Context {
                     let mut names: Vec<String> =
                         POLICIES.iter().map(|l| l.to_ascii_lowercase()).collect();
                     names.push("all".into());
+                    names.push("drain:<any of these>".into());
                     names.join(", ")
                 },
             });
@@ -243,10 +343,12 @@ impl Context {
                 policies.len()
             );
             let seed = self.cfg.seed;
+            let faults = self.faults;
+            let drain = self.drain;
             let runs: Vec<SchedulerRun> = traces
                 .par_iter()
                 .with_min_len(1)
-                .map(|t| run_schedulers(t, seed, &policies))
+                .map(|t| run_schedulers_with(t, seed, &policies, faults.as_ref(), drain))
                 .collect();
             self.sched = Some(runs);
         }
@@ -260,6 +362,8 @@ impl Context {
         if self.sched_philly.is_none() {
             let seed = self.cfg.seed;
             let policies = self.policies.clone();
+            let faults = self.faults;
+            let drain = self.drain;
             let t = self.philly();
             eprintln!("[ctx] scheduling experiments on Philly (parallel)...");
             let (lo, hi) = (t.calendar.month_start(0), t.calendar.month_end(1));
@@ -283,7 +387,16 @@ impl Context {
                     } else {
                         baseline_policy(label)
                     };
-                    timed_run("Philly", label, &t.spec, jobs_ref, policy, &kcfg)
+                    let policy = maybe_drain(policy, faults.as_ref(), drain);
+                    timed_run(
+                        "Philly",
+                        label,
+                        &t.spec,
+                        jobs_ref,
+                        policy,
+                        &kcfg,
+                        faults.as_ref(),
+                    )
                 })
                 .collect();
             let mut outcomes = HashMap::new();
@@ -320,6 +433,13 @@ impl Context {
     /// (empty unless it ran) — serialized into `repro --bench-json`.
     pub fn stage_records(&self) -> &[StagePerfRecord] {
         &self.stages
+    }
+
+    /// Failure-injected run records produced by the `failure-soak`
+    /// experiment (empty unless it ran) — the `faults` section of
+    /// `repro --bench-json` (BENCH_faults.json).
+    pub fn fault_records(&self) -> &[FaultRunRecord] {
+        &self.faults_perf
     }
 
     /// CES evaluations: September 1–21 on each Helios cluster, one
@@ -408,11 +528,33 @@ fn baseline_policy(label: &str) -> Box<dyn SchedulingPolicy> {
     ctor()
 }
 
+/// Wrap a policy in the proactive-drain layer when `--policy drain:<inner>`
+/// selected it. Without a trained predictor the wrapper runs the
+/// uptime-threshold risk model at the configured MTBF — under the
+/// aging-hazard Weibull default, "older than the mean time between
+/// failures" is the natural drain trigger (a generous 30-day horizon when
+/// no fault model is configured, where draining never fires in practice).
+fn maybe_drain(
+    inner: Box<dyn SchedulingPolicy>,
+    faults: Option<&FaultConfig>,
+    drain: bool,
+) -> Box<dyn SchedulingPolicy> {
+    if !drain {
+        return inner;
+    }
+    let hours = faults.map_or(24.0 * 30.0, |f| f.mtbf_secs / 3600.0);
+    Box::new(
+        DrainPolicy::uptime(inner, hours, DrainConfig::default())
+            .expect("positive uptime threshold"),
+    )
+}
+
 /// Simulate one policy over one job set, timing the kernel run and
-/// fingerprinting its outcomes. Note: scheduler experiments fan out over
-/// rayon, so `wall_secs` includes whatever core contention the sibling
-/// simulations cause — compare records only across runs with the same
-/// fan-out shape (the `--bench-json` metadata records the parallelism).
+/// fingerprinting its outcomes; with a fault model the kernel runs under
+/// failure injection. Note: scheduler experiments fan out over rayon, so
+/// `wall_secs` includes whatever core contention the sibling simulations
+/// cause — compare records only across runs with the same fan-out shape
+/// (the `--bench-json` metadata records the parallelism).
 fn timed_run(
     cluster: &str,
     label: &'static str,
@@ -420,14 +562,32 @@ fn timed_run(
     jobs: &[SimJob],
     policy: Box<dyn SchedulingPolicy>,
     kcfg: &KernelConfig,
+    faults: Option<&FaultConfig>,
 ) -> (&'static str, PolicyRunPerf, Vec<helios_sim::JobOutcome>) {
+    // Drain-wrapped runs report the wrapper's `DRAIN+<inner>` name so the
+    // perf records distinguish them; `label` stays the inner policy (the
+    // experiments' column key).
+    let policy_name = policy.name().to_string();
     let started = Instant::now();
-    let run = simulate_with(spec, jobs, policy, kcfg);
+    let outcomes = match faults {
+        None => {
+            simulate_with(spec, jobs, policy, kcfg)
+                .expect("sim inputs pre-filtered")
+                .outcomes
+        }
+        Some(f) => {
+            let mut sim = Simulator::with_config(spec, policy, kcfg);
+            sim.enable_faults(f)
+                .expect("fault config validated upstream");
+            sim.push_jobs(jobs).expect("sim inputs pre-filtered");
+            sim.run_to_completion();
+            sim.drain_outcomes()
+        }
+    };
     let wall_secs = started.elapsed().as_secs_f64();
-    let outcomes = run.expect("sim inputs pre-filtered").outcomes;
     let perf = PolicyRunPerf {
         cluster: cluster.to_string(),
-        policy: label.to_string(),
+        policy: policy_name,
         jobs: jobs.len(),
         wall_secs,
         jobs_per_sec: if wall_secs > 0.0 {
@@ -442,8 +602,21 @@ fn timed_run(
 }
 
 /// Run the selected scheduling policies on one cluster's September jobs
-/// through the pluggable kernel, one policy per rayon thread.
+/// through the pluggable kernel, one policy per rayon thread
+/// (failure-free, no drain wrapper — the legacy entry point).
 pub fn run_schedulers(trace: &Trace, seed: u64, policies: &[&'static str]) -> SchedulerRun {
+    run_schedulers_with(trace, seed, policies, None, false)
+}
+
+/// [`run_schedulers`] with an optional fault model (failure injection in
+/// every kernel) and optional proactive-drain wrapping of each policy.
+pub fn run_schedulers_with(
+    trace: &Trace,
+    seed: u64,
+    policies: &[&'static str],
+    faults: Option<&FaultConfig>,
+    drain: bool,
+) -> SchedulerRun {
     let _ = seed;
     let cal = &trace.calendar;
     let (lo, hi) = cal.month_range(5); // September
@@ -464,8 +637,9 @@ pub fn run_schedulers(trace: &Trace, seed: u64, policies: &[&'static str]) -> Sc
                     label,
                     &trace.spec,
                     &scored,
-                    qssf.scheduling_policy(),
+                    maybe_drain(qssf.scheduling_policy(), faults, drain),
                     &kcfg,
+                    faults,
                 )
             } else {
                 timed_run(
@@ -473,8 +647,9 @@ pub fn run_schedulers(trace: &Trace, seed: u64, policies: &[&'static str]) -> Sc
                     label,
                     &trace.spec,
                     &base,
-                    baseline_policy(label),
+                    maybe_drain(baseline_policy(label), faults, drain),
                     &kcfg,
+                    faults,
                 )
             }
         })
@@ -1887,16 +2062,194 @@ fn fleet_soak(ctx: &mut Context) -> Result<ExperimentOutput, HeliosError> {
     })
 }
 
+/// `failure-soak`: the failure-injection soak. On two Helios presets
+/// (Venus and Saturn), train the GPU-failure predictor on April–August
+/// telemetry from the fault model itself, then run September twice under
+/// identical injection — the inner policy bare, and wrapped in the
+/// proactive-drain layer driven by that predictor. Produces the
+/// `BENCH_faults.json` records: per-run goodput, work lost to kills,
+/// predictor precision/recall, and outcome digests (the determinism pin
+/// for the injected runs).
+fn failure_soak(ctx: &mut Context) -> Result<ExperimentOutput, HeliosError> {
+    /// Preset indices into [`Context::helios`]: Venus, Saturn.
+    const SOAK_CLUSTERS: [usize; 2] = [0, 2];
+    /// Default per-node MTBF when `--failures` was not given. Aggressive
+    /// (a failure every three days per node) so a one-month window
+    /// carries enough failures for the goodput comparison to resolve;
+    /// checkpoint-restart semantics keep 50-day jobs terminating under
+    /// that pressure (kill-requeue at this MTBF would recompute forever).
+    const DEFAULT_MTBF_HOURS: f64 = 72.0;
+
+    let faults = ctx
+        .faults
+        .unwrap_or_else(|| FaultConfig::with_mtbf_hours(DEFAULT_MTBF_HOURS).checkpoint_hours(2.0));
+    faults.validate()?;
+    let pcfg = PredictorConfig::default();
+    ctx.helios();
+    let traces = ctx.helios.as_ref().unwrap();
+    eprintln!(
+        "[ctx] failure soak on {} clusters (MTBF {:.0}h, horizon {:.0}h, parallel)...",
+        SOAK_CLUSTERS.len(),
+        faults.mtbf_secs / 3600.0,
+        pcfg.horizon_hours,
+    );
+
+    type SoakRow = (String, FailurePredictorQuality, Vec<FaultRunRecord>);
+    struct FailurePredictorQuality {
+        precision: f64,
+        recall: f64,
+        base_rate: f64,
+    }
+    let kcfg = KernelConfig::default();
+    let rows: Vec<Result<SoakRow, HeliosError>> = SOAK_CLUSTERS
+        .par_iter()
+        .map(|&i| {
+            let t = &traces[i];
+            let cluster = t.spec.id.name().to_string();
+            let (lo, hi) = t.calendar.month_range(5); // September
+            let jobs = jobs_from_trace(t, lo, hi);
+            // Train on pre-evaluation traffic only (the QSSF convention):
+            // the predictor sees April–August failures, never September.
+            let train_jobs = jobs_from_trace(t, 0, lo);
+            let predictor = train_failure_predictor(&t.spec, &train_jobs, &faults, &pcfg)?;
+            let quality = FailurePredictorQuality {
+                precision: predictor.precision,
+                recall: predictor.recall,
+                base_rate: predictor.base_rate,
+            };
+
+            let mut records = Vec::with_capacity(2);
+            for drained in [false, true] {
+                let inner: Box<dyn SchedulingPolicy> = Box::new(FifoPolicy);
+                let policy: Box<dyn SchedulingPolicy> = if drained {
+                    // Cordon only the riskiest 3% of nodes: draining costs
+                    // capacity (longer makespan = more failure exposure), so
+                    // at the predictor's F1-optimal threshold a wider cap
+                    // over-drains and gives the avoided kills back.
+                    let dcfg = DrainConfig {
+                        max_drain_frac: 0.03,
+                        ..DrainConfig::default()
+                    };
+                    Box::new(DrainPolicy::with_predictor(inner, predictor.clone(), dcfg)?)
+                } else {
+                    inner
+                };
+                let policy_name = policy.name().to_string();
+                let started = Instant::now();
+                let mut sim = Simulator::with_config(&t.spec, policy, &kcfg);
+                sim.enable_faults(&faults)?;
+                sim.push_jobs(&jobs)?;
+                sim.run_to_completion();
+                let outcomes = sim.drain_outcomes();
+                let stats = sim.fault_stats().expect("faults enabled above");
+                let wall_secs = started.elapsed().as_secs_f64();
+                let mut sorted = outcomes;
+                sorted.sort_by_key(|o| o.id);
+                let g = goodput(&sorted, Some(stats));
+                records.push(FaultRunRecord {
+                    cluster: cluster.clone(),
+                    policy: policy_name,
+                    jobs: jobs.len(),
+                    failures: stats.failures,
+                    killed_jobs: stats.killed_jobs,
+                    goodput: g.ratio(),
+                    lost_gpu_hours: g.lost_gpu_hours,
+                    precision: predictor.precision,
+                    recall: predictor.recall,
+                    wall_secs,
+                    outcome_digest: outcome_digest(&sorted),
+                    parallelism: run_parallelism(),
+                });
+            }
+            Ok((cluster, quality, records))
+        })
+        .collect();
+
+    let mut table = TextTable::new(vec![
+        "cluster",
+        "policy",
+        "failures",
+        "kills",
+        "lost GPUh",
+        "goodput",
+        "digest",
+    ]);
+    let mut rows_json = Vec::new();
+    let mut wins = 0usize;
+    let mut pairs = 0usize;
+    for row in rows {
+        let (cluster, quality, records) = row?;
+        let (base, drain) = (&records[0], &records[1]);
+        pairs += 1;
+        if drain.goodput > base.goodput {
+            wins += 1;
+        }
+        for r in &records {
+            table.row(vec![
+                r.cluster.clone(),
+                r.policy.clone(),
+                fmt_count(r.failures),
+                fmt_count(r.killed_jobs),
+                format!("{:.0}", r.lost_gpu_hours),
+                format!("{:.3}%", r.goodput * 100.0),
+                r.outcome_digest.clone(),
+            ]);
+        }
+        rows_json.push(json!({
+            "cluster": cluster,
+            "predictor": json!({
+                "precision": quality.precision,
+                "recall": quality.recall,
+                "base_rate": quality.base_rate,
+                "horizon_hours": pcfg.horizon_hours,
+            }),
+            "baseline": base.to_json(),
+            "drain": drain.to_json(),
+            "drain_goodput_gain": drain.goodput - base.goodput,
+        }));
+        ctx.faults_perf.extend(records);
+    }
+
+    let text = format!(
+        "Failure soak: per-node MTBF {:.0}h (Weibull shape {:.1}, {:.0}% rack bursts), \
+         predictor horizon {:.0}h; proactive drain improved goodput on {}/{} clusters\n{}",
+        faults.mtbf_secs / 3600.0,
+        faults.shape,
+        faults.burst_prob * 100.0,
+        pcfg.horizon_hours,
+        wins,
+        pairs,
+        table.render()
+    );
+    let data = json!({
+        "mtbf_hours": faults.mtbf_secs / 3600.0,
+        "repair_hours": faults.repair_secs / 3600.0,
+        "shape": faults.shape,
+        "burst_prob": faults.burst_prob,
+        "horizon_hours": pcfg.horizon_hours,
+        "drain_wins": wins,
+        "clusters": pairs,
+        "parallelism": run_parallelism(),
+        "per_cluster": rows_json,
+    });
+    Ok(ExperimentOutput {
+        id: "failure-soak".into(),
+        text,
+        data,
+    })
+}
+
 /// Experiments not covered by a paper artifact id: predictor quality,
 /// ablations, and the end-to-end pipeline throughput probe. Run by `all`
 /// after [`ALL_EXPERIMENTS`], and listed by the `repro` binary — one
 /// source of truth so the lists cannot drift.
-pub const EXTRA_EXPERIMENTS: [&str; 5] = [
+pub const EXTRA_EXPERIMENTS: [&str; 6] = [
     "pred-ces",
     "ablation-lambda",
     "ablation-backfill",
     "pipeline",
     "fleet-soak",
+    "failure-soak",
 ];
 
 /// All experiment ids, in DESIGN.md order.
@@ -1952,6 +2305,7 @@ pub fn run(id: &str, ctx: &mut Context) -> Result<Vec<ExperimentOutput>, HeliosE
         "ablation-backfill" => vec![ablation_backfill(ctx)],
         "pipeline" => vec![pipeline_exp(ctx)],
         "fleet-soak" => vec![fleet_soak(ctx)?],
+        "failure-soak" => vec![failure_soak(ctx)?],
         "all" => {
             let mut out = Vec::new();
             for id in ALL_EXPERIMENTS.iter().chain(&EXTRA_EXPERIMENTS) {

@@ -1,0 +1,48 @@
+//! Goodput accounting: how much of the GPU time a schedule consumed
+//! actually advanced jobs.
+//!
+//! Under failure injection a run burns GPU·hours twice — once for the
+//! work that survived to completion and once for progress destroyed by
+//! kills (everything since the last checkpoint, or the whole attempt
+//! under kill-and-requeue). Goodput is the surviving fraction; it is
+//! `<= 1` by construction and exactly `1` when injection is off.
+
+use helios_sim::fault::FaultStats;
+use helios_sim::JobOutcome;
+
+/// Useful vs. wasted GPU time for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Goodput {
+    /// GPU·hours that reached completed jobs.
+    pub useful_gpu_hours: f64,
+    /// GPU·hours destroyed by failures (work since the last durable
+    /// checkpoint at each kill).
+    pub lost_gpu_hours: f64,
+}
+
+impl Goodput {
+    /// useful / (useful + lost); `1.0` for an empty or failure-free run.
+    pub fn ratio(&self) -> f64 {
+        let total = self.useful_gpu_hours + self.lost_gpu_hours;
+        if total > 0.0 {
+            self.useful_gpu_hours / total
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Join job outcomes with the kernel's failure accounting. `stats` is
+/// [`Simulator::fault_stats`](helios_sim::Simulator::fault_stats) —
+/// `None` (injection off) yields zero loss and ratio 1.
+pub fn goodput(outcomes: &[JobOutcome], stats: Option<FaultStats>) -> Goodput {
+    let useful: f64 = outcomes
+        .iter()
+        .map(|o| f64::from(o.gpus) * o.duration as f64)
+        .sum();
+    let lost = stats.map_or(0.0, |s| s.lost_gpu_secs);
+    Goodput {
+        useful_gpu_hours: useful / 3600.0,
+        lost_gpu_hours: lost / 3600.0,
+    }
+}

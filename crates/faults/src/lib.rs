@@ -1,0 +1,42 @@
+//! # helios-faults
+//!
+//! Failure-aware scheduling on top of the Helios kernel: telemetry and
+//! training for a per-node **GPU-failure predictor**, a **proactive
+//! drain** policy wrapper that fences predicted-bad nodes off from new
+//! placements, and **goodput** accounting joining completed work with
+//! the GPU time failures destroyed.
+//!
+//! The failure *process* itself (seeded Weibull renewal MTBF draws,
+//! correlated rack bursts, repair timers, kill-requeue vs.
+//! checkpoint-restart semantics) lives in the kernel — see
+//! [`helios_sim::fault`] and
+//! [`Simulator::enable_faults`](helios_sim::Simulator::enable_faults).
+//! This crate is the layer above it: everything that *reacts* to
+//! failures rather than generating them.
+//!
+//! ```
+//! use helios_faults::{goodput, DrainConfig, DrainPolicy};
+//! use helios_sim::{FaultConfig, FifoPolicy, Simulator, SimJob};
+//! use helios_trace::venus;
+//!
+//! let spec = venus();
+//! // Age-based proactive drains over a 50h-MTBF failure model.
+//! let policy = DrainPolicy::uptime(Box::new(FifoPolicy), 40.0, DrainConfig::default())?;
+//! let mut sim = Simulator::new(&spec, Box::new(policy));
+//! sim.enable_faults(&FaultConfig::with_mtbf_hours(50.0))?;
+//! sim.push_jobs(&[SimJob { id: 0, vc: 0, gpus: 8, submit: 0, duration: 3600, priority: 1.0 }])?;
+//! sim.run_to_completion();
+//! let g = goodput(&sim.drain_outcomes(), sim.fault_stats());
+//! assert!(g.ratio() <= 1.0);
+//! # Ok::<(), helios_trace::HeliosError>(())
+//! ```
+
+pub mod drain;
+pub mod goodput;
+pub mod predictor;
+pub mod telemetry;
+
+pub use drain::{DrainConfig, DrainPolicy, RiskModel};
+pub use goodput::{goodput, Goodput};
+pub use predictor::{train_failure_predictor, FailurePredictor, PredictorConfig};
+pub use telemetry::{NodeSample, NodeSampleObserver};

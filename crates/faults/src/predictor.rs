@@ -1,0 +1,240 @@
+//! GPU-failure prediction on top of the binned GBDT.
+//!
+//! [`train_failure_predictor`] runs a failure-injected simulation of the
+//! supplied workload, samples per-node telemetry through
+//! [`NodeSampleObserver`], and fits a gradient
+//! boosted model to P(node fails within the horizon). The split is
+//! time-ordered (train on the prefix, evaluate on the suffix) so the
+//! reported precision/recall are honest out-of-sample numbers.
+
+use crate::telemetry::NodeSampleObserver;
+use helios_predict::{Gbdt, GbdtParams};
+use helios_sim::{FaultConfig, FifoPolicy, SimJob, Simulator, NODE_FEATURES};
+use helios_trace::{ClusterSpec, HeliosError, HeliosResult};
+
+/// Knobs for failure-predictor training.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictorConfig {
+    /// Prediction horizon: label a sample positive if the node fails
+    /// within this many hours after it.
+    pub horizon_hours: f64,
+    /// Telemetry sampling cadence in simulated seconds.
+    pub sample_secs: i64,
+    /// Decision threshold on the predicted risk; `None` picks the
+    /// F1-maximizing threshold on the evaluation split.
+    pub threshold: Option<f64>,
+    /// Time-ordered fraction of samples used for training (the rest
+    /// evaluates).
+    pub train_frac: f64,
+    /// Boosting rounds.
+    pub trees: usize,
+    /// Tree depth.
+    pub depth: usize,
+    /// Subsampling seed for the GBDT.
+    pub seed: u64,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            horizon_hours: 6.0,
+            sample_secs: 2 * 3600,
+            threshold: None,
+            train_frac: 0.7,
+            trees: 60,
+            depth: 4,
+            seed: 2020,
+        }
+    }
+}
+
+impl PredictorConfig {
+    fn validate(&self) -> HeliosResult<()> {
+        if !self.horizon_hours.is_finite() || self.horizon_hours <= 0.0 {
+            return Err(HeliosError::invalid_config(
+                "predictor_horizon",
+                format!(
+                    "horizon must be positive finite hours, got {}",
+                    self.horizon_hours
+                ),
+            ));
+        }
+        if !(self.train_frac > 0.0 && self.train_frac < 1.0) {
+            return Err(HeliosError::invalid_config(
+                "predictor_train_frac",
+                format!(
+                    "train fraction must lie strictly inside (0, 1), got {}",
+                    self.train_frac
+                ),
+            ));
+        }
+        if self.trees == 0 {
+            return Err(HeliosError::invalid_config(
+                "predictor_trees",
+                "at least one boosting round is required",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A trained per-node failure-risk model with its out-of-sample quality.
+#[derive(Debug, Clone)]
+pub struct FailurePredictor {
+    model: Gbdt,
+    /// Decision threshold on [`FailurePredictor::risk`].
+    pub threshold: f64,
+    /// Horizon the model was trained for, in seconds.
+    pub horizon_secs: i64,
+    /// Out-of-sample precision at `threshold`.
+    pub precision: f64,
+    /// Out-of-sample recall at `threshold`.
+    pub recall: f64,
+    /// Positive-label base rate of the evaluation split.
+    pub base_rate: f64,
+}
+
+impl FailurePredictor {
+    /// P(failure within horizon) for one feature vector, clamped to
+    /// [0, 1].
+    pub fn risk(&self, features: &[f64]) -> f64 {
+        self.model.predict_row(features).clamp(0.0, 1.0)
+    }
+
+    /// Whether the model flags this feature vector as failing soon.
+    pub fn predicts_failure(&self, features: &[f64]) -> bool {
+        self.risk(features) >= self.threshold
+    }
+}
+
+fn precision_recall(scores: &[f64], labels: &[f64], threshold: f64) -> (f64, f64) {
+    let (mut tp, mut fp, mut fnc) = (0u64, 0u64, 0u64);
+    for (&s, &y) in scores.iter().zip(labels) {
+        let pred = s >= threshold;
+        let pos = y >= 0.5;
+        match (pred, pos) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fnc += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp > 0 {
+        tp as f64 / (tp + fp) as f64
+    } else {
+        0.0
+    };
+    let recall = if tp + fnc > 0 {
+        tp as f64 / (tp + fnc) as f64
+    } else {
+        0.0
+    };
+    (precision, recall)
+}
+
+/// Simulate `jobs` on `spec` under the failure model `faults`, collect
+/// labeled per-node telemetry, and fit a GBDT failure-risk model.
+/// Returns a typed error when the run produces no positive labels (MTBF
+/// too long for the trace) — a model trained on all-negative data would
+/// be meaningless.
+pub fn train_failure_predictor(
+    spec: &ClusterSpec,
+    jobs: &[SimJob],
+    faults: &FaultConfig,
+    cfg: &PredictorConfig,
+) -> HeliosResult<FailurePredictor> {
+    cfg.validate()?;
+    faults.validate()?;
+    let mut telemetry = NodeSampleObserver::new(cfg.sample_secs);
+    {
+        let mut sim = Simulator::new(spec, Box::new(FifoPolicy));
+        sim.enable_faults(faults)?;
+        sim.observe(Box::new(&mut telemetry));
+        sim.push_jobs(jobs)?;
+        sim.run_to_completion();
+    }
+    let horizon_secs = (cfg.horizon_hours * 3600.0) as i64;
+    let (samples, labels) = telemetry.labeled(horizon_secs);
+    if samples.is_empty() {
+        return Err(HeliosError::empty_input(
+            "failure telemetry",
+            "the simulation produced no usable node samples",
+        ));
+    }
+    let positives = labels.iter().filter(|&&y| y >= 0.5).count();
+    if positives == 0 {
+        return Err(HeliosError::empty_input(
+            "failure labels",
+            "no node failed within the horizon over the whole trace; \
+             lower the MTBF or lengthen the workload",
+        ));
+    }
+    let split = ((samples.len() as f64 * cfg.train_frac) as usize)
+        .max(1)
+        .min(samples.len() - 1);
+    // Column-major, as the GBDT's binned fitter expects.
+    let mut train_cols: Vec<Vec<f64>> = (0..NODE_FEATURES)
+        .map(|_| Vec::with_capacity(split))
+        .collect();
+    let mut eval_cols: Vec<Vec<f64>> = (0..NODE_FEATURES)
+        .map(|_| Vec::with_capacity(samples.len() - split))
+        .collect();
+    for (i, s) in samples.iter().enumerate() {
+        let cols = if i < split {
+            &mut train_cols
+        } else {
+            &mut eval_cols
+        };
+        for (c, &v) in s.features.iter().enumerate() {
+            cols[c].push(v);
+        }
+    }
+    let (train_y, eval_y) = labels.split_at(split);
+    let params = GbdtParams {
+        num_trees: cfg.trees,
+        max_depth: cfg.depth,
+        seed: cfg.seed,
+        ..GbdtParams::default()
+    };
+    let model = Gbdt::fit(&train_cols, train_y, &params, Some((&eval_cols, eval_y)));
+    let eval_rows: Vec<Vec<f64>> = samples[split..]
+        .iter()
+        .map(|s| s.features.to_vec())
+        .collect();
+    let scores: Vec<f64> = eval_rows
+        .iter()
+        .map(|r| model.predict_row(r).clamp(0.0, 1.0))
+        .collect();
+    let threshold = match cfg.threshold {
+        Some(t) => t,
+        None => {
+            // Grid-search the F1-maximizing threshold on the eval split.
+            let mut best = (0.5, -1.0);
+            let mut t = 0.05;
+            while t < 0.96 {
+                let (p, r) = precision_recall(&scores, eval_y, t);
+                let f1 = if p + r > 0.0 {
+                    2.0 * p * r / (p + r)
+                } else {
+                    0.0
+                };
+                if f1 > best.1 {
+                    best = (t, f1);
+                }
+                t += 0.05;
+            }
+            best.0
+        }
+    };
+    let (precision, recall) = precision_recall(&scores, eval_y, threshold);
+    let base_rate =
+        eval_y.iter().filter(|&&y| y >= 0.5).count() as f64 / eval_y.len().max(1) as f64;
+    Ok(FailurePredictor {
+        model,
+        threshold,
+        horizon_secs,
+        precision,
+        recall,
+        base_rate,
+    })
+}

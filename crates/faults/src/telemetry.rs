@@ -1,0 +1,124 @@
+//! Streaming per-node telemetry for failure-prediction training.
+//!
+//! [`NodeSampleObserver`] rides along a failure-injected simulation and
+//! periodically snapshots every up node's feature vector (uptime, prior
+//! failures, rolling utilization, occupancy churn, instantaneous busy
+//! fraction — see
+//! [`NODE_FEATURE_NAMES`](helios_sim::NODE_FEATURE_NAMES)), while
+//! recording the ground-truth failure times the labels come from.
+
+use helios_sim::observer::{ClusterView, SimEvent, SimObserver};
+use helios_sim::NODE_FEATURES;
+
+/// One feature-vector sample of one node at one instant.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeSample {
+    /// Global node index (across VCs, in spec order).
+    pub node: u32,
+    /// Sample time (epoch seconds).
+    pub time: i64,
+    /// Feature vector, ordered as
+    /// [`NODE_FEATURE_NAMES`](helios_sim::NODE_FEATURE_NAMES).
+    pub features: [f64; NODE_FEATURES],
+}
+
+/// Observer sampling every up node's features on a fixed cadence and
+/// logging node failures, to be turned into a labeled dataset after the
+/// run via [`NodeSampleObserver::labeled`].
+pub struct NodeSampleObserver {
+    sample_secs: i64,
+    last_sample: Option<i64>,
+    last_seen: i64,
+    samples: Vec<NodeSample>,
+    failures: Vec<Vec<i64>>,
+}
+
+impl NodeSampleObserver {
+    /// Sample every `sample_secs` of simulated time (clamped to >= 1).
+    pub fn new(sample_secs: i64) -> Self {
+        NodeSampleObserver {
+            sample_secs: sample_secs.max(1),
+            last_sample: None,
+            last_seen: i64::MIN,
+            samples: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Raw samples collected so far (time-ordered).
+    pub fn samples(&self) -> &[NodeSample] {
+        &self.samples
+    }
+
+    /// Recorded failure instants per global node.
+    pub fn failures(&self) -> &[Vec<i64>] {
+        &self.failures
+    }
+
+    /// Build the labeled dataset: each retained sample is labeled 1.0 if
+    /// its node failed within `horizon_secs` after the sample instant.
+    /// Samples too close to the end of the observed window to know their
+    /// label (right-censored) are dropped. Returns `(samples, labels)`
+    /// in time order.
+    pub fn labeled(&self, horizon_secs: i64) -> (Vec<NodeSample>, Vec<f64>) {
+        let cutoff = self.last_seen.saturating_sub(horizon_secs);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for s in &self.samples {
+            if s.time > cutoff {
+                continue; // censored: the horizon extends past the trace
+            }
+            let failed = self
+                .failures
+                .get(s.node as usize)
+                .is_some_and(|ts| ts.iter().any(|&t| t > s.time && t <= s.time + horizon_secs));
+            rows.push(*s);
+            labels.push(if failed { 1.0 } else { 0.0 });
+        }
+        (rows, labels)
+    }
+}
+
+impl SimObserver for NodeSampleObserver {
+    fn on_clock(&mut self, now: i64, cluster: &ClusterView<'_>) {
+        self.last_seen = self.last_seen.max(now);
+        if !cluster.fault_active() {
+            return;
+        }
+        let due = match self.last_sample {
+            None => true,
+            Some(last) => now.saturating_sub(last) >= self.sample_secs,
+        };
+        if !due {
+            return;
+        }
+        self.last_sample = Some(now);
+        let n = cluster.fault_nodes();
+        if self.failures.len() < n {
+            self.failures.resize(n, Vec::new());
+        }
+        for node in 0..n as u32 {
+            if cluster.node_is_up(node) != Some(true) {
+                continue; // down nodes produce no actionable sample
+            }
+            if let Some(features) = cluster.node_features(node, now) {
+                self.samples.push(NodeSample {
+                    node,
+                    time: now,
+                    features,
+                });
+            }
+        }
+    }
+
+    fn on_event(&mut self, event: &SimEvent, _cluster: &ClusterView<'_>) {
+        if let SimEvent::NodeFail { node, now, .. } = *event {
+            let idx = node as usize;
+            if self.failures.len() <= idx {
+                self.failures.resize(idx + 1, Vec::new());
+            }
+            self.failures[idx].push(now);
+            self.last_seen = self.last_seen.max(now);
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Fleet topology: which clusters to host, under which discipline.
 
-use helios_sim::{KernelConfig, Placement, Policy};
+use helios_sim::{FaultConfig, KernelConfig, Placement, Policy};
 use helios_trace::ClusterId;
 
 /// The five cluster presets a default fleet hosts — the four Helios
@@ -21,7 +21,7 @@ pub const DEFAULT_SHARD_CAPACITY: usize = 4_096;
 /// One hosted cluster: the preset and its scheduling discipline. The
 /// fleet restricts policies to the serializable [`Policy`] table so a
 /// snapshot can name (and rebuild) the discipline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterConfig {
     /// Which preset to host (specs come from `helios_trace::preset`).
     pub cluster: ClusterId,
@@ -32,6 +32,11 @@ pub struct ClusterConfig {
     pub placement: Placement,
     /// EASY backfill knob (default off, matching the paper).
     pub backfill: bool,
+    /// Optional failure injection for this cluster's kernel (default
+    /// `None` = failure-free). Failure state rides inside the kernel
+    /// snapshot, so a restored fleet replays the identical failure
+    /// sequence.
+    pub faults: Option<FaultConfig>,
 }
 
 impl ClusterConfig {
@@ -42,7 +47,14 @@ impl ClusterConfig {
             policy,
             placement: Placement::Consolidate,
             backfill: false,
+            faults: None,
         }
+    }
+
+    /// Enable failure injection on this cluster's kernel.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     pub(crate) fn kernel(&self) -> KernelConfig {
@@ -55,7 +67,7 @@ impl ClusterConfig {
 
 /// Topology of a [`Fleet`](crate::Fleet): the hosted clusters and the
 /// ingestion shard bound shared by all of them.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
     /// Hosted clusters, one worker thread each. Cluster ids must be
     /// unique — shard routing is keyed by [`ClusterId`].

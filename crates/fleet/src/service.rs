@@ -269,6 +269,9 @@ impl Fleet {
                 policy,
                 placement: snap.placement,
                 backfill: snap.backfill,
+                // The kernel blob self-describes its failure state; the
+                // restored worker must not re-enable injection on top.
+                faults: snap.fault.as_ref().map(|f| f.cfg),
             };
             workers.push(spawn_worker(
                 cfg,

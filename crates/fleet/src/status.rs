@@ -75,6 +75,11 @@ pub struct ClusterStatus {
     pub busy_gpus: u32,
     /// Total GPUs in the cluster.
     pub capacity_gpus: u32,
+    /// Nodes currently out of the placement index (down or draining);
+    /// always 0 without failure injection.
+    pub down_nodes: u32,
+    /// Node failures injected so far (cumulative; 0 without injection).
+    pub failures: u64,
     /// Per-VC breakdown, in VC order.
     pub vcs: Vec<VcStatus>,
 }
@@ -93,6 +98,8 @@ impl ClusterStatus {
             running: 0,
             busy_gpus: 0,
             capacity_gpus: spec.total_gpus(),
+            down_nodes: 0,
+            failures: 0,
             vcs: spec
                 .vcs
                 .iter()

@@ -92,7 +92,9 @@ impl SimObserver for QueuedWorkTracker {
                 (job.vc, predicted_work(job))
             }
             SimEvent::Start { job, .. } => (job.vc, -predicted_work(job)),
-            SimEvent::Finish { .. } => return,
+            SimEvent::Finish { .. } | SimEvent::NodeFail { .. } | SimEvent::NodeRepair { .. } => {
+                return
+            }
         };
         let mut work = lock(&self.0);
         let cell = &mut work[vc as usize];
@@ -137,12 +139,18 @@ pub(crate) fn spawn_worker(
             // The Simulator is built (or restored) here, on its worker
             // thread, and never crosses a thread boundary afterwards.
             let built = match &snap {
+                // The snapshot carries the failure-model state, so a
+                // restored kernel replays the identical failure sequence
+                // without consulting `cfg.faults` again.
                 Some(s) => Simulator::restore(&thread_spec, cfg.policy.build(), s),
-                None => Ok(Simulator::with_config(
-                    &thread_spec,
-                    cfg.policy.build(),
-                    &cfg.kernel(),
-                )),
+                None => {
+                    let mut sim =
+                        Simulator::with_config(&thread_spec, cfg.policy.build(), &cfg.kernel());
+                    match cfg.faults {
+                        Some(faults) => sim.enable_faults(&faults).map(|()| sim),
+                        None => Ok(sim),
+                    }
+                }
             };
             let mut sim = match built {
                 Ok(sim) => sim,
@@ -304,6 +312,8 @@ fn publish(status: &Mutex<ClusterStatus>, cluster: ClusterId, sim: &Simulator<'_
         running: view.running_jobs(),
         busy_gpus: view.busy_gpus(),
         capacity_gpus: view.capacity_gpus(),
+        down_nodes: view.offline_nodes(),
+        failures: view.fault_stats().map_or(0, |s| s.failures),
         vcs,
     };
     *lock(status) = fresh;

@@ -14,6 +14,9 @@
 //! [`simulate`] / [`simulate_with`] entry points are thin convenience
 //! wrappers over it.
 
+use crate::fault::{
+    DrainDirective, FaultConfig, FaultSemantics, FaultState, FaultStats, FAULT_EV_FAIL,
+};
 use crate::heap::MinHeap;
 use crate::job::{JobOutcome, SimJob};
 use crate::observer::{ClusterView, SimEvent, SimObserver};
@@ -174,10 +177,13 @@ impl JobState {
 }
 
 /// One dequeued kernel event. Finishes release resources before
-/// same-instant arrivals queue (the historical heap tie order).
+/// same-instant arrivals queue (the historical heap tie order); fault
+/// events land between the two, so a node failing at `t` sees every
+/// `t`-finish already drained but kills gangs before `t`-arrivals queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
     Finish { idx: usize, epoch: u32 },
+    Fault { node: u32, kind: u8, epoch: u32 },
     Arrive { idx: usize },
 }
 
@@ -338,6 +344,11 @@ pub struct Simulator<'a> {
     /// Blocked-head memoization toggle (on by default; the equivalence
     /// tests flip it off to pin memoized == exhaustive rescanning).
     memo_enabled: bool,
+    /// Failure-injection state (`None` — the default — is exactly the
+    /// legacy kernel: no fault events, no per-node telemetry, zero cost).
+    fault: Option<Box<FaultState>>,
+    /// Reusable buffer for the per-event policy drain poll.
+    scratch_drains: Vec<DrainDirective>,
 }
 
 impl<'a> Simulator<'a> {
@@ -390,7 +401,38 @@ impl<'a> Simulator<'a> {
             scratch_ends: Vec::new(),
             scratch_rest: Vec::new(),
             memo_enabled: true,
+            fault: None,
+            scratch_drains: Vec::new(),
         }
+    }
+
+    /// Turn on failure injection with the given model. Must be called
+    /// before the failure process should begin (typically right after
+    /// construction); per-node failure clocks are seeded lazily at the
+    /// first job event, so failures anchor to the trace's calendar.
+    /// Rejects invalid configurations and double-enabling with typed
+    /// errors.
+    pub fn enable_faults(&mut self, cfg: &FaultConfig) -> HeliosResult<()> {
+        cfg.validate()?;
+        if self.fault.is_some() {
+            return Err(HeliosError::invalid_config(
+                "failure_injection",
+                "failure injection is already enabled on this kernel",
+            ));
+        }
+        self.fault = Some(Box::new(FaultState::new(*cfg, &self.spec)));
+        Ok(())
+    }
+
+    /// Whether failure injection is active.
+    pub fn fault_enabled(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Running totals of the failure process (`None` when injection is
+    /// off).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_deref().map(|f| f.stats())
     }
 
     /// Disable (or re-enable) the blocked-head memoization fast path.
@@ -450,7 +492,7 @@ impl<'a> Simulator<'a> {
     /// (utilization, queue depths, per-VC busy/capacity), available
     /// between events for service layers polling kernel state.
     pub fn cluster_view(&self) -> ClusterView<'_> {
-        ClusterView::new(&self.vcs, &self.stats)
+        ClusterView::new(&self.vcs, &self.stats, self.fault.as_deref())
     }
 
     /// Capture the complete resumable kernel state; see
@@ -517,6 +559,7 @@ impl<'a> Simulator<'a> {
                 .collect(),
             completed: self.completed.iter().map(|&idx| idx as u64).collect(),
             policy_state,
+            fault: self.fault.as_deref().map(|f| f.to_snap()),
         }
     }
 
@@ -566,6 +609,10 @@ impl<'a> Simulator<'a> {
             ));
         }
         policy.load_state(&snap.policy_state)?;
+        let fault: Option<Box<FaultState>> = match &snap.fault {
+            Some(fs) => Some(Box::new(FaultState::from_snap(fs, spec)?)),
+            None => None,
+        };
         let n_jobs = snap.jobs.len();
         let check_idx = |idx: u64, what: &str| -> HeliosResult<usize> {
             if (idx as usize) < n_jobs {
@@ -604,7 +651,19 @@ impl<'a> Simulator<'a> {
                     ),
                 ));
             }
-            let pool = NodePool::from_free_counts(spec.gpus_per_node, &vc_snap.free)?;
+            let mut pool = NodePool::from_free_counts(spec.gpus_per_node, &vc_snap.free)?;
+            // Re-apply node up/down and drain state before aggregates are
+            // computed: offline nodes keep their free counts but leave the
+            // placement index, exactly as they did in the source kernel.
+            if let Some(f) = fault.as_deref() {
+                let base = f.vc_base[v];
+                for local in 0..vc_spec.nodes {
+                    let cell = &f.cells[(base + local) as usize];
+                    if !cell.up || cell.draining {
+                        pool.set_offline(local);
+                    }
+                }
+            }
             let mut queue_data = Vec::with_capacity(vc_snap.queue.len());
             for &(key, id, idx) in &vc_snap.queue {
                 queue_data.push((Key(key, id), check_idx(idx, "a queue entry")?));
@@ -645,7 +704,9 @@ impl<'a> Simulator<'a> {
                 .iter()
                 .map(|slices| slices.iter().copied().collect())
                 .collect();
-            stats.busy_gpus += pool.capacity() - pool.free_gpus();
+            // True free counts (not `pool.free_gpus()`, which excludes
+            // offline nodes): busy must mean "held by a running gang".
+            stats.busy_gpus += pool.capacity() - vc_snap.free.iter().sum::<u32>();
             stats.busy_nodes += pool.busy_nodes();
             stats.total_nodes += pool.nodes();
             stats.capacity_gpus += pool.capacity();
@@ -707,6 +768,8 @@ impl<'a> Simulator<'a> {
             scratch_ends: Vec::new(),
             scratch_rest: Vec::new(),
             memo_enabled: snap.memo_enabled,
+            fault,
+            scratch_drains: Vec::new(),
         })
     }
 
@@ -757,34 +820,74 @@ impl<'a> Simulator<'a> {
             .arrivals
             .get(self.next_arrival)
             .map(|&idx| self.states[idx].job.submit);
-        match (fin, arr) {
-            (Some(f), Some(a)) => Some(f.min(a)),
-            (f, a) => f.or(a),
-        }
+        let flt = self
+            .fault
+            .as_deref()
+            .and_then(|f| f.events.peek().map(|&(t, _, _, _)| t));
+        [fin, arr, flt].into_iter().flatten().min()
     }
 
-    /// Pop the earliest event; finishes beat same-instant arrivals, ties
-    /// among finishes resolve by (state idx, epoch), among arrivals by
-    /// state idx — exactly the historical single-heap order.
+    /// Pop the earliest event; finishes beat same-instant faults, which
+    /// beat same-instant arrivals; ties among finishes resolve by (state
+    /// idx, epoch), among arrivals by state idx — exactly the historical
+    /// single-heap order when injection is off.
     fn pop_event(&mut self) -> Option<(i64, EventKind)> {
+        // Failure clocks seed lazily at the first job event so MTBF draws
+        // anchor to the trace's calendar, not to absolute zero.
+        if self.fault.as_deref().is_some_and(|f| !f.seeded) {
+            let fin = self.finishes.peek().map(|&(t, _, _)| t);
+            let arr = self
+                .arrivals
+                .get(self.next_arrival)
+                .map(|&idx| self.states[idx].job.submit);
+            if let Some(t0) = [fin, arr].into_iter().flatten().min() {
+                self.fault
+                    .as_deref_mut()
+                    .expect("checked above")
+                    .seed_at(t0);
+            }
+        }
         let fin = self.finishes.peek().map(|&(t, _, _)| t);
         let arr = self
             .arrivals
             .get(self.next_arrival)
             .map(|&idx| self.states[idx].job.submit);
-        let take_finish = match (fin, arr) {
-            (None, None) => return None,
-            (Some(tf), Some(ta)) => tf <= ta,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-        };
-        if take_finish {
-            let (t, idx, epoch) = self.finishes.pop().expect("peeked above");
-            Some((t, EventKind::Finish { idx, epoch }))
-        } else {
-            let idx = self.arrivals[self.next_arrival];
-            self.next_arrival += 1;
-            Some((self.states[idx].job.submit, EventKind::Arrive { idx }))
+        let flt = self
+            .fault
+            .as_deref()
+            .and_then(|f| f.events.peek().map(|&(t, _, _, _)| t));
+        // Lowest priority first; `<=` lets earlier entries win ties.
+        let mut pick = arr.map(|t| (t, 2u8));
+        if let Some(t) = flt {
+            if pick.is_none_or(|(bt, _)| t <= bt) {
+                pick = Some((t, 1));
+            }
+        }
+        if let Some(t) = fin {
+            if pick.is_none_or(|(bt, _)| t <= bt) {
+                pick = Some((t, 0));
+            }
+        }
+        match pick? {
+            (_, 0) => {
+                let (t, idx, epoch) = self.finishes.pop().expect("peeked above");
+                Some((t, EventKind::Finish { idx, epoch }))
+            }
+            (_, 1) => {
+                let (t, node, kind, epoch) = self
+                    .fault
+                    .as_deref_mut()
+                    .expect("fault event requires fault state")
+                    .events
+                    .pop()
+                    .expect("peeked above");
+                Some((t, EventKind::Fault { node, kind, epoch }))
+            }
+            _ => {
+                let idx = self.arrivals[self.next_arrival];
+                self.next_arrival += 1;
+                Some((self.states[idx].job.submit, EventKind::Arrive { idx }))
+            }
         }
     }
 
@@ -800,9 +903,19 @@ impl<'a> Simulator<'a> {
         self.horizon = self.horizon.max(horizon);
     }
 
-    /// Drain the event queue completely.
+    /// Drain the event queue completely. With failure injection active the
+    /// renewal process generates events forever, so "complete" means every
+    /// admitted job has finished (killed jobs requeue and eventually run to
+    /// completion between failures); without it the queue simply empties.
     pub fn run_to_completion(&mut self) {
-        while self.process_one().is_some() {}
+        loop {
+            if self.fault.is_some() && self.finished == self.states.len() {
+                break;
+            }
+            if self.process_one().is_none() {
+                break;
+            }
+        }
     }
 
     /// Take the outcomes of every job finished since the last drain, in
@@ -835,23 +948,37 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Place `g` GPUs on `vc`'s pool, maintaining the cluster aggregates.
-    fn place_on(&mut self, vc: usize, g: u32) -> Option<Allocation> {
+    /// Place `g` GPUs on `vc`'s pool, maintaining the cluster aggregates
+    /// (and, when injection is on, the per-node occupancy telemetry the
+    /// failure predictor trains against).
+    fn place_on(&mut self, vc: usize, g: u32, now: i64) -> Option<Allocation> {
         let pool = &mut self.vcs[vc].pool;
         let busy_before = pool.busy_nodes();
         let alloc = pool.try_place(g, self.placement)?;
         self.stats.busy_nodes += pool.busy_nodes() - busy_before;
         self.stats.busy_gpus += g;
+        if let Some(f) = self.fault.as_deref_mut() {
+            let base = f.vc_base[vc];
+            for &(n, gp) in alloc.slices() {
+                f.on_alloc(base + n, gp, now);
+            }
+        }
         Some(alloc)
     }
 
     /// Release an allocation on `vc`'s pool, maintaining the aggregates.
-    fn release_on(&mut self, vc: usize, alloc: &Allocation) {
+    fn release_on(&mut self, vc: usize, alloc: &Allocation, now: i64) {
         let pool = &mut self.vcs[vc].pool;
         let busy_before = pool.busy_nodes();
         pool.release(alloc);
         self.stats.busy_nodes -= busy_before - pool.busy_nodes();
         self.stats.busy_gpus -= alloc.gpus();
+        if let Some(f) = self.fault.as_deref_mut() {
+            let base = f.vc_base[vc];
+            for &(n, gp) in alloc.slices() {
+                f.on_release(base + n, gp, now);
+            }
+        }
     }
 
     /// Remove `idx` from its VC's running set in O(1) via its stored slot
@@ -885,7 +1012,7 @@ impl<'a> Simulator<'a> {
         // (occupancy) integrate the configuration that held until `now`.
         // Skipped entirely when nothing is listening.
         if !self.observers.is_empty() {
-            let view = ClusterView::new(&self.vcs, &self.stats);
+            let view = ClusterView::new(&self.vcs, &self.stats, self.fault.as_deref());
             for obs in &mut self.observers {
                 obs.on_clock(now, &view);
             }
@@ -900,11 +1027,11 @@ impl<'a> Simulator<'a> {
                 s.remaining = 0;
                 let vc = s.job.vc as usize;
                 let alloc = self.remove_running(vc, idx);
-                self.release_on(vc, &alloc);
+                self.release_on(vc, &alloc, now);
                 self.finished += 1;
                 self.completed.push(idx);
                 let job = self.states[idx].job;
-                let view = ClusterView::new(&self.vcs, &self.stats);
+                let view = ClusterView::new(&self.vcs, &self.stats, self.fault.as_deref());
                 self.policy.on_finish(&job, now, &view);
                 if !self.observers.is_empty() {
                     let outcome = self.outcome_of(idx);
@@ -923,15 +1050,270 @@ impl<'a> Simulator<'a> {
                 self.vcs[vc].queue.push((key, idx));
                 self.stats.queued_jobs += 1;
                 let job = self.states[idx].job;
-                let view = ClusterView::new(&self.vcs, &self.stats);
+                let view = ClusterView::new(&self.vcs, &self.stats, self.fault.as_deref());
                 self.policy.on_submit(&job, now, &view);
                 for obs in &mut self.observers {
                     obs.on_event(&SimEvent::Submit { job, now }, &view);
                 }
                 self.schedule_vc(vc, now, ScheduleCause::Arrive);
             }
+            EventKind::Fault { node, kind, epoch } => {
+                let live = self
+                    .fault
+                    .as_deref()
+                    .map(|f| f.cells[node as usize].epoch == epoch)
+                    .expect("fault event requires fault state");
+                if live {
+                    if kind == FAULT_EV_FAIL {
+                        self.fault_fail(node, now, true);
+                    } else {
+                        self.fault_repair(node, now);
+                    }
+                }
+            }
+        }
+        // Give the policy a chance to (un)drain nodes after every event so
+        // proactive wrappers act on the freshest view; a no-op for every
+        // built-in policy and skipped entirely when injection is off.
+        if self.fault.is_some() {
+            let mut dirs = std::mem::take(&mut self.scratch_drains);
+            dirs.clear();
+            self.policy.drain_directives(&mut dirs);
+            for &d in &dirs {
+                self.apply_drain(d, now);
+            }
+            self.scratch_drains = dirs;
         }
         Some(now)
+    }
+
+    /// Bring `node` (global index) down at `now`: take it out of the
+    /// placement index, kill every gang with a slice on it (requeueing
+    /// per the configured semantics), maybe cascade to rack peers, and
+    /// schedule the repair. `primary` gates the rack-burst draw so
+    /// secondary failures never cascade further.
+    fn fault_fail(&mut self, node: u32, now: i64, primary: bool) {
+        let (vc, local, drain_since, fail_count) = {
+            let f = self
+                .fault
+                .as_deref_mut()
+                .expect("fault_fail requires fault state");
+            let vc = f.node_vc[node as usize] as usize;
+            let cell = &mut f.cells[node as usize];
+            if !cell.up {
+                return;
+            }
+            // Settle the busy integral at the failure instant, then mark
+            // the node down; bumping the epoch stales any pending events.
+            cell.busy_integral += cell.busy as f64 * (now - cell.last_t).max(0) as f64;
+            cell.last_t = now;
+            cell.up = false;
+            cell.epoch += 1;
+            cell.fail_count += 1;
+            f.stats.failures += 1;
+            let drain_since = if cell.draining {
+                Some(cell.drain_since)
+            } else {
+                None
+            };
+            (vc, node - f.vc_base[vc], drain_since, cell.fail_count)
+        };
+        // Idempotent when the node was already drained out of the index.
+        self.vcs[vc].pool.set_offline(local);
+        // Kill every gang touching the node, in deterministic state order.
+        let mut victims: Vec<usize> = self.vcs[vc]
+            .running_allocs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.slices().iter().any(|&(n, _)| n == local))
+            .map(|(slot, _)| self.vcs[vc].running[slot])
+            .collect();
+        victims.sort_unstable();
+        let semantics = self
+            .fault
+            .as_deref()
+            .expect("checked above")
+            .config()
+            .semantics;
+        for idx in victims {
+            self.kill_running(idx, vc, now, semantics, drain_since);
+        }
+        if !self.observers.is_empty() {
+            let view = ClusterView::new(&self.vcs, &self.stats, self.fault.as_deref());
+            for obs in &mut self.observers {
+                obs.on_event(
+                    &SimEvent::NodeFail {
+                        vc: vc as u16,
+                        node,
+                        now,
+                    },
+                    &view,
+                );
+            }
+        }
+        // Correlated rack burst: one draw per primary failure; peers go
+        // down at the same instant as secondaries.
+        if primary {
+            let f = self.fault.as_deref().expect("checked above");
+            if f.burst_fires(node, fail_count) {
+                let peers: Vec<u32> = f
+                    .rack_peers(node)
+                    .filter(|&m| m != node && f.cells[m as usize].up)
+                    .collect();
+                for m in peers {
+                    self.fault_fail(m, now, false);
+                }
+            }
+        }
+        self.fault
+            .as_deref_mut()
+            .expect("checked above")
+            .schedule_repair(node, now);
+        // The pool shrank mid-queue: any blocked-head verdict is stale.
+        self.vcs[vc].memo = None;
+        self.schedule_vc(vc, now, ScheduleCause::Arrive);
+    }
+
+    /// Evict running job `idx` because a node under it failed. Progress
+    /// handling follows the configured semantics: kill-and-requeue loses
+    /// the whole attempt; checkpoint-restart keeps work up to the last
+    /// completed checkpoint interval (or the proactive drain checkpoint,
+    /// whichever is later).
+    fn kill_running(
+        &mut self,
+        idx: usize,
+        vc: usize,
+        now: i64,
+        semantics: FaultSemantics,
+        drain_since: Option<i64>,
+    ) {
+        let (job, lost) = {
+            let s = &mut self.states[idx];
+            debug_assert!(s.started_at != UNSET, "victim must be running");
+            let elapsed = now - s.started_at;
+            let mut kept = match semantics {
+                FaultSemantics::KillRequeue => 0,
+                FaultSemantics::CheckpointRestart { interval_secs } => {
+                    (elapsed / interval_secs) * interval_secs
+                }
+            };
+            if let FaultSemantics::CheckpointRestart { .. } = semantics {
+                if let Some(d) = drain_since {
+                    // A drained node checkpointed proactively at drain time.
+                    kept = kept.max((d - s.started_at).clamp(0, elapsed));
+                }
+            }
+            s.remaining -= kept;
+            debug_assert!(s.remaining > 0, "finished jobs drain before faults");
+            s.started_at = UNSET;
+            s.epoch += 1; // stales the pending finish event
+            s.preemptions += 1;
+            (s.job, elapsed - kept)
+        };
+        let alloc = self.remove_running(vc, idx);
+        self.release_on(vc, &alloc, now);
+        {
+            let f = self
+                .fault
+                .as_deref_mut()
+                .expect("kill_running requires fault state");
+            f.stats.killed_jobs += 1;
+            f.stats.lost_gpu_secs += lost as f64 * f64::from(job.gpus);
+        }
+        let key = Key(self.policy.queue_key(&self.states[idx].view()), job.id);
+        self.vcs[vc].queue.push((key, idx));
+        self.stats.queued_jobs += 1;
+        let view = ClusterView::new(&self.vcs, &self.stats, self.fault.as_deref());
+        self.policy.on_preempt(&job, now, &view);
+        for obs in &mut self.observers {
+            obs.on_event(&SimEvent::Preempt { job, now }, &view);
+        }
+    }
+
+    /// Bring `node` back at `now`: reset its per-uptime telemetry, draw
+    /// the next time-to-failure, and (unless it is held in drain) return
+    /// it to the placement index and rescan the queue.
+    fn fault_repair(&mut self, node: u32, now: i64) {
+        let (vc, local, draining) = {
+            let f = self
+                .fault
+                .as_deref_mut()
+                .expect("fault_repair requires fault state");
+            let vc = f.node_vc[node as usize] as usize;
+            let cell = &mut f.cells[node as usize];
+            if cell.up {
+                return;
+            }
+            debug_assert_eq!(cell.busy, 0, "down nodes hold no allocations");
+            cell.up = true;
+            cell.up_since = now;
+            cell.last_t = now;
+            cell.busy_integral = 0.0;
+            cell.alloc_events = 0;
+            f.stats.repairs += 1;
+            (vc, node - f.vc_base[vc], cell.draining)
+        };
+        self.fault
+            .as_deref_mut()
+            .expect("checked above")
+            .schedule_failure(node, now);
+        if !draining {
+            self.vcs[vc].pool.set_online(local);
+        }
+        if !self.observers.is_empty() {
+            let view = ClusterView::new(&self.vcs, &self.stats, self.fault.as_deref());
+            for obs in &mut self.observers {
+                obs.on_event(
+                    &SimEvent::NodeRepair {
+                        vc: vc as u16,
+                        node,
+                        now,
+                    },
+                    &view,
+                );
+            }
+        }
+        if !draining {
+            self.vcs[vc].memo = None;
+            self.schedule_vc(vc, now, ScheduleCause::Arrive);
+        }
+    }
+
+    /// Apply one policy drain directive. Draining only fences placement —
+    /// running gangs keep going — so it is always safe; undraining returns
+    /// a healthy node to the index immediately.
+    fn apply_drain(&mut self, d: DrainDirective, now: i64) {
+        let (vc, local, up) = {
+            let Some(f) = self.fault.as_deref_mut() else {
+                return;
+            };
+            let Some(cell) = f.cells.get_mut(d.node as usize) else {
+                return;
+            };
+            if cell.draining == d.drain {
+                return;
+            }
+            cell.draining = d.drain;
+            cell.drain_since = if d.drain { now } else { UNSET };
+            if d.drain {
+                f.stats.drains += 1;
+            } else {
+                f.stats.undrains += 1;
+            }
+            let vc = f.node_vc[d.node as usize] as usize;
+            (vc, d.node - f.vc_base[vc], f.cells[d.node as usize].up)
+        };
+        if !up {
+            return; // down nodes are already out of the index
+        }
+        if d.drain {
+            self.vcs[vc].pool.set_offline(local);
+            self.vcs[vc].memo = None;
+        } else {
+            self.vcs[vc].pool.set_online(local);
+            self.vcs[vc].memo = None;
+            self.schedule_vc(vc, now, ScheduleCause::Arrive);
+        }
     }
 
     /// Start `idx` on `alloc` at `now` and schedule its finish event.
@@ -951,7 +1333,7 @@ impl<'a> Simulator<'a> {
         self.vcs[vc].running_allocs.push(alloc);
         self.stats.running_jobs += 1;
         self.finishes.push((finish_at, idx, epoch));
-        let view = ClusterView::new(&self.vcs, &self.stats);
+        let view = ClusterView::new(&self.vcs, &self.stats, self.fault.as_deref());
         self.policy.on_start(&job, now, &view);
         for obs in &mut self.observers {
             obs.on_event(&SimEvent::Start { job, now }, &view);
@@ -1005,7 +1387,7 @@ impl<'a> Simulator<'a> {
                 return;
             };
             let g = self.states[head].job.gpus;
-            if let Some(alloc) = self.place_on(vc, g) {
+            if let Some(alloc) = self.place_on(vc, g, now) {
                 self.vcs[vc].queue.pop();
                 self.stats.queued_jobs -= 1;
                 self.start_job(head, alloc, now);
@@ -1197,14 +1579,14 @@ impl<'a> Simulator<'a> {
             s.preemptions += 1;
             let job = s.job;
             let alloc = self.remove_running(vc, idx);
-            self.release_on(vc, &alloc);
+            self.release_on(vc, &alloc, now);
             let key = Key(
                 self.policy.queue_key(&self.states[idx].view()),
                 self.states[idx].job.id,
             );
             self.vcs[vc].queue.push((key, idx));
             self.stats.queued_jobs += 1;
-            let view = ClusterView::new(&self.vcs, &self.stats);
+            let view = ClusterView::new(&self.vcs, &self.stats, self.fault.as_deref());
             self.policy.on_preempt(&job, now, &view);
             for obs in &mut self.observers {
                 obs.on_event(&SimEvent::Preempt { job, now }, &view);
@@ -1214,7 +1596,7 @@ impl<'a> Simulator<'a> {
         self.vcs[vc].held_head = false;
         self.stats.queued_jobs -= 1;
         let alloc = self
-            .place_on(vc, g)
+            .place_on(vc, g, now)
             .expect("kernel invariant: the preemption dry-run guaranteed placement");
         self.start_job(head, alloc, now);
         true
@@ -1286,7 +1668,7 @@ impl<'a> Simulator<'a> {
             scanned += 1;
             let fits_time = now + self.states[idx].remaining <= shadow;
             if fits_time {
-                if let Some(alloc) = self.place_on(vc, self.states[idx].job.gpus) {
+                if let Some(alloc) = self.place_on(vc, self.states[idx].job.gpus, now) {
                     self.stats.queued_jobs -= 1;
                     self.start_job(idx, alloc, now);
                     if self.vcs[vc].pool.free_gpus() == 0 {

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 mod heap;
 pub mod job;
 pub mod metrics;
@@ -57,6 +58,10 @@ pub mod snapshot;
 
 pub use engine::{
     simulate, simulate_with, validate_job, KernelConfig, Policy, SimConfig, SimResult, Simulator,
+};
+pub use fault::{
+    DrainDirective, FaultConfig, FaultSemantics, FaultSnap, FaultState, FaultStats,
+    FAULT_CODEC_VERSION, NODE_FEATURES, NODE_FEATURE_NAMES,
 };
 pub use job::{jobs_from_trace, JobOutcome, SimJob};
 pub use metrics::{
@@ -73,5 +78,5 @@ pub use policy::{
 pub use pool::{Allocation, NodePool, Placement};
 pub use snapshot::{
     spec_fingerprint, ByteReader, ByteWriter, JobStateSnap, SimSnapshot, VcSnap, SNAPSHOT_MAGIC,
-    SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION, SNAPSHOT_VERSION_FAULTS,
 };

@@ -23,6 +23,7 @@
 //! ```
 
 use crate::engine::{ClusterStats, VcState};
+use crate::fault::{FaultState, FaultStats, NODE_FEATURES};
 use crate::job::{JobOutcome, SimJob};
 use helios_trace::{HeliosError, HeliosResult};
 
@@ -35,11 +36,16 @@ use helios_trace::{HeliosError, HeliosResult};
 pub struct ClusterView<'a> {
     vcs: &'a [VcState],
     stats: &'a ClusterStats,
+    fault: Option<&'a FaultState>,
 }
 
 impl<'a> ClusterView<'a> {
-    pub(crate) fn new(vcs: &'a [VcState], stats: &'a ClusterStats) -> Self {
-        ClusterView { vcs, stats }
+    pub(crate) fn new(
+        vcs: &'a [VcState],
+        stats: &'a ClusterStats,
+        fault: Option<&'a FaultState>,
+    ) -> Self {
+        ClusterView { vcs, stats, fault }
     }
 
     /// Number of virtual clusters.
@@ -102,6 +108,49 @@ impl<'a> ClusterView<'a> {
     pub fn running_jobs(&self) -> usize {
         self.stats.running_jobs
     }
+
+    /// Whether failure injection is active on this kernel.
+    pub fn fault_active(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Nodes under failure tracking (0 when injection is off). Global
+    /// node indices `0..fault_nodes()` are valid arguments to
+    /// [`ClusterView::node_features`] and `DrainDirective::node`.
+    pub fn fault_nodes(&self) -> usize {
+        self.fault.map_or(0, |f| f.nodes())
+    }
+
+    /// Running totals of the failure process (`None` when injection is
+    /// off).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.map(|f| f.stats())
+    }
+
+    /// The failure-predictor feature row of one global node at `now` —
+    /// see `helios_sim::NODE_FEATURE_NAMES` for the column meanings.
+    /// `None` when injection is off or the node is out of range.
+    pub fn node_features(&self, node: u32, now: i64) -> Option<[f64; NODE_FEATURES]> {
+        self.fault?.features(node, now)
+    }
+
+    /// Whether a global node is currently up (`None` when injection is
+    /// off or out of range).
+    pub fn node_is_up(&self, node: u32) -> Option<bool> {
+        self.fault?.node_up(node)
+    }
+
+    /// Whether a global node is currently draining (`None` when
+    /// injection is off or out of range).
+    pub fn node_is_draining(&self, node: u32) -> Option<bool> {
+        self.fault?.node_draining(node)
+    }
+
+    /// Nodes currently out of placement service (failed or draining),
+    /// summed over all VC pools.
+    pub fn offline_nodes(&self) -> u32 {
+        self.vcs.iter().map(|vc| vc.pool.offline_nodes()).sum()
+    }
 }
 
 /// One kernel lifecycle event, streamed to observers as it happens.
@@ -113,18 +162,25 @@ pub enum SimEvent {
     Start { job: SimJob, now: i64 },
     /// A job finished; its full outcome is attached.
     Finish { job: SimJob, outcome: JobOutcome },
-    /// A running job was preempted and re-queued.
+    /// A running job was preempted and re-queued (by a preemptive policy
+    /// or by a node failure killing its gang).
     Preempt { job: SimJob, now: i64 },
+    /// A node failed and left the pool (failure injection only). Gangs it
+    /// hosted are reported through separate `Preempt` events.
+    NodeFail { vc: u16, node: u32, now: i64 },
+    /// A failed node was repaired and returned to the pool.
+    NodeRepair { vc: u16, node: u32, now: i64 },
 }
 
 impl SimEvent {
-    /// The job this event concerns.
-    pub fn job(&self) -> &SimJob {
+    /// The job this event concerns (`None` for node-lifecycle events).
+    pub fn job(&self) -> Option<&SimJob> {
         match self {
             SimEvent::Submit { job, .. }
             | SimEvent::Start { job, .. }
             | SimEvent::Finish { job, .. }
-            | SimEvent::Preempt { job, .. } => job,
+            | SimEvent::Preempt { job, .. } => Some(job),
+            SimEvent::NodeFail { .. } | SimEvent::NodeRepair { .. } => None,
         }
     }
 
@@ -133,7 +189,9 @@ impl SimEvent {
         match self {
             SimEvent::Submit { now, .. }
             | SimEvent::Start { now, .. }
-            | SimEvent::Preempt { now, .. } => *now,
+            | SimEvent::Preempt { now, .. }
+            | SimEvent::NodeFail { now, .. }
+            | SimEvent::NodeRepair { now, .. } => *now,
             SimEvent::Finish { outcome, .. } => outcome.end,
         }
     }

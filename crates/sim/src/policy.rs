@@ -18,6 +18,7 @@
 //! # Ok::<(), helios_trace::HeliosError>(())
 //! ```
 
+use crate::fault::DrainDirective;
 use crate::job::SimJob;
 use crate::observer::ClusterView;
 
@@ -122,6 +123,16 @@ pub trait SchedulingPolicy: Send {
         let _ = out;
     }
 
+    /// Drain planning hook, polled by the kernel **after every processed
+    /// event** while failure injection is active: append
+    /// [`DrainDirective`]s to take predicted-bad nodes out of placement
+    /// (or return recovered ones). The kernel applies them immediately —
+    /// draining never kills running gangs, it only blocks new placements
+    /// (and, under checkpoint/restart semantics, proactively checkpoints
+    /// the gangs on the node). The default emits nothing; see
+    /// `helios-faults`' `DrainPolicy` for the predictor-driven wrapper.
+    fn drain_directives(&mut self, _out: &mut Vec<DrainDirective>) {}
+
     /// Restore state previously written by
     /// [`save_state`](SchedulingPolicy::save_state). The default accepts
     /// only an empty payload, so a stateful policy restored through a
@@ -171,6 +182,9 @@ impl<T: SchedulingPolicy + ?Sized> SchedulingPolicy for &mut T {
     }
     fn on_preempt(&mut self, job: &SimJob, now: i64, cluster: &ClusterView<'_>) {
         (**self).on_preempt(job, now, cluster)
+    }
+    fn drain_directives(&mut self, out: &mut Vec<DrainDirective>) {
+        (**self).drain_directives(out)
     }
     fn save_state(&self, out: &mut Vec<u8>) {
         (**self).save_state(out)

@@ -202,18 +202,29 @@ impl NodeSet {
 pub struct NodePool {
     gpus_per_node: u32,
     free: Vec<u32>,
-    /// `buckets[f]` holds exactly the nodes with `f` free GPUs.
+    /// `buckets[f]` holds exactly the nodes with `f` free GPUs —
+    /// **online nodes only**; offline nodes are masked out of every
+    /// bucket (and of `nonempty` / `total_free`) so the placement paths
+    /// never see them, while `free` keeps their true counts.
     buckets: Vec<NodeSet>,
     /// Bit `f` set iff `buckets[f]` is non-empty (for `gpus_per_node`
     /// ≤ 63 — every real cluster; larger values fall back to scanning).
     /// Powers the O(1) [`NodePool::fits`] feasibility probe.
     nonempty: u64,
     total_free: u32,
+    /// Out-of-service flags (failed or draining nodes); see
+    /// [`NodePool::set_offline`].
+    offline: Vec<bool>,
+    offline_count: u32,
+    /// Offline nodes whose GPUs are all free (keeps `busy_nodes` O(1)).
+    offline_idle: u32,
 }
 
 impl PartialEq for NodePool {
     fn eq(&self, other: &Self) -> bool {
-        self.gpus_per_node == other.gpus_per_node && self.free == other.free
+        self.gpus_per_node == other.gpus_per_node
+            && self.free == other.free
+            && self.offline == other.offline
     }
 }
 
@@ -237,6 +248,9 @@ impl NodePool {
                 0
             },
             total_free: nodes * gpus_per_node,
+            offline: vec![false; nodes as usize],
+            offline_count: 0,
+            offline_idle: 0,
         }
     }
 
@@ -255,9 +269,10 @@ impl NodePool {
         self.free.len() as u32 - self.fully_free_nodes()
     }
 
-    /// Number of nodes with every GPU free (maintained, O(1)).
+    /// Number of nodes with every GPU free (maintained, O(1)); counts
+    /// idle offline nodes too, so `busy_nodes` stays "has a busy GPU".
     pub fn fully_free_nodes(&self) -> u32 {
-        self.buckets[self.gpus_per_node as usize].len
+        self.buckets[self.gpus_per_node as usize].len + self.offline_idle
     }
 
     /// Largest per-node free count (0 on an empty or fully-busy pool).
@@ -313,11 +328,75 @@ impl NodePool {
         Ok(pool)
     }
 
+    /// Take node `i` out of placement service (failure or drain). Its
+    /// true free count stays in `free`, but the node leaves the bucket
+    /// index, the `nonempty` mask, and `total_free`, so `fits` /
+    /// `try_place` can never choose it. GPUs still held by running jobs
+    /// on the node release back into `free` without re-entering service.
+    /// Idempotent.
+    pub fn set_offline(&mut self, i: u32) {
+        if self.offline[i as usize] {
+            return;
+        }
+        let f = self.free[i as usize];
+        let bucket = &mut self.buckets[f as usize];
+        bucket.remove(i);
+        if bucket.len == 0 && f <= 63 {
+            self.nonempty &= !(1u64 << f);
+        }
+        self.total_free -= f;
+        self.offline[i as usize] = true;
+        self.offline_count += 1;
+        if f == self.gpus_per_node {
+            self.offline_idle += 1;
+        }
+    }
+
+    /// Return node `i` (and its free GPUs) to placement service — the
+    /// inverse of [`NodePool::set_offline`]. Idempotent.
+    pub fn set_online(&mut self, i: u32) {
+        if !self.offline[i as usize] {
+            return;
+        }
+        let f = self.free[i as usize];
+        self.buckets[f as usize].insert(i);
+        if f <= 63 {
+            self.nonempty |= 1u64 << f;
+        }
+        self.total_free += f;
+        self.offline[i as usize] = false;
+        self.offline_count -= 1;
+        if f == self.gpus_per_node {
+            self.offline_idle -= 1;
+        }
+    }
+
+    /// Whether node `i` is out of placement service.
+    pub fn is_offline(&self, i: u32) -> bool {
+        self.offline[i as usize]
+    }
+
+    /// Number of out-of-service nodes (maintained, O(1)).
+    pub fn offline_nodes(&self) -> u32 {
+        self.offline_count
+    }
+
     /// Move node `i` to free count `new`, maintaining buckets + aggregates.
     fn set_free(&mut self, i: u32, new: u32) {
         let old = self.free[i as usize];
         debug_assert!(new <= self.gpus_per_node);
         if old == new {
+            return;
+        }
+        if self.offline[i as usize] {
+            // Masked out of the index: only the logical count (and the
+            // idle-offline aggregate) moves.
+            if new == self.gpus_per_node {
+                self.offline_idle += 1;
+            } else if old == self.gpus_per_node {
+                self.offline_idle -= 1;
+            }
+            self.free[i as usize] = new;
             return;
         }
         let from = &mut self.buckets[old as usize];
@@ -659,6 +738,55 @@ mod tests {
         // The real pool still honors the held allocation.
         p.release(&held);
         assert_eq!(p.free_gpus(), 24);
+    }
+
+    #[test]
+    fn offline_nodes_leave_placement_but_keep_their_books() {
+        let mut p = NodePool::new(3, 8);
+        let held = p.try_place(6, Placement::Consolidate).unwrap();
+        assert_eq!(held.slices(), vec![(0, 6)]);
+        p.set_offline(0);
+        p.set_offline(2);
+        assert_eq!(p.offline_nodes(), 2);
+        assert!(p.is_offline(0) && !p.is_offline(1));
+        // Only node 1's GPUs are placeable.
+        assert_eq!(p.free_gpus(), 8);
+        assert!(p.fits(8));
+        assert!(!p.fits(9));
+        let a = p.try_place(8, Placement::Consolidate).unwrap();
+        assert_eq!(a.slices(), vec![(1, 8)]);
+        // Releasing onto the offline node keeps its GPUs out of service.
+        p.release(&held);
+        assert_eq!(p.free_gpus(), 0);
+        assert_eq!(p.free_counts()[0], 8, "true count restored");
+        // busy_nodes counts busy GPUs only: node 1 busy, 0 and 2 idle.
+        assert_eq!(p.busy_nodes(), 1);
+        // Back online: the idle node's capacity returns at its true count.
+        p.set_online(0);
+        assert_eq!(p.free_gpus(), 8);
+        assert!(p.fits(8));
+        p.set_online(2);
+        assert_eq!(p.free_gpus(), 16);
+        // Idempotence both ways.
+        p.set_online(2);
+        p.set_offline(2);
+        p.set_offline(2);
+        assert_eq!(p.free_gpus(), 8);
+        p.set_online(2);
+    }
+
+    #[test]
+    fn offline_round_trips_through_free_counts() {
+        let mut p = NodePool::new(4, 8);
+        let _ = p.try_place(5, Placement::Consolidate).unwrap();
+        p.set_offline(0);
+        p.set_offline(3);
+        let mut q = NodePool::from_free_counts(8, p.free_counts()).unwrap();
+        q.set_offline(0);
+        q.set_offline(3);
+        assert_eq!(p, q);
+        assert_eq!(p.free_gpus(), q.free_gpus());
+        assert_eq!(p.busy_nodes(), q.busy_nodes());
     }
 
     #[test]

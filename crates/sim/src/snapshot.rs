@@ -21,14 +21,21 @@
 //! panics: every malformed input surfaces as
 //! [`HeliosError::Snapshot`].
 
+use crate::fault::FaultSnap;
 use crate::job::SimJob;
 use crate::pool::Placement;
 use helios_trace::{ClusterSpec, HeliosError, HeliosResult};
 
 /// Magic prefix of a serialized [`SimSnapshot`].
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"HSIMSNAP";
-/// Current kernel snapshot format version.
+/// Current kernel snapshot format version (no failure state). Snapshots
+/// of fault-enabled kernels are written as [`SNAPSHOT_VERSION_FAULTS`]
+/// instead, so failure-free blobs stay byte-identical to the legacy
+/// format.
 pub const SNAPSHOT_VERSION: u32 = 1;
+/// Snapshot format version carrying a trailing failure-state section
+/// (see [`crate::fault::FaultSnap`] and `FAULT_CODEC_VERSION`).
+pub const SNAPSHOT_VERSION_FAULTS: u32 = 2;
 
 /// Complete resumable state of one [`Simulator`](crate::Simulator); see
 /// the module docs for what is (and is not) captured. Produce with
@@ -67,6 +74,10 @@ pub struct SimSnapshot {
     pub completed: Vec<u64>,
     /// Opaque policy payload from `SchedulingPolicy::save_state`.
     pub policy_state: Vec<u8>,
+    /// Failure-injection state (`None` when injection is disabled; its
+    /// presence alone decides whether the blob is written as
+    /// [`SNAPSHOT_VERSION`] or [`SNAPSHOT_VERSION_FAULTS`]).
+    pub fault: Option<FaultSnap>,
 }
 
 /// One job's execution state inside a [`SimSnapshot`]. Field semantics
@@ -304,7 +315,11 @@ impl SimSnapshot {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.buf.extend_from_slice(&SNAPSHOT_MAGIC);
-        w.u32(SNAPSHOT_VERSION);
+        w.u32(if self.fault.is_some() {
+            SNAPSHOT_VERSION_FAULTS
+        } else {
+            SNAPSHOT_VERSION
+        });
         w.u8(placement_code(self.placement));
         w.u8(self.backfill as u8);
         w.u8(self.memo_enabled as u8);
@@ -368,6 +383,9 @@ impl SimSnapshot {
             w.u64(idx);
         }
         w.bytes(&self.policy_state);
+        if let Some(fault) = &self.fault {
+            fault.encode(&mut w);
+        }
         w.into_bytes()
     }
 
@@ -381,9 +399,9 @@ impl SimSnapshot {
             return Err(r.err("bad magic: not a kernel snapshot"));
         }
         let version = r.u32()?;
-        if version != SNAPSHOT_VERSION {
+        if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_FAULTS {
             return Err(r.err(format!(
-                "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+                "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION} and {SNAPSHOT_VERSION_FAULTS})"
             )));
         }
         let placement = placement_from(r.u8()?, &r)?;
@@ -469,6 +487,11 @@ impl SimSnapshot {
             completed.push(r.u64()?);
         }
         let policy_state = r.bytes()?;
+        let fault = if version == SNAPSHOT_VERSION_FAULTS {
+            Some(FaultSnap::decode(&mut r)?)
+        } else {
+            None
+        };
         if r.remaining() != 0 {
             return Err(r.err(format!(
                 "{} trailing bytes after the snapshot payload",
@@ -489,6 +512,7 @@ impl SimSnapshot {
             finishes,
             completed,
             policy_state,
+            fault,
         })
     }
 }
@@ -534,6 +558,7 @@ mod tests {
             finishes: vec![(700, 0, 2)],
             completed: vec![0],
             policy_state: vec![1, 2, 3],
+            fault: None,
         }
     }
 
@@ -544,6 +569,45 @@ mod tests {
         let back = SimSnapshot::from_bytes(&bytes).unwrap();
         assert_eq!(back, snap);
         // Re-encoding is byte-stable.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn fault_section_round_trips_as_version_two() {
+        use crate::fault::{FaultConfig, FaultNodeSnap, FaultStats};
+        let mut snap = sample();
+        // Version byte stays 1 (legacy) without a fault section...
+        assert_eq!(snap.to_bytes()[8], SNAPSHOT_VERSION as u8);
+        // ...and becomes 2 with one, round-tripping exactly.
+        snap.fault = Some(FaultSnap {
+            cfg: FaultConfig::with_mtbf_hours(48.0),
+            seeded: true,
+            t0: 99,
+            nodes: vec![FaultNodeSnap {
+                up: false,
+                draining: true,
+                epoch: 3,
+                fail_seq: 2,
+                up_since: 50,
+                fail_count: 1,
+                alloc_events: 7,
+                busy: 0,
+                busy_integral: 123.5,
+                last_t: 80,
+                drain_since: 60,
+            }],
+            events: vec![(1_000, 0, 1, 3)],
+            stats: FaultStats {
+                failures: 1,
+                killed_jobs: 2,
+                lost_gpu_secs: 64.0,
+                ..Default::default()
+            },
+        });
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes[8], SNAPSHOT_VERSION_FAULTS as u8);
+        let back = SimSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
         assert_eq!(back.to_bytes(), bytes);
     }
 

@@ -162,9 +162,10 @@ impl SimObserver for EventLog {
             SimEvent::Start { .. } => "start",
             SimEvent::Finish { .. } => "finish",
             SimEvent::Preempt { .. } => "preempt",
+            SimEvent::NodeFail { .. } | SimEvent::NodeRepair { .. } => return,
         };
-        self.events
-            .push((event.time(), kind.into(), event.job().id));
+        let job = event.job().expect("job events carry a job");
+        self.events.push((event.time(), kind.into(), job.id));
     }
 }
 

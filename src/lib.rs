@@ -45,8 +45,11 @@
 //! [`trace`] (synthesis), [`analysis`] (§3 statistics), [`predict`]
 //! (GBDT/ARIMA/LSTM), [`sim`] (pluggable discrete-event scheduler kernel),
 //! [`core`] (service framework), [`energy`] (CES/DRS + energy-aware
-//! policy), [`fleet`] (sharded, snapshottable scheduler-as-a-service —
-//! launch via [`Helios::fleet_service`]).
+//! policy), [`faults`] (failure prediction, proactive drains, goodput
+//! over the kernel's failure injection — see
+//! [`session::Session::with_failures`]), [`fleet`] (sharded,
+//! snapshottable scheduler-as-a-service — launch via
+//! [`Helios::fleet_service`]).
 
 pub mod error;
 pub mod prelude;
@@ -60,6 +63,7 @@ pub use session::{
 pub use helios_analysis as analysis;
 pub use helios_core as core;
 pub use helios_energy as energy;
+pub use helios_faults as faults;
 pub use helios_fleet as fleet;
 pub use helios_predict as predict;
 pub use helios_sim as sim;

@@ -11,8 +11,10 @@ pub use crate::session::{
 
 // Substrate types that appear in façade signatures or configs.
 pub use helios_core::{CesEvaluation, CesServiceConfig, QssfConfig};
+pub use helios_faults::{DrainConfig, DrainPolicy, FailurePredictor, Goodput, PredictorConfig};
 pub use helios_fleet::{ClusterConfig, ClusterStatus, Fleet, FleetConfig, VcStatus};
 pub use helios_sim::{
-    JobOutcome, JobView, Placement, Policy, ScheduleStats, SchedulingPolicy, SimJob, SimObserver,
+    FaultConfig, FaultSemantics, JobOutcome, JobView, Placement, Policy, ScheduleStats,
+    SchedulingPolicy, SimJob, SimObserver,
 };
 pub use helios_trace::{ClusterId, GeneratorConfig, JobRecord, JobStatus, Trace};

@@ -39,10 +39,14 @@ use helios_analysis::{jobs, users};
 use helios_core::{CesEvaluation, CesService, CesServiceConfig, QssfConfig, QssfService};
 use helios_energy::EnergyAwarePolicy;
 use helios_energy::{annualize, energy_saved_kwh, node_series_from_trace};
+use helios_faults::{
+    goodput, train_failure_predictor, DrainConfig, DrainPolicy, FailurePredictor, Goodput,
+    PredictorConfig,
+};
 use helios_sim::{
-    jobs_from_trace, schedule_stats, FifoPolicy, JobOutcome, KernelConfig, Placement,
-    PriorityPolicy, ScheduleStats, SchedulingPolicy, SimObserver, Simulator, SjfPolicy, SrtfPolicy,
-    TiresiasPolicy,
+    jobs_from_trace, schedule_stats, FaultConfig, FaultStats, FifoPolicy, JobOutcome, KernelConfig,
+    Placement, PriorityPolicy, ScheduleStats, SchedulingPolicy, SimObserver, Simulator, SjfPolicy,
+    SrtfPolicy, TiresiasPolicy,
 };
 use helios_trace::{
     generate, profile_for, ClusterId, GeneratorConfig, Trace, WorkloadProfile, SECS_PER_DAY,
@@ -212,6 +216,7 @@ struct Knobs {
     ces: CesServiceConfig,
     placement: Placement,
     backfill: bool,
+    failures: Option<FaultConfig>,
 }
 
 impl Default for Knobs {
@@ -223,6 +228,7 @@ impl Default for Knobs {
             ces: CesServiceConfig::default(),
             placement: Placement::Consolidate,
             backfill: false,
+            failures: None,
         }
     }
 }
@@ -239,6 +245,9 @@ impl Knobs {
                 "lambda",
                 format!("must be in [0, 1], got {}", self.qssf.lambda),
             ));
+        }
+        if let Some(f) = &self.failures {
+            f.validate()?;
         }
         Ok(())
     }
@@ -286,6 +295,15 @@ macro_rules! builder_knobs {
         /// Enable EASY backfill in scheduling runs (paper future work).
         pub fn backfill(mut self, on: bool) -> Self {
             self.knobs.backfill = on;
+            self
+        }
+
+        /// Inject node failures into every scheduling run (see
+        /// [`helios_sim::FaultConfig`]); `None` is the failure-free
+        /// default. Equivalent to [`Session::with_failures`] at build
+        /// time.
+        pub fn failures(mut self, cfg: Option<helios_sim::FaultConfig>) -> Self {
+            self.knobs.failures = cfg;
             self
         }
     };
@@ -341,6 +359,7 @@ pub struct Session {
     characterization: Option<Characterization>,
     qssf: Option<QssfService>,
     ces_eval: Option<CesEvaluation>,
+    failure_model: Option<FailurePredictor>,
     schedules: Vec<ScheduleOutcome>,
     stage_perf: Vec<StagePerf>,
 }
@@ -378,6 +397,11 @@ pub struct ScheduleOutcome {
     pub policy: Option<SchedulePolicy>,
     pub stats: ScheduleStats,
     pub outcomes: Vec<JobOutcome>,
+    /// Useful vs. failure-destroyed GPU time (ratio 1.0 when the session
+    /// runs failure-free).
+    pub goodput: Goodput,
+    /// The failure process totals of this run (`None` without injection).
+    pub fault_stats: Option<FaultStats>,
 }
 
 impl Session {
@@ -389,6 +413,7 @@ impl Session {
             characterization: None,
             qssf: None,
             ces_eval: None,
+            failure_model: None,
             schedules: Vec::new(),
             stage_perf: Vec::new(),
         }
@@ -594,6 +619,66 @@ impl Session {
         Ok(self)
     }
 
+    /// Switch failure injection on (or off with `None`) for every
+    /// scheduling run of this session — see [`helios_sim::FaultConfig`]
+    /// for the model. Validates the configuration eagerly.
+    pub fn with_failures(&mut self, cfg: Option<FaultConfig>) -> Result<&mut Session> {
+        if let Some(f) = &cfg {
+            f.validate()?;
+        }
+        self.knobs.failures = cfg;
+        Ok(self)
+    }
+
+    /// The trained failure predictor (after
+    /// [`Session::train_failure_model`]).
+    pub fn failure_model(&self) -> Option<&FailurePredictor> {
+        self.failure_model.as_ref()
+    }
+
+    /// Stage 3c: train the per-node GPU-failure predictor. Simulates the
+    /// evaluation window under the session's failure model (FIFO
+    /// discipline), samples per-node telemetry, and fits a GBDT to
+    /// P(failure within the horizon) with a time-ordered train/eval
+    /// split. Requires [`Session::generate`] and an active
+    /// [`Session::with_failures`] configuration.
+    pub fn train_failure_model(&mut self, cfg: &PredictorConfig) -> Result<&mut Session> {
+        let started = Instant::now();
+        let (lo, hi) = self.eval_window()?;
+        let trace = self.trace.as_ref().expect("eval_window checked generate");
+        let faults = self.knobs.failures.ok_or(HeliosError::MissingStage {
+            stage: "train_failure_model",
+            requires: "with_failures",
+        })?;
+        let jobs = jobs_from_trace(trace, lo, hi);
+        let model = train_failure_predictor(&trace.spec, &jobs, &faults, cfg)
+            .map_err(|e| e.for_cluster(self.preset.name()))?;
+        self.failure_model = Some(model);
+        self.record_stage("train_failure_model", started);
+        Ok(self)
+    }
+
+    /// Stage 4, failure-aware form: run a built-in policy wrapped in the
+    /// proactive [`DrainPolicy`]. Uses the trained failure predictor when
+    /// [`Session::train_failure_model`] ran, otherwise an uptime-threshold
+    /// baseline calibrated to the failure model's MTBF. The run is
+    /// recorded under `DRAIN+<label>`.
+    pub fn schedule_drained(&mut self, inner: SchedulePolicy) -> Result<&mut Session> {
+        let faults = self.knobs.failures.ok_or(HeliosError::MissingStage {
+            stage: "schedule_drained",
+            requires: "with_failures",
+        })?;
+        let cfg = DrainConfig::default();
+        let policy = match self.failure_model.clone() {
+            Some(model) => DrainPolicy::with_predictor(inner.build(), model, cfg)?,
+            None => {
+                let mtbf_hours = faults.mtbf_secs / 3600.0;
+                DrainPolicy::uptime(inner.build(), mtbf_hours, cfg)?
+            }
+        };
+        self.run_schedule(None, Box::new(policy), Vec::new())
+    }
+
     /// Stage 4: run one built-in scheduling policy over the evaluation
     /// window and record its outcome. [`SchedulePolicy::Qssf`] requires
     /// [`Session::train_qssf`] first.
@@ -664,6 +749,10 @@ impl Session {
             backfill: self.knobs.backfill,
         };
         let mut sim = Simulator::with_config(&trace.spec, policy, &cfg);
+        if let Some(faults) = &self.knobs.failures {
+            sim.enable_faults(faults)
+                .map_err(|e| e.for_cluster(self.preset.name()))?;
+        }
         for obs in observers {
             sim.observe(obs);
         }
@@ -671,8 +760,10 @@ impl Session {
             .map_err(|e| e.for_cluster(self.preset.name()))?;
         sim.run_to_completion();
         let outcomes = sim.drain_outcomes();
+        let fault_stats = sim.fault_stats();
         drop(sim);
         let stats = schedule_stats(&outcomes);
+        let run_goodput = goodput(&outcomes, fault_stats);
         // Re-running a policy replaces its previous outcome.
         self.schedules.retain(|s| s.label != label);
         self.record_stage(format!("schedule:{label}"), started);
@@ -681,6 +772,8 @@ impl Session {
             policy: builtin,
             stats,
             outcomes,
+            goodput: run_goodput,
+            fault_stats,
         });
         Ok(self)
     }
@@ -712,6 +805,8 @@ impl Session {
                 avg_jct: s.stats.avg_jct,
                 avg_queue_delay: s.stats.avg_queue_delay,
                 queued_jobs: s.stats.queued_jobs,
+                goodput: s.goodput.ratio(),
+                lost_gpu_hours: s.goodput.lost_gpu_hours,
             })
             .collect();
         let qssf_vs_fifo = {
@@ -818,6 +913,11 @@ pub struct ScheduleSummary {
     pub avg_jct: f64,
     pub avg_queue_delay: f64,
     pub queued_jobs: u64,
+    /// Fraction of consumed GPU time that reached completed jobs
+    /// (exactly 1.0 for a failure-free run).
+    pub goodput: f64,
+    /// GPU·hours destroyed by node failures during the run.
+    pub lost_gpu_hours: f64,
 }
 
 /// QSSF improvement over FIFO (Table 3 headline).
@@ -893,14 +993,23 @@ impl SessionReport {
             ));
         }
         if !self.schedules.is_empty() {
-            let mut t = TextTable::new(vec!["policy", "avg JCT", "avg queue", "queued jobs"]);
+            let faulty = self.schedules.iter().any(|s| s.goodput < 1.0);
+            let mut head = vec!["policy", "avg JCT", "avg queue", "queued jobs"];
+            if faulty {
+                head.push("goodput");
+            }
+            let mut t = TextTable::new(head);
             for s in &self.schedules {
-                t.row(vec![
+                let mut row = vec![
                     s.label.clone(),
                     fmt_secs(s.avg_jct),
                     fmt_secs(s.avg_queue_delay),
                     fmt_count(s.queued_jobs),
-                ]);
+                ];
+                if faulty {
+                    row.push(format!("{:.1}%", 100.0 * s.goodput));
+                }
+                t.row(row);
             }
             out.push_str(&t.render());
         }
@@ -937,6 +1046,8 @@ impl SessionReport {
                     "avg_jct": s.avg_jct,
                     "avg_queue_delay": s.avg_queue_delay,
                     "queued_jobs": s.queued_jobs,
+                    "goodput": s.goodput,
+                    "lost_gpu_hours": s.lost_gpu_hours,
                 })
             })
             .collect();
