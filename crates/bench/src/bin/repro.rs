@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [OPTIONS] <experiment-id>|all
+//! repro [OPTIONS] <experiment-id>...|all
 //!
 //! Options:
 //!   --scale <F>     trace scale in (0, 1] (default 0.25; 1.0 = paper scale)
@@ -18,9 +18,15 @@
 //!                   jobs/sec, outcome digest) for every policy simulation
 //!                   the selected experiments ran — the BENCH_*.json
 //!                   perf-trajectory format; failure-injected runs land in
-//!                   its `faults` section (BENCH_faults.json)
+//!                   its `faults` section (BENCH_faults.json) and chaos
+//!                   recovery runs in its `resilience` section
+//!                   (BENCH_fleet.json)
 //!   --list          print the experiment ids and exit
 //! ```
+//!
+//! Several experiment ids may be given; they run in order and share one
+//! context, so a single `--bench-json` file can carry every section
+//! (e.g. `repro fleet-soak fleet-chaos --bench-json BENCH_fleet.json`).
 //!
 //! Outputs print to stdout and are mirrored under `<out-dir>/<id>.{txt,json}`.
 //! Unknown experiment ids and report-write failures exit non-zero.
@@ -40,13 +46,13 @@ struct Args {
     policy: Option<String>,
     failures: Option<f64>,
     bench_json: Option<PathBuf>,
-    id: String,
+    ids: Vec<String>,
 }
 
 const USAGE: &str = "usage: repro [--scale F] [--seed N] [--out-dir DIR] \
                      [--policy [drain:]fifo|sjf|srtf|qssf|tiresias|all] \
                      [--failures MTBF-HOURS] \
-                     [--bench-json PATH] [--list] <experiment-id>|all";
+                     [--bench-json PATH] [--list] <experiment-id>...|all";
 
 fn parse_args() -> Result<Args, String> {
     let mut scale = 0.25f64;
@@ -55,7 +61,7 @@ fn parse_args() -> Result<Args, String> {
     let mut policy = None;
     let mut failures = None;
     let mut bench_json = None;
-    let mut id = None;
+    let mut ids = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -96,12 +102,11 @@ fn parse_args() -> Result<Args, String> {
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other:?}\n{USAGE}"));
             }
-            other => {
-                if id.replace(other.to_string()).is_some() {
-                    return Err(format!("more than one experiment id given\n{USAGE}"));
-                }
-            }
+            other => ids.push(other.to_string()),
         }
+    }
+    if ids.is_empty() {
+        return Err(USAGE.to_string());
     }
     Ok(Args {
         scale,
@@ -110,7 +115,7 @@ fn parse_args() -> Result<Args, String> {
         policy,
         failures,
         bench_json,
-        id: id.ok_or(USAGE)?,
+        ids,
     })
 }
 
@@ -124,6 +129,13 @@ fn write_bench_json(path: &Path, args: &Args, ctx: &Context) -> Result<(), Helio
     // Failure-injected run records (the `failure-soak` experiment):
     // goodput, predictor precision/recall, and outcome digests.
     let faults: Vec<serde_json::Value> = ctx.fault_records().iter().map(|r| r.to_json()).collect();
+    // Chaos recovery records (the `fleet-chaos` experiment): restarts,
+    // fallbacks, checkpoint write latency, recovery latency.
+    let resilience: Vec<serde_json::Value> = ctx
+        .resilience_records()
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
     // Scheduler experiments fan clusters x policies out over rayon, so
     // wall times include sibling-simulation contention: record the host
     // parallelism (also stamped into every individual record) so
@@ -133,12 +145,13 @@ fn write_bench_json(path: &Path, args: &Args, ctx: &Context) -> Result<(), Helio
         "schema": "helios-bench/1",
         "scale": args.scale,
         "seed": args.seed,
-        "experiment": args.id.clone(),
+        "experiment": args.ids.join("+"),
         "parallelism": parallelism,
         "note": "wall_secs measured under the parallel clusters x policies fan-out; compare only across runs with the same fan-out shape and parallelism",
         "runs": records,
         "stages": stages,
         "faults": faults,
+        "resilience": resilience,
     });
     let rendered = serde_json::to_string_pretty(&doc).map_err(|e| HeliosError::Io {
         context: format!("serializing {}", path.display()),
@@ -198,13 +211,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    let outputs = match run(&args.id, &mut ctx) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    let mut outputs = Vec::new();
+    for id in &args.ids {
+        match run(id, &mut ctx) {
+            Ok(o) => outputs.extend(o),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-    };
+    }
     for out in &outputs {
         println!("{}", out.text);
         println!("{}", "=".repeat(78));
@@ -217,15 +233,17 @@ fn main() -> ExitCode {
         let n = ctx.bench_records().len();
         let s = ctx.stage_records().len();
         let f = ctx.fault_records().len();
+        let r = ctx.resilience_records().len();
         if let Err(e) = write_bench_json(path, &args, &ctx) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "bench: {} policy-run, {} stage, and {} fault records in {}",
+            "bench: {} policy-run, {} stage, {} fault, and {} resilience records in {}",
             n,
             s,
             f,
+            r,
             path.display()
         );
     }

@@ -149,6 +149,67 @@ impl FaultRunRecord {
     }
 }
 
+/// One cluster's ledger from the `fleet-chaos` experiment: how much
+/// self-healing the chaos schedule forced (restarts, corrupt-generation
+/// fallbacks), what it cost (checkpoint write latency, recovery time),
+/// and whether the recovered outcome stream still matched the
+/// uninterrupted twin bit for bit — the `resilience` section of
+/// `repro --bench-json` (the BENCH_fleet.json format).
+#[derive(Debug, Clone)]
+pub struct ResilienceRecord {
+    pub cluster: String,
+    pub policy: String,
+    /// Jobs streamed through this cluster during the chaos run.
+    pub jobs: usize,
+    /// Supervisor restarts the injected panics forced.
+    pub restarts: u32,
+    /// Corrupt/undecodable checkpoint generations skipped during those
+    /// recoveries (each one is a successful fall-back to an older
+    /// generation).
+    pub fallbacks: u32,
+    /// Checkpoint generations written (launch + auto + post-recovery
+    /// re-baselines).
+    pub checkpoint_writes: u64,
+    /// Mean wall-clock checkpoint write latency, milliseconds.
+    pub checkpoint_write_ms_mean: f64,
+    /// Total wall-clock time spent in restore-and-replay recovery,
+    /// milliseconds.
+    pub recovery_ms_total: f64,
+    /// Mean wall-clock recovery latency per restart, milliseconds.
+    pub recovery_ms_mean: f64,
+    /// Whether the chaos run's outcome digest equals the uninterrupted
+    /// twin's — the crash-consistency pin. Always `true` in a committed
+    /// BENCH_fleet.json (a mismatch fails the experiment).
+    pub digest_match: bool,
+    /// FNV-1a over every outcome's (id, start, end, preemptions).
+    pub outcome_digest: String,
+    /// Wall-clock seconds of the whole chaos run on this fleet.
+    pub wall_secs: f64,
+    /// Worker threads available when this record was measured
+    /// ([`run_parallelism`]).
+    pub parallelism: usize,
+}
+
+impl ResilienceRecord {
+    pub fn to_json(&self) -> serde_json::Value {
+        json!({
+            "cluster": self.cluster.clone(),
+            "policy": self.policy.clone(),
+            "jobs": self.jobs,
+            "restarts": self.restarts,
+            "fallbacks": self.fallbacks,
+            "checkpoint_writes": self.checkpoint_writes,
+            "checkpoint_write_ms_mean": self.checkpoint_write_ms_mean,
+            "recovery_ms_total": self.recovery_ms_total,
+            "recovery_ms_mean": self.recovery_ms_mean,
+            "digest_match": self.digest_match,
+            "outcome_digest": self.outcome_digest.clone(),
+            "wall_secs": self.wall_secs,
+            "parallelism": self.parallelism,
+        })
+    }
+}
+
 /// Worker/thread count of this run — stamped into every perf record so
 /// trajectories are only ever compared like-for-like.
 pub fn run_parallelism() -> usize {
@@ -206,6 +267,9 @@ pub struct Context {
     /// Records produced by the `failure-soak` experiment (empty unless it
     /// ran) — serialized as the `faults` section of `--bench-json`.
     faults_perf: Vec<FaultRunRecord>,
+    /// Records produced by the `fleet-chaos` experiment (empty unless it
+    /// ran) — serialized as the `resilience` section of `--bench-json`.
+    resilience: Vec<ResilienceRecord>,
 }
 
 impl Context {
@@ -230,6 +294,7 @@ impl Context {
             faults: None,
             drain: false,
             faults_perf: Vec::new(),
+            resilience: Vec::new(),
         })
     }
 
@@ -440,6 +505,13 @@ impl Context {
     /// `repro --bench-json` (BENCH_faults.json).
     pub fn fault_records(&self) -> &[FaultRunRecord] {
         &self.faults_perf
+    }
+
+    /// Chaos-run resilience records produced by the `fleet-chaos`
+    /// experiment (empty unless it ran) — the `resilience` section of
+    /// `repro --bench-json` (BENCH_fleet.json).
+    pub fn resilience_records(&self) -> &[ResilienceRecord] {
+        &self.resilience
     }
 
     /// CES evaluations: September 1–21 on each Helios cluster, one
@@ -2062,6 +2134,243 @@ fn fleet_soak(ctx: &mut Context) -> Result<ExperimentOutput, HeliosError> {
     })
 }
 
+/// `fleet-chaos`: the self-healing soak. Two presets (Venus/FIFO and
+/// Saturn/SRTF) are hosted by one fleet with per-cycle auto-checkpointing
+/// while a deterministic chaos schedule panics each worker three times
+/// mid-stream and corrupts a checkpoint generation, so one recovery is
+/// forced through the corrupt-newest fall-back path. An identical
+/// chaos-free twin fleet runs the same job stream; the experiment fails
+/// (typed error, never a panic) unless every cluster's recovered outcome
+/// digest matches its uninterrupted twin bit for bit. Produces the
+/// `resilience` records of `BENCH_fleet.json`: restarts, fallbacks,
+/// checkpoint write latency, and recovery latency.
+fn fleet_chaos(ctx: &mut Context) -> Result<ExperimentOutput, HeliosError> {
+    use helios_fleet::{ChaosConfig, CheckpointConfig, ClusterConfig, Fleet, FleetConfig};
+    use helios_trace::ClusterId;
+
+    const WAVES: usize = 10;
+    const JOBS_PER_CLUSTER_PER_WAVE: usize = 400;
+    const WAVE_SECS: i64 = 600;
+    /// Injected panic points, in per-worker kernel-event counts. Each
+    /// wave is 400 jobs and every job contributes exactly three events
+    /// on these uncontended presets (submit/start/finish; durations are
+    /// all shorter than a wave), so cycle `k` ends at `1200·k` events:
+    /// the first point fires in admission cycle 2 — while the corrupted
+    /// generation 1 is the newest checkpoint, forcing a fall-back to
+    /// generation 0 — and the other two fire in cycles 5 and 8 as plain
+    /// restore-and-replay restarts.
+    const PANIC_EVENTS: [u64; 3] = [1_250, 5_000, 9_500];
+    /// The auto-checkpoint generation the chaos schedule bit-flips
+    /// (post-recovery re-baselines are never corrupted, so a clean
+    /// generation always remains in the ring).
+    const CORRUPT_GENERATION: u64 = 1;
+
+    let hosted = [
+        (ClusterId::Venus, Policy::Fifo),
+        (ClusterId::Saturn, Policy::Srtf),
+    ];
+    eprintln!(
+        "[ctx] fleet chaos: {} clusters, {} streamed jobs each, {} injected panics per worker...",
+        hosted.len(),
+        WAVES * JOBS_PER_CLUSTER_PER_WAVE,
+        PANIC_EVENTS.len(),
+    );
+
+    let topology = |chaos: Option<ChaosConfig>| {
+        let mut cfg = FleetConfig::new()
+            .with_checkpoint(CheckpointConfig::default().every_cycles(1).generations(4));
+        for &(cluster, policy) in &hosted {
+            cfg = cfg.with_cluster(ClusterConfig::new(cluster, policy));
+        }
+        match chaos {
+            Some(c) => cfg.with_chaos(c),
+            None => cfg,
+        }
+    };
+    // The same deterministic stream both fleets consume: submit a wave,
+    // run one admission cycle to its horizon, repeat.
+    let stream = |fleet: &Fleet| -> Result<(), HeliosError> {
+        let clusters = fleet.clusters();
+        let mut nvcs = Vec::with_capacity(clusters.len());
+        for &c in &clusters {
+            nvcs.push(fleet.status(c)?.vcs.len().max(1));
+        }
+        let mut next_id = 0u64;
+        for wave in 0..WAVES {
+            let floor = wave as i64 * WAVE_SECS;
+            for (ci, &cluster) in clusters.iter().enumerate() {
+                for k in 0..JOBS_PER_CLUSTER_PER_WAVE {
+                    let job = SimJob {
+                        id: next_id,
+                        vc: ((k + wave) % nvcs[ci]) as u16,
+                        gpus: 1 + (k as u32 % 2),
+                        submit: floor,
+                        duration: 30 + (k as i64 % 7) * 60,
+                        priority: 0.0,
+                    };
+                    match fleet.submit(cluster, job) {
+                        Ok(()) => {}
+                        Err(HeliosError::FleetOverflow { .. }) => {
+                            fleet.advance_cluster(cluster, floor)?;
+                            fleet.submit(cluster, job)?;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                    next_id += 1;
+                }
+            }
+            fleet.advance((wave as i64 + 1) * WAVE_SECS)?;
+        }
+        Ok(())
+    };
+    let digests = |per_cluster: Vec<(ClusterId, Vec<helios_sim::JobOutcome>)>| {
+        per_cluster
+            .into_iter()
+            .map(|(cluster, mut outcomes)| {
+                outcomes.sort_by_key(|o| o.id);
+                (cluster, outcomes.len(), outcome_digest(&outcomes))
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let mut chaos = ChaosConfig::seeded(ctx.cfg.seed).corrupt_generation(CORRUPT_GENERATION);
+    for &at in &PANIC_EVENTS {
+        chaos = chaos.panic_at(at);
+    }
+    let started = Instant::now();
+    let fleet = Fleet::launch(&topology(Some(chaos)))?;
+    stream(&fleet)?;
+    let health: Vec<_> = fleet
+        .statuses()
+        .into_iter()
+        .map(|s| (s.cluster, s.health))
+        .collect();
+    let chaos_digests = digests(fleet.shutdown()?);
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let twin = Fleet::launch(&topology(None))?;
+    stream(&twin)?;
+    let twin_digests = digests(twin.shutdown()?);
+
+    let parallelism = run_parallelism();
+    let mut table = TextTable::new(vec![
+        "cluster",
+        "policy",
+        "jobs",
+        "restarts",
+        "fallbacks",
+        "ckpts",
+        "ckpt ms",
+        "recov ms",
+        "digest",
+    ]);
+    let mut rows_json = Vec::new();
+    for (i, &(cluster, policy)) in hosted.iter().enumerate() {
+        let (hc, h) = health[i];
+        let (cc, jobs, digest) = &chaos_digests[i];
+        let (tc, _, twin_digest) = &twin_digests[i];
+        if hc != cluster || *cc != cluster || *tc != cluster {
+            return Err(HeliosError::invalid_config(
+                "fleet_chaos",
+                "shutdown outcome order does not match the hosted topology",
+            ));
+        }
+        if h.restarts < PANIC_EVENTS.len() as u32 {
+            return Err(HeliosError::invalid_config(
+                "fleet_chaos",
+                format!(
+                    "{}: only {} of {} injected panics forced a restart",
+                    cluster.name(),
+                    h.restarts,
+                    PANIC_EVENTS.len()
+                ),
+            ));
+        }
+        if h.fallbacks == 0 {
+            return Err(HeliosError::invalid_config(
+                "fleet_chaos",
+                format!(
+                    "{}: the corrupted generation never forced a fall-back",
+                    cluster.name()
+                ),
+            ));
+        }
+        if digest != twin_digest {
+            return Err(HeliosError::invalid_config(
+                "fleet_chaos",
+                format!(
+                    "{}: recovered digest {} != uninterrupted {}",
+                    cluster.name(),
+                    digest,
+                    twin_digest
+                ),
+            ));
+        }
+        let ckpt_ms_mean = if h.checkpoint_writes > 0 {
+            h.checkpoint_write_secs_total * 1e3 / h.checkpoint_writes as f64
+        } else {
+            0.0
+        };
+        let recovery_ms_total = h.recovery_secs_total * 1e3;
+        let recovery_ms_mean = if h.restarts > 0 {
+            recovery_ms_total / h.restarts as f64
+        } else {
+            0.0
+        };
+        let record = ResilienceRecord {
+            cluster: cluster.name().to_string(),
+            policy: format!("{policy:?}").to_uppercase(),
+            jobs: *jobs,
+            restarts: h.restarts,
+            fallbacks: h.fallbacks,
+            checkpoint_writes: h.checkpoint_writes,
+            checkpoint_write_ms_mean: ckpt_ms_mean,
+            recovery_ms_total,
+            recovery_ms_mean,
+            digest_match: true,
+            outcome_digest: digest.clone(),
+            wall_secs,
+            parallelism,
+        };
+        table.row(vec![
+            record.cluster.clone(),
+            record.policy.clone(),
+            fmt_count(record.jobs as u64),
+            record.restarts.to_string(),
+            record.fallbacks.to_string(),
+            record.checkpoint_writes.to_string(),
+            format!("{ckpt_ms_mean:.3}"),
+            format!("{recovery_ms_total:.1}"),
+            record.outcome_digest.clone(),
+        ]);
+        rows_json.push(record.to_json());
+        ctx.resilience.push(record);
+    }
+
+    let text = format!(
+        "Fleet chaos: {} injected panics + 1 corrupted checkpoint generation per worker \
+         across {} clusters; every recovered outcome digest matched its uninterrupted \
+         twin ({:.2}s chaos run)\n{}",
+        PANIC_EVENTS.len(),
+        hosted.len(),
+        wall_secs,
+        table.render()
+    );
+    let data = json!({
+        "clusters": hosted.len(),
+        "panics_per_worker": PANIC_EVENTS.len(),
+        "corrupt_generation": CORRUPT_GENERATION,
+        "wall_secs": wall_secs,
+        "parallelism": parallelism,
+        "per_cluster": rows_json,
+    });
+    Ok(ExperimentOutput {
+        id: "fleet-chaos".into(),
+        text,
+        data,
+    })
+}
+
 /// `failure-soak`: the failure-injection soak. On two Helios presets
 /// (Venus and Saturn), train the GPU-failure predictor on April–August
 /// telemetry from the fault model itself, then run September twice under
@@ -2243,12 +2552,13 @@ fn failure_soak(ctx: &mut Context) -> Result<ExperimentOutput, HeliosError> {
 /// ablations, and the end-to-end pipeline throughput probe. Run by `all`
 /// after [`ALL_EXPERIMENTS`], and listed by the `repro` binary — one
 /// source of truth so the lists cannot drift.
-pub const EXTRA_EXPERIMENTS: [&str; 6] = [
+pub const EXTRA_EXPERIMENTS: [&str; 7] = [
     "pred-ces",
     "ablation-lambda",
     "ablation-backfill",
     "pipeline",
     "fleet-soak",
+    "fleet-chaos",
     "failure-soak",
 ];
 
@@ -2305,6 +2615,7 @@ pub fn run(id: &str, ctx: &mut Context) -> Result<Vec<ExperimentOutput>, HeliosE
         "ablation-backfill" => vec![ablation_backfill(ctx)],
         "pipeline" => vec![pipeline_exp(ctx)],
         "fleet-soak" => vec![fleet_soak(ctx)?],
+        "fleet-chaos" => vec![fleet_chaos(ctx)?],
         "failure-soak" => vec![failure_soak(ctx)?],
         "all" => {
             let mut out = Vec::new();

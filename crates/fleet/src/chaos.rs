@@ -1,0 +1,189 @@
+//! Deterministic chaos injection for the fleet's resilience suites.
+//!
+//! [`ChaosConfig`] schedules three failure modes against every worker of
+//! a fleet, all derived from one seed so a chaos run is exactly
+//! reproducible:
+//!
+//! * **worker panics** at scheduled observed-kernel-event counts (the
+//!   counter is monotone across supervisor restarts and counts replayed
+//!   events too, so the schedule is a deterministic function of the
+//!   workload);
+//! * **checkpoint corruption**: the generation with a scheduled index
+//!   gets its in-memory blob bit-flipped or truncated right after it is
+//!   written, forcing recovery to detect the damage and fall back;
+//! * **shard stalls**: scheduled admission cycles skip draining the
+//!   ingestion shards entirely, building real backpressure for
+//!   [`Fleet::submit_with_retry`](crate::Fleet::submit_with_retry) to
+//!   absorb.
+//!
+//! Each panic point fires at most once per fleet (the shared trip flag
+//! is set *before* panicking), so a restarted worker replaying the same
+//! events does not crash-loop on the same trigger.
+
+use helios_sim::{ClusterView, SimEvent, SimObserver};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The splitmix64 mixer — the workspace's stock seeded generator,
+/// reused here for backoff jitter and corruption shapes.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded failure-injection schedule, applied to every worker of the
+/// fleet it is attached to (see
+/// [`FleetConfig::with_chaos`](crate::FleetConfig::with_chaos)).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosConfig {
+    /// Seed deriving every corruption shape (bit-flip vs truncate,
+    /// offset) so a chaos run is reproducible end to end.
+    pub seed: u64,
+    /// Observed-kernel-event counts at which a worker panics (each point
+    /// trips at most once per fleet).
+    pub panic_at_events: Vec<u64>,
+    /// Checkpoint generation indices whose in-memory blob is corrupted
+    /// immediately after being written.
+    pub corrupt_generations: Vec<u64>,
+    /// Admission-cycle numbers (1-based, per worker) that skip shard
+    /// draining entirely, simulating a stalled ingestion path.
+    pub stall_cycles: Vec<u64>,
+}
+
+impl ChaosConfig {
+    /// An empty schedule under `seed` — add failures with the builders.
+    pub fn seeded(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Schedule a worker panic at observed kernel event `count`.
+    pub fn panic_at(mut self, count: u64) -> Self {
+        self.panic_at_events.push(count);
+        self
+    }
+
+    /// Schedule corruption of checkpoint generation `index`.
+    pub fn corrupt_generation(mut self, index: u64) -> Self {
+        self.corrupt_generations.push(index);
+        self
+    }
+
+    /// Schedule a stalled admission cycle (1-based cycle number).
+    pub fn stall_cycle(mut self, cycle: u64) -> Self {
+        self.stall_cycles.push(cycle);
+        self
+    }
+
+    /// True when admission cycle `cycle` should skip shard draining.
+    pub(crate) fn stalled(&self, cycle: u64) -> bool {
+        self.stall_cycles.contains(&cycle)
+    }
+
+    /// The corruption seed for generation `index`, or `None` when that
+    /// generation is not scheduled for damage.
+    pub(crate) fn corruption_seed(&self, index: u64) -> Option<u64> {
+        self.corrupt_generations
+            .contains(&index)
+            .then(|| splitmix64(self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+/// Chaos state shared between a worker's incarnations: the monotone
+/// event counter and the once-only trip flags, both surviving supervisor
+/// restarts so the schedule stays deterministic.
+pub(crate) struct ChaosShared {
+    events: AtomicU64,
+    fired: Vec<AtomicBool>,
+}
+
+impl ChaosShared {
+    pub fn new(cfg: &ChaosConfig) -> Arc<Self> {
+        Arc::new(ChaosShared {
+            events: AtomicU64::new(0),
+            fired: cfg
+                .panic_at_events
+                .iter()
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+        })
+    }
+}
+
+/// Kernel observer that panics when the shared event counter crosses an
+/// untripped scheduled point. Attached (and re-attached after every
+/// restart) by the worker when its fleet carries a [`ChaosConfig`].
+pub(crate) struct ChaosObserver {
+    shared: Arc<ChaosShared>,
+    points: Vec<u64>,
+    cluster: &'static str,
+}
+
+impl ChaosObserver {
+    pub fn new(cfg: &ChaosConfig, shared: Arc<ChaosShared>, cluster: &'static str) -> Self {
+        ChaosObserver {
+            shared,
+            points: cfg.panic_at_events.clone(),
+            cluster,
+        }
+    }
+}
+
+impl SimObserver for ChaosObserver {
+    fn on_event(&mut self, _event: &SimEvent, _cluster: &ClusterView<'_>) {
+        let count = self.shared.events.fetch_add(1, Ordering::AcqRel) + 1;
+        for (i, &point) in self.points.iter().enumerate() {
+            if count >= point && !self.shared.fired[i].swap(true, Ordering::AcqRel) {
+                panic!(
+                    "chaos: injected worker panic on {} at kernel event {count} \
+                     (scheduled at {point})",
+                    self.cluster
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_and_seeds_are_stable() {
+        let c = ChaosConfig::seeded(7)
+            .panic_at(100)
+            .panic_at(250)
+            .corrupt_generation(3)
+            .stall_cycle(2);
+        assert_eq!(c.panic_at_events, [100, 250]);
+        assert!(c.stalled(2));
+        assert!(!c.stalled(3));
+        assert_eq!(c.corruption_seed(3), c.corruption_seed(3));
+        assert!(c.corruption_seed(4).is_none());
+        assert_ne!(
+            ChaosConfig::seeded(1)
+                .corrupt_generation(3)
+                .corruption_seed(3),
+            ChaosConfig::seeded(2)
+                .corrupt_generation(3)
+                .corruption_seed(3),
+        );
+    }
+
+    #[test]
+    fn panic_points_fire_exactly_once() {
+        let cfg = ChaosConfig::seeded(0).panic_at(2);
+        let shared = ChaosShared::new(&cfg);
+        // Events 1 and 2: the second crosses the point and trips it.
+        assert_eq!(shared.events.fetch_add(1, Ordering::AcqRel) + 1, 1);
+        let count = shared.events.fetch_add(1, Ordering::AcqRel) + 1;
+        assert!(count >= 2 && !shared.fired[0].swap(true, Ordering::AcqRel));
+        // Event 3 (e.g. replayed after a restart): already tripped.
+        let count = shared.events.fetch_add(1, Ordering::AcqRel) + 1;
+        assert!(count >= 2 && shared.fired[0].swap(true, Ordering::AcqRel));
+    }
+}

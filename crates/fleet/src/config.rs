@@ -1,7 +1,11 @@
-//! Fleet topology: which clusters to host, under which discipline.
+//! Fleet topology: which clusters to host, under which discipline, and
+//! the fleet-wide resilience knobs (supervision budget, checkpoint ring,
+//! chaos schedule).
 
-use helios_sim::{FaultConfig, KernelConfig, Placement, Policy};
-use helios_trace::ClusterId;
+use crate::chaos::ChaosConfig;
+use crate::checkpoint::CheckpointConfig;
+use helios_sim::{ByteReader, FaultConfig, KernelConfig, Placement, Policy};
+use helios_trace::{ClusterId, HeliosResult};
 
 /// The five cluster presets a default fleet hosts — the four Helios
 /// datacenters of Table 1 plus the Philly comparison cluster.
@@ -17,6 +21,54 @@ pub const FLEET_PRESETS: [ClusterId; 5] = [
 /// a steady producer never blocks, shallow enough that a stalled worker
 /// surfaces as backpressure within one admission cycle.
 pub const DEFAULT_SHARD_CAPACITY: usize = 4_096;
+
+/// Default supervisor restart budget per worker: panics beyond this
+/// count mark the cluster [`Crashed`](crate::WorkerState::Crashed).
+pub const DEFAULT_MAX_RESTARTS: u32 = 8;
+
+/// Stable wire code of a cluster id, shared by the `HELFLEET` frame and
+/// the on-disk checkpoint headers.
+pub(crate) fn cluster_code(c: ClusterId) -> u8 {
+    match c {
+        ClusterId::Venus => 0,
+        ClusterId::Earth => 1,
+        ClusterId::Saturn => 2,
+        ClusterId::Uranus => 3,
+        ClusterId::Philly => 4,
+    }
+}
+
+pub(crate) fn cluster_from(code: u8, r: &ByteReader<'_>) -> HeliosResult<ClusterId> {
+    Ok(match code {
+        0 => ClusterId::Venus,
+        1 => ClusterId::Earth,
+        2 => ClusterId::Saturn,
+        3 => ClusterId::Uranus,
+        4 => ClusterId::Philly,
+        other => return Err(r.err(format!("unknown cluster code {other}"))),
+    })
+}
+
+/// Stable wire code of a serializable policy, shared with the `HELFLEET`
+/// frame.
+pub(crate) fn policy_code(p: Policy) -> u8 {
+    match p {
+        Policy::Fifo => 0,
+        Policy::Sjf => 1,
+        Policy::Srtf => 2,
+        Policy::Priority => 3,
+    }
+}
+
+pub(crate) fn policy_from(code: u8, r: &ByteReader<'_>) -> HeliosResult<Policy> {
+    Ok(match code {
+        0 => Policy::Fifo,
+        1 => Policy::Sjf,
+        2 => Policy::Srtf,
+        3 => Policy::Priority,
+        other => return Err(r.err(format!("unknown policy code {other}"))),
+    })
+}
 
 /// One hosted cluster: the preset and its scheduling discipline. The
 /// fleet restricts policies to the serializable [`Policy`] table so a
@@ -75,6 +127,14 @@ pub struct FleetConfig {
     /// Bound of every per-VC ingestion shard (jobs); see
     /// [`DEFAULT_SHARD_CAPACITY`].
     pub shard_capacity: usize,
+    /// Auto-checkpointing knobs shared by every worker (cadence, ring
+    /// bound, optional disk mirror).
+    pub checkpoint: CheckpointConfig,
+    /// Supervisor restart budget per worker; see [`DEFAULT_MAX_RESTARTS`].
+    pub max_restarts: u32,
+    /// Optional deterministic failure-injection schedule, applied to
+    /// every worker (`None` in production topologies).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl FleetConfig {
@@ -84,6 +144,9 @@ impl FleetConfig {
         FleetConfig {
             clusters: Vec::new(),
             shard_capacity: DEFAULT_SHARD_CAPACITY,
+            checkpoint: CheckpointConfig::default(),
+            max_restarts: DEFAULT_MAX_RESTARTS,
+            chaos: None,
         }
     }
 
@@ -95,7 +158,7 @@ impl FleetConfig {
                 .iter()
                 .map(|&c| ClusterConfig::new(c, policy))
                 .collect(),
-            shard_capacity: DEFAULT_SHARD_CAPACITY,
+            ..Self::new()
         }
     }
 
@@ -108,6 +171,26 @@ impl FleetConfig {
     /// Override the per-VC ingestion shard bound.
     pub fn with_shard_capacity(mut self, capacity: usize) -> Self {
         self.shard_capacity = capacity;
+        self
+    }
+
+    /// Override the auto-checkpointing knobs (cadence, ring bound,
+    /// optional disk mirror) shared by every worker.
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = checkpoint;
+        self
+    }
+
+    /// Override the per-worker supervisor restart budget. `0` disables
+    /// restarts: the first caught panic marks the cluster crashed.
+    pub fn with_max_restarts(mut self, budget: u32) -> Self {
+        self.max_restarts = budget;
+        self
+    }
+
+    /// Attach a deterministic chaos schedule to every worker.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 }

@@ -40,6 +40,22 @@
 //!   state, pending queues) into one versioned binary frame;
 //!   [`Fleet::restore`] rebuilds the fleet so the resumed run produces
 //!   **byte-identical** downstream outcomes.
+//! * **Self-healing** (PR 8): every worker command runs under panic
+//!   isolation. An auto-[`CheckpointConfig`] ring plus an admission
+//!   journal lets the supervisor restore the last good generation and
+//!   replay every accepted job after a caught panic — recovered streams
+//!   stay byte-identical, already-delivered outcomes are never
+//!   re-delivered, and a corrupt newest generation falls back to the
+//!   previous one. Exhausting the restart budget degrades the cluster to
+//!   a typed
+//!   [`HeliosError::WorkerCrashed`](helios_trace::HeliosError::WorkerCrashed)
+//!   instead of poisoning the fleet; [`Fleet::statuses`] stays
+//!   infallible and reports per-cluster [`FleetHealth`]. Producers
+//!   absorb backpressure with [`Fleet::submit_with_retry`]
+//!   ([`RetryConfig`]: seeded jittered exponential backoff +
+//!   deadline), whole-process death recovers via [`Fleet::recover`]
+//!   from the on-disk ring, and the deterministic [`ChaosConfig`]
+//!   harness drives the resilience test suites.
 //!
 //! ```no_run
 //! use helios_fleet::{Fleet, FleetConfig};
@@ -60,11 +76,19 @@
 //! # Ok::<(), helios_trace::HeliosError>(())
 //! ```
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod config;
+pub mod retry;
 pub mod service;
 pub mod status;
 mod worker;
 
-pub use config::{ClusterConfig, FleetConfig, DEFAULT_SHARD_CAPACITY, FLEET_PRESETS};
+pub use chaos::ChaosConfig;
+pub use checkpoint::{CheckpointConfig, CHECKPOINT_MAGIC, CHECKPOINT_VERSION, JOURNAL_MAGIC};
+pub use config::{
+    ClusterConfig, FleetConfig, DEFAULT_MAX_RESTARTS, DEFAULT_SHARD_CAPACITY, FLEET_PRESETS,
+};
+pub use retry::RetryConfig;
 pub use service::{Fleet, FLEET_SNAPSHOT_MAGIC, FLEET_SNAPSHOT_VERSION};
-pub use status::{ClusterStatus, VcStatus};
+pub use status::{ClusterStatus, FleetHealth, VcStatus, WorkerState};

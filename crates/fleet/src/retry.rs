@@ -1,0 +1,142 @@
+//! Client-side resilience: seeded, jittered exponential backoff for
+//! [`Fleet::submit_with_retry`](crate::Fleet::submit_with_retry).
+//!
+//! Only [`HeliosError::FleetOverflow`](helios_trace::HeliosError) — the
+//! transient backpressure signal — is retried; every other error (bad
+//! job, unknown cluster, crashed worker) propagates immediately. Jitter
+//! comes from the workspace's stock splitmix64 mixer, so a given
+//! `(seed, job id)` pair always sleeps the same schedule: resilience
+//! tests stay deterministic.
+
+use crate::chaos::splitmix64;
+use helios_trace::{HeliosError, HeliosResult};
+use std::time::Duration;
+
+/// Backoff schedule of one [`Fleet::submit_with_retry`] call.
+///
+/// Attempt `n` (0-based) sleeps `min(base_backoff << n, max_backoff)`
+/// scaled by a jitter factor in `[0.5, 1.0)`; retries stop when the next
+/// sleep would cross `deadline` (measured from the first attempt), and
+/// the last [`FleetOverflow`](helios_trace::HeliosError::FleetOverflow)
+/// is returned.
+///
+/// [`Fleet::submit_with_retry`]: crate::Fleet::submit_with_retry
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryConfig {
+    /// First sleep, before exponential growth (default 1 ms).
+    pub base_backoff: Duration,
+    /// Ceiling of any single sleep (default 50 ms).
+    pub max_backoff: Duration,
+    /// Total time budget measured from the first attempt (default 2 s).
+    pub deadline: Duration,
+    /// Jitter seed; combined with the job id so concurrent producers
+    /// sharing one config do not sleep in lock-step.
+    pub seed: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            deadline: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Default schedule under a specific jitter seed.
+    pub fn seeded(seed: u64) -> Self {
+        RetryConfig {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Override the first sleep.
+    pub fn base_backoff(mut self, d: Duration) -> Self {
+        self.base_backoff = d;
+        self
+    }
+
+    /// Override the per-sleep ceiling.
+    pub fn max_backoff(mut self, d: Duration) -> Self {
+        self.max_backoff = d;
+        self
+    }
+
+    /// Override the total time budget.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = d;
+        self
+    }
+
+    /// Reject schedules that cannot make progress.
+    pub fn validate(&self) -> HeliosResult<()> {
+        if self.base_backoff.is_zero() {
+            return Err(HeliosError::invalid_config(
+                "retry.base_backoff",
+                "backoff needs a non-zero base sleep",
+            ));
+        }
+        if self.max_backoff < self.base_backoff {
+            return Err(HeliosError::invalid_config(
+                "retry.max_backoff",
+                "per-sleep ceiling is below the base sleep",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The sleep before retry `attempt` (0-based) for the producer
+    /// stream salted by `salt` (the job id): capped exponential growth
+    /// scaled by a deterministic jitter factor in `[0.5, 1.0)`.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(attempt.min(31)).unwrap_or(u32::MAX))
+            .min(self.max_backoff);
+        let mix = splitmix64(self.seed ^ salt.rotate_left(17) ^ ((attempt as u64) << 48));
+        let frac = (mix >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        exp.mul_f64(0.5 + 0.5 * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_is_capped_and_jittered_deterministically() {
+        let cfg = RetryConfig::seeded(42)
+            .base_backoff(Duration::from_millis(2))
+            .max_backoff(Duration::from_millis(16));
+        cfg.validate().expect("sane schedule");
+        // Deterministic for a fixed (seed, salt, attempt)...
+        assert_eq!(cfg.backoff(0, 7), cfg.backoff(0, 7));
+        // ...different across salts and seeds...
+        assert_ne!(cfg.backoff(0, 7), cfg.backoff(0, 8));
+        assert_ne!(cfg.backoff(0, 7), RetryConfig::seeded(43).backoff(0, 7));
+        // ...within the jittered envelope [exp/2, exp)...
+        for attempt in 0..8 {
+            let exp = Duration::from_millis(2)
+                .saturating_mul(1 << attempt)
+                .min(Duration::from_millis(16));
+            let d = cfg.backoff(attempt, 99);
+            assert!(d >= exp / 2 && d < exp, "attempt {attempt}: {d:?}");
+        }
+        // ...and immune to shift overflow at absurd attempt counts.
+        assert!(cfg.backoff(u32::MAX, 0) <= Duration::from_millis(16));
+    }
+
+    #[test]
+    fn degenerate_schedules_are_rejected() {
+        let zero = RetryConfig::default().base_backoff(Duration::ZERO);
+        assert!(zero.validate().is_err());
+        let inverted = RetryConfig::default()
+            .base_backoff(Duration::from_millis(10))
+            .max_backoff(Duration::from_millis(1));
+        assert!(inverted.validate().is_err());
+    }
+}

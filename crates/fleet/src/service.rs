@@ -1,13 +1,19 @@
 //! The [`Fleet`] service: concurrent hosted clusters, sharded ingestion,
 //! live queries, and versioned whole-fleet snapshot/restore.
 
-use crate::config::{ClusterConfig, FleetConfig};
-use crate::status::ClusterStatus;
-use crate::worker::{lock, spawn_worker, worker_died, Ctrl, Worker};
-use helios_sim::{validate_job, ByteReader, ByteWriter, JobOutcome, Policy, SimJob, SimSnapshot};
+use crate::checkpoint::{self, CheckpointConfig};
+use crate::config::{
+    cluster_code, cluster_from, policy_code, policy_from, ClusterConfig, FleetConfig,
+    DEFAULT_MAX_RESTARTS,
+};
+use crate::retry::RetryConfig;
+use crate::status::{ClusterStatus, WorkerState};
+use crate::worker::{lock, spawn_worker, Boot, Ctrl, RuntimeOpts, Worker};
+use helios_sim::{validate_job, ByteReader, ByteWriter, JobOutcome, SimJob, SimSnapshot};
 use helios_trace::{preset, ClusterId, HeliosError, HeliosResult};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::time::Instant;
 
 /// Magic prefix of a serialized fleet snapshot frame.
 pub const FLEET_SNAPSHOT_MAGIC: [u8; 8] = *b"HELFLEET";
@@ -42,31 +48,53 @@ impl Fleet {
     /// with a fresh kernel. Fails on an empty topology, a zero shard
     /// bound, or a duplicated cluster id.
     pub fn launch(config: &FleetConfig) -> HeliosResult<Fleet> {
-        if config.clusters.is_empty() {
-            return Err(HeliosError::empty_input(
-                "fleet clusters",
-                "FleetConfig lists no clusters to host",
-            ));
-        }
-        if config.shard_capacity == 0 {
-            return Err(HeliosError::invalid_config(
-                "shard_capacity",
-                "ingestion shards need capacity >= 1",
-            ));
-        }
-        for (i, c) in config.clusters.iter().enumerate() {
-            if config.clusters[..i].iter().any(|p| p.cluster == c.cluster) {
-                return Err(HeliosError::invalid_config(
-                    "clusters",
-                    format!("cluster {} is listed twice", c.cluster.name()),
-                ));
-            }
-        }
+        validate_topology(config)?;
         let workers = config
             .clusters
             .iter()
-            .map(|&cfg| spawn_worker(cfg, preset(cfg.cluster), config.shard_capacity, None))
+            .map(|&cfg| spawn_worker(cfg, preset(cfg.cluster), runtime_opts(config), Boot::Fresh))
             .collect::<HeliosResult<Vec<_>>>()?;
+        Ok(Fleet {
+            workers,
+            shard_capacity: config.shard_capacity,
+        })
+    }
+
+    /// Rebuild a fleet from the on-disk checkpoint rings a previous
+    /// process left under [`CheckpointConfig::dir`] — the
+    /// whole-process-death twin of the in-process supervisor restart.
+    ///
+    /// Every cluster in `config` restores its newest generation that
+    /// decodes cleanly (a corrupt or torn newest slot falls back to the
+    /// previous one) and replays its admission journal. Delivery
+    /// semantics differ from an in-process restart: delivered-outcome
+    /// counters die with the old process, so outcomes drained by it are
+    /// delivered *again* by the recovered fleet (at-least-once); dedupe
+    /// by job id downstream if the old process's drains were durable.
+    pub fn recover(config: &FleetConfig) -> HeliosResult<Fleet> {
+        validate_topology(config)?;
+        let dir = config.checkpoint.dir.as_deref().ok_or_else(|| {
+            HeliosError::invalid_config(
+                "checkpoint.dir",
+                "Fleet::recover needs the checkpoint directory the dead fleet wrote \
+                 (set CheckpointConfig::dir)",
+            )
+        })?;
+        let mut workers = Vec::with_capacity(config.clusters.len());
+        for &cfg in &config.clusters {
+            let (ring, resume_index) = checkpoint::load_ring(dir, cfg.cluster, &config.checkpoint)?;
+            let rec = checkpoint::recover_from(&ring, cfg.cluster.name())?;
+            workers.push(spawn_worker(
+                cfg,
+                preset(cfg.cluster),
+                runtime_opts(config),
+                Boot::Recover {
+                    snapshot: rec.snapshot,
+                    replay: rec.replay,
+                    resume_index,
+                },
+            )?);
+        }
         Ok(Fleet {
             workers,
             shard_capacity: config.shard_capacity,
@@ -105,15 +133,15 @@ impl Fleet {
     }
 
     fn send_ctrl(&self, w: &Worker, cmd: Ctrl) -> HeliosResult<()> {
-        w.ctrl
-            .as_ref()
-            .expect("control channel lives until shutdown")
-            .send(cmd)
-            .map_err(|_| worker_died(w.cfg.cluster.name()))
+        // `ctrl` is only `None` after shutdown took the workers, so a
+        // missing channel is the same condition as a closed one: this
+        // worker can no longer be commanded.
+        let ctrl = w.ctrl.as_ref().ok_or_else(|| w.died_err())?;
+        ctrl.send(cmd).map_err(|_| w.died_err())
     }
 
     fn recv_reply<T>(&self, w: &Worker, rx: &Receiver<T>) -> HeliosResult<T> {
-        rx.recv().map_err(|_| worker_died(w.cfg.cluster.name()))
+        rx.recv().map_err(|_| w.died_err())
     }
 
     /// Submit one job to a hosted cluster's ingestion shard (non-blocking).
@@ -125,6 +153,12 @@ impl Fleet {
     /// after the next [`Fleet::advance`] drains the shard.
     pub fn submit(&self, cluster: ClusterId, job: SimJob) -> HeliosResult<()> {
         let w = self.worker_for(cluster)?;
+        // A crashed worker's shard buffers may still accept sends for a
+        // moment while its thread tears down; refuse at the door so no
+        // job is silently swallowed by a dead cluster.
+        if w.health.state() == WorkerState::Crashed {
+            return Err(w.died_err());
+        }
         validate_job(&w.spec, &job).map_err(|e| e.for_cluster(cluster.name()))?;
         let vc = job.vc as usize;
         match w.shards[vc].try_send(job) {
@@ -138,7 +172,42 @@ impl Fleet {
                 vc: job.vc,
                 capacity: self.shard_capacity,
             }),
-            Err(TrySendError::Disconnected(_)) => Err(worker_died(cluster.name())),
+            Err(TrySendError::Disconnected(_)) => Err(w.died_err()),
+        }
+    }
+
+    /// [`Fleet::submit`] with seeded, jittered exponential backoff on
+    /// [`HeliosError::FleetOverflow`] — the transient backpressure
+    /// signal. Any other error propagates immediately; when `retry`'s
+    /// deadline would be crossed by the next sleep, the last overflow
+    /// error is returned. The jitter stream is a pure function of
+    /// `(retry.seed, job.id, attempt)`, so resilience tests are
+    /// deterministic.
+    ///
+    /// This blocks the calling thread between attempts; pair it with a
+    /// separate thread pumping [`Fleet::advance`], which is what drains
+    /// the shards and clears the overflow.
+    pub fn submit_with_retry(
+        &self,
+        cluster: ClusterId,
+        job: SimJob,
+        retry: &RetryConfig,
+    ) -> HeliosResult<()> {
+        retry.validate()?;
+        let started = Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            match self.submit(cluster, job) {
+                Err(e @ HeliosError::FleetOverflow { .. }) => {
+                    let delay = retry.backoff(attempt, job.id);
+                    if started.elapsed() + delay > retry.deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+                other => return other,
+            }
         }
     }
 
@@ -168,36 +237,50 @@ impl Fleet {
         self.recv_reply(w, &rx)?
     }
 
-    /// Live status of one hosted cluster, answered from shared memory:
-    /// the worker's last published kernel aggregates overlaid with the
-    /// current ingestion counters. Never waits on the worker.
-    pub fn status(&self, cluster: ClusterId) -> HeliosResult<ClusterStatus> {
-        let w = self.worker_for(cluster)?;
+    fn status_of(w: &Worker) -> ClusterStatus {
         let mut s = lock(&w.status).clone();
         s.submitted = w.submitted.load(Ordering::Acquire);
         s.pending_ingest = w.depths.iter().map(|d| d.load(Ordering::Acquire)).sum();
+        s.health = w.health.snapshot(s.now);
+        s
+    }
+
+    /// Live status of one hosted cluster, answered from shared memory:
+    /// the worker's last published kernel aggregates overlaid with the
+    /// current ingestion counters and supervision health. Never waits on
+    /// the worker. A cluster whose worker exhausted its restart budget
+    /// answers with the typed
+    /// [`HeliosError::WorkerCrashed`] instead of stale numbers; use
+    /// [`Fleet::statuses`] for the infallible degraded-mode view.
+    pub fn status(&self, cluster: ClusterId) -> HeliosResult<ClusterStatus> {
+        let w = self.worker_for(cluster)?;
+        let s = Self::status_of(w);
+        if s.health.state == WorkerState::Crashed {
+            return Err(w.died_err());
+        }
         Ok(s)
     }
 
-    /// [`Fleet::status`] for every hosted cluster, in configuration order.
+    /// [`Fleet::status`] for every hosted cluster, in configuration
+    /// order — infallible by design: a crashed worker still reports its
+    /// last published aggregates with
+    /// [`health.state`](crate::FleetHealth) set to
+    /// [`WorkerState::Crashed`], so dashboards keep rendering a degraded
+    /// fleet.
     pub fn statuses(&self) -> Vec<ClusterStatus> {
-        self.workers
-            .iter()
-            .map(|w| {
-                let mut s = lock(&w.status).clone();
-                s.submitted = w.submitted.load(Ordering::Acquire);
-                s.pending_ingest = w.depths.iter().map(|d| d.load(Ordering::Acquire)).sum();
-                s
-            })
-            .collect()
+        self.workers.iter().map(Self::status_of).collect()
     }
 
     /// Surrender the finished-job outcomes one cluster has accumulated.
+    ///
+    /// Exactly-once across supervisor restarts: outcomes a crash-replay
+    /// re-produces are suppressed, so no job outcome is ever delivered
+    /// twice by one fleet process.
     pub fn drain(&self, cluster: ClusterId) -> HeliosResult<Vec<JobOutcome>> {
         let w = self.worker_for(cluster)?;
         let (tx, rx) = mpsc::sync_channel(1);
         self.send_ctrl(w, Ctrl::Drain { done: tx })?;
-        self.recv_reply(w, &rx)
+        self.recv_reply(w, &rx)?
     }
 
     /// Checkpoint the whole fleet into one versioned binary frame.
@@ -273,11 +356,20 @@ impl Fleet {
                 // restored worker must not re-enable injection on top.
                 faults: snap.fault.as_ref().map(|f| f.cfg),
             };
+            // The frame predates the runtime knobs (version 1 carries
+            // topology only): a restored fleet runs with default
+            // supervision and in-memory checkpointing, no chaos.
+            let runtime = RuntimeOpts {
+                shard_capacity,
+                checkpoint: CheckpointConfig::default(),
+                chaos: None,
+                max_restarts: DEFAULT_MAX_RESTARTS,
+            };
             workers.push(spawn_worker(
                 cfg,
                 preset(cluster),
-                shard_capacity,
-                Some(snap),
+                runtime,
+                Boot::Restore(snap),
             )?);
         }
         if r.remaining() != 0 {
@@ -332,42 +424,39 @@ impl Drop for Fleet {
     }
 }
 
-fn cluster_code(c: ClusterId) -> u8 {
-    match c {
-        ClusterId::Venus => 0,
-        ClusterId::Earth => 1,
-        ClusterId::Saturn => 2,
-        ClusterId::Uranus => 3,
-        ClusterId::Philly => 4,
+/// Shared validation of [`Fleet::launch`] and [`Fleet::recover`]
+/// topologies.
+fn validate_topology(config: &FleetConfig) -> HeliosResult<()> {
+    if config.clusters.is_empty() {
+        return Err(HeliosError::empty_input(
+            "fleet clusters",
+            "FleetConfig lists no clusters to host",
+        ));
     }
-}
-
-fn cluster_from(code: u8, r: &ByteReader<'_>) -> HeliosResult<ClusterId> {
-    Ok(match code {
-        0 => ClusterId::Venus,
-        1 => ClusterId::Earth,
-        2 => ClusterId::Saturn,
-        3 => ClusterId::Uranus,
-        4 => ClusterId::Philly,
-        other => return Err(r.err(format!("unknown cluster code {other}"))),
-    })
-}
-
-fn policy_code(p: Policy) -> u8 {
-    match p {
-        Policy::Fifo => 0,
-        Policy::Sjf => 1,
-        Policy::Srtf => 2,
-        Policy::Priority => 3,
+    if config.shard_capacity == 0 {
+        return Err(HeliosError::invalid_config(
+            "shard_capacity",
+            "ingestion shards need capacity >= 1",
+        ));
     }
+    config.checkpoint.validate()?;
+    for (i, c) in config.clusters.iter().enumerate() {
+        if config.clusters[..i].iter().any(|p| p.cluster == c.cluster) {
+            return Err(HeliosError::invalid_config(
+                "clusters",
+                format!("cluster {} is listed twice", c.cluster.name()),
+            ));
+        }
+    }
+    Ok(())
 }
 
-fn policy_from(code: u8, r: &ByteReader<'_>) -> HeliosResult<Policy> {
-    Ok(match code {
-        0 => Policy::Fifo,
-        1 => Policy::Sjf,
-        2 => Policy::Srtf,
-        3 => Policy::Priority,
-        other => return Err(r.err(format!("unknown policy code {other}"))),
-    })
+/// The per-worker runtime knobs a [`FleetConfig`] implies.
+fn runtime_opts(config: &FleetConfig) -> RuntimeOpts {
+    RuntimeOpts {
+        shard_capacity: config.shard_capacity,
+        checkpoint: config.checkpoint.clone(),
+        chaos: config.chaos.clone(),
+        max_restarts: config.max_restarts,
+    }
 }

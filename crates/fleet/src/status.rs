@@ -3,6 +3,56 @@
 
 use helios_trace::{ClusterId, ClusterSpec};
 
+/// Supervision state of one hosted cluster's worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkerState {
+    /// Serving normally.
+    #[default]
+    Healthy,
+    /// A panic was caught; the supervisor is restoring the last good
+    /// checkpoint and replaying the admission journal.
+    Recovering,
+    /// The restart budget is exhausted (or no retained generation
+    /// decodes): the cluster is served in degraded mode — stale status,
+    /// no admission — until the fleet is relaunched or recovered.
+    Crashed,
+}
+
+/// Degraded-mode health of one hosted cluster, overlaid onto
+/// [`ClusterStatus`] at query time. [`Fleet::statuses`] stays infallible
+/// so an operator dashboard keeps rendering while a worker is down;
+/// [`Fleet::status`] instead surfaces a crashed worker as the typed
+/// [`HeliosError::WorkerCrashed`](helios_trace::HeliosError::WorkerCrashed).
+///
+/// [`Fleet::statuses`]: crate::Fleet::statuses
+/// [`Fleet::status`]: crate::Fleet::status
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FleetHealth {
+    /// Supervision state.
+    pub state: WorkerState,
+    /// Supervisor restarts performed since launch.
+    pub restarts: u32,
+    /// Index of the newest retained checkpoint generation.
+    pub checkpoint_generation: u64,
+    /// Virtual-clock age of the newest checkpoint in seconds
+    /// (`now - checkpoint clock`, floored at 0; 0 before any activity).
+    pub checkpoint_age_secs: i64,
+    /// Jobs journaled since the newest checkpoint — the replay cost of a
+    /// crash right now.
+    pub journal_len: usize,
+    /// Corrupt/undecodable generations skipped across all recoveries.
+    pub fallbacks: u32,
+    /// Wall-clock time spent in recovery since launch, seconds.
+    pub recovery_secs_total: f64,
+    /// Checkpoint generations written since launch (including the launch
+    /// generation and post-recovery re-baselines).
+    pub checkpoint_writes: u64,
+    /// Wall-clock time spent writing checkpoints (serialization + disk
+    /// mirror), seconds; divide by [`checkpoint_writes`](Self::checkpoint_writes)
+    /// for the mean write latency.
+    pub checkpoint_write_secs_total: f64,
+}
+
 /// One virtual cluster's live state inside a [`ClusterStatus`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct VcStatus {
@@ -82,6 +132,9 @@ pub struct ClusterStatus {
     pub failures: u64,
     /// Per-VC breakdown, in VC order.
     pub vcs: Vec<VcStatus>,
+    /// Supervision health (restart counts, checkpoint age), overlaid at
+    /// query time like the ingestion counters.
+    pub health: FleetHealth,
 }
 
 impl ClusterStatus {
@@ -111,6 +164,7 @@ impl ClusterStatus {
                     queued_work: 0.0,
                 })
                 .collect(),
+            health: FleetHealth::default(),
         }
     }
 

@@ -2,15 +2,29 @@
 //! control commands — batched admission, horizon pumping, outcome
 //! draining, snapshotting — while publishing live status to shared
 //! memory after every command.
+//!
+//! Since PR 8 every command executes under panic isolation
+//! (`catch_unwind`): a panicking kernel no longer kills the thread.
+//! The supervisor restores the newest clean checkpoint generation,
+//! replays the admission journal, suppresses already-delivered
+//! outcomes, and retries the interrupted command — so the recovered
+//! stream is byte-identical to an uninterrupted one. Only when the
+//! restart budget is exhausted (or no retained generation decodes) does
+//! the worker enter the terminal `Crashed` state, answer the pending
+//! command with [`HeliosError::WorkerCrashed`], and exit.
 
+use crate::chaos::{ChaosConfig, ChaosObserver, ChaosShared};
+use crate::checkpoint::{CheckpointConfig, CheckpointManager};
 use crate::config::ClusterConfig;
-use crate::status::{ClusterStatus, VcStatus};
+use crate::status::{ClusterStatus, FleetHealth, VcStatus, WorkerState};
 use helios_sim::{ClusterView, JobOutcome, SimEvent, SimJob, SimObserver, SimSnapshot, Simulator};
 use helios_trace::{ClusterId, ClusterSpec, HeliosError, HeliosResult};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 /// Commands the fleet sends to a worker. Every command carries a
 /// single-use reply channel; the worker answers after acting and then
@@ -23,7 +37,9 @@ pub(crate) enum Ctrl {
         done: SyncSender<HeliosResult<u64>>,
     },
     /// Surrender finished-job outcomes accumulated so far.
-    Drain { done: SyncSender<Vec<JobOutcome>> },
+    Drain {
+        done: SyncSender<HeliosResult<Vec<JobOutcome>>>,
+    },
     /// Admit pending ingest (so the blob captures every accepted
     /// submission), then serialize full kernel state.
     Snapshot {
@@ -34,6 +50,127 @@ pub(crate) enum Ctrl {
     Complete {
         done: SyncSender<HeliosResult<Vec<JobOutcome>>>,
     },
+}
+
+/// Worker-side runtime knobs shared by every boot mode.
+#[derive(Clone)]
+pub(crate) struct RuntimeOpts {
+    pub shard_capacity: usize,
+    pub checkpoint: CheckpointConfig,
+    pub chaos: Option<ChaosConfig>,
+    pub max_restarts: u32,
+}
+
+/// How a worker's kernel comes to life.
+pub(crate) enum Boot {
+    /// A fresh kernel from the cluster config.
+    Fresh,
+    /// Restore a manual [`Fleet::snapshot`](crate::Fleet::snapshot) blob.
+    Restore(SimSnapshot),
+    /// Rebuild from an on-disk checkpoint ring: restore `snapshot`,
+    /// replay `replay`, and continue generation indices at
+    /// `resume_index`.
+    Recover {
+        snapshot: SimSnapshot,
+        replay: Vec<SimJob>,
+        resume_index: u64,
+    },
+}
+
+/// Lock-free supervision telemetry shared between a worker (writer) and
+/// the fleet handle (reader); queries never wait on the worker thread.
+pub(crate) struct HealthCell {
+    state: AtomicU8,
+    restarts: AtomicU32,
+    fallbacks: AtomicU32,
+    ckpt_generation: AtomicU64,
+    ckpt_clock: AtomicI64,
+    journal_len: AtomicUsize,
+    recovery_nanos: AtomicU64,
+    ckpt_writes: AtomicU64,
+    ckpt_write_nanos: AtomicU64,
+}
+
+impl HealthCell {
+    fn new() -> Arc<Self> {
+        Arc::new(HealthCell {
+            state: AtomicU8::new(0),
+            restarts: AtomicU32::new(0),
+            fallbacks: AtomicU32::new(0),
+            ckpt_generation: AtomicU64::new(0),
+            ckpt_clock: AtomicI64::new(i64::MIN),
+            journal_len: AtomicUsize::new(0),
+            recovery_nanos: AtomicU64::new(0),
+            ckpt_writes: AtomicU64::new(0),
+            ckpt_write_nanos: AtomicU64::new(0),
+        })
+    }
+
+    pub fn state(&self) -> WorkerState {
+        match self.state.load(Ordering::Acquire) {
+            0 => WorkerState::Healthy,
+            1 => WorkerState::Recovering,
+            _ => WorkerState::Crashed,
+        }
+    }
+
+    fn set_state(&self, s: WorkerState) {
+        let code = match s {
+            WorkerState::Healthy => 0,
+            WorkerState::Recovering => 1,
+            WorkerState::Crashed => 2,
+        };
+        self.state.store(code, Ordering::Release);
+    }
+
+    pub fn restarts(&self) -> u32 {
+        self.restarts.load(Ordering::Acquire)
+    }
+
+    fn bump_restarts(&self) -> u32 {
+        self.restarts.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    fn add_fallbacks(&self, n: u32) {
+        self.fallbacks.fetch_add(n, Ordering::AcqRel);
+    }
+
+    fn set_checkpoint(&self, generation: u64, clock: i64, journal_len: usize) {
+        self.ckpt_generation.store(generation, Ordering::Release);
+        self.ckpt_clock.store(clock, Ordering::Release);
+        self.journal_len.store(journal_len, Ordering::Release);
+    }
+
+    fn add_recovery_nanos(&self, nanos: u64) {
+        self.recovery_nanos.fetch_add(nanos, Ordering::AcqRel);
+    }
+
+    fn set_write_stats(&self, writes: u64, nanos: u64) {
+        self.ckpt_writes.store(writes, Ordering::Release);
+        self.ckpt_write_nanos.store(nanos, Ordering::Release);
+    }
+
+    /// Assemble the query-time [`FleetHealth`] against the cluster's
+    /// published virtual clock.
+    pub fn snapshot(&self, now: i64) -> FleetHealth {
+        let clock = self.ckpt_clock.load(Ordering::Acquire);
+        let checkpoint_age_secs = if clock == i64::MIN || now == i64::MIN {
+            0
+        } else {
+            (now - clock).max(0)
+        };
+        FleetHealth {
+            state: self.state(),
+            restarts: self.restarts(),
+            checkpoint_generation: self.ckpt_generation.load(Ordering::Acquire),
+            checkpoint_age_secs,
+            journal_len: self.journal_len.load(Ordering::Acquire),
+            fallbacks: self.fallbacks.load(Ordering::Acquire),
+            recovery_secs_total: self.recovery_nanos.load(Ordering::Acquire) as f64 / 1e9,
+            checkpoint_writes: self.ckpt_writes.load(Ordering::Acquire),
+            checkpoint_write_secs_total: self.ckpt_write_nanos.load(Ordering::Acquire) as f64 / 1e9,
+        }
+    }
 }
 
 /// The fleet-side handle of one hosted cluster.
@@ -50,7 +187,26 @@ pub(crate) struct Worker {
     pub ctrl: Option<Sender<Ctrl>>,
     /// Last status the worker published.
     pub status: Arc<Mutex<ClusterStatus>>,
+    /// Shared supervision telemetry.
+    pub health: Arc<HealthCell>,
     pub handle: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    /// The typed error for a worker that can no longer answer: the
+    /// supervised [`HeliosError::WorkerCrashed`] when the health cell
+    /// says the restart budget is spent, else the generic channel-death
+    /// error (the thread was torn down outside the supervisor's watch).
+    pub fn died_err(&self) -> HeliosError {
+        if self.health.state() == WorkerState::Crashed {
+            HeliosError::WorkerCrashed {
+                cluster: self.cfg.cluster.name().to_string(),
+                restarts: self.health.restarts(),
+            }
+        } else {
+            worker_died(self.cfg.cluster.name())
+        }
+    }
 }
 
 /// Lock that shrugs off poisoning: a panicking worker must not turn
@@ -104,90 +260,186 @@ impl SimObserver for QueuedWorkTracker {
     }
 }
 
-/// Launch one worker thread. `snap` switches the kernel between a fresh
-/// launch and a snapshot restore; either way the thread reports
-/// construction success/failure through a one-shot channel before this
-/// function returns, so a bad snapshot fails `Fleet::restore` eagerly.
+/// Everything a worker's command handlers and supervisor share.
+struct WorkerCtx {
+    cfg: ClusterConfig,
+    spec: ClusterSpec,
+    shards: Vec<Receiver<SimJob>>,
+    depths: Vec<Arc<AtomicUsize>>,
+    status: Arc<Mutex<ClusterStatus>>,
+    work: Arc<Mutex<Vec<f64>>>,
+    health: Arc<HealthCell>,
+    chaos: Option<(ChaosConfig, Arc<ChaosShared>)>,
+    max_restarts: u32,
+    /// Admission cycles served (1-based; chaos stall schedule keys off
+    /// it).
+    cycle: u64,
+    /// Recovered-and-replayed outcomes already delivered before the last
+    /// crash: the next drains drop this many leading outcomes.
+    suppress: u64,
+    batch: Vec<SimJob>,
+}
+
+/// Build (or rebuild) this worker's kernel for a boot mode.
+fn build_sim(
+    cfg: &ClusterConfig,
+    spec: &ClusterSpec,
+    boot: &Boot,
+) -> HeliosResult<Simulator<'static>> {
+    match boot {
+        Boot::Fresh => {
+            let mut sim = Simulator::with_config(spec, cfg.policy.build(), &cfg.kernel());
+            if let Some(faults) = cfg.faults {
+                sim.enable_faults(&faults)?;
+            }
+            Ok(sim)
+        }
+        // The snapshot carries kernel knobs and failure-model state, so
+        // a restored kernel replays the identical sequence without
+        // consulting `cfg` again.
+        Boot::Restore(s) | Boot::Recover { snapshot: s, .. } => {
+            Simulator::restore(spec, cfg.policy.build(), s)
+        }
+    }
+}
+
+/// Re-seed the queued-work tracker and re-attach observers. Snapshots
+/// don't carry observer state: the tracker's canonical value is the
+/// restored queues; the chaos observer re-joins its *shared* counter so
+/// trip-once semantics survive the restart.
+fn attach_observers(sim: &mut Simulator<'static>, ctx: &WorkerCtx, snap: Option<&SimSnapshot>) {
+    {
+        let mut seeded = lock(&ctx.work);
+        seeded.iter_mut().for_each(|w| *w = 0.0);
+        if let Some(s) = snap {
+            for (vc, vs) in s.vcs.iter().enumerate() {
+                seeded[vc] = vs
+                    .queue
+                    .iter()
+                    .map(|&(_, _, idx)| predicted_work(&s.jobs[idx as usize].job))
+                    .sum();
+            }
+        }
+    }
+    sim.observe(Box::new(QueuedWorkTracker(Arc::clone(&ctx.work))));
+    if let Some((chaos_cfg, shared)) = &ctx.chaos {
+        sim.observe(Box::new(ChaosObserver::new(
+            chaos_cfg,
+            Arc::clone(shared),
+            ctx.cfg.cluster.name(),
+        )));
+    }
+}
+
+/// Launch one worker thread. `boot` switches the kernel between a fresh
+/// launch, a snapshot restore, and a disk recovery; either way the
+/// thread reports construction success/failure through a one-shot
+/// channel before this function returns, so a bad snapshot fails
+/// `Fleet::restore` / `Fleet::recover` eagerly.
 pub(crate) fn spawn_worker(
     cfg: ClusterConfig,
     spec: ClusterSpec,
-    shard_capacity: usize,
-    snap: Option<SimSnapshot>,
+    runtime: RuntimeOpts,
+    boot: Boot,
 ) -> HeliosResult<Worker> {
     let nvcs = spec.vcs.len();
     let mut shard_txs = Vec::with_capacity(nvcs);
     let mut shard_rxs = Vec::with_capacity(nvcs);
     for _ in 0..nvcs {
-        let (tx, rx) = mpsc::sync_channel(shard_capacity);
+        let (tx, rx) = mpsc::sync_channel(runtime.shard_capacity);
         shard_txs.push(tx);
         shard_rxs.push(rx);
     }
     let depths: Vec<Arc<AtomicUsize>> = (0..nvcs).map(|_| Arc::new(AtomicUsize::new(0))).collect();
-    let submitted = Arc::new(AtomicU64::new(
-        snap.as_ref().map_or(0, |s| s.jobs.len() as u64),
-    ));
+    let submitted = Arc::new(AtomicU64::new(match &boot {
+        Boot::Fresh => 0,
+        Boot::Restore(s) => s.jobs.len() as u64,
+        Boot::Recover {
+            snapshot, replay, ..
+        } => (snapshot.jobs.len() + replay.len()) as u64,
+    }));
     let (ctrl_tx, ctrl_rx) = mpsc::channel();
     let status = Arc::new(Mutex::new(ClusterStatus::empty(&spec, cfg.cluster)));
+    let health = HealthCell::new();
     let (ready_tx, ready_rx) = mpsc::sync_channel::<HeliosResult<()>>(1);
 
     let thread_spec = spec.clone();
     let thread_status = Arc::clone(&status);
     let thread_depths = depths.clone();
+    let thread_health = Arc::clone(&health);
     let handle = thread::Builder::new()
         .name(format!("helios-fleet-{}", spec.id.name()))
         .spawn(move || {
             // The Simulator is built (or restored) here, on its worker
             // thread, and never crosses a thread boundary afterwards.
-            let built = match &snap {
-                // The snapshot carries the failure-model state, so a
-                // restored kernel replays the identical failure sequence
-                // without consulting `cfg.faults` again.
-                Some(s) => Simulator::restore(&thread_spec, cfg.policy.build(), s),
-                None => {
-                    let mut sim =
-                        Simulator::with_config(&thread_spec, cfg.policy.build(), &cfg.kernel());
-                    match cfg.faults {
-                        Some(faults) => sim.enable_faults(&faults).map(|()| sim),
-                        None => Ok(sim),
-                    }
-                }
-            };
-            let mut sim = match built {
+            let mut sim = match build_sim(&cfg, &thread_spec, &boot) {
                 Ok(sim) => sim,
                 Err(e) => {
                     let _ = ready_tx.send(Err(e));
                     return;
                 }
             };
-            let work = Arc::new(Mutex::new(vec![0.0; thread_spec.vcs.len()]));
-            if let Some(s) = &snap {
-                // Snapshots don't carry observer state; re-seed the
-                // queued-work tracker from the restored queues, which is
-                // its canonical value.
-                let mut seeded = lock(&work);
-                for (vc, vs) in s.vcs.iter().enumerate() {
-                    seeded[vc] = vs
-                        .queue
-                        .iter()
-                        .map(|&(_, _, idx)| predicted_work(&s.jobs[idx as usize].job))
-                        .sum();
+            let (boot_snap, resume_index) = match &boot {
+                Boot::Fresh => (None, 0),
+                Boot::Restore(s) => (Some(s), 0),
+                Boot::Recover {
+                    snapshot,
+                    replay,
+                    resume_index,
+                } => {
+                    if !replay.is_empty() {
+                        if let Err(e) = sim.push_jobs(replay) {
+                            let _ = ready_tx.send(Err(e));
+                            return;
+                        }
+                    }
+                    (Some(snapshot), *resume_index)
                 }
-            }
-            sim.observe(Box::new(QueuedWorkTracker(Arc::clone(&work))));
-            publish(&thread_status, cfg.cluster, &sim, &lock(&work));
+            };
+            let mut ctx = WorkerCtx {
+                spec: thread_spec.clone(),
+                shards: shard_rxs,
+                depths: thread_depths,
+                status: thread_status,
+                work: Arc::new(Mutex::new(vec![0.0; thread_spec.vcs.len()])),
+                health: thread_health,
+                chaos: runtime
+                    .chaos
+                    .as_ref()
+                    .map(|c| (c.clone(), ChaosShared::new(c))),
+                max_restarts: runtime.max_restarts,
+                cycle: 0,
+                suppress: 0,
+                batch: Vec::new(),
+                cfg,
+            };
+            attach_observers(&mut sim, &ctx, boot_snap);
+            // The launch generation guarantees the supervisor always has
+            // at least one checkpoint to restore — a panic on the very
+            // first cycle recovers to the just-booted state.
+            let mut manager = match CheckpointManager::new(
+                ctx.cfg.cluster,
+                runtime.checkpoint.clone(),
+                resume_index,
+                sim.snapshot().to_bytes(),
+                sim.now(),
+            ) {
+                Ok(m) => m,
+                Err(e) => {
+                    let _ = ready_tx.send(Err(e));
+                    return;
+                }
+            };
+            ctx.health
+                .set_checkpoint(manager.newest_index(), manager.newest_clock(), 0);
+            let (writes, nanos) = manager.write_stats();
+            ctx.health.set_write_stats(writes, nanos);
+            publish(&ctx.status, ctx.cfg.cluster, &sim, &lock(&ctx.work));
             // Ready only after the first status publish, so a query
             // issued the moment launch/restore returns already sees the
             // kernel's real state.
             let _ = ready_tx.send(Ok(()));
-            worker_loop(
-                sim,
-                shard_rxs,
-                thread_depths,
-                ctrl_rx,
-                thread_status,
-                cfg.cluster,
-                work,
-            );
+            supervised_loop(sim, &mut manager, &mut ctx, ctrl_rx);
         })
         .map_err(|e| HeliosError::io("spawning fleet worker thread", &e))?;
 
@@ -199,7 +451,7 @@ pub(crate) fn spawn_worker(
         }
         Err(_) => {
             let _ = handle.join();
-            return Err(worker_died(cfg.cluster.name()));
+            return Err(worker_died(spec.id.name()));
         }
     }
     Ok(Worker {
@@ -210,86 +462,311 @@ pub(crate) fn spawn_worker(
         submitted,
         ctrl: Some(ctrl_tx),
         status,
+        health,
         handle: Some(handle),
     })
 }
 
-fn worker_loop(
-    mut sim: Simulator<'_>,
-    shards: Vec<Receiver<SimJob>>,
-    depths: Vec<Arc<AtomicUsize>>,
+/// Run one command handler under panic isolation. The reply channel
+/// stays *outside* the unwind boundary (destructured by the caller), so
+/// a panicked command can be retried after recovery and its producer
+/// still gets an answer.
+fn guarded<T>(
+    sim: &mut Simulator<'static>,
+    manager: &mut CheckpointManager,
+    ctx: &mut WorkerCtx,
+    f: impl FnOnce(&mut Simulator<'static>, &mut CheckpointManager, &mut WorkerCtx) -> T,
+) -> Result<T, ()> {
+    panic::catch_unwind(AssertUnwindSafe(|| f(sim, manager, ctx))).map_err(|_| ())
+}
+
+/// The supervised command loop: every handler runs under `guarded`; a
+/// caught panic triggers checkpoint recovery and then *retries the same
+/// command*, so one injected fault is invisible to the producer beyond
+/// latency. Exits when every control sender is gone (fleet dropped),
+/// after a successful `Complete`, or on entering the terminal crashed
+/// state (the pending command is answered with the typed error first).
+fn supervised_loop(
+    mut sim: Simulator<'static>,
+    manager: &mut CheckpointManager,
+    ctx: &mut WorkerCtx,
     ctrl: Receiver<Ctrl>,
-    status: Arc<Mutex<ClusterStatus>>,
-    cluster: ClusterId,
-    work: Arc<Mutex<Vec<f64>>>,
 ) {
-    let mut batch: Vec<SimJob> = Vec::new();
-    // Exit when every control sender is gone (fleet dropped) or after a
-    // Complete command.
-    while let Ok(cmd) = ctrl.recv() {
+    let mut pending: Option<Ctrl> = None;
+    loop {
+        let cmd = match pending.take() {
+            Some(c) => c,
+            None => match ctrl.recv() {
+                Ok(c) => c,
+                Err(_) => return,
+            },
+        };
         match cmd {
             Ctrl::Pump { until, done } => {
-                let admitted = admit(&mut sim, &shards, &depths, &mut batch);
-                if admitted.is_ok() {
-                    sim.run_until(until);
+                match guarded(&mut sim, manager, ctx, |s, m, c| pump(s, m, c, until)) {
+                    Ok(reply) => {
+                        let _ = done.send(reply);
+                    }
+                    Err(()) => match recover(&mut sim, manager, ctx) {
+                        Ok(()) => pending = Some(Ctrl::Pump { until, done }),
+                        Err(e) => {
+                            let _ = done.send(Err(e));
+                            return;
+                        }
+                    },
                 }
-                publish(&status, cluster, &sim, &lock(&work));
-                let _ = done.send(admitted);
             }
             Ctrl::Drain { done } => {
-                let _ = done.send(sim.drain_outcomes());
+                match guarded(&mut sim, manager, ctx, |s, m, c| {
+                    Ok(drain_outcomes(s, m, c))
+                }) {
+                    Ok(reply) => {
+                        let _ = done.send(reply);
+                    }
+                    Err(()) => match recover(&mut sim, manager, ctx) {
+                        Ok(()) => pending = Some(Ctrl::Drain { done }),
+                        Err(e) => {
+                            let _ = done.send(Err(e));
+                            return;
+                        }
+                    },
+                }
             }
-            Ctrl::Snapshot { done } => {
-                let reply = admit(&mut sim, &shards, &depths, &mut batch)
-                    .map(|_| sim.snapshot().to_bytes());
-                publish(&status, cluster, &sim, &lock(&work));
-                let _ = done.send(reply);
-            }
-            Ctrl::Complete { done } => {
-                let reply = admit(&mut sim, &shards, &depths, &mut batch).map(|_| {
-                    sim.run_to_completion();
-                    sim.drain_outcomes()
-                });
-                publish(&status, cluster, &sim, &lock(&work));
-                let _ = done.send(reply);
-                return;
-            }
+            Ctrl::Snapshot { done } => match guarded(&mut sim, manager, ctx, snapshot_cmd) {
+                Ok(reply) => {
+                    let _ = done.send(reply);
+                }
+                Err(()) => match recover(&mut sim, manager, ctx) {
+                    Ok(()) => pending = Some(Ctrl::Snapshot { done }),
+                    Err(e) => {
+                        let _ = done.send(Err(e));
+                        return;
+                    }
+                },
+            },
+            Ctrl::Complete { done } => match guarded(&mut sim, manager, ctx, complete_cmd) {
+                Ok(reply) => {
+                    let _ = done.send(reply);
+                    return;
+                }
+                Err(()) => match recover(&mut sim, manager, ctx) {
+                    Ok(()) => pending = Some(Ctrl::Complete { done }),
+                    Err(e) => {
+                        let _ = done.send(Err(e));
+                        return;
+                    }
+                },
+            },
         }
     }
 }
 
-/// One admission cycle: drain every shard in VC order (FIFO within each
-/// shard), clamp racing submit times to the cluster's virtual clock, and
-/// push the whole batch into the kernel at once.
-fn admit(
-    sim: &mut Simulator<'_>,
-    shards: &[Receiver<SimJob>],
-    depths: &[Arc<AtomicUsize>],
-    batch: &mut Vec<SimJob>,
+/// One `Pump` cycle: admit (unless chaos stalls the cycle), simulate to
+/// the horizon, maybe checkpoint, publish.
+fn pump(
+    sim: &mut Simulator<'static>,
+    manager: &mut CheckpointManager,
+    ctx: &mut WorkerCtx,
+    until: i64,
 ) -> HeliosResult<u64> {
-    batch.clear();
+    ctx.cycle += 1;
+    let admitted = admit(sim, manager, ctx, true)?;
+    sim.run_until(until);
+    if manager.due(ctx.cycle) {
+        checkpoint_now(sim, manager, ctx)?;
+    }
+    publish(&ctx.status, ctx.cfg.cluster, sim, &lock(&ctx.work));
+    ctx.health.set_checkpoint(
+        manager.newest_index(),
+        manager.newest_clock(),
+        manager.journal_len(),
+    );
+    Ok(admitted)
+}
+
+/// Write a checkpoint generation now, applying any scheduled chaos
+/// corruption to the freshly written blob.
+fn checkpoint_now(
+    sim: &mut Simulator<'static>,
+    manager: &mut CheckpointManager,
+    ctx: &mut WorkerCtx,
+) -> HeliosResult<()> {
+    let index = manager.checkpoint(sim.snapshot().to_bytes(), sim.now())?;
+    let (writes, nanos) = manager.write_stats();
+    ctx.health.set_write_stats(writes, nanos);
+    if let Some((chaos_cfg, _)) = &ctx.chaos {
+        if let Some(seed) = chaos_cfg.corruption_seed(index) {
+            manager.corrupt_newest(seed);
+        }
+    }
+    Ok(())
+}
+
+/// `Snapshot` command: admit pending ingest (never stalled — the frame
+/// invariant is "shards are empty in the blob"), then serialize.
+fn snapshot_cmd(
+    sim: &mut Simulator<'static>,
+    manager: &mut CheckpointManager,
+    ctx: &mut WorkerCtx,
+) -> HeliosResult<Vec<u8>> {
+    ctx.cycle += 1;
+    admit(sim, manager, ctx, false)?;
+    let bytes = sim.snapshot().to_bytes();
+    publish(&ctx.status, ctx.cfg.cluster, sim, &lock(&ctx.work));
+    Ok(bytes)
+}
+
+/// `Complete` command: admit everything (never stalled — shutdown must
+/// not lose accepted jobs), run to completion, surrender the outcomes.
+fn complete_cmd(
+    sim: &mut Simulator<'static>,
+    manager: &mut CheckpointManager,
+    ctx: &mut WorkerCtx,
+) -> HeliosResult<Vec<JobOutcome>> {
+    ctx.cycle += 1;
+    admit(sim, manager, ctx, false)?;
+    sim.run_to_completion();
+    let outcomes = drain_outcomes(sim, manager, ctx);
+    publish(&ctx.status, ctx.cfg.cluster, sim, &lock(&ctx.work));
+    Ok(outcomes)
+}
+
+/// One admission cycle: drain every shard in VC order (FIFO within each
+/// shard), clamp racing submit times to the cluster's virtual clock,
+/// push the whole batch into the kernel at once, and journal it against
+/// the newest checkpoint generation (post-clamp, admission order — the
+/// exact stream recovery must replay).
+fn admit(
+    sim: &mut Simulator<'static>,
+    manager: &mut CheckpointManager,
+    ctx: &mut WorkerCtx,
+    allow_stall: bool,
+) -> HeliosResult<u64> {
+    if allow_stall {
+        if let Some((chaos_cfg, _)) = &ctx.chaos {
+            if chaos_cfg.stalled(ctx.cycle) {
+                return Ok(0);
+            }
+        }
+    }
+    ctx.batch.clear();
     let floor = sim.now();
-    for (vc, rx) in shards.iter().enumerate() {
+    for (vc, rx) in ctx.shards.iter().enumerate() {
         while let Ok(mut job) = rx.try_recv() {
-            depths[vc].fetch_sub(1, Ordering::AcqRel);
+            ctx.depths[vc].fetch_sub(1, Ordering::AcqRel);
             // A producer stamped this submit time before it knew how far
             // the virtual clock had advanced; admission time is the
             // earliest the job can exist, so clamp rather than reject.
             if job.submit < floor {
                 job.submit = floor;
             }
-            batch.push(job);
+            ctx.batch.push(job);
         }
     }
-    if !batch.is_empty() {
-        sim.push_jobs(batch)?;
+    if !ctx.batch.is_empty() {
+        sim.push_jobs(&ctx.batch)?;
+        manager.note_admitted(&ctx.batch)?;
+        ctx.health.set_checkpoint(
+            manager.newest_index(),
+            manager.newest_clock(),
+            manager.journal_len(),
+        );
     }
-    Ok(batch.len() as u64)
+    Ok(ctx.batch.len() as u64)
+}
+
+/// Drain the kernel's accumulated outcomes, dropping the leading
+/// duplicates a post-crash replay re-produced (deterministic replay
+/// re-delivers outcomes in the original order, so a plain prefix count
+/// suffices) and recording the delivery against the newest generation.
+fn drain_outcomes(
+    sim: &mut Simulator<'static>,
+    manager: &mut CheckpointManager,
+    ctx: &mut WorkerCtx,
+) -> Vec<JobOutcome> {
+    let mut outcomes = sim.drain_outcomes();
+    let skip = ctx.suppress.min(outcomes.len() as u64) as usize;
+    if skip > 0 {
+        outcomes.drain(..skip);
+        ctx.suppress -= skip as u64;
+    }
+    manager.note_drained(outcomes.len() as u64);
+    outcomes
+}
+
+fn crashed(ctx: &WorkerCtx, restarts: u32) -> HeliosError {
+    ctx.health.set_state(WorkerState::Crashed);
+    HeliosError::WorkerCrashed {
+        cluster: ctx.cfg.cluster.name().to_string(),
+        restarts,
+    }
+}
+
+/// Supervisor recovery after a caught panic: restore the newest clean
+/// generation, replay its journal suffix, re-baseline with a fresh
+/// checkpoint of the recovered state, and re-attribute the
+/// already-delivered outcome count to that new generation (so a *second*
+/// crash still suppresses exactly the right prefix). Returns the typed
+/// terminal error when the restart budget is spent or nothing decodes.
+fn recover(
+    sim: &mut Simulator<'static>,
+    manager: &mut CheckpointManager,
+    ctx: &mut WorkerCtx,
+) -> HeliosResult<()> {
+    let t0 = Instant::now();
+    ctx.health.set_state(WorkerState::Recovering);
+    let attempted = ctx.health.restarts();
+    if attempted >= ctx.max_restarts {
+        return Err(crashed(ctx, attempted));
+    }
+    let restarts = ctx.health.bump_restarts();
+    let rec = match manager.recover() {
+        Ok(r) => r,
+        Err(_) => return Err(crashed(ctx, restarts)),
+    };
+    let mut rebuilt = match Simulator::restore(&ctx.spec, ctx.cfg.policy.build(), &rec.snapshot) {
+        Ok(s) => s,
+        Err(_) => return Err(crashed(ctx, restarts)),
+    };
+    if !rec.replay.is_empty() && rebuilt.push_jobs(&rec.replay).is_err() {
+        return Err(crashed(ctx, restarts));
+    }
+    attach_observers(&mut rebuilt, ctx, Some(&rec.snapshot));
+    manager.collapse_to(rec.generation);
+    if checkpoint_rebaseline(&mut rebuilt, manager).is_err() {
+        return Err(crashed(ctx, restarts));
+    }
+    manager.note_drained(rec.suppress);
+    ctx.suppress = rec.suppress;
+    *sim = rebuilt;
+    ctx.health.add_fallbacks(rec.fallbacks);
+    ctx.health.set_checkpoint(
+        manager.newest_index(),
+        manager.newest_clock(),
+        manager.journal_len(),
+    );
+    let (writes, nanos) = manager.write_stats();
+    ctx.health.set_write_stats(writes, nanos);
+    ctx.health
+        .add_recovery_nanos(t0.elapsed().as_nanos() as u64);
+    publish(&ctx.status, ctx.cfg.cluster, sim, &lock(&ctx.work));
+    ctx.health.set_state(WorkerState::Healthy);
+    Ok(())
+}
+
+/// The fresh post-recovery generation: captures snapshot + replay in one
+/// blob, giving monotone generation indices and a journal reset.
+fn checkpoint_rebaseline(
+    sim: &mut Simulator<'static>,
+    manager: &mut CheckpointManager,
+) -> HeliosResult<u64> {
+    manager.checkpoint(sim.snapshot().to_bytes(), sim.now())
 }
 
 /// Publish a fresh [`ClusterStatus`] from the kernel's incrementally
-/// maintained aggregates. The ingestion-side counters are zeroed here;
-/// `Fleet::status` overlays them from atomics at query time.
+/// maintained aggregates. The ingestion-side counters and health are
+/// zeroed here; `Fleet::status` overlays them from atomics at query
+/// time.
 fn publish(status: &Mutex<ClusterStatus>, cluster: ClusterId, sim: &Simulator<'_>, work: &[f64]) {
     let view = sim.cluster_view();
     let vcs = (0..view.num_vcs())
@@ -315,6 +792,7 @@ fn publish(status: &Mutex<ClusterStatus>, cluster: ClusterId, sim: &Simulator<'_
         down_nodes: view.offline_nodes(),
         failures: view.fault_stats().map_or(0, |s| s.failures),
         vcs,
+        health: FleetHealth::default(),
     };
     *lock(status) = fresh;
 }

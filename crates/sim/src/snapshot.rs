@@ -196,7 +196,21 @@ impl ByteWriter {
     pub fn str(&mut self, v: &str) {
         self.bytes(v.as_bytes());
     }
+
+    /// One [`SimJob`] in the fixed [`JOB_WIRE_BYTES`]-byte layout shared
+    /// by the kernel codec and the fleet's admission-journal frames.
+    pub fn job(&mut self, job: &SimJob) {
+        self.u64(job.id);
+        self.u32(job.vc as u32);
+        self.u32(job.gpus);
+        self.i64(job.submit);
+        self.i64(job.duration);
+        self.f64(job.priority);
+    }
 }
+
+/// Wire size of one [`SimJob`] as written by [`ByteWriter::job`].
+pub const JOB_WIRE_BYTES: usize = 40;
 
 /// Little-endian byte-stream reader; every method returns a typed
 /// [`HeliosError::Snapshot`] on truncation instead of panicking.
@@ -293,6 +307,22 @@ impl<'a> ByteReader<'a> {
         let raw = self.bytes()?;
         String::from_utf8(raw).map_err(|e| self.err(format!("invalid UTF-8 string: {e}")))
     }
+
+    /// One [`SimJob`] — the reading twin of [`ByteWriter::job`].
+    pub fn job(&mut self) -> HeliosResult<SimJob> {
+        let id = self.u64()?;
+        let vc_raw = self.u32()?;
+        let vc = u16::try_from(vc_raw)
+            .map_err(|_| self.err(format!("job {id}: VC id {vc_raw} out of range")))?;
+        Ok(SimJob {
+            id,
+            vc,
+            gpus: self.u32()?,
+            submit: self.i64()?,
+            duration: self.i64()?,
+            priority: self.f64()?,
+        })
+    }
 }
 
 fn placement_code(p: Placement) -> u8 {
@@ -329,12 +359,7 @@ impl SimSnapshot {
         w.u64(self.finished);
         w.u64(self.jobs.len() as u64);
         for j in &self.jobs {
-            w.u64(j.job.id);
-            w.u32(j.job.vc as u32);
-            w.u32(j.job.gpus);
-            w.i64(j.job.submit);
-            w.i64(j.job.duration);
-            w.f64(j.job.priority);
+            w.job(&j.job);
             w.i64(j.remaining);
             w.i64(j.started_at);
             w.i64(j.first_start);
@@ -411,22 +436,11 @@ impl SimSnapshot {
         let spec_fingerprint = r.u64()?;
         let horizon = r.i64()?;
         let finished = r.u64()?;
-        let n_jobs = r.len(84)?;
+        let n_jobs = r.len(JOB_WIRE_BYTES + 44)?;
         let mut jobs = Vec::with_capacity(n_jobs);
         for _ in 0..n_jobs {
-            let id = r.u64()?;
-            let vc_raw = r.u32()?;
-            let vc = u16::try_from(vc_raw)
-                .map_err(|_| r.err(format!("job {id}: VC id {vc_raw} out of range")))?;
             jobs.push(JobStateSnap {
-                job: SimJob {
-                    id,
-                    vc,
-                    gpus: r.u32()?,
-                    submit: r.i64()?,
-                    duration: r.i64()?,
-                    priority: r.f64()?,
-                },
+                job: r.job()?,
                 remaining: r.i64()?,
                 started_at: r.i64()?,
                 first_start: r.i64()?,

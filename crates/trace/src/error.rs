@@ -112,6 +112,17 @@ pub enum HeliosError {
         /// Why it failed.
         detail: String,
     },
+    /// A fleet worker panicked and could not be brought back: either its
+    /// supervisor exhausted the restart budget or every retained
+    /// checkpoint generation failed to decode. The cluster is served in
+    /// degraded mode (stale status, no admission) until the fleet is
+    /// relaunched or recovered from disk.
+    WorkerCrashed {
+        /// Cluster name ("Venus", ...).
+        cluster: String,
+        /// Supervisor restarts attempted before giving up.
+        restarts: u32,
+    },
 }
 
 impl HeliosError {
@@ -214,6 +225,12 @@ impl fmt::Display for HeliosError {
             HeliosError::Snapshot { context, detail } => {
                 write!(f, "snapshot error while {context}: {detail}")
             }
+            HeliosError::WorkerCrashed { cluster, restarts } => write!(
+                f,
+                "[{cluster}] worker crashed and could not be recovered \
+                 (after {restarts} supervisor restart(s)); relaunch or \
+                 recover the fleet to serve this cluster again"
+            ),
         }
     }
 }

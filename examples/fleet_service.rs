@@ -1,12 +1,13 @@
 //! Fleet service: host all five cluster presets concurrently, stream
-//! jobs into sharded per-VC ingestion queues, answer live status
-//! queries (queue depth, utilization, queued-work ETA) while the
-//! simulations run, then checkpoint the whole fleet and resume it from
-//! bytes.
+//! jobs into sharded per-VC ingestion queues with retry/backoff, answer
+//! live status and supervision-health queries (queue depth, utilization,
+//! queued-work ETA, checkpoint age) while the simulations run, then
+//! checkpoint the whole fleet and resume it from bytes.
 //!
 //! Run with: `cargo run --release --example fleet_service`
 
 use helios::prelude::*;
+use std::time::Duration;
 
 /// A small synthetic wave: `n` mixed-size jobs spread across `vcs`.
 fn wave(base_id: u64, n: u64, vcs: u16, submit: i64) -> Vec<SimJob> {
@@ -24,18 +25,28 @@ fn wave(base_id: u64, n: u64, vcs: u16, submit: i64) -> Vec<SimJob> {
 
 fn main() -> helios::error::Result<()> {
     // One worker thread per preset, each owning its own incremental
-    // `Simulator`; `Helios::fleet_service(policy)` is shorthand for this.
-    let fleet = Fleet::launch(&FleetConfig::all_presets(Policy::Fifo))?;
+    // `Simulator` under supervision (caught panics restore the last good
+    // checkpoint); `Helios::fleet_service(policy)` is shorthand for the
+    // default topology. Per-cycle auto-checkpointing keeps the in-memory
+    // generation ring warm so recovery never replays more than one
+    // admission cycle.
+    let config = FleetConfig::all_presets(Policy::Fifo)
+        .with_checkpoint(CheckpointConfig::default().every_cycles(1));
+    let fleet = Fleet::launch(&config)?;
+
+    // Client-side resilience: a full shard surfaces as
+    // `HeliosError::FleetOverflow`, and `submit_with_retry` absorbs it
+    // with seeded jittered exponential backoff until the deadline.
+    let retry = RetryConfig::seeded(7).deadline(Duration::from_secs(5));
 
     // Stream three waves. `submit` may lag the cluster clock — admission
-    // clamps it forward — and a full shard returns
-    // `HeliosError::FleetOverflow` instead of blocking or dropping.
+    // clamps it forward.
     let mut next_id = 0u64;
     for w in 0..3i64 {
         for cluster in fleet.clusters() {
             let vcs = fleet.status(cluster)?.vcs.len() as u16;
             for job in wave(next_id, 40, vcs, w * 600) {
-                fleet.submit(cluster, job)?;
+                fleet.submit_with_retry(cluster, job, &retry)?;
             }
             next_id += 40;
         }
@@ -43,17 +54,25 @@ fn main() -> helios::error::Result<()> {
         fleet.advance((w + 1) * 600)?;
 
         // Live reads come from incrementally maintained state — no
-        // worker is paused to answer them.
+        // worker is paused to answer them. `statuses()` stays infallible
+        // even with a crashed worker: its `FleetHealth` reports degraded
+        // mode instead of erroring, so a dashboard keeps rendering.
         println!("after wave {w}:");
         for s in fleet.statuses() {
+            let h = s.health;
             println!(
-                "  {:<8} t={:>5}s queue={:<3} running={:<4} util={:>5.1}% eta(vc0)={:.0}s",
+                "  {:<8} t={:>5}s queue={:<3} running={:<4} util={:>5.1}% \
+                 eta(vc0)={:.0}s | {:?} restarts={} ckpt(gen {}, {}s old)",
                 format!("{:?}", s.cluster),
                 s.now,
                 s.queue_depth,
                 s.running,
                 100.0 * s.utilization(),
                 s.eta_secs(0).unwrap_or(0.0),
+                h.state,
+                h.restarts,
+                h.checkpoint_generation,
+                h.checkpoint_age_secs,
             );
         }
     }

@@ -12,7 +12,10 @@ pub use crate::session::{
 // Substrate types that appear in façade signatures or configs.
 pub use helios_core::{CesEvaluation, CesServiceConfig, QssfConfig};
 pub use helios_faults::{DrainConfig, DrainPolicy, FailurePredictor, Goodput, PredictorConfig};
-pub use helios_fleet::{ClusterConfig, ClusterStatus, Fleet, FleetConfig, VcStatus};
+pub use helios_fleet::{
+    ChaosConfig, CheckpointConfig, ClusterConfig, ClusterStatus, Fleet, FleetConfig, FleetHealth,
+    RetryConfig, VcStatus, WorkerState,
+};
 pub use helios_sim::{
     FaultConfig, FaultSemantics, JobOutcome, JobView, Placement, Policy, ScheduleStats,
     SchedulingPolicy, SimJob, SimObserver,
