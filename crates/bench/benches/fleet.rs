@@ -3,9 +3,10 @@
 //! state. Complements `BENCH_fleet.json` (the `fleet-soak` experiment),
 //! which measures the same two paths at 100k-job soak scale.
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use helios_fleet::{ClusterConfig, Fleet, FleetConfig};
+use helios_fleet::{ClusterConfig, Fleet, FleetConfig, ShedConfig, WatchdogConfig};
 use helios_sim::{Policy, SimJob};
-use helios_trace::ClusterId;
+use helios_trace::{ClusterId, HeliosError};
+use std::time::Duration;
 
 /// Synthetic streaming workload: small mixed-size jobs fanned across
 /// `vcs` virtual clusters, submit times already in admission order.
@@ -85,5 +86,92 @@ fn bench_query(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ingest, bench_query);
+/// Watchdog-armed pump cost: the same 10k-job ingest-and-complete run as
+/// the `fleet` group, but with heartbeat publication and cooperative
+/// cancellation checks live at the default 128-event cadence — the
+/// supervision overhead a production topology pays. Also pins the
+/// deadline-bounded status read, which must answer from shared memory in
+/// sub-microsecond time regardless of worker load.
+fn bench_watchdog(c: &mut Criterion) {
+    let cfg = FleetConfig::new()
+        .with_cluster(ClusterConfig::new(ClusterId::Venus, Policy::Fifo))
+        .with_shard_capacity(16_384)
+        .with_watchdog(WatchdogConfig::new());
+    let probe = Fleet::launch(&cfg).expect("fleet launches");
+    let vcs = probe.status(ClusterId::Venus).expect("hosted").vcs.len() as u16;
+    drop(probe);
+    let js = jobs(10_000, vcs);
+
+    let mut g = c.benchmark_group("watchdog");
+    g.sample_size(10);
+    g.bench_function("pump_heartbeat_venus_10k", |b| {
+        b.iter(|| {
+            let fleet = Fleet::launch(black_box(&cfg)).expect("fleet launches");
+            feed(&fleet, ClusterId::Venus, black_box(&js));
+            let done = fleet.shutdown().expect("clean shutdown");
+            black_box(done)
+        })
+    });
+
+    let fleet = Fleet::launch(&cfg).expect("fleet launches");
+    feed(&fleet, ClusterId::Venus, &js);
+    fleet.advance(60).expect("live worker");
+    g.bench_function("status_within_under_load", |b| {
+        b.iter(|| {
+            let report = fleet
+                .status_within(black_box(ClusterId::Venus), Duration::from_millis(1))
+                .expect("hosted");
+            black_box(report)
+        })
+    });
+    g.finish();
+}
+
+/// Admission-control refusal cost: with shedding engaged and a heavy VC
+/// over its fair share, every submission is refused with the typed
+/// `FleetShedding` — the hot path a saturated producer hammers. Pure
+/// reads plus two counter bumps, so the backlog (and thus the measured
+/// state) is identical on every iteration.
+fn bench_overload(c: &mut Criterion) {
+    let cfg = FleetConfig::new()
+        .with_cluster(ClusterConfig::new(ClusterId::Venus, Policy::Fifo))
+        .with_shard_capacity(8)
+        .with_shedding(ShedConfig::new().high_water(0.01).low_water(0.005));
+    let fleet = Fleet::launch(&cfg).expect("fleet launches");
+    let heavy = SimJob {
+        id: 0,
+        vc: 0,
+        gpus: 1,
+        submit: 0,
+        duration: 60,
+        priority: 0.0,
+    };
+    // Pre-fill the heavy VC past the engage threshold (3/216 backlog
+    // occupancy >= 1%): every further submission to it is shed.
+    for id in 0..3 {
+        fleet
+            .submit(ClusterId::Venus, SimJob { id, ..heavy })
+            .expect("below the high-water mark");
+    }
+
+    let mut g = c.benchmark_group("overload");
+    g.bench_function("shed_refusal_hot_path", |b| {
+        b.iter(|| {
+            let err = fleet
+                .submit(black_box(ClusterId::Venus), black_box(heavy))
+                .expect_err("engaged shedding refuses the heavy VC");
+            assert!(matches!(err, HeliosError::FleetShedding { .. }));
+            black_box(err)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ingest,
+    bench_query,
+    bench_watchdog,
+    bench_overload
+);
 criterion_main!(benches);

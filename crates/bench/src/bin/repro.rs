@@ -18,9 +18,10 @@
 //!                   jobs/sec, outcome digest) for every policy simulation
 //!                   the selected experiments ran — the BENCH_*.json
 //!                   perf-trajectory format; failure-injected runs land in
-//!                   its `faults` section (BENCH_faults.json) and chaos
-//!                   recovery runs in its `resilience` section
-//!                   (BENCH_fleet.json)
+//!                   its `faults` section (BENCH_faults.json), chaos
+//!                   recovery runs in its `resilience` section, and
+//!                   overload/shedding runs in its `overload` section
+//!                   (both BENCH_fleet.json)
 //!   --list          print the experiment ids and exit
 //! ```
 //!
@@ -136,6 +137,10 @@ fn write_bench_json(path: &Path, args: &Args, ctx: &Context) -> Result<(), Helio
         .iter()
         .map(|r| r.to_json())
         .collect();
+    // Overload records (the `fleet-overload` experiment): shed counts,
+    // VC fairness, status staleness, and the shed-vs-overflow digest pin.
+    let overload: Vec<serde_json::Value> =
+        ctx.overload_records().iter().map(|r| r.to_json()).collect();
     // Scheduler experiments fan clusters x policies out over rayon, so
     // wall times include sibling-simulation contention: record the host
     // parallelism (also stamped into every individual record) so
@@ -152,6 +157,7 @@ fn write_bench_json(path: &Path, args: &Args, ctx: &Context) -> Result<(), Helio
         "stages": stages,
         "faults": faults,
         "resilience": resilience,
+        "overload": overload,
     });
     let rendered = serde_json::to_string_pretty(&doc).map_err(|e| HeliosError::Io {
         context: format!("serializing {}", path.display()),
@@ -234,16 +240,18 @@ fn main() -> ExitCode {
         let s = ctx.stage_records().len();
         let f = ctx.fault_records().len();
         let r = ctx.resilience_records().len();
+        let o = ctx.overload_records().len();
         if let Err(e) = write_bench_json(path, &args, &ctx) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "bench: {} policy-run, {} stage, {} fault, and {} resilience records in {}",
+            "bench: {} policy-run, {} stage, {} fault, {} resilience, and {} overload records in {}",
             n,
             s,
             f,
             r,
+            o,
             path.display()
         );
     }

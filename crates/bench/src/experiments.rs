@@ -26,7 +26,7 @@ use helios_trace::{
 use rayon::prelude::*;
 use serde_json::json;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One experiment's rendered output.
 #[derive(Debug, Clone)]
@@ -210,6 +210,71 @@ impl ResilienceRecord {
     }
 }
 
+/// One cluster's ledger from the `fleet-overload` experiment: how much
+/// load the adaptive admission control shed under a sustained ≥2×
+/// overload, whether the shedding stayed VC-fair (heavy VC only), what
+/// the deadline-bounded status path observed while the worker was
+/// saturated, and whether disabling shedding reproduced the legacy
+/// FleetOverflow stream bit for bit — the `overload` section of
+/// `repro --bench-json` (the BENCH_fleet.json format).
+#[derive(Debug, Clone)]
+pub struct OverloadRecord {
+    pub cluster: String,
+    pub policy: String,
+    /// Jobs eventually admitted (all of them — shed submissions are
+    /// retried after a drain cycle).
+    pub jobs: usize,
+    /// Offered load per admission cycle over total ingestion capacity.
+    pub overload_factor: f64,
+    /// Shed decisions counted by the fleet ([`FleetHealth::shed_jobs`](helios_fleet::FleetHealth)).
+    pub shed_jobs: u64,
+    /// Driver-observed sheds on the deliberately heavy VC.
+    pub shed_heavy_vc: u64,
+    /// Driver-observed sheds on every light VC (fairness pins this to 0).
+    pub shed_light_vcs: u64,
+    /// FleetOverflow refusals the shedding-disabled twin hit instead.
+    pub twin_overflows: u64,
+    /// `status_within` samples taken while the run was saturated.
+    pub status_samples: u64,
+    /// p99 of the sampled snapshot staleness, in admission cycles.
+    pub status_p99_age_cycles: u64,
+    /// Samples answered in degraded mode (lock miss or unhealthy worker).
+    pub status_degraded: u64,
+    /// Whether the shedding run's outcome digest equals the
+    /// shedding-disabled twin's. Always `true` in a committed
+    /// BENCH_fleet.json (a mismatch fails the experiment).
+    pub digest_match: bool,
+    /// FNV-1a over every outcome's (id, start, end, preemptions).
+    pub outcome_digest: String,
+    /// Wall-clock seconds of the shedding run on this fleet.
+    pub wall_secs: f64,
+    /// Worker threads available when this record was measured
+    /// ([`run_parallelism`]).
+    pub parallelism: usize,
+}
+
+impl OverloadRecord {
+    pub fn to_json(&self) -> serde_json::Value {
+        json!({
+            "cluster": self.cluster.clone(),
+            "policy": self.policy.clone(),
+            "jobs": self.jobs,
+            "overload_factor": self.overload_factor,
+            "shed_jobs": self.shed_jobs,
+            "shed_heavy_vc": self.shed_heavy_vc,
+            "shed_light_vcs": self.shed_light_vcs,
+            "twin_overflows": self.twin_overflows,
+            "status_samples": self.status_samples,
+            "status_p99_age_cycles": self.status_p99_age_cycles,
+            "status_degraded": self.status_degraded,
+            "digest_match": self.digest_match,
+            "outcome_digest": self.outcome_digest.clone(),
+            "wall_secs": self.wall_secs,
+            "parallelism": self.parallelism,
+        })
+    }
+}
+
 /// Worker/thread count of this run — stamped into every perf record so
 /// trajectories are only ever compared like-for-like.
 pub fn run_parallelism() -> usize {
@@ -270,6 +335,9 @@ pub struct Context {
     /// Records produced by the `fleet-chaos` experiment (empty unless it
     /// ran) — serialized as the `resilience` section of `--bench-json`.
     resilience: Vec<ResilienceRecord>,
+    /// Records produced by the `fleet-overload` experiment (empty unless
+    /// it ran) — serialized as the `overload` section of `--bench-json`.
+    overload: Vec<OverloadRecord>,
 }
 
 impl Context {
@@ -295,6 +363,7 @@ impl Context {
             drain: false,
             faults_perf: Vec::new(),
             resilience: Vec::new(),
+            overload: Vec::new(),
         })
     }
 
@@ -512,6 +581,13 @@ impl Context {
     /// `repro --bench-json` (BENCH_fleet.json).
     pub fn resilience_records(&self) -> &[ResilienceRecord] {
         &self.resilience
+    }
+
+    /// Overload-run records produced by the `fleet-overload` experiment
+    /// (empty unless it ran) — the `overload` section of
+    /// `repro --bench-json` (BENCH_fleet.json).
+    pub fn overload_records(&self) -> &[OverloadRecord] {
+        &self.overload
     }
 
     /// CES evaluations: September 1–21 on each Helios cluster, one
@@ -2371,6 +2447,297 @@ fn fleet_chaos(ctx: &mut Context) -> Result<ExperimentOutput, HeliosError> {
     })
 }
 
+/// `fleet-overload`: the adaptive admission-control soak. Venus/FIFO and
+/// Saturn/SRTF each absorb a sustained 2× ingestion overload with a
+/// deliberately heavy VC (60% of the stream) while a sampler thread
+/// hammers the deadline-bounded status path. The experiment pins four
+/// properties: shedding is VC-fair (only the heavy VC is ever shed, with
+/// a usable retry hint), status reads never block and stay bounded-stale
+/// (p99 staleness in cycles), the whole stream still completes (shed
+/// submissions are retried after a drain cycle), and a shedding-disabled
+/// twin driven through the legacy FleetOverflow path produces a
+/// bit-identical outcome digest. Produces the `overload` records of
+/// `BENCH_fleet.json`.
+fn fleet_overload(ctx: &mut Context) -> Result<ExperimentOutput, HeliosError> {
+    use helios_fleet::{ClusterConfig, Fleet, FleetConfig, ShedConfig, StatusKind, WatchdogConfig};
+    use helios_trace::ClusterId;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const WAVES: usize = 6;
+    const WAVE_SECS: i64 = 600;
+    /// Per-VC ingestion shard bound — small enough that the overload is
+    /// real at bench scale.
+    const CAP: usize = 64;
+    /// Offered jobs per admission cycle over total ingestion capacity.
+    const OVERLOAD: usize = 2;
+    /// Engage shedding at 5% backlog occupancy: with 60% of the stream
+    /// aimed at one VC, the heavy shard crosses its fair share well
+    /// before it overflows, so refusals are admission control (typed
+    /// FleetShedding), not backpressure (FleetOverflow).
+    const HIGH_WATER: f64 = 0.05;
+    const LOW_WATER: f64 = 0.02;
+
+    let hosted = [
+        (ClusterId::Venus, Policy::Fifo),
+        (ClusterId::Saturn, Policy::Srtf),
+    ];
+    eprintln!(
+        "[ctx] fleet overload: {} clusters, {OVERLOAD}x offered load, {WAVES} waves...",
+        hosted.len(),
+    );
+
+    /// Slot `k`'s VC: 60% of the stream lands on VC 0 (the heavy VC),
+    /// the rest round-robins over the light VCs.
+    fn slot_vc(k: usize, nvcs: usize) -> u16 {
+        if k % 5 < 3 {
+            0
+        } else {
+            (1 + k % (nvcs - 1)) as u16
+        }
+    }
+
+    // Drive one fleet through the full overload stream: submit each
+    // wave's jobs in id order, resolving every refusal (shed or
+    // overflow) with one admission cycle at the wave floor and a
+    // resubmit, so both twins admit the identical job set at identical
+    // virtual times. Returns (shed on heavy VC, shed on light VCs,
+    // overflows) as observed at the submission site.
+    let stream = |fleet: &Fleet, cluster: ClusterId| -> Result<(u64, u64, u64), HeliosError> {
+        let nvcs = fleet.status(cluster)?.vcs.len().max(2);
+        let per_wave = OVERLOAD * CAP * nvcs;
+        let (mut shed_heavy, mut shed_light, mut overflows) = (0u64, 0u64, 0u64);
+        let mut next_id = 0u64;
+        for wave in 0..WAVES {
+            let floor = wave as i64 * WAVE_SECS;
+            for k in 0..per_wave {
+                let job = SimJob {
+                    id: next_id,
+                    vc: slot_vc(k, nvcs),
+                    gpus: 1,
+                    submit: floor,
+                    duration: 30 + (k as i64 % 7) * 60,
+                    priority: 0.0,
+                };
+                loop {
+                    match fleet.submit(cluster, job) {
+                        Ok(()) => break,
+                        Err(HeliosError::FleetShedding {
+                            vc,
+                            retry_after_cycles,
+                            ..
+                        }) => {
+                            if retry_after_cycles == 0 {
+                                return Err(HeliosError::invalid_config(
+                                    "fleet_overload",
+                                    "FleetShedding carried a zero retry hint",
+                                ));
+                            }
+                            if vc == 0 {
+                                shed_heavy += 1;
+                            } else {
+                                shed_light += 1;
+                            }
+                            fleet.advance_cluster(cluster, floor)?;
+                        }
+                        Err(HeliosError::FleetOverflow { .. }) => {
+                            overflows += 1;
+                            fleet.advance_cluster(cluster, floor)?;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                next_id += 1;
+            }
+            fleet.advance_cluster(cluster, (wave as i64 + 1) * WAVE_SECS)?;
+        }
+        Ok((shed_heavy, shed_light, overflows))
+    };
+    let config = |cluster, policy, shed: bool| {
+        let mut cfg = FleetConfig::new()
+            .with_cluster(ClusterConfig::new(cluster, policy))
+            .with_shard_capacity(CAP);
+        if shed {
+            cfg = cfg
+                .with_shedding(
+                    ShedConfig::new()
+                        .high_water(HIGH_WATER)
+                        .low_water(LOW_WATER),
+                )
+                .with_watchdog(WatchdogConfig::new());
+        }
+        cfg
+    };
+    let digest_of = |fleet: Fleet| -> Result<(usize, String), HeliosError> {
+        let (_, mut outcomes) = fleet
+            .shutdown()?
+            .pop()
+            .ok_or_else(|| HeliosError::invalid_config("fleet_overload", "no hosted cluster"))?;
+        outcomes.sort_by_key(|o| o.id);
+        Ok((outcomes.len(), outcome_digest(&outcomes)))
+    };
+
+    let parallelism = run_parallelism();
+    let mut table = TextTable::new(vec![
+        "cluster",
+        "policy",
+        "jobs",
+        "shed",
+        "heavy",
+        "light",
+        "twin ovf",
+        "p99 stale",
+        "degraded",
+        "digest",
+    ]);
+    let mut rows_json = Vec::new();
+    for &(cluster, policy) in &hosted {
+        let started = Instant::now();
+        let fleet = Fleet::launch(&config(cluster, policy, true))?;
+        let stop = AtomicBool::new(false);
+        let (streamed, sampled) = std::thread::scope(|s| {
+            let sampler = s.spawn(|| {
+                let (mut ages, mut degraded) = (Vec::new(), 0u64);
+                while !stop.load(Ordering::Acquire) {
+                    match fleet.status_within(cluster, Duration::from_millis(2)) {
+                        Ok(report) => match report.kind {
+                            StatusKind::Fresh => ages.push(0),
+                            StatusKind::Stale { age_cycles } => ages.push(age_cycles),
+                            StatusKind::Degraded => degraded += 1,
+                        },
+                        Err(_) => degraded += 1,
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                (ages, degraded)
+            });
+            let streamed = stream(&fleet, cluster);
+            stop.store(true, Ordering::Release);
+            (
+                streamed,
+                sampler.join().expect("status sampler must not panic"),
+            )
+        });
+        // The shed run's own overflow count is incidental (shedding
+        // fires first by construction); only the twin's matters.
+        let (shed_heavy, shed_light, _overflows) = streamed?;
+        let health = fleet.statuses()[0].health;
+        let (jobs, digest) = digest_of(fleet)?;
+        let wall_secs = started.elapsed().as_secs_f64();
+
+        let twin = Fleet::launch(&config(cluster, policy, false))?;
+        let (twin_sh, twin_sl, twin_overflows) = stream(&twin, cluster)?;
+        let (twin_jobs, twin_digest) = digest_of(twin)?;
+
+        if shed_heavy == 0 || health.shed_jobs == 0 {
+            return Err(HeliosError::invalid_config(
+                "fleet_overload",
+                format!("{}: the overload never engaged shedding", cluster.name()),
+            ));
+        }
+        if shed_light > 0 {
+            return Err(HeliosError::invalid_config(
+                "fleet_overload",
+                format!(
+                    "{}: {} light-VC submissions were shed (fairness violated)",
+                    cluster.name(),
+                    shed_light
+                ),
+            ));
+        }
+        if twin_sh + twin_sl != 0 || twin_overflows == 0 {
+            return Err(HeliosError::invalid_config(
+                "fleet_overload",
+                format!(
+                    "{}: shedding-disabled twin did not reproduce the legacy overflow path",
+                    cluster.name()
+                ),
+            ));
+        }
+        if jobs != twin_jobs || digest != twin_digest {
+            return Err(HeliosError::invalid_config(
+                "fleet_overload",
+                format!(
+                    "{}: shed digest {} ({} jobs) != overflow twin {} ({} jobs)",
+                    cluster.name(),
+                    digest,
+                    jobs,
+                    twin_digest,
+                    twin_jobs
+                ),
+            ));
+        }
+        let (mut ages, degraded) = sampled;
+        ages.sort_unstable();
+        let p99 = ages
+            .get(((ages.len().saturating_sub(1)) as f64 * 0.99) as usize)
+            .copied()
+            .unwrap_or(0);
+        // With one driver thread there is never more than one admission
+        // cycle in flight, so staleness beyond a couple of cycles means
+        // the freshness accounting itself regressed.
+        if p99 > 2 {
+            return Err(HeliosError::invalid_config(
+                "fleet_overload",
+                format!("{}: p99 status staleness {p99} cycles", cluster.name()),
+            ));
+        }
+
+        let record = OverloadRecord {
+            cluster: cluster.name().to_string(),
+            policy: format!("{policy:?}").to_uppercase(),
+            jobs,
+            overload_factor: OVERLOAD as f64,
+            shed_jobs: health.shed_jobs,
+            shed_heavy_vc: shed_heavy,
+            shed_light_vcs: shed_light,
+            twin_overflows,
+            status_samples: (ages.len() as u64) + degraded,
+            status_p99_age_cycles: p99,
+            status_degraded: degraded,
+            digest_match: true,
+            outcome_digest: digest,
+            wall_secs,
+            parallelism,
+        };
+        table.row(vec![
+            record.cluster.clone(),
+            record.policy.clone(),
+            fmt_count(record.jobs as u64),
+            record.shed_jobs.to_string(),
+            record.shed_heavy_vc.to_string(),
+            record.shed_light_vcs.to_string(),
+            record.twin_overflows.to_string(),
+            record.status_p99_age_cycles.to_string(),
+            record.status_degraded.to_string(),
+            record.outcome_digest.clone(),
+        ]);
+        rows_json.push(record.to_json());
+        ctx.overload.push(record);
+    }
+
+    let text = format!(
+        "Fleet overload: {OVERLOAD}x offered load with a 60% heavy VC across {} clusters; \
+         only the heavy VC was shed, every shed submission was eventually admitted, and \
+         the shedding-disabled twin reproduced the digest bit for bit\n{}",
+        hosted.len(),
+        table.render()
+    );
+    let data = json!({
+        "clusters": hosted.len(),
+        "overload_factor": OVERLOAD,
+        "waves": WAVES,
+        "shard_capacity": CAP,
+        "high_water": HIGH_WATER,
+        "low_water": LOW_WATER,
+        "per_cluster": rows_json,
+    });
+    Ok(ExperimentOutput {
+        id: "fleet-overload".into(),
+        text,
+        data,
+    })
+}
+
 /// `failure-soak`: the failure-injection soak. On two Helios presets
 /// (Venus and Saturn), train the GPU-failure predictor on April–August
 /// telemetry from the fault model itself, then run September twice under
@@ -2552,13 +2919,14 @@ fn failure_soak(ctx: &mut Context) -> Result<ExperimentOutput, HeliosError> {
 /// ablations, and the end-to-end pipeline throughput probe. Run by `all`
 /// after [`ALL_EXPERIMENTS`], and listed by the `repro` binary — one
 /// source of truth so the lists cannot drift.
-pub const EXTRA_EXPERIMENTS: [&str; 7] = [
+pub const EXTRA_EXPERIMENTS: [&str; 8] = [
     "pred-ces",
     "ablation-lambda",
     "ablation-backfill",
     "pipeline",
     "fleet-soak",
     "fleet-chaos",
+    "fleet-overload",
     "failure-soak",
 ];
 
@@ -2616,6 +2984,7 @@ pub fn run(id: &str, ctx: &mut Context) -> Result<Vec<ExperimentOutput>, HeliosE
         "pipeline" => vec![pipeline_exp(ctx)],
         "fleet-soak" => vec![fleet_soak(ctx)?],
         "fleet-chaos" => vec![fleet_chaos(ctx)?],
+        "fleet-overload" => vec![fleet_overload(ctx)?],
         "failure-soak" => vec![failure_soak(ctx)?],
         "all" => {
             let mut out = Vec::new();

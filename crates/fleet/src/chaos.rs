@@ -14,15 +14,28 @@
 //! * **shard stalls**: scheduled admission cycles skip draining the
 //!   ingestion shards entirely, building real backpressure for
 //!   [`Fleet::submit_with_retry`](crate::Fleet::submit_with_retry) to
-//!   absorb.
+//!   absorb;
+//! * **hangs**: at a scheduled event count the worker spins in place —
+//!   a *soft* hang releases once the watchdog arms cooperative
+//!   cancellation (exercising the cancel → restore path), a *hard* hang
+//!   ignores cancellation until the worker is abandoned (exercising the
+//!   [`Hung`](crate::WorkerState::Hung) degraded mode);
+//! * **slow pumps**: scheduled admission cycles sleep a fixed wall-clock
+//!   delay before draining, stretching status staleness without touching
+//!   the virtual clock (digests stay identical);
+//! * **admission panics**: scheduled cycles panic between shard drain
+//!   and journaling — the teardown race window the admission-generation
+//!   acknowledgment closes.
 //!
-//! Each panic point fires at most once per fleet (the shared trip flag
-//! is set *before* panicking), so a restarted worker replaying the same
-//! events does not crash-loop on the same trigger.
+//! Each panic/hang point fires at most once per fleet (the shared trip
+//! flag is set *before* panicking or spinning), so a restarted worker
+//! replaying the same events does not crash-loop on the same trigger.
 
+use crate::worker::HealthCell;
 use helios_sim::{ClusterView, SimEvent, SimObserver};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The splitmix64 mixer — the workspace's stock seeded generator,
 /// reused here for backoff jitter and corruption shapes.
@@ -50,6 +63,26 @@ pub struct ChaosConfig {
     /// Admission-cycle numbers (1-based, per worker) that skip shard
     /// draining entirely, simulating a stalled ingestion path.
     pub stall_cycles: Vec<u64>,
+    /// Observed-kernel-event counts at which a worker spins in place
+    /// until the watchdog arms cooperative cancellation (each point
+    /// trips at most once per fleet). Requires a
+    /// [`WatchdogConfig`](crate::WatchdogConfig) to ever release.
+    pub hang_at_events: Vec<u64>,
+    /// Observed-kernel-event counts at which a worker spins in place
+    /// *ignoring* cancellation, releasing only when abandoned — the
+    /// worker ends up [`Hung`](crate::WorkerState::Hung).
+    pub hard_hang_at_events: Vec<u64>,
+    /// Admission-cycle numbers (1-based) that sleep
+    /// [`slow_delay`](Self::slow_delay) of wall time before draining —
+    /// stretching status staleness without touching the virtual clock.
+    pub slow_cycles: Vec<u64>,
+    /// Wall-clock delay applied at each scheduled slow cycle.
+    pub slow_delay: Duration,
+    /// Admission-cycle numbers (1-based) that panic *between* shard
+    /// drain and journal append (each trips at most once per fleet) —
+    /// the exact window where a job accepted by a dying worker
+    /// generation would be lost without admission acknowledgment.
+    pub panic_admit_cycles: Vec<u64>,
 }
 
 impl ChaosConfig {
@@ -79,9 +112,45 @@ impl ChaosConfig {
         self
     }
 
+    /// Schedule a soft hang (spin until cancelled) at observed kernel
+    /// event `count`.
+    pub fn hang_at(mut self, count: u64) -> Self {
+        self.hang_at_events.push(count);
+        self
+    }
+
+    /// Schedule a hard hang (spin ignoring cancellation) at observed
+    /// kernel event `count`.
+    pub fn hard_hang_at(mut self, count: u64) -> Self {
+        self.hard_hang_at_events.push(count);
+        self
+    }
+
+    /// Schedule a slow admission cycle (1-based) delayed by `delay` of
+    /// wall time. The delay is shared by all slow cycles; the last call
+    /// wins.
+    pub fn slow_cycle(mut self, cycle: u64, delay: Duration) -> Self {
+        self.slow_cycles.push(cycle);
+        self.slow_delay = delay;
+        self
+    }
+
+    /// Schedule an admission-path panic (1-based cycle number) between
+    /// shard drain and journal append.
+    pub fn panic_admit_at_cycle(mut self, cycle: u64) -> Self {
+        self.panic_admit_cycles.push(cycle);
+        self
+    }
+
     /// True when admission cycle `cycle` should skip shard draining.
     pub(crate) fn stalled(&self, cycle: u64) -> bool {
         self.stall_cycles.contains(&cycle)
+    }
+
+    /// The wall-clock delay for admission cycle `cycle`, or `None` when
+    /// the cycle is not scheduled to run slow.
+    pub(crate) fn slowed(&self, cycle: u64) -> Option<Duration> {
+        self.slow_cycles.contains(&cycle).then_some(self.slow_delay)
     }
 
     /// The corruption seed for generation `index`, or `None` when that
@@ -99,18 +168,35 @@ impl ChaosConfig {
 pub(crate) struct ChaosShared {
     events: AtomicU64,
     fired: Vec<AtomicBool>,
+    hang_fired: Vec<AtomicBool>,
+    hard_fired: Vec<AtomicBool>,
+    admit_fired: Vec<AtomicBool>,
+}
+
+fn flags(n: usize) -> Vec<AtomicBool> {
+    (0..n).map(|_| AtomicBool::new(false)).collect()
 }
 
 impl ChaosShared {
     pub fn new(cfg: &ChaosConfig) -> Arc<Self> {
         Arc::new(ChaosShared {
             events: AtomicU64::new(0),
-            fired: cfg
-                .panic_at_events
-                .iter()
-                .map(|_| AtomicBool::new(false))
-                .collect(),
+            fired: flags(cfg.panic_at_events.len()),
+            hang_fired: flags(cfg.hang_at_events.len()),
+            hard_fired: flags(cfg.hard_hang_at_events.len()),
+            admit_fired: flags(cfg.panic_admit_cycles.len()),
         })
+    }
+
+    /// True the first time admission cycle `cycle` crosses a scheduled
+    /// admission-panic point (trip-once, like panic points).
+    pub fn trip_admit_panic(&self, cfg: &ChaosConfig, cycle: u64) -> bool {
+        for (i, &point) in cfg.panic_admit_cycles.iter().enumerate() {
+            if cycle >= point && !self.admit_fired[i].swap(true, Ordering::AcqRel) {
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -120,14 +206,25 @@ impl ChaosShared {
 pub(crate) struct ChaosObserver {
     shared: Arc<ChaosShared>,
     points: Vec<u64>,
+    hang_points: Vec<u64>,
+    hard_points: Vec<u64>,
+    health: Arc<HealthCell>,
     cluster: &'static str,
 }
 
 impl ChaosObserver {
-    pub fn new(cfg: &ChaosConfig, shared: Arc<ChaosShared>, cluster: &'static str) -> Self {
+    pub fn new(
+        cfg: &ChaosConfig,
+        shared: Arc<ChaosShared>,
+        health: Arc<HealthCell>,
+        cluster: &'static str,
+    ) -> Self {
         ChaosObserver {
             shared,
             points: cfg.panic_at_events.clone(),
+            hang_points: cfg.hang_at_events.clone(),
+            hard_points: cfg.hard_hang_at_events.clone(),
+            health,
             cluster,
         }
     }
@@ -143,6 +240,28 @@ impl SimObserver for ChaosObserver {
                      (scheduled at {point})",
                     self.cluster
                 );
+            }
+        }
+        for (i, &point) in self.hang_points.iter().enumerate() {
+            if count >= point && !self.shared.hang_fired[i].swap(true, Ordering::AcqRel) {
+                // Soft hang: freeze kernel progress (the heartbeat goes
+                // flat) until the watchdog arms cancellation or the
+                // worker is abandoned at teardown. The event itself then
+                // completes; the cancellation token is honored at the
+                // next event boundary.
+                while !self.health.cancel_armed() && !self.health.abandoned() {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+        for (i, &point) in self.hard_points.iter().enumerate() {
+            if count >= point && !self.shared.hard_fired[i].swap(true, Ordering::AcqRel) {
+                // Hard hang: ignore cancellation — only abandonment (the
+                // fleet declaring the worker hung, or teardown) releases
+                // the spin.
+                while !self.health.abandoned() {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
             }
         }
     }

@@ -5,7 +5,8 @@
 use crate::chaos::ChaosConfig;
 use crate::checkpoint::CheckpointConfig;
 use helios_sim::{ByteReader, FaultConfig, KernelConfig, Placement, Policy};
-use helios_trace::{ClusterId, HeliosResult};
+use helios_trace::{ClusterId, HeliosError, HeliosResult};
+use std::time::Duration;
 
 /// The five cluster presets a default fleet hosts — the four Helios
 /// datacenters of Table 1 plus the Philly comparison cluster.
@@ -68,6 +69,152 @@ pub(crate) fn policy_from(code: u8, r: &ByteReader<'_>) -> HeliosResult<Policy> 
         3 => Policy::Priority,
         other => return Err(r.err(format!("unknown policy code {other}"))),
     })
+}
+
+/// Watchdog supervision knobs: how long a worker may go without kernel
+/// progress before the supervisor intervenes.
+///
+/// The watchdog runs on the *caller's* thread: while a fleet call waits
+/// for a worker's reply it polls the worker's heartbeat atomics, and —
+/// if the heartbeat goes flat for [`stall_deadline`](Self::stall_deadline)
+/// — arms a cooperative cancellation token that the kernel checks every
+/// [`check_events`](Self::check_events) processed events. A cancelled
+/// worker routes through the normal checkpoint-restore path (counting
+/// against the restart budget); one that ignores cancellation for a
+/// further [`hang_deadline`](Self::hang_deadline) is marked
+/// [`Hung`](crate::WorkerState::Hung) and abandoned so no call ever
+/// blocks on it again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Wall-clock heartbeat flatline that triggers cooperative
+    /// cancellation.
+    pub stall_deadline: Duration,
+    /// Additional wall-clock grace after cancellation is armed; a worker
+    /// still flat past this is declared hung.
+    pub hang_deadline: Duration,
+    /// Kernel events between cancellation-token checks (and heartbeat
+    /// publishes) inside the event loop. Smaller = faster cancellation,
+    /// more atomic traffic; `0` is clamped to 1.
+    pub check_events: u32,
+}
+
+impl WatchdogConfig {
+    /// Production-shaped defaults: 5 s stall deadline, 5 s further hang
+    /// grace, heartbeat every 128 kernel events.
+    pub fn new() -> Self {
+        WatchdogConfig {
+            stall_deadline: Duration::from_secs(5),
+            hang_deadline: Duration::from_secs(5),
+            check_events: 128,
+        }
+    }
+
+    /// Override the stall deadline.
+    pub fn stall_deadline(mut self, d: Duration) -> Self {
+        self.stall_deadline = d;
+        self
+    }
+
+    /// Override the hang grace period.
+    pub fn hang_deadline(mut self, d: Duration) -> Self {
+        self.hang_deadline = d;
+        self
+    }
+
+    /// Override the heartbeat/cancellation check interval (events).
+    pub fn check_events(mut self, every: u32) -> Self {
+        self.check_events = every;
+        self
+    }
+
+    pub(crate) fn validate(&self) -> HeliosResult<()> {
+        if self.stall_deadline.is_zero() {
+            return Err(HeliosError::invalid_config(
+                "watchdog.stall_deadline",
+                "must be > 0",
+            ));
+        }
+        if self.hang_deadline.is_zero() {
+            return Err(HeliosError::invalid_config(
+                "watchdog.hang_deadline",
+                "must be > 0",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig::new()
+    }
+}
+
+/// Adaptive admission-control knobs: the hysteresis band on ingestion
+/// backlog occupancy that switches [`Fleet::submit`](crate::Fleet::submit)
+/// between FIFO-accept and per-VC fair shedding.
+///
+/// Occupancy is total pending ingestion jobs over total shard capacity.
+/// Crossing [`high_water`](Self::high_water) engages shedding; it stays
+/// engaged until occupancy falls back to [`low_water`](Self::low_water)
+/// (hysteresis prevents flapping at the boundary). While engaged, a
+/// submission is shed when its VC holds more than its fair share of the
+/// backlog (deficit-weighted: heavy VCs shed first) or its own shard is
+/// itself past the high-water mark; light VCs keep submitting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedConfig {
+    /// Backlog occupancy in `(0, 1]` that engages shedding.
+    pub high_water: f64,
+    /// Backlog occupancy in `[0, high_water)` that disengages it.
+    pub low_water: f64,
+}
+
+impl ShedConfig {
+    /// Production-shaped defaults: engage at 85% backlog occupancy,
+    /// disengage at 50%.
+    pub fn new() -> Self {
+        ShedConfig {
+            high_water: 0.85,
+            low_water: 0.50,
+        }
+    }
+
+    /// Override the engage threshold.
+    pub fn high_water(mut self, occupancy: f64) -> Self {
+        self.high_water = occupancy;
+        self
+    }
+
+    /// Override the disengage threshold.
+    pub fn low_water(mut self, occupancy: f64) -> Self {
+        self.low_water = occupancy;
+        self
+    }
+
+    pub(crate) fn validate(&self) -> HeliosResult<()> {
+        if !(self.high_water > 0.0 && self.high_water <= 1.0) {
+            return Err(HeliosError::invalid_config(
+                "shed.high_water",
+                format!("must be in (0, 1], got {}", self.high_water),
+            ));
+        }
+        if !(self.low_water >= 0.0 && self.low_water < self.high_water) {
+            return Err(HeliosError::invalid_config(
+                "shed.low_water",
+                format!(
+                    "must be in [0, high_water), got {} (high_water {})",
+                    self.low_water, self.high_water
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ShedConfig {
+    fn default() -> Self {
+        ShedConfig::new()
+    }
 }
 
 /// One hosted cluster: the preset and its scheduling discipline. The
@@ -135,6 +282,12 @@ pub struct FleetConfig {
     /// Optional deterministic failure-injection schedule, applied to
     /// every worker (`None` in production topologies).
     pub chaos: Option<ChaosConfig>,
+    /// Optional watchdog supervision (`None` — the default — keeps the
+    /// legacy blocking behavior: calls wait indefinitely on a worker).
+    pub watchdog: Option<WatchdogConfig>,
+    /// Optional adaptive admission control (`None` — the default — keeps
+    /// the legacy FIFO-accept behavior: only a full shard pushes back).
+    pub shed: Option<ShedConfig>,
 }
 
 impl FleetConfig {
@@ -147,6 +300,8 @@ impl FleetConfig {
             checkpoint: CheckpointConfig::default(),
             max_restarts: DEFAULT_MAX_RESTARTS,
             chaos: None,
+            watchdog: None,
+            shed: None,
         }
     }
 
@@ -191,6 +346,18 @@ impl FleetConfig {
     /// Attach a deterministic chaos schedule to every worker.
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Enable watchdog supervision on every worker.
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Enable adaptive admission control (per-VC fair shedding).
+    pub fn with_shedding(mut self, shed: ShedConfig) -> Self {
+        self.shed = Some(shed);
         self
     }
 }

@@ -56,6 +56,20 @@
 //!   deadline), whole-process death recovers via [`Fleet::recover`]
 //!   from the on-disk ring, and the deterministic [`ChaosConfig`]
 //!   harness drives the resilience test suites.
+//! * **Liveness & overload hardening** (PR 9): an optional
+//!   [`WatchdogConfig`] turns every reply wait into a supervisor — the
+//!   kernel publishes a heartbeat from a cooperative pulse, a flatlined
+//!   worker is cancelled at an event boundary and routed through the
+//!   checkpoint-restore path, and one that ignores cancellation degrades
+//!   to [`WorkerState::Hung`] instead of blocking the fleet. An optional
+//!   [`ShedConfig`] adds adaptive admission control: past a high-water
+//!   backlog mark, heavy VCs are shed first with the typed
+//!   [`HeliosError::FleetShedding`](helios_trace::HeliosError::FleetShedding)
+//!   (hysteresis prevents flapping). [`Fleet::status_within`] answers
+//!   within a caller deadline, tagging the snapshot
+//!   [`StatusKind::Fresh`], [`Stale`](StatusKind::Stale), or
+//!   [`Degraded`](StatusKind::Degraded). Chaos gains deterministic hang,
+//!   slow-pump, and admission-panic injection.
 //!
 //! ```no_run
 //! use helios_fleet::{Fleet, FleetConfig};
@@ -87,8 +101,9 @@ mod worker;
 pub use chaos::ChaosConfig;
 pub use checkpoint::{CheckpointConfig, CHECKPOINT_MAGIC, CHECKPOINT_VERSION, JOURNAL_MAGIC};
 pub use config::{
-    ClusterConfig, FleetConfig, DEFAULT_MAX_RESTARTS, DEFAULT_SHARD_CAPACITY, FLEET_PRESETS,
+    ClusterConfig, FleetConfig, ShedConfig, WatchdogConfig, DEFAULT_MAX_RESTARTS,
+    DEFAULT_SHARD_CAPACITY, FLEET_PRESETS,
 };
 pub use retry::RetryConfig;
 pub use service::{Fleet, FLEET_SNAPSHOT_MAGIC, FLEET_SNAPSHOT_VERSION};
-pub use status::{ClusterStatus, FleetHealth, VcStatus, WorkerState};
+pub use status::{ClusterStatus, FleetHealth, StatusKind, StatusReport, VcStatus, WorkerState};

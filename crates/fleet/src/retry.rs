@@ -1,12 +1,15 @@
 //! Client-side resilience: seeded, jittered exponential backoff for
 //! [`Fleet::submit_with_retry`](crate::Fleet::submit_with_retry).
 //!
-//! Only [`HeliosError::FleetOverflow`](helios_trace::HeliosError) — the
-//! transient backpressure signal — is retried; every other error (bad
-//! job, unknown cluster, crashed worker) propagates immediately. Jitter
-//! comes from the workspace's stock splitmix64 mixer, so a given
-//! `(seed, job id)` pair always sleeps the same schedule: resilience
-//! tests stay deterministic.
+//! The transient refusals are retried:
+//! [`HeliosError::FleetOverflow`](helios_trace::HeliosError) (full
+//! shard), [`HeliosError::FleetShedding`](helios_trace::HeliosError)
+//! (adaptive admission control — the sleep is stretched by the error's
+//! `retry_after_cycles` hint), and any error raised while the worker is
+//! mid-recovery. Every other error (bad job, unknown cluster, crashed
+//! or hung worker) propagates immediately. Jitter comes from the
+//! workspace's stock splitmix64 mixer, so a given `(seed, job id)` pair
+//! always sleeps the same schedule: resilience tests stay deterministic.
 
 use crate::chaos::splitmix64;
 use helios_trace::{HeliosError, HeliosResult};

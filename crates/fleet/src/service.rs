@@ -3,17 +3,18 @@
 
 use crate::checkpoint::{self, CheckpointConfig};
 use crate::config::{
-    cluster_code, cluster_from, policy_code, policy_from, ClusterConfig, FleetConfig,
-    DEFAULT_MAX_RESTARTS,
+    cluster_code, cluster_from, policy_code, policy_from, ClusterConfig, FleetConfig, ShedConfig,
+    WatchdogConfig, DEFAULT_MAX_RESTARTS,
 };
 use crate::retry::RetryConfig;
-use crate::status::{ClusterStatus, WorkerState};
+use crate::status::{ClusterStatus, StatusKind, StatusReport, WorkerState};
 use crate::worker::{lock, spawn_worker, Boot, Ctrl, RuntimeOpts, Worker};
 use helios_sim::{validate_job, ByteReader, ByteWriter, JobOutcome, SimJob, SimSnapshot};
 use helios_trace::{preset, ClusterId, HeliosError, HeliosResult};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{self, Receiver, TrySendError};
-use std::time::Instant;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, TrySendError};
+use std::sync::TryLockError;
+use std::time::{Duration, Instant};
 
 /// Magic prefix of a serialized fleet snapshot frame.
 pub const FLEET_SNAPSHOT_MAGIC: [u8; 8] = *b"HELFLEET";
@@ -32,6 +33,12 @@ pub const FLEET_SNAPSHOT_VERSION: u32 = 1;
 pub struct Fleet {
     workers: Vec<Worker>,
     shard_capacity: usize,
+    /// Watchdog supervision knobs; `None` keeps the legacy blocking
+    /// behavior (calls wait indefinitely on a worker's reply).
+    watchdog: Option<WatchdogConfig>,
+    /// Adaptive admission-control knobs; `None` keeps the legacy
+    /// FIFO-accept behavior (only a full shard pushes back).
+    shed: Option<ShedConfig>,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -57,6 +64,8 @@ impl Fleet {
         Ok(Fleet {
             workers,
             shard_capacity: config.shard_capacity,
+            watchdog: config.watchdog,
+            shed: config.shed,
         })
     }
 
@@ -98,6 +107,8 @@ impl Fleet {
         Ok(Fleet {
             workers,
             shard_capacity: config.shard_capacity,
+            watchdog: config.watchdog,
+            shed: config.shed,
         })
     }
 
@@ -133,15 +144,86 @@ impl Fleet {
     }
 
     fn send_ctrl(&self, w: &Worker, cmd: Ctrl) -> HeliosResult<()> {
+        // An abandoned (hung) worker must never be commanded again: the
+        // caller would block on a reply that may never come.
+        if w.health.state() == WorkerState::Hung {
+            return Err(w.died_err());
+        }
         // `ctrl` is only `None` after shutdown took the workers, so a
         // missing channel is the same condition as a closed one: this
         // worker can no longer be commanded.
         let ctrl = w.ctrl.as_ref().ok_or_else(|| w.died_err())?;
-        ctrl.send(cmd).map_err(|_| w.died_err())
+        let cycle = matches!(
+            cmd,
+            Ctrl::Pump { .. } | Ctrl::Snapshot { .. } | Ctrl::Complete { .. }
+        );
+        ctrl.send(cmd).map_err(|_| w.died_err())?;
+        if cycle {
+            w.cycles_issued.fetch_add(1, Ordering::AcqRel);
+        }
+        Ok(())
     }
 
-    fn recv_reply<T>(&self, w: &Worker, rx: &Receiver<T>) -> HeliosResult<T> {
-        rx.recv().map_err(|_| w.died_err())
+    /// Wait for a worker's reply. Without a [`WatchdogConfig`] this is a
+    /// plain blocking receive (the legacy behavior). With one, the wait
+    /// doubles as the supervisor: it polls the worker's heartbeat while
+    /// waiting, arms cooperative cancellation when the heartbeat goes
+    /// flat past `stall_deadline` (a recovering worker counts as making
+    /// progress), and — if the worker ignores cancellation for a further
+    /// `hang_deadline` — declares it [`WorkerState::Hung`], abandons it,
+    /// and returns the typed [`HeliosError::WorkerHung`] instead of
+    /// blocking forever.
+    fn await_reply<T>(&self, w: &Worker, rx: &Receiver<T>) -> HeliosResult<T> {
+        let Some(wd) = &self.watchdog else {
+            return rx.recv().map_err(|_| w.died_err());
+        };
+        let poll = (wd.stall_deadline / 8).max(Duration::from_millis(1));
+        let mut last_hb = w.health.hb_events();
+        let mut last_state = w.health.state();
+        let mut last_progress = Instant::now();
+        let mut cancel_since: Option<Instant> = None;
+        loop {
+            match rx.recv_timeout(poll) {
+                Ok(v) => {
+                    // The reply resolves any armed-but-unconsumed
+                    // cancellation (e.g. the worker finished right as the
+                    // watchdog fired) so it cannot leak into the next
+                    // command.
+                    w.health.clear_cancel();
+                    return Ok(v);
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(w.died_err()),
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            let hb = w.health.hb_events();
+            let state = w.health.state();
+            if hb != last_hb || state != last_state || state == WorkerState::Recovering {
+                last_hb = hb;
+                last_state = state;
+                last_progress = Instant::now();
+                cancel_since = None;
+                continue;
+            }
+            match cancel_since {
+                None if last_progress.elapsed() >= wd.stall_deadline => {
+                    w.health.arm_cancel();
+                    cancel_since = Some(Instant::now());
+                }
+                Some(armed) if armed.elapsed() >= wd.hang_deadline => {
+                    // The worker ignored cancellation: degrade instead of
+                    // blocking. Abandoning releases any chaos spin so a
+                    // detached thread can still wind down; a truly hung
+                    // thread is simply never joined.
+                    w.health.set_state(WorkerState::Hung);
+                    w.health.abandon();
+                    return Err(HeliosError::WorkerHung {
+                        cluster: w.cfg.cluster.name().to_string(),
+                        stalled_events: hb,
+                    });
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Submit one job to a hosted cluster's ingestion shard (non-blocking).
@@ -151,16 +233,27 @@ impl Fleet {
     /// door, tagged with the cluster. A full shard surfaces as
     /// [`HeliosError::FleetOverflow`]: the backpressure signal to retry
     /// after the next [`Fleet::advance`] drains the shard.
+    ///
+    /// With a [`ShedConfig`] attached, the fleet additionally sheds load
+    /// *before* shards fill: once the cluster's total ingestion backlog
+    /// crosses the high-water mark, submissions from VCs holding more
+    /// than their fair share of it (or whose own shard is past the mark)
+    /// are refused with [`HeliosError::FleetShedding`] until the backlog
+    /// drains below the low-water mark. Light VCs keep submitting
+    /// throughout — the paper's per-VC fairness, applied to overload.
     pub fn submit(&self, cluster: ClusterId, job: SimJob) -> HeliosResult<()> {
         let w = self.worker_for(cluster)?;
-        // A crashed worker's shard buffers may still accept sends for a
-        // moment while its thread tears down; refuse at the door so no
-        // job is silently swallowed by a dead cluster.
-        if w.health.state() == WorkerState::Crashed {
+        // A crashed (or hung) worker's shard buffers may still accept
+        // sends for a moment while its thread tears down; refuse at the
+        // door so no job is silently swallowed by a dead cluster.
+        if matches!(w.health.state(), WorkerState::Crashed | WorkerState::Hung) {
             return Err(w.died_err());
         }
         validate_job(&w.spec, &job).map_err(|e| e.for_cluster(cluster.name()))?;
         let vc = job.vc as usize;
+        if let Some(e) = self.shed_decision(w, cluster, vc) {
+            return Err(e);
+        }
         match w.shards[vc].try_send(job) {
             Ok(()) => {
                 w.depths[vc].fetch_add(1, Ordering::AcqRel);
@@ -176,12 +269,55 @@ impl Fleet {
         }
     }
 
+    /// Adaptive admission control: decide whether this submission should
+    /// be shed. Hysteresis on the cluster-wide backlog occupancy (enter
+    /// at high-water, exit at low-water) prevents flapping; inside the
+    /// band, heavy VCs — those above the mean backlog, or with their own
+    /// shard past the high-water mark — are shed first.
+    fn shed_decision(&self, w: &Worker, cluster: ClusterId, vc: usize) -> Option<HeliosError> {
+        let shed = self.shed.as_ref()?;
+        let nvcs = w.depths.len();
+        let depths: Vec<usize> = w.depths.iter().map(|d| d.load(Ordering::Acquire)).collect();
+        let total: usize = depths.iter().sum();
+        let occupancy = total as f64 / (nvcs * self.shard_capacity) as f64;
+        let engaged = if w.health.shedding() {
+            occupancy > shed.low_water
+        } else {
+            occupancy >= shed.high_water
+        };
+        w.health.set_shedding(engaged);
+        if !engaged {
+            return None;
+        }
+        let mine = depths[vc];
+        let mean = total as f64 / nvcs as f64;
+        let own_full = mine as f64 >= shed.high_water * self.shard_capacity as f64;
+        if (mine as f64) <= mean && !own_full {
+            return None;
+        }
+        // How many times over its fair share this VC's backlog is ≈ how
+        // many admission cycles of draining it should wait out.
+        let retry_after_cycles =
+            (((mine * nvcs) as f64 / total.max(1) as f64).ceil() as u64).max(1);
+        w.health.add_shed(1);
+        Some(HeliosError::FleetShedding {
+            cluster: cluster.name().to_string(),
+            vc: vc as u16,
+            retry_after_cycles,
+        })
+    }
+
     /// [`Fleet::submit`] with seeded, jittered exponential backoff on
-    /// [`HeliosError::FleetOverflow`] — the transient backpressure
-    /// signal. Any other error propagates immediately; when `retry`'s
-    /// deadline would be crossed by the next sleep, the last overflow
-    /// error is returned. The jitter stream is a pure function of
-    /// `(retry.seed, job.id, attempt)`, so resilience tests are
+    /// the transient refusals: [`HeliosError::FleetOverflow`] (full
+    /// shard), [`HeliosError::FleetShedding`] (admission control — the
+    /// backoff is stretched by the error's `retry_after_cycles` hint),
+    /// and any error raised while the worker is
+    /// [`Recovering`](WorkerState::Recovering) (a submit racing a
+    /// supervisor restart waits the recovery out instead of failing
+    /// spuriously). Any other error propagates immediately; when
+    /// `retry`'s deadline would be crossed by the next sleep, the last
+    /// transient error is returned. The jitter stream is a pure function
+    /// of `(retry.seed, job.id, attempt)`, so resilience tests are
     /// deterministic.
     ///
     /// This blocks the calling thread between attempts; pair it with a
@@ -197,17 +333,29 @@ impl Fleet {
         let started = Instant::now();
         let mut attempt: u32 = 0;
         loop {
-            match self.submit(cluster, job) {
-                Err(e @ HeliosError::FleetOverflow { .. }) => {
-                    let delay = retry.backoff(attempt, job.id);
-                    if started.elapsed() + delay > retry.deadline {
-                        return Err(e);
-                    }
-                    std::thread::sleep(delay);
-                    attempt += 1;
+            let err = match self.submit(cluster, job) {
+                Ok(()) => return Ok(()),
+                Err(e) => e,
+            };
+            let stretch = match &err {
+                HeliosError::FleetOverflow { .. } => 1,
+                HeliosError::FleetShedding {
+                    retry_after_cycles, ..
+                } => (*retry_after_cycles).clamp(1, 64) as u32,
+                _ if self
+                    .worker_for(cluster)
+                    .is_ok_and(|w| w.health.state() == WorkerState::Recovering) =>
+                {
+                    1
                 }
-                other => return other,
+                _ => return Err(err),
+            };
+            let delay = retry.backoff(attempt, job.id) * stretch;
+            if started.elapsed() + delay > retry.deadline {
+                return Err(err);
             }
+            std::thread::sleep(delay);
+            attempt += 1;
         }
     }
 
@@ -224,7 +372,7 @@ impl Fleet {
         }
         let mut admitted = 0;
         for (w, rx) in &waits {
-            admitted += self.recv_reply(w, rx)??;
+            admitted += self.await_reply(w, rx)??;
         }
         Ok(admitted)
     }
@@ -234,7 +382,7 @@ impl Fleet {
         let w = self.worker_for(cluster)?;
         let (tx, rx) = mpsc::sync_channel(1);
         self.send_ctrl(w, Ctrl::Pump { until, done: tx })?;
-        self.recv_reply(w, &rx)?
+        self.await_reply(w, &rx)?
     }
 
     fn status_of(w: &Worker) -> ClusterStatus {
@@ -249,26 +397,90 @@ impl Fleet {
     /// the worker's last published kernel aggregates overlaid with the
     /// current ingestion counters and supervision health. Never waits on
     /// the worker. A cluster whose worker exhausted its restart budget
-    /// answers with the typed
-    /// [`HeliosError::WorkerCrashed`] instead of stale numbers; use
-    /// [`Fleet::statuses`] for the infallible degraded-mode view.
+    /// (or hung past the watchdog's hard deadline) answers with the
+    /// typed [`HeliosError::WorkerCrashed`] / [`HeliosError::WorkerHung`]
+    /// instead of stale numbers; use [`Fleet::statuses`] for the
+    /// infallible degraded-mode view, or [`Fleet::status_within`] for a
+    /// staleness-tagged read that always returns data.
     pub fn status(&self, cluster: ClusterId) -> HeliosResult<ClusterStatus> {
         let w = self.worker_for(cluster)?;
         let s = Self::status_of(w);
-        if s.health.state == WorkerState::Crashed {
+        if matches!(s.health.state, WorkerState::Crashed | WorkerState::Hung) {
             return Err(w.died_err());
         }
         Ok(s)
     }
 
     /// [`Fleet::status`] for every hosted cluster, in configuration
-    /// order — infallible by design: a crashed worker still reports its
-    /// last published aggregates with
+    /// order — infallible by design: a crashed or hung worker still
+    /// reports its last published aggregates with
     /// [`health.state`](crate::FleetHealth) set to
-    /// [`WorkerState::Crashed`], so dashboards keep rendering a degraded
-    /// fleet.
+    /// [`WorkerState::Crashed`] / [`WorkerState::Hung`] (per-worker
+    /// liveness rides in [`FleetHealth::heartbeat_events`](crate::FleetHealth) /
+    /// [`FleetHealth::heartbeat_age_secs`](crate::FleetHealth)), so
+    /// dashboards keep rendering a degraded fleet.
     pub fn statuses(&self) -> Vec<ClusterStatus> {
         self.workers.iter().map(Self::status_of).collect()
+    }
+
+    /// Deadline-bounded status read: returns the freshest published
+    /// snapshot available within `deadline`, tagged with its staleness —
+    /// it never blocks on a recovering, stalled, or hung worker.
+    ///
+    /// The staleness contract:
+    ///
+    /// * [`StatusKind::Fresh`] — the worker is healthy and the snapshot
+    ///   reflects every admission cycle issued so far;
+    /// * [`StatusKind::Stale`] — the worker is healthy but `age_cycles`
+    ///   issued cycles (a pump in flight) are not yet reflected;
+    /// * [`StatusKind::Degraded`] — the worker is not healthy
+    ///   (recovering / hung / crashed), or the snapshot lock could not
+    ///   even be sampled within the deadline: the data is the last state
+    ///   the worker published before degrading.
+    ///
+    /// The only error is an unknown cluster id; ingestion counters and
+    /// health are overlaid live, exactly as in [`Fleet::status`].
+    pub fn status_within(
+        &self,
+        cluster: ClusterId,
+        deadline: Duration,
+    ) -> HeliosResult<StatusReport> {
+        let w = self.worker_for(cluster)?;
+        let started = Instant::now();
+        // The publish lock is only ever held for a swap, so this spin
+        // resolves in nanoseconds; the deadline is a hard bound, not an
+        // expectation.
+        let published = loop {
+            match w.status.try_lock() {
+                Ok(guard) => break Some(guard.clone()),
+                Err(TryLockError::Poisoned(poisoned)) => break Some(poisoned.into_inner().clone()),
+                Err(TryLockError::WouldBlock) => {
+                    if started.elapsed() >= deadline {
+                        break None;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        };
+        let (mut status, lock_missed) = match published {
+            Some(s) => (s, false),
+            // Deadline expired without a lock sample: serve the all-idle
+            // shape rather than blocking past the contract.
+            None => (ClusterStatus::empty(&w.spec, cluster), true),
+        };
+        status.submitted = w.submitted.load(Ordering::Acquire);
+        status.pending_ingest = w.depths.iter().map(|d| d.load(Ordering::Acquire)).sum();
+        status.health = w.health.snapshot(status.now);
+        let kind = if lock_missed || status.health.state != WorkerState::Healthy {
+            StatusKind::Degraded
+        } else {
+            let issued = w.cycles_issued.load(Ordering::Acquire);
+            match issued.saturating_sub(status.cycle) {
+                0 => StatusKind::Fresh,
+                age_cycles => StatusKind::Stale { age_cycles },
+            }
+        };
+        Ok(StatusReport { status, kind })
     }
 
     /// Surrender the finished-job outcomes one cluster has accumulated.
@@ -280,7 +492,7 @@ impl Fleet {
         let w = self.worker_for(cluster)?;
         let (tx, rx) = mpsc::sync_channel(1);
         self.send_ctrl(w, Ctrl::Drain { done: tx })?;
-        self.recv_reply(w, &rx)?
+        self.await_reply(w, &rx)?
     }
 
     /// Checkpoint the whole fleet into one versioned binary frame.
@@ -303,7 +515,7 @@ impl Fleet {
         writer.u64(self.shard_capacity as u64);
         writer.u32(self.workers.len() as u32);
         for (w, rx) in &waits {
-            let blob = self.recv_reply(w, rx)??;
+            let blob = self.await_reply(w, rx)??;
             writer.u8(cluster_code(w.cfg.cluster));
             writer.u8(policy_code(w.cfg.policy));
             writer.bytes(&blob);
@@ -364,6 +576,7 @@ impl Fleet {
                 checkpoint: CheckpointConfig::default(),
                 chaos: None,
                 max_restarts: DEFAULT_MAX_RESTARTS,
+                watchdog: None,
             };
             workers.push(spawn_worker(
                 cfg,
@@ -381,6 +594,8 @@ impl Fleet {
         Ok(Fleet {
             workers,
             shard_capacity,
+            watchdog: None,
+            shed: None,
         })
     }
 
@@ -397,29 +612,40 @@ impl Fleet {
         }
         let mut out = Vec::with_capacity(workers.len());
         for (w, rx) in workers.iter().zip(&waits) {
-            let outcomes = self.recv_reply(w, rx)??;
+            let outcomes = self.await_reply(w, rx)??;
             out.push((w.cfg.cluster, outcomes));
         }
         for w in &mut workers {
-            w.ctrl = None;
-            if let Some(handle) = w.handle.take() {
-                let _ = handle.join();
-            }
+            teardown_worker(w);
         }
         Ok(out)
+    }
+}
+
+/// Stop one worker: release any chaos spin (abandon), close the control
+/// channel, and join the thread — unless the watchdog declared it hung,
+/// in which case the handle is dropped without joining so a genuinely
+/// stuck thread can never wedge teardown.
+fn teardown_worker(w: &mut Worker) {
+    w.health.abandon();
+    w.ctrl = None;
+    if let Some(handle) = w.handle.take() {
+        if w.health.state() == WorkerState::Hung {
+            drop(handle);
+        } else {
+            let _ = handle.join();
+        }
     }
 }
 
 impl Drop for Fleet {
     /// Dropping the handle (without [`Fleet::shutdown`]) stops the
     /// workers where they are: closing the control channels ends their
-    /// loops, and the threads are joined so nothing outlives the fleet.
+    /// loops, and the threads are joined (hung workers are detached, not
+    /// joined) so a stuck worker never wedges the drop.
     fn drop(&mut self) {
         for w in &mut self.workers {
-            w.ctrl = None;
-            if let Some(handle) = w.handle.take() {
-                let _ = handle.join();
-            }
+            teardown_worker(w);
         }
     }
 }
@@ -440,6 +666,12 @@ fn validate_topology(config: &FleetConfig) -> HeliosResult<()> {
         ));
     }
     config.checkpoint.validate()?;
+    if let Some(wd) = &config.watchdog {
+        wd.validate()?;
+    }
+    if let Some(shed) = &config.shed {
+        shed.validate()?;
+    }
     for (i, c) in config.clusters.iter().enumerate() {
         if config.clusters[..i].iter().any(|p| p.cluster == c.cluster) {
             return Err(HeliosError::invalid_config(
@@ -458,5 +690,6 @@ fn runtime_opts(config: &FleetConfig) -> RuntimeOpts {
         checkpoint: config.checkpoint.clone(),
         chaos: config.chaos.clone(),
         max_restarts: config.max_restarts,
+        watchdog: config.watchdog,
     }
 }

@@ -12,6 +12,11 @@ pub enum WorkerState {
     /// A panic was caught; the supervisor is restoring the last good
     /// checkpoint and replaying the admission journal.
     Recovering,
+    /// The worker stopped making kernel progress and ignored cooperative
+    /// cancellation past the watchdog's hard deadline. The cluster is
+    /// served in degraded mode — stale status, no admission, and no call
+    /// ever blocks on it — until the fleet is relaunched or recovered.
+    Hung,
     /// The restart budget is exhausted (or no retained generation
     /// decodes): the cluster is served in degraded mode — stale status,
     /// no admission — until the fleet is relaunched or recovered.
@@ -51,6 +56,19 @@ pub struct FleetHealth {
     /// mirror), seconds; divide by [`checkpoint_writes`](Self::checkpoint_writes)
     /// for the mean write latency.
     pub checkpoint_write_secs_total: f64,
+    /// Monotone kernel-event heartbeat: total events the worker has
+    /// processed across its lifetime (survives restarts). A watchdog
+    /// declares a stall when this stops advancing while work is pending.
+    pub heartbeat_events: u64,
+    /// Wall-clock age of the last heartbeat in seconds — how long ago the
+    /// worker last proved liveness (0.0 before the first heartbeat).
+    pub heartbeat_age_secs: f64,
+    /// Jobs refused by adaptive admission control since launch
+    /// ([`HeliosError::FleetShedding`](helios_trace::HeliosError::FleetShedding)).
+    pub shed_jobs: u64,
+    /// True while admission control is actively shedding (backlog between
+    /// the high- and low-water hysteresis marks after crossing high).
+    pub shedding: bool,
 }
 
 /// One virtual cluster's live state inside a [`ClusterStatus`].
@@ -132,6 +150,10 @@ pub struct ClusterStatus {
     pub failures: u64,
     /// Per-VC breakdown, in VC order.
     pub vcs: Vec<VcStatus>,
+    /// Admission cycle that published this snapshot (0 before the first
+    /// pump). [`Fleet::status_within`](crate::Fleet::status_within)
+    /// compares it against the cycles issued so far to tag staleness.
+    pub cycle: u64,
     /// Supervision health (restart counts, checkpoint age), overlaid at
     /// query time like the ingestion counters.
     pub health: FleetHealth,
@@ -164,6 +186,7 @@ impl ClusterStatus {
                     queued_work: 0.0,
                 })
                 .collect(),
+            cycle: 0,
             health: FleetHealth::default(),
         }
     }
@@ -182,4 +205,36 @@ impl ClusterStatus {
     pub fn eta_secs(&self, vc: u16) -> Option<f64> {
         self.vcs.get(vc as usize).map(VcStatus::eta_secs)
     }
+}
+
+/// Staleness tag on a [`StatusReport`] returned by
+/// [`Fleet::status_within`](crate::Fleet::status_within). The contract:
+/// the call returns within the deadline with the freshest snapshot it
+/// could get, and this tag says how fresh that was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusKind {
+    /// The snapshot reflects every admission cycle issued so far.
+    Fresh,
+    /// The worker is healthy but the snapshot trails the issued cycles —
+    /// a pump (or recovery) is in flight. `age_cycles` is how many
+    /// issued-but-unpublished cycles it misses.
+    Stale {
+        /// Admission cycles issued but not yet reflected in the snapshot.
+        age_cycles: u64,
+    },
+    /// The worker is not `Healthy` (recovering, hung, or crashed) or the
+    /// snapshot lock could not be taken within the deadline: the snapshot
+    /// is the last one the worker published before degrading.
+    Degraded,
+}
+
+/// A deadline-bounded status read: the freshest [`ClusterStatus`]
+/// available within the caller's deadline, tagged with its staleness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusReport {
+    /// The snapshot (live ingestion counters and health overlaid, same as
+    /// [`Fleet::status`](crate::Fleet::status)).
+    pub status: ClusterStatus,
+    /// How fresh the snapshot is.
+    pub kind: StatusKind,
 }

@@ -15,12 +15,14 @@
 
 use crate::chaos::{ChaosConfig, ChaosObserver, ChaosShared};
 use crate::checkpoint::{CheckpointConfig, CheckpointManager};
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, WatchdogConfig};
 use crate::status::{ClusterStatus, FleetHealth, VcStatus, WorkerState};
 use helios_sim::{ClusterView, JobOutcome, SimEvent, SimJob, SimObserver, SimSnapshot, Simulator};
 use helios_trace::{ClusterId, ClusterSpec, HeliosError, HeliosResult};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{
+    AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
@@ -59,6 +61,7 @@ pub(crate) struct RuntimeOpts {
     pub checkpoint: CheckpointConfig,
     pub chaos: Option<ChaosConfig>,
     pub max_restarts: u32,
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 /// How a worker's kernel comes to life.
@@ -89,6 +92,27 @@ pub(crate) struct HealthCell {
     recovery_nanos: AtomicU64,
     ckpt_writes: AtomicU64,
     ckpt_write_nanos: AtomicU64,
+    /// Monotone heartbeat: kernel events processed across the worker's
+    /// whole lifetime (incremented by deltas from the liveness pulse, so
+    /// it survives kernel rebuilds).
+    hb_events: AtomicU64,
+    /// Wall stamp of the last heartbeat, nanos since `epoch` (0 = none
+    /// yet).
+    hb_wall_nanos: AtomicU64,
+    /// Cooperative cancellation token, armed by the caller-side watchdog
+    /// and honored by the kernel's liveness pulse at the next check.
+    cancel: AtomicBool,
+    /// Set when the fleet gives up on this worker (hung teardown or
+    /// drop): chaos spin loops release on it so a detached thread can
+    /// exit.
+    abandoned: AtomicBool,
+    /// Jobs refused by adaptive admission control since launch.
+    shed_jobs: AtomicU64,
+    /// True while admission control is inside its shedding hysteresis
+    /// band.
+    shed_active: AtomicBool,
+    /// Wall-clock origin for heartbeat stamps.
+    epoch: Instant,
 }
 
 impl HealthCell {
@@ -103,6 +127,13 @@ impl HealthCell {
             recovery_nanos: AtomicU64::new(0),
             ckpt_writes: AtomicU64::new(0),
             ckpt_write_nanos: AtomicU64::new(0),
+            hb_events: AtomicU64::new(0),
+            hb_wall_nanos: AtomicU64::new(0),
+            cancel: AtomicBool::new(false),
+            abandoned: AtomicBool::new(false),
+            shed_jobs: AtomicU64::new(0),
+            shed_active: AtomicBool::new(false),
+            epoch: Instant::now(),
         })
     }
 
@@ -110,17 +141,68 @@ impl HealthCell {
         match self.state.load(Ordering::Acquire) {
             0 => WorkerState::Healthy,
             1 => WorkerState::Recovering,
+            3 => WorkerState::Hung,
             _ => WorkerState::Crashed,
         }
     }
 
-    fn set_state(&self, s: WorkerState) {
+    pub(crate) fn set_state(&self, s: WorkerState) {
         let code = match s {
             WorkerState::Healthy => 0,
             WorkerState::Recovering => 1,
             WorkerState::Crashed => 2,
+            WorkerState::Hung => 3,
         };
         self.state.store(code, Ordering::Release);
+    }
+
+    /// Record `delta` more processed kernel events and stamp the wall
+    /// clock — called from the kernel's liveness pulse.
+    fn heartbeat(&self, delta: u64) {
+        if delta > 0 {
+            self.hb_events.fetch_add(delta, Ordering::AcqRel);
+        }
+        self.hb_wall_nanos
+            .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Release);
+    }
+
+    /// The monotone heartbeat event count.
+    pub fn hb_events(&self) -> u64 {
+        self.hb_events.load(Ordering::Acquire)
+    }
+
+    pub fn arm_cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn clear_cancel(&self) {
+        self.cancel.store(false, Ordering::Release);
+    }
+
+    pub fn cancel_armed(&self) -> bool {
+        self.cancel.load(Ordering::Acquire)
+    }
+
+    /// Give up on this worker: chaos spin loops release, and the fleet
+    /// stops joining/blocking on the thread.
+    pub fn abandon(&self) {
+        self.abandoned.store(true, Ordering::Release);
+    }
+
+    pub fn abandoned(&self) -> bool {
+        self.abandoned.load(Ordering::Acquire)
+    }
+
+    pub fn add_shed(&self, n: u64) {
+        self.shed_jobs.fetch_add(n, Ordering::AcqRel);
+    }
+
+    pub fn set_shedding(&self, active: bool) {
+        self.shed_active.store(active, Ordering::Release);
+    }
+
+    pub fn shedding(&self) -> bool {
+        self.shed_active.load(Ordering::Acquire)
     }
 
     pub fn restarts(&self) -> u32 {
@@ -159,6 +241,12 @@ impl HealthCell {
         } else {
             (now - clock).max(0)
         };
+        let hb_stamp = self.hb_wall_nanos.load(Ordering::Acquire);
+        let heartbeat_age_secs = if hb_stamp == 0 {
+            0.0
+        } else {
+            (self.epoch.elapsed().as_nanos() as u64).saturating_sub(hb_stamp) as f64 / 1e9
+        };
         FleetHealth {
             state: self.state(),
             restarts: self.restarts(),
@@ -169,6 +257,10 @@ impl HealthCell {
             recovery_secs_total: self.recovery_nanos.load(Ordering::Acquire) as f64 / 1e9,
             checkpoint_writes: self.ckpt_writes.load(Ordering::Acquire),
             checkpoint_write_secs_total: self.ckpt_write_nanos.load(Ordering::Acquire) as f64 / 1e9,
+            heartbeat_events: self.hb_events(),
+            heartbeat_age_secs,
+            shed_jobs: self.shed_jobs.load(Ordering::Acquire),
+            shedding: self.shedding(),
         }
     }
 }
@@ -189,22 +281,31 @@ pub(crate) struct Worker {
     pub status: Arc<Mutex<ClusterStatus>>,
     /// Shared supervision telemetry.
     pub health: Arc<HealthCell>,
+    /// Admission cycles issued to this worker (Pump/Snapshot/Complete
+    /// commands sent), bumped by the fleet *before* dispatch. Compared
+    /// against the published [`ClusterStatus::cycle`] to tag staleness
+    /// in [`Fleet::status_within`](crate::Fleet::status_within).
+    pub cycles_issued: AtomicU64,
     pub handle: Option<JoinHandle<()>>,
 }
 
 impl Worker {
     /// The typed error for a worker that can no longer answer: the
     /// supervised [`HeliosError::WorkerCrashed`] when the health cell
-    /// says the restart budget is spent, else the generic channel-death
+    /// says the restart budget is spent, [`HeliosError::WorkerHung`]
+    /// when the watchdog abandoned it, else the generic channel-death
     /// error (the thread was torn down outside the supervisor's watch).
     pub fn died_err(&self) -> HeliosError {
-        if self.health.state() == WorkerState::Crashed {
-            HeliosError::WorkerCrashed {
+        match self.health.state() {
+            WorkerState::Crashed => HeliosError::WorkerCrashed {
                 cluster: self.cfg.cluster.name().to_string(),
                 restarts: self.health.restarts(),
-            }
-        } else {
-            worker_died(self.cfg.cluster.name())
+            },
+            WorkerState::Hung => HeliosError::WorkerHung {
+                cluster: self.cfg.cluster.name().to_string(),
+                stalled_events: self.health.hb_events(),
+            },
+            _ => worker_died(self.cfg.cluster.name()),
         }
     }
 }
@@ -271,6 +372,7 @@ struct WorkerCtx {
     health: Arc<HealthCell>,
     chaos: Option<(ChaosConfig, Arc<ChaosShared>)>,
     max_restarts: u32,
+    watchdog: Option<WatchdogConfig>,
     /// Admission cycles served (1-based; chaos stall schedule keys off
     /// it).
     cycle: u64,
@@ -278,6 +380,12 @@ struct WorkerCtx {
     /// crash: the next drains drop this many leading outcomes.
     suppress: u64,
     batch: Vec<SimJob>,
+    /// True from the moment `admit` drains a non-empty batch out of the
+    /// shards until that batch is acknowledged in the journal. A crash
+    /// inside the window leaves `batch` as the only copy of jobs the
+    /// producer was told were accepted — recovery re-admits it
+    /// exactly-once (the journal acknowledgment is the dedup witness).
+    batch_pending: bool,
 }
 
 /// Build (or rebuild) this worker's kernel for a boot mode.
@@ -326,8 +434,27 @@ fn attach_observers(sim: &mut Simulator<'static>, ctx: &WorkerCtx, snap: Option<
         sim.observe(Box::new(ChaosObserver::new(
             chaos_cfg,
             Arc::clone(shared),
+            Arc::clone(&ctx.health),
             ctx.cfg.cluster.name(),
         )));
+    }
+    if let Some(wd) = &ctx.watchdog {
+        // The liveness pulse: every `check_events` kernel events, fold
+        // the delta into the monotone heartbeat and honor the
+        // cancellation token. The kernel-local counter restarts at 0 on
+        // every rebuild, so the closure tracks its own previous value
+        // and publishes deltas — the shared heartbeat stays monotone
+        // across restarts.
+        let health = Arc::clone(&ctx.health);
+        let mut prev = 0u64;
+        sim.set_pulse(
+            wd.check_events,
+            Box::new(move |count| {
+                health.heartbeat(count - prev);
+                prev = count;
+                health.cancel_armed()
+            }),
+        );
     }
 }
 
@@ -408,9 +535,11 @@ pub(crate) fn spawn_worker(
                     .as_ref()
                     .map(|c| (c.clone(), ChaosShared::new(c))),
                 max_restarts: runtime.max_restarts,
+                watchdog: runtime.watchdog,
                 cycle: 0,
                 suppress: 0,
                 batch: Vec::new(),
+                batch_pending: false,
                 cfg,
             };
             attach_observers(&mut sim, &ctx, boot_snap);
@@ -434,7 +563,7 @@ pub(crate) fn spawn_worker(
                 .set_checkpoint(manager.newest_index(), manager.newest_clock(), 0);
             let (writes, nanos) = manager.write_stats();
             ctx.health.set_write_stats(writes, nanos);
-            publish(&ctx.status, ctx.cfg.cluster, &sim, &lock(&ctx.work));
+            publish(&ctx.status, ctx.cfg.cluster, &sim, &lock(&ctx.work), 0);
             // Ready only after the first status publish, so a query
             // issued the moment launch/restore returns already sees the
             // kernel's real state.
@@ -463,6 +592,7 @@ pub(crate) fn spawn_worker(
         ctrl: Some(ctrl_tx),
         status,
         health,
+        cycles_issued: AtomicU64::new(0),
         handle: Some(handle),
     })
 }
@@ -504,10 +634,16 @@ fn supervised_loop(
         match cmd {
             Ctrl::Pump { until, done } => {
                 match guarded(&mut sim, manager, ctx, |s, m, c| pump(s, m, c, until)) {
-                    Ok(reply) => {
-                        let _ = done.send(reply);
+                    Ok(Ok(Step::Done(admitted))) => {
+                        let _ = done.send(Ok(admitted));
                     }
-                    Err(()) => match recover(&mut sim, manager, ctx) {
+                    Ok(Err(e)) => {
+                        let _ = done.send(Err(e));
+                    }
+                    // A watchdog cancellation routes through the same
+                    // checkpoint-restore path as a caught panic: restore,
+                    // then retry the interrupted command.
+                    Ok(Ok(Step::Cancelled)) | Err(()) => match recover(&mut sim, manager, ctx) {
                         Ok(()) => pending = Some(Ctrl::Pump { until, done }),
                         Err(e) => {
                             let _ = done.send(Err(e));
@@ -545,11 +681,15 @@ fn supervised_loop(
                 },
             },
             Ctrl::Complete { done } => match guarded(&mut sim, manager, ctx, complete_cmd) {
-                Ok(reply) => {
-                    let _ = done.send(reply);
+                Ok(Ok(Step::Done(outcomes))) => {
+                    let _ = done.send(Ok(outcomes));
                     return;
                 }
-                Err(()) => match recover(&mut sim, manager, ctx) {
+                Ok(Err(e)) => {
+                    let _ = done.send(Err(e));
+                    return;
+                }
+                Ok(Ok(Step::Cancelled)) | Err(()) => match recover(&mut sim, manager, ctx) {
                     Ok(()) => pending = Some(Ctrl::Complete { done }),
                     Err(e) => {
                         let _ = done.send(Err(e));
@@ -561,6 +701,14 @@ fn supervised_loop(
     }
 }
 
+/// How a kernel-driving command ended: normally, or cut short by the
+/// watchdog's cooperative cancellation (the supervisor then recovers and
+/// retries, exactly like a caught panic).
+enum Step<T> {
+    Done(T),
+    Cancelled,
+}
+
 /// One `Pump` cycle: admit (unless chaos stalls the cycle), simulate to
 /// the horizon, maybe checkpoint, publish.
 fn pump(
@@ -568,20 +716,36 @@ fn pump(
     manager: &mut CheckpointManager,
     ctx: &mut WorkerCtx,
     until: i64,
-) -> HeliosResult<u64> {
+) -> HeliosResult<Step<u64>> {
     ctx.cycle += 1;
+    if let Some((chaos_cfg, _)) = &ctx.chaos {
+        if let Some(delay) = chaos_cfg.slowed(ctx.cycle) {
+            // Slow-pump injection: burn wall time without touching the
+            // virtual clock, so staleness stretches but digests don't.
+            thread::sleep(delay);
+        }
+    }
     let admitted = admit(sim, manager, ctx, true)?;
     sim.run_until(until);
+    if sim.take_cancelled() {
+        return Ok(Step::Cancelled);
+    }
     if manager.due(ctx.cycle) {
         checkpoint_now(sim, manager, ctx)?;
     }
-    publish(&ctx.status, ctx.cfg.cluster, sim, &lock(&ctx.work));
+    publish(
+        &ctx.status,
+        ctx.cfg.cluster,
+        sim,
+        &lock(&ctx.work),
+        ctx.cycle,
+    );
     ctx.health.set_checkpoint(
         manager.newest_index(),
         manager.newest_clock(),
         manager.journal_len(),
     );
-    Ok(admitted)
+    Ok(Step::Done(admitted))
 }
 
 /// Write a checkpoint generation now, applying any scheduled chaos
@@ -612,7 +776,13 @@ fn snapshot_cmd(
     ctx.cycle += 1;
     admit(sim, manager, ctx, false)?;
     let bytes = sim.snapshot().to_bytes();
-    publish(&ctx.status, ctx.cfg.cluster, sim, &lock(&ctx.work));
+    publish(
+        &ctx.status,
+        ctx.cfg.cluster,
+        sim,
+        &lock(&ctx.work),
+        ctx.cycle,
+    );
     Ok(bytes)
 }
 
@@ -622,13 +792,22 @@ fn complete_cmd(
     sim: &mut Simulator<'static>,
     manager: &mut CheckpointManager,
     ctx: &mut WorkerCtx,
-) -> HeliosResult<Vec<JobOutcome>> {
+) -> HeliosResult<Step<Vec<JobOutcome>>> {
     ctx.cycle += 1;
     admit(sim, manager, ctx, false)?;
     sim.run_to_completion();
+    if sim.take_cancelled() {
+        return Ok(Step::Cancelled);
+    }
     let outcomes = drain_outcomes(sim, manager, ctx);
-    publish(&ctx.status, ctx.cfg.cluster, sim, &lock(&ctx.work));
-    Ok(outcomes)
+    publish(
+        &ctx.status,
+        ctx.cfg.cluster,
+        sim,
+        &lock(&ctx.work),
+        ctx.cycle,
+    );
+    Ok(Step::Done(outcomes))
 }
 
 /// One admission cycle: drain every shard in VC order (FIFO within each
@@ -664,8 +843,33 @@ fn admit(
         }
     }
     if !ctx.batch.is_empty() {
-        sim.push_jobs(&ctx.batch)?;
+        // From here until the journal acknowledges the batch, `ctx.batch`
+        // is the only copy of jobs whose `submit` already succeeded: a
+        // crash in this window (the PR-8 teardown race) is repaired by
+        // `recover` re-admitting the pending batch exactly-once.
+        ctx.batch_pending = true;
+        if let Some((chaos_cfg, shared)) = &ctx.chaos {
+            if shared.trip_admit_panic(chaos_cfg, ctx.cycle) {
+                panic!(
+                    "chaos: injected admission panic on {} at cycle {} \
+                     (batch of {} drained but not yet journaled)",
+                    ctx.cfg.cluster.name(),
+                    ctx.cycle,
+                    ctx.batch.len()
+                );
+            }
+        }
+        // Journal first: once acknowledged, recovery replays the batch
+        // from the journal instead of the pending buffer.
         manager.note_admitted(&ctx.batch)?;
+        ctx.batch_pending = false;
+        if let Err(e) = sim.push_jobs(&ctx.batch) {
+            // The journal already owns the batch; a kernel that refuses
+            // it would diverge from what recovery will replay. Escalate
+            // to the supervisor (jobs are validated at submit, so this
+            // is unreachable in practice).
+            panic!("admitted batch rejected by the kernel after journaling: {e}");
+        }
         ctx.health.set_checkpoint(
             manager.newest_index(),
             manager.newest_clock(),
@@ -713,6 +917,17 @@ fn recover(
     manager: &mut CheckpointManager,
     ctx: &mut WorkerCtx,
 ) -> HeliosResult<()> {
+    if ctx.health.abandoned() {
+        // The fleet already gave up on this worker (watchdog hang
+        // declaration or teardown): do not resurrect — exit the loop
+        // with the typed error instead of overwriting the degraded
+        // state.
+        ctx.health.set_state(WorkerState::Hung);
+        return Err(HeliosError::WorkerHung {
+            cluster: ctx.cfg.cluster.name().to_string(),
+            stalled_events: ctx.health.hb_events(),
+        });
+    }
     let t0 = Instant::now();
     ctx.health.set_state(WorkerState::Recovering);
     let attempted = ctx.health.restarts();
@@ -733,6 +948,17 @@ fn recover(
     }
     attach_observers(&mut rebuilt, ctx, Some(&rec.snapshot));
     manager.collapse_to(rec.generation);
+    if ctx.batch_pending && !ctx.batch.is_empty() {
+        // The crash hit between shard drain and journal acknowledgment:
+        // the restored journal does not know this batch, so the pending
+        // buffer is the only copy of jobs the producer was told were
+        // accepted. Re-admit it exactly-once (journal acknowledgment
+        // included, so a second crash replays it from the journal).
+        if rebuilt.push_jobs(&ctx.batch).is_err() || manager.note_admitted(&ctx.batch).is_err() {
+            return Err(crashed(ctx, restarts));
+        }
+    }
+    ctx.batch_pending = false;
     if checkpoint_rebaseline(&mut rebuilt, manager).is_err() {
         return Err(crashed(ctx, restarts));
     }
@@ -749,7 +975,17 @@ fn recover(
     ctx.health.set_write_stats(writes, nanos);
     ctx.health
         .add_recovery_nanos(t0.elapsed().as_nanos() as u64);
-    publish(&ctx.status, ctx.cfg.cluster, sim, &lock(&ctx.work));
+    publish(
+        &ctx.status,
+        ctx.cfg.cluster,
+        sim,
+        &lock(&ctx.work),
+        ctx.cycle,
+    );
+    // Disarm any watchdog cancellation before resuming: the retried
+    // command starts with a clean token (the caller re-arms it if the
+    // recovered worker stalls again).
+    ctx.health.clear_cancel();
     ctx.health.set_state(WorkerState::Healthy);
     Ok(())
 }
@@ -767,7 +1003,13 @@ fn checkpoint_rebaseline(
 /// maintained aggregates. The ingestion-side counters and health are
 /// zeroed here; `Fleet::status` overlays them from atomics at query
 /// time.
-fn publish(status: &Mutex<ClusterStatus>, cluster: ClusterId, sim: &Simulator<'_>, work: &[f64]) {
+fn publish(
+    status: &Mutex<ClusterStatus>,
+    cluster: ClusterId,
+    sim: &Simulator<'_>,
+    work: &[f64],
+    cycle: u64,
+) {
     let view = sim.cluster_view();
     let vcs = (0..view.num_vcs())
         .map(|vc| VcStatus {
@@ -792,6 +1034,7 @@ fn publish(status: &Mutex<ClusterStatus>, cluster: ClusterId, sim: &Simulator<'_
         down_nodes: view.offline_nodes(),
         failures: view.fault_stats().map_or(0, |s| s.failures),
         vcs,
+        cycle,
         health: FleetHealth::default(),
     };
     *lock(status) = fresh;

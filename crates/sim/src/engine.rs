@@ -349,6 +349,23 @@ pub struct Simulator<'a> {
     fault: Option<Box<FaultState>>,
     /// Reusable buffer for the per-event policy drain poll.
     scratch_drains: Vec<DrainDirective>,
+    /// Cooperative liveness pulse (`None` — the default — is exactly the
+    /// legacy event loop: one branch per event, no hook, no cancellation).
+    pulse: Option<Pulse<'a>>,
+    /// Set when the pulse hook requested cancellation; the run loops stop
+    /// at the next event boundary. Cleared by [`Simulator::take_cancelled`].
+    cancelled: bool,
+}
+
+/// Cooperative liveness hook state: every `every` processed events the
+/// hook is invoked with the cumulative event count; returning `true`
+/// cancels the current run loop at the event boundary (the pending event
+/// stays queued, so kernel state remains consistent).
+struct Pulse<'a> {
+    every: u32,
+    tick: u32,
+    count: u64,
+    hook: Box<dyn FnMut(u64) -> bool + 'a>,
 }
 
 impl<'a> Simulator<'a> {
@@ -403,6 +420,8 @@ impl<'a> Simulator<'a> {
             memo_enabled: true,
             fault: None,
             scratch_drains: Vec::new(),
+            pulse: None,
+            cancelled: false,
         }
     }
 
@@ -453,6 +472,32 @@ impl<'a> Simulator<'a> {
     /// (`Box::new(&mut obs)`) to read its series after the run.
     pub fn observe(&mut self, observer: Box<dyn SimObserver + 'a>) {
         self.observers.push(observer);
+    }
+
+    /// Attach a cooperative liveness pulse: `hook(total_events)` runs
+    /// once every `every` processed events (clamped to at least 1) —
+    /// publish a heartbeat there, and return `true` to cancel the
+    /// current [`run_until`](Self::run_until) /
+    /// [`run_to_completion`](Self::run_to_completion) loop at the next
+    /// event boundary. Cancellation leaves the kernel in a consistent
+    /// state (the pending event stays queued); poll it with
+    /// [`take_cancelled`](Self::take_cancelled). The pulse is transient —
+    /// like observers it is not serialized into snapshots — and when no
+    /// pulse is set the event loop pays a single branch per event.
+    pub fn set_pulse(&mut self, every: u32, hook: Box<dyn FnMut(u64) -> bool + 'a>) {
+        self.pulse = Some(Pulse {
+            every: every.max(1),
+            tick: 0,
+            count: 0,
+            hook,
+        });
+    }
+
+    /// True when the pulse hook cancelled a run loop since the last call;
+    /// clears the flag. A cancelled kernel is consistent and can resume
+    /// (the typical caller instead discards it for a checkpoint restore).
+    pub fn take_cancelled(&mut self) -> bool {
+        std::mem::take(&mut self.cancelled)
     }
 
     /// The attached policy's display name.
@@ -770,6 +815,8 @@ impl<'a> Simulator<'a> {
             memo_enabled: snap.memo_enabled,
             fault,
             scratch_drains: Vec::new(),
+            pulse: None,
+            cancelled: false,
         })
     }
 
@@ -899,6 +946,12 @@ impl<'a> Simulator<'a> {
                 break;
             }
             self.process_one();
+            if self.cancelled {
+                // Cancelled mid-run: do not pin the horizon — the kernel
+                // stays consistent at the last processed event, and the
+                // supervisor decides whether to resume or restore.
+                return;
+            }
         }
         self.horizon = self.horizon.max(horizon);
     }
@@ -1006,6 +1059,19 @@ impl<'a> Simulator<'a> {
     }
 
     fn process_one(&mut self) -> Option<i64> {
+        if let Some(p) = &mut self.pulse {
+            p.tick += 1;
+            p.count += 1;
+            if p.tick >= p.every {
+                p.tick = 0;
+                if (p.hook)(p.count) {
+                    // Cancel before popping: the pending event stays
+                    // queued and the kernel state is untouched.
+                    self.cancelled = true;
+                    return None;
+                }
+            }
+        }
         let (now, kind) = self.pop_event()?;
         self.horizon = self.horizon.max(now);
         // Observers see the pre-event state: time-integrated metrics

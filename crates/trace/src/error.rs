@@ -123,6 +123,33 @@ pub enum HeliosError {
         /// Supervisor restarts attempted before giving up.
         restarts: u32,
     },
+    /// Adaptive admission control refused a submission: the cluster's
+    /// ingestion backlog crossed its high-water mark and this VC holds
+    /// more than its fair share of it, so the fleet sheds its load
+    /// first. Unlike [`FleetOverflow`](Self::FleetOverflow) (a full
+    /// shard), shedding is deliberate and fair: light VCs keep their
+    /// headroom while heavy VCs are pushed back.
+    FleetShedding {
+        /// Cluster name ("Venus", ...).
+        cluster: String,
+        /// The virtual cluster whose load is being shed.
+        vc: u16,
+        /// Admission cycles the producer should wait out before
+        /// resubmitting — how many times over its fair share this VC's
+        /// backlog currently is.
+        retry_after_cycles: u64,
+    },
+    /// A fleet worker stopped making kernel progress and ignored
+    /// cooperative cancellation past the watchdog's hard deadline. The
+    /// cluster is served in degraded mode (stale status, no admission,
+    /// no blocking) until the fleet is relaunched or recovered.
+    WorkerHung {
+        /// Cluster name ("Venus", ...).
+        cluster: String,
+        /// Kernel events the worker had processed when its heartbeat
+        /// went flat.
+        stalled_events: u64,
+    },
 }
 
 impl HeliosError {
@@ -230,6 +257,25 @@ impl fmt::Display for HeliosError {
                 "[{cluster}] worker crashed and could not be recovered \
                  (after {restarts} supervisor restart(s)); relaunch or \
                  recover the fleet to serve this cluster again"
+            ),
+            HeliosError::FleetShedding {
+                cluster,
+                vc,
+                retry_after_cycles,
+            } => write!(
+                f,
+                "[{cluster}] admission control is shedding VC {vc}'s load \
+                 (ingestion backlog past its high-water mark); retry after \
+                 ~{retry_after_cycles} admission cycle(s)"
+            ),
+            HeliosError::WorkerHung {
+                cluster,
+                stalled_events,
+            } => write!(
+                f,
+                "[{cluster}] worker is hung: no kernel progress past event \
+                 {stalled_events} and cooperative cancellation was ignored; \
+                 the cluster is served in degraded mode"
             ),
         }
     }

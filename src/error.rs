@@ -4,11 +4,16 @@
 //! the dependency graph, so every workspace member can return it); library
 //! users should name it through this module or the [`crate::prelude`].
 //!
-//! The fleet service layer adds two variants worth knowing by name:
+//! The fleet service layer adds a few variants worth knowing by name:
 //! [`HeliosError::FleetOverflow`] — the backpressure signal a bounded
 //! ingestion shard returns when full (retry after the next admission
-//! cycle) — and [`HeliosError::Snapshot`] — any encode/decode/apply
-//! failure of the versioned scheduler checkpoints.
+//! cycle); [`HeliosError::FleetShedding`] — adaptive admission control
+//! refusing a heavy VC's submission under sustained overload (back off
+//! for the carried `retry_after_cycles` hint);
+//! [`HeliosError::WorkerCrashed`] / [`HeliosError::WorkerHung`] — a
+//! cluster degraded past its restart budget or past the watchdog's hard
+//! hang deadline; and [`HeliosError::Snapshot`] — any
+//! encode/decode/apply failure of the versioned scheduler checkpoints.
 
 pub use helios_trace::error::{HeliosError, HeliosResult};
 

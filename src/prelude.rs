@@ -14,7 +14,7 @@ pub use helios_core::{CesEvaluation, CesServiceConfig, QssfConfig};
 pub use helios_faults::{DrainConfig, DrainPolicy, FailurePredictor, Goodput, PredictorConfig};
 pub use helios_fleet::{
     ChaosConfig, CheckpointConfig, ClusterConfig, ClusterStatus, Fleet, FleetConfig, FleetHealth,
-    RetryConfig, VcStatus, WorkerState,
+    RetryConfig, ShedConfig, StatusKind, StatusReport, VcStatus, WatchdogConfig, WorkerState,
 };
 pub use helios_sim::{
     FaultConfig, FaultSemantics, JobOutcome, JobView, Placement, Policy, ScheduleStats,
