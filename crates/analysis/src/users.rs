@@ -5,7 +5,7 @@
 use crate::cdf::WeightedCdf;
 use helios_trace::{JobStatus, Trace, UserId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-user aggregates for one trace.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -32,7 +32,7 @@ impl UserStats {
 
 /// Aggregate the trace per user.
 pub fn per_user_stats(trace: &Trace) -> Vec<UserStats> {
-    let mut map: HashMap<UserId, UserStats> = HashMap::new();
+    let mut map: BTreeMap<UserId, UserStats> = BTreeMap::new();
     for j in &trace.jobs {
         let s = map.entry(j.user).or_insert_with(|| UserStats {
             user: j.user,
@@ -50,9 +50,8 @@ pub fn per_user_stats(trace: &Trace) -> Vec<UserStats> {
             s.cpu_time += j.cpu_time() as f64;
         }
     }
-    let mut v: Vec<UserStats> = map.into_values().collect();
-    v.sort_by_key(|s| s.user);
-    v
+    // BTreeMap iteration is user-id order already — the report contract.
+    map.into_values().collect()
 }
 
 /// One concentration curve: (fraction of users, fraction of resource time),

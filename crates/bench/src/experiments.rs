@@ -25,7 +25,7 @@ use helios_trace::{
 };
 use rayon::prelude::*;
 use serde_json::json;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// One experiment's rendered output.
@@ -302,8 +302,9 @@ pub fn outcome_digest(outcomes: &[helios_sim::JobOutcome]) -> String {
 /// Cached scheduler comparison for one cluster.
 pub struct SchedulerRun {
     pub cluster: String,
-    /// Policy label -> outcomes.
-    pub outcomes: HashMap<&'static str, Vec<helios_sim::JobOutcome>>,
+    /// Policy label -> outcomes, keyed in label order so report
+    /// iteration is digest-stable.
+    pub outcomes: BTreeMap<&'static str, Vec<helios_sim::JobOutcome>>,
     /// Per-policy wall-time records, in the order the policies ran.
     pub perf: Vec<PolicyRunPerf>,
 }
@@ -533,7 +534,7 @@ impl Context {
                     )
                 })
                 .collect();
-            let mut outcomes = HashMap::new();
+            let mut outcomes = BTreeMap::new();
             let mut perf = Vec::new();
             for (label, p, o) in results {
                 perf.push(p);
@@ -802,7 +803,7 @@ pub fn run_schedulers_with(
             }
         })
         .collect();
-    let mut outcomes = HashMap::new();
+    let mut outcomes = BTreeMap::new();
     let mut perf = Vec::new();
     for (label, p, o) in results {
         perf.push(p);
@@ -1394,7 +1395,7 @@ fn per_vc_table(
     let mut vcs: Vec<(u16, f64)> = ref_delay.iter().map(|(&v, &d)| (v, d)).collect();
     vcs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     vcs.truncate(top_k);
-    let per_policy: HashMap<&str, HashMap<u16, f64>> = policies
+    let per_policy: BTreeMap<&str, BTreeMap<u16, f64>> = policies
         .iter()
         .map(|&p| (p, per_vc_queue_delay(&run.outcomes[p])))
         .collect();
@@ -2597,6 +2598,7 @@ fn fleet_overload(ctx: &mut Context) -> Result<ExperimentOutput, HeliosError> {
         let (streamed, sampled) = std::thread::scope(|s| {
             let sampler = s.spawn(|| {
                 let (mut ages, mut degraded) = (Vec::new(), 0u64);
+                // sync: acquires the Release store below that ends the sampling run
                 while !stop.load(Ordering::Acquire) {
                     match fleet.status_within(cluster, Duration::from_millis(2)) {
                         Ok(report) => match report.kind {
@@ -2611,6 +2613,7 @@ fn fleet_overload(ctx: &mut Context) -> Result<ExperimentOutput, HeliosError> {
                 (ages, degraded)
             });
             let streamed = stream(&fleet, cluster);
+            // sync: releases to the sampler thread's Acquire poll loop
             stop.store(true, Ordering::Release);
             (
                 streamed,

@@ -192,6 +192,8 @@ impl ChaosShared {
     /// admission-panic point (trip-once, like panic points).
     pub fn trip_admit_panic(&self, cfg: &ChaosConfig, cycle: u64) -> bool {
         for (i, &point) in cfg.panic_admit_cycles.iter().enumerate() {
+            // guard: allow(panic, reason = "admit_fired is allocated with one flag per panic_admit_cycles entry")
+            // sync: trip-once swap; pairs with the competing AcqRel swaps from other observers of this shared flag
             if cycle >= point && !self.admit_fired[i].swap(true, Ordering::AcqRel) {
                 return true;
             }
@@ -232,9 +234,13 @@ impl ChaosObserver {
 
 impl SimObserver for ChaosObserver {
     fn on_event(&mut self, _event: &SimEvent, _cluster: &ClusterView<'_>) {
+        // sync: cumulative event count; pairs with the AcqRel increments from re-attached observers after restarts
         let count = self.shared.events.fetch_add(1, Ordering::AcqRel) + 1;
         for (i, &point) in self.points.iter().enumerate() {
+            // guard: allow(panic, reason = "fired is allocated with one flag per panic_at_events entry")
+            // sync: trip-once swap; pairs with the same swap from the re-attached post-restart observer
             if count >= point && !self.shared.fired[i].swap(true, Ordering::AcqRel) {
+                // guard: allow(panic, reason = "deliberate chaos injection; the supervisor converts the unwind into a crash-recovery cycle")
                 panic!(
                     "chaos: injected worker panic on {} at kernel event {count} \
                      (scheduled at {point})",
@@ -243,6 +249,8 @@ impl SimObserver for ChaosObserver {
             }
         }
         for (i, &point) in self.hang_points.iter().enumerate() {
+            // guard: allow(panic, reason = "hang_fired is allocated with one flag per hang_at_events entry")
+            // sync: trip-once swap; pairs with the same swap from the re-attached post-restart observer
             if count >= point && !self.shared.hang_fired[i].swap(true, Ordering::AcqRel) {
                 // Soft hang: freeze kernel progress (the heartbeat goes
                 // flat) until the watchdog arms cancellation or the
@@ -255,6 +263,8 @@ impl SimObserver for ChaosObserver {
             }
         }
         for (i, &point) in self.hard_points.iter().enumerate() {
+            // guard: allow(panic, reason = "hard_fired is allocated with one flag per hard_hang_at_events entry")
+            // sync: trip-once swap; pairs with the same swap from the re-attached post-restart observer
             if count >= point && !self.shared.hard_fired[i].swap(true, Ordering::AcqRel) {
                 // Hard hang: ignore cancellation — only abandonment (the
                 // fleet declaring the worker hung, or teardown) releases

@@ -90,6 +90,14 @@
 //! # Ok::<(), helios_trace::HeliosError>(())
 //! ```
 
+// The fleet layer is a service path: every fallible operation returns a
+// typed `HeliosError` instead of panicking. `helios-guard` enforces the
+// same invariant (plus indexing and the `panic!` family) with a
+// reviewable allow-grammar; this attribute makes the unwrap/expect
+// subset visible to stock clippy too. Test code is exempt — tests are
+// supposed to panic loudly.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod chaos;
 pub mod checkpoint;
 pub mod config;

@@ -159,6 +159,7 @@ impl Fleet {
         );
         ctrl.send(cmd).map_err(|_| w.died_err())?;
         if cycle {
+            // sync: pairs with the Acquire load in `cycles_retired_lag` (shed wait-out accounting)
             w.cycles_issued.fetch_add(1, Ordering::AcqRel);
         }
         Ok(())
@@ -180,6 +181,7 @@ impl Fleet {
         let poll = (wd.stall_deadline / 8).max(Duration::from_millis(1));
         let mut last_hb = w.health.hb_events();
         let mut last_state = w.health.state();
+        // guard: allow(determinism, reason = "watchdog deadlines are host wall-clock by design; they gate supervision, not kernel state")
         let mut last_progress = Instant::now();
         let mut cancel_since: Option<Instant> = None;
         loop {
@@ -200,6 +202,7 @@ impl Fleet {
             if hb != last_hb || state != last_state || state == WorkerState::Recovering {
                 last_hb = hb;
                 last_state = state;
+                // guard: allow(determinism, reason = "watchdog progress stamp; wall time gates supervision only")
                 last_progress = Instant::now();
                 cancel_since = None;
                 continue;
@@ -207,6 +210,7 @@ impl Fleet {
             match cancel_since {
                 None if last_progress.elapsed() >= wd.stall_deadline => {
                     w.health.arm_cancel();
+                    // guard: allow(determinism, reason = "hang-deadline origin stamp; wall time gates supervision only")
                     cancel_since = Some(Instant::now());
                 }
                 Some(armed) if armed.elapsed() >= wd.hang_deadline => {
@@ -254,9 +258,13 @@ impl Fleet {
         if let Some(e) = self.shed_decision(w, cluster, vc) {
             return Err(e);
         }
+        // guard: allow(panic, reason = "validate_job above rejects unknown VCs; shards/depths are sized to the spec's VC count")
         match w.shards[vc].try_send(job) {
             Ok(()) => {
+                // guard: allow(panic, reason = "same bound as the shard send above: vc was validated against the spec")
+                // sync: pairs with the AcqRel fetch_sub in the worker's shard drain
                 w.depths[vc].fetch_add(1, Ordering::AcqRel);
+                // sync: pairs with the Acquire load of `submitted` in `status_locked`
                 w.submitted.fetch_add(1, Ordering::AcqRel);
                 Ok(())
             }
@@ -277,6 +285,7 @@ impl Fleet {
     fn shed_decision(&self, w: &Worker, cluster: ClusterId, vc: usize) -> Option<HeliosError> {
         let shed = self.shed.as_ref()?;
         let nvcs = w.depths.len();
+        // sync: acquires the AcqRel depth updates from `submit` and the worker's drain
         let depths: Vec<usize> = w.depths.iter().map(|d| d.load(Ordering::Acquire)).collect();
         let total: usize = depths.iter().sum();
         let occupancy = total as f64 / (nvcs * self.shard_capacity) as f64;
@@ -289,6 +298,7 @@ impl Fleet {
         if !engaged {
             return None;
         }
+        // guard: allow(panic, reason = "vc was validated against the spec; depths holds one slot per VC")
         let mine = depths[vc];
         let mean = total as f64 / nvcs as f64;
         let own_full = mine as f64 >= shed.high_water * self.shard_capacity as f64;
@@ -330,6 +340,7 @@ impl Fleet {
         retry: &RetryConfig,
     ) -> HeliosResult<()> {
         retry.validate()?;
+        // guard: allow(determinism, reason = "retry deadline is host wall-clock by contract; backoff jitter itself is seeded")
         let started = Instant::now();
         let mut attempt: u32 = 0;
         loop {
@@ -387,7 +398,9 @@ impl Fleet {
 
     fn status_of(w: &Worker) -> ClusterStatus {
         let mut s = lock(&w.status).clone();
+        // sync: acquires the AcqRel `submitted` increments in `submit`
         s.submitted = w.submitted.load(Ordering::Acquire);
+        // sync: acquires the AcqRel depth updates from `submit` and the worker's drain
         s.pending_ingest = w.depths.iter().map(|d| d.load(Ordering::Acquire)).sum();
         s.health = w.health.snapshot(s.now);
         s
@@ -446,6 +459,7 @@ impl Fleet {
         deadline: Duration,
     ) -> HeliosResult<StatusReport> {
         let w = self.worker_for(cluster)?;
+        // guard: allow(determinism, reason = "status deadline is host wall-clock by contract; it bounds the lock spin only")
         let started = Instant::now();
         // The publish lock is only ever held for a swap, so this spin
         // resolves in nanoseconds; the deadline is a hard bound, not an
@@ -468,12 +482,15 @@ impl Fleet {
             // shape rather than blocking past the contract.
             None => (ClusterStatus::empty(&w.spec, cluster), true),
         };
+        // sync: acquires the AcqRel `submitted` increments in `submit`
         status.submitted = w.submitted.load(Ordering::Acquire);
+        // sync: acquires the AcqRel depth updates from `submit` and the worker's drain
         status.pending_ingest = w.depths.iter().map(|d| d.load(Ordering::Acquire)).sum();
         status.health = w.health.snapshot(status.now);
         let kind = if lock_missed || status.health.state != WorkerState::Healthy {
             StatusKind::Degraded
         } else {
+            // sync: acquires the AcqRel `cycles_issued` increments in `send_ctrl`
             let issued = w.cycles_issued.load(Ordering::Acquire);
             match issued.saturating_sub(status.cycle) {
                 0 => StatusKind::Fresh,
@@ -673,6 +690,7 @@ fn validate_topology(config: &FleetConfig) -> HeliosResult<()> {
         shed.validate()?;
     }
     for (i, c) in config.clusters.iter().enumerate() {
+        // guard: allow(panic, reason = "i enumerates the same vec being sliced, so the prefix range is always in bounds")
         if config.clusters[..i].iter().any(|p| p.cluster == c.cluster) {
             return Err(HeliosError::invalid_config(
                 "clusters",

@@ -133,11 +133,13 @@ impl HealthCell {
             abandoned: AtomicBool::new(false),
             shed_jobs: AtomicU64::new(0),
             shed_active: AtomicBool::new(false),
+            // guard: allow(determinism, reason = "heartbeat-age telemetry origin; wall time never reaches kernel state or digests")
             epoch: Instant::now(),
         })
     }
 
     pub fn state(&self) -> WorkerState {
+        // sync: acquires the `state` Release store in `set_state`
         match self.state.load(Ordering::Acquire) {
             0 => WorkerState::Healthy,
             1 => WorkerState::Recovering,
@@ -153,6 +155,7 @@ impl HealthCell {
             WorkerState::Crashed => 2,
             WorkerState::Hung => 3,
         };
+        // sync: publishes state transitions to the Acquire load in `state()`
         self.state.store(code, Ordering::Release);
     }
 
@@ -160,88 +163,109 @@ impl HealthCell {
     /// clock — called from the kernel's liveness pulse.
     fn heartbeat(&self, delta: u64) {
         if delta > 0 {
+            // sync: pairs with the Acquire load in `hb_events()` (watchdog progress test)
             self.hb_events.fetch_add(delta, Ordering::AcqRel);
         }
         self.hb_wall_nanos
+            // sync: publishes the stamp to the Acquire load in `snapshot()`
             .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Release);
     }
 
     /// The monotone heartbeat event count.
     pub fn hb_events(&self) -> u64 {
+        // sync: acquires the AcqRel fetch_add in `heartbeat`
         self.hb_events.load(Ordering::Acquire)
     }
 
     pub fn arm_cancel(&self) {
+        // sync: publishes the token to the Acquire load in `cancel_armed`
         self.cancel.store(true, Ordering::Release);
     }
 
     pub(crate) fn clear_cancel(&self) {
+        // sync: publishes the reset to the Acquire load in `cancel_armed`
         self.cancel.store(false, Ordering::Release);
     }
 
     pub fn cancel_armed(&self) -> bool {
+        // sync: acquires the Release stores in `arm_cancel`/`clear_cancel`
         self.cancel.load(Ordering::Acquire)
     }
 
     /// Give up on this worker: chaos spin loops release, and the fleet
     /// stops joining/blocking on the thread.
     pub fn abandon(&self) {
+        // sync: publishes abandonment to the Acquire load in `abandoned()`
         self.abandoned.store(true, Ordering::Release);
     }
 
     pub fn abandoned(&self) -> bool {
+        // sync: acquires the Release store in `abandon` (chaos spin-loop release)
         self.abandoned.load(Ordering::Acquire)
     }
 
     pub fn add_shed(&self, n: u64) {
+        // sync: pairs with the Acquire load of `shed_jobs` in `snapshot()`
         self.shed_jobs.fetch_add(n, Ordering::AcqRel);
     }
 
     pub fn set_shedding(&self, active: bool) {
+        // sync: publishes the hysteresis flag to the Acquire load in `shedding()`
         self.shed_active.store(active, Ordering::Release);
     }
 
     pub fn shedding(&self) -> bool {
+        // sync: acquires the Release store in `set_shedding`
         self.shed_active.load(Ordering::Acquire)
     }
 
     pub fn restarts(&self) -> u32 {
+        // sync: acquires the AcqRel fetch_add in `bump_restarts`
         self.restarts.load(Ordering::Acquire)
     }
 
     fn bump_restarts(&self) -> u32 {
+        // sync: pairs with the Acquire load in `restarts()` (supervisor budget check)
         self.restarts.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     fn add_fallbacks(&self, n: u32) {
+        // sync: pairs with the Acquire load of `fallbacks` in `snapshot()`
         self.fallbacks.fetch_add(n, Ordering::AcqRel);
     }
 
     fn set_checkpoint(&self, generation: u64, clock: i64, journal_len: usize) {
+        // Readers may observe the three fields torn across checkpoints,
+        // which health reporting tolerates.
+        // sync: publishes the generation to the Acquire load in `snapshot()`
         self.ckpt_generation.store(generation, Ordering::Release);
-        self.ckpt_clock.store(clock, Ordering::Release);
-        self.journal_len.store(journal_len, Ordering::Release);
+        self.ckpt_clock.store(clock, Ordering::Release); // sync: read by `snapshot()` Acquire
+        self.journal_len.store(journal_len, Ordering::Release); // sync: read by `snapshot()` Acquire
     }
 
     fn add_recovery_nanos(&self, nanos: u64) {
+        // sync: pairs with the Acquire load of `recovery_nanos` in `snapshot()`
         self.recovery_nanos.fetch_add(nanos, Ordering::AcqRel);
     }
 
     fn set_write_stats(&self, writes: u64, nanos: u64) {
+        // sync: publishes write totals to the Acquire loads in `snapshot()`
         self.ckpt_writes.store(writes, Ordering::Release);
-        self.ckpt_write_nanos.store(nanos, Ordering::Release);
+        self.ckpt_write_nanos.store(nanos, Ordering::Release); // sync: read by `snapshot()` Acquire
     }
 
     /// Assemble the query-time [`FleetHealth`] against the cluster's
     /// published virtual clock.
     pub fn snapshot(&self, now: i64) -> FleetHealth {
-        let clock = self.ckpt_clock.load(Ordering::Acquire);
+        // Every Acquire load below pairs with the Release/AcqRel writer
+        // named on its line; the snapshot as a whole is *not* atomic.
+        let clock = self.ckpt_clock.load(Ordering::Acquire); // sync: `set_checkpoint` Release
         let checkpoint_age_secs = if clock == i64::MIN || now == i64::MIN {
             0
         } else {
             (now - clock).max(0)
         };
-        let hb_stamp = self.hb_wall_nanos.load(Ordering::Acquire);
+        let hb_stamp = self.hb_wall_nanos.load(Ordering::Acquire); // sync: `heartbeat` Release store
         let heartbeat_age_secs = if hb_stamp == 0 {
             0.0
         } else {
@@ -250,16 +274,16 @@ impl HealthCell {
         FleetHealth {
             state: self.state(),
             restarts: self.restarts(),
-            checkpoint_generation: self.ckpt_generation.load(Ordering::Acquire),
+            checkpoint_generation: self.ckpt_generation.load(Ordering::Acquire), // sync: `set_checkpoint` Release
             checkpoint_age_secs,
-            journal_len: self.journal_len.load(Ordering::Acquire),
-            fallbacks: self.fallbacks.load(Ordering::Acquire),
-            recovery_secs_total: self.recovery_nanos.load(Ordering::Acquire) as f64 / 1e9,
-            checkpoint_writes: self.ckpt_writes.load(Ordering::Acquire),
-            checkpoint_write_secs_total: self.ckpt_write_nanos.load(Ordering::Acquire) as f64 / 1e9,
+            journal_len: self.journal_len.load(Ordering::Acquire), // sync: `set_checkpoint` Release
+            fallbacks: self.fallbacks.load(Ordering::Acquire),     // sync: `add_fallbacks` AcqRel
+            recovery_secs_total: self.recovery_nanos.load(Ordering::Acquire) as f64 / 1e9, // sync: `add_recovery_nanos` AcqRel
+            checkpoint_writes: self.ckpt_writes.load(Ordering::Acquire), // sync: `set_write_stats` Release
+            checkpoint_write_secs_total: self.ckpt_write_nanos.load(Ordering::Acquire) as f64 / 1e9, // sync: `set_write_stats` Release
             heartbeat_events: self.hb_events(),
             heartbeat_age_secs,
-            shed_jobs: self.shed_jobs.load(Ordering::Acquire),
+            shed_jobs: self.shed_jobs.load(Ordering::Acquire), // sync: `add_shed` AcqRel
             shedding: self.shedding(),
         }
     }
@@ -354,6 +378,7 @@ impl SimObserver for QueuedWorkTracker {
             }
         };
         let mut work = lock(&self.0);
+        // guard: allow(panic, reason = "vc ids are validated against the spec at submit; the tracker vec is sized to the spec")
         let cell = &mut work[vc as usize];
         // Clamp drift: the subtraction is exact in practice, but queued
         // work must never go negative in a status report.
@@ -421,9 +446,11 @@ fn attach_observers(sim: &mut Simulator<'static>, ctx: &WorkerCtx, snap: Option<
         seeded.iter_mut().for_each(|w| *w = 0.0);
         if let Some(s) = snap {
             for (vc, vs) in s.vcs.iter().enumerate() {
+                // guard: allow(panic, reason = "snapshot decode validates vc count and queue indices against the job table")
                 seeded[vc] = vs
                     .queue
                     .iter()
+                    // guard: allow(panic, reason = "queue entries index the snapshot's own job table; decode rejects out-of-range")
                     .map(|&(_, _, idx)| predicted_work(&s.jobs[idx as usize].job))
                     .sum();
             }
@@ -832,6 +859,8 @@ fn admit(
     let floor = sim.now();
     for (vc, rx) in ctx.shards.iter().enumerate() {
         while let Ok(mut job) = rx.try_recv() {
+            // guard: allow(panic, reason = "depths is built alongside shards with identical length; vc enumerates shards")
+            // sync: pairs with the Acquire depth reads in `Fleet::submit` backpressure
             ctx.depths[vc].fetch_sub(1, Ordering::AcqRel);
             // A producer stamped this submit time before it knew how far
             // the virtual clock had advanced; admission time is the
@@ -850,6 +879,7 @@ fn admit(
         ctx.batch_pending = true;
         if let Some((chaos_cfg, shared)) = &ctx.chaos {
             if shared.trip_admit_panic(chaos_cfg, ctx.cycle) {
+                // guard: allow(panic, reason = "deliberate chaos injection; the supervisor converts the unwind into a crash-recovery cycle")
                 panic!(
                     "chaos: injected admission panic on {} at cycle {} \
                      (batch of {} drained but not yet journaled)",
@@ -868,6 +898,7 @@ fn admit(
             // it would diverge from what recovery will replay. Escalate
             // to the supervisor (jobs are validated at submit, so this
             // is unreachable in practice).
+            // guard: allow(panic, reason = "deliberate supervisor escalation: continuing would diverge from the journal recovery will replay")
             panic!("admitted batch rejected by the kernel after journaling: {e}");
         }
         ctx.health.set_checkpoint(
@@ -928,6 +959,7 @@ fn recover(
             stalled_events: ctx.health.hb_events(),
         });
     }
+    // guard: allow(determinism, reason = "recovery wall-time is operator telemetry only; it never feeds kernel state or digests")
     let t0 = Instant::now();
     ctx.health.set_state(WorkerState::Recovering);
     let attempted = ctx.health.restarts();
@@ -1017,6 +1049,7 @@ fn publish(
             queued: view.vc_queue_len(vc),
             busy_gpus: view.vc_busy_gpus(vc),
             capacity_gpus: view.vc_capacity_gpus(vc),
+            // guard: allow(panic, reason = "work tracker is seeded with one slot per VC of the same cluster view")
             queued_work: work[vc],
         })
         .collect();

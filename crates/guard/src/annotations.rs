@@ -1,0 +1,199 @@
+//! The annotation grammar: justified exemptions and documented atomics.
+//!
+//! Two comment forms carry meaning for the rule engine:
+//!
+//! * `// guard: allow(<rule>, reason = "...")` — suppress one rule at
+//!   the annotated site. Trailing on the offending line, or standalone
+//!   on the line(s) directly above it. The reason is mandatory and must
+//!   be non-trivial; a malformed annotation is itself reported (rule
+//!   `annotation`), so a typo can never silently disable a check.
+//! * `// sync: <partner description>` — required adjacent to every
+//!   atomic `Ordering::` use-site, naming the happens-before partner
+//!   the ordering pairs with (same placement rules as `allow`).
+
+use crate::lexer::Scan;
+use crate::report::Rule;
+
+/// A parsed `guard: allow` annotation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allow {
+    pub rule: Rule,
+    pub reason: String,
+    pub line: u32,
+}
+
+/// A malformed annotation attempt: reported as a violation so review
+/// sees it instead of a silently dead exemption.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BadAnnotation {
+    pub line: u32,
+    pub message: String,
+}
+
+/// All annotations extracted from one file's comments.
+#[derive(Debug, Default)]
+pub struct Annotations {
+    pub allows: Vec<Allow>,
+    pub syncs: Vec<u32>,
+    pub bad: Vec<BadAnnotation>,
+}
+
+/// Minimum length of a meaningful reason / sync partner description.
+const MIN_TEXT: usize = 8;
+
+/// Extract annotations from a scanned file.
+pub fn extract(scan: &Scan) -> Annotations {
+    let mut out = Annotations::default();
+    for c in &scan.comments {
+        let text = c.text.trim();
+        if let Some(rest) = text.strip_prefix("guard:") {
+            match parse_allow(rest.trim()) {
+                Ok((rule, reason)) => out.allows.push(Allow {
+                    rule,
+                    reason,
+                    line: c.line,
+                }),
+                Err(msg) => out.bad.push(BadAnnotation {
+                    line: c.line,
+                    message: msg,
+                }),
+            }
+        } else if let Some(rest) = text.strip_prefix("sync:") {
+            if rest.trim().len() >= MIN_TEXT {
+                out.syncs.push(c.line);
+            } else {
+                out.bad.push(BadAnnotation {
+                    line: c.line,
+                    message: "`sync:` must name the happens-before partner \
+                              (e.g. `// sync: pairs with the Release store in publish()`)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Parse `allow(<rule>, reason = "...")`.
+fn parse_allow(s: &str) -> Result<(Rule, String), String> {
+    let grammar = "expected `guard: allow(<rule>, reason = \"...\")`";
+    let body = s
+        .strip_prefix("allow")
+        .and_then(|r| r.trim_start().strip_prefix('('))
+        .and_then(|r| r.trim_end().strip_suffix(')'))
+        .ok_or_else(|| grammar.to_string())?;
+    let (rule_part, reason_part) = body.split_once(',').ok_or_else(|| grammar.to_string())?;
+    let rule = Rule::parse(rule_part.trim())
+        .ok_or_else(|| format!("unknown rule `{}`; {grammar}", rule_part.trim()))?;
+    let reason = reason_part
+        .trim()
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| grammar.to_string())?;
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| grammar.to_string())?;
+    if reason.len() < MIN_TEXT {
+        return Err(format!(
+            "reason {reason:?} is too short to justify anything; say why the site is safe"
+        ));
+    }
+    Ok((rule, reason.to_string()))
+}
+
+impl Annotations {
+    /// Is a violation of `rule` at `line` covered by an allow?
+    ///
+    /// Placement: the annotation sits on the violating line itself
+    /// (trailing comment) or on the comment-only line block directly
+    /// above it.
+    pub fn allowed(&self, scan: &Scan, rule: Rule, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && covers(scan, a.line, line))
+    }
+
+    /// Does a `sync:` comment sit adjacent to `line` (same line or the
+    /// comment block directly above)?
+    pub fn synced(&self, scan: &Scan, line: u32) -> bool {
+        self.syncs.iter().any(|&s| covers(scan, s, line))
+    }
+}
+
+/// Does an annotation on `ann_line` cover a site on `site_line`?
+/// Same line always covers; an annotation above covers when every line
+/// strictly between (and the annotation's own line) is comment-only.
+fn covers(scan: &Scan, ann_line: u32, site_line: u32) -> bool {
+    if ann_line == site_line {
+        return true;
+    }
+    if ann_line > site_line {
+        return false;
+    }
+    // Walk from the annotation down to the site: all intermediate lines
+    // (annotation's own included) must carry no code.
+    (ann_line..site_line).all(|l| !scan.has_code(l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    #[test]
+    fn parses_well_formed_allow() {
+        let s = scan("// guard: allow(panic, reason = \"checked two lines up\")\nx.unwrap();");
+        let a = extract(&s);
+        assert_eq!(a.allows.len(), 1);
+        assert_eq!(a.allows[0].rule, Rule::Panic);
+        assert!(a.allowed(&s, Rule::Panic, 2));
+        assert!(!a.allowed(&s, Rule::Determinism, 2));
+        assert!(a.bad.is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let s = scan("x.unwrap(); // guard: allow(panic, reason = \"len checked above\")");
+        let a = extract(&s);
+        assert!(a.allowed(&s, Rule::Panic, 1));
+    }
+
+    #[test]
+    fn allow_does_not_leak_past_code() {
+        let s = scan(
+            "// guard: allow(panic, reason = \"covers only next line\")\nfine();\nx.unwrap();",
+        );
+        let a = extract(&s);
+        assert!(a.allowed(&s, Rule::Panic, 2));
+        assert!(!a.allowed(&s, Rule::Panic, 3));
+    }
+
+    #[test]
+    fn malformed_annotations_are_reported() {
+        for bad in [
+            "// guard: allow(panic)",
+            "// guard: allow(panic, reason = \"short\")",
+            "// guard: allow(bogus, reason = \"unknown rule name\")",
+            "// guard: alow(panic, reason = \"typo in allow\")",
+        ] {
+            let s = scan(bad);
+            let a = extract(&s);
+            assert!(a.allows.is_empty(), "{bad} must not parse");
+            assert_eq!(a.bad.len(), 1, "{bad} must be reported");
+        }
+    }
+
+    #[test]
+    fn sync_comment_needs_substance() {
+        let s = scan("// sync: pairs with Release store in publish()\nx.load(Ordering::Acquire);");
+        let a = extract(&s);
+        assert!(a.synced(&s, 2));
+        let s2 = scan("// sync: yes\nx.load(Ordering::Acquire);");
+        let a2 = extract(&s2);
+        assert!(!a2.synced(&s2, 2));
+        assert_eq!(a2.bad.len(), 1);
+    }
+}

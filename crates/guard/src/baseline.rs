@@ -1,0 +1,187 @@
+//! The grandfather baseline: a committed, monotone-non-increasing
+//! ledger of pre-existing violations.
+//!
+//! The baseline maps `(rule, file)` to a violation count. `check`
+//! compares current counts against it:
+//!
+//! * current > baseline — **new violations**: the run fails and every
+//!   violation in that `(rule, file)` bucket is listed.
+//! * current == baseline — suppressed (grandfathered).
+//! * current < baseline — **stale baseline**: the run fails until the
+//!   baseline is ratcheted down with `--write-baseline`, so burn-down
+//!   progress is locked in by git history and can never regress
+//!   silently.
+//!
+//! Codec violations are never baselinable: a codec drift is resolved
+//! through the manifest, not grandfathered.
+
+use crate::report::{Report, Rule, Violation};
+use std::collections::BTreeMap;
+
+/// `(rule name, file)` → count.
+pub type Baseline = BTreeMap<(String, String), u64>;
+
+/// Parse the committed baseline (lines of `<rule>\t<count>\t<file>`).
+pub fn parse(text: &str) -> Baseline {
+    let mut out = Baseline::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(count), Some(file)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if let Ok(count) = count.parse::<u64>() {
+            if count > 0 {
+                out.insert((rule.to_string(), file.to_string()), count);
+            }
+        }
+    }
+    out
+}
+
+/// Render a baseline deterministically (sorted; zero counts dropped).
+pub fn render(baseline: &Baseline) -> String {
+    let mut out = String::from(
+        "# helios-guard baseline v1 — grandfathered violations.\n\
+         # <rule> <count> <file>; counts may only shrink. A fix that drops a count fails\n\
+         # `check` until the baseline is ratcheted down with `--write-baseline`.\n",
+    );
+    for ((rule, file), count) in baseline {
+        if *count > 0 {
+            out.push_str(&format!("{rule} {count} {file}\n"));
+        }
+    }
+    out
+}
+
+/// Build a baseline from the current violation set (codec drift is
+/// never grandfathered — it must be resolved through the manifest).
+pub fn from_violations(violations: &[Violation]) -> Baseline {
+    let mut out = Baseline::new();
+    for v in violations {
+        if v.rule == Rule::Codec {
+            continue;
+        }
+        *out.entry((v.rule.name().to_string(), v.file.clone()))
+            .or_insert(0) += 1;
+    }
+    out
+}
+
+/// Compare current violations against the baseline, producing the
+/// report's pass/fail partition.
+pub fn compare(violations: Vec<Violation>, baseline: &Baseline, files: u64) -> Report {
+    let mut report = Report {
+        total: violations.len() as u64,
+        files,
+        ..Report::default()
+    };
+    let mut buckets: BTreeMap<(String, String), Vec<Violation>> = BTreeMap::new();
+    for v in violations {
+        if v.rule == Rule::Codec {
+            // Codec findings bypass the baseline entirely.
+            report.new.push(v);
+            continue;
+        }
+        buckets
+            .entry((v.rule.name().to_string(), v.file.clone()))
+            .or_default()
+            .push(v);
+    }
+    for (key, bucket) in &mut buckets {
+        let allowed = baseline.get(key).copied().unwrap_or(0);
+        let current = bucket.len() as u64;
+        if current > allowed {
+            report.new.append(bucket);
+        } else {
+            report.suppressed += current;
+            if current < allowed {
+                report
+                    .stale
+                    .push((key.0.clone(), key.1.clone(), allowed, current));
+            }
+        }
+    }
+    // Baseline entries for files that now have zero violations.
+    for ((rule, file), &count) in baseline {
+        if count > 0 && !buckets.contains_key(&(rule.clone(), file.clone())) {
+            report.stale.push((rule.clone(), file.clone(), count, 0));
+        }
+    }
+    report
+        .new
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: Rule, file: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let vs = vec![
+            v(Rule::Panic, "a.rs", 1),
+            v(Rule::Panic, "a.rs", 2),
+            v(Rule::Atomics, "b.rs", 3),
+        ];
+        let b = from_violations(&vs);
+        let parsed = parse(&render(&b));
+        assert_eq!(parsed, b);
+        assert_eq!(parsed[&("panic".to_string(), "a.rs".to_string())], 2);
+    }
+
+    #[test]
+    fn exact_match_passes_excess_fails() {
+        let vs = vec![v(Rule::Panic, "a.rs", 1), v(Rule::Panic, "a.rs", 2)];
+        let base = from_violations(&vs);
+        let r = compare(vs.clone(), &base, 1);
+        assert!(r.clean());
+        assert_eq!(r.suppressed, 2);
+
+        let mut grown = vs;
+        grown.push(v(Rule::Panic, "a.rs", 9));
+        let r = compare(grown, &base, 1);
+        assert!(!r.clean());
+        assert_eq!(r.new.len(), 3, "the whole bucket is listed");
+    }
+
+    #[test]
+    fn shrinkage_is_stale_until_ratcheted() {
+        let base = from_violations(&[v(Rule::Panic, "a.rs", 1), v(Rule::Panic, "a.rs", 2)]);
+        let r = compare(vec![v(Rule::Panic, "a.rs", 1)], &base, 1);
+        assert!(!r.clean());
+        assert_eq!(r.stale, vec![("panic".into(), "a.rs".into(), 2, 1)]);
+        // Ratchet: re-derive the baseline from what's left.
+        let r2 = compare(
+            vec![v(Rule::Panic, "a.rs", 1)],
+            &from_violations(&[v(Rule::Panic, "a.rs", 1)]),
+            1,
+        );
+        assert!(r2.clean());
+        // Fully fixed file with a lingering entry is also stale.
+        let r3 = compare(vec![], &base, 1);
+        assert_eq!(r3.stale.len(), 1);
+    }
+
+    #[test]
+    fn codec_findings_bypass_the_baseline() {
+        let vs = vec![v(Rule::Codec, "c.rs", 0)];
+        assert!(from_violations(&vs).is_empty());
+        let r = compare(vs, &Baseline::new(), 1);
+        assert_eq!(r.new.len(), 1);
+    }
+}

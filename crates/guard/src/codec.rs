@@ -1,0 +1,252 @@
+//! Codec version pinning: fingerprint the ByteWriter/ByteReader call
+//! sequences of the wire codecs and pin them in a committed manifest.
+//!
+//! The fingerprint is an order-sensitive FNV-64 over every
+//! `.<codec-method>(` call in the codec's file (test code masked out) —
+//! `u8`, `u32`, `u64`, `i64`, `f64`, `raw`, `bytes`, `str`, `job`.
+//! Writer and reader sides both count: a field added to either changes
+//! the sequence. The manifest additionally pins the integer values of
+//! the codec's version constants, so the lint distinguishes "sequence
+//! changed, version untouched" (the bug this rule exists to catch) from
+//! "sequence and version changed, manifest not re-pinned" (run
+//! `helios-guard pin-codecs` so review sees the new shape).
+
+use crate::config::{CodecSpec, GuardConfig};
+use crate::lexer::{Scan, TokKind};
+use crate::report::{Rule, Violation};
+use crate::rules::active_mask;
+use std::collections::BTreeMap;
+
+/// Methods whose call sequence defines a codec's wire shape.
+const CODEC_METHODS: [&str; 9] = [
+    "u8", "u32", "u64", "i64", "f64", "raw", "bytes", "str", "job",
+];
+
+/// The measured shape of one codec file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecShape {
+    pub fingerprint: u64,
+    /// `(const name, value)` pairs, in spec order.
+    pub versions: Vec<(String, u64)>,
+}
+
+/// Measure a codec file's shape from its scan.
+pub fn shape(spec: &CodecSpec, scan: &Scan) -> CodecShape {
+    let toks = &scan.tokens;
+    let active = active_mask(toks);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fnv = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for i in 0..toks.len() {
+        if !active[i] || toks[i].kind != TokKind::Punct('.') {
+            continue;
+        }
+        let (Some(name), Some(paren)) = (toks.get(i + 1), toks.get(i + 2)) else {
+            continue;
+        };
+        if let TokKind::Ident(m) = &name.kind {
+            if CODEC_METHODS.contains(&m.as_str()) && paren.kind == TokKind::Punct('(') {
+                fnv(m.as_bytes());
+                fnv(b";");
+            }
+        }
+    }
+    let mut versions = Vec::new();
+    for &name in spec.version_consts {
+        versions.push((
+            name.to_string(),
+            const_value(scan, name).unwrap_or(u64::MAX),
+        ));
+    }
+    CodecShape {
+        fingerprint: h,
+        versions,
+    }
+}
+
+/// Find `const <name>: … = <int>` and return the integer.
+fn const_value(scan: &Scan, name: &str) -> Option<u64> {
+    let toks = &scan.tokens;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident(name.to_string()) {
+            continue;
+        }
+        // Walk a few tokens forward looking for `= <num>`.
+        for j in i + 1..(i + 8).min(toks.len()) {
+            if toks[j].kind == TokKind::Punct('=') {
+                if let Some(TokKind::Num(text)) = toks.get(j + 1).map(|t| &t.kind) {
+                    let digits: String = text.chars().take_while(|c| c.is_ascii_digit()).collect();
+                    return digits.parse().ok();
+                }
+            }
+            if toks[j].kind == TokKind::Punct(';') {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// Parsed manifest: codec name → pinned shape.
+pub type Manifest = BTreeMap<String, CodecShape>;
+
+/// Parse the committed manifest (see [`render_manifest`] for the format).
+pub fn parse_manifest(text: &str) -> Manifest {
+    let mut out = Manifest::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let Some(name) = parts.next() else { continue };
+        let mut fingerprint = None;
+        let mut versions = Vec::new();
+        for kv in parts {
+            let Some((k, v)) = kv.split_once('=') else {
+                continue;
+            };
+            if k == "fingerprint" {
+                fingerprint = u64::from_str_radix(v, 16).ok();
+            } else if let Ok(n) = v.parse() {
+                versions.push((k.to_string(), n));
+            }
+        }
+        if let Some(fingerprint) = fingerprint {
+            out.insert(
+                name.to_string(),
+                CodecShape {
+                    fingerprint,
+                    versions,
+                },
+            );
+        }
+    }
+    out
+}
+
+/// Render the manifest deterministically (sorted by codec name).
+pub fn render_manifest(entries: &Manifest) -> String {
+    let mut out = String::from(
+        "# helios-guard codec manifest v1\n\
+         # <codec> fingerprint=<fnv64 of the ByteWriter/ByteReader call sequence> <VERSION_CONST>=<value>…\n\
+         # Changing a codec's field sequence without bumping its version constant fails the\n\
+         # `codec` lint; after a legitimate bump, re-pin with `helios-guard pin-codecs`.\n",
+    );
+    for (name, shape) in entries {
+        out.push_str(&format!("{name} fingerprint={:016x}", shape.fingerprint));
+        for (k, v) in &shape.versions {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Check every pinned codec against the manifest, appending violations.
+/// `scans` maps workspace-relative paths to their scans.
+pub fn check(
+    cfg: &GuardConfig,
+    manifest: &Manifest,
+    scans: &BTreeMap<String, Scan>,
+    out: &mut Vec<Violation>,
+) {
+    for spec in &cfg.codecs {
+        let Some(scan) = scans.get(spec.file) else {
+            out.push(Violation {
+                rule: Rule::Codec,
+                file: spec.file.to_string(),
+                line: 0,
+                message: format!("codec {} file is missing or unreadable", spec.name),
+            });
+            continue;
+        };
+        let current = shape(spec, scan);
+        let Some(pinned) = manifest.get(spec.name) else {
+            out.push(Violation {
+                rule: Rule::Codec,
+                file: spec.file.to_string(),
+                line: 0,
+                message: format!(
+                    "codec {} is not pinned in {} — run `helios-guard pin-codecs`",
+                    spec.name, cfg.manifest_path
+                ),
+            });
+            continue;
+        };
+        if current == *pinned {
+            continue;
+        }
+        let version_bumped = current.versions != pinned.versions;
+        let message = if current.fingerprint != pinned.fingerprint && !version_bumped {
+            format!(
+                "codec {} field sequence changed but {} did not — a snapshot written by the \
+                 old build would decode wrongly under the same version; bump the version \
+                 constant and re-pin with `helios-guard pin-codecs`",
+                spec.name,
+                spec.version_consts.join("/"),
+            )
+        } else if current.fingerprint != pinned.fingerprint {
+            format!(
+                "codec {} changed (version constants were bumped) — re-pin the manifest with \
+                 `helios-guard pin-codecs` so the new shape is committed for review",
+                spec.name
+            )
+        } else {
+            format!(
+                "codec {} version constants changed without a field-sequence change — re-pin \
+                 with `helios-guard pin-codecs` (and double-check the bump was intended)",
+                spec.name
+            )
+        };
+        out.push(Violation {
+            rule: Rule::Codec,
+            file: spec.file.to_string(),
+            line: 0,
+            message,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    const SPEC: CodecSpec = CodecSpec {
+        name: "TESTCDC",
+        file: "codec.rs",
+        version_consts: &["VER"],
+    };
+
+    #[test]
+    fn fingerprint_tracks_field_sequence_not_formatting() {
+        let a = scan("const VER: u32 = 1;\nfn enc(w: &mut W) { w.u32(VER); w.u64(x); }");
+        let b = scan(
+            "const VER: u32 = 1;\n// reformatted + renamed receiver\nfn enc(q: &mut W) {\n    \
+             q.u32(VER);\n    q.u64(y);\n}",
+        );
+        let c = scan("const VER: u32 = 1;\nfn enc(w: &mut W) { w.u32(VER); w.u64(x); w.u8(f); }");
+        assert_eq!(shape(&SPEC, &a), shape(&SPEC, &b));
+        assert_ne!(shape(&SPEC, &a).fingerprint, shape(&SPEC, &c).fingerprint);
+    }
+
+    #[test]
+    fn version_consts_are_read() {
+        let s = scan("pub const VER: u32 = 42;");
+        assert_eq!(shape(&SPEC, &s).versions, vec![("VER".to_string(), 42)]);
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let s = scan("const VER: u32 = 3;\nfn enc(w: &mut W) { w.i64(t); w.bytes(b); }");
+        let mut m = Manifest::new();
+        m.insert("TESTCDC".to_string(), shape(&SPEC, &s));
+        let parsed = parse_manifest(&render_manifest(&m));
+        assert_eq!(parsed, m);
+    }
+}

@@ -1,0 +1,140 @@
+//! The orchestration layer: walk the workspace, scan every in-scope
+//! file, run all rule families, and fold the results through the
+//! baseline into a [`Report`].
+
+use crate::annotations::extract;
+use crate::baseline::{self, Baseline};
+use crate::codec::{self, Manifest};
+use crate::config::{relativize, GuardConfig};
+use crate::lexer::{scan, Scan};
+use crate::report::{Report, Violation};
+use crate::rules::check_file;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Everything one full scan of the workspace produced, before baseline
+/// filtering.
+pub struct WorkspaceScan {
+    pub violations: Vec<Violation>,
+    pub files: u64,
+    /// Scans of the codec files, for manifest pinning.
+    pub codec_scans: BTreeMap<String, Scan>,
+}
+
+/// Scan every in-scope `.rs` file under the config's root and run the
+/// token-pattern rules. Codec checking is left to the caller (it needs
+/// the manifest).
+pub fn scan_workspace(cfg: &GuardConfig) -> io::Result<WorkspaceScan> {
+    let mut files = Vec::new();
+    walk(cfg, &cfg.root, &mut files)?;
+    files.sort();
+    let mut out = WorkspaceScan {
+        violations: Vec::new(),
+        files: 0,
+        codec_scans: BTreeMap::new(),
+    };
+    for rel in files {
+        let src = fs::read_to_string(cfg.abs(&rel))?;
+        let scanned = scan(&src);
+        let ann = extract(&scanned);
+        check_file(cfg, &rel, &scanned, &ann, &mut out.violations);
+        out.files += 1;
+        if cfg.codecs.iter().any(|c| c.file == rel) {
+            out.codec_scans.insert(rel, scanned);
+        }
+    }
+    Ok(out)
+}
+
+/// Recursive workspace walk, honoring the config's excludes. Collects
+/// workspace-relative paths of in-scope `.rs` files.
+fn walk(cfg: &GuardConfig, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        let Some(rel) = relativize(&cfg.root, &path) else {
+            continue;
+        };
+        if cfg.excluded(&rel) {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            walk(cfg, &path, out)?;
+        } else if rel.ends_with(".rs") && cfg.in_any_scope(&rel) {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Run a full `check`: scan, codec-pin comparison, baseline fold.
+/// Reads the baseline and manifest from their configured paths; both
+/// are optional files (absent == empty).
+pub fn check(cfg: &GuardConfig) -> io::Result<Report> {
+    let ws = scan_workspace(cfg)?;
+    let manifest = read_manifest(cfg)?;
+    let mut violations = ws.violations;
+    codec::check(cfg, &manifest, &ws.codec_scans, &mut violations);
+    let base = read_baseline(cfg)?;
+    Ok(baseline::compare(violations, &base, ws.files))
+}
+
+/// Re-derive the baseline from the current tree and write it. Returns
+/// the path written. Codec violations are not baselinable and will
+/// still fail a subsequent `check` until the manifest is re-pinned.
+pub fn write_baseline(cfg: &GuardConfig) -> io::Result<String> {
+    let ws = scan_workspace(cfg)?;
+    let base = baseline::from_violations(&ws.violations);
+    write_rel(cfg, &cfg.baseline_path, &baseline::render(&base))?;
+    Ok(cfg.baseline_path.clone())
+}
+
+/// Re-pin every codec's current shape into the manifest. Returns the
+/// path written.
+pub fn pin_codecs(cfg: &GuardConfig) -> io::Result<String> {
+    let ws = scan_workspace(cfg)?;
+    let mut manifest = Manifest::new();
+    for spec in &cfg.codecs {
+        let Some(scanned) = ws.codec_scans.get(spec.file) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("codec {} file {} not found", spec.name, spec.file),
+            ));
+        };
+        manifest.insert(spec.name.to_string(), codec::shape(spec, scanned));
+    }
+    write_rel(cfg, &cfg.manifest_path, &codec::render_manifest(&manifest))?;
+    Ok(cfg.manifest_path.clone())
+}
+
+fn read_baseline(cfg: &GuardConfig) -> io::Result<Baseline> {
+    match fs::read_to_string(cfg.abs(&cfg.baseline_path)) {
+        Ok(text) => Ok(baseline::parse(&text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Baseline::new()),
+        Err(e) => Err(e),
+    }
+}
+
+fn read_manifest(cfg: &GuardConfig) -> io::Result<Manifest> {
+    match fs::read_to_string(cfg.abs(&cfg.manifest_path)) {
+        Ok(text) => Ok(codec::parse_manifest(&text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Manifest::new()),
+        Err(e) => Err(e),
+    }
+}
+
+fn write_rel(cfg: &GuardConfig, rel: &str, content: &str) -> io::Result<()> {
+    let path = cfg.abs(rel);
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, content)
+}

@@ -1,0 +1,351 @@
+//! A lightweight Rust scanner: just enough lexing to drive the rule
+//! engine without a real parser.
+//!
+//! The scanner splits a source file into *code tokens* (identifiers,
+//! punctuation, literals) and *comments*, each stamped with its 1-based
+//! line. Rules pattern-match short token sequences (`.` `unwrap` `(`,
+//! `Ordering` `::` `Acquire`, …); comments feed the annotation grammar
+//! ([`crate::annotations`]). String/char/raw-string literals are lexed
+//! as opaque units so `"unwrap()"` inside a string can never trip a
+//! rule, and lifetimes (`'a`) are distinguished from char literals.
+
+/// One code token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+/// Code-token kinds. Literal payloads are dropped — no rule needs them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// String, raw-string, byte-string, or char literal.
+    Literal,
+    /// Numeric literal (text kept: version constants are read off it).
+    Num(String),
+}
+
+/// One comment (line `//…` or block `/* … */`), with its text and the
+/// line it starts on. Doc comments are plain comments to the scanner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    pub line: u32,
+    /// Comment text without the `//` / `/*` framing, trimmed.
+    pub text: String,
+}
+
+/// A scanned file: code tokens and comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Scan {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+    /// Lines (1-based) that carry at least one code token.
+    pub code_lines: Vec<bool>,
+}
+
+impl Scan {
+    /// True when `line` holds any code token (false ⇒ blank or
+    /// comment-only — the annotation grammar walks such lines upward).
+    pub fn has_code(&self, line: u32) -> bool {
+        self.code_lines.get(line as usize).copied().unwrap_or(false)
+    }
+}
+
+/// Scan `src` into tokens and comments. The scanner never fails: bytes
+/// it cannot classify are skipped (a linter must degrade gracefully on
+/// source that rustc itself will reject later).
+pub fn scan(src: &str) -> Scan {
+    let b = src.as_bytes();
+    let mut out = Scan::default();
+    let lines = src.lines().count() + 2;
+    out.code_lines = vec![false; lines];
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Record a code token and mark its line.
+    macro_rules! push {
+        ($line:expr, $kind:expr) => {{
+            if let Some(slot) = out.code_lines.get_mut($line as usize) {
+                *slot = true;
+            }
+            out.tokens.push(Tok {
+                line: $line,
+                kind: $kind,
+            });
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            // Line comment (also doc `///` / `//!`).
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..j].trim().to_string(),
+                });
+                i = j;
+            }
+            // Block comment, nested per Rust rules.
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: src[start..end].trim().to_string(),
+                });
+                i = j;
+            }
+            // Raw / byte / raw-byte strings, or an identifier starting
+            // with r/b. Peek the full prefix before deciding.
+            b'r' | b'b' if is_string_prefix(b, i) => {
+                let tok_line = line;
+                i = skip_string(b, i, &mut line);
+                push!(tok_line, TokKind::Literal);
+            }
+            b'"' => {
+                let tok_line = line;
+                i = skip_plain_string(b, i, &mut line);
+                push!(tok_line, TokKind::Literal);
+            }
+            // Char literal vs lifetime: `'a` followed by an identifier
+            // char and *no* closing quote is a lifetime.
+            b'\'' => {
+                let next = b.get(i + 1).copied().unwrap_or(0);
+                let after = b.get(i + 2).copied().unwrap_or(0);
+                if (next.is_ascii_alphabetic() || next == b'_') && after != b'\'' {
+                    // Lifetime: the quote and its identifier both lex as
+                    // ordinary tokens.
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    push!(line, TokKind::Punct('\''));
+                    push!(line, TokKind::Ident(src[start..j].to_string()));
+                    i = j;
+                } else {
+                    let tok_line = line;
+                    let mut j = i + 1;
+                    while j < b.len() {
+                        match b[j] {
+                            b'\\' => j += 2,
+                            b'\'' => {
+                                j += 1;
+                                break;
+                            }
+                            b'\n' => break, // unterminated; bail
+                            _ => j += 1,
+                        }
+                    }
+                    push!(tok_line, TokKind::Literal);
+                    i = j;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                push!(line, TokKind::Ident(src[start..j].to_string()));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                // Numbers: digits, underscores, dots, exponent chars,
+                // radix prefixes, and type suffixes — precision beyond
+                // "this is one numeric literal" is not needed.
+                while j < b.len()
+                    && (b[j].is_ascii_alphanumeric()
+                        || b[j] == b'_'
+                        || (b[j] == b'.' && b.get(j + 1).is_some_and(|d| d.is_ascii_digit())))
+                {
+                    j += 1;
+                }
+                push!(line, TokKind::Num(src[start..j].to_string()));
+                i = j;
+            }
+            c => {
+                push!(line, TokKind::Punct(c as char));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does `b[i..]` start a raw/byte string (`r"`, `r#"`, `br"`, `b"`,
+/// `b'`, `rb…` is not valid Rust)?
+fn is_string_prefix(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+        return j < b.len() && b[j] == b'"';
+    }
+    // b"..." / b'...'
+    b[i] == b'b' && j < b.len() && (b[j] == b'"' || b[j] == b'\'')
+}
+
+/// Skip a raw/byte/plain string starting at the `r`/`b` prefix.
+/// Returns the index just past the closing delimiter.
+fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        // Opening quote.
+        j += 1;
+        // Scan for `"` followed by `hashes` hashes.
+        while j < b.len() {
+            if b[j] == b'\n' {
+                *line += 1;
+                j += 1;
+            } else if b[j] == b'"'
+                && b[j + 1..].iter().take_while(|&&h| h == b'#').count() >= hashes
+            {
+                return j + 1 + hashes;
+            } else {
+                j += 1;
+            }
+        }
+        return j;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        // Byte char literal b'x'.
+        j += 1;
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j += 2,
+                b'\'' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        return j;
+    }
+    skip_plain_string(b, j, line)
+}
+
+/// Skip a `"…"` string starting at the opening quote, handling escapes
+/// and embedded newlines. Returns the index just past the closing quote.
+fn skip_plain_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(scan: &Scan) -> Vec<&str> {
+        scan.tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let s = scan(
+            r####"let x = "unwrap()"; // unwrap() in comment
+let y = r#"panic!("no")"#; /* expect( */ let z = 'a';"####,
+        );
+        assert_eq!(idents(&s), ["let", "x", "let", "y", "let", "z"]);
+        assert_eq!(s.comments.len(), 2);
+        assert_eq!(s.comments[0].text, "unwrap() in comment");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'x' }");
+        // Both lifetimes lex as punct + ident, the char as a literal.
+        assert_eq!(idents(&s), ["fn", "f", "a", "x", "a", "str", "char"]);
+        assert_eq!(
+            s.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let s = scan("let a = \"x\ny\";\n/* c\nc */\nlet b = 1;");
+        let b_tok = s
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("b".into()))
+            .expect("b token");
+        assert_eq!(b_tok.line, 5);
+        assert!(s.has_code(1));
+        assert!(!s.has_code(3));
+        assert!(!s.has_code(4));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let s = scan("/* outer /* inner */ still */ let q = 2;");
+        assert_eq!(idents(&s), ["let", "q"]);
+    }
+}

@@ -1,0 +1,47 @@
+//! `helios-guard`: the workspace invariant linter.
+//!
+//! Every determinism and robustness guarantee this repo ships —
+//! byte-identical outcome digests, panic-free fleet service paths,
+//! lock-free handshakes, versioned snapshot codecs — is a *source-level
+//! discipline* before it is a test. This crate machine-checks that
+//! discipline on every change, with its own lightweight Rust scanner
+//! and zero dependencies, via four rule families:
+//!
+//! 1. **panic-freedom** (`panic`) — no `unwrap()` / `expect()` /
+//!    `panic!`-family macros / unchecked indexing in designated
+//!    service-path modules (the fleet layer, the kernel event loop, the
+//!    snapshot codec).
+//! 2. **determinism** (`determinism`) — no `HashMap`/`HashSet` in
+//!    digest/report/snapshot-feeding modules; no `Instant::now` /
+//!    `SystemTime::now` / `RandomState` outside bench code.
+//! 3. **atomics audit** (`atomics`) — every memory `Ordering::` use-site
+//!    carries an adjacent `// sync:` comment naming its happens-before
+//!    partner.
+//! 4. **codec pinning** (`codec`) — the ByteWriter/ByteReader call
+//!    sequences of the `HSIMSNAP`/`HELFLEET`/`HELCKPT`/`FAULTSNAP`
+//!    codecs are fingerprinted and pinned in a committed manifest;
+//!    changing a field sequence without bumping the version constant
+//!    (and re-pinning) fails the lint.
+//!
+//! Justified exceptions use the annotation grammar (see
+//! [`annotations`]): `// guard: allow(<rule>, reason = "…")`.
+//! Pre-existing violations are grandfathered in a committed baseline
+//! whose counts may only shrink (see [`baseline`]).
+//!
+//! ```no_run
+//! use helios_guard::{engine, GuardConfig};
+//! let report = engine::check(&GuardConfig::helios("/path/to/workspace")).unwrap();
+//! assert!(report.clean(), "{}", report.human());
+//! ```
+
+pub mod annotations;
+pub mod baseline;
+pub mod codec;
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::{CodecSpec, GuardConfig, PathSet};
+pub use report::{Report, Rule, Violation};

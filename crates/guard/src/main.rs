@@ -1,0 +1,139 @@
+//! `helios-guard` CLI.
+//!
+//! ```text
+//! helios-guard check [--workspace | --root <dir>] [--json] [--write-baseline]
+//! helios-guard pin-codecs [--root <dir>]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations / stale baseline, `2` usage or
+//! I/O error.
+
+use helios_guard::{engine, GuardConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+helios-guard: workspace invariant linter (panic-freedom, determinism, atomics, codecs)
+
+USAGE:
+    helios-guard check [--workspace | --root <dir>] [--json] [--write-baseline]
+    helios-guard pin-codecs [--root <dir>]
+
+COMMANDS:
+    check            Run every rule family; exit 1 on new violations or a stale baseline
+    pin-codecs       Re-pin the codec fingerprint manifest (.guard/codecs.txt)
+
+OPTIONS:
+    --workspace      Lint the enclosing cargo workspace (found from the cwd; default)
+    --root <dir>     Lint an explicit workspace root instead
+    --json           Emit the machine-readable report on stdout
+    --write-baseline Re-derive .guard/baseline.txt from the current tree (the ratchet)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut write_baseline = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "pin-codecs" if cmd.is_none() => cmd = Some(a.clone()),
+            "--workspace" => {}
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unrecognized argument `{other}`")),
+        }
+    }
+    let Some(cmd) = cmd else {
+        return usage_error("missing command");
+    };
+    let root = match root.map_or_else(find_workspace_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("helios-guard: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = GuardConfig::helios(root);
+    let result = match cmd.as_str() {
+        "pin-codecs" => match engine::pin_codecs(&cfg) {
+            Ok(path) => {
+                println!(
+                    "helios-guard: pinned {} codec(s) to {path}",
+                    cfg.codecs.len()
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => Err(e),
+        },
+        _ => {
+            if write_baseline {
+                match engine::write_baseline(&cfg) {
+                    Ok(path) => println!("helios-guard: baseline written to {path}"),
+                    Err(e) => {
+                        eprintln!("helios-guard: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            engine::check(&cfg).map(|report| {
+                if json {
+                    print!("{}", report.json());
+                } else {
+                    print!("{}", report.human());
+                }
+                if report.clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            })
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("helios-guard: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("helios-guard: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walk upward from the cwd to the first directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+fn find_workspace_root() -> std::io::Result<PathBuf> {
+    let mut dir = std::env::current_dir()?;
+    loop {
+        if is_workspace_root(&dir) {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "no enclosing cargo workspace found (run from inside the repo \
+                 or pass --root)",
+            ));
+        }
+    }
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|t| t.contains("[workspace]"))
+        .unwrap_or(false)
+}

@@ -1,0 +1,405 @@
+//! The token-pattern rules: panic-freedom, determinism, and the
+//! atomics audit. (Codec pinning lives in [`crate::codec`] — it is a
+//! whole-file fingerprint, not a token pattern.)
+//!
+//! All rules operate on the *active* token stream: tokens inside
+//! `#[cfg(test)]` items and `#[test]` functions are masked out first,
+//! since test code is supposed to panic loudly and never feeds digests.
+
+use crate::annotations::Annotations;
+use crate::config::GuardConfig;
+use crate::lexer::{Scan, Tok, TokKind};
+use crate::report::{Rule, Violation};
+
+/// Panic-bang macros flagged on service paths.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// `std::sync::atomic::Ordering` variants (distinguishes the memory
+/// orderings from `std::cmp::Ordering::{Less, Equal, Greater}`).
+const MEMORY_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`let [a, b] = …`, `return [x]`, `for [k, v] in …`).
+const NON_INDEX_KEYWORDS: [&str; 30] = [
+    "as", "await", "box", "break", "const", "continue", "crate", "do", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "trait", "where",
+];
+
+fn ident(tok: &Tok) -> Option<&str> {
+    match &tok.kind {
+        TokKind::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(tok: &Tok, c: char) -> bool {
+    tok.kind == TokKind::Punct(c)
+}
+
+/// Mask out tokens belonging to `#[cfg(test, …)]` / `#[test]` items.
+/// Returns one flag per token: `true` = active (linted).
+pub fn active_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut active = vec![true; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if is_punct(&toks[i], '#') && i + 1 < toks.len() && is_punct(&toks[i + 1], '[') {
+            // Walk the attribute's balanced brackets, collecting idents.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut is_test_attr = false;
+            while j < toks.len() {
+                if is_punct(&toks[j], '[') {
+                    depth += 1;
+                } else if is_punct(&toks[j], ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if let Some(name) = ident(&toks[j]) {
+                    if name == "test" {
+                        is_test_attr = true;
+                    }
+                }
+                j += 1;
+            }
+            if is_test_attr {
+                // Mask the attribute itself plus the item it decorates:
+                // any further attributes, then everything to the end of
+                // the first brace-balanced block (or a bare `;`).
+                let end = item_end(toks, j + 1);
+                for flag in active.iter_mut().take(end).skip(i) {
+                    *flag = false;
+                }
+                i = end;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    active
+}
+
+/// Find the exclusive end of the item starting at `start` (skipping
+/// leading attributes): past the matching `}` of its first block, or
+/// past a terminating `;`, whichever comes first.
+fn item_end(toks: &[Tok], start: usize) -> usize {
+    let mut i = start;
+    // Skip any further attributes.
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') && is_punct(&toks[i + 1], '[') {
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            if is_punct(&toks[j], '[') {
+                depth += 1;
+            } else if is_punct(&toks[j], ']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    while i < toks.len() {
+        if is_punct(&toks[i], ';') {
+            return i + 1;
+        }
+        if is_punct(&toks[i], '{') {
+            let mut depth = 0usize;
+            while i < toks.len() {
+                if is_punct(&toks[i], '{') {
+                    depth += 1;
+                } else if is_punct(&toks[i], '}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                i += 1;
+            }
+            return toks.len();
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Run every token-pattern rule applicable to `rel` over one scanned
+/// file, appending violations (annotation-suppressed sites excluded).
+pub fn check_file(
+    cfg: &GuardConfig,
+    rel: &str,
+    scan: &Scan,
+    ann: &Annotations,
+    out: &mut Vec<Violation>,
+) {
+    let toks = &scan.tokens;
+    let active = active_mask(toks);
+
+    // Malformed annotations are violations in their own right — a typo
+    // must not silently disable a check.
+    for bad in &ann.bad {
+        out.push(Violation {
+            rule: Rule::Annotation,
+            file: rel.to_string(),
+            line: bad.line,
+            message: bad.message.clone(),
+        });
+    }
+
+    let mut push = |rule: Rule, line: u32, message: String| {
+        if !ann.allowed(scan, rule, line) {
+            out.push(Violation {
+                rule,
+                file: rel.to_string(),
+                line,
+                message,
+            });
+        }
+    };
+
+    let in_panic = cfg.panic_paths.contains(rel);
+    let in_container = cfg.container_paths.contains(rel);
+    let in_time = cfg.time_paths.contains(rel);
+    let in_atomics = cfg.atomics_paths.contains(rel);
+    if !(in_panic || in_container || in_time || in_atomics) {
+        return;
+    }
+
+    // `use …;` statements never iterate or panic; masking them keeps
+    // one import from demanding the same annotation as a real use-site.
+    let mut in_use = false;
+    for i in 0..toks.len() {
+        if !active[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if in_use {
+            if is_punct(t, ';') {
+                in_use = false;
+            }
+            continue;
+        }
+        if ident(t) == Some("use") {
+            in_use = true;
+            continue;
+        }
+
+        if in_panic {
+            // `.unwrap(` / `.expect(`
+            if is_punct(t, '.') {
+                if let (Some(name), Some(paren)) = (toks.get(i + 1), toks.get(i + 2)) {
+                    if let Some(m) = ident(name) {
+                        if (m == "unwrap" || m == "expect") && is_punct(paren, '(') {
+                            push(
+                                Rule::Panic,
+                                name.line,
+                                format!(
+                                    "`.{m}()` on a service path — return a typed `HeliosError` \
+                                     (or `// guard: allow(panic, reason = \"…\")` a proven invariant)"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            // `panic!` family.
+            if let Some(m) = ident(t) {
+                if PANIC_MACROS.contains(&m) && toks.get(i + 1).is_some_and(|n| is_punct(n, '!')) {
+                    push(
+                        Rule::Panic,
+                        t.line,
+                        format!("`{m}!` on a service path — degrade with a typed error instead"),
+                    );
+                }
+            }
+            // Slice/array index without `get`: `expr[…]` where the token
+            // before `[` closes an expression.
+            if is_punct(t, '[') && i > 0 && active[i - 1] {
+                let prev = &toks[i - 1];
+                // A lifetime's identifier (`&'a [u8]`) is not an
+                // indexable expression.
+                let lifetime = i >= 2 && is_punct(&toks[i - 2], '\'');
+                let indexes = match &prev.kind {
+                    TokKind::Ident(s) => !lifetime && !NON_INDEX_KEYWORDS.contains(&s.as_str()),
+                    TokKind::Punct(')') | TokKind::Punct(']') => true,
+                    TokKind::Num(_) => true,
+                    _ => false,
+                };
+                if indexes {
+                    push(
+                        Rule::Panic,
+                        t.line,
+                        "slice/array index on a service path — prefer `.get(…)` \
+                         (or annotate the bounds invariant)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
+        if in_container {
+            if let Some(m) = ident(t) {
+                if m == "HashMap" || m == "HashSet" {
+                    push(
+                        Rule::Determinism,
+                        t.line,
+                        format!(
+                            "`{m}` in a digest/report/snapshot-feeding module — iteration order \
+                             is seed-dependent; use `BTreeMap`/sorted `Vec` or annotate why \
+                             ordering never escapes"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if in_time {
+            if let Some(m) = ident(t) {
+                if (m == "Instant" || m == "SystemTime")
+                    && toks.get(i + 1).is_some_and(|a| is_punct(a, ':'))
+                    && toks.get(i + 2).is_some_and(|b| is_punct(b, ':'))
+                    && toks.get(i + 3).and_then(ident) == Some("now")
+                {
+                    push(
+                        Rule::Determinism,
+                        t.line,
+                        format!(
+                            "`{m}::now()` outside bench code — wall-clock reads are a \
+                             seeded-replay hazard; annotate if the value never feeds \
+                             kernel state or digests"
+                        ),
+                    );
+                }
+                if m == "RandomState" {
+                    push(
+                        Rule::Determinism,
+                        t.line,
+                        "`RandomState` outside bench code — per-process hash seeds break \
+                         seeded replay"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
+        if in_atomics
+            && ident(t) == Some("Ordering")
+            && toks.get(i + 1).is_some_and(|a| is_punct(a, ':'))
+            && toks.get(i + 2).is_some_and(|b| is_punct(b, ':'))
+            && toks
+                .get(i + 3)
+                .and_then(ident)
+                .is_some_and(|v| MEMORY_ORDERINGS.contains(&v))
+            && !ann.synced(scan, t.line)
+        {
+            let variant = ident(&toks[i + 3]).unwrap_or("?");
+            push(
+                Rule::Atomics,
+                t.line,
+                format!(
+                    "`Ordering::{variant}` without an adjacent `// sync:` comment naming \
+                     its happens-before partner"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations::extract;
+    use crate::lexer::scan;
+
+    fn run(rel: &str, src: &str) -> Vec<Violation> {
+        let mut cfg = GuardConfig::helios("/tmp");
+        cfg.panic_paths = crate::config::PathSet::new(["svc"]);
+        cfg.container_paths = crate::config::PathSet::new(["det"]);
+        cfg.time_paths = crate::config::PathSet::new(["det", "svc"]);
+        cfg.atomics_paths = crate::config::PathSet::new(["."]);
+        let s = scan(src);
+        let ann = extract(&s);
+        let mut out = Vec::new();
+        check_file(&cfg, rel, &s, &ann, &mut out);
+        out
+    }
+
+    #[test]
+    fn panic_family_fires_only_in_scope() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(run("svc/a.rs", src).len(), 1);
+        assert!(run("other/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_masked() {
+        let src = "#[cfg(test)]\nmod tests {\n fn g() { x.unwrap(); a[1]; panic!(\"t\") }\n}\n";
+        assert!(run("svc/a.rs", src).is_empty());
+        let src2 = "#[test]\nfn t() { x.unwrap() }\nfn live() { y.expect(\"m\") }";
+        let v = run("svc/a.rs", src2);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("expect"));
+    }
+
+    #[test]
+    fn index_heuristic() {
+        // Flagged: identifier, call-result, and chained indexing.
+        assert_eq!(
+            run("svc/a.rs", "fn f() { a[i]; g()[0]; m[1][2]; }").len(),
+            4
+        );
+        // Not flagged: destructuring, array literals/types, attributes,
+        // macro brackets.
+        let clean = "#[derive(Clone)]\nstruct S([u8; 4]);\nfn f() { let [a, b] = p; \
+                     let v = vec![1, 2]; let t: [u8; 2] = [0, 1]; for [x, y] in pairs {} }";
+        assert!(run("svc/a.rs", clean).is_empty());
+    }
+
+    #[test]
+    fn determinism_rules() {
+        let v = run(
+            "det/a.rs",
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u8, u8> = HashMap::new(); \
+             let t = Instant::now(); let s = RandomState::new(); }",
+        );
+        // The `use` line is masked; both HashMap mentions + Instant +
+        // RandomState fire.
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|v| v.rule == Rule::Determinism));
+    }
+
+    #[test]
+    fn atomics_need_sync_comments() {
+        let bad = "fn f() { x.load(Ordering::Acquire); }";
+        let v = run("any/a.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Atomics);
+        let good = "fn f() {\n // sync: pairs with the Release store in publish()\n \
+                    x.load(Ordering::Acquire);\n}";
+        assert!(run("any/a.rs", good).is_empty());
+        // cmp::Ordering is not an atomic ordering.
+        assert!(run("any/a.rs", "fn f() { let o = Ordering::Less; }").is_empty());
+    }
+
+    #[test]
+    fn allow_annotations_suppress() {
+        let src = "fn f() {\n // guard: allow(panic, reason = \"validated at the door\")\n \
+                   x.unwrap();\n}";
+        assert!(run("svc/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn malformed_annotation_is_reported() {
+        let v = run("svc/a.rs", "// guard: allow(panic)\nfn f() { x.unwrap(); }");
+        assert!(v.iter().any(|v| v.rule == Rule::Annotation));
+        assert!(
+            v.iter().any(|v| v.rule == Rule::Panic),
+            "allow must not apply"
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! Fixture-driven integration tests for `helios-guard`.
+//!
+//! Each file under `guard_fixtures/` seeds violations at lines marked
+//! `//~ <rule>…`; the harness strips the markers, scans the cleaned
+//! source, and asserts every rule fires exactly at its annotated lines
+//! (and nowhere else). The baseline ratchet and the codec manifest are
+//! exercised end-to-end through the engine against a throwaway tree,
+//! and the committed workspace itself must check clean.
+
+use helios_guard::{codec, engine, lexer, rules, CodecSpec, GuardConfig, PathSet, Rule};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("guard_fixtures")
+}
+
+const RULE_NAMES: &[&str] = &["panic", "determinism", "atomics", "codec", "annotation"];
+
+/// `(expected (rule, line) pairs, marker-stripped source)`. A `//~` is
+/// only a marker when every word after it is a rule name — fixture doc
+/// comments may mention the literal `//~` syntax.
+fn parse_markers(raw: &str) -> (Vec<(String, u32)>, String) {
+    let mut expected = Vec::new();
+    let mut cleaned = String::new();
+    for (i, line) in raw.lines().enumerate() {
+        let lineno = i as u32 + 1;
+        let marker = line.find("//~").filter(|&pos| {
+            let words: Vec<&str> = line[pos + 3..].split_whitespace().collect();
+            !words.is_empty() && words.iter().all(|w| RULE_NAMES.contains(w))
+        });
+        if let Some(pos) = marker {
+            for rule in line[pos + 3..].split_whitespace() {
+                expected.push((rule.to_string(), lineno));
+            }
+            cleaned.push_str(line[..pos].trim_end());
+        } else {
+            cleaned.push_str(line);
+        }
+        cleaned.push('\n');
+    }
+    expected.sort();
+    (expected, cleaned)
+}
+
+/// An everything-in-scope config rooted at the fixture dir, with the
+/// named rule families active.
+fn fixture_config(panic: bool, determinism: bool, atomics: bool) -> GuardConfig {
+    let all = || PathSet::new(["."]);
+    let none = PathSet::default;
+    GuardConfig {
+        root: fixture_dir(),
+        panic_paths: if panic { all() } else { none() },
+        container_paths: if determinism { all() } else { none() },
+        time_paths: if determinism { all() } else { none() },
+        atomics_paths: if atomics { all() } else { none() },
+        excludes: Vec::new(),
+        codecs: Vec::new(),
+        baseline_path: ".guard/baseline.txt".to_string(),
+        manifest_path: ".guard/codecs.txt".to_string(),
+    }
+}
+
+type RuleLines = Vec<(String, u32)>;
+
+/// `(expected, actual)` sorted `(rule, line)` pairs for one fixture.
+fn violations_for(file: &str, cfg: &GuardConfig) -> (RuleLines, RuleLines) {
+    let raw = fs::read_to_string(fixture_dir().join(file)).expect("fixture readable");
+    let (expected, cleaned) = parse_markers(&raw);
+    let scan = lexer::scan(&cleaned);
+    let ann = helios_guard::annotations::extract(&scan);
+    let mut out = Vec::new();
+    rules::check_file(cfg, file, &scan, &ann, &mut out);
+    let mut actual: Vec<(String, u32)> = out
+        .iter()
+        .map(|v| (v.rule.name().to_string(), v.line))
+        .collect();
+    actual.sort();
+    (expected, actual)
+}
+
+#[test]
+fn panic_fixture_fires_exactly_at_markers() {
+    let (expected, actual) = violations_for("panic.rs", &fixture_config(true, false, false));
+    assert_eq!(actual, expected);
+    assert!(expected.iter().any(|(r, _)| r == "annotation"));
+    assert!(expected.iter().filter(|(r, _)| r == "panic").count() >= 6);
+}
+
+#[test]
+fn determinism_fixture_fires_exactly_at_markers() {
+    let (expected, actual) = violations_for("determinism.rs", &fixture_config(false, true, false));
+    assert_eq!(actual, expected);
+    assert_eq!(
+        expected.iter().filter(|(r, _)| r == "determinism").count(),
+        7
+    );
+}
+
+#[test]
+fn atomics_fixture_fires_exactly_at_markers() {
+    let (expected, actual) = violations_for("atomics.rs", &fixture_config(false, false, true));
+    assert_eq!(actual, expected);
+    assert_eq!(
+        expected.len(),
+        2,
+        "synced and cmp::Ordering sites stay quiet"
+    );
+}
+
+#[test]
+fn fixtures_are_quiet_outside_their_scope() {
+    // With no rule family in scope the seeded files go silent — except
+    // the `annotation` meta-rule, which reports malformed annotations
+    // wherever the scanner sees them.
+    let cfg = fixture_config(false, false, false);
+    for file in ["panic.rs", "determinism.rs", "atomics.rs"] {
+        let (_, actual) = violations_for(file, &cfg);
+        let non_meta: Vec<_> = actual.iter().filter(|(r, _)| r != "annotation").collect();
+        assert_eq!(non_meta, Vec::<&(String, u32)>::new(), "{file}");
+    }
+}
+
+const FIX_SPEC: CodecSpec = CodecSpec {
+    name: "FIXSNAP",
+    file: "codec.rs",
+    version_consts: &["FIXSNAP_VERSION"],
+};
+
+fn codec_check_against_v1(current_file: &str) -> Vec<helios_guard::Violation> {
+    let v1 = fs::read_to_string(fixture_dir().join("codec_v1.rs")).expect("fixture");
+    let cur = fs::read_to_string(fixture_dir().join(current_file)).expect("fixture");
+    let mut manifest = codec::Manifest::new();
+    manifest.insert(
+        FIX_SPEC.name.to_string(),
+        codec::shape(&FIX_SPEC, &lexer::scan(&v1)),
+    );
+    let mut scans = BTreeMap::new();
+    scans.insert(FIX_SPEC.file.to_string(), lexer::scan(&cur));
+    let mut cfg = fixture_config(false, false, false);
+    cfg.codecs = vec![FIX_SPEC];
+    let mut out = Vec::new();
+    codec::check(&cfg, &manifest, &scans, &mut out);
+    out
+}
+
+#[test]
+fn codec_unchanged_shape_passes() {
+    assert!(codec_check_against_v1("codec_v1.rs").is_empty());
+}
+
+#[test]
+fn codec_field_added_without_bump_fails_loudly() {
+    let out = codec_check_against_v1("codec_v2_unbumped.rs");
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].rule, Rule::Codec);
+    assert!(
+        out[0].message.contains("FIXSNAP_VERSION did not"),
+        "wrong message: {}",
+        out[0].message
+    );
+}
+
+#[test]
+fn codec_field_added_with_bump_demands_repin() {
+    let out = codec_check_against_v1("codec_v2_bumped.rs");
+    assert_eq!(out.len(), 1);
+    assert!(
+        out[0].message.contains("version constants were bumped"),
+        "wrong message: {}",
+        out[0].message
+    );
+}
+
+/// A throwaway workspace tree for end-to-end baseline ratchet tests.
+struct TempTree(PathBuf);
+
+impl TempTree {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("helios-guard-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("src")).expect("temp tree");
+        TempTree(dir)
+    }
+
+    fn write_lib(&self, body: &str) {
+        fs::write(self.0.join("src").join("lib.rs"), body).expect("write fixture lib");
+    }
+
+    fn config(&self) -> GuardConfig {
+        let mut cfg = fixture_config(false, false, false);
+        cfg.root = self.0.clone();
+        cfg.panic_paths = PathSet::new(["src"]);
+        cfg
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn baseline_ratchet_round_trip() {
+    let tree = TempTree::new("ratchet");
+    tree.write_lib("pub fn f(xs: &[u64]) -> u64 { xs[0] + xs[1] }\n");
+    let cfg = tree.config();
+
+    // Two fresh violations fail the check.
+    let r = engine::check(&cfg).expect("check");
+    assert!(!r.clean());
+    assert_eq!(r.new.len(), 2);
+
+    // Grandfather them; the check now passes with both suppressed.
+    engine::write_baseline(&cfg).expect("write baseline");
+    let r = engine::check(&cfg).expect("check");
+    assert!(r.clean());
+    assert_eq!(r.suppressed, 2);
+
+    // A new violation on top of the baseline fails again.
+    tree.write_lib("pub fn f(xs: &[u64]) -> u64 { xs[0] + xs[1] + xs[2] }\n");
+    let r = engine::check(&cfg).expect("check");
+    assert!(!r.clean());
+    assert_eq!(r.new.len(), 3, "the whole regressed bucket is listed");
+
+    // Fixing below the baseline is STALE until ratcheted down…
+    tree.write_lib("pub fn f(xs: &[u64]) -> u64 { xs[0] }\n");
+    let r = engine::check(&cfg).expect("check");
+    assert!(!r.clean());
+    assert_eq!(r.stale.len(), 1);
+
+    // …and clean after the ratchet.
+    engine::write_baseline(&cfg).expect("ratchet");
+    let r = engine::check(&cfg).expect("check");
+    assert!(r.clean());
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn missing_codec_pin_is_not_baselinable() {
+    let tree = TempTree::new("codecpin");
+    tree.write_lib("pub const V: u32 = 1;\npub fn e(w: &mut W) { w.u32(V); }\n");
+    let mut cfg = tree.config();
+    cfg.codecs = vec![CodecSpec {
+        name: "TEMPSNAP",
+        file: "src/lib.rs",
+        version_consts: &["V"],
+    }];
+    cfg.panic_paths = PathSet::default();
+
+    // Unpinned codec fails even after a baseline write.
+    engine::write_baseline(&cfg).expect("write baseline");
+    let r = engine::check(&cfg).expect("check");
+    assert!(!r.clean());
+    assert!(r.new[0].message.contains("pin-codecs"));
+
+    // Pinning resolves it.
+    engine::pin_codecs(&cfg).expect("pin");
+    let r = engine::check(&cfg).expect("check");
+    assert!(r.clean());
+}
+
+/// The committed workspace must check clean with the committed
+/// baseline and manifest — the dogfooding acceptance criterion.
+#[test]
+fn committed_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = engine::check(&GuardConfig::helios(root)).expect("workspace check");
+    assert!(
+        report.clean(),
+        "workspace has new violations:\n{}",
+        report.human()
+    );
+    assert!(report.files > 50, "workspace scan looks truncated");
+}
+
+/// CLI exit codes: 0 on the committed tree, 1 on a seeded-violation
+/// tree, 2 on usage errors.
+#[test]
+fn cli_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_helios-guard");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+
+    let ok = std::process::Command::new(bin)
+        .args(["check", "--root"])
+        .arg(root)
+        .output()
+        .expect("run helios-guard");
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+
+    let tree = TempTree::new("cli");
+    fs::create_dir_all(tree.0.join("crates/fleet/src")).expect("tree");
+    fs::write(
+        tree.0.join("crates/fleet/src/bad.rs"),
+        "pub fn f(xs: &[u64]) -> u64 { xs.first().unwrap() + 1 }\n",
+    )
+    .expect("seed violation");
+    let fail = std::process::Command::new(bin)
+        .args(["check", "--root"])
+        .arg(&tree.0)
+        .output()
+        .expect("run helios-guard");
+    assert_eq!(fail.status.code(), Some(1));
+    let report = String::from_utf8_lossy(&fail.stdout);
+    assert!(report.contains("unwrap"), "unexpected report: {report}");
+
+    let usage = std::process::Command::new(bin)
+        .arg("--bogus")
+        .output()
+        .expect("run helios-guard");
+    assert_eq!(usage.status.code(), Some(2));
+
+    // --json emits a machine-readable failure with the same findings.
+    let json = std::process::Command::new(bin)
+        .args(["check", "--json", "--root"])
+        .arg(&tree.0)
+        .output()
+        .expect("run helios-guard");
+    assert_eq!(json.status.code(), Some(1));
+    let body = String::from_utf8_lossy(&json.stdout);
+    assert!(
+        body.contains("\"rule\": \"panic\""),
+        "unexpected json: {body}"
+    );
+}

@@ -1,0 +1,42 @@
+//! Seeded atomics-audit violations: `Ordering::` use-sites with and
+//! without an adjacent `// sync:` comment. Markers as in `panic.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn unsynced_load() -> u64 {
+    COUNTER.load(Ordering::Acquire) //~ atomics
+}
+
+fn unsynced_store() {
+    COUNTER.store(1, Ordering::SeqCst); //~ atomics
+}
+
+fn synced_inline() -> u64 {
+    COUNTER.load(Ordering::Acquire) // sync: acquires the Release store in `synced_above`
+}
+
+fn synced_above() {
+    // sync: publishes the counter to the Acquire load in `synced_inline`
+    COUNTER.store(2, Ordering::Release);
+}
+
+fn comparison_ordering(a: u32, b: u32) -> std::cmp::Ordering {
+    // `cmp::Ordering` variants are not memory orderings; no audit.
+    if a < b {
+        std::cmp::Ordering::Less
+    } else {
+        a.cmp(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masked_test_code_needs_no_sync_comments() {
+        assert_eq!(COUNTER.load(Ordering::Relaxed) < u64::MAX, true);
+    }
+}

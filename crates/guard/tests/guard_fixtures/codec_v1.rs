@@ -1,0 +1,20 @@
+//! Fixture codec, baseline shape: the pinned manifest is derived from
+//! this file.
+
+pub const FIXSNAP_VERSION: u32 = 1;
+
+pub fn encode(w: &mut ByteWriter, state: &State) {
+    w.u32(FIXSNAP_VERSION);
+    w.u64(state.jobs);
+    w.i64(state.clock);
+    w.str(&state.name);
+}
+
+pub fn decode(r: &mut ByteReader) -> State {
+    let _version = r.u32();
+    State {
+        jobs: r.u64(),
+        clock: r.i64(),
+        name: r.str(),
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture codec, legitimately evolved shape: the same field addition
+//! as `codec_v2_unbumped.rs`, but the version constant was bumped. The
+//! lint still fails until the manifest is re-pinned, with a message
+//! pointing at `pin-codecs` instead of at a missing bump.
+
+pub const FIXSNAP_VERSION: u32 = 2;
+
+pub fn encode(w: &mut ByteWriter, state: &State) {
+    w.u32(FIXSNAP_VERSION);
+    w.u64(state.jobs);
+    w.i64(state.clock);
+    w.u8(state.flags);
+    w.str(&state.name);
+}
+
+pub fn decode(r: &mut ByteReader) -> State {
+    let _version = r.u32();
+    State {
+        jobs: r.u64(),
+        clock: r.i64(),
+        flags: r.u8(),
+        name: r.str(),
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture codec, drifted shape: a field was added to the wire format
+//! but the version constant was NOT bumped — the exact bug the codec
+//! rule exists to catch.
+
+pub const FIXSNAP_VERSION: u32 = 1;
+
+pub fn encode(w: &mut ByteWriter, state: &State) {
+    w.u32(FIXSNAP_VERSION);
+    w.u64(state.jobs);
+    w.i64(state.clock);
+    w.u8(state.flags);
+    w.str(&state.name);
+}
+
+pub fn decode(r: &mut ByteReader) -> State {
+    let _version = r.u32();
+    State {
+        jobs: r.u64(),
+        clock: r.i64(),
+        flags: r.u8(),
+        name: r.str(),
+    }
+}

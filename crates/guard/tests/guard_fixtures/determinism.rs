@@ -1,0 +1,38 @@
+//! Seeded determinism-rule violations: hash containers in a
+//! digest-feeding module, and wall-clock / RandomState reads outside
+//! bench code. Markers as in `panic.rs`.
+
+fn digest_feed() -> usize {
+    let m: std::collections::HashMap<u32, u64> = std::collections::HashMap::new(); //~ determinism determinism
+    let s: std::collections::HashSet<u32> = std::collections::HashSet::new(); //~ determinism determinism
+    m.len() + s.len()
+}
+
+fn stamps() -> u64 {
+    let t = std::time::Instant::now(); //~ determinism
+    let w = std::time::SystemTime::now(); //~ determinism
+    let _state = std::collections::hash_map::RandomState::new(); //~ determinism
+    let _ = w;
+    t.elapsed().as_secs()
+}
+
+fn sanctioned_telemetry() -> f64 {
+    // guard: allow(determinism, reason = "fixture: wall time is telemetry only")
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+fn ordered() -> usize {
+    // BTreeMap never trips the container rule.
+    let m: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked_test_code_may_use_hash_containers() {
+        let m: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Seeded panic-rule violations. `//~ <rule>` markers name the rule(s)
+//! expected to fire on that line; the harness strips the markers before
+//! scanning, so they never influence the lint itself.
+
+fn service_path(xs: &[u64], m: &std::collections::BTreeMap<u32, u64>) -> u64 {
+    let a = xs.first().unwrap(); //~ panic
+    let b = m.get(&0).expect("present"); //~ panic
+    if xs.is_empty() {
+        panic!("boom"); //~ panic
+    }
+    let c = xs[0]; //~ panic
+    a + b + c
+}
+
+fn never(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!(), //~ panic
+    }
+}
+
+fn chained(rows: &[Vec<u64>]) -> u64 {
+    rows[0][1] //~ panic panic
+}
+
+fn proven_inline(xs: &[u64]) -> u64 {
+    xs[0] // guard: allow(panic, reason = "fixture: trailing-annotation form suppresses")
+}
+
+fn proven_above(xs: &[u64]) -> u64 {
+    // guard: allow(panic, reason = "fixture: comment-block-above form suppresses")
+    xs[0]
+}
+
+// guard: allow(panic) //~ annotation
+fn sloppy(xs: &[u64]) -> u64 {
+    xs.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked_test_code_panics_freely() {
+        let v: Vec<u64> = vec![1];
+        assert_eq!(v[0], v.first().copied().unwrap());
+    }
+}

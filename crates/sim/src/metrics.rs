@@ -3,7 +3,7 @@
 use crate::job::JobOutcome;
 use helios_trace::VcId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Jobs are "queued" when they waited at least this long (1 minute; the
 /// paper counts jobs that observably queued).
@@ -45,8 +45,12 @@ pub fn schedule_stats(outcomes: &[JobOutcome]) -> ScheduleStats {
 }
 
 /// Per-VC average queue delay (Figs. 12–13).
-pub fn per_vc_queue_delay(outcomes: &[JobOutcome]) -> HashMap<VcId, f64> {
-    let mut sums: HashMap<VcId, (f64, u64)> = HashMap::new();
+///
+/// Returns a `BTreeMap` so iteration order is the VC id order — this
+/// feeds report digests, and `HashMap`'s seed-dependent order would
+/// make byte-identical reports impossible.
+pub fn per_vc_queue_delay(outcomes: &[JobOutcome]) -> BTreeMap<VcId, f64> {
+    let mut sums: BTreeMap<VcId, (f64, u64)> = BTreeMap::new();
     for o in outcomes {
         let e = sums.entry(o.vc).or_insert((0.0, 0));
         e.0 += o.queue_delay() as f64;
@@ -149,6 +153,23 @@ mod tests {
         let m = per_vc_queue_delay(&o);
         assert!((m[&0] - 200.0).abs() < 1e-9);
         assert!((m[&1] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_vc_iteration_order_is_vc_order() {
+        // Insert VCs out of order; the breakdown must iterate sorted by
+        // VC id regardless, because report digests consume it in
+        // iteration order.
+        let o = vec![
+            outcome(7, 0, 10, 10),
+            outcome(2, 0, 20, 10),
+            outcome(5, 0, 30, 10),
+            outcome(2, 0, 40, 10),
+        ];
+        let m = per_vc_queue_delay(&o);
+        let vcs: Vec<VcId> = m.keys().copied().collect();
+        assert_eq!(vcs, vec![2, 5, 7]);
+        assert!((m[&2] - 30.0).abs() < 1e-9);
     }
 
     #[test]

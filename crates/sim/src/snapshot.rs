@@ -212,6 +212,18 @@ impl ByteWriter {
 /// Wire size of one [`SimJob`] as written by [`ByteWriter::job`].
 pub const JOB_WIRE_BYTES: usize = 40;
 
+/// The first `N` bytes of `bytes` as a fixed array, zero-padded when
+/// shorter — a panic-free stand-in for `try_into().unwrap()` on
+/// length-checked reads (callers verify the length; this never trusts
+/// it, honoring the "decoding never panics" contract).
+fn le_bytes<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    let mut buf = [0u8; N];
+    for (dst, src) in buf.iter_mut().zip(bytes) {
+        *dst = *src;
+    }
+    buf
+}
+
 /// Little-endian byte-stream reader; every method returns a typed
 /// [`HeliosError::Snapshot`] on truncation instead of panicking.
 #[derive(Debug)]
@@ -256,25 +268,26 @@ impl<'a> ByteReader<'a> {
                 self.remaining()
             )));
         }
+        // guard: allow(panic, reason = "the remaining() check above guarantees pos+n <= buf.len()")
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
     }
 
     pub fn u8(&mut self) -> HeliosResult<u8> {
-        Ok(self.take(1)?[0])
+        Ok(self.take(1)?.first().copied().unwrap_or(0))
     }
 
     pub fn u32(&mut self) -> HeliosResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(le_bytes(self.take(4)?)))
     }
 
     pub fn u64(&mut self) -> HeliosResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(le_bytes(self.take(8)?)))
     }
 
     pub fn i64(&mut self) -> HeliosResult<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(le_bytes(self.take(8)?)))
     }
 
     pub fn f64(&mut self) -> HeliosResult<f64> {
